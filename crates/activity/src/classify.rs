@@ -1,0 +1,91 @@
+//! The parity-evaluation classification rule.
+
+/// Split of one cycle's transition count into useful and useless transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TransitionSplit {
+    /// Transitions needed for the node to reach its new steady-state value
+    /// (0 or 1 per node per cycle).
+    pub useful: u64,
+    /// Transitions that only charge and discharge the node capacitance
+    /// without contributing to the final value.
+    pub useless: u64,
+}
+
+impl TransitionSplit {
+    /// Total number of transitions in the cycle.
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.useful + self.useless
+    }
+
+    /// Number of complete glitches (pairs of consecutive useless
+    /// transitions).
+    #[must_use]
+    pub fn glitches(self) -> u64 {
+        self.useless / 2
+    }
+}
+
+/// Classifies the `count` transitions a node made within one clock cycle
+/// using the parity rule of section 3.3 of the paper:
+///
+/// * odd `count`  → one useful transition, `count - 1` useless ones;
+/// * even `count` → zero useful transitions, `count` useless ones.
+///
+/// ```
+/// use glitch_activity::split_by_parity;
+///
+/// assert_eq!(split_by_parity(0).total(), 0);
+/// assert_eq!(split_by_parity(1).useful, 1);
+/// assert_eq!(split_by_parity(4).useless, 4);
+/// assert_eq!(split_by_parity(7).useless, 6);
+/// assert_eq!(split_by_parity(7).glitches(), 3);
+/// ```
+#[must_use]
+pub fn split_by_parity(count: u64) -> TransitionSplit {
+    if count % 2 == 1 {
+        TransitionSplit { useful: 1, useless: count - 1 }
+    } else {
+        TransitionSplit { useful: 0, useless: count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_cases_match_paper_figure_4() {
+        // Figure 4: signal 1 makes 2 useful transitions over 2 cycles
+        // (1 per cycle), signal 2 makes 2 useless transitions in one cycle,
+        // signal 3 makes 1 useful + 2 useless in one cycle.
+        assert_eq!(split_by_parity(1), TransitionSplit { useful: 1, useless: 0 });
+        assert_eq!(split_by_parity(2), TransitionSplit { useful: 0, useless: 2 });
+        assert_eq!(split_by_parity(3), TransitionSplit { useful: 1, useless: 2 });
+    }
+
+    #[test]
+    fn zero_transitions() {
+        let s = split_by_parity(0);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.glitches(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn split_is_conservative(count in 0u64..100_000) {
+            let s = split_by_parity(count);
+            prop_assert_eq!(s.total(), count);
+            prop_assert!(s.useful <= 1);
+            prop_assert_eq!(s.useless % 2, 0);
+            prop_assert_eq!(s.useful == 1, count % 2 == 1);
+        }
+
+        #[test]
+        fn glitches_are_half_the_useless(count in 0u64..100_000) {
+            let s = split_by_parity(count);
+            prop_assert_eq!(s.glitches() * 2, s.useless);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Grouping of node activity by bit position — the view needed to reproduce
+//! the per-bit histograms of Figure 5 of the paper.
+
+use std::fmt;
+
+use glitch_netlist::{NetId, Netlist};
+
+use crate::node::NodeActivity;
+use crate::trace::ActivityTrace;
+
+/// Activity of one bit position within a named bus (e.g. sum bit 3 of an
+/// adder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGroup {
+    /// Bit index within the bus.
+    pub bit: usize,
+    /// Name of the underlying net.
+    pub net_name: String,
+    /// Accumulated activity of the bit.
+    pub activity: NodeActivity,
+}
+
+/// Per-bit activity of a named bus, e.g. all sum outputs `S0..S15` of a
+/// ripple-carry adder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedActivity {
+    label: String,
+    bits: Vec<BitGroup>,
+}
+
+impl GroupedActivity {
+    /// Collects per-bit activity for an ordered list of nets (LSB first)
+    /// from a trace recorded over the owning netlist.
+    #[must_use]
+    pub fn from_nets(
+        label: impl Into<String>,
+        netlist: &Netlist,
+        trace: &ActivityTrace,
+        nets: &[NetId],
+    ) -> Self {
+        let bits = nets
+            .iter()
+            .enumerate()
+            .map(|(bit, &net)| BitGroup {
+                bit,
+                net_name: netlist.net(net).name().to_string(),
+                activity: *trace.node(net.index()),
+            })
+            .collect();
+        GroupedActivity { label: label.into(), bits }
+    }
+
+    /// Group label (e.g. `"sum"` or `"carry"`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Per-bit rows, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[BitGroup] {
+        &self.bits
+    }
+
+    /// Useful transitions per bit, LSB first (one series of Figure 5).
+    #[must_use]
+    pub fn useful_series(&self) -> Vec<u64> {
+        self.bits.iter().map(|b| b.activity.useful()).collect()
+    }
+
+    /// Useless transitions per bit, LSB first (the other series of Figure 5).
+    #[must_use]
+    pub fn useless_series(&self) -> Vec<u64> {
+        self.bits.iter().map(|b| b.activity.useless()).collect()
+    }
+
+    /// Total transitions per bit, LSB first.
+    #[must_use]
+    pub fn transition_series(&self) -> Vec<u64> {
+        self.bits.iter().map(|b| b.activity.transitions()).collect()
+    }
+
+    /// Sum of all useful transitions in the group.
+    #[must_use]
+    pub fn total_useful(&self) -> u64 {
+        self.bits.iter().map(|b| b.activity.useful()).sum()
+    }
+
+    /// Sum of all useless transitions in the group.
+    #[must_use]
+    pub fn total_useless(&self) -> u64 {
+        self.bits.iter().map(|b| b.activity.useless()).sum()
+    }
+
+    /// Sum of all transitions in the group.
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.bits.iter().map(|b| b.activity.transitions()).sum()
+    }
+}
+
+impl fmt::Display for GroupedActivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:>8} {:>10} {:>10} {:>10}", self.label, "bit", "total", "useful", "useless")?;
+        for bit in &self.bits {
+            writeln!(
+                f,
+                "{:<10} {:>8} {:>10} {:>10} {:>10}",
+                "",
+                bit.bit,
+                bit.activity.transitions(),
+                bit.activity.useful(),
+                bit.activity.useless()
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>10} {:>10} {:>10}",
+            "", "all", self.total_transitions(), self.total_useful(), self.total_useless()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_by_bus() {
+        let mut nl = Netlist::new("grp");
+        let a = nl.add_input_bus("a", 3);
+        let b = nl.add_input_bus("b", 3);
+        let mut sums = Vec::new();
+        for i in 0..3 {
+            sums.push(nl.xor2(a.bit(i), b.bit(i), &format!("s[{i}]")));
+        }
+        let mut trace = ActivityTrace::new(nl.net_count());
+        let mut counts = vec![0u32; nl.net_count()];
+        counts[sums[0].index()] = 1;
+        counts[sums[1].index()] = 2;
+        counts[sums[2].index()] = 3;
+        trace.record_cycle(&counts);
+
+        let grouped = GroupedActivity::from_nets("sum", &nl, &trace, &sums);
+        assert_eq!(grouped.label(), "sum");
+        assert_eq!(grouped.bits().len(), 3);
+        assert_eq!(grouped.transition_series(), vec![1, 2, 3]);
+        assert_eq!(grouped.useful_series(), vec![1, 0, 1]);
+        assert_eq!(grouped.useless_series(), vec![0, 2, 2]);
+        assert_eq!(grouped.total_transitions(), 6);
+        assert_eq!(grouped.total_useful(), 2);
+        assert_eq!(grouped.total_useless(), 4);
+        assert_eq!(grouped.bits()[1].net_name, "s[1]");
+        let text = grouped.to_string();
+        assert!(text.contains("sum"));
+        assert!(text.contains("all"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # glitch-activity
+//!
+//! Transition accounting for synchronous networks: the core bookkeeping of
+//! the DATE'95 paper *Analysis and Reduction of Glitches in Synchronous
+//! Networks*.
+//!
+//! The crate receives, for every monitored circuit node and every clock
+//! cycle, the number of signal transitions that occurred on that node within
+//! the cycle, and classifies them with the paper's **parity evaluation**
+//! rule (section 3.3):
+//!
+//! * an **odd** number of transitions means the node's value at the end of
+//!   the cycle differs from its value at the start, so exactly **one**
+//!   transition was *useful* and the remaining ones are *useless*;
+//! * an **even** number of transitions means the node returned to its
+//!   starting value, so **all** of them are *useless*.
+//!
+//! Two consecutive useless transitions form one **glitch**. The headline
+//! figure of merit is the ratio `L/F` of useless to useful transitions; the
+//! achievable activity reduction from perfect delay balancing is `1 + L/F`.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_activity::{split_by_parity, ActivityTrace};
+//!
+//! // Parity rule on a single node and a single cycle.
+//! let split = split_by_parity(5);
+//! assert_eq!(split.useful, 1);
+//! assert_eq!(split.useless, 4);
+//!
+//! // Accumulating a two-node circuit over three cycles.
+//! let mut trace = ActivityTrace::new(2);
+//! trace.record_cycle(&[1, 4]);
+//! trace.record_cycle(&[0, 3]);
+//! trace.record_cycle(&[2, 2]);
+//! let totals = trace.totals();
+//! assert_eq!(totals.transitions, 12);
+//! assert_eq!(totals.useful, 2);
+//! assert_eq!(totals.useless, 10);
+//! ```
+
+mod classify;
+mod group;
+mod node;
+mod report;
+mod trace;
+
+pub use classify::{split_by_parity, TransitionSplit};
+pub use group::{BitGroup, GroupedActivity};
+pub use node::NodeActivity;
+pub use report::{ActivityReport, ActivityTotals};
+pub use trace::ActivityTrace;

@@ -1,0 +1,176 @@
+//! Expected transition totals for an N-bit ripple-carry adder — the numbers
+//! behind Figure 5 of the paper.
+
+use crate::ratios::{
+    transition_ratio_carry, transition_ratio_sum, useful_ratio_carry, useful_ratio_sum,
+    useless_ratio_carry, useless_ratio_sum,
+};
+
+/// Expected activity of one bit position of the adder over a whole run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitExpectation {
+    /// Full-adder index (0 = least significant).
+    pub bit: u32,
+    /// Expected transitions on the sum output `S_i`.
+    pub sum_transitions: f64,
+    /// Expected useful transitions on `S_i`.
+    pub sum_useful: f64,
+    /// Expected useless transitions on `S_i`.
+    pub sum_useless: f64,
+    /// Expected transitions on the carry output `C_{i+1}`.
+    pub carry_transitions: f64,
+    /// Expected useful transitions on `C_{i+1}`.
+    pub carry_useful: f64,
+    /// Expected useless transitions on `C_{i+1}`.
+    pub carry_useless: f64,
+}
+
+/// Expected transition totals of an N-bit ripple-carry adder driven with a
+/// given number of uniformly random input vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdderExpectation {
+    bits: Vec<BitExpectation>,
+    vectors: u64,
+}
+
+impl AdderExpectation {
+    /// Expected activity of an `bits`-bit ripple-carry adder over `vectors`
+    /// random input vectors (one vector per clock cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn ripple_carry(bits: u32, vectors: u64) -> Self {
+        assert!(bits > 0, "an adder needs at least one bit");
+        let v = vectors as f64;
+        let rows = (0..bits)
+            .map(|i| BitExpectation {
+                bit: i,
+                sum_transitions: transition_ratio_sum(i) * v,
+                sum_useful: useful_ratio_sum(i) * v,
+                sum_useless: useless_ratio_sum(i) * v,
+                carry_transitions: transition_ratio_carry(i) * v,
+                carry_useful: useful_ratio_carry(i) * v,
+                carry_useless: useless_ratio_carry(i) * v,
+            })
+            .collect();
+        AdderExpectation { bits: rows, vectors }
+    }
+
+    /// Number of random vectors the expectation covers.
+    #[must_use]
+    pub fn vectors(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Per-bit expected activity, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[BitExpectation] {
+        &self.bits
+    }
+
+    /// Expected total transitions over every sum and carry bit.
+    #[must_use]
+    pub fn total_transitions(&self) -> f64 {
+        self.bits.iter().map(|b| b.sum_transitions + b.carry_transitions).sum()
+    }
+
+    /// Expected total useful transitions.
+    #[must_use]
+    pub fn total_useful(&self) -> f64 {
+        self.bits.iter().map(|b| b.sum_useful + b.carry_useful).sum()
+    }
+
+    /// Expected total useless transitions.
+    #[must_use]
+    pub fn total_useless(&self) -> f64 {
+        self.bits.iter().map(|b| b.sum_useless + b.carry_useless).sum()
+    }
+
+    /// Expected `L/F` ratio of useless to useful transitions.
+    #[must_use]
+    pub fn useless_to_useful(&self) -> f64 {
+        self.total_useless() / self.total_useful()
+    }
+
+    /// Expected useful transitions per sum bit, LSB first — one bar series
+    /// of Figure 5.
+    #[must_use]
+    pub fn sum_useful_series(&self) -> Vec<f64> {
+        self.bits.iter().map(|b| b.sum_useful).collect()
+    }
+
+    /// Expected useless transitions per sum bit, LSB first.
+    #[must_use]
+    pub fn sum_useless_series(&self) -> Vec<f64> {
+        self.bits.iter().map(|b| b.sum_useless).collect()
+    }
+
+    /// Expected useful transitions per carry bit, LSB first.
+    #[must_use]
+    pub fn carry_useful_series(&self) -> Vec<f64> {
+        self.bits.iter().map(|b| b.carry_useful).collect()
+    }
+
+    /// Expected useless transitions per carry bit, LSB first.
+    #[must_use]
+    pub fn carry_useless_series(&self) -> Vec<f64> {
+        self.bits.iter().map(|b| b.carry_useless).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_totals_for_16_bit_adder_and_4000_vectors() {
+        // Section 3.3: "a total number of 119002 transitions is found…
+        // 63334 of these transitions are useful. The remaining 55668
+        // transitions are useless… L/F = 0.88". The paper's integers carry a
+        // couple of counts of per-bit rounding, so we allow a ±5 band.
+        let exp = AdderExpectation::ripple_carry(16, 4000);
+        assert!((exp.total_transitions() - 119_002.0).abs() < 5.0);
+        assert!((exp.total_useful() - 63_334.0).abs() < 5.0);
+        assert!((exp.total_useless() - 55_668.0).abs() < 5.0);
+        let lf = exp.useless_to_useful();
+        assert!((lf - 0.88).abs() < 0.01, "L/F = {lf}");
+    }
+
+    #[test]
+    fn per_bit_series_have_the_right_shape() {
+        let exp = AdderExpectation::ripple_carry(16, 4000);
+        assert_eq!(exp.width(), 16);
+        assert_eq!(exp.vectors(), 4000);
+        assert_eq!(exp.bits().len(), 16);
+        // Sum useful is flat at vectors/2; useless grows with bit index.
+        let useful = exp.sum_useful_series();
+        assert!(useful.iter().all(|&u| (u - 2000.0).abs() < 1e-9));
+        let useless = exp.sum_useless_series();
+        assert!(useless[0] < 1.0);
+        assert!(useless[15] > useless[1]);
+        let carry_useless = exp.carry_useless_series();
+        assert!(carry_useless[15] > carry_useless[0]);
+        assert!(exp.carry_useful_series()[15] <= 2000.0);
+    }
+
+    #[test]
+    fn totals_scale_linearly_with_vectors() {
+        let one = AdderExpectation::ripple_carry(8, 100);
+        let ten = AdderExpectation::ripple_carry(8, 1000);
+        assert!((ten.total_transitions() / one.total_transitions() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_rejected() {
+        let _ = AdderExpectation::ripple_carry(0, 10);
+    }
+}

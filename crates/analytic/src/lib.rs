@@ -1,0 +1,36 @@
+//! # glitch-analytic
+//!
+//! Closed-form probability analysis of transition activity in ripple-carry
+//! adders under random inputs — section 3 of the DATE'95 paper *Analysis and
+//! Reduction of Glitches in Synchronous Networks* (equations 2–7 plus the
+//! worst-case analysis of section 3.1).
+//!
+//! The unit-delay model behind the formulas: all input bits arrive at the
+//! start of the clock cycle, every full adder contributes one delay unit, so
+//! full adder `FAi` can re-evaluate up to `i + 1` times in one cycle as the
+//! carry ripples towards it.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_analytic::{transition_ratio_sum, AdderExpectation};
+//!
+//! // Average transitions per cycle on sum bit 3 of a ripple-carry adder.
+//! let tr = transition_ratio_sum(3);
+//! assert!((tr - (1.25 - 0.75 * 0.125)).abs() < 1e-12);
+//!
+//! // The Figure 5 experiment: 16-bit adder, 4000 random vectors.
+//! let exp = AdderExpectation::ripple_carry(16, 4000);
+//! assert!((exp.total_transitions() - 119_002.0).abs() < 5.0);
+//! ```
+
+mod adder;
+mod ratios;
+mod worst_case;
+
+pub use adder::{AdderExpectation, BitExpectation};
+pub use ratios::{
+    transition_ratio_carry, transition_ratio_sum, useful_ratio_carry, useful_ratio_sum,
+    useless_ratio_carry, useless_ratio_sum,
+};
+pub use worst_case::{worst_case_probability, worst_case_transitions, worst_case_transitions_per_bit};

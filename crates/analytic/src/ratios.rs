@@ -1,0 +1,115 @@
+//! Equations 2–7: average transition ratios of ripple-carry adder signals
+//! under uniformly random inputs.
+//!
+//! All functions take the full-adder index `i` (0-based). Full adder `FAi`
+//! produces sum bit `S_i` and carry-out `C_{i+1}`; the "carry" functions
+//! below therefore describe `C_{i+1}`.
+
+/// Equation 3: average transitions per clock cycle on sum bit `S_i`:
+/// `TR(S_i) = 5/4 − 3/4 · (1/2)^i`.
+#[must_use]
+pub fn transition_ratio_sum(i: u32) -> f64 {
+    1.25 - 0.75 * 0.5f64.powi(i as i32)
+}
+
+/// Equation 2: average transitions per clock cycle on carry-out `C_{i+1}` of
+/// full adder `FAi`: `TR(C_{i+1}) = 3/4 − 3/4 · (1/2)^{i+1}`.
+#[must_use]
+pub fn transition_ratio_carry(i: u32) -> f64 {
+    0.75 - 0.75 * 0.5f64.powi(i as i32 + 1)
+}
+
+/// Equation 4: average useful transitions per cycle on `S_i`:
+/// `UFTR(S_i) = 1/2`.
+#[must_use]
+pub fn useful_ratio_sum(_i: u32) -> f64 {
+    0.5
+}
+
+/// Equation 5: average useless transitions per cycle on `S_i`:
+/// `ULTR(S_i) = 3/4 − 3/4 · (1/2)^i`.
+#[must_use]
+pub fn useless_ratio_sum(i: u32) -> f64 {
+    0.75 - 0.75 * 0.5f64.powi(i as i32)
+}
+
+/// Equation 6: average useful transitions per cycle on `C_{i+1}`:
+/// `UFTR(C_{i+1}) = 1/2 − 1/2 · (1/4)^{i+1}`.
+#[must_use]
+pub fn useful_ratio_carry(i: u32) -> f64 {
+    0.5 - 0.5 * 0.25f64.powi(i as i32 + 1)
+}
+
+/// Equation 7: average useless transitions per cycle on `C_{i+1}`:
+/// `ULTR(C_{i+1}) = 1/2 · ((1/2)^{i+1} − 1/2) · ((1/2)^{i+1} − 1)`.
+#[must_use]
+pub fn useless_ratio_carry(i: u32) -> f64 {
+    let x = 0.5f64.powi(i as i32 + 1);
+    0.5 * (x - 0.5) * (x - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_zero_values() {
+        // FA0 sees both operand bits at t = 0: exactly the behaviour of a
+        // lone full adder. Sum toggles with probability 1/2, carry with
+        // probability 3/8 per the closed forms.
+        assert!((transition_ratio_sum(0) - 0.5).abs() < 1e-12);
+        assert!((useless_ratio_sum(0) - 0.0).abs() < 1e-12);
+        assert!((useful_ratio_sum(0) - 0.5).abs() < 1e-12);
+        assert!((transition_ratio_carry(0) - 0.375).abs() < 1e-12);
+        assert!((useful_ratio_carry(0) - 0.375).abs() < 1e-12);
+        assert!((useless_ratio_carry(0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_values() {
+        // Far from the LSB the ratios approach their limits: TR(S) -> 5/4,
+        // TR(C) -> 3/4, UFTR(C) -> 1/2, ULTR(C) -> 1/4, ULTR(S) -> 3/4.
+        assert!((transition_ratio_sum(60) - 1.25).abs() < 1e-9);
+        assert!((transition_ratio_carry(60) - 0.75).abs() < 1e-9);
+        assert!((useful_ratio_carry(60) - 0.5).abs() < 1e-9);
+        assert!((useless_ratio_carry(60) - 0.25).abs() < 1e-9);
+        assert!((useless_ratio_sum(60) - 0.75).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn useful_plus_useless_equals_total(i in 0u32..40) {
+            let sum = useful_ratio_sum(i) + useless_ratio_sum(i);
+            prop_assert!((sum - transition_ratio_sum(i)).abs() < 1e-12);
+            let carry = useful_ratio_carry(i) + useless_ratio_carry(i);
+            prop_assert!((carry - transition_ratio_carry(i)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn ratios_are_monotone_in_bit_position(i in 0u32..39) {
+            // Higher-order bits see more carry ripple, so every ratio except
+            // the constant UFTR(S) is non-decreasing in i.
+            prop_assert!(transition_ratio_sum(i + 1) >= transition_ratio_sum(i));
+            prop_assert!(transition_ratio_carry(i + 1) >= transition_ratio_carry(i));
+            prop_assert!(useless_ratio_sum(i + 1) >= useless_ratio_sum(i));
+            prop_assert!(useless_ratio_carry(i + 1) >= useless_ratio_carry(i) - 1e-15);
+            prop_assert!(useful_ratio_carry(i + 1) >= useful_ratio_carry(i));
+        }
+
+        #[test]
+        fn ratios_are_probability_like(i in 0u32..40) {
+            for r in [
+                transition_ratio_sum(i),
+                transition_ratio_carry(i),
+                useful_ratio_sum(i),
+                useless_ratio_sum(i),
+                useful_ratio_carry(i),
+                useless_ratio_carry(i),
+            ] {
+                prop_assert!(r >= 0.0);
+                prop_assert!(r <= 1.5);
+            }
+        }
+    }
+}

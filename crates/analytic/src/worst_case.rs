@@ -1,0 +1,64 @@
+//! Section 3.1: the worst-case transition count of a ripple-carry adder and
+//! the probability of hitting it with random inputs.
+
+/// Worst-case number of transitions any single node of an `bits`-bit
+/// ripple-carry adder can make in one clock cycle.
+///
+/// The worst case happens on the most significant sum and carry outputs
+/// (`S_{N-1}` and `C_N`), which can toggle once per ripple step: `N`
+/// transitions (Figure 3 of the paper shows the N = 4 case).
+#[must_use]
+pub fn worst_case_transitions(bits: u32) -> u32 {
+    bits
+}
+
+/// Worst-case transitions of full adder `FAi`'s outputs (`S_i` and
+/// `C_{i+1}`) within one clock cycle: `i + 1`.
+#[must_use]
+pub fn worst_case_transitions_per_bit(i: u32) -> u32 {
+    i + 1
+}
+
+/// Probability that a random input pair actually triggers the worst case in
+/// an `bits`-bit ripple-carry adder: `3 · (1/8)^N` (section 3.1). Both the
+/// required alternating carry pattern from the previous addition and a full
+/// carry ripple must occur, each of which becomes exponentially unlikely with
+/// the word size.
+#[must_use]
+pub fn worst_case_probability(bits: u32) -> f64 {
+    3.0 * 0.125f64.powi(bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure_3_case() {
+        // Figure 3 shows a 4-bit adder whose S3/C4 nodes make 4 transitions.
+        assert_eq!(worst_case_transitions(4), 4);
+        assert_eq!(worst_case_transitions_per_bit(0), 1);
+        assert_eq!(worst_case_transitions_per_bit(3), 4);
+    }
+
+    #[test]
+    fn probability_is_negligible_for_realistic_widths() {
+        assert!(worst_case_probability(16) < 1e-12);
+        assert!(worst_case_probability(4) < 0.001);
+    }
+
+    proptest! {
+        #[test]
+        fn probability_decreases_with_width(bits in 1u32..60) {
+            prop_assert!(worst_case_probability(bits + 1) < worst_case_probability(bits));
+            prop_assert!(worst_case_probability(bits) > 0.0);
+            prop_assert!(worst_case_probability(bits) <= 3.0 / 8.0);
+        }
+
+        #[test]
+        fn per_bit_worst_case_is_consistent(bits in 1u32..64) {
+            prop_assert_eq!(worst_case_transitions(bits), worst_case_transitions_per_bit(bits - 1));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Subtractors and absolute-difference units — the front end of the
+//! direction detector (Figure 8 of the paper).
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::rca::build_rca;
+use crate::style::AdderStyle;
+
+/// Ports of a subtractor built by [`build_subtractor`].
+#[derive(Debug, Clone)]
+pub struct SubtractorPorts {
+    /// Difference bits `a - b` (two's complement, truncated to the operand
+    /// width), LSB first.
+    pub difference: Bus,
+    /// High when `a >= b` (i.e. no borrow occurred).
+    pub no_borrow: NetId,
+}
+
+/// Ports of an absolute-difference unit built by [`build_abs_diff`].
+#[derive(Debug, Clone)]
+pub struct AbsDiffPorts {
+    /// `|a - b|`, LSB first.
+    pub magnitude: Bus,
+    /// High when `a >= b`.
+    pub a_ge_b: NetId,
+}
+
+/// Builds `a - b` as `a + !b + 1` with a ripple-carry adder. The adder's
+/// carry out doubles as the "no borrow" (`a >= b`) flag.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_subtractor(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    prefix: &str,
+    style: AdderStyle,
+) -> SubtractorPorts {
+    assert_eq!(a.width(), b.width(), "operand widths differ");
+    let b_inverted = Bus::new(
+        b.bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| nl.inv(bit, &format!("{prefix}_nb{i}")))
+            .collect(),
+    );
+    let one = nl.constant(true, &format!("{prefix}_one"));
+    let ports = build_rca(nl, a, &b_inverted, one, prefix, style);
+    SubtractorPorts { difference: ports.sum, no_borrow: ports.cout }
+}
+
+/// Builds `|a - b|` by computing both `a - b` and `b - a` and selecting the
+/// non-negative one with the borrow flag — the structure used by the
+/// direction detector's difference stage.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_abs_diff(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    prefix: &str,
+    style: AdderStyle,
+) -> AbsDiffPorts {
+    let ab = build_subtractor(nl, a, b, &format!("{prefix}_ab"), style);
+    let ba = build_subtractor(nl, b, a, &format!("{prefix}_ba"), style);
+    // When a >= b take (a - b), otherwise take (b - a). Mux semantics:
+    // sel = 0 selects the first data input.
+    let magnitude = Bus::new(
+        (0..a.width())
+            .map(|i| {
+                nl.mux2(
+                    ab.no_borrow,
+                    ba.difference.bit(i),
+                    ab.difference.bit(i),
+                    &format!("{prefix}_m{i}"),
+                )
+            })
+            .collect(),
+    );
+    AbsDiffPorts { magnitude, a_ge_b: ab.no_borrow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+
+    fn abs_diff_circuit(bits: usize) -> (Netlist, Bus, Bus, AbsDiffPorts) {
+        let mut nl = Netlist::new("absdiff");
+        let a = nl.add_input_bus("a", bits);
+        let b = nl.add_input_bus("b", bits);
+        let ports = build_abs_diff(&mut nl, &a, &b, "d", AdderStyle::CompoundCell);
+        nl.mark_output_bus(&ports.magnitude);
+        nl.mark_output(ports.a_ge_b);
+        (nl, a, b, ports)
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_subtraction() {
+        let mut nl = Netlist::new("sub");
+        let a = nl.add_input_bus("a", 4);
+        let b = nl.add_input_bus("b", 4);
+        let ports = build_subtractor(&mut nl, &a, &b, "s", AdderStyle::CompoundCell);
+        nl.mark_output_bus(&ports.difference);
+        nl.mark_output(ports.no_borrow);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                let diff = sim.bus_value(&ports.difference).unwrap();
+                let no_borrow = sim.net_bool(ports.no_borrow).unwrap();
+                assert_eq!(diff, (av.wrapping_sub(bv)) & 0xF, "a={av} b={bv}");
+                assert_eq!(no_borrow, av >= bv, "a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_difference_is_exact_for_all_4_bit_pairs() {
+        let (nl, a, b, ports) = abs_diff_circuit(4);
+        nl.validate().unwrap();
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                let got = sim.bus_value(&ports.magnitude).unwrap();
+                assert_eq!(got, av.abs_diff(bv), "a={av} b={bv}");
+                assert_eq!(sim.net_bool(ports.a_ge_b).unwrap(), av >= bv);
+            }
+        }
+    }
+
+    #[test]
+    fn abs_diff_spot_checks_at_8_bits() {
+        let (nl, a, b, ports) = abs_diff_circuit(8);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for (av, bv) in [(0u64, 255u64), (255, 0), (200, 200), (17, 113), (250, 249)] {
+            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+            assert_eq!(sim.bus_value(&ports.magnitude).unwrap(), av.abs_diff(bv));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_widths_are_rejected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input_bus("a", 4);
+        let b = nl.add_input_bus("b", 5);
+        let _ = build_abs_diff(&mut nl, &a, &b, "d", AdderStyle::CompoundCell);
+    }
+}

@@ -1,0 +1,285 @@
+//! Alternative adder architectures: carry-lookahead and carry-select.
+//!
+//! The paper's second glitch-reduction lever (besides inserting flipflops)
+//! is *choosing a different architecture* with better-balanced delay paths.
+//! The ripple-carry adder of section 3 is the worst case — the carry travels
+//! through every bit — while lookahead and select structures shorten and
+//! balance the carry paths, trading gates for glitches. These generators
+//! make that trade-off measurable with the same analysis flow.
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::rca::build_rca;
+use crate::style::AdderStyle;
+
+/// An N-bit adder built from 4-bit carry-lookahead blocks whose block
+/// carries ripple.
+#[derive(Debug, Clone)]
+pub struct CarryLookaheadAdder {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Operand A input bus.
+    pub a: Bus,
+    /// Operand B input bus.
+    pub b: Bus,
+    /// Carry-in input.
+    pub cin: NetId,
+    /// Sum output bus.
+    pub sum: Bus,
+    /// Carry out.
+    pub cout: NetId,
+}
+
+impl CarryLookaheadAdder {
+    /// Builds an `bits`-bit carry-lookahead adder (4-bit lookahead blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0, "adder width must be at least 1");
+        let mut nl = Netlist::new(format!("cla{bits}"));
+        let a = nl.add_input_bus("a", bits);
+        let b = nl.add_input_bus("b", bits);
+        let cin = nl.add_input("cin");
+
+        let mut sum_bits = Vec::with_capacity(bits);
+        let mut block_cin = cin;
+        let mut bit = 0usize;
+        let mut block = 0usize;
+        while bit < bits {
+            let width = (bits - bit).min(4);
+            // Generate and propagate signals for the block.
+            let mut g = Vec::with_capacity(width);
+            let mut p = Vec::with_capacity(width);
+            for k in 0..width {
+                let i = bit + k;
+                g.push(nl.and2(a.bit(i), b.bit(i), &format!("g{block}_{k}")));
+                p.push(nl.xor2(a.bit(i), b.bit(i), &format!("p{block}_{k}")));
+            }
+            // Lookahead carries: c[k+1] = g[k] | p[k]·g[k-1] | … | p[k]…p[0]·cin,
+            // each built as a two-level AND/OR network so every carry of the
+            // block is available after a constant number of gate delays.
+            let mut carries = Vec::with_capacity(width + 1);
+            carries.push(block_cin);
+            for k in 0..width {
+                let mut terms: Vec<NetId> = Vec::with_capacity(k + 2);
+                terms.push(g[k]);
+                for j in (0..=k).rev() {
+                    // p[k]·p[k-1]…p[j]·(g[j-1] or cin)
+                    let chain: Vec<NetId> = (j..=k).map(|m| p[m]).collect();
+                    let mut and_inputs = chain;
+                    and_inputs.push(if j == 0 { block_cin } else { g[j - 1] });
+                    terms.push(nl.and(&and_inputs, &format!("cla{block}_{k}_{j}")));
+                }
+                let carry = if terms.len() == 1 {
+                    terms[0]
+                } else {
+                    nl.or(&terms, &format!("c{block}_{k}"))
+                };
+                carries.push(carry);
+            }
+            // Sums.
+            for k in 0..width {
+                sum_bits.push(nl.xor2(p[k], carries[k], &format!("sum[{}]", bit + k)));
+            }
+            block_cin = carries[width];
+            bit += width;
+            block += 1;
+        }
+
+        let sum = Bus::new(sum_bits);
+        nl.mark_output_bus(&sum);
+        nl.mark_output(block_cin);
+        CarryLookaheadAdder { netlist: nl, a, b, cin, sum, cout: block_cin }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.width()
+    }
+}
+
+/// An N-bit carry-select adder: each block (after the first) computes both
+/// possible results and a multiplexer picks the right one when the block
+/// carry arrives.
+#[derive(Debug, Clone)]
+pub struct CarrySelectAdder {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Operand A input bus.
+    pub a: Bus,
+    /// Operand B input bus.
+    pub b: Bus,
+    /// Carry-in input.
+    pub cin: NetId,
+    /// Sum output bus.
+    pub sum: Bus,
+    /// Carry out.
+    pub cout: NetId,
+    /// Block size used.
+    pub block_size: usize,
+}
+
+impl CarrySelectAdder {
+    /// Builds an `bits`-bit carry-select adder with the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `block_size` is zero.
+    #[must_use]
+    pub fn new(bits: usize, block_size: usize, style: AdderStyle) -> Self {
+        assert!(bits > 0, "adder width must be at least 1");
+        assert!(block_size > 0, "block size must be at least 1");
+        let mut nl = Netlist::new(format!("csla{bits}_b{block_size}"));
+        let a = nl.add_input_bus("a", bits);
+        let b = nl.add_input_bus("b", bits);
+        let cin = nl.add_input("cin");
+
+        let mut sum_bits = Vec::with_capacity(bits);
+        let mut carry = cin;
+        let mut bit = 0usize;
+        let mut block = 0usize;
+        while bit < bits {
+            let width = (bits - bit).min(block_size);
+            let a_slice = Bus::new((0..width).map(|k| a.bit(bit + k)).collect());
+            let b_slice = Bus::new((0..width).map(|k| b.bit(bit + k)).collect());
+            if block == 0 {
+                // The first block sees the true carry-in directly.
+                let ports = build_rca(&mut nl, &a_slice, &b_slice, carry, &format!("blk{block}"), style);
+                sum_bits.extend(ports.sum.bits().iter().copied());
+                carry = ports.cout;
+            } else {
+                // Speculative blocks: one copy assumes carry-in 0, the other 1.
+                let zero = nl.constant(false, &format!("blk{block}_c0"));
+                let one = nl.constant(true, &format!("blk{block}_c1"));
+                let lo = build_rca(&mut nl, &a_slice, &b_slice, zero, &format!("blk{block}_lo"), style);
+                let hi = build_rca(&mut nl, &a_slice, &b_slice, one, &format!("blk{block}_hi"), style);
+                for k in 0..width {
+                    sum_bits.push(nl.mux2(
+                        carry,
+                        lo.sum.bit(k),
+                        hi.sum.bit(k),
+                        &format!("sum[{}]", bit + k),
+                    ));
+                }
+                carry = nl.mux2(carry, lo.cout, hi.cout, &format!("blk{block}_cout"));
+            }
+            bit += width;
+            block += 1;
+        }
+
+        let sum = Bus::new(sum_bits);
+        nl.mark_output_bus(&sum);
+        nl.mark_output(carry);
+        CarrySelectAdder { netlist: nl, a, b, cin, sum, cout: carry, block_size }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rca::RippleCarryAdder;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_adder(
+        netlist: &Netlist,
+        a: &Bus,
+        b: &Bus,
+        cin: NetId,
+        sum: &Bus,
+        cout: NetId,
+        bits: usize,
+        exhaustive: bool,
+    ) {
+        netlist.validate().unwrap();
+        let mut sim = ClockedSimulator::new(netlist, UnitDelay).unwrap();
+        let mut cases: Vec<(u64, u64, bool)> = Vec::new();
+        if exhaustive {
+            for x in 0..(1u64 << bits) {
+                for y in 0..(1u64 << bits) {
+                    cases.push((x, y, x % 2 == 0));
+                }
+            }
+        } else {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mask = (1u64 << bits) - 1;
+            for _ in 0..200 {
+                cases.push((rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, rng.gen()));
+            }
+        }
+        for (x, y, c) in cases {
+            sim.step(InputAssignment::new().with_bus(a, x).with_bus(b, y).with(cin, c)).unwrap();
+            let got = sim.bus_value(sum).unwrap() + (u64::from(sim.net_bool(cout).unwrap()) << bits);
+            assert_eq!(got, x + y + u64::from(c), "{x} + {y} + {c}");
+        }
+    }
+
+    #[test]
+    fn carry_lookahead_is_exact_for_all_4_bit_inputs() {
+        let adder = CarryLookaheadAdder::new(4);
+        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 4, true);
+        assert_eq!(adder.width(), 4);
+    }
+
+    #[test]
+    fn carry_lookahead_is_exact_for_random_16_bit_inputs() {
+        let adder = CarryLookaheadAdder::new(16);
+        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 16, false);
+    }
+
+    #[test]
+    fn carry_lookahead_handles_widths_that_are_not_multiples_of_four() {
+        for bits in [1usize, 3, 6, 13] {
+            let adder = CarryLookaheadAdder::new(bits);
+            check_adder(
+                &adder.netlist,
+                &adder.a,
+                &adder.b,
+                adder.cin,
+                &adder.sum,
+                adder.cout,
+                bits,
+                bits <= 4,
+            );
+        }
+    }
+
+    #[test]
+    fn carry_select_is_exact_for_all_4_bit_inputs() {
+        let adder = CarrySelectAdder::new(4, 2, AdderStyle::CompoundCell);
+        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 4, true);
+        assert_eq!(adder.block_size, 2);
+        assert_eq!(adder.width(), 4);
+    }
+
+    #[test]
+    fn carry_select_is_exact_for_random_16_bit_inputs_in_both_styles() {
+        for style in AdderStyle::all() {
+            let adder = CarrySelectAdder::new(16, 4, style);
+            check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 16, false);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_much_shallower_than_ripple() {
+        let rca = RippleCarryAdder::new(16, AdderStyle::CompoundCell);
+        let cla = CarryLookaheadAdder::new(16);
+        let csla = CarrySelectAdder::new(16, 4, AdderStyle::CompoundCell);
+        let rca_depth = rca.netlist.combinational_depth().unwrap();
+        let cla_depth = cla.netlist.combinational_depth().unwrap();
+        let csla_depth = csla.netlist.combinational_depth().unwrap();
+        assert!(cla_depth < rca_depth, "cla {cla_depth} vs rca {rca_depth}");
+        assert!(csla_depth < rca_depth, "csla {csla_depth} vs rca {rca_depth}");
+    }
+}

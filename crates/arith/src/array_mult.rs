@@ -1,0 +1,152 @@
+//! Carry-save array multiplier — Figure 6 of the paper.
+//!
+//! The array multiplier is the "many unbalanced delay paths" architecture of
+//! the comparison in section 4.1: partial products ripple through a
+//! rectangular array of multiplier cells (AND gate + full adder) row by row,
+//! and a final ripple-carry adder resolves the carries of the last row. Data
+//! arriving early at the top-left cells races data arriving late from long
+//! ripple paths, which is exactly what produces the large useless-transition
+//! counts of Table 1.
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::cells::full_adder_bit;
+use crate::rca::build_rca;
+use crate::style::AdderStyle;
+
+/// An unsigned N×N carry-save array multiplier with a final ripple-carry
+/// adder row.
+#[derive(Debug, Clone)]
+pub struct ArrayMultiplier {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Multiplicand input bus (`X` in Figure 6).
+    pub x: Bus,
+    /// Multiplier input bus (`Y` in Figure 6).
+    pub y: Bus,
+    /// Product output bus, `2N` bits, LSB first.
+    pub product: Bus,
+}
+
+impl ArrayMultiplier {
+    /// Builds an `bits × bits` array multiplier for unsigned operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is smaller than 2.
+    #[must_use]
+    pub fn new(bits: usize, style: AdderStyle) -> Self {
+        assert!(bits >= 2, "array multiplier needs at least 2 bits");
+        let n = bits;
+        let mut nl = Netlist::new(format!("array_mult_{n}x{n}"));
+        let x = nl.add_input_bus("x", n);
+        let y = nl.add_input_bus("y", n);
+        let zero = nl.constant(false, "zero");
+
+        let partial = |nl: &mut Netlist, i: usize, j: usize| -> NetId {
+            nl.and2(y.bit(i), x.bit(j), &format!("pp_{i}_{j}"))
+        };
+
+        // Virtual row 0 is just the first partial-product row; cells of row i
+        // (i >= 1) combine their own partial product with the sum of the
+        // cell diagonally above and the carry of the cell directly above.
+        let mut prev_sum: Vec<NetId> = (0..n).map(|j| partial(&mut nl, 0, j)).collect();
+        let mut prev_carry: Vec<NetId> = vec![zero; n];
+        let mut product_bits: Vec<NetId> = vec![prev_sum[0]];
+
+        for i in 1..n {
+            let mut cur_sum = Vec::with_capacity(n);
+            let mut cur_carry = Vec::with_capacity(n);
+            for j in 0..n {
+                let p = partial(&mut nl, i, j);
+                let above_sum = if j + 1 < n { prev_sum[j + 1] } else { zero };
+                let above_carry = prev_carry[j];
+                let (s, c) = full_adder_bit(
+                    &mut nl,
+                    p,
+                    above_sum,
+                    above_carry,
+                    &format!("cell_{i}_{j}"),
+                    style,
+                );
+                cur_sum.push(s);
+                cur_carry.push(c);
+            }
+            product_bits.push(cur_sum[0]);
+            prev_sum = cur_sum;
+            prev_carry = cur_carry;
+        }
+
+        // Final ripple-carry adder over the surviving sum and carry bits of
+        // the last row (weights N .. 2N-1).
+        let mut a_bits: Vec<NetId> = prev_sum[1..].to_vec();
+        a_bits.push(zero);
+        let a_bus = Bus::new(a_bits);
+        let b_bus = Bus::new(prev_carry);
+        let final_add = build_rca(&mut nl, &a_bus, &b_bus, zero, "final", style);
+        product_bits.extend(final_add.sum.bits().iter().copied());
+
+        let product = Bus::new(product_bits);
+        nl.mark_output_bus(&product);
+        ArrayMultiplier { netlist: nl, x, y, product }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.x.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exhaustive_4x4_products_are_exact() {
+        let mult = ArrayMultiplier::new(4, AdderStyle::CompoundCell);
+        mult.netlist.validate().unwrap();
+        assert_eq!(mult.product.width(), 8);
+        let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_8x8_products_are_exact_in_both_styles() {
+        for style in AdderStyle::all() {
+            let mult = ArrayMultiplier::new(8, style);
+            let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..100 {
+                let a: u64 = rng.gen_range(0..256);
+                let b: u64 = rng.gen_range(0..256);
+                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b} ({style:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn structure_is_deeply_unbalanced() {
+        let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+        // The carry/sum ripple path grows with both dimensions of the array;
+        // it must be much deeper than the Wallace tree of the same size.
+        let depth = mult.netlist.combinational_depth().unwrap();
+        assert!(depth >= 2 * 8, "depth {depth}");
+        assert_eq!(mult.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn tiny_widths_are_rejected() {
+        let _ = ArrayMultiplier::new(1, AdderStyle::CompoundCell);
+    }
+}

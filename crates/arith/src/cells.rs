@@ -1,0 +1,83 @@
+//! Shared adder-cell instantiation helpers used by every generator.
+
+use glitch_netlist::{NetId, Netlist};
+
+use crate::style::AdderStyle;
+
+/// Adds one full adder (in the requested style) to `nl` and returns
+/// `(sum, carry)`.
+pub(crate) fn full_adder_bit(
+    nl: &mut Netlist,
+    a: NetId,
+    b: NetId,
+    cin: NetId,
+    prefix: &str,
+    style: AdderStyle,
+) -> (NetId, NetId) {
+    match style {
+        AdderStyle::CompoundCell => nl.full_adder(a, b, cin, prefix),
+        AdderStyle::Gates => {
+            let axb = nl.xor2(a, b, &format!("{prefix}_axb"));
+            let sum = nl.xor2(axb, cin, &format!("{prefix}_s"));
+            let and1 = nl.and2(a, b, &format!("{prefix}_ab"));
+            let and2 = nl.and2(axb, cin, &format!("{prefix}_pc"));
+            let carry = nl.or2(and1, and2, &format!("{prefix}_c"));
+            (sum, carry)
+        }
+    }
+}
+
+/// Adds one half adder (in the requested style) to `nl` and returns
+/// `(sum, carry)`.
+pub(crate) fn half_adder_bit(
+    nl: &mut Netlist,
+    a: NetId,
+    b: NetId,
+    prefix: &str,
+    style: AdderStyle,
+) -> (NetId, NetId) {
+    match style {
+        AdderStyle::CompoundCell => nl.half_adder(a, b, prefix),
+        AdderStyle::Gates => {
+            let sum = nl.xor2(a, b, &format!("{prefix}_s"));
+            let carry = nl.and2(a, b, &format!("{prefix}_c"));
+            (sum, carry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+
+    #[test]
+    fn both_styles_implement_the_same_functions() {
+        for style in AdderStyle::all() {
+            let mut nl = Netlist::new("cells");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let c = nl.add_input("c");
+            let (fs, fc) = full_adder_bit(&mut nl, a, b, c, "fa", style);
+            let (hs, hc) = half_adder_bit(&mut nl, a, b, "ha", style);
+            for net in [fs, fc, hs, hc] {
+                nl.mark_output(net);
+            }
+            let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+            for bits in 0..8u8 {
+                let (av, bv, cv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+                sim.step(InputAssignment::new().with(a, av).with(b, bv).with(c, cv)).unwrap();
+                let full = u8::from(av) + u8::from(bv) + u8::from(cv);
+                let half = u8::from(av) + u8::from(bv);
+                assert_eq!(
+                    u8::from(sim.net_bool(fs).unwrap()) + 2 * u8::from(sim.net_bool(fc).unwrap()),
+                    full
+                );
+                assert_eq!(
+                    u8::from(sim.net_bool(hs).unwrap()) + 2 * u8::from(sim.net_bool(hc).unwrap()),
+                    half
+                );
+            }
+        }
+    }
+}

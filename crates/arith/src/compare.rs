@@ -1,0 +1,102 @@
+//! Magnitude comparison and min/max selection — the middle stage of the
+//! direction detector (Figure 8 of the paper).
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::abs_diff::build_subtractor;
+use crate::style::AdderStyle;
+
+/// Ports of a min/max selector built by [`build_min_max`].
+#[derive(Debug, Clone)]
+pub struct MinMaxPorts {
+    /// Element-wise minimum of the two operands.
+    pub min: Bus,
+    /// Element-wise maximum of the two operands.
+    pub max: Bus,
+    /// High when the first operand is greater than or equal to the second.
+    pub a_ge_b: NetId,
+}
+
+/// Builds an unsigned `a >= b` comparator (a subtractor whose borrow output
+/// is the answer) and returns the flag net.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_greater_equal(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    prefix: &str,
+    style: AdderStyle,
+) -> NetId {
+    build_subtractor(nl, a, b, prefix, style).no_borrow
+}
+
+/// Builds a min/max selector: compares the operands and routes each to the
+/// appropriate output with a row of multiplexers.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_min_max(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    prefix: &str,
+    style: AdderStyle,
+) -> MinMaxPorts {
+    let a_ge_b = build_greater_equal(nl, a, b, &format!("{prefix}_cmp"), style);
+    // sel = 0 picks the first data input of the mux.
+    let min = Bus::new(
+        (0..a.width())
+            .map(|i| nl.mux2(a_ge_b, a.bit(i), b.bit(i), &format!("{prefix}_min{i}")))
+            .collect(),
+    );
+    let max = Bus::new(
+        (0..a.width())
+            .map(|i| nl.mux2(a_ge_b, b.bit(i), a.bit(i), &format!("{prefix}_max{i}")))
+            .collect(),
+    );
+    MinMaxPorts { min, max, a_ge_b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+
+    #[test]
+    fn comparator_is_exact_for_all_4_bit_pairs() {
+        let mut nl = Netlist::new("cmp");
+        let a = nl.add_input_bus("a", 4);
+        let b = nl.add_input_bus("b", 4);
+        let ge = build_greater_equal(&mut nl, &a, &b, "c", AdderStyle::CompoundCell);
+        nl.mark_output(ge);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                assert_eq!(sim.net_bool(ge).unwrap(), av >= bv, "a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_routes_operands_correctly() {
+        let mut nl = Netlist::new("minmax");
+        let a = nl.add_input_bus("a", 5);
+        let b = nl.add_input_bus("b", 5);
+        let ports = build_min_max(&mut nl, &a, &b, "mm", AdderStyle::CompoundCell);
+        nl.mark_output_bus(&ports.min);
+        nl.mark_output_bus(&ports.max);
+        nl.validate().unwrap();
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for (av, bv) in [(0u64, 31u64), (31, 0), (12, 12), (7, 23), (30, 29)] {
+            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+            assert_eq!(sim.bus_value(&ports.min).unwrap(), av.min(bv), "a={av} b={bv}");
+            assert_eq!(sim.bus_value(&ports.max).unwrap(), av.max(bv), "a={av} b={bv}");
+            assert_eq!(sim.net_bool(ports.a_ge_b).unwrap(), av >= bv);
+        }
+    }
+}

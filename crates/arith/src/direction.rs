@@ -1,0 +1,286 @@
+//! The Phideo "direction detector" processing unit — Figure 8 of the paper.
+//!
+//! The direction detector is part of a progressive-scan-conversion algorithm:
+//! for a pixel to be interpolated it receives three samples from the line
+//! above (`a[0..3]`) and three from the line below (`b[0..3]`), computes the
+//! absolute differences along the three candidate interpolation directions,
+//! picks the direction with the smallest difference, and falls back to the
+//! default (vertical) direction when even the best match is worse than a
+//! threshold.
+//!
+//! The exact cell-level contents of the Philips implementation are not
+//! public; this generator follows the block diagram of Figure 8 (absolute
+//! differences → find min/max → select min/max → threshold compare → final
+//! direction select). The resulting datapath has the same deep, unbalanced
+//! comparator/subtractor chains that give the paper's unit its L/F ≈ 3.8
+//! glitch ratio.
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::abs_diff::build_abs_diff;
+use crate::compare::{build_greater_equal, build_min_max};
+use crate::style::AdderStyle;
+
+/// Interpolation-direction codes produced by the detector, LSB first on the
+/// `direction` bus: `00` = left diagonal, `01` = vertical (default), `10` =
+/// right diagonal.
+pub const DIRECTION_LEFT: u64 = 0;
+/// Vertical / default direction code.
+pub const DIRECTION_VERTICAL: u64 = 1;
+/// Right-diagonal direction code.
+pub const DIRECTION_RIGHT: u64 = 2;
+
+/// The generated direction-detector circuit and its ports.
+#[derive(Debug, Clone)]
+pub struct DirectionDetector {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Samples from the line above, three buses of `width` bits.
+    pub a: [Bus; 3],
+    /// Samples from the line below, three buses of `width` bits.
+    pub b: [Bus; 3],
+    /// Match threshold input bus.
+    pub threshold: Bus,
+    /// Selected interpolation direction (2 bits, see the `DIRECTION_*`
+    /// constants).
+    pub direction: Bus,
+    /// Smallest directional difference.
+    pub min: Bus,
+    /// Largest directional difference.
+    pub max: Bus,
+    /// High when the best match beat the threshold (so a diagonal direction
+    /// may be selected).
+    pub below_threshold: NetId,
+}
+
+impl DirectionDetector {
+    /// Builds a direction detector for `width`-bit samples with registered
+    /// data inputs (the 6·`width` input flipflops correspond to the 48
+    /// flipflops of the least-retimed layout in Table 3 of the paper).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self::with_options(width, true, AdderStyle::CompoundCell)
+    }
+
+    /// Builds a direction detector, optionally without input registers and
+    /// with a chosen adder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than 2.
+    #[must_use]
+    pub fn with_options(width: usize, register_inputs: bool, style: AdderStyle) -> Self {
+        assert!(width >= 2, "sample width must be at least 2 bits");
+        let mut nl = Netlist::new(format!("direction_detector_w{width}"));
+
+        let a_in: Vec<Bus> = (0..3).map(|i| nl.add_input_bus(&format!("a{i}"), width)).collect();
+        let b_in: Vec<Bus> = (0..3).map(|i| nl.add_input_bus(&format!("b{i}"), width)).collect();
+        let threshold = nl.add_input_bus("threshold", width);
+
+        let (a, b): (Vec<Bus>, Vec<Bus>) = if register_inputs {
+            (
+                a_in.iter()
+                    .enumerate()
+                    .map(|(i, bus)| nl.register_bus(bus, &format!("a{i}_q")))
+                    .collect(),
+                b_in.iter()
+                    .enumerate()
+                    .map(|(i, bus)| nl.register_bus(bus, &format!("b{i}_q")))
+                    .collect(),
+            )
+        } else {
+            (a_in.clone(), b_in.clone())
+        };
+
+        // Stage 1: absolute differences along the three candidate
+        // interpolation directions.
+        let d_left = build_abs_diff(&mut nl, &a[0], &b[2], "d_left", style);
+        let d_vert = build_abs_diff(&mut nl, &a[1], &b[1], "d_vert", style);
+        let d_right = build_abs_diff(&mut nl, &a[2], &b[0], "d_right", style);
+
+        // Stage 2: find and select min/max over the three differences.
+        let lm = build_min_max(&mut nl, &d_left.magnitude, &d_vert.magnitude, "lm", style);
+        let min3 = build_min_max(&mut nl, &lm.min, &d_right.magnitude, "min3", style);
+        let max3 = build_min_max(&mut nl, &lm.max, &d_right.magnitude, "max3", style);
+        let min = min3.min.clone();
+        let max = max3.max.clone();
+
+        // Stage 3: direction of the minimum difference.
+        // lm.a_ge_b        : left >= vertical  -> best of (left, vertical) is vertical
+        // min3.a_ge_b      : min(left, vert) >= right -> overall best is right
+        let best_is_right = min3.a_ge_b;
+        let not_right = nl.inv(best_is_right, "not_right");
+        let dir0_raw = nl.and2(not_right, lm.a_ge_b, "dir0_raw");
+        let dir1_raw = nl.buf(best_is_right, "dir1_raw");
+
+        // Stage 4: threshold compare — fall back to the vertical direction
+        // when even the best match is not good enough.
+        let min_ge_threshold = build_greater_equal(&mut nl, &min, &threshold, "thr", style);
+        let below_threshold = nl.inv(min_ge_threshold, "below_threshold");
+        let default0 = nl.constant(true, "default_dir0");
+        let default1 = nl.constant(false, "default_dir1");
+        let dir0 = nl.mux2(below_threshold, default0, dir0_raw, "direction[0]");
+        let dir1 = nl.mux2(below_threshold, default1, dir1_raw, "direction[1]");
+        let direction = Bus::new(vec![dir0, dir1]);
+
+        nl.mark_output_bus(&direction);
+        nl.mark_output_bus(&min);
+        nl.mark_output_bus(&max);
+        nl.mark_output(below_threshold);
+
+        let a: [Bus; 3] = [a_in[0].clone(), a_in[1].clone(), a_in[2].clone()];
+        let b: [Bus; 3] = [b_in[0].clone(), b_in[1].clone(), b_in[2].clone()];
+        DirectionDetector {
+            netlist: nl,
+            a,
+            b,
+            threshold,
+            direction,
+            min,
+            max,
+            below_threshold,
+        }
+    }
+
+    /// Sample width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a[0].width()
+    }
+
+    /// Reference model of the detector, for verification: returns
+    /// `(direction, min, max, below_threshold)` for the given samples.
+    #[must_use]
+    pub fn reference(a: [u64; 3], b: [u64; 3], threshold: u64) -> (u64, u64, u64, bool) {
+        let d_left = a[0].abs_diff(b[2]);
+        let d_vert = a[1].abs_diff(b[1]);
+        let d_right = a[2].abs_diff(b[0]);
+        // Mirror the hardware's tie-breaking exactly: ">=" prefers the
+        // second operand of each comparison.
+        let (lm_min, lm_is_vert) =
+            if d_left >= d_vert { (d_vert, true) } else { (d_left, false) };
+        let (min, best_is_right) =
+            if lm_min >= d_right { (d_right, true) } else { (lm_min, false) };
+        let max = d_left.max(d_vert).max(d_right);
+        let below = min < threshold;
+        let direction = if !below {
+            DIRECTION_VERTICAL
+        } else if best_is_right {
+            DIRECTION_RIGHT
+        } else if lm_is_vert {
+            DIRECTION_VERTICAL
+        } else {
+            DIRECTION_LEFT
+        };
+        (direction, min, max, below)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drive(
+        det: &DirectionDetector,
+        a: [u64; 3],
+        b: [u64; 3],
+        threshold: u64,
+    ) -> InputAssignment {
+        let mut v = InputAssignment::new();
+        for i in 0..3 {
+            v.set_bus(&det.a[i], a[i]);
+            v.set_bus(&det.b[i], b[i]);
+        }
+        v.set_bus(&det.threshold, threshold);
+        v
+    }
+
+    #[test]
+    fn matches_the_reference_model_on_random_vectors() {
+        let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
+        det.netlist.validate().unwrap();
+        let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = [rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256)];
+            let b = [rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256)];
+            let threshold = rng.gen_range(0..256);
+            sim.step(drive(&det, a, b, threshold)).unwrap();
+            let (dir, min, max, below) = DirectionDetector::reference(a, b, threshold);
+            assert_eq!(sim.bus_value(&det.direction).unwrap(), dir, "a={a:?} b={b:?} t={threshold}");
+            assert_eq!(sim.bus_value(&det.min).unwrap(), min);
+            assert_eq!(sim.bus_value(&det.max).unwrap(), max);
+            assert_eq!(sim.net_bool(det.below_threshold).unwrap(), below);
+        }
+    }
+
+    #[test]
+    fn registered_variant_has_one_cycle_of_latency_and_48_flipflops() {
+        let det = DirectionDetector::new(8);
+        assert_eq!(det.netlist.dff_count(), 48);
+        assert_eq!(det.width(), 8);
+        let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
+        let a = [10, 20, 30];
+        let b = [30, 25, 10];
+        let threshold = 4;
+        sim.step(drive(&det, a, b, threshold)).unwrap();
+        sim.step(drive(&det, a, b, threshold)).unwrap();
+        let (dir, min, max, below) = DirectionDetector::reference(a, b, threshold);
+        assert_eq!(sim.bus_value(&det.direction).unwrap(), dir);
+        assert_eq!(sim.bus_value(&det.min).unwrap(), min);
+        assert_eq!(sim.bus_value(&det.max).unwrap(), max);
+        assert_eq!(sim.net_bool(det.below_threshold).unwrap(), below);
+    }
+
+    #[test]
+    fn default_direction_wins_when_threshold_is_zero() {
+        // threshold = 0 means no difference can be "below threshold", so the
+        // detector must always fall back to the vertical default.
+        let det = DirectionDetector::with_options(6, false, AdderStyle::CompoundCell);
+        let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = [rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..64)];
+            let b = [rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..64)];
+            sim.step(drive(&det, a, b, 0)).unwrap();
+            assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_VERTICAL);
+            assert!(!sim.net_bool(det.below_threshold).unwrap());
+        }
+    }
+
+    #[test]
+    fn obvious_directional_matches_are_detected() {
+        let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
+        let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
+        // Perfect left-diagonal match: a0 == b2, others far apart.
+        sim.step(drive(&det, [100, 0, 0], [200, 200, 100], 10)).unwrap();
+        assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_LEFT);
+        // Perfect right-diagonal match: a2 == b0.
+        sim.step(drive(&det, [0, 0, 150], [150, 200, 200], 10)).unwrap();
+        assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_RIGHT);
+        // Perfect vertical match.
+        sim.step(drive(&det, [0, 77, 0], [200, 77, 200], 10)).unwrap();
+        assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_VERTICAL);
+    }
+
+    #[test]
+    fn gate_style_detector_also_matches_reference() {
+        let det = DirectionDetector::with_options(4, false, AdderStyle::Gates);
+        let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let a = [rng.gen_range(0..16), rng.gen_range(0..16), rng.gen_range(0..16)];
+            let b = [rng.gen_range(0..16), rng.gen_range(0..16), rng.gen_range(0..16)];
+            let threshold = rng.gen_range(0..16);
+            sim.step(drive(&det, a, b, threshold)).unwrap();
+            let (dir, min, max, below) = DirectionDetector::reference(a, b, threshold);
+            assert_eq!(sim.bus_value(&det.direction).unwrap(), dir);
+            assert_eq!(sim.bus_value(&det.min).unwrap(), min);
+            assert_eq!(sim.bus_value(&det.max).unwrap(), max);
+            assert_eq!(sim.net_bool(det.below_threshold).unwrap(), below);
+        }
+    }
+}

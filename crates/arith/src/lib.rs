@@ -1,0 +1,48 @@
+//! # glitch-arith
+//!
+//! Gate-level generators for the circuits the DATE'95 glitch paper
+//! evaluates:
+//!
+//! * [`RippleCarryAdder`] — the N-bit adder of section 3 (probability
+//!   analysis and the Figure 5 histogram),
+//! * [`ArrayMultiplier`] and [`WallaceTreeMultiplier`] — the delay-imbalance
+//!   comparison of section 4.1 (Tables 1 and 2),
+//! * [`DirectionDetector`] — the Phideo video-processing unit of section 4.2
+//!   and the retiming/power experiment of section 5,
+//! * reusable datapath pieces ([`build_rca`], [`build_abs_diff`],
+//!   [`build_min_max`], …) for composing further circuits.
+//!
+//! Every generator produces a plain [`glitch_netlist::Netlist`] plus named
+//! port buses, so the circuits can be simulated, retimed and power-analysed
+//! by the other crates in the workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_arith::{AdderStyle, RippleCarryAdder};
+//!
+//! let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+//! assert_eq!(adder.a.width(), 8);
+//! assert_eq!(adder.sum.width(), 8);
+//! assert_eq!(adder.netlist.dff_count(), 0);
+//! adder.netlist.validate().unwrap();
+//! ```
+
+mod abs_diff;
+mod adders;
+mod array_mult;
+mod cells;
+mod compare;
+mod direction;
+mod rca;
+mod style;
+mod wallace;
+
+pub use abs_diff::{build_abs_diff, build_subtractor, AbsDiffPorts, SubtractorPorts};
+pub use adders::{CarryLookaheadAdder, CarrySelectAdder};
+pub use array_mult::ArrayMultiplier;
+pub use compare::{build_greater_equal, build_min_max, MinMaxPorts};
+pub use direction::DirectionDetector;
+pub use rca::{build_rca, RcaPorts, RippleCarryAdder};
+pub use style::AdderStyle;
+pub use wallace::WallaceTreeMultiplier;

@@ -1,0 +1,180 @@
+//! Ripple-carry adders.
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::cells::full_adder_bit;
+use crate::style::AdderStyle;
+
+/// Ports of a ripple-carry adder built into an existing netlist by
+/// [`build_rca`].
+#[derive(Debug, Clone)]
+pub struct RcaPorts {
+    /// Sum bits, LSB first.
+    pub sum: Bus,
+    /// Internal carry nets `C1..CN` (carry out of each full adder), LSB
+    /// first. `carries.bit(i)` is the carry out of full adder `FAi`.
+    pub carries: Bus,
+    /// Final carry out (same net as the last element of `carries`).
+    pub cout: NetId,
+}
+
+/// Builds an N-bit ripple-carry adder `sum = a + b + cin` into an existing
+/// netlist and returns its ports. `a` and `b` must have the same width.
+///
+/// # Panics
+///
+/// Panics if the buses are empty or have different widths.
+pub fn build_rca(
+    nl: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+    cin: NetId,
+    prefix: &str,
+    style: AdderStyle,
+) -> RcaPorts {
+    assert!(!a.bits().is_empty(), "adder width must be at least 1");
+    assert_eq!(a.width(), b.width(), "operand widths differ");
+    let mut sum_bits = Vec::with_capacity(a.width());
+    let mut carry_bits = Vec::with_capacity(a.width());
+    let mut carry = cin;
+    for i in 0..a.width() {
+        let (s, c) =
+            full_adder_bit(nl, a.bit(i), b.bit(i), carry, &format!("{prefix}_fa{i}"), style);
+        sum_bits.push(s);
+        carry_bits.push(c);
+        carry = c;
+    }
+    RcaPorts { sum: Bus::new(sum_bits), carries: Bus::new(carry_bits), cout: carry }
+}
+
+/// A standalone N-bit ripple-carry adder circuit with primary-input operands
+/// — the test vehicle of section 3 of the paper.
+#[derive(Debug, Clone)]
+pub struct RippleCarryAdder {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Operand A input bus.
+    pub a: Bus,
+    /// Operand B input bus.
+    pub b: Bus,
+    /// Carry-in input.
+    pub cin: NetId,
+    /// Sum output bus.
+    pub sum: Bus,
+    /// Internal carries `C1..CN`.
+    pub carries: Bus,
+    /// Carry out.
+    pub cout: NetId,
+}
+
+impl RippleCarryAdder {
+    /// Builds an `bits`-bit ripple-carry adder whose operands are primary
+    /// inputs (new values arrive at the start of every clock cycle, exactly
+    /// the unit-delay setting of section 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn new(bits: usize, style: AdderStyle) -> Self {
+        let mut nl = Netlist::new(format!("rca{bits}"));
+        let a = nl.add_input_bus("a", bits);
+        let b = nl.add_input_bus("b", bits);
+        let cin = nl.add_input("cin");
+        let ports = build_rca(&mut nl, &a, &b, cin, "add", style);
+        nl.mark_output_bus(&ports.sum);
+        nl.mark_output(ports.cout);
+        RippleCarryAdder {
+            netlist: nl,
+            a,
+            b,
+            cin,
+            sum: ports.sum,
+            carries: ports.carries,
+            cout: ports.cout,
+        }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::{ClockedSimulator, ExhaustiveStimulus, InputAssignment, StimulusProgram, UnitDelay};
+
+    fn check_functionality(bits: usize, style: AdderStyle) {
+        let adder = RippleCarryAdder::new(bits, style);
+        adder.netlist.validate().unwrap();
+        let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
+        let mut gen = ExhaustiveStimulus::new(vec![adder.a.clone(), adder.b.clone()]);
+        while let Some(mut vector) = gen.next_vector() {
+            vector.set(adder.cin, false);
+            sim.step(vector).unwrap();
+            let a = sim.bus_value(&adder.a).unwrap();
+            let b = sim.bus_value(&adder.b).unwrap();
+            let sum = sim.bus_value(&adder.sum).unwrap();
+            let cout = u64::from(sim.net_bool(adder.cout).unwrap());
+            assert_eq!(sum + (cout << bits), a + b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn compound_cell_adder_is_functionally_correct() {
+        check_functionality(4, AdderStyle::CompoundCell);
+    }
+
+    #[test]
+    fn gate_level_adder_is_functionally_correct() {
+        check_functionality(4, AdderStyle::Gates);
+    }
+
+    #[test]
+    fn carry_in_is_honoured() {
+        let adder = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
+        let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
+        sim.step(
+            InputAssignment::new()
+                .with_bus(&adder.a, 13)
+                .with_bus(&adder.b, 29)
+                .with(adder.cin, true),
+        )
+        .unwrap();
+        assert_eq!(sim.bus_value(&adder.sum).unwrap(), 43);
+    }
+
+    #[test]
+    fn structure_matches_width() {
+        use glitch_netlist::CellKind;
+        let adder = RippleCarryAdder::new(16, AdderStyle::CompoundCell);
+        let stats = adder.netlist.stats();
+        assert_eq!(stats.count_of(CellKind::FullAdder), 16);
+        assert_eq!(adder.carries.width(), 16);
+        assert_eq!(adder.cout, adder.carries.bit(15));
+        // The ripple chain is the critical path: depth equals the bit count.
+        assert_eq!(adder.netlist.combinational_depth().unwrap(), 16);
+        assert_eq!(adder.width(), 16);
+    }
+
+    #[test]
+    fn gate_style_has_no_compound_cells() {
+        use glitch_netlist::CellKind;
+        let adder = RippleCarryAdder::new(8, AdderStyle::Gates);
+        let stats = adder.netlist.stats();
+        assert_eq!(stats.count_of(CellKind::FullAdder), 0);
+        assert_eq!(stats.count_of(CellKind::Xor), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_width_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let cin = nl.add_input("cin");
+        let empty = Bus::new(vec![]);
+        let _ = build_rca(&mut nl, &empty, &empty, cin, "x", AdderStyle::CompoundCell);
+    }
+}

@@ -1,0 +1,34 @@
+//! Structural style of adder cells.
+
+/// How full adders (and half adders) are instantiated by the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdderStyle {
+    /// One compound `FA`/`HA` cell per bit. This matches the paper's
+    /// "multiplier cell" abstraction and lets a delay model give the sum and
+    /// carry outputs different delays (`d_sum = 2·d_carry`, Table 2).
+    #[default]
+    CompoundCell,
+    /// Expand every adder into XOR/AND/OR gates. Useful when a strictly
+    /// gate-level netlist is wanted (e.g. to stress the retimer with more
+    /// vertices).
+    Gates,
+}
+
+impl AdderStyle {
+    /// All supported styles, for parameter sweeps.
+    #[must_use]
+    pub fn all() -> [AdderStyle; 2] {
+        [AdderStyle::CompoundCell, AdderStyle::Gates]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_compound() {
+        assert_eq!(AdderStyle::default(), AdderStyle::CompoundCell);
+        assert_eq!(AdderStyle::all().len(), 2);
+    }
+}

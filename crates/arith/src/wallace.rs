@@ -1,0 +1,214 @@
+//! Wallace-tree multiplier — Figure 7 of the paper.
+//!
+//! The Wallace tree is the "balanced" architecture of the section 4.1
+//! comparison: all partial products are generated in parallel, reduced by
+//! layers of carry-save (3:2) compressors whose depth grows only
+//! logarithmically with the operand width, and summed by one final
+//! ripple-carry adder. Because all paths through the reduction tree have
+//! nearly the same length, far fewer useless transitions occur than in the
+//! array multiplier.
+
+use glitch_netlist::{Bus, NetId, Netlist};
+
+use crate::cells::{full_adder_bit, half_adder_bit};
+use crate::rca::build_rca;
+use crate::style::AdderStyle;
+
+/// An unsigned N×N Wallace-tree multiplier.
+#[derive(Debug, Clone)]
+pub struct WallaceTreeMultiplier {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Multiplicand input bus.
+    pub x: Bus,
+    /// Multiplier input bus.
+    pub y: Bus,
+    /// Product output bus, `2N` bits, LSB first.
+    pub product: Bus,
+    /// Number of carry-save reduction layers that were needed.
+    pub reduction_layers: usize,
+}
+
+impl WallaceTreeMultiplier {
+    /// Builds an `bits × bits` Wallace-tree multiplier for unsigned
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is smaller than 2.
+    #[must_use]
+    pub fn new(bits: usize, style: AdderStyle) -> Self {
+        assert!(bits >= 2, "wallace multiplier needs at least 2 bits");
+        let n = bits;
+        let width = 2 * n;
+        let mut nl = Netlist::new(format!("wallace_mult_{n}x{n}"));
+        let x = nl.add_input_bus("x", n);
+        let y = nl.add_input_bus("y", n);
+
+        // Partial products grouped into columns by weight. Columns above
+        // `width - 1` can only ever carry bits that are provably zero (the
+        // product fits in 2N bits); they are kept so the netlist stays
+        // structurally complete but are not part of the product.
+        let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); width + 1];
+        for i in 0..n {
+            for j in 0..n {
+                let pp = nl.and2(y.bit(i), x.bit(j), &format!("pp_{i}_{j}"));
+                columns[i + j].push(pp);
+            }
+        }
+
+        fn push_bit(columns: &mut Vec<Vec<NetId>>, weight: usize, bit: NetId) {
+            while columns.len() <= weight {
+                columns.push(Vec::new());
+            }
+            columns[weight].push(bit);
+        }
+
+        // Carry-save reduction: compress every column with full adders
+        // (3 bits -> sum + carry) and half adders (2 bits) until no column
+        // holds more than two bits.
+        let mut layers = 0usize;
+        while columns.iter().any(|c| c.len() > 2) {
+            layers += 1;
+            let mut next: Vec<Vec<NetId>> = vec![Vec::new(); columns.len()];
+            for (w, col) in columns.iter().enumerate() {
+                let mut idx = 0usize;
+                while col.len() - idx >= 3 {
+                    let (s, c) = full_adder_bit(
+                        &mut nl,
+                        col[idx],
+                        col[idx + 1],
+                        col[idx + 2],
+                        &format!("csa{layers}_{w}_{idx}"),
+                        style,
+                    );
+                    push_bit(&mut next, w, s);
+                    push_bit(&mut next, w + 1, c);
+                    idx += 3;
+                }
+                if col.len() - idx == 2 {
+                    let (s, c) = half_adder_bit(
+                        &mut nl,
+                        col[idx],
+                        col[idx + 1],
+                        &format!("ha{layers}_{w}_{idx}"),
+                        style,
+                    );
+                    push_bit(&mut next, w, s);
+                    push_bit(&mut next, w + 1, c);
+                } else if col.len() - idx == 1 {
+                    push_bit(&mut next, w, col[idx]);
+                }
+            }
+            columns = next;
+        }
+
+        // Final carry-propagate addition of the two remaining rows. Columns
+        // below the first two-bit column are already final product bits.
+        let zero = nl.constant(false, "zero");
+        let first_wide = columns.iter().take(width).position(|c| c.len() == 2).unwrap_or(width);
+        let mut product_bits: Vec<NetId> = Vec::with_capacity(width);
+        for col in columns.iter().take(first_wide) {
+            product_bits.push(col.first().copied().unwrap_or(zero));
+        }
+        if first_wide < width {
+            let a_bits: Vec<NetId> = (first_wide..width)
+                .map(|w| columns[w].first().copied().unwrap_or(zero))
+                .collect();
+            let b_bits: Vec<NetId> =
+                (first_wide..width).map(|w| columns[w].get(1).copied().unwrap_or(zero)).collect();
+            let final_add =
+                build_rca(&mut nl, &Bus::new(a_bits), &Bus::new(b_bits), zero, "final", style);
+            product_bits.extend(final_add.sum.bits().iter().copied());
+        }
+
+        let product = Bus::new(product_bits);
+        nl.mark_output_bus(&product);
+        WallaceTreeMultiplier { netlist: nl, x, y, product, reduction_layers: layers }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.x.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array_mult::ArrayMultiplier;
+    use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exhaustive_4x4_products_are_exact() {
+        let mult = WallaceTreeMultiplier::new(4, AdderStyle::CompoundCell);
+        mult.netlist.validate().unwrap();
+        assert_eq!(mult.product.width(), 8);
+        let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_8x8_products_are_exact_in_both_styles() {
+        for style in AdderStyle::all() {
+            let mult = WallaceTreeMultiplier::new(8, style);
+            let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
+            let mut rng = StdRng::seed_from_u64(23);
+            for _ in 0..100 {
+                let a: u64 = rng.gen_range(0..256);
+                let b: u64 = rng.gen_range(0..256);
+                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b} ({style:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn random_16x16_products_are_exact() {
+        let mult = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
+        let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a: u64 = rng.gen_range(0..65_536);
+            let b: u64 = rng.gen_range(0..65_536);
+            sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+            assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn tree_is_no_deeper_than_the_array_and_reduction_is_logarithmic() {
+        // Both architectures end in a ripple-carry adder, so total depth is
+        // comparable at 8x8; the structural difference that matters for
+        // glitches is the balanced, logarithmic carry-save reduction versus
+        // the array's linear row-by-row ripple. At 16x16 the gap in depth
+        // becomes visible too.
+        let wallace8 = WallaceTreeMultiplier::new(8, AdderStyle::CompoundCell);
+        let array8 = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+        assert!(
+            wallace8.netlist.combinational_depth().unwrap()
+                <= array8.netlist.combinational_depth().unwrap()
+        );
+        assert!(wallace8.reduction_layers >= 3);
+        assert!(wallace8.reduction_layers <= 6);
+        assert_eq!(wallace8.width(), 8);
+
+        let wallace16 = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
+        let array16 = ArrayMultiplier::new(16, AdderStyle::CompoundCell);
+        assert!(
+            wallace16.netlist.combinational_depth().unwrap()
+                <= array16.netlist.combinational_depth().unwrap()
+        );
+        // The carry-save reduction is logarithmic in the operand width (the
+        // array's equivalent stage is linear: 15 rows at 16x16).
+        assert!(wallace16.reduction_layers <= 8);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the per-table experiment kernels (scaled-down
+//! vector counts; the `exp_*` binaries run the paper-sized versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glitch_bench::experiments::{
+    direction_detector_activity, figure5, figure9, table1, table2, table3_power_sweep, worst_case,
+};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("e1_worst_case_4bit", |b| b.iter(|| worst_case(4, 0).observed_max));
+    group.bench_function("e3_figure5_16bit_200v", |b| {
+        b.iter(|| figure5(16, 200).totals.transitions)
+    });
+    group.bench_function("e4_table1_100v", |b| b.iter(|| table1(100).len()));
+    group.bench_function("e5_table2_100v", |b| b.iter(|| table2(100).len()));
+    group.bench_function("e6_direction_detector_200v", |b| {
+        b.iter(|| direction_detector_activity(200).totals.transitions)
+    });
+    group.bench_function("e7_power_sweep_100v", |b| {
+        b.iter(|| table3_power_sweep(100, &[1, 4, 8]).optimum())
+    });
+    group.bench_function("e8_figure9_100v", |b| b.iter(|| figure9(100).unbalanced_useless));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the retiming and pipelining engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glitch_core::arith::{AdderStyle, ArrayMultiplier, DirectionDetector};
+use glitch_core::retime::{delay_imbalance, pipeline_netlist, PipelineOptions, RetimingGraph};
+
+fn bench_retiming(c: &mut Criterion) {
+    let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
+    let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+
+    let mut group = c.benchmark_group("pipelining");
+    for ranks in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("direction_detector", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                pipeline_netlist(&det.netlist, r, PipelineOptions::default())
+                    .expect("pipelines")
+                    .flipflop_count
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("delay_imbalance_array8", |b| {
+        b.iter(|| delay_imbalance(&mult.netlist).expect("valid"))
+    });
+
+    c.bench_function("retiming_graph_extraction_detector", |b| {
+        b.iter(|| RetimingGraph::from_netlist(&det.netlist, |_| 1).expect("valid").0.clock_period())
+    });
+
+    c.bench_function("minimum_period_retiming_detector", |b| {
+        let (graph, _) = RetimingGraph::from_netlist(&det.netlist, |_| 1).expect("valid");
+        b.iter(|| graph.retime_minimum_period().expect("feasible").period)
+    });
+}
+
+criterion_group!(benches, bench_retiming);
+criterion_main!(benches);

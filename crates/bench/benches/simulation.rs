@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the event-driven simulator: cycles per second on
+//! the paper's circuits under the unit-delay model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glitch_core::arith::{
+    AdderStyle, ArrayMultiplier, DirectionDetector, RippleCarryAdder, WallaceTreeMultiplier,
+};
+use glitch_core::netlist::{Bus, Netlist};
+use glitch_core::sim::{ClockedSimulator, RandomStimulus, UnitDelay};
+
+const CYCLES: u64 = 50;
+
+fn run(netlist: &Netlist, buses: Vec<Bus>) -> u64 {
+    let mut sim = ClockedSimulator::new(netlist, UnitDelay).expect("valid netlist");
+    let stim = RandomStimulus::new(buses, CYCLES, 1);
+    let stats = sim.run(stim).expect("settles");
+    stats.iter().map(|s| s.transitions).sum()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_delay_simulation");
+    group.throughput(Throughput::Elements(CYCLES));
+
+    let adder = RippleCarryAdder::new(16, AdderStyle::CompoundCell);
+    group.bench_function(BenchmarkId::new("rca", 16), |b| {
+        b.iter(|| run(&adder.netlist, vec![adder.a.clone(), adder.b.clone()]))
+    });
+
+    for bits in [8usize, 16] {
+        let array = ArrayMultiplier::new(bits, AdderStyle::CompoundCell);
+        group.bench_function(BenchmarkId::new("array_multiplier", bits), |b| {
+            b.iter(|| run(&array.netlist, vec![array.x.clone(), array.y.clone()]))
+        });
+        let wallace = WallaceTreeMultiplier::new(bits, AdderStyle::CompoundCell);
+        group.bench_function(BenchmarkId::new("wallace_multiplier", bits), |b| {
+            b.iter(|| run(&wallace.netlist, vec![wallace.x.clone(), wallace.y.clone()]))
+        });
+    }
+
+    let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
+    let mut det_buses: Vec<Bus> = det.a.iter().cloned().collect();
+    det_buses.extend(det.b.iter().cloned());
+    det_buses.push(det.threshold.clone());
+    group.bench_function("direction_detector", |b| {
+        b.iter(|| run(&det.netlist, det_buses.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs every experiment at reduced vector counts — a quick end-to-end
+//! regeneration of all tables and figures. Use the individual `exp_*`
+//! binaries for the paper-sized runs.
+
+use glitch_bench::experiments::{
+    direction_detector_activity, figure5, figure9, multiplier_table, table1, table2,
+    table3_power_sweep, worst_case,
+};
+
+fn main() {
+    println!("== E1: worst case (Figure 3) ==");
+    let wc = worst_case(4, 0);
+    println!("4-bit adder: observed max {} transitions, bound {}\n", wc.observed_max, wc.bound);
+
+    println!("== E3: Figure 5 (1000 vectors) ==");
+    let fig = figure5(16, 1000);
+    println!(
+        "totals: {} transitions, L/F = {:.2} (analytic {:.2})\n",
+        fig.totals.transitions,
+        fig.totals.useless_to_useful(),
+        fig.expectation.useless_to_useful()
+    );
+
+    println!("== E4: Table 1 (200 vectors) ==");
+    println!("{}", multiplier_table(&table1(200)));
+
+    println!("== E5: Table 2 (200 vectors) ==");
+    println!("{}", multiplier_table(&table2(200)));
+
+    println!("== E6: direction detector (500 vectors) ==");
+    let det = direction_detector_activity(500);
+    println!("L/F = {:.2}, balance factor {:.1}x\n", det.totals.useless_to_useful(), det.balance_reduction_factor);
+
+    println!("== E7: Table 3 / Figure 10 (200 vectors) ==");
+    let sweep = table3_power_sweep(200, &[1, 2, 4, 8, 16]);
+    println!("{sweep}");
+    println!("interior minimum: {}\n", sweep.has_interior_minimum());
+
+    println!("== E8: Figure 9 ==");
+    let fig9 = figure9(200);
+    println!(
+        "unbalanced useless {} -> balanced useless {}",
+        fig9.unbalanced_useless, fig9.balanced_useless
+    );
+}

@@ -1,0 +1,19 @@
+//! Experiment E6 — §4.2: transition activity of the Phideo direction
+//! detector over 4320 random inputs.
+
+use glitch_bench::experiments::direction_detector_activity;
+
+fn main() {
+    println!("E6: direction detector, 4320 random inputs, unit delay\n");
+    let result = direction_detector_activity(4320);
+    println!("combinational cells                 : {}", result.cells);
+    println!("number of useful transitions        : {}", result.totals.useful);
+    println!("number of useless transitions       : {}", result.totals.useless);
+    println!("ratio useless/useful                : {:.2}", result.totals.useless_to_useful());
+    println!(
+        "activity reduction from balancing   : {:.1}x (paper: 1 + 3.8 = 4.8x)",
+        result.balance_reduction_factor
+    );
+    println!();
+    println!("paper (section 4.2): 272842 useful, 1033970 useless, L/F = 3.79");
+}

@@ -1,0 +1,26 @@
+//! Experiment E3 — Figure 5: per-bit useful/useless transition histogram of
+//! a 16-bit ripple-carry adder over 4000 random inputs, plus the totals
+//! quoted in section 3.3 of the paper (119002 / 63334 / 55668, L/F = 0.88).
+
+use glitch_bench::experiments::figure5;
+
+fn main() {
+    let fig = figure5(16, 4000);
+    println!("E3: Figure 5 — 16-bit ripple-carry adder, 4000 random inputs\n");
+    println!("{}", fig.to_table());
+    println!(
+        "simulated totals : {} transitions, {} useful, {} useless, L/F = {:.2}",
+        fig.totals.transitions,
+        fig.totals.useful,
+        fig.totals.useless,
+        fig.totals.useless_to_useful()
+    );
+    println!(
+        "analytic totals  : {:.0} transitions, {:.0} useful, {:.0} useless, L/F = {:.2}",
+        fig.expectation.total_transitions(),
+        fig.expectation.total_useful(),
+        fig.expectation.total_useless(),
+        fig.expectation.useless_to_useful()
+    );
+    println!("paper (sect. 3.3): 119002 transitions, 63334 useful, 55668 useless, L/F = 0.88");
+}

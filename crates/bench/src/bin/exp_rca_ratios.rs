@@ -1,0 +1,10 @@
+//! Experiment E2 — equations 2–7: simulated versus closed-form transition
+//! ratios of every sum and carry bit of a ripple-carry adder.
+
+use glitch_bench::experiments::rca_ratio_table;
+
+fn main() {
+    println!("E2: average transition ratios of a 16-bit ripple-carry adder, 4000 random vectors");
+    println!("    (simulated unit-delay model versus equations 2-7 of the paper)\n");
+    println!("{}", rca_ratio_table(16, 4000));
+}

@@ -1,0 +1,14 @@
+//! Experiment E4 — Table 1: transition activity of 8x8 and 16x16 array
+//! versus Wallace-tree multipliers for 500 random inputs (unit delay).
+
+use glitch_bench::experiments::{multiplier_table, table1};
+
+fn main() {
+    println!("E4: Table 1 — transition activity for 500 random inputs (unit delay)\n");
+    println!("{}", multiplier_table(&table1(500)));
+    println!("paper Table 1 (for reference):");
+    println!("  array   8x8 : total  58858, useful  23418, useless  35440, L/F = 1.51");
+    println!("  wallace 8x8 : total  50824, useful  39608, useless  11216, L/F = 0.28");
+    println!("  array 16x16 : total 438575, useful 102845, useless 335730, L/F = 3.26");
+    println!("  wallace16x16: total 200380, useful 173330, useless  27050, L/F = 0.16");
+}

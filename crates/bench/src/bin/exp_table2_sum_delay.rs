@@ -1,0 +1,14 @@
+//! Experiment E5 — Table 2: the 8x8 multipliers with equal cell delays
+//! versus the more realistic `d_sum = 2 · d_carry` model.
+
+use glitch_bench::experiments::{multiplier_table, table2};
+
+fn main() {
+    println!("E5: Table 2 — 8x8 multipliers, 500 random inputs, sum delay vs carry delay\n");
+    println!("{}", multiplier_table(&table2(500)));
+    println!("paper Table 2 (for reference):");
+    println!("  array   8x8, d_sum=d_carry   : useful 23552, useless 34346, L/F = 1.46");
+    println!("  array   8x8, d_sum=2*d_carry : useful 23552, useless 47340, L/F = 2.01");
+    println!("  wallace 8x8, d_sum=d_carry   : useful 38786, useless 11274, L/F = 0.29");
+    println!("  wallace 8x8, d_sum=2*d_carry : useful 38786, useless 24762, L/F = 0.64");
+}

@@ -1,0 +1,34 @@
+//! Experiment E7 — Table 3 / Figure 10: power versus pipelining depth of the
+//! direction detector, decomposed into logic, flipflop and clock power.
+
+use glitch_bench::experiments::table3_power_sweep;
+
+fn main() {
+    println!("E7: Table 3 / Figure 10 — direction detector power vs number of flipflops");
+    println!("    (5 MHz, 0.8 um / 5 V technology model, 500 random vectors per variant)\n");
+    let sweep = table3_power_sweep(500, &[1, 2, 3, 4, 6, 8, 12, 16]);
+    println!("{sweep}");
+    let best = sweep.optimum_point();
+    println!(
+        "optimum retiming for power: {} ranks, {} flipflops, {:.2} mW total",
+        best.ranks,
+        best.flipflops,
+        best.power.total() * 1e3
+    );
+    println!(
+        "interior minimum: {}",
+        if sweep.has_interior_minimum() { "yes (matches Figure 10)" } else { "no" }
+    );
+    let first = &sweep.points()[0];
+    let last = &sweep.points()[sweep.points().len() - 1];
+    println!(
+        "logic power reduction from deepest pipelining: {:.1}x (paper: 21.8/6.1 = 3.6x)",
+        first.power.logic / last.power.logic
+    );
+    println!();
+    println!("paper Table 3 (for reference):");
+    println!("  circuit 1:  48 FF, clock  3.2 pF, logic 21.8, ff 0.9, clock 0.5, total 23.2 mW");
+    println!("  circuit 2: 174 FF, clock 10.5 pF, logic  9.7, ff 3.3, clock 1.5, total 14.5 mW");
+    println!("  circuit 3: 218 FF, clock 12.8 pF, logic  7.5, ff 4.1, clock 1.8, total 13.4 mW");
+    println!("  circuit 4: 350 FF, clock 19.9 pF, logic  6.1, ff 6.6, clock 2.8, total 15.5 mW");
+}

@@ -1,0 +1,66 @@
+//! # glitch-core
+//!
+//! The top-level analysis flow of the workspace, reproducing the DATE'95
+//! paper *Analysis and Reduction of Glitches in Synchronous Networks*:
+//!
+//! * [`GlitchAnalyzer`] — simulate a netlist with random stimuli, count
+//!   transitions on every node, classify them into useful transitions and
+//!   glitches by parity evaluation, and estimate the three-component dynamic
+//!   power (combinational logic / flipflops / clock).
+//! * [`PowerExplorer`] — sweep pipelining depth on a combinational datapath
+//!   (the paper's retiming-for-power experiment): each extra register rank
+//!   eliminates glitches in the logic but adds flipflop and clock power, so
+//!   total power has an interior minimum — the *optimum retiming for power*.
+//! * [`TextTable`] — small helper to print paper-style result tables.
+//!
+//! The heavy lifting lives in the substrate crates re-exported below
+//! (`glitch-netlist`, `glitch-sim`, `glitch-activity`, `glitch-analytic`,
+//! `glitch-arith`, `glitch-retime`, `glitch-power`); this crate wires them
+//! into the workflows a user actually runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_core::{AnalysisConfig, GlitchAnalyzer};
+//! use glitch_core::arith::{AdderStyle, RippleCarryAdder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+//! let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 200, ..AnalysisConfig::default() });
+//! let analysis = analyzer
+//!     .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])?;
+//! let totals = analysis.activity.totals();
+//! assert!(totals.useless > 0, "a ripple-carry adder glitches under random inputs");
+//! assert!(analysis.power.breakdown.logic > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod analyzer;
+mod explore;
+mod table;
+
+pub use analyzer::{Analysis, AnalysisConfig, DelayConfig, GlitchAnalyzer};
+pub use explore::{ExplorationPoint, ExplorationResult, PowerExplorer};
+pub use table::TextTable;
+
+/// Re-export of the netlist substrate.
+pub use glitch_netlist as netlist;
+
+/// Re-export of the event-driven simulator.
+pub use glitch_sim as sim;
+
+/// Re-export of the transition-accounting crate.
+pub use glitch_activity as activity;
+
+/// Re-export of the closed-form ripple-carry analysis.
+pub use glitch_analytic as analytic;
+
+/// Re-export of the circuit generators.
+pub use glitch_arith as arith;
+
+/// Re-export of the retiming / pipelining engine.
+pub use glitch_retime as retime;
+
+/// Re-export of the power model.
+pub use glitch_power as power;

@@ -1,0 +1,405 @@
+//! Logic cell library: the [`CellKind`] enumeration and the [`Cell`] instance
+//! record.
+//!
+//! Cells are intentionally simple: a kind, a name, an ordered list of input
+//! nets and an ordered list of output nets. Compound cells (half adder, full
+//! adder) have more than one output; everything else has exactly one.
+
+use std::fmt;
+
+use crate::net::NetId;
+
+/// Identifier of a cell inside one [`crate::Netlist`].
+///
+/// Cell ids are dense indices assigned in creation order; they are only
+/// meaningful for the netlist that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// Returns the dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `CellId` from a raw index.
+    ///
+    /// Intended for deserialization-style use; handing an out-of-range index
+    /// to a netlist accessor will panic there, not here.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        CellId(index)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The kinds of cells understood by the simulator, the retimer and the power
+/// model.
+///
+/// Variable-arity gates (`And`, `Or`, `Nand`, `Nor`, `Xor`, `Xnor`) take two
+/// or more inputs; their arity is implied by the number of connected input
+/// nets. Compound cells have a fixed pin interface documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Constant driver (`false` = logic 0, `true` = logic 1). No inputs.
+    Const(bool),
+    /// Non-inverting buffer. 1 input, 1 output.
+    Buf,
+    /// Inverter. 1 input, 1 output.
+    Inv,
+    /// N-ary AND (N >= 2).
+    And,
+    /// N-ary OR (N >= 2).
+    Or,
+    /// N-ary NAND (N >= 2).
+    Nand,
+    /// N-ary NOR (N >= 2).
+    Nor,
+    /// N-ary XOR (N >= 2), true when an odd number of inputs are true.
+    Xor,
+    /// N-ary XNOR (N >= 2), true when an even number of inputs are true.
+    Xnor,
+    /// 2-to-1 multiplexer. Inputs `[sel, a, b]`; output is `a` when `sel` is
+    /// 0 and `b` when `sel` is 1.
+    Mux2,
+    /// 3-input majority gate (the carry function of a full adder).
+    Maj3,
+    /// Half adder. Inputs `[a, b]`; outputs `[sum, carry]`.
+    HalfAdder,
+    /// Full adder. Inputs `[a, b, cin]`; outputs `[sum, carry]`.
+    FullAdder,
+    /// Positive-edge D-flipflop on the single implicit clock.
+    /// Input `[d]`, output `[q]`. Sequential: breaks combinational paths.
+    Dff,
+}
+
+impl CellKind {
+    /// Convenience label used by [`crate::NetlistStats`] for XOR gates.
+    pub const XOR_LABEL: CellKind = CellKind::Xor;
+
+    /// Returns `true` for cells that store state across clock cycles.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// Returns `true` for purely combinational cells.
+    #[must_use]
+    pub fn is_combinational(self) -> bool {
+        !self.is_sequential()
+    }
+
+    /// Number of output pins of this cell kind.
+    #[must_use]
+    pub fn output_count(self) -> usize {
+        match self {
+            CellKind::HalfAdder | CellKind::FullAdder => 2,
+            _ => 1,
+        }
+    }
+
+    /// Fixed input arity, or `None` for variable-arity gates (which accept
+    /// two or more inputs).
+    #[must_use]
+    pub fn fixed_input_arity(self) -> Option<usize> {
+        match self {
+            CellKind::Const(_) => Some(0),
+            CellKind::Buf | CellKind::Inv | CellKind::Dff => Some(1),
+            CellKind::HalfAdder => Some(2),
+            CellKind::Mux2 | CellKind::Maj3 | CellKind::FullAdder => Some(3),
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor => None,
+        }
+    }
+
+    /// Minimum number of inputs this kind accepts.
+    #[must_use]
+    pub fn min_input_arity(self) -> usize {
+        self.fixed_input_arity().unwrap_or(2)
+    }
+
+    /// Checks whether `n` inputs is a legal arity for this kind.
+    #[must_use]
+    pub fn accepts_arity(self, n: usize) -> bool {
+        match self.fixed_input_arity() {
+            Some(k) => n == k,
+            None => n >= 2,
+        }
+    }
+
+    /// Short mnemonic used in reports and DOT output.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Const(false) => "CONST0",
+            CellKind::Const(true) => "CONST1",
+            CellKind::Buf => "BUF",
+            CellKind::Inv => "INV",
+            CellKind::And => "AND",
+            CellKind::Or => "OR",
+            CellKind::Nand => "NAND",
+            CellKind::Nor => "NOR",
+            CellKind::Xor => "XOR",
+            CellKind::Xnor => "XNOR",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::HalfAdder => "HA",
+            CellKind::FullAdder => "FA",
+            CellKind::Dff => "DFF",
+        }
+    }
+
+    /// Evaluates the combinational function of this cell for two-valued
+    /// inputs, writing one value per output pin into `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is illegal for this kind, if `outputs`
+    /// is shorter than [`CellKind::output_count`], or if called on a
+    /// sequential cell ([`CellKind::Dff`]), whose output is defined by the
+    /// clocking discipline rather than by a combinational function.
+    pub fn evaluate_into(self, inputs: &[bool], outputs: &mut [bool]) {
+        assert!(
+            self.accepts_arity(inputs.len()),
+            "cell kind {} does not accept {} inputs",
+            self.mnemonic(),
+            inputs.len()
+        );
+        assert!(
+            outputs.len() >= self.output_count(),
+            "output buffer too small for {}",
+            self.mnemonic()
+        );
+        match self {
+            CellKind::Const(v) => outputs[0] = v,
+            CellKind::Buf => outputs[0] = inputs[0],
+            CellKind::Inv => outputs[0] = !inputs[0],
+            CellKind::And => outputs[0] = inputs.iter().all(|&v| v),
+            CellKind::Or => outputs[0] = inputs.iter().any(|&v| v),
+            CellKind::Nand => outputs[0] = !inputs.iter().all(|&v| v),
+            CellKind::Nor => outputs[0] = !inputs.iter().any(|&v| v),
+            CellKind::Xor => outputs[0] = inputs.iter().filter(|&&v| v).count() % 2 == 1,
+            CellKind::Xnor => outputs[0] = inputs.iter().filter(|&&v| v).count() % 2 == 0,
+            CellKind::Mux2 => outputs[0] = if inputs[0] { inputs[2] } else { inputs[1] },
+            CellKind::Maj3 => {
+                outputs[0] = (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2]);
+            }
+            CellKind::HalfAdder => {
+                outputs[0] = inputs[0] ^ inputs[1];
+                outputs[1] = inputs[0] && inputs[1];
+            }
+            CellKind::FullAdder => {
+                outputs[0] = inputs[0] ^ inputs[1] ^ inputs[2];
+                outputs[1] =
+                    (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2]);
+            }
+            CellKind::Dff => panic!("Dff has no combinational evaluation"),
+        }
+    }
+
+    /// Evaluates the combinational function and returns the outputs as a
+    /// freshly allocated vector. Convenience wrapper around
+    /// [`CellKind::evaluate_into`]; see that method for the panic conditions.
+    #[must_use]
+    pub fn evaluate(self, inputs: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.output_count()];
+        self.evaluate_into(inputs, &mut out);
+        out
+    }
+
+    /// Approximate transistor-pair complexity of the cell, used by the power
+    /// model's default capacitance estimates and by netlist statistics.
+    ///
+    /// The numbers are standard-cell-ish gate-equivalent counts, not exact
+    /// transistor counts of any particular library.
+    #[must_use]
+    pub fn gate_equivalents(self) -> f64 {
+        match self {
+            CellKind::Const(_) => 0.0,
+            CellKind::Buf => 0.5,
+            CellKind::Inv => 0.5,
+            CellKind::And | CellKind::Or => 1.25,
+            CellKind::Nand | CellKind::Nor => 1.0,
+            CellKind::Xor | CellKind::Xnor => 2.5,
+            CellKind::Mux2 => 2.0,
+            CellKind::Maj3 => 2.0,
+            CellKind::HalfAdder => 3.0,
+            CellKind::FullAdder => 6.0,
+            CellKind::Dff => 6.0,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One cell instance inside a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    pub(crate) kind: CellKind,
+    pub(crate) name: String,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+}
+
+impl Cell {
+    /// The cell's kind.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered input nets.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Ordered output nets.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Returns `true` when this instance stores state (a D-flipflop).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.kind.is_sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_rules() {
+        assert_eq!(CellKind::Inv.fixed_input_arity(), Some(1));
+        assert_eq!(CellKind::FullAdder.fixed_input_arity(), Some(3));
+        assert_eq!(CellKind::And.fixed_input_arity(), None);
+        assert!(CellKind::And.accepts_arity(2));
+        assert!(CellKind::And.accepts_arity(5));
+        assert!(!CellKind::And.accepts_arity(1));
+        assert!(CellKind::Mux2.accepts_arity(3));
+        assert!(!CellKind::Mux2.accepts_arity(2));
+    }
+
+    #[test]
+    fn output_counts() {
+        assert_eq!(CellKind::FullAdder.output_count(), 2);
+        assert_eq!(CellKind::HalfAdder.output_count(), 2);
+        assert_eq!(CellKind::Xor.output_count(), 1);
+        assert_eq!(CellKind::Dff.output_count(), 1);
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(!CellKind::Dff.is_combinational());
+        assert!(CellKind::FullAdder.is_combinational());
+    }
+
+    #[test]
+    fn evaluate_basic_gates() {
+        assert_eq!(CellKind::And.evaluate(&[true, true]), vec![true]);
+        assert_eq!(CellKind::And.evaluate(&[true, false]), vec![false]);
+        assert_eq!(CellKind::Or.evaluate(&[false, false]), vec![false]);
+        assert_eq!(CellKind::Or.evaluate(&[false, true]), vec![true]);
+        assert_eq!(CellKind::Nand.evaluate(&[true, true]), vec![false]);
+        assert_eq!(CellKind::Nor.evaluate(&[false, false]), vec![true]);
+        assert_eq!(CellKind::Xor.evaluate(&[true, true, true]), vec![true]);
+        assert_eq!(CellKind::Xnor.evaluate(&[true, true]), vec![true]);
+        assert_eq!(CellKind::Inv.evaluate(&[true]), vec![false]);
+        assert_eq!(CellKind::Buf.evaluate(&[true]), vec![true]);
+        assert_eq!(CellKind::Const(true).evaluate(&[]), vec![true]);
+        assert_eq!(CellKind::Const(false).evaluate(&[]), vec![false]);
+    }
+
+    #[test]
+    fn evaluate_mux_and_majority() {
+        // sel = 0 selects input a (index 1).
+        assert_eq!(CellKind::Mux2.evaluate(&[false, true, false]), vec![true]);
+        // sel = 1 selects input b (index 2).
+        assert_eq!(CellKind::Mux2.evaluate(&[true, true, false]), vec![false]);
+        assert_eq!(CellKind::Maj3.evaluate(&[true, true, false]), vec![true]);
+        assert_eq!(CellKind::Maj3.evaluate(&[true, false, false]), vec![false]);
+    }
+
+    #[test]
+    fn evaluate_adders_match_arithmetic() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let ha = CellKind::HalfAdder.evaluate(&[a, b]);
+                let expect = u8::from(a) + u8::from(b);
+                assert_eq!(u8::from(ha[0]) + 2 * u8::from(ha[1]), expect);
+                for cin in [false, true] {
+                    let fa = CellKind::FullAdder.evaluate(&[a, b, cin]);
+                    let expect = u8::from(a) + u8::from(b) + u8::from(cin);
+                    assert_eq!(u8::from(fa[0]) + 2 * u8::from(fa[1]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not accept")]
+    fn evaluate_rejects_bad_arity() {
+        let _ = CellKind::FullAdder.evaluate(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no combinational evaluation")]
+    fn evaluate_rejects_dff() {
+        let _ = CellKind::Dff.evaluate(&[true]);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_enough() {
+        let kinds = [
+            CellKind::Const(false),
+            CellKind::Const(true),
+            CellKind::Buf,
+            CellKind::Inv,
+            CellKind::And,
+            CellKind::Or,
+            CellKind::Nand,
+            CellKind::Nor,
+            CellKind::Xor,
+            CellKind::Xnor,
+            CellKind::Mux2,
+            CellKind::Maj3,
+            CellKind::HalfAdder,
+            CellKind::FullAdder,
+            CellKind::Dff,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn gate_equivalents_positive_for_logic() {
+        assert!(CellKind::FullAdder.gate_equivalents() > CellKind::Inv.gate_equivalents());
+        assert_eq!(CellKind::Const(true).gate_equivalents(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Graphviz DOT export for visual inspection of generated circuits.
+
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+
+/// Options controlling [`Netlist::to_dot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Include net names as edge labels.
+    pub edge_labels: bool,
+    /// Highlight flipflops with a distinct shape.
+    pub highlight_flipflops: bool,
+    /// Left-to-right layout instead of top-down.
+    pub rankdir_lr: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { edge_labels: true, highlight_flipflops: true, rankdir_lr: true }
+    }
+}
+
+impl DotOptions {
+    /// Default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`.
+    ///
+    /// Primary inputs and outputs appear as ellipses, combinational cells as
+    /// boxes and flipflops (with the default options) as double-bordered
+    /// boxes.
+    #[must_use]
+    pub fn to_dot(&self, options: &DotOptions) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        if options.rankdir_lr {
+            let _ = writeln!(out, "  rankdir=LR;");
+        }
+        let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+        for &input in self.inputs() {
+            let _ = writeln!(
+                out,
+                "  \"net{}\" [label=\"{}\", shape=ellipse, style=filled, fillcolor=lightblue];",
+                input.index(),
+                escape(self.net(input).name())
+            );
+        }
+        for &output in self.outputs() {
+            // Output nets that are driven by cells are rendered where the
+            // driving cell's edge ends; add a terminal marker node.
+            let _ = writeln!(
+                out,
+                "  \"out{}\" [label=\"{}\", shape=ellipse, style=filled, fillcolor=lightyellow];",
+                output.index(),
+                escape(self.net(output).name())
+            );
+        }
+        for (id, cell) in self.cells() {
+            let shape = if cell.is_sequential() && options.highlight_flipflops {
+                "box, peripheries=2, style=filled, fillcolor=lightgrey"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                out,
+                "  \"cell{}\" [label=\"{}\\n{}\", shape={}];",
+                id.index(),
+                cell.kind().mnemonic(),
+                escape(cell.name()),
+                shape
+            );
+        }
+        // Edges: driver cell (or input) -> each loading cell.
+        for (net_id, net) in self.nets() {
+            let source = match net.driver() {
+                Some(pin) => format!("cell{}", pin.cell.index()),
+                None if net.is_primary_input() => format!("net{}", net_id.index()),
+                None => continue,
+            };
+            let label = if options.edge_labels {
+                format!(" [label=\"{}\"]", escape(net.name()))
+            } else {
+                String::new()
+            };
+            for load in net.loads() {
+                let _ = writeln!(out, "  \"{source}\" -> \"cell{}\"{label};", load.cell.index());
+            }
+            if net.is_primary_output() {
+                let _ = writeln!(out, "  \"{source}\" -> \"out{}\"{label};", net_id.index());
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_cells_and_edges() {
+        let mut nl = Netlist::new("dot_test");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.and2(a, b, "x");
+        let q = nl.dff(x, "q");
+        nl.mark_output(q);
+        let dot = nl.to_dot(&DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("AND"));
+        assert!(dot.contains("DFF"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("rankdir=LR"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let mut nl = Netlist::new("dot_test");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let opts = DotOptions { edge_labels: false, ..DotOptions::default() };
+        let dot = nl.to_dot(&opts);
+        assert!(!dot.contains("label=\"y\"]"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Nets (signal nodes) and pins.
+//!
+//! Every electrical node of the circuit is a [`Net`]; the paper's transition
+//! counting monitors exactly these nodes. A net has at most one driver (a
+//! cell output pin or a primary input) and any number of loads.
+
+use std::fmt;
+
+use crate::cell::CellId;
+
+/// Identifier of a net inside one [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Returns the dense index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `NetId` from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A connection point: output pin `index` of `cell` (when used as a driver)
+/// or input pin `index` of `cell` (when used as a load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// The cell this pin belongs to.
+    pub cell: CellId,
+    /// The pin position within the cell's input or output list.
+    pub index: usize,
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.cell, self.index)
+    }
+}
+
+/// One signal node of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) driver: Option<Pin>,
+    pub(crate) loads: Vec<Pin>,
+    pub(crate) is_input: bool,
+    pub(crate) is_output: bool,
+}
+
+impl Net {
+    /// The net's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell output pin driving this net, if any. Primary inputs and
+    /// not-yet-connected nets have no driver.
+    #[must_use]
+    pub fn driver(&self) -> Option<Pin> {
+        self.driver
+    }
+
+    /// The cell input pins loading this net.
+    #[must_use]
+    pub fn loads(&self) -> &[Pin] {
+        &self.loads
+    }
+
+    /// Number of cell input pins loading this net.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` when this net is a primary input of the netlist.
+    #[must_use]
+    pub fn is_primary_input(&self) -> bool {
+        self.is_input
+    }
+
+    /// `true` when this net is a primary output of the netlist.
+    #[must_use]
+    pub fn is_primary_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// `true` when the net has neither a driver nor the primary-input flag,
+    /// i.e. it would float in silicon.
+    #[must_use]
+    pub fn is_floating(&self) -> bool {
+        self.driver.is_none() && !self.is_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(
+            Pin { cell: CellId(7), index: 1 }.to_string(),
+            "c7.1"
+        );
+    }
+
+    #[test]
+    fn floating_detection() {
+        let n = Net {
+            name: "x".into(),
+            driver: None,
+            loads: vec![],
+            is_input: false,
+            is_output: false,
+        };
+        assert!(n.is_floating());
+        let i = Net { is_input: true, ..n.clone() };
+        assert!(!i.is_floating());
+    }
+}

@@ -1,0 +1,171 @@
+//! Netlist statistics: cell histograms, structural figures of merit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+
+/// Summary statistics of one [`Netlist`], as produced by
+/// [`Netlist::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    name: String,
+    cells_by_kind: BTreeMap<&'static str, usize>,
+    cell_count: usize,
+    net_count: usize,
+    dff_count: usize,
+    input_count: usize,
+    output_count: usize,
+    max_fanout: usize,
+    gate_equivalents: f64,
+    combinational_depth: Option<usize>,
+}
+
+impl NetlistStats {
+    /// Number of cells whose [`CellKind`] has the given mnemonic-equivalent
+    /// kind.
+    #[must_use]
+    pub fn count_of(&self, kind: CellKind) -> usize {
+        self.cells_by_kind.get(kind.mnemonic()).copied().unwrap_or(0)
+    }
+
+    /// Histogram of cell mnemonics to instance counts.
+    #[must_use]
+    pub fn cells_by_kind(&self) -> &BTreeMap<&'static str, usize> {
+        &self.cells_by_kind
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Total net count.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Flipflop count.
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.dff_count
+    }
+
+    /// Primary input count.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Primary output count.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.output_count
+    }
+
+    /// Largest net fanout.
+    #[must_use]
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
+    }
+
+    /// Total gate-equivalent complexity.
+    #[must_use]
+    pub fn gate_equivalents(&self) -> f64 {
+        self.gate_equivalents
+    }
+
+    /// Longest combinational path in cells, or `None` if the netlist has a
+    /// combinational loop.
+    #[must_use]
+    pub fn combinational_depth(&self) -> Option<usize> {
+        self.combinational_depth
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "netlist `{}`", self.name)?;
+        writeln!(
+            f,
+            "  cells: {}  nets: {}  flipflops: {}  inputs: {}  outputs: {}",
+            self.cell_count, self.net_count, self.dff_count, self.input_count, self.output_count
+        )?;
+        match self.combinational_depth {
+            Some(d) => writeln!(f, "  combinational depth: {d}  max fanout: {}", self.max_fanout)?,
+            None => writeln!(f, "  combinational depth: (cyclic)  max fanout: {}", self.max_fanout)?,
+        }
+        writeln!(f, "  gate equivalents: {:.1}", self.gate_equivalents)?;
+        for (kind, count) in &self.cells_by_kind {
+            writeln!(f, "    {kind:>7}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Netlist {
+    /// Computes summary statistics for this netlist.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut cells_by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (_, cell) in self.cells() {
+            *cells_by_kind.entry(cell.kind().mnemonic()).or_insert(0) += 1;
+        }
+        let max_fanout = self.nets().map(|(_, n)| n.fanout()).max().unwrap_or(0);
+        NetlistStats {
+            name: self.name().to_string(),
+            cells_by_kind,
+            cell_count: self.cell_count(),
+            net_count: self.net_count(),
+            dff_count: self.dff_count(),
+            input_count: self.inputs().len(),
+            output_count: self.outputs().len(),
+            max_fanout,
+            gate_equivalents: self.gate_equivalents(),
+            combinational_depth: self.combinational_depth().ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_full_adder() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let (s, c) = nl.full_adder(a, b, cin, "fa0");
+        nl.mark_output(s);
+        nl.mark_output(c);
+        let stats = nl.stats();
+        assert_eq!(stats.cell_count(), 1);
+        assert_eq!(stats.count_of(CellKind::FullAdder), 1);
+        assert_eq!(stats.count_of(CellKind::Xor), 0);
+        assert_eq!(stats.input_count(), 3);
+        assert_eq!(stats.output_count(), 2);
+        assert_eq!(stats.dff_count(), 0);
+        assert_eq!(stats.combinational_depth(), Some(1));
+        assert!(stats.gate_equivalents() > 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("FA"));
+        assert!(text.contains("netlist `fa`"));
+    }
+
+    #[test]
+    fn max_fanout_tracks_busiest_net() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        for i in 0..5 {
+            let x = nl.and2(a, b, &format!("x{i}"));
+            nl.mark_output(x);
+        }
+        assert_eq!(nl.stats().max_fanout(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural validation: floating nets, combinational loops, arity checks.
+
+use crate::cell::CellId;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+impl Netlist {
+    /// Checks the structural invariants the simulator and the retimer rely
+    /// on:
+    ///
+    /// * every net is either a primary input or driven by exactly one cell
+    ///   output (one-driver is enforced at construction, floating nets are
+    ///   caught here),
+    /// * every cell has a legal input arity (also enforced at construction,
+    ///   re-checked here for netlists built through lower-level means),
+    /// * there is no combinational loop, i.e. every cycle in the circuit
+    ///   graph passes through at least one D-flipflop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, net) in self.nets() {
+            if net.is_floating() && !net.loads().is_empty() {
+                return Err(NetlistError::FloatingNet(id));
+            }
+        }
+        for (id, cell) in self.cells() {
+            if !cell.kind().accepts_arity(cell.inputs().len()) {
+                return Err(NetlistError::BadArity { cell: id, got: cell.inputs().len() });
+            }
+        }
+        self.check_combinational_loops()
+    }
+
+    /// Detects combinational loops with an iterative three-colour DFS over
+    /// combinational cells only (flipflops break paths).
+    fn check_combinational_loops(&self) -> Result<(), NetlistError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.cell_count()];
+
+        for start in self.combinational_cells() {
+            if colour[start.index()] != Colour::White {
+                continue;
+            }
+            // Explicit stack of (cell, next-successor-index) to avoid
+            // recursion depth issues on deep circuits like wide multipliers.
+            let mut stack: Vec<(CellId, usize)> = vec![(start, 0)];
+            colour[start.index()] = Colour::Grey;
+            while let Some(&mut (cell, ref mut next)) = stack.last_mut() {
+                let successors = self.combinational_successors(cell);
+                if *next < successors.len() {
+                    let succ = successors[*next];
+                    *next += 1;
+                    match colour[succ.index()] {
+                        Colour::White => {
+                            colour[succ.index()] = Colour::Grey;
+                            stack.push((succ, 0));
+                        }
+                        Colour::Grey => {
+                            return Err(NetlistError::CombinationalLoop { cell: succ });
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[cell.index()] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Combinational cells driven directly by outputs of `cell`.
+    pub(crate) fn combinational_successors(&self, cell: CellId) -> Vec<CellId> {
+        let mut succ = Vec::new();
+        for &out in self.cell(cell).outputs() {
+            for load in self.net(out).loads() {
+                if !self.cell(load.cell).is_sequential() {
+                    succ.push(load.cell);
+                }
+            }
+        }
+        succ.sort_unstable();
+        succ.dedup();
+        succ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cell::CellKind;
+    use crate::error::NetlistError;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn valid_combinational_circuit_passes() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.and2(a, b, "x");
+        let y = nl.inv(x, "y");
+        nl.mark_output(y);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn floating_net_with_load_detected() {
+        let mut nl = Netlist::new("bad");
+        let floating = nl.add_net("floating");
+        let y = nl.inv(floating, "y");
+        nl.mark_output(y);
+        assert!(matches!(nl.validate(), Err(NetlistError::FloatingNet(_))));
+    }
+
+    #[test]
+    fn unused_floating_net_is_tolerated() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let _unused = nl.add_net("scratch");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        // y = and(a, z); z = inv(y)  — a purely combinational cycle.
+        let z = nl.add_net("z");
+        let y = nl.add_net("y");
+        nl.add_cell(CellKind::And, "g_and", vec![a, z], vec![y]).unwrap();
+        nl.add_cell(CellKind::Inv, "g_inv", vec![y], vec![z]).unwrap();
+        nl.mark_output(y);
+        assert!(matches!(nl.validate(), Err(NetlistError::CombinationalLoop { .. })));
+    }
+
+    #[test]
+    fn loop_broken_by_flipflop_is_legal() {
+        let mut nl = Netlist::new("counter_bit");
+        let en = nl.add_input("en");
+        // q' = q xor en with a flipflop in the loop: legal sequential logic.
+        let q = nl.add_net("q");
+        let next = nl.xor2(en, q, "next");
+        nl.add_cell(CellKind::Dff, "ff", vec![next], vec![q]).unwrap();
+        nl.mark_output(q);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("a");
+        for i in 0..50_000 {
+            cur = nl.inv(cur, &format!("n{i}"));
+        }
+        nl.mark_output(cur);
+        assert!(nl.validate().is_ok());
+    }
+}

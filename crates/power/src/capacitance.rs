@@ -1,0 +1,93 @@
+//! Per-net load capacitance estimation.
+
+use glitch_netlist::{NetId, Netlist};
+
+use crate::tech::Technology;
+
+/// Estimates the load capacitance of every net of a netlist from the
+/// technology coefficients: driver output capacitance plus the gate
+/// capacitance of every load pin plus per-fanout wiring.
+#[derive(Debug, Clone)]
+pub struct CapacitanceModel<'a> {
+    netlist: &'a Netlist,
+    tech: Technology,
+}
+
+impl<'a> CapacitanceModel<'a> {
+    /// Creates a capacitance model for a netlist in a given technology.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, tech: Technology) -> Self {
+        CapacitanceModel { netlist, tech }
+    }
+
+    /// The technology the model uses.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Load capacitance of one net, in farads.
+    #[must_use]
+    pub fn net_capacitance(&self, net: NetId) -> f64 {
+        let record = self.netlist.net(net);
+        let fanout = record.fanout() as f64;
+        let driver = if record.driver().is_some() { self.tech.gate_output_cap } else { 0.0 };
+        driver + fanout * (self.tech.gate_input_cap + self.tech.wire_cap_per_fanout)
+    }
+
+    /// Sum of all net capacitances, in farads.
+    #[must_use]
+    pub fn total_capacitance(&self) -> f64 {
+        self.netlist.nets().map(|(id, _)| self.net_capacitance(id)).sum()
+    }
+
+    /// Average net capacitance, in farads (0 for an empty netlist).
+    #[must_use]
+    pub fn average_capacitance(&self) -> f64 {
+        if self.netlist.net_count() == 0 {
+            0.0
+        } else {
+            self.total_capacitance() / self.netlist.net_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_scales_with_fanout() {
+        let mut nl = Netlist::new("cap");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.and2(a, b, "x");
+        let y1 = nl.inv(x, "y1");
+        let y2 = nl.inv(x, "y2");
+        nl.mark_output(y1);
+        nl.mark_output(y2);
+        let tech = Technology::cmos_0p8um_5v();
+        let model = CapacitanceModel::new(&nl, tech);
+        // x has a driver and two loads; y1 has a driver and no loads.
+        let cx = model.net_capacitance(x);
+        let cy = model.net_capacitance(y1);
+        assert!(cx > cy);
+        let expected_x =
+            tech.gate_output_cap + 2.0 * (tech.gate_input_cap + tech.wire_cap_per_fanout);
+        assert!((cx - expected_x).abs() < 1e-18);
+        // The undriven primary input has no driver capacitance but one load.
+        let ca = model.net_capacitance(a);
+        assert!((ca - (tech.gate_input_cap + tech.wire_cap_per_fanout)).abs() < 1e-18);
+        assert!(model.total_capacitance() > 0.0);
+        assert!(model.average_capacitance() > 0.0);
+        assert_eq!(model.technology(), &tech);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_capacitance() {
+        let nl = Netlist::new("empty");
+        let model = CapacitanceModel::new(&nl, Technology::default());
+        assert_eq!(model.total_capacitance(), 0.0);
+        assert_eq!(model.average_capacitance(), 0.0);
+    }
+}

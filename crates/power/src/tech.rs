@@ -1,0 +1,147 @@
+//! Technology parameters: supply voltage and capacitance coefficients.
+
+/// Electrical parameters of the implementation technology.
+///
+/// All capacitances are in farads and the supply voltage in volts. The
+/// default values model the paper's 0.8 µm, 5 V standard-cell process: node
+/// capacitances of a few hundred femtofarads (cell output plus local
+/// wiring), an effective switched capacitance of 150 fF per flipflop per
+/// cycle at the paper's assumed 50% data activity, and a clock load of about
+/// 55 fF per flipflop on top of a 0.5 pF trunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Gate capacitance of one cell input pin, in farads.
+    pub gate_input_cap: f64,
+    /// Output (drain + local routing) capacitance of one driving cell, in
+    /// farads.
+    pub gate_output_cap: f64,
+    /// Additional wiring capacitance per fanout connection, in farads.
+    pub wire_cap_per_fanout: f64,
+    /// Effective capacitance charged from the supply by one flipflop per
+    /// clock cycle (internal nodes plus Q output, at the paper's 50% input
+    /// activity assumption), in farads.
+    pub ff_switched_cap: f64,
+    /// Clock-line capacitance independent of the flipflop count (trunk and
+    /// driver), in farads.
+    pub clock_base_cap: f64,
+    /// Clock-line capacitance added per flipflop (clock pin plus branch
+    /// wiring), in farads.
+    pub clock_cap_per_ff: f64,
+}
+
+impl Technology {
+    /// The 0.8 µm / 5 V process the paper's layouts were made in
+    /// (calibrated against Table 3, see the crate documentation).
+    #[must_use]
+    pub fn cmos_0p8um_5v() -> Self {
+        Technology {
+            vdd: 5.0,
+            gate_input_cap: 40e-15,
+            gate_output_cap: 250e-15,
+            wire_cap_per_fanout: 50e-15,
+            ff_switched_cap: 150e-15,
+            clock_base_cap: 0.5e-12,
+            clock_cap_per_ff: 55e-15,
+        }
+    }
+
+    /// A loosely scaled deep-submicron variant (1.2 V, roughly 10× smaller
+    /// capacitances) for what-if comparisons; the paper's analysis is
+    /// technology-independent, only the absolute milliwatts change.
+    #[must_use]
+    pub fn cmos_65nm_1v2() -> Self {
+        Technology {
+            vdd: 1.2,
+            gate_input_cap: 2e-15,
+            gate_output_cap: 6e-15,
+            wire_cap_per_fanout: 3e-15,
+            ff_switched_cap: 8e-15,
+            clock_base_cap: 50e-15,
+            clock_cap_per_ff: 4e-15,
+        }
+    }
+
+    /// Total clock-line capacitance for a circuit with `flipflops`
+    /// flipflops.
+    #[must_use]
+    pub fn clock_capacitance(&self, flipflops: usize) -> f64 {
+        self.clock_base_cap + self.clock_cap_per_ff * flipflops as f64
+    }
+
+    /// Average power drawn by one flipflop at clock frequency `f` (hertz),
+    /// in watts.
+    #[must_use]
+    pub fn flipflop_power(&self, frequency: f64) -> f64 {
+        self.ff_switched_cap * self.vdd * self.vdd * frequency
+    }
+
+    /// Power drawn by the clock line for `flipflops` flipflops at clock
+    /// frequency `f` (hertz), in watts.
+    #[must_use]
+    pub fn clock_power(&self, flipflops: usize, frequency: f64) -> f64 {
+        self.clock_capacitance(flipflops) * self.vdd * self.vdd * frequency
+    }
+
+    /// Energy drawn from the supply by one 0→1 transition of a node with
+    /// capacitance `cap` (farads), in joules: `½·C·V²` is dissipated in the
+    /// pull-up and `½·C·V²` is stored (and later burned by the 1→0
+    /// transition), so on average each *pair* of transitions costs `C·V²`
+    /// and each single transition `½·C·V²`.
+    #[must_use]
+    pub fn transition_energy(&self, cap: f64) -> f64 {
+        0.5 * cap * self.vdd * self.vdd
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::cmos_0p8um_5v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_capacitance_matches_table_3() {
+        // Table 3: 48 FF -> 3.2 pF, 174 -> 10.5 pF, 218 -> 12.8 pF,
+        // 350 -> 19.9 pF.
+        let tech = Technology::cmos_0p8um_5v();
+        for (ffs, pf) in [(48usize, 3.2f64), (174, 10.5), (218, 12.8), (350, 19.9)] {
+            let model = tech.clock_capacitance(ffs) * 1e12;
+            assert!((model - pf).abs() / pf < 0.1, "{ffs} flipflops: model {model:.1} pF vs paper {pf} pF");
+        }
+    }
+
+    #[test]
+    fn flipflop_power_matches_table_3_baseline() {
+        // Table 3 circuit 1: 48 flipflops dissipate 0.9 mW at 5 MHz.
+        let tech = Technology::cmos_0p8um_5v();
+        let total = tech.flipflop_power(5e6) * 48.0 * 1e3;
+        assert!((total - 0.9).abs() < 0.15, "48 flipflops: {total:.2} mW");
+    }
+
+    #[test]
+    fn clock_power_matches_table_3_baseline() {
+        // Table 3 circuit 1: 3.2 pF of clock load dissipates 0.5 mW at 5 MHz.
+        let tech = Technology::cmos_0p8um_5v();
+        let mw = tech.clock_power(48, 5e6) * 1e3;
+        assert!((mw - 0.5).abs() < 0.15, "clock power {mw:.2} mW");
+    }
+
+    #[test]
+    fn default_is_the_paper_process() {
+        assert_eq!(Technology::default(), Technology::cmos_0p8um_5v());
+        assert!(Technology::cmos_65nm_1v2().vdd < Technology::default().vdd);
+    }
+
+    #[test]
+    fn transition_energy_is_half_cv2() {
+        let tech = Technology::cmos_0p8um_5v();
+        let e = tech.transition_energy(100e-15);
+        assert!((e - 0.5 * 100e-15 * 25.0).abs() < 1e-18);
+    }
+}

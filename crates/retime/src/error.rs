@@ -1,0 +1,71 @@
+//! Error type for retiming and pipelining operations.
+
+use std::error::Error;
+use std::fmt;
+
+use glitch_netlist::NetlistError;
+
+/// Errors reported by the retiming engine and the netlist pipeliner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RetimeError {
+    /// The requested clock period cannot be achieved by any retiming of the
+    /// graph.
+    Infeasible {
+        /// The period that was requested.
+        period: u64,
+    },
+    /// The netlist handed to the pipeliner is not purely combinational
+    /// (cutset pipelining re-times from a flipflop-free starting point).
+    NotCombinational {
+        /// Number of flipflops found.
+        dff_count: usize,
+    },
+    /// The underlying netlist is structurally invalid.
+    InvalidNetlist(NetlistError),
+    /// A graph query referenced a vertex that does not exist.
+    UnknownVertex(usize),
+}
+
+impl fmt::Display for RetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimeError::Infeasible { period } => {
+                write!(f, "no legal retiming achieves a clock period of {period}")
+            }
+            RetimeError::NotCombinational { dff_count } => write!(
+                f,
+                "cutset pipelining needs a purely combinational netlist, found {dff_count} flipflops"
+            ),
+            RetimeError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            RetimeError::UnknownVertex(v) => write!(f, "vertex {v} does not exist"),
+        }
+    }
+}
+
+impl Error for RetimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RetimeError::InvalidNetlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for RetimeError {
+    fn from(e: NetlistError) -> Self {
+        RetimeError::InvalidNetlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(RetimeError::Infeasible { period: 5 }.to_string().contains('5'));
+        assert!(RetimeError::NotCombinational { dff_count: 3 }.to_string().contains('3'));
+        assert!(RetimeError::UnknownVertex(7).to_string().contains('7'));
+    }
+}

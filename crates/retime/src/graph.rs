@@ -1,0 +1,335 @@
+//! The Leiserson–Saxe retiming graph.
+
+use std::collections::VecDeque;
+
+use glitch_netlist::{CellId, NetId, Netlist};
+
+use crate::error::RetimeError;
+use crate::retiming::Retiming;
+
+/// Identifier of a vertex in a [`RetimingGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub(crate) usize);
+
+impl VertexId {
+    /// Dense index of the vertex.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an edge in a [`RetimingGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Edge {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) weight: i64,
+}
+
+/// A directed graph whose vertices are combinational operations (with a
+/// propagation delay) and whose edge weights count the registers between
+/// them — the model on which retiming is defined.
+///
+/// Vertex 0 plays the role of the *host* (environment) when the graph is
+/// extracted from a netlist with [`RetimingGraph::from_netlist`].
+#[derive(Debug, Clone, Default)]
+pub struct RetimingGraph {
+    delays: Vec<u64>,
+    edges: Vec<Edge>,
+}
+
+impl RetimingGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex with the given propagation delay and returns its id.
+    pub fn add_vertex(&mut self, delay: u64) -> VertexId {
+        self.delays.push(delay);
+        VertexId(self.delays.len() - 1)
+    }
+
+    /// Adds an edge carrying `weight` registers from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex does not exist.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, weight: u64) -> EdgeId {
+        assert!(from.0 < self.delays.len(), "unknown source vertex");
+        assert!(to.0 < self.delays.len(), "unknown target vertex");
+        self.edges.push(Edge { from: from.0, to: to.0, weight: weight as i64 });
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Propagation delay of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex does not exist.
+    #[must_use]
+    pub fn delay(&self, v: VertexId) -> u64 {
+        self.delays[v.0]
+    }
+
+    /// Register weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist.
+    #[must_use]
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.edges[e.0].weight.max(0) as u64
+    }
+
+    /// Total number of registers on all edges.
+    ///
+    /// Register sharing between fanout edges is not modelled; the figure is
+    /// an upper bound on the flipflops a netlist-level implementation needs.
+    #[must_use]
+    pub fn total_registers(&self) -> u64 {
+        self.edges.iter().map(|e| e.weight.max(0) as u64).sum()
+    }
+
+    /// Extracts the retiming graph of a synchronous netlist.
+    ///
+    /// Vertex 0 is the environment *source* (primary inputs) and vertex 1
+    /// the environment *sink* (primary outputs); keeping them separate means
+    /// a purely combinational input-to-output path is a path, not a
+    /// zero-weight cycle, so such netlists stay legal. The flip side is that
+    /// a retiming of this graph may add input-to-output latency — i.e.
+    /// pipelining is allowed, which is exactly the freedom the paper
+    /// exploits. Every combinational cell becomes a vertex with the given
+    /// per-cell delay (`delay_of`), and flipflops become edge weights.
+    /// Returns the graph together with the map from combinational [`CellId`]
+    /// to [`VertexId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::InvalidNetlist`] if the netlist fails
+    /// validation.
+    pub fn from_netlist<F>(
+        netlist: &Netlist,
+        mut delay_of: F,
+    ) -> Result<(Self, Vec<Option<VertexId>>), RetimeError>
+    where
+        F: FnMut(CellId) -> u64,
+    {
+        netlist.validate()?;
+        let mut graph = RetimingGraph::new();
+        let host = graph.add_vertex(0);
+        let sink = graph.add_vertex(0);
+        let mut vertex_of: Vec<Option<VertexId>> = vec![None; netlist.cell_count()];
+        for cell in netlist.combinational_cells() {
+            vertex_of[cell.index()] = Some(graph.add_vertex(delay_of(cell)));
+        }
+
+        // Trace each combinational cell input (and each primary output) back
+        // through any chain of flipflops to its combinational source.
+        let trace = |start: NetId| -> (Option<CellId>, u64) {
+            let mut net = start;
+            let mut registers = 0u64;
+            loop {
+                match netlist.net(net).driver() {
+                    Some(pin) if netlist.cell(pin.cell).is_sequential() => {
+                        registers += 1;
+                        net = netlist.cell(pin.cell).inputs()[0];
+                    }
+                    Some(pin) => return (Some(pin.cell), registers),
+                    None => return (None, registers),
+                }
+            }
+        };
+
+        for cell in netlist.combinational_cells() {
+            let to = vertex_of[cell.index()].expect("combinational cell has a vertex");
+            for &input in netlist.cell(cell).inputs() {
+                let (source, registers) = trace(input);
+                let from = match source {
+                    Some(src) => vertex_of[src.index()].unwrap_or(host),
+                    None => host,
+                };
+                graph.add_edge(from, to, registers);
+            }
+        }
+        for &output in netlist.outputs() {
+            let (source, registers) = trace(output);
+            let from = match source {
+                Some(src) => vertex_of[src.index()].unwrap_or(host),
+                None => host,
+            };
+            graph.add_edge(from, sink, registers);
+        }
+        Ok((graph, vertex_of))
+    }
+
+    pub(crate) fn edges_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Longest purely-combinational path delay (the clock period this
+    /// register placement supports). Returns `u64::MAX` if the zero-register
+    /// subgraph contains a cycle, which no legal synchronous circuit has.
+    #[must_use]
+    pub fn clock_period(&self) -> u64 {
+        self.period_of(&vec![0i64; self.delays.len()])
+    }
+
+    /// Clock period after applying the retiming offsets `r`.
+    pub(crate) fn period_of(&self, r: &[i64]) -> u64 {
+        let n = self.delays.len();
+        let mut indegree = vec![0usize; n];
+        let mut zero_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            let w = e.weight + r[e.to] - r[e.from];
+            if w == 0 {
+                zero_out[e.from].push(e.to);
+                indegree[e.to] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut arrival: Vec<u64> = self.delays.clone();
+        let mut visited = 0usize;
+        let mut period = self.delays.iter().copied().max().unwrap_or(0);
+        while let Some(v) = queue.pop_front() {
+            visited += 1;
+            period = period.max(arrival[v]);
+            for &succ in &zero_out[v] {
+                arrival[succ] = arrival[succ].max(arrival[v] + self.delays[succ]);
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        if visited != n {
+            return u64::MAX;
+        }
+        period
+    }
+
+    /// Checks whether the retiming offsets keep every edge weight
+    /// non-negative (the legality condition of retiming).
+    #[must_use]
+    pub fn is_legal(&self, retiming: &Retiming) -> bool {
+        let r = retiming.offsets();
+        r.len() == self.delays.len()
+            && self.edges.iter().all(|e| e.weight + r[e.to] - r[e.from] >= 0)
+    }
+
+    /// Returns a new graph with the retiming applied (edge weights
+    /// redistributed, vertex delays unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retiming is illegal for this graph (use
+    /// [`RetimingGraph::is_legal`] first when in doubt).
+    #[must_use]
+    pub fn apply(&self, retiming: &Retiming) -> RetimingGraph {
+        assert!(self.is_legal(retiming), "retiming is illegal for this graph");
+        let r = retiming.offsets();
+        let mut out = self.clone();
+        for e in &mut out.edges {
+            e.weight += r[e.to] - r[e.from];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A correlator-style test graph with a registered input, a shift chain
+    /// of comparators (delay 3) and a chain of adders (delay 7) feeding the
+    /// result back to the host.
+    pub(crate) fn correlator() -> RetimingGraph {
+        let mut g = RetimingGraph::new();
+        let vh = g.add_vertex(0);
+        let d = [3u64, 3, 3, 7, 7, 7];
+        let v: Vec<VertexId> = d.iter().map(|&x| g.add_vertex(x)).collect();
+        g.add_edge(vh, v[0], 2); // doubly-registered input
+        g.add_edge(v[0], v[1], 1); // shift chain
+        g.add_edge(v[1], v[2], 1);
+        g.add_edge(v[0], v[3], 0); // taps into the adder chain
+        g.add_edge(v[1], v[3], 0);
+        g.add_edge(v[2], v[4], 0);
+        g.add_edge(v[3], v[4], 0);
+        g.add_edge(v[4], v[5], 0);
+        g.add_edge(v[1], v[5], 1);
+        g.add_edge(v[5], vh, 0);
+        g
+    }
+
+    #[test]
+    fn clock_period_is_longest_zero_weight_path() {
+        let g = correlator();
+        // v0 -> v3 -> v4 -> v5: 3 + 7 + 7 + 7 = 24.
+        assert_eq!(g.clock_period(), 24);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.total_registers(), 5);
+    }
+
+    #[test]
+    fn combinational_cycle_reports_unbounded_period() {
+        let mut g = RetimingGraph::new();
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(1);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, a, 0);
+        assert_eq!(g.clock_period(), u64::MAX);
+    }
+
+    #[test]
+    fn from_netlist_counts_registers_on_edges() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.inv(a, "x");
+        let q1 = nl.dff(x, "q1");
+        let q2 = nl.dff(q1, "q2");
+        let y = nl.inv(q2, "y");
+        nl.mark_output(y);
+        let (graph, vertex_of) = RetimingGraph::from_netlist(&nl, |_| 1).unwrap();
+        // Source + sink + 2 inverters.
+        assert_eq!(graph.vertex_count(), 4);
+        // source->inv1 (0 regs), inv1->inv2 (2 regs), inv2->sink (0 regs).
+        assert_eq!(graph.total_registers(), 2);
+        assert_eq!(graph.clock_period(), 1);
+        let x_cell = nl.net(x).driver().unwrap().cell;
+        assert!(vertex_of[x_cell.index()].is_some());
+        let ff = nl.dff_cells().next().unwrap();
+        assert!(vertex_of[ff.index()].is_none());
+    }
+
+    #[test]
+    fn from_netlist_period_matches_combinational_depth() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let mut cur = a;
+        for i in 0..5 {
+            cur = nl.inv(cur, &format!("x{i}"));
+        }
+        nl.mark_output(cur);
+        let (graph, _) = RetimingGraph::from_netlist(&nl, |_| 1).unwrap();
+        assert_eq!(graph.clock_period(), 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! # glitch-retime
+//!
+//! Retiming and pipelining — the glitch-reduction levers of section 5 of the
+//! DATE'95 paper *Analysis and Reduction of Glitches in Synchronous
+//! Networks*.
+//!
+//! Two complementary facilities are provided:
+//!
+//! * [`RetimingGraph`] + [`Retiming`] — the classical Leiserson–Saxe
+//!   formulation: vertices with propagation delays, edges with register
+//!   weights, feasibility of a target clock period, minimum achievable
+//!   period and a legal retiming that achieves it. This is the engine the
+//!   paper's OPTIMA tool implements; it is exercised on operation-level
+//!   graphs.
+//! * [`pipeline_netlist`] — cutset pipelining of a gate-level netlist:
+//!   inserts complete register ranks at levelisation boundaries, the
+//!   mechanism used to create the paper's four direction-detector variants
+//!   with increasing flipflop counts (Table 3 / Figure 10).
+//!
+//! The [`delay_imbalance`] metric quantifies how badly input arrival times
+//! diverge at each cell — the structural property that creates glitches.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_retime::RetimingGraph;
+//!
+//! // The correlator example from Leiserson & Saxe: a 3-vertex toy here.
+//! let mut g = RetimingGraph::new();
+//! let host = g.add_vertex(0);
+//! let a = g.add_vertex(3);
+//! let b = g.add_vertex(7);
+//! g.add_edge(host, a, 1);
+//! g.add_edge(a, b, 0);
+//! g.add_edge(b, host, 0);
+//! assert_eq!(g.clock_period(), 10);
+//! let best = g.retime_minimum_period().unwrap();
+//! assert!(best.period <= 10);
+//! ```
+
+mod error;
+mod graph;
+mod pipeline;
+mod retiming;
+
+pub use error::RetimeError;
+pub use graph::{EdgeId, RetimingGraph, VertexId};
+pub use pipeline::{delay_imbalance, pipeline_netlist, PipelineOptions, PipelinedNetlist};
+pub use retiming::Retiming;

@@ -1,0 +1,265 @@
+//! The retiming vector and the FEAS feasibility / minimum-period algorithms.
+
+use crate::error::RetimeError;
+use crate::graph::{RetimingGraph, VertexId};
+
+/// A legal retiming: one integer offset per vertex plus the clock period the
+/// retimed graph achieves. Moving `r(v)` registers from the outputs of `v`
+/// to its inputs (positive offsets) changes every edge weight `u -> v` to
+/// `w(e) + r(v) - r(u)` without altering the circuit's function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retiming {
+    offsets: Vec<i64>,
+    /// Clock period achieved by the retimed graph.
+    pub period: u64,
+}
+
+impl Retiming {
+    /// The identity retiming (no register moves) for a graph with `vertices`
+    /// vertices and the given period.
+    #[must_use]
+    pub fn identity(vertices: usize, period: u64) -> Self {
+        Retiming { offsets: vec![0; vertices], period }
+    }
+
+    /// Per-vertex offsets.
+    #[must_use]
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Offset of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex is out of range.
+    #[must_use]
+    pub fn offset(&self, v: VertexId) -> i64 {
+        self.offsets[v.index()]
+    }
+
+    /// Normalises the offsets so that the given vertex (usually the host)
+    /// has offset 0; this leaves all retimed edge weights unchanged.
+    #[must_use]
+    pub fn normalized_to(mut self, v: VertexId) -> Self {
+        let base = self.offsets[v.index()];
+        for r in &mut self.offsets {
+            *r -= base;
+        }
+        self
+    }
+
+    /// Total amount of register movement (sum of absolute offsets) — a rough
+    /// cost measure for comparing retimings with equal periods.
+    #[must_use]
+    pub fn movement(&self) -> u64 {
+        self.offsets.iter().map(|r| r.unsigned_abs()).sum()
+    }
+}
+
+impl RetimingGraph {
+    /// Searches for a legal retiming that achieves clock period `period`
+    /// using the FEAS algorithm of Leiserson and Saxe (iteratively
+    /// incrementing the lag of every vertex whose arrival time exceeds the
+    /// target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::Infeasible`] when no retiming can reach the
+    /// requested period (e.g. it is smaller than the largest single-vertex
+    /// delay).
+    pub fn retime_for_period(&self, period: u64) -> Result<Retiming, RetimeError> {
+        let n = self.vertex_count();
+        if n == 0 {
+            return Ok(Retiming::identity(0, 0));
+        }
+        let mut offsets = vec![0i64; n];
+        for _ in 0..n.saturating_sub(1) {
+            let arrivals = self.arrival_times(&offsets);
+            let mut changed = false;
+            for (v, &arrival) in arrivals.iter().enumerate() {
+                if arrival > period {
+                    offsets[v] += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let achieved = self.period_of(&offsets);
+        if achieved > period {
+            return Err(RetimeError::Infeasible { period });
+        }
+        let retiming = Retiming { offsets, period: achieved };
+        debug_assert!(self.is_legal(&retiming));
+        Ok(retiming)
+    }
+
+    /// Finds a retiming with the minimum achievable clock period (binary
+    /// search over candidate periods, FEAS as the feasibility oracle),
+    /// normalised so the first vertex (the host for netlist-derived graphs)
+    /// keeps offset 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::Infeasible`] only for graphs whose current
+    /// period is unbounded (a combinational cycle).
+    pub fn retime_minimum_period(&self) -> Result<Retiming, RetimeError> {
+        let current = self.clock_period();
+        if current == u64::MAX {
+            return Err(RetimeError::Infeasible { period: current });
+        }
+        let mut lo = (0..self.vertex_count())
+            .map(|v| self.delay(VertexId(v)))
+            .max()
+            .unwrap_or(0);
+        let mut best = self.retime_for_period(current)?;
+        let mut hi = best.period;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.retime_for_period(mid) {
+                Ok(r) => {
+                    hi = r.period.min(mid);
+                    best = r;
+                }
+                Err(_) => lo = mid + 1,
+            }
+        }
+        Ok(best.normalized_to(VertexId(0)))
+    }
+
+    /// Per-vertex combinational arrival times (the Δ values of the CP
+    /// algorithm) under the retiming offsets `r`. Vertices on a zero-weight
+    /// cycle get `u64::MAX`.
+    fn arrival_times(&self, r: &[i64]) -> Vec<u64> {
+        use std::collections::VecDeque;
+        let n = self.vertex_count();
+        let mut indegree = vec![0usize; n];
+        let mut zero_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in self.edges_internal() {
+            let w = e.weight + r[e.to] - r[e.from];
+            if w == 0 {
+                zero_out[e.from].push(e.to);
+                indegree[e.to] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut arrival: Vec<u64> = (0..n).map(|v| self.delay(VertexId(v))).collect();
+        let mut visited = vec![false; n];
+        while let Some(v) = queue.pop_front() {
+            visited[v] = true;
+            for &succ in &zero_out[v] {
+                let candidate = arrival[v].saturating_add(self.delay(VertexId(succ)));
+                arrival[succ] = arrival[succ].max(candidate);
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        for (v, seen) in visited.iter().enumerate() {
+            if !seen {
+                arrival[v] = u64::MAX;
+            }
+        }
+        arrival
+    }
+
+    pub(crate) fn edges_internal(&self) -> impl Iterator<Item = &crate::graph::Edge> {
+        self.edges_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlator() -> RetimingGraph {
+        let mut g = RetimingGraph::new();
+        let vh = g.add_vertex(0);
+        let d = [3u64, 3, 3, 7, 7, 7];
+        let v: Vec<VertexId> = d.iter().map(|&x| g.add_vertex(x)).collect();
+        g.add_edge(vh, v[0], 2);
+        g.add_edge(v[0], v[1], 1);
+        g.add_edge(v[1], v[2], 1);
+        g.add_edge(v[0], v[3], 0);
+        g.add_edge(v[1], v[3], 0);
+        g.add_edge(v[2], v[4], 0);
+        g.add_edge(v[3], v[4], 0);
+        g.add_edge(v[4], v[5], 0);
+        g.add_edge(v[1], v[5], 1);
+        g.add_edge(v[5], vh, 0);
+        g
+    }
+
+    #[test]
+    fn correlator_retimes_to_a_shorter_period() {
+        let g = correlator();
+        assert_eq!(g.clock_period(), 24);
+        let best = g.retime_minimum_period().unwrap();
+        // Two registers can be redistributed into the adder chain, cutting
+        // the 24-unit critical path at least in half.
+        assert!(best.period <= 14, "period {}", best.period);
+        assert!(best.period >= 7);
+        assert!(g.is_legal(&best));
+        let retimed = g.apply(&best);
+        assert_eq!(retimed.clock_period(), best.period);
+        // Host offset is normalised to zero.
+        assert_eq!(best.offset(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn infeasible_period_is_reported() {
+        let g = correlator();
+        // No retiming can beat the largest single-vertex delay (7).
+        assert!(matches!(g.retime_for_period(6), Err(RetimeError::Infeasible { period: 6 })));
+        // The current period is always feasible (identity retiming works).
+        assert!(g.retime_for_period(24).is_ok());
+    }
+
+    #[test]
+    fn retiming_preserves_register_count_on_cycles() {
+        // Retiming conserves the number of registers on every directed
+        // cycle. The cycle host -> v0 -> v3 -> v4 -> v5 -> host carries one
+        // register before retiming and must still carry exactly one after.
+        let g = correlator();
+        let best = g.retime_minimum_period().unwrap();
+        let r = best.offsets();
+        let retimed = g.apply(&best);
+        assert_eq!(retimed.vertex_count(), g.vertex_count());
+        // Cycle edges: (0 -> 1, w2), (1 -> 4, w0), (4 -> 5, w0), (5 -> 6, w0),
+        // (6 -> 0, w0) in vertex indices (host = 0, v0 = 1, ...).
+        let cycle = [(0usize, 1usize, 2i64), (1, 4, 0), (4, 5, 0), (5, 6, 0), (6, 0, 0)];
+        let before: i64 = cycle.iter().map(|&(_, _, w)| w).sum();
+        let after: i64 = cycle.iter().map(|&(u, v, w)| w + r[v] - r[u]).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn identity_and_movement() {
+        let r = Retiming::identity(4, 9);
+        assert_eq!(r.period, 9);
+        assert_eq!(r.movement(), 0);
+        assert_eq!(r.offsets(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pipelining_a_pure_dag_reduces_period() {
+        // host -> a -> b -> c -> host, all combinational, delays 4 each:
+        // period 12. With one register allowed on the input edge the graph
+        // can be pipelined down.
+        let mut g = RetimingGraph::new();
+        let host = g.add_vertex(0);
+        let a = g.add_vertex(4);
+        let b = g.add_vertex(4);
+        let c = g.add_vertex(4);
+        g.add_edge(host, a, 3);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, c, 0);
+        g.add_edge(c, host, 0);
+        assert_eq!(g.clock_period(), 12);
+        let best = g.retime_minimum_period().unwrap();
+        assert_eq!(best.period, 4);
+    }
+}

@@ -1,0 +1,641 @@
+//! The synchronous, cycle-by-cycle simulation driver.
+
+use glitch_activity::ActivityTrace;
+use glitch_netlist::{Bus, CellId, CellKind, NetId, Netlist};
+
+use crate::delay::DelayModel;
+use crate::engine::EventQueue;
+use crate::error::SimError;
+use crate::value::Value;
+use crate::vcd::VcdRecorder;
+
+/// Options controlling a [`ClockedSimulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Value every flipflop holds before the first clock cycle.
+    pub dff_init: Value,
+    /// Maximum settling time (in delay units) allowed per cycle before the
+    /// simulator gives up with [`SimError::DidNotSettle`].
+    pub settle_budget: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { dff_init: Value::Zero, settle_budget: 1_000_000 }
+    }
+}
+
+/// New values for primary inputs, applied at the beginning of a clock cycle.
+///
+/// Inputs not mentioned keep their previous value (or stay `X` if never
+/// assigned).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputAssignment {
+    sets: Vec<(NetId, bool)>,
+}
+
+impl InputAssignment {
+    /// An assignment that changes nothing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single-bit assignment (builder style).
+    #[must_use]
+    pub fn with(mut self, net: NetId, value: bool) -> Self {
+        self.set(net, value);
+        self
+    }
+
+    /// Adds an unsigned value across a bus, least-significant bit first
+    /// (builder style). Bits beyond the bus width are ignored.
+    #[must_use]
+    pub fn with_bus(mut self, bus: &Bus, value: u64) -> Self {
+        self.set_bus(bus, value);
+        self
+    }
+
+    /// Adds a single-bit assignment.
+    pub fn set(&mut self, net: NetId, value: bool) {
+        self.sets.push((net, value));
+    }
+
+    /// Adds an unsigned value across a bus (LSB first).
+    pub fn set_bus(&mut self, bus: &Bus, value: u64) {
+        for (i, &bit) in bus.bits().iter().enumerate() {
+            self.set(bit, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// The individual bit assignments, in insertion order.
+    #[must_use]
+    pub fn assignments(&self) -> &[(NetId, bool)] {
+        &self.sets
+    }
+
+    /// Number of driven bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when no bit is driven.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// Statistics of one simulated clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleStats {
+    /// Total signal transitions on all nets during the cycle.
+    pub transitions: u64,
+    /// Time (in delay units) at which the last event settled.
+    pub settle_time: u64,
+    /// Number of events processed during the cycle.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DffInfo {
+    d: NetId,
+    q: NetId,
+}
+
+/// Event-driven simulator for a single-clock synchronous netlist.
+///
+/// See the crate-level documentation for the simulation semantics and an
+/// example.
+#[derive(Debug)]
+pub struct ClockedSimulator<'a, D: DelayModel> {
+    netlist: &'a Netlist,
+    delay: D,
+    options: SimOptions,
+    values: Vec<Value>,
+    pending: Vec<Value>,
+    cycle_counts: Vec<u32>,
+    rising_counts: Vec<u32>,
+    trace: ActivityTrace,
+    rising_totals: Vec<u64>,
+    dffs: Vec<DffInfo>,
+    dff_state: Vec<Value>,
+    constants: Vec<(NetId, Value)>,
+    cycles: u64,
+    queue: EventQueue,
+    vcd: Option<VcdRecorder>,
+    scratch_cells: Vec<CellId>,
+    cell_mark: Vec<u64>,
+    mark_generation: u64,
+}
+
+impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
+    /// Creates a simulator with default [`SimOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the netlist fails structural
+    /// validation (floating nets, combinational loops, …).
+    pub fn new(netlist: &'a Netlist, delay: D) -> Result<Self, SimError> {
+        Self::with_options(netlist, delay, SimOptions::default())
+    }
+
+    /// Creates a simulator with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the netlist fails structural
+    /// validation.
+    pub fn with_options(
+        netlist: &'a Netlist,
+        delay: D,
+        options: SimOptions,
+    ) -> Result<Self, SimError> {
+        netlist.validate()?;
+        let n = netlist.net_count();
+        let dffs: Vec<DffInfo> = netlist
+            .dff_cells()
+            .map(|id| {
+                let cell = netlist.cell(id);
+                DffInfo { d: cell.inputs()[0], q: cell.outputs()[0] }
+            })
+            .collect();
+        let dff_state = vec![options.dff_init; dffs.len()];
+        let constants: Vec<(NetId, Value)> = netlist
+            .cells()
+            .filter_map(|(_, cell)| match cell.kind() {
+                CellKind::Const(v) => Some((cell.outputs()[0], Value::from(v))),
+                _ => None,
+            })
+            .collect();
+        Ok(ClockedSimulator {
+            netlist,
+            delay,
+            options,
+            values: vec![Value::X; n],
+            pending: vec![Value::X; n],
+            cycle_counts: vec![0; n],
+            rising_counts: vec![0; n],
+            trace: ActivityTrace::new(n),
+            rising_totals: vec![0; n],
+            dffs,
+            dff_state,
+            constants,
+            cycles: 0,
+            queue: EventQueue::new(),
+            vcd: None,
+            scratch_cells: Vec::new(),
+            cell_mark: vec![0; netlist.cell_count()],
+            mark_generation: 0,
+        })
+    }
+
+    /// Attaches a VCD recorder; every subsequent net-value change is logged.
+    pub fn attach_vcd(&mut self, recorder: VcdRecorder) {
+        self.vcd = Some(recorder);
+    }
+
+    /// Detaches and returns the VCD recorder, if any.
+    pub fn take_vcd(&mut self) -> Option<VcdRecorder> {
+        self.vcd.take()
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of clock cycles simulated so far.
+    #[must_use]
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The accumulated per-net transition trace.
+    #[must_use]
+    pub fn trace(&self) -> &ActivityTrace {
+        &self.trace
+    }
+
+    /// Total power-consuming (0→1) transitions recorded on a net so far.
+    #[must_use]
+    pub fn rising_transitions(&self, net: NetId) -> u64 {
+        self.rising_totals[net.index()]
+    }
+
+    /// Current value of a net.
+    #[must_use]
+    pub fn net_value(&self, net: NetId) -> Value {
+        self.values[net.index()]
+    }
+
+    /// Current value of a net as a `bool`, or `None` when it is `X`.
+    #[must_use]
+    pub fn net_bool(&self, net: NetId) -> Option<bool> {
+        self.values[net.index()].to_bool()
+    }
+
+    /// Current value of a bus as an unsigned integer (LSB first), or `None`
+    /// if any bit is `X`.
+    #[must_use]
+    pub fn bus_value(&self, bus: &Bus) -> Option<u64> {
+        let mut out = 0u64;
+        for (i, &bit) in bus.bits().iter().enumerate() {
+            match self.values[bit.index()] {
+                Value::One => out |= 1 << i,
+                Value::Zero => {}
+                Value::X => return None,
+            }
+        }
+        Some(out)
+    }
+
+    fn schedule(&mut self, time: u64, net: NetId, value: Value) {
+        if self.pending[net.index()] != value {
+            self.pending[net.index()] = value;
+            self.queue.push(time, net, value);
+        }
+    }
+
+    /// Simulates one clock cycle: applies the input assignment and the
+    /// flipflop outputs at time 0, lets the combinational logic settle and
+    /// records per-net transition counts.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NotAnInput`] if the assignment drives a non-input net.
+    /// * [`SimError::DidNotSettle`] if the logic does not settle within the
+    ///   configured budget.
+    pub fn step(&mut self, inputs: InputAssignment) -> Result<CycleStats, SimError> {
+        self.cycle_counts.iter_mut().for_each(|c| *c = 0);
+        self.rising_counts.iter_mut().for_each(|c| *c = 0);
+        self.queue.clear();
+
+        // Constant drivers assert their value at the start of every cycle;
+        // after the first cycle this is a no-op because the scheduled value
+        // never changes.
+        let constants = std::mem::take(&mut self.constants);
+        for &(net, value) in &constants {
+            self.schedule(0, net, value);
+        }
+        self.constants = constants;
+
+        for &(net, value) in inputs.assignments() {
+            if !self.netlist.net(net).is_primary_input() {
+                return Err(SimError::NotAnInput(net));
+            }
+            self.schedule(0, net, Value::from(value));
+        }
+        let dff_updates: Vec<(NetId, Value)> =
+            self.dffs.iter().zip(&self.dff_state).map(|(ff, &v)| (ff.q, v)).collect();
+        for (q, v) in dff_updates {
+            self.schedule(0, q, v);
+        }
+
+        let mut settle_time = 0u64;
+        let mut events_processed = 0u64;
+        let mut changed_nets: Vec<NetId> = Vec::new();
+        // Nets that changed during the current time step, with the value
+        // they held when the step began: a net transitions at most once per
+        // simulated time point, no matter how many zero-delay delta
+        // iterations it takes to settle that point.
+        let mut step_changed: Vec<(NetId, Value)> = Vec::new();
+
+        while let Some(time) = self.queue.earliest_time() {
+            if time > self.options.settle_budget {
+                self.queue.clear();
+                return Err(SimError::DidNotSettle {
+                    cycle: self.cycles,
+                    budget: self.options.settle_budget,
+                });
+            }
+            settle_time = time;
+            step_changed.clear();
+
+            // Delta loop: zero-delay cells keep scheduling at the same time
+            // point until the values stabilise.
+            while let Some(events) = self.queue.pop_at(time) {
+                changed_nets.clear();
+                for (net, value) in events {
+                    events_processed += 1;
+                    let idx = net.index();
+                    let old = self.values[idx];
+                    if old == value {
+                        continue;
+                    }
+                    if !step_changed.iter().any(|(n, _)| *n == net) {
+                        step_changed.push((net, old));
+                    }
+                    self.values[idx] = value;
+                    changed_nets.push(net);
+                }
+
+                // Collect combinational cells affected by the changed nets,
+                // de-duplicated via a generation-marking trick.
+                self.mark_generation += 1;
+                self.scratch_cells.clear();
+                for &net in &changed_nets {
+                    for load in self.netlist.net(net).loads() {
+                        let cell = load.cell;
+                        if self.netlist.cell(cell).is_sequential() {
+                            continue;
+                        }
+                        if self.cell_mark[cell.index()] != self.mark_generation {
+                            self.cell_mark[cell.index()] = self.mark_generation;
+                            self.scratch_cells.push(cell);
+                        }
+                    }
+                }
+
+                let affected = std::mem::take(&mut self.scratch_cells);
+                for &cell_id in &affected {
+                    self.evaluate_and_schedule(cell_id, time);
+                }
+                self.scratch_cells = affected;
+            }
+
+            // Account one transition per net that ended the time step with a
+            // different value than it started with.
+            for &(net, old) in &step_changed {
+                let idx = net.index();
+                let new = self.values[idx];
+                if old.transitions_to(new) {
+                    self.cycle_counts[idx] += 1;
+                    if old.is_rising_to(new) {
+                        self.rising_counts[idx] += 1;
+                    }
+                }
+                if old != new {
+                    if let Some(vcd) = &mut self.vcd {
+                        vcd.change(self.cycles, time, net, new);
+                    }
+                }
+            }
+        }
+
+        // Sample flipflop inputs at the end of the cycle; they appear on the
+        // Q outputs at the start of the next cycle.
+        let sampled: Vec<Value> = self.dffs.iter().map(|ff| self.values[ff.d.index()]).collect();
+        self.dff_state = sampled;
+
+        self.trace.record_cycle(&self.cycle_counts);
+        for (total, &count) in self.rising_totals.iter_mut().zip(&self.rising_counts) {
+            *total += u64::from(count);
+        }
+        self.cycles += 1;
+
+        let transitions = self.cycle_counts.iter().map(|&c| u64::from(c)).sum();
+        Ok(CycleStats { transitions, settle_time, events: events_processed })
+    }
+
+    fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) {
+        let cell = self.netlist.cell(cell_id);
+        let kind = cell.kind();
+
+        // Gather input values; any X makes the (non-constant) outputs X.
+        let mut any_x = false;
+        let mut input_bits: [bool; 8] = [false; 8];
+        let mut input_vec: Vec<bool>;
+        let inputs = cell.inputs();
+        let bits: &mut [bool] = if inputs.len() <= 8 {
+            &mut input_bits[..inputs.len()]
+        } else {
+            input_vec = vec![false; inputs.len()];
+            &mut input_vec
+        };
+        for (slot, &net) in bits.iter_mut().zip(inputs) {
+            match self.values[net.index()] {
+                Value::One => *slot = true,
+                Value::Zero => *slot = false,
+                Value::X => any_x = true,
+            }
+        }
+
+        let outputs: Vec<NetId> = cell.outputs().to_vec();
+        if any_x && !matches!(kind, CellKind::Const(_)) {
+            for (pin, out) in outputs.into_iter().enumerate() {
+                let d = self.delay.delay(kind, pin);
+                self.schedule(time + d, out, Value::X);
+            }
+            return;
+        }
+
+        let mut out_bits = [false; 2];
+        kind.evaluate_into(bits, &mut out_bits[..kind.output_count()]);
+        for (pin, out) in outputs.into_iter().enumerate() {
+            let d = self.delay.delay(kind, pin);
+            self.schedule(time + d, out, Value::from(out_bits[pin]));
+        }
+    }
+
+    /// Runs one cycle per assignment and returns the per-cycle statistics.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first cycle error; cycles before the error
+    /// remain recorded in the trace.
+    pub fn run<I>(&mut self, vectors: I) -> Result<Vec<CycleStats>, SimError>
+    where
+        I: IntoIterator<Item = InputAssignment>,
+    {
+        let mut stats = Vec::new();
+        for assignment in vectors {
+            stats.push(self.step(assignment)?);
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{CellDelay, UnitDelay, ZeroDelay};
+
+    fn xor_chain(depth: usize) -> (Netlist, NetId, NetId, NetId) {
+        // y = a ^ a ^ ... via a chain that creates unbalanced paths.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut cur = b;
+        for i in 0..depth {
+            cur = nl.inv(cur, &format!("i{i}"));
+        }
+        let y = nl.xor2(a, cur, "y");
+        nl.mark_output(y);
+        (nl, a, b, y)
+    }
+
+    #[test]
+    fn combinational_logic_settles_to_correct_value() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let (s, c) = nl.full_adder(a, b, cin, "fa");
+        nl.mark_output(s);
+        nl.mark_output(c);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for bits in 0..8u8 {
+            let inputs = InputAssignment::new()
+                .with(a, bits & 1 != 0)
+                .with(b, bits & 2 != 0)
+                .with(cin, bits & 4 != 0);
+            sim.step(inputs).unwrap();
+            let expect = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
+            let got = u8::from(sim.net_bool(s).unwrap()) + 2 * u8::from(sim.net_bool(c).unwrap());
+            assert_eq!(got, expect, "bits {bits:03b}");
+        }
+        assert_eq!(sim.cycle_count(), 8);
+    }
+
+    #[test]
+    fn glitch_appears_with_unbalanced_paths_and_not_with_zero_delay() {
+        // XOR of a and a delayed copy of b: if b toggles while a toggles,
+        // the inverter chain delays one input and the XOR output glitches.
+        let (nl, a, b, y) = xor_chain(3);
+        let mut unit = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        // Cycle 1: a=0,b=0 -> settle (y = 0 ^ !!!0 = 1).
+        unit.step(InputAssignment::new().with(a, false).with(b, false)).unwrap();
+        // Cycle 2: flip both inputs; the XOR sees a change immediately and
+        // the chain output three units later: a glitch on y.
+        unit.step(InputAssignment::new().with(a, true).with(b, true)).unwrap();
+        let y_node = unit.trace().node(y.index());
+        assert!(y_node.useless() >= 2, "expected a glitch on y, trace: {y_node:?}");
+
+        let mut ideal = ClockedSimulator::new(&nl, ZeroDelay).unwrap();
+        ideal.step(InputAssignment::new().with(a, false).with(b, false)).unwrap();
+        ideal.step(InputAssignment::new().with(a, true).with(b, true)).unwrap();
+        let y_node = ideal.trace().node(y.index());
+        assert_eq!(y_node.useless(), 0, "zero delay cannot glitch");
+    }
+
+    #[test]
+    fn flipflop_pipelining_delays_data_by_one_cycle() {
+        let mut nl = Netlist::new("reg");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, "q");
+        nl.mark_output(q);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        sim.step(InputAssignment::new().with(d, true)).unwrap();
+        // Q still holds the initial value (0) during the first cycle.
+        assert_eq!(sim.net_bool(q), Some(false));
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        // Now Q shows the value captured at the end of cycle 1.
+        assert_eq!(sim.net_bool(q), Some(true));
+        sim.step(InputAssignment::new()).unwrap();
+        assert_eq!(sim.net_bool(q), Some(false));
+    }
+
+    #[test]
+    fn per_output_delays_are_honoured() {
+        let mut nl = Netlist::new("fa_delay");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let (s, c) = nl.full_adder(a, b, cin, "fa");
+        nl.mark_output(s);
+        nl.mark_output(c);
+        let model = CellDelay::new().with_full_adder(4, 1);
+        let mut sim = ClockedSimulator::new(&nl, model).unwrap();
+        let stats = sim
+            .step(InputAssignment::new().with(a, true).with(b, false).with(cin, false))
+            .unwrap();
+        // The slowest event is the sum output at t = 4.
+        assert_eq!(stats.settle_time, 4);
+        assert_eq!(sim.net_bool(s), Some(true));
+        assert_eq!(sim.net_bool(c), Some(false));
+    }
+
+    #[test]
+    fn bus_value_reads_back_inputs() {
+        let mut nl = Netlist::new("bus");
+        let a = nl.add_input_bus("a", 8);
+        let regs = nl.register_bus(&a, "q");
+        nl.mark_output_bus(&regs);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        sim.step(InputAssignment::new().with_bus(&a, 0xA5)).unwrap();
+        assert_eq!(sim.bus_value(&a), Some(0xA5));
+        // Registered copy appears one cycle later.
+        assert_eq!(sim.bus_value(&regs), Some(0));
+        sim.step(InputAssignment::new().with_bus(&a, 0xA5)).unwrap();
+        assert_eq!(sim.bus_value(&regs), Some(0xA5));
+    }
+
+    #[test]
+    fn driving_non_input_is_an_error() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let err = sim.step(InputAssignment::new().with(y, true)).unwrap_err();
+        assert!(matches!(err, SimError::NotAnInput(_)));
+    }
+
+    #[test]
+    fn unassigned_inputs_propagate_x() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.and2(a, b, "y");
+        nl.mark_output(y);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        sim.step(InputAssignment::new().with(a, true)).unwrap();
+        assert_eq!(sim.net_value(y), Value::X);
+        assert_eq!(sim.bus_value(&Bus::new(vec![y])), None);
+        // X-related changes are not counted as transitions.
+        assert_eq!(sim.trace().node(y.index()).transitions(), 0);
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        let mut nl = Netlist::new("bad");
+        let floating = nl.add_net("floating");
+        let y = nl.inv(floating, "y");
+        nl.mark_output(y);
+        assert!(matches!(
+            ClockedSimulator::new(&nl, UnitDelay),
+            Err(SimError::InvalidNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn run_consumes_a_stimulus_program() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let vectors = vec![
+            InputAssignment::new().with(a, false),
+            InputAssignment::new().with(a, true),
+            InputAssignment::new().with(a, false),
+        ];
+        let stats = sim.run(vectors).unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(sim.cycle_count(), 3);
+        // y toggles in cycles 2 and 3 (cycle 1 is initialisation from X).
+        assert_eq!(sim.trace().node(y.index()).transitions(), 2);
+        assert_eq!(sim.rising_transitions(y), 1);
+    }
+
+    #[test]
+    fn transition_counts_match_useful_definition_for_settled_logic() {
+        // A single gate with balanced inputs never glitches: every counted
+        // transition must be useful.
+        let mut nl = Netlist::new("bal");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b, "y");
+        nl.mark_output(y);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        for i in 0..16u64 {
+            sim.step(InputAssignment::new().with(a, i & 1 != 0).with(b, i & 2 != 0)).unwrap();
+        }
+        let node = sim.trace().node(y.index());
+        assert_eq!(node.useless(), 0);
+        assert_eq!(node.transitions(), node.useful());
+    }
+}

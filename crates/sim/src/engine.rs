@@ -1,0 +1,95 @@
+//! Internal event queue used by the clocked simulator.
+
+use std::collections::BTreeMap;
+
+use glitch_netlist::NetId;
+
+use crate::value::Value;
+
+/// A time-ordered queue of pending net-value changes within one clock cycle.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    slots: BTreeMap<u64, Vec<(NetId, Value)>>,
+    len: usize,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `net` to take `value` at `time`.
+    pub(crate) fn push(&mut self, time: u64, net: NetId, value: Value) {
+        self.slots.entry(time).or_default().push((net, value));
+        self.len += 1;
+    }
+
+    /// Removes and returns all events at the earliest pending time.
+    #[cfg(test)]
+    pub(crate) fn pop_earliest(&mut self) -> Option<(u64, Vec<(NetId, Value)>)> {
+        let (&time, _) = self.slots.iter().next()?;
+        let events = self.slots.remove(&time).unwrap_or_default();
+        self.len -= events.len();
+        Some((time, events))
+    }
+
+    /// Earliest pending time, if any.
+    pub(crate) fn earliest_time(&self) -> Option<u64> {
+        self.slots.keys().next().copied()
+    }
+
+    /// Removes and returns the events scheduled exactly at `time`, or `None`
+    /// when nothing is pending at that time.
+    pub(crate) fn pop_at(&mut self, time: u64) -> Option<Vec<(NetId, Value)>> {
+        let events = self.slots.remove(&time)?;
+        self.len -= events.len();
+        Some(events)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        let n = NetId::from_index(0);
+        q.push(5, n, Value::One);
+        q.push(1, n, Value::Zero);
+        q.push(5, n, Value::Zero);
+        assert_eq!(q.len(), 3);
+        let (t, evs) = q.pop_earliest().unwrap();
+        assert_eq!(t, 1);
+        assert_eq!(evs.len(), 1);
+        let (t, evs) = q.pop_earliest().unwrap();
+        assert_eq!(t, 5);
+        assert_eq!(evs.len(), 2);
+        assert!(q.pop_earliest().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = EventQueue::new();
+        q.push(3, NetId::from_index(1), Value::One);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+use glitch_netlist::{NetId, NetlistError};
+
+/// Errors reported by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The netlist failed structural validation.
+    InvalidNetlist(NetlistError),
+    /// The combinational logic did not settle within the per-cycle event
+    /// budget — either the delay model admits an oscillation or the budget
+    /// is too small for a very deep circuit.
+    DidNotSettle {
+        /// The cycle that failed to converge.
+        cycle: u64,
+        /// The time budget that was exhausted.
+        budget: u64,
+    },
+    /// An input assignment referenced a net that is not a primary input.
+    NotAnInput(NetId),
+    /// A primary input was left undriven in a cycle before ever being
+    /// assigned a value.
+    MissingInput(NetId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            SimError::DidNotSettle { cycle, budget } => {
+                write!(f, "cycle {cycle} did not settle within {budget} delay units")
+            }
+            SimError::NotAnInput(net) => {
+                write!(f, "net {net} is not a primary input and cannot be driven by the stimulus")
+            }
+            SimError::MissingInput(net) => {
+                write!(f, "primary input {net} has never been assigned a value")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidNetlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::InvalidNetlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::DidNotSettle { cycle: 3, budget: 100 };
+        assert!(e.to_string().contains("cycle 3"));
+        let inner = NetlistError::FloatingNet(NetId::from_index(1));
+        let e: SimError = inner.clone().into();
+        assert_eq!(e, SimError::InvalidNetlist(inner));
+        assert!(Error::source(&e).is_some());
+    }
+}

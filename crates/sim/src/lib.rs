@@ -1,0 +1,61 @@
+//! # glitch-sim
+//!
+//! Event-driven gate-level logic simulation for glitch analysis.
+//!
+//! The simulator reproduces the experimental method of the DATE'95 paper
+//! *Analysis and Reduction of Glitches in Synchronous Networks*: a
+//! synchronous circuit is simulated one clock cycle at a time, new primary
+//! input values and flipflop outputs change **at the beginning of the clock
+//! cycle**, the combinational logic settles through an event-driven
+//! propagation with per-cell delays (transport-delay semantics, so glitch
+//! pulses are never swallowed), and the number of transitions each net makes
+//! within the cycle is recorded.
+//!
+//! Delay models:
+//!
+//! * [`UnitDelay`] — every combinational cell takes one delay unit
+//!   (the paper's default, used for Figure 5, Table 1 and the direction
+//!   detector experiment);
+//! * [`CellDelay`] — per-kind and per-output delays, e.g. a full adder with
+//!   `d_sum = 2 * d_carry` (Table 2);
+//! * [`ZeroDelay`] — ideal, glitch-free reference (what the activity would
+//!   be if all delay paths were perfectly balanced).
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_netlist::Netlist;
+//! use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("mux_demo");
+//! let sel = nl.add_input("sel");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.mux2(sel, a, b, "y");
+//! nl.mark_output(y);
+//!
+//! let mut sim = ClockedSimulator::new(&nl, UnitDelay)?;
+//! let cycle = sim.step(
+//!     InputAssignment::new().with(sel, false).with(a, true).with(b, false),
+//! )?;
+//! assert_eq!(sim.net_bool(y), Some(true));
+//! assert!(cycle.settle_time >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod clocked;
+mod delay;
+mod engine;
+mod error;
+mod stimulus;
+mod value;
+mod vcd;
+
+pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
+pub use delay::{CellDelay, DelayModel, UnitDelay, ZeroDelay};
+pub use error::SimError;
+pub use stimulus::{ExhaustiveStimulus, RandomStimulus, StimulusProgram};
+pub use value::Value;
+pub use vcd::VcdRecorder;

@@ -1,0 +1,261 @@
+//! Stimulus generators: sequences of input assignments.
+//!
+//! The paper drives its circuits with uniformly random input vectors (a good
+//! model for multiplexed / source-coded arithmetic inputs, see section 3.2)
+//! and with small hand-picked vector sets for the circuit-level power runs.
+//! [`RandomStimulus`] reproduces the former with a seeded PRNG so every
+//! experiment is repeatable; [`ExhaustiveStimulus`] walks every combination
+//! of a small set of buses for functional verification.
+
+use glitch_netlist::{Bus, NetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clocked::InputAssignment;
+
+/// A finite or infinite program of input assignments.
+///
+/// Implemented by the provided generators; any iterator of
+/// [`InputAssignment`] also works with [`crate::ClockedSimulator::run`].
+pub trait StimulusProgram {
+    /// Produces the assignment for the next clock cycle, or `None` when the
+    /// program is exhausted.
+    fn next_vector(&mut self) -> Option<InputAssignment>;
+
+    /// Adapts the program into an iterator.
+    fn into_iter_vectors(self) -> StimulusIter<Self>
+    where
+        Self: Sized,
+    {
+        StimulusIter { program: self }
+    }
+}
+
+/// Iterator adapter returned by [`StimulusProgram::into_iter_vectors`].
+#[derive(Debug)]
+pub struct StimulusIter<P> {
+    program: P,
+}
+
+impl<P: StimulusProgram> Iterator for StimulusIter<P> {
+    type Item = InputAssignment;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.program.next_vector()
+    }
+}
+
+/// Uniformly random values on a set of input buses, for a fixed number of
+/// cycles, from a deterministic seed.
+#[derive(Debug, Clone)]
+pub struct RandomStimulus {
+    buses: Vec<Bus>,
+    held: Vec<(NetId, bool)>,
+    remaining: u64,
+    rng: StdRng,
+}
+
+impl RandomStimulus {
+    /// Creates a generator driving `buses` for `cycles` cycles using the
+    /// given seed.
+    #[must_use]
+    pub fn new(buses: Vec<Bus>, cycles: u64, seed: u64) -> Self {
+        RandomStimulus {
+            buses,
+            held: Vec::new(),
+            remaining: cycles,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Additionally drives `net` to a constant `value` on every cycle —
+    /// handy for carry-ins, thresholds or enables that should not be
+    /// randomised.
+    #[must_use]
+    pub fn hold(mut self, net: NetId, value: bool) -> Self {
+        self.held.push((net, value));
+        self
+    }
+
+    /// Additionally drives a whole bus to a constant value on every cycle.
+    #[must_use]
+    pub fn hold_bus(mut self, bus: &Bus, value: u64) -> Self {
+        for (i, &bit) in bus.bits().iter().enumerate() {
+            self.held.push((bit, (value >> i) & 1 == 1));
+        }
+        self
+    }
+
+    /// Number of cycles still to be produced.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl StimulusProgram for RandomStimulus {
+    fn next_vector(&mut self) -> Option<InputAssignment> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut assignment = InputAssignment::new();
+        for bus in &self.buses {
+            let value: u64 = self.rng.gen();
+            assignment.set_bus(bus, value & mask(bus.width()));
+        }
+        for &(net, value) in &self.held {
+            assignment.set(net, value);
+        }
+        Some(assignment)
+    }
+}
+
+impl Iterator for RandomStimulus {
+    type Item = InputAssignment;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_vector()
+    }
+}
+
+/// Every combination of values on a set of buses, in counting order.
+///
+/// Intended for functional verification of small circuits (total width of
+/// all buses must be at most 24 bits to keep runs tractable).
+#[derive(Debug, Clone)]
+pub struct ExhaustiveStimulus {
+    buses: Vec<Bus>,
+    next: u64,
+    total: u64,
+}
+
+impl ExhaustiveStimulus {
+    /// Creates an exhaustive generator over the given buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 24 bits.
+    #[must_use]
+    pub fn new(buses: Vec<Bus>) -> Self {
+        let width: usize = buses.iter().map(Bus::width).sum();
+        assert!(width <= 24, "exhaustive stimulus limited to 24 total input bits, got {width}");
+        ExhaustiveStimulus { buses, next: 0, total: 1u64 << width }
+    }
+
+    /// Total number of vectors that will be produced.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl StimulusProgram for ExhaustiveStimulus {
+    fn next_vector(&mut self) -> Option<InputAssignment> {
+        if self.next >= self.total {
+            return None;
+        }
+        let mut remaining_bits = self.next;
+        self.next += 1;
+        let mut assignment = InputAssignment::new();
+        for bus in &self.buses {
+            let w = bus.width();
+            assignment.set_bus(bus, remaining_bits & mask(w));
+            remaining_bits >>= w;
+        }
+        Some(assignment)
+    }
+}
+
+impl Iterator for ExhaustiveStimulus {
+    type Item = InputAssignment;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_vector()
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_netlist::Netlist;
+
+    #[test]
+    fn random_stimulus_is_deterministic_and_finite() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 8);
+        let b = nl.add_input_bus("b", 8);
+        let first: Vec<_> = RandomStimulus::new(vec![a.clone(), b.clone()], 5, 42).collect();
+        let second: Vec<_> = RandomStimulus::new(vec![a.clone(), b.clone()], 5, 42).collect();
+        let different: Vec<_> = RandomStimulus::new(vec![a, b], 5, 43).collect();
+        assert_eq!(first.len(), 5);
+        assert_eq!(first, second);
+        assert_ne!(first, different);
+        assert_eq!(first[0].len(), 16);
+    }
+
+    #[test]
+    fn exhaustive_covers_every_combination() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 2);
+        let b = nl.add_input_bus("b", 1);
+        let gen = ExhaustiveStimulus::new(vec![a.clone(), b.clone()]);
+        assert_eq!(gen.total(), 8);
+        let vectors: Vec<_> = gen.collect();
+        assert_eq!(vectors.len(), 8);
+        // Each vector drives all 3 bits.
+        assert!(vectors.iter().all(|v| v.len() == 3));
+        // All combinations distinct.
+        let mut encoded: Vec<Vec<(usize, bool)>> = vectors
+            .iter()
+            .map(|v| v.assignments().iter().map(|(n, b)| (n.index(), *b)).collect())
+            .collect();
+        encoded.sort();
+        encoded.dedup();
+        assert_eq!(encoded.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 total input bits")]
+    fn exhaustive_rejects_wide_inputs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 30);
+        let _ = ExhaustiveStimulus::new(vec![a]);
+    }
+
+    #[test]
+    fn held_nets_are_driven_every_cycle() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 4);
+        let cin = nl.add_input("cin");
+        let thr = nl.add_input_bus("thr", 4);
+        let vectors: Vec<_> = RandomStimulus::new(vec![a], 10, 1)
+            .hold(cin, false)
+            .hold_bus(&thr, 0x9)
+            .collect();
+        assert_eq!(vectors.len(), 10);
+        for v in &vectors {
+            // 4 random bits + 1 held bit + 4 held bus bits.
+            assert_eq!(v.len(), 9);
+            assert!(v.assignments().contains(&(cin, false)));
+            assert!(v.assignments().contains(&(thr.bit(0), true)));
+            assert!(v.assignments().contains(&(thr.bit(1), false)));
+            assert!(v.assignments().contains(&(thr.bit(3), true)));
+        }
+    }
+
+    #[test]
+    fn program_iter_adapter() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 4);
+        let program = RandomStimulus::new(vec![a], 3, 7);
+        assert_eq!(program.remaining(), 3);
+        let vectors: Vec<_> = program.into_iter_vectors().collect();
+        assert_eq!(vectors.len(), 3);
+    }
+}

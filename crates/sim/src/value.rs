@@ -1,0 +1,106 @@
+//! Three-valued simulation logic: 0, 1 and X (unknown).
+
+use std::fmt;
+
+/// A simulated logic value.
+///
+/// `X` models an uninitialised or unknown node; it appears only before the
+/// first cycle assigns every flipflop and input a defined value. Transitions
+/// from or to `X` are not counted as signal transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    X,
+}
+
+impl Value {
+    /// `true` when the value is 0 or 1.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Value::X)
+    }
+
+    /// Converts to `bool`, or `None` for `X`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Value::Zero => Some(false),
+            Value::One => Some(true),
+            Value::X => None,
+        }
+    }
+
+    /// Is the change `self -> next` a countable signal transition?
+    ///
+    /// Only 0→1 and 1→0 changes between known values count; assignments out
+    /// of or into `X` are initialisation, not switching activity.
+    #[must_use]
+    pub fn transitions_to(self, next: Value) -> bool {
+        self.is_known() && next.is_known() && self != next
+    }
+
+    /// Is `self -> next` a power-consuming (0→1, charging) transition?
+    #[must_use]
+    pub fn is_rising_to(self, next: Value) -> bool {
+        self == Value::Zero && next == Value::One
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Zero => f.write_str("0"),
+            Value::One => f.write_str("1"),
+            Value::X => f.write_str("x"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::One);
+        assert_eq!(Value::from(false), Value::Zero);
+        assert_eq!(Value::One.to_bool(), Some(true));
+        assert_eq!(Value::Zero.to_bool(), Some(false));
+        assert_eq!(Value::X.to_bool(), None);
+        assert_eq!(Value::default(), Value::X);
+    }
+
+    #[test]
+    fn transition_rules() {
+        assert!(Value::Zero.transitions_to(Value::One));
+        assert!(Value::One.transitions_to(Value::Zero));
+        assert!(!Value::Zero.transitions_to(Value::Zero));
+        assert!(!Value::X.transitions_to(Value::One));
+        assert!(!Value::One.transitions_to(Value::X));
+        assert!(Value::Zero.is_rising_to(Value::One));
+        assert!(!Value::One.is_rising_to(Value::Zero));
+        assert!(!Value::X.is_rising_to(Value::One));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Zero.to_string(), "0");
+        assert_eq!(Value::One.to_string(), "1");
+        assert_eq!(Value::X.to_string(), "x");
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal VCD (value change dump) recording for debugging glitch traces.
+//!
+//! The recorder stores every net value change with a global timestamp of
+//! `cycle * cycle_period + settle_time` and can render a standard VCD file
+//! that waveform viewers (GTKWave and friends) understand.
+
+use std::fmt::Write as _;
+
+use glitch_netlist::{NetId, Netlist};
+
+use crate::value::Value;
+
+/// Records value changes during simulation for later export as a VCD file.
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    cycle_period: u64,
+    changes: Vec<(u64, NetId, Value)>,
+}
+
+impl Default for VcdRecorder {
+    fn default() -> Self {
+        Self::new(1_000)
+    }
+}
+
+impl VcdRecorder {
+    /// Creates a recorder. `cycle_period` is the number of VCD time units
+    /// allotted to one clock cycle; intra-cycle settle times beyond it are
+    /// clamped so cycles never overlap in the waveform.
+    #[must_use]
+    pub fn new(cycle_period: u64) -> Self {
+        VcdRecorder { cycle_period: cycle_period.max(1), changes: Vec::new() }
+    }
+
+    /// Number of recorded value changes.
+    #[must_use]
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Records a value change (called by the simulator).
+    pub fn change(&mut self, cycle: u64, time: u64, net: NetId, value: Value) {
+        let offset = time.min(self.cycle_period - 1);
+        self.changes.push((cycle * self.cycle_period + offset, net, value));
+    }
+
+    /// Renders the recording as VCD text, naming signals after the netlist's
+    /// nets.
+    #[must_use]
+    pub fn to_vcd(&self, netlist: &Netlist) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", sanitize(netlist.name()));
+        for (id, net) in netlist.nets() {
+            let _ = writeln!(out, "$var wire 1 {} {} $end", code(id), sanitize(net.name()));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+
+        let mut sorted = self.changes.clone();
+        sorted.sort_by_key(|&(t, net, _)| (t, net.index()));
+        let mut last_time = None;
+        for (t, net, value) in sorted {
+            if last_time != Some(t) {
+                let _ = writeln!(out, "#{t}");
+                last_time = Some(t);
+            }
+            let _ = writeln!(out, "{}{}", value, code(net));
+        }
+        out
+    }
+}
+
+/// VCD identifier code for a net: a printable-ASCII base-94 encoding.
+fn code(net: NetId) -> String {
+    let mut n = net.index();
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_netlist::Netlist;
+
+    #[test]
+    fn vcd_output_has_header_and_changes() {
+        let mut nl = Netlist::new("vcd test");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let mut rec = VcdRecorder::new(10);
+        rec.change(0, 0, a, Value::One);
+        rec.change(0, 1, y, Value::Zero);
+        rec.change(1, 0, a, Value::Zero);
+        assert_eq!(rec.change_count(), 3);
+        let text = rec.to_vcd(&nl);
+        assert!(text.contains("$timescale"));
+        assert!(text.contains("vcd_test"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("#0"));
+        assert!(text.contains("#10"));
+    }
+
+    #[test]
+    fn settle_times_are_clamped_to_the_cycle_period() {
+        let mut nl = Netlist::new("clamp");
+        let a = nl.add_input("a");
+        let mut rec = VcdRecorder::new(5);
+        rec.change(2, 100, a, Value::One);
+        let text = rec.to_vcd(&nl);
+        // cycle 2 * period 5 + clamped offset 4 = 14
+        assert!(text.contains("#14"));
+    }
+
+    #[test]
+    fn identifier_codes_are_unique_for_many_nets() {
+        let ids: Vec<String> = (0..500).map(|i| code(NetId::from_index(i))).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}
