@@ -44,9 +44,15 @@ impl TransitionSplit {
 #[must_use]
 pub fn split_by_parity(count: u64) -> TransitionSplit {
     if count % 2 == 1 {
-        TransitionSplit { useful: 1, useless: count - 1 }
+        TransitionSplit {
+            useful: 1,
+            useless: count - 1,
+        }
     } else {
-        TransitionSplit { useful: 0, useless: count }
+        TransitionSplit {
+            useful: 0,
+            useless: count,
+        }
     }
 }
 
@@ -60,9 +66,27 @@ mod tests {
         // Figure 4: signal 1 makes 2 useful transitions over 2 cycles
         // (1 per cycle), signal 2 makes 2 useless transitions in one cycle,
         // signal 3 makes 1 useful + 2 useless in one cycle.
-        assert_eq!(split_by_parity(1), TransitionSplit { useful: 1, useless: 0 });
-        assert_eq!(split_by_parity(2), TransitionSplit { useful: 0, useless: 2 });
-        assert_eq!(split_by_parity(3), TransitionSplit { useful: 1, useless: 2 });
+        assert_eq!(
+            split_by_parity(1),
+            TransitionSplit {
+                useful: 1,
+                useless: 0
+            }
+        );
+        assert_eq!(
+            split_by_parity(2),
+            TransitionSplit {
+                useful: 0,
+                useless: 2
+            }
+        );
+        assert_eq!(
+            split_by_parity(3),
+            TransitionSplit {
+                useful: 1,
+                useless: 2
+            }
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl GroupedActivity {
                 activity: *trace.node(net.index()),
             })
             .collect();
-        GroupedActivity { label: label.into(), bits }
+        GroupedActivity {
+            label: label.into(),
+            bits,
+        }
     }
 
     /// Group label (e.g. `"sum"` or `"carry"`).
@@ -101,7 +104,11 @@ impl GroupedActivity {
 
 impl fmt::Display for GroupedActivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<10} {:>8} {:>10} {:>10} {:>10}", self.label, "bit", "total", "useful", "useless")?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>10} {:>10} {:>10}",
+            self.label, "bit", "total", "useful", "useless"
+        )?;
         for bit in &self.bits {
             writeln!(
                 f,
@@ -116,7 +123,11 @@ impl fmt::Display for GroupedActivity {
         writeln!(
             f,
             "{:<10} {:>8} {:>10} {:>10} {:>10}",
-            "", "all", self.total_transitions(), self.total_useful(), self.total_useless()
+            "",
+            "all",
+            self.total_transitions(),
+            self.total_useful(),
+            self.total_useless()
         )
     }
 }

@@ -128,7 +128,11 @@ impl ActivityReport {
             });
         }
         let totals = trace.totals_for(included);
-        ActivityReport { rows, totals, design: netlist.name().to_string() }
+        ActivityReport {
+            rows,
+            totals,
+            design: netlist.name().to_string(),
+        }
     }
 
     /// Aggregated totals over every reported node.
@@ -153,8 +157,11 @@ impl ActivityReport {
     /// spots a designer would attack first.
     #[must_use]
     pub fn worst_nodes(&self, n: usize) -> Vec<(&str, u64)> {
-        let mut indexed: Vec<(&str, u64)> =
-            self.rows.iter().map(|r| (r.name.as_str(), r.useless)).collect();
+        let mut indexed: Vec<(&str, u64)> = self
+            .rows
+            .iter()
+            .map(|r| (r.name.as_str(), r.useless))
+            .collect();
         indexed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         indexed.truncate(n);
         indexed
@@ -164,7 +171,10 @@ impl ActivityReport {
     /// by name in the report.
     #[must_use]
     pub fn totals_for_nets(&self, netlist: &Netlist, nets: &[NetId]) -> ActivityTotals {
-        let mut totals = ActivityTotals { cycles: self.totals.cycles, ..Default::default() };
+        let mut totals = ActivityTotals {
+            cycles: self.totals.cycles,
+            ..Default::default()
+        };
         for &net in nets {
             let name = netlist.net(net).name();
             if let Some(row) = self.rows.iter().find(|r| r.name == name) {
@@ -192,7 +202,11 @@ impl ActivityReport {
 
 impl fmt::Display for ActivityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "transition activity for `{}` over {} cycles", self.design, self.totals.cycles)?;
+        writeln!(
+            f,
+            "transition activity for `{}` over {} cycles",
+            self.design, self.totals.cycles
+        )?;
         writeln!(f, "  {}", self.totals)?;
         writeln!(f, "  nodes monitored: {}", self.rows.len())?;
         writeln!(f, "  worst glitching nodes:")?;
@@ -237,7 +251,12 @@ mod tests {
 
     #[test]
     fn lf_ratio_and_balance_factor() {
-        let totals = ActivityTotals { transitions: 10, useful: 4, useless: 6, cycles: 2 };
+        let totals = ActivityTotals {
+            transitions: 10,
+            useful: 4,
+            useless: 6,
+            cycles: 2,
+        };
         assert!((totals.useless_to_useful() - 1.5).abs() < 1e-12);
         assert!((totals.balance_reduction_factor() - 2.5).abs() < 1e-12);
         assert_eq!(totals.glitches(), 3);
@@ -248,7 +267,12 @@ mod tests {
     fn degenerate_lf_ratios() {
         let silent = ActivityTotals::default();
         assert_eq!(silent.useless_to_useful(), 0.0);
-        let only_glitches = ActivityTotals { transitions: 4, useful: 0, useless: 4, cycles: 1 };
+        let only_glitches = ActivityTotals {
+            transitions: 4,
+            useful: 0,
+            useless: 4,
+            cycles: 1,
+        };
         assert!(only_glitches.useless_to_useful().is_infinite());
     }
 

@@ -20,7 +20,10 @@ impl ActivityTrace {
     /// Creates a trace for `node_count` monitored nodes.
     #[must_use]
     pub fn new(node_count: usize) -> Self {
-        ActivityTrace { nodes: vec![NodeActivity::new(); node_count], cycles: 0 }
+        ActivityTrace {
+            nodes: vec![NodeActivity::new(); node_count],
+            cycles: 0,
+        }
     }
 
     /// Number of monitored nodes.
@@ -100,7 +103,11 @@ impl ActivityTrace {
     ///
     /// Panics if the node counts differ.
     pub fn merge(&mut self, other: &ActivityTrace) {
-        assert_eq!(self.nodes.len(), other.nodes.len(), "cannot merge traces of different widths");
+        assert_eq!(
+            self.nodes.len(),
+            other.nodes.len(),
+            "cannot merge traces of different widths"
+        );
         for (mine, theirs) in self.nodes.iter_mut().zip(&other.nodes) {
             mine.merge(theirs);
         }

@@ -55,7 +55,10 @@ impl AdderExpectation {
                 carry_useless: useless_ratio_carry(i) * v,
             })
             .collect();
-        AdderExpectation { bits: rows, vectors }
+        AdderExpectation {
+            bits: rows,
+            vectors,
+        }
     }
 
     /// Number of random vectors the expectation covers.
@@ -79,19 +82,28 @@ impl AdderExpectation {
     /// Expected total transitions over every sum and carry bit.
     #[must_use]
     pub fn total_transitions(&self) -> f64 {
-        self.bits.iter().map(|b| b.sum_transitions + b.carry_transitions).sum()
+        self.bits
+            .iter()
+            .map(|b| b.sum_transitions + b.carry_transitions)
+            .sum()
     }
 
     /// Expected total useful transitions.
     #[must_use]
     pub fn total_useful(&self) -> f64 {
-        self.bits.iter().map(|b| b.sum_useful + b.carry_useful).sum()
+        self.bits
+            .iter()
+            .map(|b| b.sum_useful + b.carry_useful)
+            .sum()
     }
 
     /// Expected total useless transitions.
     #[must_use]
     pub fn total_useless(&self) -> f64 {
-        self.bits.iter().map(|b| b.sum_useless + b.carry_useless).sum()
+        self.bits
+            .iter()
+            .map(|b| b.sum_useless + b.carry_useless)
+            .sum()
     }
 
     /// Expected `L/F` ratio of useless to useful transitions.

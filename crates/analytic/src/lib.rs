@@ -33,4 +33,6 @@ pub use ratios::{
     transition_ratio_carry, transition_ratio_sum, useful_ratio_carry, useful_ratio_sum,
     useless_ratio_carry, useless_ratio_sum,
 };
-pub use worst_case::{worst_case_probability, worst_case_transitions, worst_case_transitions_per_bit};
+pub use worst_case::{
+    worst_case_probability, worst_case_transitions, worst_case_transitions_per_bit,
+};

@@ -48,7 +48,10 @@ pub fn build_subtractor(
     );
     let one = nl.constant(true, &format!("{prefix}_one"));
     let ports = build_rca(nl, a, &b_inverted, one, prefix, style);
-    SubtractorPorts { difference: ports.sum, no_borrow: ports.cout }
+    SubtractorPorts {
+        difference: ports.sum,
+        no_borrow: ports.cout,
+    }
 }
 
 /// Builds `|a - b|` by computing both `a - b` and `b - a` and selecting the
@@ -81,7 +84,10 @@ pub fn build_abs_diff(
             })
             .collect(),
     );
-    AbsDiffPorts { magnitude, a_ge_b: ab.no_borrow }
+    AbsDiffPorts {
+        magnitude,
+        a_ge_b: ab.no_borrow,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +116,8 @@ mod tests {
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for av in 0..16u64 {
             for bv in 0..16u64 {
-                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv))
+                    .unwrap();
                 let diff = sim.bus_value(&ports.difference).unwrap();
                 let no_borrow = sim.net_bool(ports.no_borrow).unwrap();
                 assert_eq!(diff, (av.wrapping_sub(bv)) & 0xF, "a={av} b={bv}");
@@ -126,7 +133,8 @@ mod tests {
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for av in 0..16u64 {
             for bv in 0..16u64 {
-                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv))
+                    .unwrap();
                 let got = sim.bus_value(&ports.magnitude).unwrap();
                 assert_eq!(got, av.abs_diff(bv), "a={av} b={bv}");
                 assert_eq!(sim.net_bool(ports.a_ge_b).unwrap(), av >= bv);
@@ -139,7 +147,8 @@ mod tests {
         let (nl, a, b, ports) = abs_diff_circuit(8);
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for (av, bv) in [(0u64, 255u64), (255, 0), (200, 200), (17, 113), (250, 249)] {
-            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv))
+                .unwrap();
             assert_eq!(sim.bus_value(&ports.magnitude).unwrap(), av.abs_diff(bv));
         }
     }

@@ -92,7 +92,14 @@ impl CarryLookaheadAdder {
         let sum = Bus::new(sum_bits);
         nl.mark_output_bus(&sum);
         nl.mark_output(block_cin);
-        CarryLookaheadAdder { netlist: nl, a, b, cin, sum, cout: block_cin }
+        CarryLookaheadAdder {
+            netlist: nl,
+            a,
+            b,
+            cin,
+            sum,
+            cout: block_cin,
+        }
     }
 
     /// Adder width in bits.
@@ -148,15 +155,36 @@ impl CarrySelectAdder {
             let b_slice = Bus::new((0..width).map(|k| b.bit(bit + k)).collect());
             if block == 0 {
                 // The first block sees the true carry-in directly.
-                let ports = build_rca(&mut nl, &a_slice, &b_slice, carry, &format!("blk{block}"), style);
+                let ports = build_rca(
+                    &mut nl,
+                    &a_slice,
+                    &b_slice,
+                    carry,
+                    &format!("blk{block}"),
+                    style,
+                );
                 sum_bits.extend(ports.sum.bits().iter().copied());
                 carry = ports.cout;
             } else {
                 // Speculative blocks: one copy assumes carry-in 0, the other 1.
                 let zero = nl.constant(false, &format!("blk{block}_c0"));
                 let one = nl.constant(true, &format!("blk{block}_c1"));
-                let lo = build_rca(&mut nl, &a_slice, &b_slice, zero, &format!("blk{block}_lo"), style);
-                let hi = build_rca(&mut nl, &a_slice, &b_slice, one, &format!("blk{block}_hi"), style);
+                let lo = build_rca(
+                    &mut nl,
+                    &a_slice,
+                    &b_slice,
+                    zero,
+                    &format!("blk{block}_lo"),
+                    style,
+                );
+                let hi = build_rca(
+                    &mut nl,
+                    &a_slice,
+                    &b_slice,
+                    one,
+                    &format!("blk{block}_hi"),
+                    style,
+                );
                 for k in 0..width {
                     sum_bits.push(nl.mux2(
                         carry,
@@ -174,7 +202,15 @@ impl CarrySelectAdder {
         let sum = Bus::new(sum_bits);
         nl.mark_output_bus(&sum);
         nl.mark_output(carry);
-        CarrySelectAdder { netlist: nl, a, b, cin, sum, cout: carry, block_size }
+        CarrySelectAdder {
+            netlist: nl,
+            a,
+            b,
+            cin,
+            sum,
+            cout: carry,
+            block_size,
+        }
     }
 
     /// Adder width in bits.
@@ -192,6 +228,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    #[allow(clippy::too_many_arguments)]
     fn check_adder(
         netlist: &Netlist,
         a: &Bus,
@@ -219,8 +256,15 @@ mod tests {
             }
         }
         for (x, y, c) in cases {
-            sim.step(InputAssignment::new().with_bus(a, x).with_bus(b, y).with(cin, c)).unwrap();
-            let got = sim.bus_value(sum).unwrap() + (u64::from(sim.net_bool(cout).unwrap()) << bits);
+            sim.step(
+                InputAssignment::new()
+                    .with_bus(a, x)
+                    .with_bus(b, y)
+                    .with(cin, c),
+            )
+            .unwrap();
+            let got =
+                sim.bus_value(sum).unwrap() + (u64::from(sim.net_bool(cout).unwrap()) << bits);
             assert_eq!(got, x + y + u64::from(c), "{x} + {y} + {c}");
         }
     }
@@ -228,14 +272,32 @@ mod tests {
     #[test]
     fn carry_lookahead_is_exact_for_all_4_bit_inputs() {
         let adder = CarryLookaheadAdder::new(4);
-        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 4, true);
+        check_adder(
+            &adder.netlist,
+            &adder.a,
+            &adder.b,
+            adder.cin,
+            &adder.sum,
+            adder.cout,
+            4,
+            true,
+        );
         assert_eq!(adder.width(), 4);
     }
 
     #[test]
     fn carry_lookahead_is_exact_for_random_16_bit_inputs() {
         let adder = CarryLookaheadAdder::new(16);
-        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 16, false);
+        check_adder(
+            &adder.netlist,
+            &adder.a,
+            &adder.b,
+            adder.cin,
+            &adder.sum,
+            adder.cout,
+            16,
+            false,
+        );
     }
 
     #[test]
@@ -258,7 +320,16 @@ mod tests {
     #[test]
     fn carry_select_is_exact_for_all_4_bit_inputs() {
         let adder = CarrySelectAdder::new(4, 2, AdderStyle::CompoundCell);
-        check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 4, true);
+        check_adder(
+            &adder.netlist,
+            &adder.a,
+            &adder.b,
+            adder.cin,
+            &adder.sum,
+            adder.cout,
+            4,
+            true,
+        );
         assert_eq!(adder.block_size, 2);
         assert_eq!(adder.width(), 4);
     }
@@ -267,7 +338,16 @@ mod tests {
     fn carry_select_is_exact_for_random_16_bit_inputs_in_both_styles() {
         for style in AdderStyle::all() {
             let adder = CarrySelectAdder::new(16, 4, style);
-            check_adder(&adder.netlist, &adder.a, &adder.b, adder.cin, &adder.sum, adder.cout, 16, false);
+            check_adder(
+                &adder.netlist,
+                &adder.a,
+                &adder.b,
+                adder.cin,
+                &adder.sum,
+                adder.cout,
+                16,
+                false,
+            );
         }
     }
 
@@ -280,6 +360,9 @@ mod tests {
         let cla_depth = cla.netlist.combinational_depth().unwrap();
         let csla_depth = csla.netlist.combinational_depth().unwrap();
         assert!(cla_depth < rca_depth, "cla {cla_depth} vs rca {rca_depth}");
-        assert!(csla_depth < rca_depth, "csla {csla_depth} vs rca {rca_depth}");
+        assert!(
+            csla_depth < rca_depth,
+            "csla {csla_depth} vs rca {rca_depth}"
+        );
     }
 }

@@ -88,7 +88,12 @@ impl ArrayMultiplier {
 
         let product = Bus::new(product_bits);
         nl.mark_output_bus(&product);
-        ArrayMultiplier { netlist: nl, x, y, product }
+        ArrayMultiplier {
+            netlist: nl,
+            x,
+            y,
+            product,
+        }
     }
 
     /// Operand width in bits.
@@ -113,7 +118,12 @@ mod tests {
         let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
         for a in 0..16u64 {
             for b in 0..16u64 {
-                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                sim.step(
+                    InputAssignment::new()
+                        .with_bus(&mult.x, a)
+                        .with_bus(&mult.y, b),
+                )
+                .unwrap();
                 assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
             }
         }
@@ -128,8 +138,17 @@ mod tests {
             for _ in 0..100 {
                 let a: u64 = rng.gen_range(0..256);
                 let b: u64 = rng.gen_range(0..256);
-                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
-                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b} ({style:?})");
+                sim.step(
+                    InputAssignment::new()
+                        .with_bus(&mult.x, a)
+                        .with_bus(&mult.y, b),
+                )
+                .unwrap();
+                assert_eq!(
+                    sim.bus_value(&mult.product).unwrap(),
+                    a * b,
+                    "{a} * {b} ({style:?})"
+                );
             }
         }
     }

@@ -66,7 +66,8 @@ mod tests {
             let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
             for bits in 0..8u8 {
                 let (av, bv, cv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
-                sim.step(InputAssignment::new().with(a, av).with(b, bv).with(c, cv)).unwrap();
+                sim.step(InputAssignment::new().with(a, av).with(b, bv).with(c, cv))
+                    .unwrap();
                 let full = u8::from(av) + u8::from(bv) + u8::from(cv);
                 let half = u8::from(av) + u8::from(bv);
                 assert_eq!(

@@ -76,7 +76,8 @@ mod tests {
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for av in 0..16u64 {
             for bv in 0..16u64 {
-                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
+                sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv))
+                    .unwrap();
                 assert_eq!(sim.net_bool(ge).unwrap(), av >= bv, "a={av} b={bv}");
             }
         }
@@ -93,9 +94,18 @@ mod tests {
         nl.validate().unwrap();
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for (av, bv) in [(0u64, 31u64), (31, 0), (12, 12), (7, 23), (30, 29)] {
-            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv)).unwrap();
-            assert_eq!(sim.bus_value(&ports.min).unwrap(), av.min(bv), "a={av} b={bv}");
-            assert_eq!(sim.bus_value(&ports.max).unwrap(), av.max(bv), "a={av} b={bv}");
+            sim.step(InputAssignment::new().with_bus(&a, av).with_bus(&b, bv))
+                .unwrap();
+            assert_eq!(
+                sim.bus_value(&ports.min).unwrap(),
+                av.min(bv),
+                "a={av} b={bv}"
+            );
+            assert_eq!(
+                sim.bus_value(&ports.max).unwrap(),
+                av.max(bv),
+                "a={av} b={bv}"
+            );
             assert_eq!(sim.net_bool(ports.a_ge_b).unwrap(), av >= bv);
         }
     }

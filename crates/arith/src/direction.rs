@@ -73,8 +73,12 @@ impl DirectionDetector {
         assert!(width >= 2, "sample width must be at least 2 bits");
         let mut nl = Netlist::new(format!("direction_detector_w{width}"));
 
-        let a_in: Vec<Bus> = (0..3).map(|i| nl.add_input_bus(&format!("a{i}"), width)).collect();
-        let b_in: Vec<Bus> = (0..3).map(|i| nl.add_input_bus(&format!("b{i}"), width)).collect();
+        let a_in: Vec<Bus> = (0..3)
+            .map(|i| nl.add_input_bus(&format!("a{i}"), width))
+            .collect();
+        let b_in: Vec<Bus> = (0..3)
+            .map(|i| nl.add_input_bus(&format!("b{i}"), width))
+            .collect();
         let threshold = nl.add_input_bus("threshold", width);
 
         let (a, b): (Vec<Bus>, Vec<Bus>) = if register_inputs {
@@ -157,10 +161,16 @@ impl DirectionDetector {
         let d_right = a[2].abs_diff(b[0]);
         // Mirror the hardware's tie-breaking exactly: ">=" prefers the
         // second operand of each comparison.
-        let (lm_min, lm_is_vert) =
-            if d_left >= d_vert { (d_vert, true) } else { (d_left, false) };
-        let (min, best_is_right) =
-            if lm_min >= d_right { (d_right, true) } else { (lm_min, false) };
+        let (lm_min, lm_is_vert) = if d_left >= d_vert {
+            (d_vert, true)
+        } else {
+            (d_left, false)
+        };
+        let (min, best_is_right) = if lm_min >= d_right {
+            (d_right, true)
+        } else {
+            (lm_min, false)
+        };
         let max = d_left.max(d_vert).max(d_right);
         let below = min < threshold;
         let direction = if !below {
@@ -183,12 +193,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn drive(
-        det: &DirectionDetector,
-        a: [u64; 3],
-        b: [u64; 3],
-        threshold: u64,
-    ) -> InputAssignment {
+    fn drive(det: &DirectionDetector, a: [u64; 3], b: [u64; 3], threshold: u64) -> InputAssignment {
         let mut v = InputAssignment::new();
         for i in 0..3 {
             v.set_bus(&det.a[i], a[i]);
@@ -205,12 +210,24 @@ mod tests {
         let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..200 {
-            let a = [rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256)];
-            let b = [rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256)];
+            let a = [
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+            ];
+            let b = [
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+            ];
             let threshold = rng.gen_range(0..256);
             sim.step(drive(&det, a, b, threshold)).unwrap();
             let (dir, min, max, below) = DirectionDetector::reference(a, b, threshold);
-            assert_eq!(sim.bus_value(&det.direction).unwrap(), dir, "a={a:?} b={b:?} t={threshold}");
+            assert_eq!(
+                sim.bus_value(&det.direction).unwrap(),
+                dir,
+                "a={a:?} b={b:?} t={threshold}"
+            );
             assert_eq!(sim.bus_value(&det.min).unwrap(), min);
             assert_eq!(sim.bus_value(&det.max).unwrap(), max);
             assert_eq!(sim.net_bool(det.below_threshold).unwrap(), below);
@@ -243,8 +260,16 @@ mod tests {
         let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            let a = [rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..64)];
-            let b = [rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..64)];
+            let a = [
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+            ];
+            let b = [
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+            ];
             sim.step(drive(&det, a, b, 0)).unwrap();
             assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_VERTICAL);
             assert!(!sim.net_bool(det.below_threshold).unwrap());
@@ -256,13 +281,16 @@ mod tests {
         let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
         let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
         // Perfect left-diagonal match: a0 == b2, others far apart.
-        sim.step(drive(&det, [100, 0, 0], [200, 200, 100], 10)).unwrap();
+        sim.step(drive(&det, [100, 0, 0], [200, 200, 100], 10))
+            .unwrap();
         assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_LEFT);
         // Perfect right-diagonal match: a2 == b0.
-        sim.step(drive(&det, [0, 0, 150], [150, 200, 200], 10)).unwrap();
+        sim.step(drive(&det, [0, 0, 150], [150, 200, 200], 10))
+            .unwrap();
         assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_RIGHT);
         // Perfect vertical match.
-        sim.step(drive(&det, [0, 77, 0], [200, 77, 200], 10)).unwrap();
+        sim.step(drive(&det, [0, 77, 0], [200, 77, 200], 10))
+            .unwrap();
         assert_eq!(sim.bus_value(&det.direction).unwrap(), DIRECTION_VERTICAL);
     }
 
@@ -272,8 +300,16 @@ mod tests {
         let mut sim = ClockedSimulator::new(&det.netlist, UnitDelay).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..50 {
-            let a = [rng.gen_range(0..16), rng.gen_range(0..16), rng.gen_range(0..16)];
-            let b = [rng.gen_range(0..16), rng.gen_range(0..16), rng.gen_range(0..16)];
+            let a = [
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+            ];
+            let b = [
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+            ];
             let threshold = rng.gen_range(0..16);
             sim.step(drive(&det, a, b, threshold)).unwrap();
             let (dir, min, max, below) = DirectionDetector::reference(a, b, threshold);

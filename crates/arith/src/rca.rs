@@ -38,13 +38,23 @@ pub fn build_rca(
     let mut carry_bits = Vec::with_capacity(a.width());
     let mut carry = cin;
     for i in 0..a.width() {
-        let (s, c) =
-            full_adder_bit(nl, a.bit(i), b.bit(i), carry, &format!("{prefix}_fa{i}"), style);
+        let (s, c) = full_adder_bit(
+            nl,
+            a.bit(i),
+            b.bit(i),
+            carry,
+            &format!("{prefix}_fa{i}"),
+            style,
+        );
         sum_bits.push(s);
         carry_bits.push(c);
         carry = c;
     }
-    RcaPorts { sum: Bus::new(sum_bits), carries: Bus::new(carry_bits), cout: carry }
+    RcaPorts {
+        sum: Bus::new(sum_bits),
+        carries: Bus::new(carry_bits),
+        cout: carry,
+    }
 }
 
 /// A standalone N-bit ripple-carry adder circuit with primary-input operands
@@ -105,7 +115,9 @@ impl RippleCarryAdder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glitch_sim::{ClockedSimulator, ExhaustiveStimulus, InputAssignment, StimulusProgram, UnitDelay};
+    use glitch_sim::{
+        ClockedSimulator, ExhaustiveStimulus, InputAssignment, StimulusProgram, UnitDelay,
+    };
 
     fn check_functionality(bits: usize, style: AdderStyle) {
         let adder = RippleCarryAdder::new(bits, style);

@@ -106,7 +106,11 @@ impl WallaceTreeMultiplier {
         // Final carry-propagate addition of the two remaining rows. Columns
         // below the first two-bit column are already final product bits.
         let zero = nl.constant(false, "zero");
-        let first_wide = columns.iter().take(width).position(|c| c.len() == 2).unwrap_or(width);
+        let first_wide = columns
+            .iter()
+            .take(width)
+            .position(|c| c.len() == 2)
+            .unwrap_or(width);
         let mut product_bits: Vec<NetId> = Vec::with_capacity(width);
         for col in columns.iter().take(first_wide) {
             product_bits.push(col.first().copied().unwrap_or(zero));
@@ -115,16 +119,29 @@ impl WallaceTreeMultiplier {
             let a_bits: Vec<NetId> = (first_wide..width)
                 .map(|w| columns[w].first().copied().unwrap_or(zero))
                 .collect();
-            let b_bits: Vec<NetId> =
-                (first_wide..width).map(|w| columns[w].get(1).copied().unwrap_or(zero)).collect();
-            let final_add =
-                build_rca(&mut nl, &Bus::new(a_bits), &Bus::new(b_bits), zero, "final", style);
+            let b_bits: Vec<NetId> = (first_wide..width)
+                .map(|w| columns[w].get(1).copied().unwrap_or(zero))
+                .collect();
+            let final_add = build_rca(
+                &mut nl,
+                &Bus::new(a_bits),
+                &Bus::new(b_bits),
+                zero,
+                "final",
+                style,
+            );
             product_bits.extend(final_add.sum.bits().iter().copied());
         }
 
         let product = Bus::new(product_bits);
         nl.mark_output_bus(&product);
-        WallaceTreeMultiplier { netlist: nl, x, y, product, reduction_layers: layers }
+        WallaceTreeMultiplier {
+            netlist: nl,
+            x,
+            y,
+            product,
+            reduction_layers: layers,
+        }
     }
 
     /// Operand width in bits.
@@ -150,7 +167,12 @@ mod tests {
         let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).unwrap();
         for a in 0..16u64 {
             for b in 0..16u64 {
-                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+                sim.step(
+                    InputAssignment::new()
+                        .with_bus(&mult.x, a)
+                        .with_bus(&mult.y, b),
+                )
+                .unwrap();
                 assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
             }
         }
@@ -165,8 +187,17 @@ mod tests {
             for _ in 0..100 {
                 let a: u64 = rng.gen_range(0..256);
                 let b: u64 = rng.gen_range(0..256);
-                sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
-                assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b} ({style:?})");
+                sim.step(
+                    InputAssignment::new()
+                        .with_bus(&mult.x, a)
+                        .with_bus(&mult.y, b),
+                )
+                .unwrap();
+                assert_eq!(
+                    sim.bus_value(&mult.product).unwrap(),
+                    a * b,
+                    "{a} * {b} ({style:?})"
+                );
             }
         }
     }
@@ -179,7 +210,12 @@ mod tests {
         for _ in 0..50 {
             let a: u64 = rng.gen_range(0..65_536);
             let b: u64 = rng.gen_range(0..65_536);
-            sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+            sim.step(
+                InputAssignment::new()
+                    .with_bus(&mult.x, a)
+                    .with_bus(&mult.y, b),
+            )
+            .unwrap();
             assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b, "{a} * {b}");
         }
     }

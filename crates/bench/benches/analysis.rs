@@ -11,7 +11,12 @@ fn bench_analysis(c: &mut Criterion) {
     // Pre-simulate once; the benchmarks measure the pure analysis cost.
     let mult = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
     let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).expect("valid");
-    sim.run(RandomStimulus::new(vec![mult.x.clone(), mult.y.clone()], 100, 3)).expect("settles");
+    sim.run(RandomStimulus::new(
+        vec![mult.x.clone(), mult.y.clone()],
+        100,
+        3,
+    ))
+    .expect("settles");
     let trace = sim.trace().clone();
 
     c.bench_function("parity_classification_1M", |b| {
@@ -30,7 +35,11 @@ fn bench_analysis(c: &mut Criterion) {
 
     c.bench_function("power_estimate_wallace16", |b| {
         let tech = Technology::cmos_0p8um_5v();
-        b.iter(|| estimate_power(&mult.netlist, &trace, &tech, 5e6).breakdown.total())
+        b.iter(|| {
+            estimate_power(&mult.netlist, &trace, &tech, 5e6)
+                .breakdown
+                .total()
+        })
     });
 
     c.bench_function("trace_recording_1k_cycles", |b| {

@@ -10,7 +10,9 @@ fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
 
-    group.bench_function("e1_worst_case_4bit", |b| b.iter(|| worst_case(4, 0).observed_max));
+    group.bench_function("e1_worst_case_4bit", |b| {
+        b.iter(|| worst_case(4, 0).observed_max)
+    });
     group.bench_function("e3_figure5_16bit_200v", |b| {
         b.iter(|| figure5(16, 200).totals.transitions)
     });
@@ -22,7 +24,9 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("e7_power_sweep_100v", |b| {
         b.iter(|| table3_power_sweep(100, &[1, 4, 8]).optimum())
     });
-    group.bench_function("e8_figure9_100v", |b| b.iter(|| figure9(100).unbalanced_useless));
+    group.bench_function("e8_figure9_100v", |b| {
+        b.iter(|| figure9(100).unbalanced_useless)
+    });
 
     group.finish();
 }

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the netlist interchange layer: BLIF emission
+//! and parsing throughput, and event-driven simulation of a circuit that
+//! went through the parse round trip (the end-to-end `glitch-cli analyze`
+//! hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use glitch_core::arith::{AdderStyle, RippleCarryAdder, WallaceTreeMultiplier};
+use glitch_core::sim::{ClockedSimulator, RandomStimulus, UnitDelay};
+use glitch_io::{emit_blif, parse_blif, GateLibrary};
+
+const SIM_CYCLES: u64 = 200;
+
+fn bench_io(c: &mut Criterion) {
+    let library = GateLibrary::standard();
+
+    // A mid-size circuit: a 16-bit Wallace multiplier is a few hundred
+    // cells and a few kilobytes of BLIF.
+    let mult = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
+    let blif = emit_blif(&mult.netlist);
+
+    let mut group = c.benchmark_group("blif");
+    group.throughput(Throughput::Bytes(blif.len() as u64));
+    group.bench_function("emit_wallace16", |b| {
+        b.iter(|| emit_blif(&mult.netlist).len())
+    });
+    group.bench_function("parse_wallace16", |b| {
+        b.iter(|| {
+            parse_blif(&blif, &library)
+                .expect("benchmark input parses")
+                .cell_count()
+        })
+    });
+    group.bench_function("round_trip_wallace16", |b| {
+        b.iter(|| {
+            let parsed = parse_blif(&blif, &library).expect("benchmark input parses");
+            emit_blif(&parsed).len()
+        })
+    });
+    group.finish();
+
+    // Simulating a parsed circuit: the tail of the analyze pipeline.
+    let adder_blif = emit_blif(&RippleCarryAdder::new(16, AdderStyle::CompoundCell).netlist);
+    let parsed = parse_blif(&adder_blif, &library).expect("benchmark input parses");
+    let buses: Vec<glitch_core::netlist::Bus> = parsed
+        .inputs()
+        .chunks(32)
+        .map(|chunk| glitch_core::netlist::Bus::new(chunk.to_vec()))
+        .collect();
+    let mut group = c.benchmark_group("parsed_simulation");
+    group.throughput(Throughput::Elements(SIM_CYCLES));
+    group.bench_function("rca16_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim =
+                ClockedSimulator::new(&parsed, UnitDelay).expect("parsed netlist is valid");
+            sim.run(RandomStimulus::new(buses.clone(), SIM_CYCLES, 42))
+                .expect("simulates");
+            sim.trace().totals().transitions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -10,13 +10,17 @@ fn bench_retiming(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pipelining");
     for ranks in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("direction_detector", ranks), &ranks, |b, &r| {
-            b.iter(|| {
-                pipeline_netlist(&det.netlist, r, PipelineOptions::default())
-                    .expect("pipelines")
-                    .flipflop_count
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("direction_detector", ranks),
+            &ranks,
+            |b, &r| {
+                b.iter(|| {
+                    pipeline_netlist(&det.netlist, r, PipelineOptions::default())
+                        .expect("pipelines")
+                        .flipflop_count
+                })
+            },
+        );
     }
     group.finish();
 
@@ -25,7 +29,12 @@ fn bench_retiming(c: &mut Criterion) {
     });
 
     c.bench_function("retiming_graph_extraction_detector", |b| {
-        b.iter(|| RetimingGraph::from_netlist(&det.netlist, |_| 1).expect("valid").0.clock_period())
+        b.iter(|| {
+            RetimingGraph::from_netlist(&det.netlist, |_| 1)
+                .expect("valid")
+                .0
+                .clock_period()
+        })
     });
 
     c.bench_function("minimum_period_retiming_detector", |b| {

@@ -38,7 +38,7 @@ fn bench_simulation(c: &mut Criterion) {
     }
 
     let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
-    let mut det_buses: Vec<Bus> = det.a.iter().cloned().collect();
+    let mut det_buses: Vec<Bus> = det.a.to_vec();
     det_buses.extend(det.b.iter().cloned());
     det_buses.push(det.threshold.clone());
     group.bench_function("direction_detector", |b| {

@@ -5,9 +5,7 @@
 //! better-balanced architecture; this ablation quantifies the second lever
 //! for adders, complementing the multiplier comparison of Table 1.
 
-use glitch_core::arith::{
-    AdderStyle, CarryLookaheadAdder, CarrySelectAdder, RippleCarryAdder,
-};
+use glitch_core::arith::{AdderStyle, CarryLookaheadAdder, CarrySelectAdder, RippleCarryAdder};
 use glitch_core::netlist::{Bus, Netlist};
 use glitch_core::retime::delay_imbalance;
 use glitch_core::{AnalysisConfig, GlitchAnalyzer, TextTable};
@@ -52,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
-    let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: CYCLES, ..Default::default() });
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: CYCLES,
+        ..Default::default()
+    });
     let mut table = TextTable::new(vec![
         "architecture",
         "cells",
@@ -64,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "L/F",
     ]);
     for c in &candidates {
-        let analysis = analyzer.analyze(&c.netlist, &[c.a.clone(), c.b.clone()], &[(c.cin, false)])?;
+        let analysis =
+            analyzer.analyze(&c.netlist, &[c.a.clone(), c.b.clone()], &[(c.cin, false)])?;
         let totals = analysis.activity.totals();
         table.add_row(vec![
             c.name.clone(),

@@ -10,7 +10,10 @@ use glitch_bench::experiments::{
 fn main() {
     println!("== E1: worst case (Figure 3) ==");
     let wc = worst_case(4, 0);
-    println!("4-bit adder: observed max {} transitions, bound {}\n", wc.observed_max, wc.bound);
+    println!(
+        "4-bit adder: observed max {} transitions, bound {}\n",
+        wc.observed_max, wc.bound
+    );
 
     println!("== E3: Figure 5 (1000 vectors) ==");
     let fig = figure5(16, 1000);
@@ -29,7 +32,11 @@ fn main() {
 
     println!("== E6: direction detector (500 vectors) ==");
     let det = direction_detector_activity(500);
-    println!("L/F = {:.2}, balance factor {:.1}x\n", det.totals.useless_to_useful(), det.balance_reduction_factor);
+    println!(
+        "L/F = {:.2}, balance factor {:.1}x\n",
+        det.totals.useless_to_useful(),
+        det.balance_reduction_factor
+    );
 
     println!("== E7: Table 3 / Figure 10 (200 vectors) ==");
     let sweep = table3_power_sweep(200, &[1, 2, 4, 8, 16]);

@@ -7,9 +7,18 @@ fn main() {
     println!("E6: direction detector, 4320 random inputs, unit delay\n");
     let result = direction_detector_activity(4320);
     println!("combinational cells                 : {}", result.cells);
-    println!("number of useful transitions        : {}", result.totals.useful);
-    println!("number of useless transitions       : {}", result.totals.useless);
-    println!("ratio useless/useful                : {:.2}", result.totals.useless_to_useful());
+    println!(
+        "number of useful transitions        : {}",
+        result.totals.useful
+    );
+    println!(
+        "number of useless transitions       : {}",
+        result.totals.useless
+    );
+    println!(
+        "ratio useless/useful                : {:.2}",
+        result.totals.useless_to_useful()
+    );
     println!(
         "activity reduction from balancing   : {:.1}x (paper: 1 + 3.8 = 4.8x)",
         result.balance_reduction_factor

@@ -5,11 +5,22 @@
 use glitch_bench::experiments::figure9;
 
 fn main() {
-    println!("E8: Figure 9 — glitches and retiming (operation fed by one slow and one fast operand)\n");
+    println!(
+        "E8: Figure 9 — glitches and retiming (operation fed by one slow and one fast operand)\n"
+    );
     let fig = figure9(500);
-    println!("useful transitions on the operation outputs     : {}", fig.useful);
-    println!("useless transitions, unbalanced input paths     : {}", fig.unbalanced_useless);
-    println!("useless transitions, after retiming the inputs  : {}", fig.balanced_useless);
+    println!(
+        "useful transitions on the operation outputs     : {}",
+        fig.useful
+    );
+    println!(
+        "useless transitions, unbalanced input paths     : {}",
+        fig.unbalanced_useless
+    );
+    println!(
+        "useless transitions, after retiming the inputs  : {}",
+        fig.balanced_useless
+    );
     println!();
     println!("Inserting flipflops in the input lines just before the operation makes both");
     println!("operands arrive simultaneously, so no glitches appear at the output (Figure 9).");

@@ -17,7 +17,11 @@ fn main() {
     );
     println!(
         "interior minimum: {}",
-        if sweep.has_interior_minimum() { "yes (matches Figure 10)" } else { "no" }
+        if sweep.has_interior_minimum() {
+            "yes (matches Figure 10)"
+        } else {
+            "no"
+        }
     );
     let first = &sweep.points()[0];
     let last = &sweep.points()[sweep.points().len() - 1];

@@ -16,7 +16,12 @@ use glitch_core::{
 pub const SEED: u64 = 0x1995_0306;
 
 fn analyzer(cycles: u64, delay: DelayConfig) -> GlitchAnalyzer {
-    GlitchAnalyzer::new(AnalysisConfig { cycles, seed: SEED, delay, ..AnalysisConfig::default() })
+    GlitchAnalyzer::new(AnalysisConfig {
+        cycles,
+        seed: SEED,
+        delay,
+        ..AnalysisConfig::default()
+    })
 }
 
 /// One row of a multiplier activity table (Tables 1 and 2).
@@ -38,14 +43,22 @@ fn analyze_multiplier(
     let analysis = analyzer(cycles, delay)
         .analyze(netlist, operands, &[])
         .expect("multiplier netlists are valid and settle");
-    MultiplierRow { name: name.to_string(), totals: analysis.activity.totals() }
+    MultiplierRow {
+        name: name.to_string(),
+        totals: analysis.activity.totals(),
+    }
 }
 
 /// Renders a list of multiplier rows in the layout of Table 1/2.
 #[must_use]
 pub fn multiplier_table(rows: &[MultiplierRow]) -> TextTable {
-    let mut table =
-        TextTable::new(vec!["architecture", "total", "useful F", "useless L", "L/F"]);
+    let mut table = TextTable::new(vec![
+        "architecture",
+        "total",
+        "useful F",
+        "useless L",
+        "L/F",
+    ]);
     for row in rows {
         table.add_row(vec![
             row.name.clone(),
@@ -91,9 +104,10 @@ pub fn table2(cycles: u64) -> Vec<MultiplierRow> {
     let mut rows = Vec::new();
     let array = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
     let wallace = WallaceTreeMultiplier::new(8, AdderStyle::CompoundCell);
-    for (delay, tag) in
-        [(DelayConfig::Unit, "d_sum = d_carry"), (DelayConfig::RealisticAdderCells, "d_sum = 2*d_carry")]
-    {
+    for (delay, tag) in [
+        (DelayConfig::Unit, "d_sum = d_carry"),
+        (DelayConfig::RealisticAdderCells, "d_sum = 2*d_carry"),
+    ] {
         rows.push(analyze_multiplier(
             &format!("array 8x8, {tag}"),
             &array.netlist,
@@ -164,11 +178,19 @@ impl Figure5 {
 pub fn figure5(bits: usize, vectors: u64) -> Figure5 {
     let adder = RippleCarryAdder::new(bits, AdderStyle::CompoundCell);
     let analysis = analyzer(vectors, DelayConfig::Unit)
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+        .analyze(
+            &adder.netlist,
+            &[adder.a.clone(), adder.b.clone()],
+            &[(adder.cin, false)],
+        )
         .expect("adder simulates");
     let sums = GroupedActivity::from_nets("sum", &adder.netlist, &analysis.trace, adder.sum.bits());
-    let carries =
-        GroupedActivity::from_nets("carry", &adder.netlist, &analysis.trace, adder.carries.bits());
+    let carries = GroupedActivity::from_nets(
+        "carry",
+        &adder.netlist,
+        &analysis.trace,
+        adder.carries.bits(),
+    );
     Figure5 {
         sums,
         carries,
@@ -245,8 +267,11 @@ pub fn worst_case(bits: usize, sample_pairs: u64) -> WorstCase {
     let mut tried = 0u64;
 
     let exhaustive = bits <= 5;
-    let total_pairs: u64 =
-        if exhaustive { 1u64 << (4 * bits) } else { sample_pairs };
+    let total_pairs: u64 = if exhaustive {
+        1u64 << (4 * bits)
+    } else {
+        sample_pairs
+    };
     let mut rng = StdRng::seed_from_u64(SEED);
 
     for index in 0..total_pairs {
@@ -260,16 +285,27 @@ pub fn worst_case(bits: usize, sample_pairs: u64) -> WorstCase {
             )
         } else {
             let mask = (1u64 << bits) - 1;
-            (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, rng.gen::<u64>() & mask)
+            (
+                rng.gen::<u64>() & mask,
+                rng.gen::<u64>() & mask,
+                rng.gen::<u64>() & mask,
+                rng.gen::<u64>() & mask,
+            )
         };
         let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).expect("valid adder");
         sim.step(
-            InputAssignment::new().with_bus(&adder.a, a0).with_bus(&adder.b, b0).with(adder.cin, false),
+            InputAssignment::new()
+                .with_bus(&adder.a, a0)
+                .with_bus(&adder.b, b0)
+                .with(adder.cin, false),
         )
         .expect("settles");
         let after_first = sim.trace().node(msb_sum.index()).transitions();
         sim.step(
-            InputAssignment::new().with_bus(&adder.a, a1).with_bus(&adder.b, b1).with(adder.cin, false),
+            InputAssignment::new()
+                .with_bus(&adder.a, a1)
+                .with_bus(&adder.b, b1)
+                .with(adder.cin, false),
         )
         .expect("settles");
         // Transitions of the MSB sum during the second cycle only.
@@ -305,11 +341,12 @@ pub struct DirectionDetectorActivity {
 #[must_use]
 pub fn direction_detector_activity(cycles: u64) -> DirectionDetectorActivity {
     let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
-    let mut buses: Vec<Bus> = det.a.iter().cloned().collect();
+    let mut buses: Vec<Bus> = det.a.to_vec();
     buses.extend(det.b.iter().cloned());
     buses.push(det.threshold.clone());
-    let analysis =
-        analyzer(cycles, DelayConfig::Unit).analyze(&det.netlist, &buses, &[]).expect("settles");
+    let analysis = analyzer(cycles, DelayConfig::Unit)
+        .analyze(&det.netlist, &buses, &[])
+        .expect("settles");
     DirectionDetectorActivity {
         totals: analysis.activity.totals(),
         balance_reduction_factor: analysis.balance_reduction_factor(),
@@ -324,8 +361,13 @@ pub fn table3_power_sweep(cycles: u64, ranks: &[usize]) -> ExplorationResult {
     let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
     let buses: Vec<Bus> = det.a.iter().chain(det.b.iter()).cloned().collect();
     // Hold the match threshold at a constant mid-range value of 8.
-    let held: Vec<_> =
-        det.threshold.bits().iter().enumerate().map(|(i, &b)| (b, (8 >> i) & 1 == 1)).collect();
+    let held: Vec<_> = det
+        .threshold
+        .bits()
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, (8 >> i) & 1 == 1))
+        .collect();
     let config = AnalysisConfig {
         cycles,
         seed: SEED,
@@ -357,7 +399,11 @@ pub fn figure9(cycles: u64) -> Figure9 {
     // operand arrives directly, the other through a long buffer chain — the
     // unbalanced delay paths of Figure 9.
     fn build(balanced: bool) -> (Netlist, Bus, Bus, Bus) {
-        let mut nl = Netlist::new(if balanced { "fig9_balanced" } else { "fig9_unbalanced" });
+        let mut nl = Netlist::new(if balanced {
+            "fig9_balanced"
+        } else {
+            "fig9_unbalanced"
+        });
         let a = nl.add_input_bus("a", 8);
         let b = nl.add_input_bus("b", 8);
         let slow_b = Bus::new(
@@ -377,7 +423,11 @@ pub fn figure9(cycles: u64) -> Figure9 {
             // Retiming: align both operands with flipflops just before the
             // operation node.
             let left = Bus::new(
-                a.bits().iter().enumerate().map(|(i, &x)| nl.dff(x, &format!("a_q{i}"))).collect(),
+                a.bits()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| nl.dff(x, &format!("a_q{i}")))
+                    .collect(),
             );
             let right = Bus::new(
                 slow_b
@@ -405,15 +455,25 @@ pub fn figure9(cycles: u64) -> Figure9 {
         let analysis = analyzer(cycles, DelayConfig::Unit)
             .analyze(&nl, &[a, b], &[])
             .expect("fig9 circuit settles");
-        let useless: u64 =
-            outputs.bits().iter().map(|&n| analysis.trace.node(n.index()).useless()).sum();
-        let useful: u64 =
-            outputs.bits().iter().map(|&n| analysis.trace.node(n.index()).useful()).sum();
+        let useless: u64 = outputs
+            .bits()
+            .iter()
+            .map(|&n| analysis.trace.node(n.index()).useless())
+            .sum();
+        let useful: u64 = outputs
+            .bits()
+            .iter()
+            .map(|&n| analysis.trace.node(n.index()).useful())
+            .sum();
         (useless, useful)
     };
     let (unbalanced_useless, useful) = measure(false);
     let (balanced_useless, _) = measure(true);
-    Figure9 { unbalanced_useless, balanced_useless, useful }
+    Figure9 {
+        unbalanced_useless,
+        balanced_useless,
+        useful,
+    }
 }
 
 #[cfg(test)]
@@ -425,7 +485,11 @@ mod tests {
         let rows = table1(60);
         assert_eq!(rows.len(), 4);
         let lf = |name: &str| {
-            rows.iter().find(|r| r.name.starts_with(name)).unwrap().totals.useless_to_useful()
+            rows.iter()
+                .find(|r| r.name.starts_with(name))
+                .unwrap()
+                .totals
+                .useless_to_useful()
         };
         assert!(lf("array 8x8") > lf("wallace 8x8"));
         assert!(lf("array 16x16") > lf("wallace 16x16"));
@@ -453,7 +517,10 @@ mod tests {
         let fig = figure5(8, 400);
         let sim = fig.totals.transitions as f64;
         let expect = fig.expectation.total_transitions();
-        assert!((sim - expect).abs() / expect < 0.1, "sim {sim} vs expected {expect}");
+        assert!(
+            (sim - expect).abs() / expect < 0.1,
+            "sim {sim} vs expected {expect}"
+        );
         assert!(fig.to_table().row_count() == 8);
         assert!(rca_ratio_table(8, 200).row_count() == 8);
     }

@@ -1,0 +1,131 @@
+//! Tiny dependency-free command-line argument parsing: positional
+//! arguments, `--key value` / `--key=value` options and `--flag` switches,
+//! checked against a per-command specification.
+
+use std::collections::HashMap;
+
+/// The argument specification of one subcommand.
+pub struct Spec {
+    /// Option names (without `--`) that take a value.
+    pub options: &'static [&'static str],
+    /// Flag names (without `--`) that take no value.
+    pub flags: &'static [&'static str],
+}
+
+/// Parsed arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown options, missing option values
+    /// and malformed tokens.
+    pub fn parse(raw: &[String], spec: &Spec) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0usize;
+        while i < raw.len() {
+            let token = &raw[i];
+            if let Some(body) = token.strip_prefix("--") {
+                let (name, inline_value) = match body.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (body, None),
+                };
+                if spec.flags.contains(&name) {
+                    if let Some(v) = inline_value {
+                        return Err(format!("flag --{name} does not take a value (got `{v}`)"));
+                    }
+                    args.flags.push(name.to_string());
+                } else if spec.options.contains(&name) {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => {
+                            i += 1;
+                            raw.get(i)
+                                .cloned()
+                                .ok_or_else(|| format!("option --{name} needs a value"))?
+                        }
+                    };
+                    args.options.insert(name.to_string(), value);
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                args.positional.push(token.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The raw value of option `name`, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether flag `name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of option `name` parsed as `T`, or `default` when absent.
+    pub fn parsed_option<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse `{text}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: Spec = Spec {
+        options: &["cycles", "vcd"],
+        flags: &["quiet"],
+    };
+
+    fn raw(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positional_options_and_flags() {
+        let args = Args::parse(
+            &raw(&["file.blif", "--cycles", "500", "--quiet", "--vcd=w.vcd"]),
+            &SPEC,
+        )
+        .unwrap();
+        assert_eq!(args.positional(), ["file.blif"]);
+        assert_eq!(args.option("cycles"), Some("500"));
+        assert_eq!(args.option("vcd"), Some("w.vcd"));
+        assert!(args.flag("quiet"));
+        assert_eq!(args.parsed_option("cycles", 0u64).unwrap(), 500);
+        assert_eq!(args.parsed_option("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Args::parse(&raw(&["--nope"]), &SPEC).is_err());
+        assert!(Args::parse(&raw(&["--cycles"]), &SPEC).is_err());
+        assert!(Args::parse(&raw(&["--quiet=1"]), &SPEC).is_err());
+        assert!(Args::parse(&raw(&["--cycles", "abc"]), &SPEC)
+            .unwrap()
+            .parsed_option("cycles", 0u64)
+            .is_err());
+    }
+}

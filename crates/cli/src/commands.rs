@@ -1,0 +1,448 @@
+//! The subcommands: parse, stats, analyze, simulate, power, retime.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use glitch_core::netlist::{Bus, DotOptions, Netlist};
+use glitch_core::power::Technology;
+use glitch_core::retime::{pipeline_netlist, PipelineOptions};
+use glitch_core::sim::{
+    CellDelay, ClockedSimulator, DelayModel, RandomStimulus, UnitDelay, VcdRecorder, ZeroDelay,
+};
+use glitch_core::{Analysis, AnalysisConfig, DelayConfig, GlitchAnalyzer, TextTable};
+use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
+
+use crate::args::{Args, Spec};
+
+/// The usage text printed on argument errors and by `help`.
+pub const USAGE: &str = "\
+usage: glitch-cli <command> <netlist> [options]
+
+The netlist is a .blif file or a structural-Verilog .v file.
+
+commands:
+  parse     parse and validate; print a one-line summary
+              --emit-blif <file>   write the circuit back out as BLIF
+              --dot <file>         write a Graphviz rendering
+  stats     print netlist statistics (cells, nets, depth, histogram)
+  analyze   the full paper pipeline: simulate random vectors, classify
+            every node's transitions into useful work and glitches,
+            estimate the three-component dynamic power
+              --cycles <n>         random vectors to simulate [1000]
+              --seed <n>           stimulus seed [3665697173]
+              --delay <model>      unit | zero | adder | library [unit]
+              --frequency-mhz <f>  clock for the power estimate [5]
+              --tech <name>        0.8um | 65nm [0.8um]
+              --csv <file>         write per-node activity as CSV
+              --vcd <file>         write a value-change dump
+              --dot <file>         write a Graphviz rendering
+  simulate  run the event-driven simulator and report settling behaviour
+              --cycles/--seed/--vcd as above
+  power     the power report only (simulates first)
+              --cycles/--seed/--frequency-mhz/--tech as above
+  retime    cutset pipelining of a combinational circuit, with a
+            before/after activity and power comparison
+              --ranks <n>          register ranks to insert [1]
+              --no-input-rank      place all ranks inside the logic instead
+                                   of spending the first on the inputs
+              --cycles/--seed/--frequency-mhz/--tech as above
+              --emit-blif <file>   write the retimed circuit as BLIF
+  help      print this text";
+
+/// Errors surfaced to `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; `main` appends the usage text.
+    Usage(String),
+    /// Anything that failed after argument parsing, already formatted.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Run(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn run_err(message: impl Into<String>) -> CliError {
+    CliError::Run(message.into())
+}
+
+/// Entry point: resolves the subcommand and runs it.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for command-line problems and
+/// [`CliError::Run`] for everything downstream.
+pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
+    let Some(command) = raw.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let rest = &raw[1..];
+    match command.as_str() {
+        "parse" => cmd_parse(rest),
+        "stats" => cmd_stats(rest),
+        "analyze" => cmd_analyze(rest),
+        "simulate" => cmd_simulate(rest),
+        "power" => cmd_power(rest),
+        "retime" => cmd_retime(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Loads and parses the netlist named by the first positional argument.
+fn load(args: &Args) -> Result<(Netlist, String), CliError> {
+    let path = args
+        .positional()
+        .first()
+        .ok_or_else(|| CliError::Usage("missing netlist file".into()))?;
+    if args.positional().len() > 1 {
+        return Err(CliError::Usage(format!(
+            "unexpected argument `{}`",
+            args.positional()[1]
+        )));
+    }
+    let format = Format::from_extension(path).ok_or_else(|| {
+        run_err(format!(
+            "{path}: unknown netlist format (expected .blif or .v)"
+        ))
+    })?;
+    let text = fs::read_to_string(path).map_err(|e| run_err(format!("{path}: {e}")))?;
+    let library = library_for(args)?;
+    let netlist =
+        parse_netlist(&text, format, &library).map_err(|e| run_err(format!("{path}: {e}")))?;
+    Ok((netlist, path.clone()))
+}
+
+fn library_for(args: &Args) -> Result<GateLibrary, CliError> {
+    let library = GateLibrary::standard();
+    Ok(match args.option("tech") {
+        None | Some("0.8um") => library,
+        Some("65nm") => library.with_technology(Technology::cmos_65nm_1v2()),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--tech must be 0.8um or 65nm, got `{other}`"
+            )));
+        }
+    })
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    fs::write(Path::new(path), contents).map_err(|e| run_err(format!("{path}: {e}")))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Groups the primary inputs into buses of at most 32 bits so the random
+/// stimulus can drive arbitrarily wide circuits.
+fn input_buses(netlist: &Netlist) -> Vec<Bus> {
+    netlist
+        .inputs()
+        .chunks(32)
+        .map(|chunk| Bus::new(chunk.to_vec()))
+        .collect()
+}
+
+fn delay_config(args: &Args, library: &GateLibrary) -> Result<DelayConfig, CliError> {
+    Ok(match args.option("delay") {
+        None | Some("unit") => DelayConfig::Unit,
+        Some("zero") => DelayConfig::Zero,
+        Some("adder") => DelayConfig::RealisticAdderCells,
+        Some("library") => DelayConfig::Custom(library.cell_delay()),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--delay must be unit, zero, adder or library, got `{other}`"
+            )));
+        }
+    })
+}
+
+fn analysis_config(args: &Args, library: &GateLibrary) -> Result<AnalysisConfig, CliError> {
+    let defaults = AnalysisConfig::default();
+    let frequency_mhz: f64 = args
+        .parsed_option("frequency-mhz", defaults.frequency / 1e6)
+        .map_err(CliError::Usage)?;
+    Ok(AnalysisConfig {
+        cycles: args
+            .parsed_option("cycles", defaults.cycles)
+            .map_err(CliError::Usage)?,
+        seed: args
+            .parsed_option("seed", defaults.seed)
+            .map_err(CliError::Usage)?,
+        frequency: frequency_mhz * 1e6,
+        technology: *library.technology(),
+        delay: delay_config(args, library)?,
+    })
+}
+
+fn analyze_netlist(netlist: &Netlist, config: &AnalysisConfig) -> Result<Analysis, CliError> {
+    GlitchAnalyzer::new(config.clone())
+        .analyze(netlist, &input_buses(netlist), &[])
+        .map_err(|e| run_err(format!("simulation failed: {e}")))
+}
+
+fn maybe_dot(netlist: &Netlist, args: &Args) -> Result<(), CliError> {
+    if let Some(path) = args.option("dot") {
+        write_file(path, &netlist.to_dot(&DotOptions::default()))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- commands
+
+const PARSE_SPEC: Spec = Spec {
+    options: &["emit-blif", "dot", "tech"],
+    flags: &[],
+};
+
+fn cmd_parse(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &PARSE_SPEC).map_err(CliError::Usage)?;
+    let (netlist, path) = load(&args)?;
+    println!(
+        "{path}: `{}` ok — {} cells, {} nets, {} flipflops, {} inputs, {} outputs",
+        netlist.name(),
+        netlist.cell_count(),
+        netlist.net_count(),
+        netlist.dff_count(),
+        netlist.inputs().len(),
+        netlist.outputs().len()
+    );
+    if let Some(out) = args.option("emit-blif") {
+        write_file(out, &emit_blif(&netlist))?;
+    }
+    maybe_dot(&netlist, &args)
+}
+
+const STATS_SPEC: Spec = Spec {
+    options: &["tech"],
+    flags: &[],
+};
+
+fn cmd_stats(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &STATS_SPEC).map_err(CliError::Usage)?;
+    let (netlist, _) = load(&args)?;
+    print!("{}", netlist.stats());
+    Ok(())
+}
+
+const ANALYZE_SPEC: Spec = Spec {
+    options: &[
+        "cycles",
+        "seed",
+        "delay",
+        "frequency-mhz",
+        "tech",
+        "csv",
+        "vcd",
+        "dot",
+    ],
+    flags: &[],
+};
+
+fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &ANALYZE_SPEC).map_err(CliError::Usage)?;
+    let (netlist, path) = load(&args)?;
+    let library = library_for(&args)?;
+    // Resolve every option before printing anything, so a bad value fails
+    // cleanly instead of after half a report.
+    let config = analysis_config(&args, &library)?;
+
+    println!("== {path}: `{}` ==", netlist.name());
+    print!("{}", netlist.stats());
+
+    let analysis = analyze_netlist(&netlist, &config)?;
+    let totals = analysis.activity.totals();
+    println!();
+    print!("{}", analysis.activity);
+    println!(
+        "useless/useful ratio L/F = {:.3}; balancing all delay paths would cut \
+         combinational activity by a factor of {:.2}",
+        totals.useless_to_useful(),
+        analysis.balance_reduction_factor()
+    );
+    println!();
+    print!("{}", analysis.power);
+
+    if let Some(csv_path) = args.option("csv") {
+        write_file(csv_path, &analysis.activity.to_csv())?;
+    }
+    if let Some(vcd_path) = args.option("vcd") {
+        let vcd = record_vcd(&netlist, &config)?;
+        write_file(vcd_path, &vcd)?;
+    }
+    maybe_dot(&netlist, &args)
+}
+
+/// Re-simulates with a VCD recorder attached (the analyzer does not record
+/// waveforms on its own), under the same delay model as the analysis.
+fn record_vcd(netlist: &Netlist, config: &AnalysisConfig) -> Result<String, CliError> {
+    match &config.delay {
+        DelayConfig::Unit => record_vcd_with(netlist, config, UnitDelay),
+        DelayConfig::Zero => record_vcd_with(netlist, config, ZeroDelay),
+        DelayConfig::RealisticAdderCells => {
+            record_vcd_with(netlist, config, CellDelay::realistic_adder_cells())
+        }
+        DelayConfig::Custom(model) => record_vcd_with(netlist, config, model.clone()),
+    }
+}
+
+fn record_vcd_with<D: DelayModel>(
+    netlist: &Netlist,
+    config: &AnalysisConfig,
+    delay: D,
+) -> Result<String, CliError> {
+    let mut sim = ClockedSimulator::new(netlist, delay)
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    sim.attach_vcd(VcdRecorder::default());
+    sim.run(RandomStimulus::new(
+        input_buses(netlist),
+        config.cycles,
+        config.seed,
+    ))
+    .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let recorder = sim.take_vcd().expect("recorder was attached above");
+    Ok(recorder.to_vcd(netlist))
+}
+
+const SIMULATE_SPEC: Spec = Spec {
+    options: &["cycles", "seed", "tech", "vcd"],
+    flags: &[],
+};
+
+fn cmd_simulate(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &SIMULATE_SPEC).map_err(CliError::Usage)?;
+    let (netlist, path) = load(&args)?;
+    let cycles: u64 = args
+        .parsed_option("cycles", 1000)
+        .map_err(CliError::Usage)?;
+    let seed: u64 = args
+        .parsed_option("seed", AnalysisConfig::default().seed)
+        .map_err(CliError::Usage)?;
+
+    let mut sim =
+        ClockedSimulator::new(&netlist, UnitDelay).map_err(|e| run_err(format!("{path}: {e}")))?;
+    if args.option("vcd").is_some() {
+        sim.attach_vcd(VcdRecorder::default());
+    }
+    let stats = sim
+        .run(RandomStimulus::new(input_buses(&netlist), cycles, seed))
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+
+    let transitions: u64 = stats.iter().map(|s| s.transitions).sum();
+    let events: u64 = stats.iter().map(|s| s.events).sum();
+    let max_settle = stats.iter().map(|s| s.settle_time).max().unwrap_or(0);
+    println!(
+        "simulated {cycles} cycles of `{}` (seed {seed}): {transitions} transitions, \
+         {events} events, worst settle time {max_settle}",
+        netlist.name()
+    );
+    println!("final primary outputs:");
+    for &out in netlist.outputs() {
+        let value = match sim.net_bool(out) {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "x",
+        };
+        println!("  {:<24} {value}", netlist.net(out).name());
+    }
+    if let Some(vcd_path) = args.option("vcd") {
+        let recorder = sim.take_vcd().expect("recorder was attached above");
+        write_file(vcd_path, &recorder.to_vcd(&netlist))?;
+    }
+    Ok(())
+}
+
+const POWER_SPEC: Spec = Spec {
+    options: &["cycles", "seed", "delay", "frequency-mhz", "tech"],
+    flags: &[],
+};
+
+fn cmd_power(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &POWER_SPEC).map_err(CliError::Usage)?;
+    let (netlist, _) = load(&args)?;
+    let library = library_for(&args)?;
+    let config = analysis_config(&args, &library)?;
+    let analysis = analyze_netlist(&netlist, &config)?;
+    print!("{}", analysis.power);
+    Ok(())
+}
+
+const RETIME_SPEC: Spec = Spec {
+    options: &[
+        "ranks",
+        "cycles",
+        "seed",
+        "delay",
+        "frequency-mhz",
+        "tech",
+        "emit-blif",
+    ],
+    flags: &["no-input-rank"],
+};
+
+fn cmd_retime(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &RETIME_SPEC).map_err(CliError::Usage)?;
+    let (netlist, path) = load(&args)?;
+    let library = library_for(&args)?;
+    let ranks: usize = args.parsed_option("ranks", 1).map_err(CliError::Usage)?;
+    let options = PipelineOptions {
+        register_inputs: !args.flag("no-input-rank"),
+    };
+    let config = analysis_config(&args, &library)?;
+
+    let piped = pipeline_netlist(&netlist, ranks, options)
+        .map_err(|e| run_err(format!("{path}: cannot retime: {e}")))?;
+
+    let before = analyze_netlist(&netlist, &config)?;
+    let after = analyze_netlist(&piped.netlist, &config)?;
+
+    let mut table = TextTable::new(vec![
+        "circuit",
+        "flipflops",
+        "useful",
+        "useless",
+        "L/F",
+        "logic (mW)",
+        "ff (mW)",
+        "clock (mW)",
+        "total (mW)",
+    ]);
+    for (label, netlist, analysis) in [
+        ("original", &netlist, &before),
+        ("retimed", &piped.netlist, &after),
+    ] {
+        let totals = analysis.activity.totals();
+        let power = &analysis.power.breakdown;
+        table.add_row(vec![
+            label.to_string(),
+            netlist.dff_count().to_string(),
+            totals.useful.to_string(),
+            totals.useless.to_string(),
+            format!("{:.3}", totals.useless_to_useful()),
+            format!("{:.3}", power.logic * 1e3),
+            format!("{:.3}", power.flipflop * 1e3),
+            format!("{:.3}", power.clock * 1e3),
+            format!("{:.3}", power.total() * 1e3),
+        ]);
+    }
+    println!(
+        "inserted {ranks} register rank(s) into `{}` (latency +{} cycles):",
+        netlist.name(),
+        piped.latency
+    );
+    print!("{table}");
+
+    if let Some(out) = args.option("emit-blif") {
+        write_file(out, &emit_blif(&piped.netlist))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! End-to-end tests of the `glitch-cli` binary over the bundled corpus:
+//! the full parse → validate → simulate → classify-glitches → power
+//! pipeline must run on every shipped circuit, including the sequential
+//! counter, and the exporters must produce well-formed artefacts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn data(file: &str) -> String {
+    format!("{}/../../tests/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_glitch-cli"))
+        .args(args)
+        .output()
+        .expect("the binary must spawn")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn analyze_runs_the_full_pipeline_on_every_bundled_blif() {
+    // The acceptance bar: parse → validate → simulate → classify → power
+    // on at least 3 bundled circuits, one of them sequential.
+    let circuits = ["c17.blif", "rca4.blif", "counter4.blif", "alu_slice.blif"];
+    let mut sequential_seen = false;
+    for circuit in circuits {
+        let output = run(&["analyze", &data(circuit), "--cycles", "200"]);
+        assert!(output.status.success(), "{circuit}: {}", stderr(&output));
+        let text = stdout(&output);
+        assert!(
+            text.contains("transition activity"),
+            "{circuit}: no activity section"
+        );
+        assert!(
+            text.contains("useless/useful ratio L/F"),
+            "{circuit}: no classification"
+        );
+        assert!(text.contains("power @"), "{circuit}: no power section");
+        if text.contains("flipflops: 4") {
+            sequential_seen = true;
+            assert!(
+                text.contains("flipflop"),
+                "{circuit}: sequential power must show up"
+            );
+        }
+    }
+    assert!(
+        sequential_seen,
+        "counter4.blif must be analyzed as a sequential circuit"
+    );
+}
+
+#[test]
+fn analyze_accepts_verilog_input() {
+    let output = run(&["analyze", &data("c17.v"), "--cycles", "100"]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    assert!(stdout(&output).contains("`c17`"));
+}
+
+#[test]
+fn delay_models_change_glitching_but_not_useful_work() {
+    let unit = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "300",
+        "--delay",
+        "unit",
+    ]);
+    let zero = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "300",
+        "--delay",
+        "zero",
+    ]);
+    assert!(unit.status.success() && zero.status.success());
+    let useful = |text: &str| -> u64 {
+        // "total 1287 (useful 843 / useless 444), ..."
+        let at = text.find("useful ").expect("activity line") + "useful ".len();
+        text[at..]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(useful(&stdout(&unit)), useful(&stdout(&zero)));
+    assert!(
+        stdout(&zero).contains("useless 0)"),
+        "zero delay cannot glitch"
+    );
+}
+
+#[test]
+fn parse_emits_blif_and_dot() {
+    let dir = std::env::temp_dir().join("glitch_cli_test_parse");
+    std::fs::create_dir_all(&dir).unwrap();
+    let blif_out = dir.join("rt.blif");
+    let dot_out = dir.join("rt.dot");
+    let output = run(&[
+        "parse",
+        &data("counter4.blif"),
+        "--emit-blif",
+        blif_out.to_str().unwrap(),
+        "--dot",
+        dot_out.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    assert!(stdout(&output).contains("4 flipflops"));
+    let emitted = std::fs::read_to_string(&blif_out).unwrap();
+    assert!(emitted.contains(".latch"));
+    let dot = std::fs::read_to_string(&dot_out).unwrap();
+    assert!(dot.starts_with("digraph"));
+
+    // The emitted file must itself be accepted.
+    let reparse = run(&["parse", blif_out.to_str().unwrap()]);
+    assert!(reparse.status.success(), "{}", stderr(&reparse));
+    assert!(stdout(&reparse).contains("4 flipflops"));
+}
+
+#[test]
+fn simulate_writes_a_vcd() {
+    let dir = std::env::temp_dir().join("glitch_cli_test_vcd");
+    std::fs::create_dir_all(&dir).unwrap();
+    let vcd_out: PathBuf = dir.join("c17.vcd");
+    let output = run(&[
+        "simulate",
+        &data("c17.blif"),
+        "--cycles",
+        "20",
+        "--vcd",
+        vcd_out.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let vcd = std::fs::read_to_string(&vcd_out).unwrap();
+    assert!(vcd.contains("$timescale"));
+    assert!(vcd.contains("$enddefinitions"));
+}
+
+#[test]
+fn retime_reports_a_comparison_table() {
+    let output = run(&[
+        "retime",
+        &data("rca4.blif"),
+        "--ranks",
+        "2",
+        "--cycles",
+        "200",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("original"));
+    assert!(text.contains("retimed"));
+    assert!(text.contains("register rank(s)"));
+}
+
+#[test]
+fn retime_rejects_sequential_circuits() {
+    let output = run(&["retime", &data("counter4.blif")]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("cannot retime"));
+}
+
+#[test]
+fn parse_errors_carry_file_and_location() {
+    let dir = std::env::temp_dir().join("glitch_cli_test_err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.blif");
+    std::fs::write(
+        &bad,
+        ".model t\n.inputs a\n.outputs y\n.subckt nope a=a y=y\n.end\n",
+    )
+    .unwrap();
+    let output = run(&["parse", bad.to_str().unwrap()]);
+    assert!(!output.status.success());
+    let err = stderr(&output);
+    assert!(err.contains("bad.blif"), "{err}");
+    assert!(err.contains("line 4"), "{err}");
+    assert!(err.contains("unknown cell `nope`"), "{err}");
+}
+
+#[test]
+fn usage_errors_print_usage() {
+    let output = run(&["frobnicate"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("usage: glitch-cli"));
+
+    let help = run(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("analyze"));
+}
+
+#[test]
+fn power_command_reports_the_three_components() {
+    let output = run(&[
+        "power",
+        &data("counter4.blif"),
+        "--cycles",
+        "100",
+        "--tech",
+        "65nm",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("logic"));
+    assert!(text.contains("flipflop"));
+    assert!(text.contains("clock"));
+}

@@ -41,7 +41,7 @@ impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
             cycles: 1000,
-            seed: 0xD_A7E_1995,
+            seed: 0xDA7E_1995,
             frequency: 5e6,
             technology: Technology::cmos_0p8um_5v(),
             delay: DelayConfig::Unit,
@@ -109,9 +109,12 @@ impl GlitchAnalyzer {
         match &self.config.delay {
             DelayConfig::Unit => self.analyze_with(netlist, random_buses, held, UnitDelay),
             DelayConfig::Zero => self.analyze_with(netlist, random_buses, held, ZeroDelay),
-            DelayConfig::RealisticAdderCells => {
-                self.analyze_with(netlist, random_buses, held, CellDelay::realistic_adder_cells())
-            }
+            DelayConfig::RealisticAdderCells => self.analyze_with(
+                netlist,
+                random_buses,
+                held,
+                CellDelay::realistic_adder_cells(),
+            ),
             DelayConfig::Custom(model) => {
                 self.analyze_with(netlist, random_buses, held, model.clone())
             }
@@ -141,9 +144,18 @@ impl GlitchAnalyzer {
         sim.run(stimulus)?;
         let trace = sim.trace().clone();
         let activity = ActivityReport::from_trace(netlist, &trace);
-        let power =
-            estimate_power(netlist, &trace, &self.config.technology, self.config.frequency);
-        Ok(Analysis { activity, power, trace, cycles: self.config.cycles })
+        let power = estimate_power(
+            netlist,
+            &trace,
+            &self.config.technology,
+            self.config.frequency,
+        );
+        Ok(Analysis {
+            activity,
+            power,
+            trace,
+            cycles: self.config.cycles,
+        })
     }
 }
 
@@ -155,9 +167,16 @@ mod tests {
     #[test]
     fn analyzer_reports_activity_and_power() {
         let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
-        let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 300, ..Default::default() });
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 300,
+            ..Default::default()
+        });
         let analysis = analyzer
-            .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+            .analyze(
+                &adder.netlist,
+                &[adder.a.clone(), adder.b.clone()],
+                &[(adder.cin, false)],
+            )
             .unwrap();
         let totals = analysis.activity.totals();
         assert_eq!(totals.cycles, 300);
@@ -178,7 +197,11 @@ mod tests {
             ..Default::default()
         });
         let analysis = analyzer
-            .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+            .analyze(
+                &adder.netlist,
+                &[adder.a.clone(), adder.b.clone()],
+                &[(adder.cin, false)],
+            )
             .unwrap();
         assert_eq!(analysis.activity.totals().useless, 0);
         assert!(analysis.activity.totals().useful > 0);
@@ -188,9 +211,12 @@ mod tests {
     fn unbalanced_cell_delays_increase_glitching() {
         let mult = WallaceTreeMultiplier::new(8, AdderStyle::CompoundCell);
         let buses = [mult.x.clone(), mult.y.clone()];
-        let unit = GlitchAnalyzer::new(AnalysisConfig { cycles: 200, ..Default::default() })
-            .analyze(&mult.netlist, &buses, &[])
-            .unwrap();
+        let unit = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 200,
+            ..Default::default()
+        })
+        .analyze(&mult.netlist, &buses, &[])
+        .unwrap();
         let realistic = GlitchAnalyzer::new(AnalysisConfig {
             cycles: 200,
             delay: DelayConfig::RealisticAdderCells,
@@ -202,7 +228,10 @@ mod tests {
         // delay imbalance and therefore useless transitions.
         assert!(realistic.activity.totals().useless > unit.activity.totals().useless);
         // The useful work is unchanged by the delay model.
-        assert_eq!(realistic.activity.totals().useful, unit.activity.totals().useful);
+        assert_eq!(
+            realistic.activity.totals().useful,
+            unit.activity.totals().useful
+        );
     }
 
     #[test]
@@ -214,7 +243,11 @@ mod tests {
             ..Default::default()
         });
         let analysis = analyzer
-            .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+            .analyze(
+                &adder.netlist,
+                &[adder.a.clone(), adder.b.clone()],
+                &[(adder.cin, false)],
+            )
             .unwrap();
         assert!(analysis.activity.totals().transitions > 0);
     }

@@ -53,7 +53,12 @@ impl ExplorationResult {
         self.points
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.power.total().partial_cmp(&b.1.power.total()).expect("finite power"))
+            .min_by(|a, b| {
+                a.1.power
+                    .total()
+                    .partial_cmp(&b.1.power.total())
+                    .expect("finite power")
+            })
             .map(|(i, _)| i)
             .expect("exploration must contain at least one point")
     }
@@ -158,7 +163,10 @@ impl PowerExplorer {
     /// analyzer configuration.
     #[must_use]
     pub fn new(analyzer: GlitchAnalyzer) -> Self {
-        PowerExplorer { analyzer, pipeline_options: PipelineOptions::default() }
+        PowerExplorer {
+            analyzer,
+            pipeline_options: PipelineOptions::default(),
+        }
     }
 
     /// Overrides the pipelining options (e.g. to not register the inputs).
@@ -189,8 +197,10 @@ impl PowerExplorer {
         let mut points = Vec::with_capacity(ranks.len());
         for &rank in ranks {
             let piped = pipeline_netlist(combinational, rank, self.pipeline_options)?;
-            let buses: Vec<Bus> =
-                random_buses.iter().map(|b| remap_bus(combinational, b, &piped.netlist)).collect();
+            let buses: Vec<Bus> = random_buses
+                .iter()
+                .map(|b| remap_bus(combinational, b, &piped.netlist))
+                .collect();
             let held: Vec<(NetId, bool)> = held
                 .iter()
                 .map(|&(net, v)| (remap_net(combinational, net, &piped.netlist), v))
@@ -228,10 +238,18 @@ mod tests {
     #[test]
     fn sweep_produces_monotone_flipflops_and_falling_logic_power() {
         let mult = ArrayMultiplier::new(6, AdderStyle::CompoundCell);
-        let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 150, ..Default::default() });
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 150,
+            ..Default::default()
+        });
         let explorer = PowerExplorer::new(analyzer);
         let result = explorer
-            .explore(&mult.netlist, &[1, 2, 4, 8], &[mult.x.clone(), mult.y.clone()], &[])
+            .explore(
+                &mult.netlist,
+                &[1, 2, 4, 8],
+                &[mult.x.clone(), mult.y.clone()],
+                &[],
+            )
             .unwrap();
         let points = result.points();
         assert_eq!(points.len(), 4);
@@ -252,10 +270,18 @@ mod tests {
     #[test]
     fn pipelining_does_not_change_useful_work() {
         let mult = ArrayMultiplier::new(5, AdderStyle::CompoundCell);
-        let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 100, ..Default::default() });
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 100,
+            ..Default::default()
+        });
         let explorer = PowerExplorer::new(analyzer);
         let result = explorer
-            .explore(&mult.netlist, &[0, 6], &[mult.x.clone(), mult.y.clone()], &[])
+            .explore(
+                &mult.netlist,
+                &[0, 6],
+                &[mult.x.clone(), mult.y.clone()],
+                &[],
+            )
             .unwrap();
         let unpiped = &result.points()[0];
         let piped = &result.points()[1];
@@ -263,7 +289,10 @@ mod tests {
         // so useful transitions stay within a few percent (boundary effects
         // from the one-cycle-later arrival of results).
         let ratio = piped.activity.useful as f64 / unpiped.activity.useful as f64;
-        assert!((0.9..=1.1).contains(&ratio), "useful-transition ratio {ratio}");
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "useful-transition ratio {ratio}"
+        );
         // Useless transitions drop dramatically.
         assert!(piped.activity.useless < unpiped.activity.useless / 2);
     }

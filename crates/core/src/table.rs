@@ -14,7 +14,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with empty
@@ -67,7 +70,15 @@ impl fmt::Display for TextTable {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

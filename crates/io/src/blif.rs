@@ -1,0 +1,661 @@
+//! The BLIF (Berkeley Logic Interchange Format) reader.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with a
+//! sum-of-products cover (mapped onto a [`glitch_netlist::CellKind`] when
+//! the cover's truth table matches one, decomposed into an AND–OR–INV
+//! network otherwise), `.latch` (mapped onto the single-clock D-flipflop),
+//! `.subckt` / `.gate` resolved through a [`GateLibrary`], `.end`, `#`
+//! comments and `\` line continuations.
+
+use std::collections::HashMap;
+
+use glitch_netlist::{CellKind, NetId, Netlist, NetlistError};
+
+use crate::cover::{Lit, SopCover};
+use crate::error::{IoError, Loc};
+use crate::library::GateLibrary;
+
+/// One whitespace-separated token with its source location.
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    loc: Loc,
+}
+
+/// One logical line (continuations joined, comments stripped).
+#[derive(Debug, Clone)]
+struct Line {
+    tokens: Vec<Token>,
+}
+
+impl Line {
+    fn loc(&self) -> Loc {
+        self.tokens[0].loc
+    }
+    fn keyword(&self) -> &str {
+        &self.tokens[0].text
+    }
+}
+
+/// Splits the text into non-empty logical lines.
+fn tokenize(text: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut continued = false;
+    for (line_index, raw) in text.lines().enumerate() {
+        let body = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let (body, continues) = match body.trim_end().strip_suffix('\\') {
+            Some(stripped) => (stripped, true),
+            None => (body, false),
+        };
+        if !continued {
+            current = Vec::new();
+        }
+        let mut col = 0usize;
+        for chunk in body.split_whitespace() {
+            // Column of this occurrence (search from the previous match so
+            // repeated tokens get increasing columns).
+            let at = body[col..].find(chunk).map_or(col, |p| col + p);
+            col = at + chunk.len();
+            current.push(Token {
+                text: chunk.to_string(),
+                loc: Loc::new(line_index + 1, at + 1),
+            });
+        }
+        continued = continues;
+        if !continued && !current.is_empty() {
+            lines.push(Line {
+                tokens: std::mem::take(&mut current),
+            });
+        }
+    }
+    if !current.is_empty() {
+        lines.push(Line { tokens: current });
+    }
+    lines
+}
+
+/// Incremental builder shared by the parsing passes.
+struct Builder<'l> {
+    netlist: Netlist,
+    nets: HashMap<String, NetId>,
+    outputs: Vec<(String, Loc)>,
+    library: &'l GateLibrary,
+    model_seen: bool,
+    inputs_may_still_be_declared: bool,
+}
+
+impl Builder<'_> {
+    /// The net named `name`, created as an internal net on first use.
+    fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.nets.get(name) {
+            return id;
+        }
+        let id = self.netlist.add_net(name);
+        self.nets.insert(name.to_string(), id);
+        id
+    }
+
+    fn net_name(&self, index: usize) -> String {
+        self.netlist
+            .net(NetId::from_index(index))
+            .name()
+            .to_string()
+    }
+
+    /// Maps a construction error onto a located [`IoError`].
+    fn build_err(&self, err: NetlistError, loc: Loc) -> IoError {
+        match err {
+            NetlistError::MultipleDrivers { net, .. } => IoError::DuplicateDriver {
+                loc,
+                net: self.net_name(net.index()),
+            },
+            NetlistError::DrivenInput(net) => IoError::DuplicateDriver {
+                loc,
+                net: self.net_name(net.index()),
+            },
+            other => IoError::from_netlist(&other, |i| self.net_name(i)),
+        }
+    }
+}
+
+/// Parses BLIF text into a validated [`Netlist`], resolving `.subckt` and
+/// `.gate` models through `library`.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] with a source location for grammar and mapping
+/// problems, and a name-resolved [`IoError`] for structural problems found
+/// by post-parse validation (dangling nets, combinational loops, …).
+pub fn parse_blif(text: &str, library: &GateLibrary) -> Result<Netlist, IoError> {
+    let lines = tokenize(text);
+    let mut builder = Builder {
+        netlist: Netlist::new("top"),
+        nets: HashMap::new(),
+        outputs: Vec::new(),
+        library,
+        model_seen: false,
+        inputs_may_still_be_declared: true,
+    };
+
+    let mut i = 0usize;
+    let mut ended = false;
+    while i < lines.len() {
+        let line = &lines[i];
+        let keyword = line.keyword();
+        if !keyword.starts_with('.') {
+            return Err(IoError::syntax(
+                line.loc(),
+                format!("expected a directive, found `{keyword}` (cover rows must follow a .names line)"),
+            ));
+        }
+        if ended {
+            return Err(IoError::syntax(
+                line.loc(),
+                format!("`{keyword}` after .end (only one model per file is supported)"),
+            ));
+        }
+        match keyword {
+            ".model" => {
+                if builder.model_seen {
+                    return Err(IoError::Unsupported {
+                        loc: line.loc(),
+                        construct: "multiple .model blocks in one file".into(),
+                    });
+                }
+                // Replacing the netlist would orphan every NetId handed out
+                // so far, silently rewiring signals — refuse instead.
+                if builder.netlist.net_count() > 0 {
+                    return Err(IoError::syntax(
+                        line.loc(),
+                        ".model must come before any .inputs/.names/.latch/.subckt",
+                    ));
+                }
+                builder.model_seen = true;
+                if let Some(name) = line.tokens.get(1) {
+                    builder.netlist = Netlist::new(&name.text);
+                }
+                i += 1;
+            }
+            ".inputs" => {
+                if !builder.inputs_may_still_be_declared {
+                    return Err(IoError::syntax(
+                        line.loc(),
+                        ".inputs must precede .names/.latch/.subckt/.gate",
+                    ));
+                }
+                for token in &line.tokens[1..] {
+                    if builder.nets.contains_key(&token.text) {
+                        return Err(IoError::Undeclared {
+                            loc: token.loc,
+                            name: format!("duplicate primary input `{}`", token.text),
+                        });
+                    }
+                    let id = builder.netlist.add_input(&token.text);
+                    builder.nets.insert(token.text.clone(), id);
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                for token in &line.tokens[1..] {
+                    builder.outputs.push((token.text.clone(), token.loc));
+                }
+                i += 1;
+            }
+            ".names" => {
+                builder.inputs_may_still_be_declared = false;
+                i = parse_names(&mut builder, &lines, i)?;
+            }
+            ".latch" => {
+                builder.inputs_may_still_be_declared = false;
+                parse_latch(&mut builder, line)?;
+                i += 1;
+            }
+            ".subckt" | ".gate" => {
+                builder.inputs_may_still_be_declared = false;
+                parse_subckt(&mut builder, line)?;
+                i += 1;
+            }
+            ".end" => {
+                ended = true;
+                i += 1;
+            }
+            ".exdc" | ".clock" | ".clock_event" | ".wire_load_slope" | ".delay" => {
+                return Err(IoError::Unsupported {
+                    loc: line.loc(),
+                    construct: format!("the `{keyword}` directive"),
+                });
+            }
+            other => {
+                return Err(IoError::syntax(
+                    line.loc(),
+                    format!("unknown directive `{other}`"),
+                ));
+            }
+        }
+    }
+
+    finish(builder)
+}
+
+/// Parses one `.names` block starting at `lines[start]`; returns the index
+/// of the first line after its cover rows.
+fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<usize, IoError> {
+    let header = &lines[start];
+    if header.tokens.len() < 2 {
+        return Err(IoError::syntax(
+            header.loc(),
+            ".names needs at least an output net",
+        ));
+    }
+    let signal_tokens = &header.tokens[1..];
+    let input_count = signal_tokens.len() - 1;
+    let input_ids: Vec<NetId> = signal_tokens[..input_count]
+        .iter()
+        .map(|t| builder.net(&t.text))
+        .collect();
+    let out_token = &signal_tokens[input_count];
+    let out_id = builder.net(&out_token.text);
+
+    // Collect the cover rows that follow.
+    let mut rows: Vec<Vec<Lit>> = Vec::new();
+    let mut phase: Option<bool> = None;
+    let mut next = start + 1;
+    while next < lines.len() && !lines[next].keyword().starts_with('.') {
+        let row_line = &lines[next];
+        let (plane_text, out_text, out_loc) = match (input_count, row_line.tokens.len()) {
+            (0, 1) => (
+                String::new(),
+                row_line.tokens[0].text.clone(),
+                row_line.tokens[0].loc,
+            ),
+            (_, 2) => (
+                row_line.tokens[0].text.clone(),
+                row_line.tokens[1].text.clone(),
+                row_line.tokens[1].loc,
+            ),
+            (_, got) => {
+                return Err(IoError::syntax(
+                    row_line.loc(),
+                    format!(
+                        "cover row must have {} fields, found {got}",
+                        if input_count == 0 { 1 } else { 2 }
+                    ),
+                ));
+            }
+        };
+        if plane_text.len() != input_count {
+            return Err(IoError::WidthMismatch {
+                loc: row_line.loc(),
+                subject: format!("cover row of `{}`", out_token.text),
+                expected: input_count,
+                got: plane_text.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(input_count);
+        for (k, c) in plane_text.chars().enumerate() {
+            row.push(match c {
+                '0' => Lit::Zero,
+                '1' => Lit::One,
+                '-' => Lit::DontCare,
+                other => {
+                    return Err(IoError::syntax(
+                        Loc::new(row_line.loc().line, row_line.tokens[0].loc.col + k),
+                        format!("invalid cover literal `{other}` (expected 0, 1 or -)"),
+                    ));
+                }
+            });
+        }
+        let row_phase = match out_text.as_str() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(IoError::syntax(
+                    out_loc,
+                    format!("cover output must be 0 or 1, found `{other}`"),
+                ));
+            }
+        };
+        match phase {
+            None => phase = Some(row_phase),
+            Some(p) if p != row_phase => {
+                return Err(IoError::syntax(
+                    out_loc,
+                    "cover mixes on-set and off-set rows",
+                ));
+            }
+            Some(_) => {}
+        }
+        rows.push(row);
+        next += 1;
+    }
+
+    let cover = match phase {
+        None => SopCover::constant_zero(input_count),
+        Some(phase) => SopCover {
+            inputs: input_count,
+            rows,
+            phase,
+        },
+    };
+    cover
+        .instantiate(&mut builder.netlist, &input_ids, out_id)
+        .map_err(|e| builder.build_err(e, header.loc()))?;
+    Ok(next)
+}
+
+/// Parses one `.latch` line.
+fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
+    // .latch <input> <output> [<type> <control>] [<init-val>]
+    let args = &line.tokens[1..];
+    let (d_tok, q_tok, init_tok) = match args.len() {
+        2 => (&args[0], &args[1], None),
+        3 => (&args[0], &args[1], Some(&args[2])),
+        4 => (&args[0], &args[1], None),
+        5 => (&args[0], &args[1], Some(&args[4])),
+        got => {
+            return Err(IoError::syntax(
+                line.loc(),
+                format!(".latch takes 2 to 5 arguments, found {got}"),
+            ));
+        }
+    };
+    if let Some(init) = init_tok {
+        match init.text.as_str() {
+            "0" | "2" | "3" => {}
+            "1" => {
+                return Err(IoError::Unsupported {
+                    loc: init.loc,
+                    construct:
+                        "flipflop initial value 1 (this flow initialises all flipflops to 0)".into(),
+                });
+            }
+            other => {
+                return Err(IoError::syntax(
+                    init.loc,
+                    format!("latch init value must be 0..3, found `{other}`"),
+                ));
+            }
+        }
+    }
+    let d = builder.net(&d_tok.text);
+    let q = builder.net(&q_tok.text);
+    let name = format!("ff_{}_{}", q_tok.text, builder.netlist.cell_count());
+    builder
+        .netlist
+        .add_cell(CellKind::Dff, name, vec![d], vec![q])
+        .map_err(|e| builder.build_err(e, line.loc()))?;
+    Ok(())
+}
+
+/// Parses one `.subckt` / `.gate` line through the gate library.
+fn parse_subckt(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
+    let directive = line.keyword().to_string();
+    let model_tok = line
+        .tokens
+        .get(1)
+        .ok_or_else(|| IoError::syntax(line.loc(), format!("{directive} needs a model name")))?;
+    let cell = builder
+        .library
+        .lookup(&model_tok.text)
+        .ok_or_else(|| IoError::UnknownCell {
+            loc: model_tok.loc,
+            name: model_tok.text.clone(),
+        })?
+        .clone();
+
+    let mut input_nets: Vec<Option<(NetId, Loc)>> = vec![None; cell.inputs.len()];
+    let mut output_nets: Vec<Option<(NetId, Loc)>> = vec![None; cell.outputs.len()];
+    for conn in &line.tokens[2..] {
+        let Some((formal, actual)) = conn.text.split_once('=') else {
+            return Err(IoError::syntax(
+                conn.loc,
+                format!("expected formal=actual, found `{}`", conn.text),
+            ));
+        };
+        match cell.resolve_pin(formal) {
+            Ok(Some((true, index))) => {
+                output_nets[index] = Some((builder.net(actual), conn.loc));
+            }
+            Ok(Some((false, index))) => {
+                input_nets[index] = Some((builder.net(actual), conn.loc));
+            }
+            Ok(None) => {} // ignored pin (clock and friends)
+            Err(()) => {
+                return Err(IoError::syntax(
+                    conn.loc,
+                    format!("cell `{}` has no pin `{formal}`", model_tok.text),
+                ));
+            }
+        }
+    }
+
+    // Variable-arity kinds accept a contiguous prefix of their pin list;
+    // fixed-arity kinds need every pin.
+    let connected_inputs = input_nets.iter().filter(|n| n.is_some()).count();
+    let inputs: Vec<NetId> = input_nets
+        .iter()
+        .take_while(|n| n.is_some())
+        .map(|n| n.unwrap().0)
+        .collect();
+    if inputs.len() != connected_inputs {
+        return Err(IoError::syntax(
+            line.loc(),
+            format!(
+                "cell `{}` has a gap in its connected input pins",
+                model_tok.text
+            ),
+        ));
+    }
+    if !cell.kind.accepts_arity(inputs.len()) {
+        return Err(IoError::WidthMismatch {
+            loc: line.loc(),
+            subject: format!("inputs of `{}`", model_tok.text),
+            expected: cell.kind.fixed_input_arity().unwrap_or(2),
+            got: inputs.len(),
+        });
+    }
+    let outputs: Vec<NetId> = match output_nets
+        .iter()
+        .enumerate()
+        .map(|(k, n)| n.map(|(id, _)| id).ok_or(k))
+        .collect::<Result<Vec<_>, usize>>()
+    {
+        Ok(outs) => outs,
+        Err(missing) => {
+            return Err(IoError::syntax(
+                line.loc(),
+                format!(
+                    "cell `{}` output pin `{}` is not connected",
+                    model_tok.text,
+                    cell.outputs[missing].canonical()
+                ),
+            ));
+        }
+    };
+    let name = format!("u_{}_{}", model_tok.text, builder.netlist.cell_count());
+    builder
+        .netlist
+        .add_cell(cell.kind, name, inputs, outputs)
+        .map_err(|e| builder.build_err(e, line.loc()))?;
+    Ok(())
+}
+
+/// Marks outputs, checks drivers and runs structural validation.
+fn finish(mut builder: Builder) -> Result<Netlist, IoError> {
+    for (name, _loc) in std::mem::take(&mut builder.outputs) {
+        let id = builder.net(&name);
+        if builder.netlist.net(id).is_floating() {
+            return Err(IoError::DanglingNet { net: name });
+        }
+        builder.netlist.mark_output(id);
+    }
+    builder
+        .netlist
+        .validate()
+        .map_err(|e| IoError::from_netlist(&e, |i| builder.net_name(i)))?;
+    Ok(builder.netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> GateLibrary {
+        GateLibrary::standard()
+    }
+
+    #[test]
+    fn parses_a_half_adder() {
+        let text = "\
+# a half adder
+.model ha
+.inputs a b
+.outputs s c
+.names a b s
+01 1
+10 1
+.names a b c
+11 1
+.end
+";
+        let nl = parse_blif(text, &lib()).unwrap();
+        assert_eq!(nl.name(), "ha");
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.stats().count_of(CellKind::Xor), 1);
+        assert_eq!(nl.stats().count_of(CellKind::And), 1);
+    }
+
+    #[test]
+    fn parses_latches_and_subckts() {
+        let text = "\
+.model pipelined
+.inputs a b cin
+.outputs sum_q carry_q
+.subckt $fa a=a b=b cin=cin sum=s carry=c
+.latch s sum_q re clk 2
+.latch c carry_q 2
+.end
+";
+        let nl = parse_blif(text, &lib()).unwrap();
+        assert_eq!(nl.dff_count(), 2);
+        assert_eq!(nl.stats().count_of(CellKind::FullAdder), 1);
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let text = ".model t\n.inputs a \\\n  b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let nl = parse_blif(text, &lib()).unwrap();
+        assert_eq!(nl.inputs().len(), 2);
+    }
+
+    #[test]
+    fn unknown_cell_is_located() {
+        let text = ".model t\n.inputs a\n.outputs y\n.subckt mystery a=a y=y\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        match err {
+            IoError::UnknownCell { loc, name } => {
+                assert_eq!(name, "mystery");
+                assert_eq!(loc.line, 4);
+            }
+            other => panic!("expected UnknownCell, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cover_width_mismatch_is_located() {
+        let text = ".model t\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::WidthMismatch {
+                    expected: 2,
+                    got: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(err.loc().unwrap().line, 5);
+    }
+
+    #[test]
+    fn duplicate_driver_is_reported_by_name() {
+        let text = ".model t\n.inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert!(
+            matches!(err, IoError::DuplicateDriver { ref net, .. } if net == "y"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dangling_net_is_reported_by_name() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::DanglingNet {
+                net: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn undriven_output_is_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y nowhere\n.names a y\n1 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::DanglingNet {
+                net: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn latch_init_one_is_unsupported() {
+        let text = ".model t\n.inputs d\n.outputs q\n.latch d q 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn irregular_cover_becomes_a_network() {
+        // f = a·b + c (an AND-OR structure, no single matching kind).
+        let text = ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n";
+        let nl = parse_blif(text, &lib()).unwrap();
+        assert!(nl.cell_count() >= 2, "needs an AND and an OR");
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn constant_covers_parse() {
+        let text = ".model t\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let nl = parse_blif(text, &lib()).unwrap();
+        assert_eq!(nl.stats().count_of(CellKind::Const(true)), 1);
+        assert_eq!(nl.stats().count_of(CellKind::Const(false)), 1);
+    }
+
+    #[test]
+    fn model_after_nets_is_rejected() {
+        // A late .model would replace the netlist while stale NetIds keep
+        // pointing into the old one — must be a hard error, not a rewiring.
+        let text = ".inputs a\n.model t\n.inputs b\n.outputs y\n.names a y\n1 1\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert!(matches!(err, IoError::Syntax { .. }), "{err}");
+        assert_eq!(err.loc().unwrap().line, 2);
+    }
+
+    #[test]
+    fn input_declared_after_use_is_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.inputs b\n.end\n";
+        let err = parse_blif(text, &lib()).unwrap_err();
+        assert!(matches!(err, IoError::Syntax { .. }), "{err}");
+    }
+}

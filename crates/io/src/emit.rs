@@ -1,0 +1,227 @@
+//! The BLIF writer: the inverse of [`crate::parse_blif`].
+//!
+//! Every single-output combinational cell is written as a `.names` block
+//! with its canonical cover, flipflops as `.latch` lines and the compound
+//! adder cells as `.subckt $ha` / `.subckt $fa` instances (which the reader
+//! resolves back through the standard [`crate::GateLibrary`]), so a
+//! write → read round trip reproduces the cell histogram exactly.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use glitch_netlist::{CellKind, NetId, Netlist};
+
+use crate::cover::{canonical_cover, Lit};
+
+/// Renders `netlist` as BLIF text.
+///
+/// Net names are sanitised (whitespace, `=`, `#` and `\` become `_`, empty
+/// names become `_`); when sanitisation makes two names collide, a numeric
+/// suffix keeps them distinct. Nets that are neither ports nor connected to
+/// any cell are omitted.
+#[must_use]
+pub fn emit_blif(netlist: &Netlist) -> String {
+    let names = NameTable::new(netlist);
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(netlist.name()));
+
+    if !netlist.inputs().is_empty() {
+        let _ = write!(out, ".inputs");
+        for &input in netlist.inputs() {
+            let _ = write!(out, " {}", names.get(input));
+        }
+        let _ = writeln!(out);
+    }
+    if !netlist.outputs().is_empty() {
+        let _ = write!(out, ".outputs");
+        for &output in netlist.outputs() {
+            let _ = write!(out, " {}", names.get(output));
+        }
+        let _ = writeln!(out);
+    }
+
+    for (_, cell) in netlist.cells() {
+        match cell.kind() {
+            CellKind::Dff => {
+                let _ = writeln!(
+                    out,
+                    ".latch {} {} 2",
+                    names.get(cell.inputs()[0]),
+                    names.get(cell.outputs()[0])
+                );
+            }
+            CellKind::HalfAdder => {
+                let _ = writeln!(
+                    out,
+                    ".subckt $ha a={} b={} sum={} carry={}",
+                    names.get(cell.inputs()[0]),
+                    names.get(cell.inputs()[1]),
+                    names.get(cell.outputs()[0]),
+                    names.get(cell.outputs()[1])
+                );
+            }
+            CellKind::FullAdder => {
+                let _ = writeln!(
+                    out,
+                    ".subckt $fa a={} b={} cin={} sum={} carry={}",
+                    names.get(cell.inputs()[0]),
+                    names.get(cell.inputs()[1]),
+                    names.get(cell.inputs()[2]),
+                    names.get(cell.outputs()[0]),
+                    names.get(cell.outputs()[1])
+                );
+            }
+            kind => {
+                let _ = write!(out, ".names");
+                for &input in cell.inputs() {
+                    let _ = write!(out, " {}", names.get(input));
+                }
+                let _ = writeln!(out, " {}", names.get(cell.outputs()[0]));
+                let cover = canonical_cover(kind, cell.inputs().len());
+                let output_char = if cover.phase { '1' } else { '0' };
+                for row in &cover.rows {
+                    if row.is_empty() {
+                        let _ = writeln!(out, "{output_char}");
+                        continue;
+                    }
+                    let plane: String = row
+                        .iter()
+                        .map(|lit| match lit {
+                            Lit::Zero => '0',
+                            Lit::One => '1',
+                            Lit::DontCare => '-',
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{plane} {output_char}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || matches!(c, '=' | '#' | '\\') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Collision-free sanitised names for every net.
+struct NameTable {
+    by_net: Vec<String>,
+}
+
+impl NameTable {
+    fn new(netlist: &Netlist) -> Self {
+        let mut taken: HashSet<String> = HashSet::new();
+        let mut by_net = Vec::with_capacity(netlist.net_count());
+        for (_, net) in netlist.nets() {
+            let base = sanitize(net.name());
+            let name = if taken.contains(&base) {
+                let mut k = 1usize;
+                loop {
+                    let candidate = format!("{base}__{k}");
+                    if !taken.contains(&candidate) {
+                        break candidate;
+                    }
+                    k += 1;
+                }
+            } else {
+                base
+            };
+            taken.insert(name.clone());
+            by_net.push(name);
+        }
+        NameTable { by_net }
+    }
+
+    fn get(&self, net: NetId) -> &str {
+        &self.by_net[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blif::parse_blif;
+    use crate::library::GateLibrary;
+
+    #[test]
+    fn emits_and_reparses_every_kind() {
+        let mut nl = Netlist::new("all kinds");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x0 = nl.and2(a, b, "x0");
+        let x1 = nl.or2(a, b, "x1");
+        let x2 = nl.nand2(a, b, "x2");
+        let x3 = nl.nor2(a, b, "x3");
+        let x4 = nl.xor2(a, b, "x4");
+        let x5 = nl.xnor2(a, b, "x5");
+        let x6 = nl.inv(a, "x6");
+        let x7 = nl.buf(b, "x7");
+        let x8 = nl.mux2(a, b, c, "x8");
+        let x9 = nl.maj3(a, b, c, "x9");
+        let (s, co) = nl.half_adder(a, b, "ha");
+        let (fs, fco) = nl.full_adder(a, b, c, "fa");
+        let k1 = nl.constant(true, "k1");
+        let k0 = nl.constant(false, "k0");
+        let q = nl.dff(x0, "q");
+        for net in [
+            x1, x2, x3, x4, x5, x6, x7, x8, x9, s, co, fs, fco, k1, k0, q,
+        ] {
+            nl.mark_output(net);
+        }
+        nl.validate().unwrap();
+
+        let text = emit_blif(&nl);
+        let parsed = parse_blif(&text, &GateLibrary::standard()).unwrap();
+        assert_eq!(parsed.name(), "all_kinds");
+        assert_eq!(parsed.cell_count(), nl.cell_count());
+        assert_eq!(parsed.net_count(), nl.net_count());
+        assert_eq!(parsed.dff_count(), nl.dff_count());
+        assert_eq!(parsed.stats().cells_by_kind(), nl.stats().cells_by_kind());
+        assert_eq!(parsed.inputs().len(), nl.inputs().len());
+        assert_eq!(parsed.outputs().len(), nl.outputs().len());
+    }
+
+    #[test]
+    fn colliding_sanitised_names_stay_distinct() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("sig a");
+        let b = nl.add_input("sig=a");
+        let y = nl.and2(a, b, "y");
+        nl.mark_output(y);
+        let text = emit_blif(&nl);
+        let parsed = parse_blif(&text, &GateLibrary::standard()).unwrap();
+        assert_eq!(parsed.inputs().len(), 2);
+        assert_eq!(parsed.net_count(), 3);
+    }
+
+    #[test]
+    fn emitted_text_is_stable_under_round_trip() {
+        let mut nl = Netlist::new("stable");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (s, c) = nl.full_adder(a, b, a, "fa");
+        let q = nl.dff(s, "q");
+        nl.mark_output(q);
+        nl.mark_output(c);
+        let once = emit_blif(&nl);
+        let twice = emit_blif(&parse_blif(&once, &GateLibrary::standard()).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,217 @@
+//! Diagnostics for netlist interchange: every parse error carries the
+//! source location it was detected at, and structural errors found by
+//! [`glitch_netlist::Netlist::validate`] are reported with net names
+//! resolved (a BLIF author knows their nets by name, not by dense index).
+
+use std::error::Error;
+use std::fmt;
+
+use glitch_netlist::NetlistError;
+
+/// A position in the source text, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl Loc {
+    /// Builds a location.
+    #[must_use]
+    pub fn new(line: usize, col: usize) -> Self {
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Errors reported by the BLIF and Verilog frontends and the BLIF writer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IoError {
+    /// The text does not conform to the grammar.
+    Syntax {
+        /// Where the problem was detected.
+        loc: Loc,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `.subckt` / `.gate` model or a module instance names a cell the
+    /// [`crate::GateLibrary`] does not know.
+    UnknownCell {
+        /// Where the cell is instantiated.
+        loc: Loc,
+        /// The unresolved cell name.
+        name: String,
+    },
+    /// A cover row, a pin list or a net reference has the wrong width.
+    WidthMismatch {
+        /// Where the mismatch was detected.
+        loc: Loc,
+        /// What is mis-sized (a net or cell name, or `"cover row"`).
+        subject: String,
+        /// The width the context requires.
+        expected: usize,
+        /// The width that was found.
+        got: usize,
+    },
+    /// Two constructs drive the same net.
+    DuplicateDriver {
+        /// Where the second driver appears.
+        loc: Loc,
+        /// The over-driven net's name.
+        net: String,
+    },
+    /// An identifier is used but never declared (strict-mode Verilog) or a
+    /// primary input is declared after the net was already created.
+    Undeclared {
+        /// Where the identifier is used.
+        loc: Loc,
+        /// The identifier.
+        name: String,
+    },
+    /// A recognised but unsupported construct.
+    Unsupported {
+        /// Where the construct appears.
+        loc: Loc,
+        /// A description of the construct.
+        construct: String,
+    },
+    /// A net ends up with loads but no driver (found by post-parse
+    /// validation).
+    DanglingNet {
+        /// The floating net's name.
+        net: String,
+    },
+    /// Any other structural invariant violated by the parsed netlist, with
+    /// ids already resolved to names where possible.
+    InvalidNetlist {
+        /// The resolved description.
+        message: String,
+    },
+}
+
+impl IoError {
+    /// Builds a syntax error.
+    #[must_use]
+    pub fn syntax(loc: Loc, message: impl Into<String>) -> Self {
+        IoError::Syntax {
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// Converts a [`NetlistError`] found while building or validating the
+    /// parsed netlist, resolving ids to names through `resolve`.
+    pub(crate) fn from_netlist(err: &NetlistError, resolve: impl Fn(usize) -> String) -> Self {
+        match err {
+            NetlistError::FloatingNet(net) => IoError::DanglingNet {
+                net: resolve(net.index()),
+            },
+            other => IoError::InvalidNetlist {
+                message: other.to_string(),
+            },
+        }
+    }
+
+    /// The source location the error points at, if it has one.
+    #[must_use]
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            IoError::Syntax { loc, .. }
+            | IoError::UnknownCell { loc, .. }
+            | IoError::WidthMismatch { loc, .. }
+            | IoError::DuplicateDriver { loc, .. }
+            | IoError::Undeclared { loc, .. }
+            | IoError::Unsupported { loc, .. } => Some(*loc),
+            IoError::DanglingNet { .. } | IoError::InvalidNetlist { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Syntax { loc, message } => write!(f, "{loc}: {message}"),
+            IoError::UnknownCell { loc, name } => {
+                write!(f, "{loc}: unknown cell `{name}` (not in the gate library)")
+            }
+            IoError::WidthMismatch {
+                loc,
+                subject,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{loc}: width mismatch on {subject}: expected {expected}, got {got}"
+                )
+            }
+            IoError::DuplicateDriver { loc, net } => {
+                write!(f, "{loc}: net `{net}` already has a driver")
+            }
+            IoError::Undeclared { loc, name } => {
+                write!(f, "{loc}: `{name}` is not declared")
+            }
+            IoError::Unsupported { loc, construct } => {
+                write!(f, "{loc}: unsupported construct: {construct}")
+            }
+            IoError::DanglingNet { net } => {
+                write!(f, "net `{net}` is used but never driven (dangling)")
+            }
+            IoError::InvalidNetlist { message } => {
+                write!(f, "parsed netlist is structurally invalid: {message}")
+            }
+        }
+    }
+}
+
+impl Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_netlist::Netlist;
+
+    #[test]
+    fn display_forms_carry_location() {
+        let e = IoError::syntax(Loc::new(3, 7), "bad token");
+        assert_eq!(e.to_string(), "line 3, column 7: bad token");
+        assert_eq!(e.loc(), Some(Loc::new(3, 7)));
+        let e = IoError::UnknownCell {
+            loc: Loc::new(1, 1),
+            name: "weird".into(),
+        };
+        assert!(e.to_string().contains("`weird`"));
+        let e = IoError::DanglingNet { net: "x".into() };
+        assert!(e.loc().is_none());
+    }
+
+    #[test]
+    fn netlist_errors_resolve_net_names() {
+        // Build a netlist with a floating net that has a load.
+        let mut nl = Netlist::new("t");
+        let floating = nl.add_net("mystery");
+        let y = nl.inv(floating, "y");
+        nl.mark_output(y);
+        let err = nl.validate().unwrap_err();
+        let io = IoError::from_netlist(&err, |i| {
+            nl.net(glitch_netlist::NetId::from_index(i))
+                .name()
+                .to_string()
+        });
+        assert_eq!(
+            io,
+            IoError::DanglingNet {
+                net: "mystery".into()
+            }
+        );
+        assert!(io.to_string().contains("mystery"));
+    }
+}

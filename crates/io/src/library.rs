@@ -1,0 +1,383 @@
+//! The cell-name mapping layer: resolves external cell names (BLIF
+//! `.subckt` / `.gate` models, Verilog module instances) onto the
+//! workspace's [`CellKind`]s, and carries the per-kind delay and
+//! capacitance defaults the downstream analyses use, drawn from
+//! `glitch-power`'s [`Technology`] model.
+
+use std::collections::HashMap;
+
+use glitch_netlist::CellKind;
+use glitch_power::Technology;
+use glitch_sim::CellDelay;
+
+/// How one library pin maps onto a cell's pin list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryPin {
+    /// Accepted names for this pin; the first is canonical.
+    pub names: Vec<String>,
+}
+
+impl LibraryPin {
+    fn new(names: &[&str]) -> Self {
+        LibraryPin {
+            names: names.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// The canonical (first) name.
+    #[must_use]
+    pub fn canonical(&self) -> &str {
+        &self.names[0]
+    }
+
+    /// Whether `name` (already lower-cased) refers to this pin.
+    #[must_use]
+    pub fn accepts(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+}
+
+/// One resolvable library cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryCell {
+    /// The netlist cell kind this external cell maps to.
+    pub kind: CellKind,
+    /// Input pins in the kind's pin order. For variable-arity kinds this is
+    /// the maximum supported arity; trailing pins may be left unconnected.
+    pub inputs: Vec<LibraryPin>,
+    /// Output pins in the kind's pin order.
+    pub outputs: Vec<LibraryPin>,
+    /// Pin names that are accepted and ignored (clock and control pins of
+    /// cells whose behaviour the single-clock netlist models implicitly).
+    pub ignored: Vec<String>,
+}
+
+impl LibraryCell {
+    /// Resolves a pin name: `Ok(Some((is_output, index)))` for a real pin,
+    /// `Ok(None)` for an ignored pin, `Err(())` for an unknown one.
+    #[allow(clippy::result_unit_err)]
+    pub fn resolve_pin(&self, name: &str) -> Result<Option<(bool, usize)>, ()> {
+        let name = name.to_ascii_lowercase();
+        if let Some(i) = self.inputs.iter().position(|p| p.accepts(&name)) {
+            return Ok(Some((false, i)));
+        }
+        if let Some(i) = self.outputs.iter().position(|p| p.accepts(&name)) {
+            return Ok(Some((true, i)));
+        }
+        if self.ignored.contains(&name) {
+            return Ok(None);
+        }
+        Err(())
+    }
+}
+
+/// Maps external cell names onto [`CellKind`]s and provides technology
+/// defaults (delays, pin capacitances) for imported circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLibrary {
+    cells: HashMap<String, LibraryCell>,
+    tech: Technology,
+}
+
+impl Default for GateLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The maximum arity registered for variable-arity gates.
+const MAX_GATE_ARITY: usize = 8;
+
+impl GateLibrary {
+    /// An empty library with the paper's 0.8 µm / 5 V technology.
+    #[must_use]
+    pub fn empty() -> Self {
+        GateLibrary {
+            cells: HashMap::new(),
+            tech: Technology::cmos_0p8um_5v(),
+        }
+    }
+
+    /// The standard library: common names for every [`CellKind`], including
+    /// the `$ha` / `$fa` / `$dff` models the BLIF writer emits.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut lib = Self::empty();
+        let var_inputs: Vec<LibraryPin> = (0..MAX_GATE_ARITY)
+            .map(|i| {
+                let letter = (b'a' + i as u8) as char;
+                LibraryPin {
+                    names: vec![
+                        letter.to_string(),
+                        format!("i{i}"),
+                        format!("in{i}"),
+                        format!("x{i}"),
+                    ],
+                }
+            })
+            .collect();
+        let out = |extra: &[&str]| {
+            let mut names = vec!["y", "o", "out", "z", "f"];
+            names.extend_from_slice(extra);
+            vec![LibraryPin::new(&names)]
+        };
+
+        for (kind, names) in [
+            (CellKind::And, &["and", "and2", "and3", "and4", "and8"][..]),
+            (CellKind::Or, &["or", "or2", "or3", "or4", "or8"][..]),
+            (
+                CellKind::Nand,
+                &["nand", "nand2", "nand3", "nand4", "nand8"][..],
+            ),
+            (CellKind::Nor, &["nor", "nor2", "nor3", "nor4", "nor8"][..]),
+            (CellKind::Xor, &["xor", "xor2", "xor3", "eo"][..]),
+            (CellKind::Xnor, &["xnor", "xnor2", "xnor3", "en"][..]),
+        ] {
+            let cell = LibraryCell {
+                kind,
+                inputs: var_inputs.clone(),
+                outputs: out(&[]),
+                ignored: Vec::new(),
+            };
+            for name in names {
+                lib.register(name, cell.clone());
+            }
+        }
+
+        let unary = |kind: CellKind| LibraryCell {
+            kind,
+            inputs: vec![LibraryPin::new(&["a", "i", "in", "d", "x0"])],
+            outputs: out(&[]),
+            ignored: Vec::new(),
+        };
+        for name in ["inv", "not", "inverter", "iv"] {
+            lib.register(name, unary(CellKind::Inv));
+        }
+        for name in ["buf", "buffer", "bf"] {
+            lib.register(name, unary(CellKind::Buf));
+        }
+
+        let mux = LibraryCell {
+            kind: CellKind::Mux2,
+            inputs: vec![
+                LibraryPin::new(&["s", "sel", "i0"]),
+                LibraryPin::new(&["a", "d0", "i1"]),
+                LibraryPin::new(&["b", "d1", "i2"]),
+            ],
+            outputs: out(&[]),
+            ignored: Vec::new(),
+        };
+        for name in ["mux", "mux2", "mux21"] {
+            lib.register(name, mux.clone());
+        }
+
+        let maj = LibraryCell {
+            kind: CellKind::Maj3,
+            inputs: vec![
+                LibraryPin::new(&["a", "i0"]),
+                LibraryPin::new(&["b", "i1"]),
+                LibraryPin::new(&["c", "i2"]),
+            ],
+            outputs: out(&[]),
+            ignored: Vec::new(),
+        };
+        for name in ["maj", "maj3", "majority"] {
+            lib.register(name, maj.clone());
+        }
+
+        let ha = LibraryCell {
+            kind: CellKind::HalfAdder,
+            inputs: vec![LibraryPin::new(&["a", "i0"]), LibraryPin::new(&["b", "i1"])],
+            outputs: vec![
+                LibraryPin::new(&["sum", "s", "o0"]),
+                LibraryPin::new(&["carry", "c", "co", "cout", "o1"]),
+            ],
+            ignored: Vec::new(),
+        };
+        for name in ["$ha", "ha", "half_adder", "halfadder"] {
+            lib.register(name, ha.clone());
+        }
+
+        let fa = LibraryCell {
+            kind: CellKind::FullAdder,
+            inputs: vec![
+                LibraryPin::new(&["a", "i0"]),
+                LibraryPin::new(&["b", "i1"]),
+                LibraryPin::new(&["cin", "ci", "c", "i2"]),
+            ],
+            outputs: vec![
+                LibraryPin::new(&["sum", "s", "o0"]),
+                LibraryPin::new(&["carry", "co", "cout", "o1"]),
+            ],
+            ignored: Vec::new(),
+        };
+        for name in ["$fa", "fa", "full_adder", "fulladder"] {
+            lib.register(name, fa.clone());
+        }
+
+        let dff = LibraryCell {
+            kind: CellKind::Dff,
+            inputs: vec![LibraryPin::new(&["d", "din", "i"])],
+            outputs: vec![LibraryPin::new(&["q", "qout", "o"])],
+            ignored: ["clk", "ck", "cp", "clock", "phi", "c"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        };
+        for name in ["$dff", "dff", "ff", "fd", "dff_p", "dffpos"] {
+            lib.register(name, dff.clone());
+        }
+
+        let constant = |value: bool| LibraryCell {
+            kind: CellKind::Const(value),
+            inputs: Vec::new(),
+            outputs: out(&["q"]),
+            ignored: Vec::new(),
+        };
+        for name in ["$const1", "vcc", "vdd", "one", "tie1"] {
+            lib.register(name, constant(true));
+        }
+        for name in ["$const0", "gnd", "vss", "zero", "tie0"] {
+            lib.register(name, constant(false));
+        }
+
+        lib
+    }
+
+    /// Replaces the technology the delay and capacitance defaults are drawn
+    /// from.
+    #[must_use]
+    pub fn with_technology(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Registers (or overrides) a cell under `name` (case-insensitive).
+    pub fn register(&mut self, name: &str, cell: LibraryCell) {
+        self.cells.insert(name.to_ascii_lowercase(), cell);
+    }
+
+    /// Looks a cell up by external name (case-insensitive).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&LibraryCell> {
+        self.cells.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of registered names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cell is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The technology the defaults are drawn from.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The default per-kind delay model for imported circuits: one unit for
+    /// simple gates, two for the wide-XOR-style cells, and the paper's
+    /// `d_sum = 2 · d_carry` split for the compound adder cells.
+    #[must_use]
+    pub fn cell_delay(&self) -> CellDelay {
+        CellDelay::new()
+            .with_kind(CellKind::Xor, 2)
+            .with_kind(CellKind::Xnor, 2)
+            .with_kind(CellKind::Mux2, 2)
+            .with_kind(CellKind::Maj3, 2)
+            .with_kind(CellKind::Const(false), 0)
+            .with_kind(CellKind::Const(true), 0)
+            .with_full_adder(2, 1)
+    }
+
+    /// Default input-pin capacitance of a cell of `kind`, in farads: the
+    /// technology's gate-input capacitance, scaled up for the compound
+    /// cells whose pins fan into several transistor gates internally.
+    #[must_use]
+    pub fn input_capacitance(&self, kind: CellKind) -> f64 {
+        let scale = match kind {
+            CellKind::HalfAdder | CellKind::FullAdder => 2.0,
+            CellKind::Dff => 1.5,
+            _ => 1.0,
+        };
+        self.tech.gate_input_cap * scale
+    }
+
+    /// Default output (drain plus local wiring) capacitance of a cell of
+    /// `kind`, in farads.
+    #[must_use]
+    pub fn output_capacitance(&self, kind: CellKind) -> f64 {
+        let scale = (kind.gate_equivalents() / 1.25).max(0.5);
+        self.tech.gate_output_cap * scale.min(3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_resolves_common_names() {
+        let lib = GateLibrary::standard();
+        assert_eq!(lib.lookup("NAND2").unwrap().kind, CellKind::Nand);
+        assert_eq!(lib.lookup("not").unwrap().kind, CellKind::Inv);
+        assert_eq!(lib.lookup("$fa").unwrap().kind, CellKind::FullAdder);
+        assert_eq!(lib.lookup("DFF").unwrap().kind, CellKind::Dff);
+        assert_eq!(lib.lookup("vcc").unwrap().kind, CellKind::Const(true));
+        assert!(lib.lookup("tristate").is_none());
+        assert!(!lib.is_empty());
+        assert!(lib.len() > 30);
+    }
+
+    #[test]
+    fn pin_resolution_understands_aliases_and_ignores_clocks() {
+        let lib = GateLibrary::standard();
+        let fa = lib.lookup("fa").unwrap();
+        assert_eq!(fa.resolve_pin("CIN"), Ok(Some((false, 2))));
+        assert_eq!(fa.resolve_pin("ci"), Ok(Some((false, 2))));
+        assert_eq!(fa.resolve_pin("sum"), Ok(Some((true, 0))));
+        assert_eq!(fa.resolve_pin("cout"), Ok(Some((true, 1))));
+        assert_eq!(fa.resolve_pin("nonsense"), Err(()));
+
+        let dff = lib.lookup("dff").unwrap();
+        assert_eq!(dff.resolve_pin("d"), Ok(Some((false, 0))));
+        assert_eq!(dff.resolve_pin("q"), Ok(Some((true, 0))));
+        assert_eq!(dff.resolve_pin("clk"), Ok(None));
+    }
+
+    #[test]
+    fn variable_arity_gates_expose_positional_pins() {
+        let lib = GateLibrary::standard();
+        let and = lib.lookup("and4").unwrap();
+        assert_eq!(and.resolve_pin("a"), Ok(Some((false, 0))));
+        assert_eq!(and.resolve_pin("c"), Ok(Some((false, 2))));
+        assert_eq!(and.resolve_pin("in3"), Ok(Some((false, 3))));
+        assert_eq!(and.resolve_pin("y"), Ok(Some((true, 0))));
+    }
+
+    #[test]
+    fn delay_defaults_follow_the_paper() {
+        use glitch_sim::DelayModel;
+        let model = GateLibrary::standard().cell_delay();
+        assert_eq!(model.delay(CellKind::And, 0), 1);
+        assert_eq!(model.delay(CellKind::FullAdder, 0), 2); // sum
+        assert_eq!(model.delay(CellKind::FullAdder, 1), 1); // carry
+        assert_eq!(model.delay(CellKind::Const(true), 0), 0);
+    }
+
+    #[test]
+    fn capacitance_defaults_scale_with_complexity() {
+        let lib = GateLibrary::standard();
+        assert!(lib.input_capacitance(CellKind::FullAdder) > lib.input_capacitance(CellKind::And));
+        assert!(
+            lib.output_capacitance(CellKind::FullAdder) > lib.output_capacitance(CellKind::Inv)
+        );
+        assert!(lib.output_capacitance(CellKind::Inv) > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Golden-file error tests: each malformed BLIF under `tests/data/bad/`
+//! must fail with the expected diagnostic — the exact error class, the
+//! offending name, and (for located errors) the right source line.
+
+use glitch_io::{parse_blif, GateLibrary, IoError};
+
+fn parse_bad(file: &str) -> IoError {
+    let path = format!("{}/tests/data/bad/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_blif(&text, &GateLibrary::standard()).expect_err("malformed input must not parse")
+}
+
+#[test]
+fn unknown_cell_names_the_model_and_line() {
+    let err = parse_bad("unknown_cell.blif");
+    match &err {
+        IoError::UnknownCell { loc, name } => {
+            assert_eq!(name, "frobnicator");
+            assert_eq!(loc.line, 4);
+        }
+        other => panic!("expected UnknownCell, got {other}"),
+    }
+    assert_eq!(
+        err.to_string(),
+        "line 4, column 9: unknown cell `frobnicator` (not in the gate library)"
+    );
+}
+
+#[test]
+fn dangling_net_names_the_floating_net() {
+    let err = parse_bad("dangling_net.blif");
+    assert_eq!(
+        err,
+        IoError::DanglingNet {
+            net: "phantom".into()
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "net `phantom` is used but never driven (dangling)"
+    );
+}
+
+#[test]
+fn duplicate_driver_names_the_overdriven_net_and_second_site() {
+    let err = parse_bad("duplicate_driver.blif");
+    match &err {
+        IoError::DuplicateDriver { loc, net } => {
+            assert_eq!(net, "y");
+            assert_eq!(loc.line, 6, "the *second* driver is the error site");
+        }
+        other => panic!("expected DuplicateDriver, got {other}"),
+    }
+}
+
+#[test]
+fn cover_width_mismatch_reports_both_widths() {
+    let err = parse_bad("bad_cover_width.blif");
+    match &err {
+        IoError::WidthMismatch {
+            loc, expected, got, ..
+        } => {
+            assert_eq!((*expected, *got), (2, 3));
+            assert_eq!(loc.line, 5);
+        }
+        other => panic!("expected WidthMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn combinational_loop_is_caught_by_validation() {
+    let err = parse_bad("combinational_loop.blif");
+    assert!(
+        matches!(err, IoError::InvalidNetlist { .. }),
+        "expected InvalidNetlist, got {err}"
+    );
+    assert!(err.to_string().contains("combinational loop"), "{err}");
+}

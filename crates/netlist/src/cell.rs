@@ -192,7 +192,7 @@ impl CellKind {
             CellKind::Xnor => outputs[0] = inputs.iter().filter(|&&v| v).count() % 2 == 0,
             CellKind::Mux2 => outputs[0] = if inputs[0] { inputs[2] } else { inputs[1] },
             CellKind::Maj3 => {
-                outputs[0] = (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2]);
+                outputs[0] = majority3(inputs[0], inputs[1], inputs[2]);
             }
             CellKind::HalfAdder => {
                 outputs[0] = inputs[0] ^ inputs[1];
@@ -200,8 +200,7 @@ impl CellKind {
             }
             CellKind::FullAdder => {
                 outputs[0] = inputs[0] ^ inputs[1] ^ inputs[2];
-                outputs[1] =
-                    (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2]);
+                outputs[1] = majority3(inputs[0], inputs[1], inputs[2]);
             }
             CellKind::Dff => panic!("Dff has no combinational evaluation"),
         }
@@ -244,6 +243,12 @@ impl fmt::Display for CellKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.mnemonic())
     }
+}
+
+/// Majority of three: true when at least two inputs are true (the carry
+/// function of a full adder).
+fn majority3(a: bool, b: bool, c: bool) -> bool {
+    u8::from(a) + u8::from(b) + u8::from(c) >= 2
 }
 
 /// One cell instance inside a [`crate::Netlist`].

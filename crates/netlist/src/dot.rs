@@ -17,7 +17,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { edge_labels: true, highlight_flipflops: true, rankdir_lr: true }
+        DotOptions {
+            edge_labels: true,
+            highlight_flipflops: true,
+            rankdir_lr: true,
+        }
     }
 }
 
@@ -90,7 +94,11 @@ impl Netlist {
                 String::new()
             };
             for load in net.loads() {
-                let _ = writeln!(out, "  \"{source}\" -> \"cell{}\"{label};", load.cell.index());
+                let _ = writeln!(
+                    out,
+                    "  \"{source}\" -> \"cell{}\"{label};",
+                    load.cell.index()
+                );
             }
             if net.is_primary_output() {
                 let _ = writeln!(out, "  \"{source}\" -> \"out{}\"{label};", net_id.index());
@@ -132,7 +140,10 @@ mod tests {
         let a = nl.add_input("a");
         let y = nl.inv(a, "y");
         nl.mark_output(y);
-        let opts = DotOptions { edge_labels: false, ..DotOptions::default() };
+        let opts = DotOptions {
+            edge_labels: false,
+            ..DotOptions::default()
+        };
         let dot = nl.to_dot(&opts);
         assert!(!dot.contains("label=\"y\"]"));
     }

@@ -49,13 +49,19 @@ impl fmt::Display for NetlistError {
                 write!(f, "duplicate net name `{name}`")
             }
             NetlistError::MultipleDrivers { net, cell } => {
-                write!(f, "net {net} already has a driver, cell {cell} cannot drive it too")
+                write!(
+                    f,
+                    "net {net} already has a driver, cell {cell} cannot drive it too"
+                )
             }
             NetlistError::FloatingNet(net) => {
                 write!(f, "net {net} has no driver and is not a primary input")
             }
             NetlistError::BadArity { cell, got } => {
-                write!(f, "cell {cell} was given {got} inputs, which its kind does not accept")
+                write!(
+                    f,
+                    "cell {cell} was given {got} inputs, which its kind does not accept"
+                )
             }
             NetlistError::CombinationalLoop { cell } => {
                 write!(f, "combinational loop through cell {cell}")

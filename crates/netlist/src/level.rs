@@ -61,7 +61,9 @@ impl Levelization {
     /// Borrow the per-cell level table.
     #[must_use]
     pub fn levels(&self) -> CellLevels<'_> {
-        CellLevels { levels: &self.levels }
+        CellLevels {
+            levels: &self.levels,
+        }
     }
 
     /// Cells at exactly the given level, in id order.
@@ -93,10 +95,7 @@ impl Netlist {
         // In-degree counts only combinational predecessors.
         for id in self.combinational_cells() {
             let preds = self.cell_fanin(id);
-            indegree[id.index()] = preds
-                .iter()
-                .filter(|p| is_comb[p.index()])
-                .count();
+            indegree[id.index()] = preds.iter().filter(|p| is_comb[p.index()]).count();
         }
 
         let mut queue: VecDeque<CellId> = self
@@ -132,7 +131,11 @@ impl Netlist {
             return Err(NetlistError::CombinationalLoop { cell: stuck });
         }
         let depth = levels.iter().flatten().copied().max().unwrap_or(0);
-        Ok(Levelization { order, levels, depth })
+        Ok(Levelization {
+            order,
+            levels,
+            depth,
+        })
     }
 
     /// Longest combinational path length in cells; convenience wrapper over
@@ -219,7 +222,8 @@ mod tests {
         let a = nl.add_input("a");
         let z = nl.add_net("z");
         let y = nl.add_net("y");
-        nl.add_cell(CellKind::And, "g1", vec![a, z], vec![y]).unwrap();
+        nl.add_cell(CellKind::And, "g1", vec![a, z], vec![y])
+            .unwrap();
         nl.add_cell(CellKind::Inv, "g2", vec![y], vec![z]).unwrap();
         assert!(nl.levelize().is_err());
         assert!(nl.combinational_depth().is_err());

@@ -112,7 +112,11 @@ mod tests {
     fn display_forms() {
         assert_eq!(NetId(3).to_string(), "n3");
         assert_eq!(
-            Pin { cell: CellId(7), index: 1 }.to_string(),
+            Pin {
+                cell: CellId(7),
+                index: 1
+            }
+            .to_string(),
             "c7.1"
         );
     }
@@ -127,7 +131,10 @@ mod tests {
             is_output: false,
         };
         assert!(n.is_floating());
-        let i = Net { is_input: true, ..n.clone() };
+        let i = Net {
+            is_input: true,
+            ..n.clone()
+        };
         assert!(!i.is_floating());
     }
 }

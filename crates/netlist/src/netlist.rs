@@ -247,7 +247,11 @@ impl Netlist {
     /// Declares a primary input bus of `width` bits named `name[0]`,
     /// `name[1]`, … (LSB first).
     pub fn add_input_bus(&mut self, name: &str, width: usize) -> Bus {
-        Bus::new((0..width).map(|i| self.add_input(format!("{name}[{i}]"))).collect())
+        Bus::new(
+            (0..width)
+                .map(|i| self.add_input(format!("{name}[{i}]")))
+                .collect(),
+        )
     }
 
     /// Marks an existing net as a primary output.
@@ -271,7 +275,11 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::DuplicateNetName`] if the new name is taken and
     /// [`NetlistError::UnknownNet`] if `net` is out of range.
-    pub fn rename_net(&mut self, net: NetId, new_name: impl Into<String>) -> Result<(), NetlistError> {
+    pub fn rename_net(
+        &mut self,
+        net: NetId,
+        new_name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
         let new_name = new_name.into();
         if net.0 >= self.nets.len() {
             return Err(NetlistError::UnknownNet(net));
@@ -309,7 +317,10 @@ impl Netlist {
     ) -> Result<CellId, NetlistError> {
         let id = CellId(self.cells.len());
         if !kind.accepts_arity(inputs.len()) {
-            return Err(NetlistError::BadArity { cell: id, got: inputs.len() });
+            return Err(NetlistError::BadArity {
+                cell: id,
+                got: inputs.len(),
+            });
         }
         assert_eq!(
             outputs.len(),
@@ -330,12 +341,23 @@ impl Netlist {
             if self.nets[out.0].is_input {
                 return Err(NetlistError::DrivenInput(out));
             }
-            self.nets[out.0].driver = Some(Pin { cell: id, index: pin });
+            self.nets[out.0].driver = Some(Pin {
+                cell: id,
+                index: pin,
+            });
         }
         for (pin, &inp) in inputs.iter().enumerate() {
-            self.nets[inp.0].loads.push(Pin { cell: id, index: pin });
+            self.nets[inp.0].loads.push(Pin {
+                cell: id,
+                index: pin,
+            });
         }
-        self.cells.push(Cell { kind, name: name.into(), inputs, outputs });
+        self.cells.push(Cell {
+            kind,
+            name: name.into(),
+            inputs,
+            outputs,
+        });
         Ok(id)
     }
 
@@ -350,7 +372,11 @@ impl Netlist {
     /// rather than force `?` on every gate instantiation; use
     /// [`Netlist::add_cell`] when fallible construction is needed.
     pub fn gate(&mut self, kind: CellKind, inputs: &[NetId], out_name: &str) -> NetId {
-        assert_eq!(kind.output_count(), 1, "gate() only builds single-output cells");
+        assert_eq!(
+            kind.output_count(),
+            1,
+            "gate() only builds single-output cells"
+        );
         let out = self.add_net(out_name);
         let cell_name = format!("u_{out_name}_{}", self.cells.len());
         self.add_cell(kind, cell_name, inputs.to_vec(), vec![out])
@@ -549,8 +575,11 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
         let out = nl.add_net("out");
-        nl.add_cell(CellKind::Buf, "b1", vec![a], vec![out]).unwrap();
-        let err = nl.add_cell(CellKind::Inv, "b2", vec![a], vec![out]).unwrap_err();
+        nl.add_cell(CellKind::Buf, "b1", vec![a], vec![out])
+            .unwrap();
+        let err = nl
+            .add_cell(CellKind::Inv, "b2", vec![a], vec![out])
+            .unwrap_err();
         assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
     }
 
@@ -559,7 +588,9 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
         let b = nl.add_input("b");
-        let err = nl.add_cell(CellKind::Buf, "b1", vec![b], vec![a]).unwrap_err();
+        let err = nl
+            .add_cell(CellKind::Buf, "b1", vec![b], vec![a])
+            .unwrap_err();
         assert!(matches!(err, NetlistError::DrivenInput(_)));
     }
 

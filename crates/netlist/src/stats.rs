@@ -27,7 +27,10 @@ impl NetlistStats {
     /// kind.
     #[must_use]
     pub fn count_of(&self, kind: CellKind) -> usize {
-        self.cells_by_kind.get(kind.mnemonic()).copied().unwrap_or(0)
+        self.cells_by_kind
+            .get(kind.mnemonic())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Histogram of cell mnemonics to instance counts.
@@ -95,8 +98,16 @@ impl fmt::Display for NetlistStats {
             self.cell_count, self.net_count, self.dff_count, self.input_count, self.output_count
         )?;
         match self.combinational_depth {
-            Some(d) => writeln!(f, "  combinational depth: {d}  max fanout: {}", self.max_fanout)?,
-            None => writeln!(f, "  combinational depth: (cyclic)  max fanout: {}", self.max_fanout)?,
+            Some(d) => writeln!(
+                f,
+                "  combinational depth: {d}  max fanout: {}",
+                self.max_fanout
+            )?,
+            None => writeln!(
+                f,
+                "  combinational depth: (cyclic)  max fanout: {}",
+                self.max_fanout
+            )?,
         }
         writeln!(f, "  gate equivalents: {:.1}", self.gate_equivalents)?;
         for (kind, count) in &self.cells_by_kind {

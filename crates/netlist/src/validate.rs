@@ -27,7 +27,10 @@ impl Netlist {
         }
         for (id, cell) in self.cells() {
             if !cell.kind().accepts_arity(cell.inputs().len()) {
-                return Err(NetlistError::BadArity { cell: id, got: cell.inputs().len() });
+                return Err(NetlistError::BadArity {
+                    cell: id,
+                    got: cell.inputs().len(),
+                });
             }
         }
         self.check_combinational_loops()
@@ -135,10 +138,15 @@ mod tests {
         // y = and(a, z); z = inv(y)  — a purely combinational cycle.
         let z = nl.add_net("z");
         let y = nl.add_net("y");
-        nl.add_cell(CellKind::And, "g_and", vec![a, z], vec![y]).unwrap();
-        nl.add_cell(CellKind::Inv, "g_inv", vec![y], vec![z]).unwrap();
+        nl.add_cell(CellKind::And, "g_and", vec![a, z], vec![y])
+            .unwrap();
+        nl.add_cell(CellKind::Inv, "g_inv", vec![y], vec![z])
+            .unwrap();
         nl.mark_output(y);
-        assert!(matches!(nl.validate(), Err(NetlistError::CombinationalLoop { .. })));
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
     }
 
     #[test]
@@ -148,7 +156,8 @@ mod tests {
         // q' = q xor en with a flipflop in the loop: legal sequential logic.
         let q = nl.add_net("q");
         let next = nl.xor2(en, q, "next");
-        nl.add_cell(CellKind::Dff, "ff", vec![next], vec![q]).unwrap();
+        nl.add_cell(CellKind::Dff, "ff", vec![next], vec![q])
+            .unwrap();
         nl.mark_output(q);
         assert!(nl.validate().is_ok());
     }

@@ -31,14 +31,21 @@ impl<'a> CapacitanceModel<'a> {
     pub fn net_capacitance(&self, net: NetId) -> f64 {
         let record = self.netlist.net(net);
         let fanout = record.fanout() as f64;
-        let driver = if record.driver().is_some() { self.tech.gate_output_cap } else { 0.0 };
+        let driver = if record.driver().is_some() {
+            self.tech.gate_output_cap
+        } else {
+            0.0
+        };
         driver + fanout * (self.tech.gate_input_cap + self.tech.wire_cap_per_fanout)
     }
 
     /// Sum of all net capacitances, in farads.
     #[must_use]
     pub fn total_capacitance(&self) -> f64 {
-        self.netlist.nets().map(|(id, _)| self.net_capacitance(id)).sum()
+        self.netlist
+            .nets()
+            .map(|(id, _)| self.net_capacitance(id))
+            .sum()
     }
 
     /// Average net capacitance, in farads (0 for an empty netlist).

@@ -127,13 +127,21 @@ pub fn estimate_power(
     let breakdown = PowerBreakdown {
         logic: switched_cap_per_cycle * tech.vdd * tech.vdd * frequency,
         flipflop: tech.flipflop_power(frequency) * flipflops as f64,
-        clock: if flipflops > 0 { tech.clock_power(flipflops, frequency) } else { 0.0 },
+        clock: if flipflops > 0 {
+            tech.clock_power(flipflops, frequency)
+        } else {
+            0.0
+        },
     };
     PowerReport {
         breakdown,
         frequency,
         flipflops,
-        clock_capacitance: if flipflops > 0 { tech.clock_capacitance(flipflops) } else { 0.0 },
+        clock_capacitance: if flipflops > 0 {
+            tech.clock_capacitance(flipflops)
+        } else {
+            0.0
+        },
         switched_cap_per_cycle,
         cycles: trace.cycles(),
     }

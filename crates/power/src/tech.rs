@@ -112,7 +112,10 @@ mod tests {
         let tech = Technology::cmos_0p8um_5v();
         for (ffs, pf) in [(48usize, 3.2f64), (174, 10.5), (218, 12.8), (350, 19.9)] {
             let model = tech.clock_capacitance(ffs) * 1e12;
-            assert!((model - pf).abs() / pf < 0.1, "{ffs} flipflops: model {model:.1} pF vs paper {pf} pF");
+            assert!(
+                (model - pf).abs() / pf < 0.1,
+                "{ffs} flipflops: model {model:.1} pF vs paper {pf} pF"
+            );
         }
     }
 

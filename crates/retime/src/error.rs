@@ -64,8 +64,12 @@ mod tests {
 
     #[test]
     fn messages_render() {
-        assert!(RetimeError::Infeasible { period: 5 }.to_string().contains('5'));
-        assert!(RetimeError::NotCombinational { dff_count: 3 }.to_string().contains('3'));
+        assert!(RetimeError::Infeasible { period: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(RetimeError::NotCombinational { dff_count: 3 }
+            .to_string()
+            .contains('3'));
         assert!(RetimeError::UnknownVertex(7).to_string().contains('7'));
     }
 }

@@ -63,7 +63,11 @@ impl RetimingGraph {
     pub fn add_edge(&mut self, from: VertexId, to: VertexId, weight: u64) -> EdgeId {
         assert!(from.0 < self.delays.len(), "unknown source vertex");
         assert!(to.0 < self.delays.len(), "unknown target vertex");
-        self.edges.push(Edge { from: from.0, to: to.0, weight: weight as i64 });
+        self.edges.push(Edge {
+            from: from.0,
+            to: to.0,
+            weight: weight as i64,
+        });
         EdgeId(self.edges.len() - 1)
     }
 
@@ -204,8 +208,7 @@ impl RetimingGraph {
                 indegree[e.to] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
         let mut arrival: Vec<u64> = self.delays.clone();
         let mut visited = 0usize;
         let mut period = self.delays.iter().copied().max().unwrap_or(0);
@@ -232,7 +235,10 @@ impl RetimingGraph {
     pub fn is_legal(&self, retiming: &Retiming) -> bool {
         let r = retiming.offsets();
         r.len() == self.delays.len()
-            && self.edges.iter().all(|e| e.weight + r[e.to] - r[e.from] >= 0)
+            && self
+                .edges
+                .iter()
+                .all(|e| e.weight + r[e.to] - r[e.from] >= 0)
     }
 
     /// Returns a new graph with the retiming applied (edge weights
@@ -244,7 +250,10 @@ impl RetimingGraph {
     /// [`RetimingGraph::is_legal`] first when in doubt).
     #[must_use]
     pub fn apply(&self, retiming: &Retiming) -> RetimingGraph {
-        assert!(self.is_legal(retiming), "retiming is illegal for this graph");
+        assert!(
+            self.is_legal(retiming),
+            "retiming is illegal for this graph"
+        );
         let r = retiming.offsets();
         let mut out = self.clone();
         for e in &mut out.edges {

@@ -25,7 +25,9 @@ pub struct PipelineOptions {
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { register_inputs: true }
+        PipelineOptions {
+            register_inputs: true,
+        }
     }
 }
 
@@ -62,7 +64,9 @@ pub fn pipeline_netlist(
 ) -> Result<PipelinedNetlist, RetimeError> {
     netlist.validate()?;
     if netlist.dff_count() > 0 {
-        return Err(RetimeError::NotCombinational { dff_count: netlist.dff_count() });
+        return Err(RetimeError::NotCombinational {
+            dff_count: netlist.dff_count(),
+        });
     }
     let levels = netlist.levelize()?;
     let depth = levels.depth();
@@ -75,9 +79,8 @@ pub fn pipeline_netlist(
     let boundaries: Vec<usize> = (1..=internal)
         .map(|j| (j * depth).div_ceil(internal + 1).max(1))
         .collect();
-    let stage_of_level = |level: usize| -> usize {
-        input_rank + boundaries.iter().filter(|&&b| level > b).count()
-    };
+    let stage_of_level =
+        |level: usize| -> usize { input_rank + boundaries.iter().filter(|&&b| level > b).count() };
 
     let mut out = Netlist::new(format!("{}_p{}", netlist.name(), ranks));
 
@@ -90,16 +93,17 @@ pub fn pipeline_netlist(
 
     // Source stage of every original net (0 for primary inputs, the driving
     // cell's stage otherwise), filled in as cells are emitted.
-    let mut stage_of_net: HashMap<NetId, usize> = netlist.inputs().iter().map(|&n| (n, 0)).collect();
+    let mut stage_of_net: HashMap<NetId, usize> =
+        netlist.inputs().iter().map(|&n| (n, 0)).collect();
     // Cache of registered versions of a net: (net, extra registers) -> new net.
     let mut delayed: HashMap<(NetId, usize), NetId> = HashMap::new();
     let mut stage_of_cell: HashMap<CellId, usize> = HashMap::new();
 
     let registered = |out: &mut Netlist,
-                          new_net_of: &HashMap<NetId, NetId>,
-                          delayed: &mut HashMap<(NetId, usize), NetId>,
-                          net: NetId,
-                          extra: usize|
+                      new_net_of: &HashMap<NetId, NetId>,
+                      delayed: &mut HashMap<(NetId, usize), NetId>,
+                      net: NetId,
+                      extra: usize|
      -> NetId {
         if extra == 0 {
             return new_net_of[&net];
@@ -136,7 +140,13 @@ pub fn pipeline_netlist(
             let src_stage = stage_of_net[&input];
             debug_assert!(stage >= src_stage, "stages must not decrease along wires");
             let extra = stage - src_stage;
-            new_inputs.push(registered(&mut out, &new_net_of, &mut delayed, input, extra));
+            new_inputs.push(registered(
+                &mut out,
+                &new_net_of,
+                &mut delayed,
+                input,
+                extra,
+            ));
         }
         let mut new_outputs = Vec::with_capacity(cell.outputs().len());
         for &output in cell.outputs() {
@@ -160,7 +170,12 @@ pub fn pipeline_netlist(
     }
 
     let flipflop_count = out.dff_count();
-    Ok(PipelinedNetlist { netlist: out, latency: ranks, flipflop_count, stage_of_cell })
+    Ok(PipelinedNetlist {
+        netlist: out,
+        latency: ranks,
+        flipflop_count,
+        stage_of_cell,
+    })
 }
 
 /// Total delay imbalance of a netlist under a unit-delay model: for every
@@ -262,10 +277,12 @@ mod tests {
             );
             let mut sim = ClockedSimulator::new(&piped.netlist, UnitDelay).unwrap();
             let mut rng = StdRng::seed_from_u64(2 + ranks as u64);
-            let pairs: Vec<(u64, u64)> =
-                (0..8).map(|_| (rng.gen_range(0..16), rng.gen_range(0..16))).collect();
+            let pairs: Vec<(u64, u64)> = (0..8)
+                .map(|_| (rng.gen_range(0..16), rng.gen_range(0..16)))
+                .collect();
             for (cycle, &(a, b)) in pairs.iter().enumerate() {
-                sim.step(InputAssignment::new().with_bus(&x, a).with_bus(&y, b)).unwrap();
+                sim.step(InputAssignment::new().with_bus(&x, a).with_bus(&y, b))
+                    .unwrap();
                 if cycle >= ranks {
                     let (ea, eb) = pairs[cycle - ranks];
                     assert_eq!(

@@ -19,7 +19,10 @@ impl Retiming {
     /// vertices and the given period.
     #[must_use]
     pub fn identity(vertices: usize, period: u64) -> Self {
-        Retiming { offsets: vec![0; vertices], period }
+        Retiming {
+            offsets: vec![0; vertices],
+            period,
+        }
     }
 
     /// Per-vertex offsets.
@@ -91,7 +94,10 @@ impl RetimingGraph {
         if achieved > period {
             return Err(RetimeError::Infeasible { period });
         }
-        let retiming = Retiming { offsets, period: achieved };
+        let retiming = Retiming {
+            offsets,
+            period: achieved,
+        };
         debug_assert!(self.is_legal(&retiming));
         Ok(retiming)
     }
@@ -213,7 +219,10 @@ mod tests {
     fn infeasible_period_is_reported() {
         let g = correlator();
         // No retiming can beat the largest single-vertex delay (7).
-        assert!(matches!(g.retime_for_period(6), Err(RetimeError::Infeasible { period: 6 })));
+        assert!(matches!(
+            g.retime_for_period(6),
+            Err(RetimeError::Infeasible { period: 6 })
+        ));
         // The current period is always feasible (identity retiming works).
         assert!(g.retime_for_period(24).is_ok());
     }
@@ -230,7 +239,13 @@ mod tests {
         assert_eq!(retimed.vertex_count(), g.vertex_count());
         // Cycle edges: (0 -> 1, w2), (1 -> 4, w0), (4 -> 5, w0), (5 -> 6, w0),
         // (6 -> 0, w0) in vertex indices (host = 0, v0 = 1, ...).
-        let cycle = [(0usize, 1usize, 2i64), (1, 4, 0), (4, 5, 0), (5, 6, 0), (6, 0, 0)];
+        let cycle = [
+            (0usize, 1usize, 2i64),
+            (1, 4, 0),
+            (4, 5, 0),
+            (5, 6, 0),
+            (6, 0, 0),
+        ];
         let before: i64 = cycle.iter().map(|&(_, _, w)| w).sum();
         let after: i64 = cycle.iter().map(|&(u, v, w)| w + r[v] - r[u]).sum();
         assert_eq!(before, after);

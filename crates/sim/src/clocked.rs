@@ -21,7 +21,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { dff_init: Value::Zero, settle_budget: 1_000_000 }
+        SimOptions {
+            dff_init: Value::Zero,
+            settle_budget: 1_000_000,
+        }
     }
 }
 
@@ -158,7 +161,10 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
             .dff_cells()
             .map(|id| {
                 let cell = netlist.cell(id);
-                DffInfo { d: cell.inputs()[0], q: cell.outputs()[0] }
+                DffInfo {
+                    d: cell.inputs()[0],
+                    q: cell.outputs()[0],
+                }
             })
             .collect();
         let dff_state = vec![options.dff_init; dffs.len()];
@@ -288,8 +294,12 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
             }
             self.schedule(0, net, Value::from(value));
         }
-        let dff_updates: Vec<(NetId, Value)> =
-            self.dffs.iter().zip(&self.dff_state).map(|(ff, &v)| (ff.q, v)).collect();
+        let dff_updates: Vec<(NetId, Value)> = self
+            .dffs
+            .iter()
+            .zip(&self.dff_state)
+            .map(|(ff, &v)| (ff.q, v))
+            .collect();
         for (q, v) in dff_updates {
             self.schedule(0, q, v);
         }
@@ -377,7 +387,11 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
 
         // Sample flipflop inputs at the end of the cycle; they appear on the
         // Q outputs at the start of the next cycle.
-        let sampled: Vec<Value> = self.dffs.iter().map(|ff| self.values[ff.d.index()]).collect();
+        let sampled: Vec<Value> = self
+            .dffs
+            .iter()
+            .map(|ff| self.values[ff.d.index()])
+            .collect();
         self.dff_state = sampled;
 
         self.trace.record_cycle(&self.cycle_counts);
@@ -387,7 +401,11 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
         self.cycles += 1;
 
         let transitions = self.cycle_counts.iter().map(|&c| u64::from(c)).sum();
-        Ok(CycleStats { transitions, settle_time, events: events_processed })
+        Ok(CycleStats {
+            transitions,
+            settle_time,
+            events: events_processed,
+        })
     }
 
     fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) {
@@ -497,16 +515,25 @@ mod tests {
         let (nl, a, b, y) = xor_chain(3);
         let mut unit = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         // Cycle 1: a=0,b=0 -> settle (y = 0 ^ !!!0 = 1).
-        unit.step(InputAssignment::new().with(a, false).with(b, false)).unwrap();
+        unit.step(InputAssignment::new().with(a, false).with(b, false))
+            .unwrap();
         // Cycle 2: flip both inputs; the XOR sees a change immediately and
         // the chain output three units later: a glitch on y.
-        unit.step(InputAssignment::new().with(a, true).with(b, true)).unwrap();
+        unit.step(InputAssignment::new().with(a, true).with(b, true))
+            .unwrap();
         let y_node = unit.trace().node(y.index());
-        assert!(y_node.useless() >= 2, "expected a glitch on y, trace: {y_node:?}");
+        assert!(
+            y_node.useless() >= 2,
+            "expected a glitch on y, trace: {y_node:?}"
+        );
 
         let mut ideal = ClockedSimulator::new(&nl, ZeroDelay).unwrap();
-        ideal.step(InputAssignment::new().with(a, false).with(b, false)).unwrap();
-        ideal.step(InputAssignment::new().with(a, true).with(b, true)).unwrap();
+        ideal
+            .step(InputAssignment::new().with(a, false).with(b, false))
+            .unwrap();
+        ideal
+            .step(InputAssignment::new().with(a, true).with(b, true))
+            .unwrap();
         let y_node = ideal.trace().node(y.index());
         assert_eq!(y_node.useless(), 0, "zero delay cannot glitch");
     }
@@ -540,7 +567,12 @@ mod tests {
         let model = CellDelay::new().with_full_adder(4, 1);
         let mut sim = ClockedSimulator::new(&nl, model).unwrap();
         let stats = sim
-            .step(InputAssignment::new().with(a, true).with(b, false).with(cin, false))
+            .step(
+                InputAssignment::new()
+                    .with(a, true)
+                    .with(b, false)
+                    .with(cin, false),
+            )
             .unwrap();
         // The slowest event is the sum output at t = 4.
         assert_eq!(stats.settle_time, 4);
@@ -632,7 +664,12 @@ mod tests {
         nl.mark_output(y);
         let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
         for i in 0..16u64 {
-            sim.step(InputAssignment::new().with(a, i & 1 != 0).with(b, i & 2 != 0)).unwrap();
+            sim.step(
+                InputAssignment::new()
+                    .with(a, i & 1 != 0)
+                    .with(b, i & 2 != 0),
+            )
+            .unwrap();
         }
         let node = sim.trace().node(y.index());
         assert_eq!(node.useless(), 0);

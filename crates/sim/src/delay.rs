@@ -81,7 +81,11 @@ impl CellDelay {
     /// A table where every cell defaults to one delay unit.
     #[must_use]
     pub fn new() -> Self {
-        CellDelay { default: 1, by_kind: HashMap::new(), by_kind_output: HashMap::new() }
+        CellDelay {
+            default: 1,
+            by_kind: HashMap::new(),
+            by_kind_output: HashMap::new(),
+        }
     }
 
     /// Changes the fallback delay used for kinds without an explicit entry.
@@ -190,6 +194,6 @@ mod tests {
         let model = CellDelay::new();
         let by_ref: &dyn DelayModel = &model;
         assert_eq!(by_ref.delay(CellKind::And, 0), 1);
-        assert_eq!((&UnitDelay).delay(CellKind::And, 0), 1);
+        assert_eq!(UnitDelay.delay(CellKind::And, 0), 1);
     }
 }

@@ -32,10 +32,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
             SimError::DidNotSettle { cycle, budget } => {
-                write!(f, "cycle {cycle} did not settle within {budget} delay units")
+                write!(
+                    f,
+                    "cycle {cycle} did not settle within {budget} delay units"
+                )
             }
             SimError::NotAnInput(net) => {
-                write!(f, "net {net} is not a primary input and cannot be driven by the stimulus")
+                write!(
+                    f,
+                    "net {net} is not a primary input and cannot be driven by the stimulus"
+                )
             }
             SimError::MissingInput(net) => {
                 write!(f, "primary input {net} has never been assigned a value")
@@ -65,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SimError::DidNotSettle { cycle: 3, budget: 100 };
+        let e = SimError::DidNotSettle {
+            cycle: 3,
+            budget: 100,
+        };
         assert!(e.to_string().contains("cycle 3"));
         let inner = NetlistError::FloatingNet(NetId::from_index(1));
         let e: SimError = inner.clone().into();

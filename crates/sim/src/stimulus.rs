@@ -137,8 +137,15 @@ impl ExhaustiveStimulus {
     #[must_use]
     pub fn new(buses: Vec<Bus>) -> Self {
         let width: usize = buses.iter().map(Bus::width).sum();
-        assert!(width <= 24, "exhaustive stimulus limited to 24 total input bits, got {width}");
-        ExhaustiveStimulus { buses, next: 0, total: 1u64 << width }
+        assert!(
+            width <= 24,
+            "exhaustive stimulus limited to 24 total input bits, got {width}"
+        );
+        ExhaustiveStimulus {
+            buses,
+            next: 0,
+            total: 1u64 << width,
+        }
     }
 
     /// Total number of vectors that will be produced.
@@ -213,7 +220,12 @@ mod tests {
         // All combinations distinct.
         let mut encoded: Vec<Vec<(usize, bool)>> = vectors
             .iter()
-            .map(|v| v.assignments().iter().map(|(n, b)| (n.index(), *b)).collect())
+            .map(|v| {
+                v.assignments()
+                    .iter()
+                    .map(|(n, b)| (n.index(), *b))
+                    .collect()
+            })
             .collect();
         encoded.sort();
         encoded.dedup();

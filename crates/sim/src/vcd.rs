@@ -29,7 +29,10 @@ impl VcdRecorder {
     /// clamped so cycles never overlap in the waveform.
     #[must_use]
     pub fn new(cycle_period: u64) -> Self {
-        VcdRecorder { cycle_period: cycle_period.max(1), changes: Vec::new() }
+        VcdRecorder {
+            cycle_period: cycle_period.max(1),
+            changes: Vec::new(),
+        }
     }
 
     /// Number of recorded value changes.
@@ -41,7 +44,8 @@ impl VcdRecorder {
     /// Records a value change (called by the simulator).
     pub fn change(&mut self, cycle: u64, time: u64, net: NetId, value: Value) {
         let offset = time.min(self.cycle_period - 1);
-        self.changes.push((cycle * self.cycle_period + offset, net, value));
+        self.changes
+            .push((cycle * self.cycle_period + offset, net, value));
     }
 
     /// Renders the recording as VCD text, naming signals after the netlist's
@@ -52,7 +56,12 @@ impl VcdRecorder {
         let _ = writeln!(out, "$timescale 1ns $end");
         let _ = writeln!(out, "$scope module {} $end", sanitize(netlist.name()));
         for (id, net) in netlist.nets() {
-            let _ = writeln!(out, "$var wire 1 {} {} $end", code(id), sanitize(net.name()));
+            let _ = writeln!(
+                out,
+                "$var wire 1 {} {} $end",
+                code(id),
+                sanitize(net.name())
+            );
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
@@ -86,7 +95,9 @@ fn code(net: NetId) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,15 +17,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const VECTORS: u64 = 4000;
 
     let adder = RippleCarryAdder::new(BITS, AdderStyle::CompoundCell);
-    let analyzer =
-        GlitchAnalyzer::new(AnalysisConfig { cycles: VECTORS, ..AnalysisConfig::default() });
-    let analysis =
-        analyzer.analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])?;
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: VECTORS,
+        ..AnalysisConfig::default()
+    });
+    let analysis = analyzer.analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )?;
 
     let expectation = AdderExpectation::ripple_carry(BITS as u32, VECTORS);
     let sums = GroupedActivity::from_nets("sum", &adder.netlist, &analysis.trace, adder.sum.bits());
-    let carries =
-        GroupedActivity::from_nets("carry", &adder.netlist, &analysis.trace, adder.carries.bits());
+    let carries = GroupedActivity::from_nets(
+        "carry",
+        &adder.netlist,
+        &analysis.trace,
+        adder.carries.bits(),
+    );
 
     let mut table = TextTable::new(vec![
         "bit",

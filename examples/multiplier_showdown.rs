@@ -23,13 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits in [8usize, 16] {
         let array = ArrayMultiplier::new(bits, AdderStyle::CompoundCell);
         candidates.push(Candidate {
-            name: if bits == 8 { "array 8x8" } else { "array 16x16" },
+            name: if bits == 8 {
+                "array 8x8"
+            } else {
+                "array 16x16"
+            },
             operands: vec![array.x.clone(), array.y.clone()],
             netlist: array.netlist,
         });
         let wallace = WallaceTreeMultiplier::new(bits, AdderStyle::CompoundCell);
         candidates.push(Candidate {
-            name: if bits == 8 { "wallace 8x8" } else { "wallace 16x16" },
+            name: if bits == 8 {
+                "wallace 8x8"
+            } else {
+                "wallace 16x16"
+            },
             operands: vec![wallace.x.clone(), wallace.y.clone()],
             netlist: wallace.netlist,
         });

@@ -23,8 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         delay: DelayConfig::Unit,
         ..AnalysisConfig::default()
     });
-    let analysis =
-        analyzer.analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])?;
+    let analysis = analyzer.analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )?;
 
     println!("{}", analysis.activity);
     println!("{}", analysis.power);
@@ -39,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         delay: DelayConfig::Zero,
         ..AnalysisConfig::default()
     })
-    .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])?;
+    .analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )?;
     println!(
         "glitch-free logic power would be {:.2} mW instead of {:.2} mW",
         ideal.power.breakdown.logic * 1e3,

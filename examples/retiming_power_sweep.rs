@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let explorer = PowerExplorer::new(analyzer);
 
     let ranks = [1usize, 2, 3, 4, 6, 8, 12];
-    let held: Vec<_> = detector.threshold.bits().iter().map(|&b| (b, false)).collect();
+    let held: Vec<_> = detector
+        .threshold
+        .bits()
+        .iter()
+        .map(|&b| (b, false))
+        .collect();
     let result = explorer.explore(&detector.netlist, &ranks, &random_buses, &held)?;
 
     println!("direction detector, 500 random vectors, 5 MHz, 0.8 um / 5 V technology\n");

@@ -13,7 +13,7 @@ use glitch_core::sim::{
 use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer, PowerExplorer};
 
 fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
-    let mut buses: Vec<Bus> = det.a.iter().cloned().collect();
+    let mut buses: Vec<Bus> = det.a.to_vec();
     buses.extend(det.b.iter().cloned());
     buses.push(det.threshold.clone());
     buses
@@ -22,20 +22,31 @@ fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
 #[test]
 fn analyzer_and_manual_simulation_agree() {
     let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
-    let config = AnalysisConfig { cycles: 250, seed: 77, ..AnalysisConfig::default() };
+    let config = AnalysisConfig {
+        cycles: 250,
+        seed: 77,
+        ..AnalysisConfig::default()
+    };
     let analysis = GlitchAnalyzer::new(config.clone())
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+        .analyze(
+            &adder.netlist,
+            &[adder.a.clone(), adder.b.clone()],
+            &[(adder.cin, false)],
+        )
         .unwrap();
 
     // Re-run the same stimulus by hand through the simulator.
     let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
-    let stim = RandomStimulus::new(vec![adder.a.clone(), adder.b.clone()], 250, 77)
-        .hold(adder.cin, false);
+    let stim =
+        RandomStimulus::new(vec![adder.a.clone(), adder.b.clone()], 250, 77).hold(adder.cin, false);
     sim.run(stim).unwrap();
     let manual = ActivityReport::from_trace(&adder.netlist, sim.trace());
 
     assert_eq!(analysis.activity.totals(), manual.totals());
-    assert_eq!(analysis.activity.totals().transitions, manual.totals().useful + manual.totals().useless);
+    assert_eq!(
+        analysis.activity.totals().transitions,
+        manual.totals().useful + manual.totals().useless
+    );
 }
 
 #[test]
@@ -50,10 +61,18 @@ fn zero_delay_reference_is_glitch_free_for_every_generator() {
         ..AnalysisConfig::default()
     });
     let adder_run = analyzer
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+        .analyze(
+            &adder.netlist,
+            &[adder.a.clone(), adder.b.clone()],
+            &[(adder.cin, false)],
+        )
         .unwrap();
-    let mult_run = analyzer.analyze(&mult.netlist, &[mult.x.clone(), mult.y.clone()], &[]).unwrap();
-    let det_run = analyzer.analyze(&det.netlist, &detector_buses(&det), &[]).unwrap();
+    let mult_run = analyzer
+        .analyze(&mult.netlist, &[mult.x.clone(), mult.y.clone()], &[])
+        .unwrap();
+    let det_run = analyzer
+        .analyze(&det.netlist, &detector_buses(&det), &[])
+        .unwrap();
     for run in [&adder_run, &mult_run, &det_run] {
         assert_eq!(run.activity.totals().useless, 0, "zero delay cannot glitch");
         assert!(run.activity.totals().useful > 0);
@@ -126,10 +145,15 @@ fn pipelined_direction_detector_computes_the_same_directions() {
 #[test]
 fn pipelining_reduces_imbalance_and_glitches_together() {
     let det = DirectionDetector::with_options(6, false, AdderStyle::CompoundCell);
-    let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 150, ..AnalysisConfig::default() });
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 150,
+        ..AnalysisConfig::default()
+    });
     let explorer = PowerExplorer::new(analyzer);
     let buses = detector_buses(&det);
-    let result = explorer.explore(&det.netlist, &[1, 6], &buses, &[]).unwrap();
+    let result = explorer
+        .explore(&det.netlist, &[1, 6], &buses, &[])
+        .unwrap();
     let shallow = &result.points()[0];
     let deep = &result.points()[1];
     assert!(deep.activity.useless < shallow.activity.useless);
@@ -164,11 +188,17 @@ fn vcd_recording_captures_activity_of_a_real_run() {
     let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
     sim.attach_vcd(VcdRecorder::new(100));
     sim.step(
-        InputAssignment::new().with_bus(&adder.a, 5).with_bus(&adder.b, 9).with(adder.cin, false),
+        InputAssignment::new()
+            .with_bus(&adder.a, 5)
+            .with_bus(&adder.b, 9)
+            .with(adder.cin, false),
     )
     .unwrap();
     sim.step(
-        InputAssignment::new().with_bus(&adder.a, 10).with_bus(&adder.b, 6).with(adder.cin, false),
+        InputAssignment::new()
+            .with_bus(&adder.a, 10)
+            .with_bus(&adder.b, 6)
+            .with(adder.cin, false),
     )
     .unwrap();
     let vcd = sim.take_vcd().unwrap();
@@ -182,18 +212,35 @@ fn vcd_recording_captures_activity_of_a_real_run() {
 fn report_totals_are_conserved_across_groupings() {
     use glitch_core::activity::GroupedActivity;
     let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
-    let analysis = GlitchAnalyzer::new(AnalysisConfig { cycles: 200, ..AnalysisConfig::default() })
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
-        .unwrap();
+    let analysis = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 200,
+        ..AnalysisConfig::default()
+    })
+    .analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )
+    .unwrap();
     let sums = GroupedActivity::from_nets("sum", &adder.netlist, &analysis.trace, adder.sum.bits());
-    let carries =
-        GroupedActivity::from_nets("carry", &adder.netlist, &analysis.trace, adder.carries.bits());
+    let carries = GroupedActivity::from_nets(
+        "carry",
+        &adder.netlist,
+        &analysis.trace,
+        adder.carries.bits(),
+    );
     // Sum and carry nets are exactly the non-input nets of the adder, so the
     // grouped totals must add up to the report totals.
     let totals = analysis.activity.totals();
-    assert_eq!(sums.total_transitions() + carries.total_transitions(), totals.transitions);
+    assert_eq!(
+        sums.total_transitions() + carries.total_transitions(),
+        totals.transitions
+    );
     assert_eq!(sums.total_useful() + carries.total_useful(), totals.useful);
-    assert_eq!(sums.total_useless() + carries.total_useless(), totals.useless);
+    assert_eq!(
+        sums.total_useless() + carries.total_useless(),
+        totals.useless
+    );
 }
 
 #[test]
@@ -203,16 +250,37 @@ fn gate_level_and_compound_cell_adders_have_identical_useful_activity() {
     // for the same stimulus.
     let compound = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
     let gates = RippleCarryAdder::new(6, AdderStyle::Gates);
-    let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 200, seed: 9, ..Default::default() });
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 200,
+        seed: 9,
+        ..Default::default()
+    });
     let a = analyzer
-        .analyze(&compound.netlist, &[compound.a.clone(), compound.b.clone()], &[(compound.cin, false)])
+        .analyze(
+            &compound.netlist,
+            &[compound.a.clone(), compound.b.clone()],
+            &[(compound.cin, false)],
+        )
         .unwrap();
     let b = analyzer
-        .analyze(&gates.netlist, &[gates.a.clone(), gates.b.clone()], &[(gates.cin, false)])
+        .analyze(
+            &gates.netlist,
+            &[gates.a.clone(), gates.b.clone()],
+            &[(gates.cin, false)],
+        )
         .unwrap();
-    let sum_useful_a: u64 =
-        compound.sum.bits().iter().map(|&n| a.trace.node(n.index()).useful()).sum();
-    let sum_useful_b: u64 = gates.sum.bits().iter().map(|&n| b.trace.node(n.index()).useful()).sum();
+    let sum_useful_a: u64 = compound
+        .sum
+        .bits()
+        .iter()
+        .map(|&n| a.trace.node(n.index()).useful())
+        .sum();
+    let sum_useful_b: u64 = gates
+        .sum
+        .bits()
+        .iter()
+        .map(|&n| b.trace.node(n.index()).useful())
+        .sum();
     assert_eq!(sum_useful_a, sum_useful_b);
 }
 
@@ -222,11 +290,20 @@ fn zero_delay_equals_unit_delay_useful_counts() {
     // final values, so useful transitions are delay-model-independent.
     let mult = ArrayMultiplier::new(6, AdderStyle::CompoundCell);
     let buses = [mult.x.clone(), mult.y.clone()];
-    let base = AnalysisConfig { cycles: 150, seed: 4, ..AnalysisConfig::default() };
-    let unit = GlitchAnalyzer::new(base.clone()).analyze(&mult.netlist, &buses, &[]).unwrap();
-    let zero = GlitchAnalyzer::new(AnalysisConfig { delay: DelayConfig::Zero, ..base })
+    let base = AnalysisConfig {
+        cycles: 150,
+        seed: 4,
+        ..AnalysisConfig::default()
+    };
+    let unit = GlitchAnalyzer::new(base.clone())
         .analyze(&mult.netlist, &buses, &[])
         .unwrap();
+    let zero = GlitchAnalyzer::new(AnalysisConfig {
+        delay: DelayConfig::Zero,
+        ..base
+    })
+    .analyze(&mult.netlist, &buses, &[])
+    .unwrap();
     assert_eq!(unit.activity.totals().useful, zero.activity.totals().useful);
     assert!(unit.activity.totals().useless > zero.activity.totals().useless);
 }
@@ -236,7 +313,12 @@ fn zero_delay_simulation_matches_functional_model() {
     let mult = ArrayMultiplier::new(6, AdderStyle::CompoundCell);
     let mut sim = ClockedSimulator::new(&mult.netlist, ZeroDelay).unwrap();
     for (a, b) in [(0u64, 0u64), (63, 63), (17, 42), (5, 40)] {
-        sim.step(InputAssignment::new().with_bus(&mult.x, a).with_bus(&mult.y, b)).unwrap();
+        sim.step(
+            InputAssignment::new()
+                .with_bus(&mult.x, a)
+                .with_bus(&mult.y, b),
+        )
+        .unwrap();
         assert_eq!(sim.bus_value(&mult.product).unwrap(), a * b);
     }
 }

@@ -4,9 +4,7 @@
 //! experiment binaries; these tests use smaller vector counts so the suite
 //! stays fast.
 
-use glitch_core::analytic::{
-    transition_ratio_carry, transition_ratio_sum, AdderExpectation,
-};
+use glitch_core::analytic::{transition_ratio_carry, transition_ratio_sum, AdderExpectation};
 use glitch_core::arith::{
     AdderStyle, ArrayMultiplier, DirectionDetector, RippleCarryAdder, WallaceTreeMultiplier,
 };
@@ -14,7 +12,7 @@ use glitch_core::netlist::Bus;
 use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer, PowerExplorer};
 
 fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
-    let mut buses: Vec<Bus> = det.a.iter().cloned().collect();
+    let mut buses: Vec<Bus> = det.a.to_vec();
     buses.extend(det.b.iter().cloned());
     buses.push(det.threshold.clone());
     buses
@@ -26,14 +24,27 @@ fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
 fn rca_transition_ratios_match_the_closed_forms() {
     const CYCLES: u64 = 2000;
     let adder = RippleCarryAdder::new(12, AdderStyle::CompoundCell);
-    let analysis = GlitchAnalyzer::new(AnalysisConfig { cycles: CYCLES, ..Default::default() })
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
-        .unwrap();
+    let analysis = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: CYCLES,
+        ..Default::default()
+    })
+    .analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )
+    .unwrap();
     for bit in 0..12usize {
-        let sum_sim =
-            analysis.trace.node(adder.sum.bit(bit).index()).transitions() as f64 / CYCLES as f64;
-        let carry_sim =
-            analysis.trace.node(adder.carries.bit(bit).index()).transitions() as f64 / CYCLES as f64;
+        let sum_sim = analysis
+            .trace
+            .node(adder.sum.bit(bit).index())
+            .transitions() as f64
+            / CYCLES as f64;
+        let carry_sim = analysis
+            .trace
+            .node(adder.carries.bit(bit).index())
+            .transitions() as f64
+            / CYCLES as f64;
         let sum_expect = transition_ratio_sum(bit as u32);
         let carry_expect = transition_ratio_carry(bit as u32);
         assert!(
@@ -54,9 +65,16 @@ fn rca_transition_ratios_match_the_closed_forms() {
 fn rca_totals_match_expectation_and_lf_ratio() {
     const CYCLES: u64 = 1000;
     let adder = RippleCarryAdder::new(16, AdderStyle::CompoundCell);
-    let analysis = GlitchAnalyzer::new(AnalysisConfig { cycles: CYCLES, ..Default::default() })
-        .analyze(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
-        .unwrap();
+    let analysis = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: CYCLES,
+        ..Default::default()
+    })
+    .analyze(
+        &adder.netlist,
+        &[adder.a.clone(), adder.b.clone()],
+        &[(adder.cin, false)],
+    )
+    .unwrap();
     let totals = analysis.activity.totals();
     let expect = AdderExpectation::ripple_carry(16, CYCLES);
     let rel = |sim: u64, exp: f64| (sim as f64 - exp).abs() / exp;
@@ -72,30 +90,53 @@ fn rca_totals_match_expectation_and_lf_ratio() {
 /// at 16x16.
 #[test]
 fn array_multiplier_glitches_much_more_than_wallace() {
-    let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 300, ..Default::default() });
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 300,
+        ..Default::default()
+    });
 
     let array8 = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
     let wallace8 = WallaceTreeMultiplier::new(8, AdderStyle::CompoundCell);
-    let a8 =
-        analyzer.analyze(&array8.netlist, &[array8.x.clone(), array8.y.clone()], &[]).unwrap();
+    let a8 = analyzer
+        .analyze(&array8.netlist, &[array8.x.clone(), array8.y.clone()], &[])
+        .unwrap();
     let w8 = analyzer
-        .analyze(&wallace8.netlist, &[wallace8.x.clone(), wallace8.y.clone()], &[])
+        .analyze(
+            &wallace8.netlist,
+            &[wallace8.x.clone(), wallace8.y.clone()],
+            &[],
+        )
         .unwrap();
     let a8_lf = a8.activity.totals().useless_to_useful();
     let w8_lf = w8.activity.totals().useless_to_useful();
-    assert!(a8_lf > 2.0 * w8_lf, "8x8: array L/F {a8_lf:.2} vs wallace {w8_lf:.2}");
+    assert!(
+        a8_lf > 2.0 * w8_lf,
+        "8x8: array L/F {a8_lf:.2} vs wallace {w8_lf:.2}"
+    );
     assert!(a8.activity.totals().useless > 2 * w8.activity.totals().useless);
 
     let array16 = ArrayMultiplier::new(16, AdderStyle::CompoundCell);
     let wallace16 = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
-    let a16 =
-        analyzer.analyze(&array16.netlist, &[array16.x.clone(), array16.y.clone()], &[]).unwrap();
+    let a16 = analyzer
+        .analyze(
+            &array16.netlist,
+            &[array16.x.clone(), array16.y.clone()],
+            &[],
+        )
+        .unwrap();
     let w16 = analyzer
-        .analyze(&wallace16.netlist, &[wallace16.x.clone(), wallace16.y.clone()], &[])
+        .analyze(
+            &wallace16.netlist,
+            &[wallace16.x.clone(), wallace16.y.clone()],
+            &[],
+        )
         .unwrap();
     let a16_lf = a16.activity.totals().useless_to_useful();
     let w16_lf = w16.activity.totals().useless_to_useful();
-    assert!(a16_lf > 3.0 * w16_lf, "16x16: array L/F {a16_lf:.2} vs wallace {w16_lf:.2}");
+    assert!(
+        a16_lf > 3.0 * w16_lf,
+        "16x16: array L/F {a16_lf:.2} vs wallace {w16_lf:.2}"
+    );
     // The paper's Table 1: the array's L/F deteriorates from 8x8 to 16x16
     // while the Wallace tree's improves (or at least does not deteriorate as
     // fast).
@@ -108,9 +149,15 @@ fn array_multiplier_glitches_much_more_than_wallace() {
 /// architectures while leaving useful transitions unchanged.
 #[test]
 fn slower_sum_outputs_worsen_the_useless_ratio() {
-    let base = AnalysisConfig { cycles: 300, ..Default::default() };
-    let realistic =
-        AnalysisConfig { cycles: 300, delay: DelayConfig::RealisticAdderCells, ..Default::default() };
+    let base = AnalysisConfig {
+        cycles: 300,
+        ..Default::default()
+    };
+    let realistic = AnalysisConfig {
+        cycles: 300,
+        delay: DelayConfig::RealisticAdderCells,
+        ..Default::default()
+    };
 
     for (name, netlist, buses) in [
         {
@@ -122,13 +169,21 @@ fn slower_sum_outputs_worsen_the_useless_ratio() {
             ("wallace", m.netlist.clone(), [m.x.clone(), m.y.clone()])
         },
     ] {
-        let unit = GlitchAnalyzer::new(base.clone()).analyze(&netlist, &buses, &[]).unwrap();
-        let slow = GlitchAnalyzer::new(realistic.clone()).analyze(&netlist, &buses, &[]).unwrap();
+        let unit = GlitchAnalyzer::new(base.clone())
+            .analyze(&netlist, &buses, &[])
+            .unwrap();
+        let slow = GlitchAnalyzer::new(realistic.clone())
+            .analyze(&netlist, &buses, &[])
+            .unwrap();
         assert!(
             slow.activity.totals().useless > unit.activity.totals().useless,
             "{name}: useless must increase with the unbalanced cell delays"
         );
-        assert_eq!(slow.activity.totals().useful, unit.activity.totals().useful, "{name}");
+        assert_eq!(
+            slow.activity.totals().useful,
+            unit.activity.totals().useful,
+            "{name}"
+        );
     }
 }
 
@@ -138,9 +193,12 @@ fn slower_sum_outputs_worsen_the_useless_ratio() {
 #[test]
 fn direction_detector_has_a_large_useless_ratio() {
     let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
-    let analysis = GlitchAnalyzer::new(AnalysisConfig { cycles: 500, ..Default::default() })
-        .analyze(&det.netlist, &detector_buses(&det), &[])
-        .unwrap();
+    let analysis = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 500,
+        ..Default::default()
+    })
+    .analyze(&det.netlist, &detector_buses(&det), &[])
+    .unwrap();
     let lf = analysis.activity.totals().useless_to_useful();
     assert!(lf > 1.5, "L/F = {lf:.2}");
     assert!(analysis.balance_reduction_factor() > 2.5);
@@ -152,11 +210,16 @@ fn direction_detector_has_a_large_useless_ratio() {
 #[test]
 fn retiming_sweep_shows_a_power_minimum() {
     let det = DirectionDetector::with_options(8, false, AdderStyle::CompoundCell);
-    let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 200, ..Default::default() });
+    let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+        cycles: 200,
+        ..Default::default()
+    });
     let explorer = PowerExplorer::new(analyzer);
     let buses: Vec<Bus> = det.a.iter().chain(det.b.iter()).cloned().collect();
     let held: Vec<_> = det.threshold.bits().iter().map(|&b| (b, false)).collect();
-    let result = explorer.explore(&det.netlist, &[1, 2, 4, 8, 16], &buses, &held).unwrap();
+    let result = explorer
+        .explore(&det.netlist, &[1, 2, 4, 8, 16], &buses, &held)
+        .unwrap();
     let points = result.points();
 
     // Flipflop and clock power increase monotonically with the depth.

@@ -1,0 +1,258 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the slice of the criterion API the workspace's benchmarks use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! `Bencher::iter` and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is a simple adaptive wall-clock loop: each benchmark is
+//! warmed up, then timed over enough iterations to fill a short measurement
+//! window, and the mean time per iteration is printed. There is no
+//! statistical analysis, HTML report or regression detection — the point is
+//! that `cargo bench` runs, produces comparable numbers and keeps the
+//! benchmark code compiling.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub use std::hint::black_box;
+
+/// How long each benchmark is measured for (after warm-up).
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(200);
+/// How long each benchmark is warmed up for.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Identifier of one benchmark, optionally parameterised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// Units processed per iteration, used to report a rate next to the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, then an adaptive measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_WINDOW || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        let target =
+            ((MEASUREMENT_WINDOW.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iterations = target;
+        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{id:<45} time: {:>12}   ({} iterations)",
+        format_time(bencher.mean_ns),
+        bencher.iterations
+    );
+    if let Some(tp) = throughput {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = units as f64 / (bencher.mean_ns * 1e-9);
+        line.push_str(&format!("   {rate:.3e} {label}"));
+    }
+    println!("{line}");
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    report(id, &bencher, throughput);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this runner's loop is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this runner's window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report a rate for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, String::from(id.into()));
+        run_benchmark(&id, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark runner.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&String::from(id.into()), None, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Defines a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iterations > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(String::from(BenchmarkId::new("rca", 16)), "rca/16");
+        assert_eq!(String::from(BenchmarkId::from("plain")), "plain");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(12_000_000_000.0).ends_with('s'));
+    }
+}

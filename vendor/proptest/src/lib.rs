@@ -1,0 +1,288 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the slice of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, integer-range /
+//! boolean / tuple / `collection::vec` strategies, [`ProptestConfig`] and
+//! the `prop_assert*` macros.
+//!
+//! Unlike upstream proptest this engine does not shrink failing inputs; it
+//! samples `cases` deterministic pseudo-random inputs per test (seeded from
+//! the test's module path and name), which keeps failures reproducible from
+//! run to run.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` sampled inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 48 keeps the suite fast while still
+        // exploring the input space every run.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// A source of sampled values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of the values this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: Copy + SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Rng, Strategy};
+
+    /// The strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    /// Samples `true` and `false` uniformly.
+    pub const ANY: Any = Any;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// range.
+    pub trait IntoSizeRange {
+        /// The corresponding half-open length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                super::Rng::gen_range(rng, self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements are drawn from `element` and whose length is
+    /// drawn from `len` (an exact `usize` or a half-open range).
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
+    }
+}
+
+/// Builds the deterministic generator for one sampled case of one test.
+#[must_use]
+pub fn test_rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` against `cases` sampled
+/// argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_length_bounds() {
+        let strat = crate::collection::vec(0u64..10, 3..7);
+        for case in 0..100 {
+            let mut rng = crate::test_rng("len_bounds", case);
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn exact_length_vec() {
+        let strat = crate::collection::vec(0u32..8, 5usize);
+        let mut rng = crate::test_rng("exact_len", 0);
+        assert_eq!(strat.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_and_case() {
+        let strat = 0u64..1_000_000;
+        let a = strat.generate(&mut crate::test_rng("t", 3));
+        let b = strat.generate(&mut crate::test_rng("t", 3));
+        let c = strat.generate(&mut crate::test_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, tuples, bools and trailing commas.
+        #[test]
+        fn macro_binds_all_forms(
+            pairs in crate::collection::vec((0u64..4, crate::bool::ANY), 1..5),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(!pairs.is_empty());
+            prop_assert!(pairs.len() < 5);
+            for &(x, _b) in &pairs {
+                prop_assert!(x < 4);
+            }
+            let _ = flag;
+        }
+    }
+}
