@@ -10,7 +10,7 @@ use crate::report::ActivityTotals;
 /// memory footprint is `O(nodes)` regardless of how many cycles are
 /// simulated (the paper's Figure 5 experiment runs 4000 cycles over a few
 /// hundred nodes).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ActivityTrace {
     nodes: Vec<NodeActivity>,
     cycles: u64,

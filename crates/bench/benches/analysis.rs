@@ -5,19 +5,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use glitch_core::activity::{split_by_parity, ActivityReport, ActivityTrace};
 use glitch_core::arith::{AdderStyle, WallaceTreeMultiplier};
 use glitch_core::power::{estimate_power, Technology};
-use glitch_core::sim::{ClockedSimulator, RandomStimulus, UnitDelay};
+use glitch_core::sim::{ActivityProbe, RandomStimulus, SimSession};
 
 fn bench_analysis(c: &mut Criterion) {
     // Pre-simulate once; the benchmarks measure the pure analysis cost.
     let mult = WallaceTreeMultiplier::new(16, AdderStyle::CompoundCell);
-    let mut sim = ClockedSimulator::new(&mult.netlist, UnitDelay).expect("valid");
-    sim.run(RandomStimulus::new(
-        vec![mult.x.clone(), mult.y.clone()],
-        100,
-        3,
-    ))
-    .expect("settles");
-    let trace = sim.trace().clone();
+    let mut report = SimSession::new(&mult.netlist)
+        .stimulus(RandomStimulus::new(
+            vec![mult.x.clone(), mult.y.clone()],
+            100,
+            3,
+        ))
+        .probe(ActivityProbe::new())
+        .run()
+        .expect("settles");
+    let trace = report
+        .take_probe::<ActivityProbe>()
+        .expect("probe attached")
+        .into_trace();
 
     c.bench_function("parity_classification_1M", |b| {
         b.iter(|| {

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use glitch_core::arith::{AdderStyle, RippleCarryAdder, WallaceTreeMultiplier};
-use glitch_core::sim::{ClockedSimulator, RandomStimulus, UnitDelay};
+use glitch_core::sim::{ActivityProbe, RandomStimulus, SimSession};
 use glitch_io::{emit_blif, parse_blif, GateLibrary};
 
 const SIM_CYCLES: u64 = 200;
@@ -50,11 +50,17 @@ fn bench_io(c: &mut Criterion) {
     group.throughput(Throughput::Elements(SIM_CYCLES));
     group.bench_function("rca16_200_cycles", |b| {
         b.iter(|| {
-            let mut sim =
-                ClockedSimulator::new(&parsed, UnitDelay).expect("parsed netlist is valid");
-            sim.run(RandomStimulus::new(buses.clone(), SIM_CYCLES, 42))
+            let report = SimSession::new(&parsed)
+                .stimulus(RandomStimulus::new(buses.clone(), SIM_CYCLES, 42))
+                .probe(ActivityProbe::new())
+                .run()
                 .expect("simulates");
-            sim.trace().totals().transitions
+            report
+                .probe::<ActivityProbe>()
+                .expect("probe attached")
+                .trace()
+                .totals()
+                .transitions
         })
     });
     group.finish();

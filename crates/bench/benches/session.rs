@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the one-pass session API against the seed's
+//! two-pass style: the session must deliver activity + power + waveform
+//! from a single simulation at roughly the cost of the cheapest single-
+//! artefact run, where the pre-session code paid one full simulation per
+//! artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use glitch_core::arith::{AdderStyle, ArrayMultiplier};
+use glitch_core::netlist::{Bus, Netlist};
+use glitch_core::power::Technology;
+use glitch_core::sim::{ActivityProbe, PowerProbe, RandomStimulus, SimSession, VcdProbe};
+
+const CYCLES: u64 = 50;
+const SEED: u64 = 7;
+
+fn stimulus(buses: &[Bus]) -> RandomStimulus {
+    RandomStimulus::new(buses.to_vec(), CYCLES, SEED)
+}
+
+/// Bare simulation, no observers: the floor the probe overhead is measured
+/// against.
+fn bare(netlist: &Netlist, buses: &[Bus]) -> u64 {
+    let report = SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .run()
+        .expect("settles");
+    report.total_transitions()
+}
+
+/// The new way: one pass, three observers.
+fn one_pass_session(netlist: &Netlist, buses: &[Bus]) -> u64 {
+    let report = SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .probe(ActivityProbe::new())
+        .probe(PowerProbe::new(Technology::cmos_0p8um_5v(), 5e6))
+        .probe(VcdProbe::default())
+        .run()
+        .expect("settles");
+    report.total_transitions()
+}
+
+/// The seed's way: one full simulation per artefact (activity+power pass,
+/// then a separate waveform pass).
+fn two_pass_seed_style(netlist: &Netlist, buses: &[Bus]) -> u64 {
+    let analysis_pass = SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .probe(ActivityProbe::new())
+        .probe(PowerProbe::new(Technology::cmos_0p8um_5v(), 5e6))
+        .run()
+        .expect("settles");
+    let vcd_pass = SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .probe(VcdProbe::default())
+        .run()
+        .expect("settles");
+    analysis_pass.total_transitions() + vcd_pass.total_transitions()
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+    let buses = vec![mult.x.clone(), mult.y.clone()];
+
+    let mut group = c.benchmark_group("session_vs_seed");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("bare_simulation", |b| {
+        b.iter(|| bare(&mult.netlist, &buses))
+    });
+    group.bench_function("one_pass_session_3_probes", |b| {
+        b.iter(|| one_pass_session(&mult.netlist, &buses))
+    });
+    group.bench_function("two_pass_seed_style", |b| {
+        b.iter(|| two_pass_seed_style(&mult.netlist, &buses))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

@@ -6,16 +6,16 @@ use glitch_core::arith::{
     AdderStyle, ArrayMultiplier, DirectionDetector, RippleCarryAdder, WallaceTreeMultiplier,
 };
 use glitch_core::netlist::{Bus, Netlist};
-use glitch_core::sim::{ClockedSimulator, InputAssignment, UnitDelay};
+use glitch_core::sim::{ActivityProbe, ClockedSimulator, InputAssignment, UnitDelay};
 use glitch_core::{
-    AnalysisConfig, DelayConfig, ExplorationResult, GlitchAnalyzer, PowerExplorer, TextTable,
+    AnalysisConfig, DelayKind, ExplorationResult, GlitchAnalyzer, PowerExplorer, TextTable,
 };
 
 /// Default random seed shared by all experiments so every run is
 /// reproducible.
 pub const SEED: u64 = 0x1995_0306;
 
-fn analyzer(cycles: u64, delay: DelayConfig) -> GlitchAnalyzer {
+fn analyzer(cycles: u64, delay: DelayKind) -> GlitchAnalyzer {
     GlitchAnalyzer::new(AnalysisConfig {
         cycles,
         seed: SEED,
@@ -38,7 +38,7 @@ fn analyze_multiplier(
     netlist: &Netlist,
     operands: &[Bus],
     cycles: u64,
-    delay: DelayConfig,
+    delay: DelayKind,
 ) -> MultiplierRow {
     let analysis = analyzer(cycles, delay)
         .analyze(netlist, operands, &[])
@@ -83,7 +83,7 @@ pub fn table1(cycles: u64) -> Vec<MultiplierRow> {
             &array.netlist,
             &[array.x.clone(), array.y.clone()],
             cycles,
-            DelayConfig::Unit,
+            DelayKind::Unit,
         ));
         let wallace = WallaceTreeMultiplier::new(bits, AdderStyle::CompoundCell);
         rows.push(analyze_multiplier(
@@ -91,7 +91,7 @@ pub fn table1(cycles: u64) -> Vec<MultiplierRow> {
             &wallace.netlist,
             &[wallace.x.clone(), wallace.y.clone()],
             cycles,
-            DelayConfig::Unit,
+            DelayKind::Unit,
         ));
     }
     rows
@@ -105,8 +105,8 @@ pub fn table2(cycles: u64) -> Vec<MultiplierRow> {
     let array = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
     let wallace = WallaceTreeMultiplier::new(8, AdderStyle::CompoundCell);
     for (delay, tag) in [
-        (DelayConfig::Unit, "d_sum = d_carry"),
-        (DelayConfig::RealisticAdderCells, "d_sum = 2*d_carry"),
+        (DelayKind::Unit, "d_sum = d_carry"),
+        (DelayKind::RealisticAdderCells, "d_sum = 2*d_carry"),
     ] {
         rows.push(analyze_multiplier(
             &format!("array 8x8, {tag}"),
@@ -177,7 +177,7 @@ impl Figure5 {
 #[must_use]
 pub fn figure5(bits: usize, vectors: u64) -> Figure5 {
     let adder = RippleCarryAdder::new(bits, AdderStyle::CompoundCell);
-    let analysis = analyzer(vectors, DelayConfig::Unit)
+    let analysis = analyzer(vectors, DelayKind::Unit)
         .analyze(
             &adder.netlist,
             &[adder.a.clone(), adder.b.clone()],
@@ -293,6 +293,14 @@ pub fn worst_case(bits: usize, sample_pairs: u64) -> WorstCase {
             )
         };
         let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).expect("valid adder");
+        sim.attach_probe(Box::new(ActivityProbe::new()));
+        let msb_transitions = |sim: &ClockedSimulator<'_>| {
+            sim.probe_ref::<ActivityProbe>()
+                .expect("probe attached")
+                .trace()
+                .node(msb_sum.index())
+                .transitions()
+        };
         sim.step(
             InputAssignment::new()
                 .with_bus(&adder.a, a0)
@@ -300,7 +308,7 @@ pub fn worst_case(bits: usize, sample_pairs: u64) -> WorstCase {
                 .with(adder.cin, false),
         )
         .expect("settles");
-        let after_first = sim.trace().node(msb_sum.index()).transitions();
+        let after_first = msb_transitions(&sim);
         sim.step(
             InputAssignment::new()
                 .with_bus(&adder.a, a1)
@@ -309,7 +317,7 @@ pub fn worst_case(bits: usize, sample_pairs: u64) -> WorstCase {
         )
         .expect("settles");
         // Transitions of the MSB sum during the second cycle only.
-        let second_cycle = (sim.trace().node(msb_sum.index()).transitions() - after_first) as u32;
+        let second_cycle = (msb_transitions(&sim) - after_first) as u32;
         observed_max = observed_max.max(second_cycle);
         if second_cycle >= bits as u32 {
             hits += 1;
@@ -344,7 +352,7 @@ pub fn direction_detector_activity(cycles: u64) -> DirectionDetectorActivity {
     let mut buses: Vec<Bus> = det.a.to_vec();
     buses.extend(det.b.iter().cloned());
     buses.push(det.threshold.clone());
-    let analysis = analyzer(cycles, DelayConfig::Unit)
+    let analysis = analyzer(cycles, DelayKind::Unit)
         .analyze(&det.netlist, &buses, &[])
         .expect("settles");
     DirectionDetectorActivity {
@@ -452,7 +460,7 @@ pub fn figure9(cycles: u64) -> Figure9 {
 
     let measure = |balanced: bool| -> (u64, u64) {
         let (nl, a, b, outputs) = build(balanced);
-        let analysis = analyzer(cycles, DelayConfig::Unit)
+        let analysis = analyzer(cycles, DelayKind::Unit)
             .analyze(&nl, &[a, b], &[])
             .expect("fig9 circuit settles");
         let useless: u64 = outputs

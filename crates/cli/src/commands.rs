@@ -8,12 +8,13 @@ use glitch_core::netlist::{Bus, DotOptions, Netlist};
 use glitch_core::power::Technology;
 use glitch_core::retime::{pipeline_netlist, PipelineOptions};
 use glitch_core::sim::{
-    CellDelay, ClockedSimulator, DelayModel, RandomStimulus, UnitDelay, VcdRecorder, ZeroDelay,
+    RandomStimulus, SessionReport, SimSession, UnitDelay, VcdProbe, WaveCsvProbe,
 };
-use glitch_core::{Analysis, AnalysisConfig, DelayConfig, GlitchAnalyzer, TextTable};
+use glitch_core::{Analysis, AnalysisConfig, DelayKind, GlitchAnalyzer, TextTable};
 use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
 
 use crate::args::{Args, Spec};
+use crate::json::JsonObject;
 
 /// The usage text printed on argument errors and by `help`.
 pub const USAGE: &str = "\
@@ -26,9 +27,10 @@ commands:
               --emit-blif <file>   write the circuit back out as BLIF
               --dot <file>         write a Graphviz rendering
   stats     print netlist statistics (cells, nets, depth, histogram)
-  analyze   the full paper pipeline: simulate random vectors, classify
-            every node's transitions into useful work and glitches,
-            estimate the three-component dynamic power
+              --json               machine-readable output instead of text
+  analyze   the full paper pipeline in one simulation pass: simulate
+            random vectors, classify every node's transitions into useful
+            work and glitches, estimate the three-component dynamic power
               --cycles <n>         random vectors to simulate [1000]
               --seed <n>           stimulus seed [3665697173]
               --delay <model>      unit | zero | adder | library [unit]
@@ -36,10 +38,14 @@ commands:
               --tech <name>        0.8um | 65nm [0.8um]
               --csv <file>         write per-node activity as CSV
               --vcd <file>         write a value-change dump
+              --wave-csv <file>    write per-transition rows as CSV
               --dot <file>         write a Graphviz rendering
+              --json               machine-readable report on stdout
+            (every artefact is recorded by a probe on the same single
+            simulation session — no re-simulation per output)
   simulate  run the event-driven simulator and report settling behaviour
               --cycles/--seed/--vcd as above
-  power     the power report only (simulates first)
+  power     the power report only (one simulation pass)
               --cycles/--seed/--frequency-mhz/--tech as above
   retime    cutset pipelining of a combinational circuit, with a
             before/after activity and power comparison
@@ -152,12 +158,12 @@ fn input_buses(netlist: &Netlist) -> Vec<Bus> {
         .collect()
 }
 
-fn delay_config(args: &Args, library: &GateLibrary) -> Result<DelayConfig, CliError> {
+fn delay_config(args: &Args, library: &GateLibrary) -> Result<DelayKind, CliError> {
     Ok(match args.option("delay") {
-        None | Some("unit") => DelayConfig::Unit,
-        Some("zero") => DelayConfig::Zero,
-        Some("adder") => DelayConfig::RealisticAdderCells,
-        Some("library") => DelayConfig::Custom(library.cell_delay()),
+        None | Some("unit") => DelayKind::Unit,
+        Some("zero") => DelayKind::Zero,
+        Some("adder") => DelayKind::RealisticAdderCells,
+        Some("library") => DelayKind::Custom(library.cell_delay()),
         Some(other) => {
             return Err(CliError::Usage(format!(
                 "--delay must be unit, zero, adder or library, got `{other}`"
@@ -224,13 +230,35 @@ fn cmd_parse(raw: &[String]) -> Result<(), CliError> {
 
 const STATS_SPEC: Spec = Spec {
     options: &["tech"],
-    flags: &[],
+    flags: &["json"],
 };
 
 fn cmd_stats(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &STATS_SPEC).map_err(CliError::Usage)?;
-    let (netlist, _) = load(&args)?;
-    print!("{}", netlist.stats());
+    let (netlist, path) = load(&args)?;
+    let stats = netlist.stats();
+    if args.flag("json") {
+        let mut cells = JsonObject::new();
+        for (kind, count) in stats.cells_by_kind() {
+            cells = cells.usize(kind, *count);
+        }
+        let json = JsonObject::new()
+            .str("file", &path)
+            .str("netlist", netlist.name())
+            .usize("cells", stats.cell_count())
+            .usize("nets", stats.net_count())
+            .usize("flipflops", stats.dff_count())
+            .usize("inputs", stats.input_count())
+            .usize("outputs", stats.output_count())
+            .usize("max_fanout", stats.max_fanout())
+            .f64("gate_equivalents", stats.gate_equivalents())
+            .opt_usize("combinational_depth", stats.combinational_depth())
+            .raw("cells_by_kind", &cells.render())
+            .render();
+        println!("{json}");
+    } else {
+        print!("{stats}");
+    }
     Ok(())
 }
 
@@ -243,9 +271,10 @@ const ANALYZE_SPEC: Spec = Spec {
         "tech",
         "csv",
         "vcd",
+        "wave-csv",
         "dot",
     ],
-    flags: &[],
+    flags: &["json"],
 };
 
 fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
@@ -255,62 +284,97 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     // Resolve every option before printing anything, so a bad value fails
     // cleanly instead of after half a report.
     let config = analysis_config(&args, &library)?;
+    let json = args.flag("json");
 
-    println!("== {path}: `{}` ==", netlist.name());
-    print!("{}", netlist.stats());
+    if !json {
+        println!("== {path}: `{}` ==", netlist.name());
+        print!("{}", netlist.stats());
+    }
 
-    let analysis = analyze_netlist(&netlist, &config)?;
+    // One session, one simulation pass: the analyzer's activity and power
+    // probes plus one extra probe per requested artefact.
+    let analyzer = GlitchAnalyzer::new(config.clone());
+    let mut session = analyzer.session(&netlist, &input_buses(&netlist), &[]);
+    if args.option("vcd").is_some() {
+        session = session.probe(VcdProbe::default());
+    }
+    if args.option("wave-csv").is_some() {
+        session = session.probe(WaveCsvProbe::new());
+    }
+    let mut report = session
+        .run()
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+
+    let vcd_text = report.take_probe::<VcdProbe>().map(VcdProbe::into_vcd);
+    let wave_csv = report
+        .take_probe::<WaveCsvProbe>()
+        .map(WaveCsvProbe::into_csv);
+    let passes = report.passes();
+    let events = report.total_events();
+    let max_settle = report.max_settle_time();
+    let analysis = GlitchAnalyzer::analysis(&netlist, report);
     let totals = analysis.activity.totals();
-    println!();
-    print!("{}", analysis.activity);
-    println!(
-        "useless/useful ratio L/F = {:.3}; balancing all delay paths would cut \
-         combinational activity by a factor of {:.2}",
-        totals.useless_to_useful(),
-        analysis.balance_reduction_factor()
-    );
-    println!();
-    print!("{}", analysis.power);
+
+    if json {
+        let activity = JsonObject::new()
+            .u64("transitions", totals.transitions)
+            .u64("useful", totals.useful)
+            .u64("useless", totals.useless)
+            .u64("glitches", totals.glitches())
+            .f64("lf_ratio", totals.useless_to_useful())
+            .f64(
+                "balance_reduction_factor",
+                totals.balance_reduction_factor(),
+            );
+        let power = &analysis.power;
+        let power_json = JsonObject::new()
+            .f64("logic_w", power.breakdown.logic)
+            .f64("flipflop_w", power.breakdown.flipflop)
+            .f64("clock_w", power.breakdown.clock)
+            .f64("total_w", power.breakdown.total())
+            .f64("frequency_hz", power.frequency)
+            .usize("flipflops", power.flipflops)
+            .f64("clock_capacitance_f", power.clock_capacitance)
+            .f64("switched_cap_per_cycle_f", power.switched_cap_per_cycle);
+        let out = JsonObject::new()
+            .str("file", &path)
+            .str("netlist", netlist.name())
+            .u64("cycles", analysis.cycles)
+            .u64("passes", passes)
+            .u64("events", events)
+            .u64("max_settle_time", max_settle)
+            .raw("activity", &activity.render())
+            .raw("power", &power_json.render())
+            .render();
+        println!("{out}");
+    } else {
+        println!();
+        println!(
+            "one simulation pass: {} cycles, {events} events, worst settle time {max_settle}",
+            analysis.cycles
+        );
+        println!();
+        print!("{}", analysis.activity);
+        println!(
+            "useless/useful ratio L/F = {:.3}; balancing all delay paths would cut \
+             combinational activity by a factor of {:.2}",
+            totals.useless_to_useful(),
+            analysis.balance_reduction_factor()
+        );
+        println!();
+        print!("{}", analysis.power);
+    }
 
     if let Some(csv_path) = args.option("csv") {
         write_file(csv_path, &analysis.activity.to_csv())?;
     }
     if let Some(vcd_path) = args.option("vcd") {
-        let vcd = record_vcd(&netlist, &config)?;
-        write_file(vcd_path, &vcd)?;
+        write_file(vcd_path, &vcd_text.expect("VcdProbe attached above"))?;
+    }
+    if let Some(wave_path) = args.option("wave-csv") {
+        write_file(wave_path, &wave_csv.expect("WaveCsvProbe attached above"))?;
     }
     maybe_dot(&netlist, &args)
-}
-
-/// Re-simulates with a VCD recorder attached (the analyzer does not record
-/// waveforms on its own), under the same delay model as the analysis.
-fn record_vcd(netlist: &Netlist, config: &AnalysisConfig) -> Result<String, CliError> {
-    match &config.delay {
-        DelayConfig::Unit => record_vcd_with(netlist, config, UnitDelay),
-        DelayConfig::Zero => record_vcd_with(netlist, config, ZeroDelay),
-        DelayConfig::RealisticAdderCells => {
-            record_vcd_with(netlist, config, CellDelay::realistic_adder_cells())
-        }
-        DelayConfig::Custom(model) => record_vcd_with(netlist, config, model.clone()),
-    }
-}
-
-fn record_vcd_with<D: DelayModel>(
-    netlist: &Netlist,
-    config: &AnalysisConfig,
-    delay: D,
-) -> Result<String, CliError> {
-    let mut sim = ClockedSimulator::new(netlist, delay)
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
-    sim.attach_vcd(VcdRecorder::default());
-    sim.run(RandomStimulus::new(
-        input_buses(netlist),
-        config.cycles,
-        config.seed,
-    ))
-    .map_err(|e| run_err(format!("simulation failed: {e}")))?;
-    let recorder = sim.take_vcd().expect("recorder was attached above");
-    Ok(recorder.to_vcd(netlist))
 }
 
 const SIMULATE_SPEC: Spec = Spec {
@@ -328,26 +392,27 @@ fn cmd_simulate(raw: &[String]) -> Result<(), CliError> {
         .parsed_option("seed", AnalysisConfig::default().seed)
         .map_err(CliError::Usage)?;
 
-    let mut sim =
-        ClockedSimulator::new(&netlist, UnitDelay).map_err(|e| run_err(format!("{path}: {e}")))?;
+    let mut session = SimSession::new(&netlist)
+        .delay_model(UnitDelay)
+        .stimulus(RandomStimulus::new(input_buses(&netlist), cycles, seed));
     if args.option("vcd").is_some() {
-        sim.attach_vcd(VcdRecorder::default());
+        session = session.probe(VcdProbe::default());
     }
-    let stats = sim
-        .run(RandomStimulus::new(input_buses(&netlist), cycles, seed))
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let mut report: SessionReport = session
+        .run()
+        .map_err(|e| run_err(format!("{path}: simulation failed: {e}")))?;
 
-    let transitions: u64 = stats.iter().map(|s| s.transitions).sum();
-    let events: u64 = stats.iter().map(|s| s.events).sum();
-    let max_settle = stats.iter().map(|s| s.settle_time).max().unwrap_or(0);
     println!(
-        "simulated {cycles} cycles of `{}` (seed {seed}): {transitions} transitions, \
-         {events} events, worst settle time {max_settle}",
-        netlist.name()
+        "simulated {cycles} cycles of `{}` (seed {seed}): {} transitions, \
+         {} events, worst settle time {}",
+        netlist.name(),
+        report.total_transitions(),
+        report.total_events(),
+        report.max_settle_time()
     );
     println!("final primary outputs:");
     for &out in netlist.outputs() {
-        let value = match sim.net_bool(out) {
+        let value = match report.net_bool(out) {
             Some(true) => "1",
             Some(false) => "0",
             None => "x",
@@ -355,8 +420,11 @@ fn cmd_simulate(raw: &[String]) -> Result<(), CliError> {
         println!("  {:<24} {value}", netlist.net(out).name());
     }
     if let Some(vcd_path) = args.option("vcd") {
-        let recorder = sim.take_vcd().expect("recorder was attached above");
-        write_file(vcd_path, &recorder.to_vcd(&netlist))?;
+        let vcd = report
+            .take_probe::<VcdProbe>()
+            .expect("recorder was attached above")
+            .into_vcd();
+        write_file(vcd_path, &vcd)?;
     }
     Ok(())
 }

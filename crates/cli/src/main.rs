@@ -9,6 +9,7 @@
 
 mod args;
 mod commands;
+mod json;
 
 use std::process::ExitCode;
 

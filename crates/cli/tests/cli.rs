@@ -148,6 +148,70 @@ fn simulate_writes_a_vcd() {
 }
 
 #[test]
+fn analyze_produces_every_artefact_from_one_simulation_pass() {
+    // The acceptance bar of the session redesign: `analyze --vcd --csv`
+    // (plus the per-transition CSV) costs exactly one simulation pass.
+    let dir = std::env::temp_dir().join("glitch_cli_test_one_pass");
+    std::fs::create_dir_all(&dir).unwrap();
+    let vcd_out = dir.join("out.vcd");
+    let csv_out = dir.join("out.csv");
+    let wave_out = dir.join("wave.csv");
+    let output = run(&[
+        "analyze",
+        &data("c17.blif"),
+        "--cycles",
+        "200",
+        "--vcd",
+        vcd_out.to_str().unwrap(),
+        "--csv",
+        csv_out.to_str().unwrap(),
+        "--wave-csv",
+        wave_out.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(
+        text.contains("one simulation pass: 200 cycles"),
+        "missing one-pass marker: {text}"
+    );
+    let vcd = std::fs::read_to_string(&vcd_out).unwrap();
+    assert!(vcd.contains("$enddefinitions"));
+    let csv = std::fs::read_to_string(&csv_out).unwrap();
+    assert!(csv.lines().count() > 1, "activity CSV has rows");
+    let wave = std::fs::read_to_string(&wave_out).unwrap();
+    assert!(wave.starts_with("cycle,time,net,value,kind"));
+    assert!(wave.lines().count() > 1, "wave CSV has rows");
+}
+
+#[test]
+fn analyze_json_emits_a_machine_readable_report() {
+    let output = run(&["analyze", &data("c17.blif"), "--cycles", "150", "--json"]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"netlist\":\"c17\""), "{json}");
+    assert!(json.contains("\"cycles\":150"), "{json}");
+    assert!(json.contains("\"passes\":1"), "{json}");
+    assert!(json.contains("\"activity\":{"), "{json}");
+    assert!(json.contains("\"power\":{"), "{json}");
+    assert!(json.contains("\"lf_ratio\":"), "{json}");
+    // JSON mode suppresses the human-readable report.
+    assert!(!text.contains("transition activity"), "{text}");
+}
+
+#[test]
+fn stats_json_emits_the_histogram() {
+    let output = run(&["stats", &data("counter4.blif"), "--json"]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let json = stdout(&output);
+    assert!(json.contains("\"netlist\":\"counter4\""), "{json}");
+    assert!(json.contains("\"flipflops\":4"), "{json}");
+    assert!(json.contains("\"cells_by_kind\":{"), "{json}");
+    assert!(json.contains("\"DFF\":4"), "{json}");
+}
+
+#[test]
 fn retime_reports_a_comparison_table() {
     let output = run(&[
         "retime",

@@ -1,26 +1,13 @@
-//! The single-circuit analysis flow: simulate → count → classify → power.
+//! The single-circuit analysis flow: one simulation session → count →
+//! classify → power.
 
 use glitch_activity::{ActivityReport, ActivityTrace};
 use glitch_netlist::{Bus, NetId, Netlist};
-use glitch_power::{estimate_power, PowerReport, Technology};
+use glitch_power::{PowerReport, Technology};
 use glitch_sim::{
-    CellDelay, ClockedSimulator, DelayModel, RandomStimulus, SimError, UnitDelay, ZeroDelay,
+    ActivityProbe, DelayKind, DelayModel, PowerProbe, RandomStimulus, SessionReport, SimError,
+    SimSession,
 };
-
-/// Which delay model the analysis simulates with.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum DelayConfig {
-    /// One delay unit per cell — the paper's standard model.
-    #[default]
-    Unit,
-    /// Zero delay everywhere: the glitch-free reference ("all delay paths
-    /// balanced").
-    Zero,
-    /// Compound adder cells with `d_sum = 2 · d_carry` (Table 2).
-    RealisticAdderCells,
-    /// A fully custom per-cell delay table.
-    Custom(CellDelay),
-}
 
 /// Configuration of a [`GlitchAnalyzer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +21,7 @@ pub struct AnalysisConfig {
     /// Technology used for the power estimate.
     pub technology: Technology,
     /// Delay model used for the simulation.
-    pub delay: DelayConfig,
+    pub delay: DelayKind,
 }
 
 impl Default for AnalysisConfig {
@@ -44,7 +31,7 @@ impl Default for AnalysisConfig {
             seed: 0xDA7E_1995,
             frequency: 5e6,
             technology: Technology::cmos_0p8um_5v(),
-            delay: DelayConfig::Unit,
+            delay: DelayKind::Unit,
         }
     }
 }
@@ -73,7 +60,34 @@ impl Analysis {
 }
 
 /// Simulates a netlist with seeded random stimuli and produces the paper's
-/// transition-activity and power figures.
+/// transition-activity and power figures — in **one simulation pass**.
+///
+/// The analyzer is a thin configuration layer over [`SimSession`]: it
+/// attaches an [`ActivityProbe`] and a [`PowerProbe`] to a single session
+/// and distils their outputs into an [`Analysis`]. Callers that need more
+/// observables (a waveform, a transition CSV) add probes to the same
+/// session via [`GlitchAnalyzer::session`] and still pay for one pass.
+///
+/// ```
+/// use glitch_core::{AnalysisConfig, GlitchAnalyzer};
+/// use glitch_core::arith::{AdderStyle, RippleCarryAdder};
+/// use glitch_core::sim::VcdProbe;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
+/// let analyzer = GlitchAnalyzer::new(AnalysisConfig { cycles: 50, ..Default::default() });
+/// // One pass: activity + power + waveform.
+/// let mut report = analyzer
+///     .session(&adder.netlist, &[adder.a.clone(), adder.b.clone()], &[(adder.cin, false)])
+///     .probe(VcdProbe::default())
+///     .run()?;
+/// let vcd = report.take_probe::<VcdProbe>().unwrap().into_vcd();
+/// let analysis = GlitchAnalyzer::analysis(&adder.netlist, report);
+/// assert!(vcd.contains("$enddefinitions"));
+/// assert!(analysis.activity.totals().transitions > 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct GlitchAnalyzer {
     config: AnalysisConfig,
@@ -92,9 +106,60 @@ impl GlitchAnalyzer {
         &self.config
     }
 
-    /// Simulates `netlist` for the configured number of cycles, driving
-    /// `random_buses` with uniform random values each cycle and holding the
-    /// `held` single-bit inputs constant.
+    /// Builds the configured one-pass session: the seeded random stimulus,
+    /// the configured delay model, and the activity + power probes. Attach
+    /// further probes before calling [`SimSession::run`].
+    #[must_use]
+    pub fn session<'a>(
+        &self,
+        netlist: &'a Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+    ) -> SimSession<'a> {
+        let mut stimulus =
+            RandomStimulus::new(random_buses.to_vec(), self.config.cycles, self.config.seed);
+        for &(net, value) in held {
+            stimulus = stimulus.hold(net, value);
+        }
+        SimSession::new(netlist)
+            .delay(self.config.delay.clone())
+            .stimulus(stimulus)
+            .probe(ActivityProbe::new())
+            .probe(PowerProbe::new(
+                self.config.technology,
+                self.config.frequency,
+            ))
+    }
+
+    /// Distils a finished session report (as built by
+    /// [`GlitchAnalyzer::session`]) into an [`Analysis`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is missing the analyzer's activity or power
+    /// probe (i.e. it did not come from [`GlitchAnalyzer::session`]).
+    #[must_use]
+    pub fn analysis(netlist: &Netlist, mut report: SessionReport) -> Analysis {
+        let trace = report
+            .take_probe::<ActivityProbe>()
+            .expect("analysis sessions carry an ActivityProbe")
+            .into_trace();
+        let power = report
+            .take_probe::<PowerProbe>()
+            .expect("analysis sessions carry a PowerProbe")
+            .into_report();
+        let activity = ActivityReport::from_trace(netlist, &trace);
+        Analysis {
+            activity,
+            power,
+            trace,
+            cycles: report.cycles(),
+        }
+    }
+
+    /// Simulates `netlist` once for the configured number of cycles,
+    /// driving `random_buses` with uniform random values each cycle and
+    /// holding the `held` single-bit inputs constant.
     ///
     /// # Errors
     ///
@@ -106,19 +171,8 @@ impl GlitchAnalyzer {
         random_buses: &[Bus],
         held: &[(NetId, bool)],
     ) -> Result<Analysis, SimError> {
-        match &self.config.delay {
-            DelayConfig::Unit => self.analyze_with(netlist, random_buses, held, UnitDelay),
-            DelayConfig::Zero => self.analyze_with(netlist, random_buses, held, ZeroDelay),
-            DelayConfig::RealisticAdderCells => self.analyze_with(
-                netlist,
-                random_buses,
-                held,
-                CellDelay::realistic_adder_cells(),
-            ),
-            DelayConfig::Custom(model) => {
-                self.analyze_with(netlist, random_buses, held, model.clone())
-            }
-        }
+        let report = self.session(netlist, random_buses, held).run()?;
+        Ok(Self::analysis(netlist, report))
     }
 
     /// Same as [`GlitchAnalyzer::analyze`] but with an explicit delay model,
@@ -128,34 +182,18 @@ impl GlitchAnalyzer {
     ///
     /// Returns a [`SimError`] if the netlist is structurally invalid or the
     /// simulation fails to settle.
-    pub fn analyze_with<D: DelayModel>(
+    pub fn analyze_with<'a, D: DelayModel + 'a>(
         &self,
-        netlist: &Netlist,
+        netlist: &'a Netlist,
         random_buses: &[Bus],
         held: &[(NetId, bool)],
         delay: D,
     ) -> Result<Analysis, SimError> {
-        let mut sim = ClockedSimulator::new(netlist, delay)?;
-        let mut stimulus =
-            RandomStimulus::new(random_buses.to_vec(), self.config.cycles, self.config.seed);
-        for &(net, value) in held {
-            stimulus = stimulus.hold(net, value);
-        }
-        sim.run(stimulus)?;
-        let trace = sim.trace().clone();
-        let activity = ActivityReport::from_trace(netlist, &trace);
-        let power = estimate_power(
-            netlist,
-            &trace,
-            &self.config.technology,
-            self.config.frequency,
-        );
-        Ok(Analysis {
-            activity,
-            power,
-            trace,
-            cycles: self.config.cycles,
-        })
+        let report = self
+            .session(netlist, random_buses, held)
+            .delay_model(delay)
+            .run()?;
+        Ok(Self::analysis(netlist, report))
     }
 }
 
@@ -163,6 +201,7 @@ impl GlitchAnalyzer {
 mod tests {
     use super::*;
     use glitch_arith::{AdderStyle, RippleCarryAdder, WallaceTreeMultiplier};
+    use glitch_sim::CellDelay;
 
     #[test]
     fn analyzer_reports_activity_and_power() {
@@ -193,7 +232,7 @@ mod tests {
         let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
         let analyzer = GlitchAnalyzer::new(AnalysisConfig {
             cycles: 200,
-            delay: DelayConfig::Zero,
+            delay: DelayKind::Zero,
             ..Default::default()
         });
         let analysis = analyzer
@@ -219,7 +258,7 @@ mod tests {
         .unwrap();
         let realistic = GlitchAnalyzer::new(AnalysisConfig {
             cycles: 200,
-            delay: DelayConfig::RealisticAdderCells,
+            delay: DelayKind::RealisticAdderCells,
             ..Default::default()
         })
         .analyze(&mult.netlist, &buses, &[])
@@ -239,7 +278,7 @@ mod tests {
         let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
         let analyzer = GlitchAnalyzer::new(AnalysisConfig {
             cycles: 50,
-            delay: DelayConfig::Custom(CellDelay::new().with_full_adder(3, 1)),
+            delay: DelayKind::Custom(CellDelay::new().with_full_adder(3, 1)),
             ..Default::default()
         });
         let analysis = analyzer
@@ -250,5 +289,21 @@ mod tests {
             )
             .unwrap();
         assert!(analysis.activity.totals().transitions > 0);
+    }
+
+    #[test]
+    fn explicit_delay_model_overrides_the_configured_kind() {
+        let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 50,
+            delay: DelayKind::Unit,
+            ..Default::default()
+        });
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let zero = analyzer
+            .analyze_with(&adder.netlist, &buses, &held, glitch_sim::ZeroDelay)
+            .unwrap();
+        assert_eq!(zero.activity.totals().useless, 0);
     }
 }

@@ -3,10 +3,12 @@
 //! The top-level analysis flow of the workspace, reproducing the DATE'95
 //! paper *Analysis and Reduction of Glitches in Synchronous Networks*:
 //!
-//! * [`GlitchAnalyzer`] — simulate a netlist with random stimuli, count
-//!   transitions on every node, classify them into useful transitions and
-//!   glitches by parity evaluation, and estimate the three-component dynamic
-//!   power (combinational logic / flipflops / clock).
+//! * [`GlitchAnalyzer`] — simulate a netlist with random stimuli in **one
+//!   session pass** (a `glitch_sim::SimSession` with activity and power
+//!   probes), count transitions on every node, classify them into useful
+//!   transitions and glitches by parity evaluation, and estimate the
+//!   three-component dynamic power (combinational logic / flipflops /
+//!   clock).
 //! * [`PowerExplorer`] — sweep pipelining depth on a combinational datapath
 //!   (the paper's retiming-for-power experiment): each extra register rank
 //!   eliminates glitches in the logic but adds flipflop and clock power, so
@@ -40,9 +42,16 @@ mod analyzer;
 mod explore;
 mod table;
 
-pub use analyzer::{Analysis, AnalysisConfig, DelayConfig, GlitchAnalyzer};
-pub use explore::{ExplorationPoint, ExplorationResult, PowerExplorer};
+pub use analyzer::{Analysis, AnalysisConfig, GlitchAnalyzer};
+pub use explore::{ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer};
 pub use table::TextTable;
+
+/// The delay-model selector, re-exported from `glitch-sim` (which absorbed
+/// the old `glitch_core::DelayConfig`).
+pub use glitch_sim::DelayKind;
+
+/// Backwards-compatible alias for [`DelayKind`]; prefer the new name.
+pub use glitch_sim::DelayKind as DelayConfig;
 
 /// Re-export of the netlist substrate.
 pub use glitch_netlist as netlist;

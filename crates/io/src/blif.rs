@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use glitch_netlist::{CellKind, NetId, Netlist, NetlistError};
+use glitch_netlist::{CellKind, DffInit, NetId, Netlist, NetlistError};
 
 use crate::cover::{Lit, SopCover};
 use crate::error::{IoError, Loc};
@@ -363,31 +363,28 @@ fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
             ));
         }
     };
-    if let Some(init) = init_tok {
-        match init.text.as_str() {
-            "0" | "2" | "3" => {}
-            "1" => {
-                return Err(IoError::Unsupported {
-                    loc: init.loc,
-                    construct:
-                        "flipflop initial value 1 (this flow initialises all flipflops to 0)".into(),
-                });
-            }
+    let init = match init_tok {
+        None => DffInit::DontCare,
+        Some(init) => match init.text.as_str() {
+            "0" => DffInit::Zero,
+            "1" => DffInit::One,
+            "2" | "3" => DffInit::DontCare,
             other => {
                 return Err(IoError::syntax(
                     init.loc,
                     format!("latch init value must be 0..3, found `{other}`"),
                 ));
             }
-        }
-    }
+        },
+    };
     let d = builder.net(&d_tok.text);
     let q = builder.net(&q_tok.text);
     let name = format!("ff_{}_{}", q_tok.text, builder.netlist.cell_count());
-    builder
+    let cell = builder
         .netlist
         .add_cell(CellKind::Dff, name, vec![d], vec![q])
         .map_err(|e| builder.build_err(e, line.loc()))?;
+    builder.netlist.set_dff_init(cell, init);
     Ok(())
 }
 
@@ -619,10 +616,25 @@ mod tests {
     }
 
     #[test]
-    fn latch_init_one_is_unsupported() {
-        let text = ".model t\n.inputs d\n.outputs q\n.latch d q 1\n.end\n";
+    fn latch_init_values_are_honoured() {
+        let text = ".model t\n.inputs d\n.outputs q0 q1 q2 q3\n\
+                    .latch d q0 0\n.latch d q1 1\n.latch d q2 2\n.latch d q3\n.end\n";
+        let nl = parse_blif(text, &lib()).unwrap();
+        let init_of = |name: &str| {
+            let q = nl.find_net(name).unwrap();
+            nl.cell(nl.net(q).driver().unwrap().cell).dff_init()
+        };
+        assert_eq!(init_of("q0"), DffInit::Zero);
+        assert_eq!(init_of("q1"), DffInit::One);
+        assert_eq!(init_of("q2"), DffInit::DontCare);
+        assert_eq!(init_of("q3"), DffInit::DontCare);
+    }
+
+    #[test]
+    fn latch_init_out_of_range_is_rejected() {
+        let text = ".model t\n.inputs d\n.outputs q\n.latch d q 7\n.end\n";
         let err = parse_blif(text, &lib()).unwrap_err();
-        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+        assert!(matches!(err, IoError::Syntax { .. }), "{err}");
     }
 
     #[test]

@@ -45,9 +45,10 @@ pub fn emit_blif(netlist: &Netlist) -> String {
             CellKind::Dff => {
                 let _ = writeln!(
                     out,
-                    ".latch {} {} 2",
+                    ".latch {} {} {}",
                     names.get(cell.inputs()[0]),
-                    names.get(cell.outputs()[0])
+                    names.get(cell.outputs()[0]),
+                    cell.dff_init().blif_digit()
                 );
             }
             CellKind::HalfAdder => {

@@ -39,6 +39,55 @@ impl fmt::Display for CellId {
     }
 }
 
+/// Initial (power-on / reset) state of a D-flipflop.
+///
+/// BLIF `.latch` lines carry an optional init digit; `0` and `1` map to
+/// [`DffInit::Zero`] and [`DffInit::One`], while `2` (don't care) and `3`
+/// (unknown) map to [`DffInit::DontCare`], leaving the choice to the
+/// simulator's configured default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DffInit {
+    /// The flipflop resets to logic 0.
+    Zero,
+    /// The flipflop resets to logic 1.
+    One,
+    /// No initial value was specified; the simulator default applies.
+    #[default]
+    DontCare,
+}
+
+impl DffInit {
+    /// The reset value as a `bool`, or `None` for [`DffInit::DontCare`].
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            DffInit::Zero => Some(false),
+            DffInit::One => Some(true),
+            DffInit::DontCare => None,
+        }
+    }
+
+    /// The BLIF init digit (`0`, `1` or `3`) for this reset state.
+    #[must_use]
+    pub fn blif_digit(self) -> char {
+        match self {
+            DffInit::Zero => '0',
+            DffInit::One => '1',
+            DffInit::DontCare => '3',
+        }
+    }
+}
+
+impl From<bool> for DffInit {
+    fn from(b: bool) -> Self {
+        if b {
+            DffInit::One
+        } else {
+            DffInit::Zero
+        }
+    }
+}
+
 /// The kinds of cells understood by the simulator, the retimer and the power
 /// model.
 ///
@@ -258,6 +307,7 @@ pub struct Cell {
     pub(crate) name: String,
     pub(crate) inputs: Vec<NetId>,
     pub(crate) outputs: Vec<NetId>,
+    pub(crate) dff_init: DffInit,
 }
 
 impl Cell {
@@ -289,6 +339,13 @@ impl Cell {
     #[must_use]
     pub fn is_sequential(&self) -> bool {
         self.kind.is_sequential()
+    }
+
+    /// The flipflop's initial state. Always [`DffInit::DontCare`] for
+    /// combinational cells.
+    #[must_use]
+    pub fn dff_init(&self) -> DffInit {
+        self.dff_init
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::cell::{Cell, CellId, CellKind};
+use crate::cell::{Cell, CellId, CellKind, DffInit};
 use crate::error::NetlistError;
 use crate::net::{Net, NetId, Pin};
 
@@ -357,8 +357,24 @@ impl Netlist {
             name: name.into(),
             inputs,
             outputs,
+            dff_init: DffInit::DontCare,
         });
         Ok(id)
+    }
+
+    /// Sets the initial (reset) state of a flipflop cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range or not a [`CellKind::Dff`].
+    pub fn set_dff_init(&mut self, cell: CellId, init: DffInit) {
+        assert!(
+            self.cells[cell.0].is_sequential(),
+            "cell {} ({}) is not a flipflop",
+            cell,
+            self.cells[cell.0].name
+        );
+        self.cells[cell.0].dff_init = init;
     }
 
     /// Creates a single-output gate of `kind`, creating and returning its
@@ -472,10 +488,17 @@ impl Netlist {
 
     /// D-flipflop on the implicit clock; returns the `q` output net.
     pub fn dff(&mut self, d: NetId, out_name: &str) -> NetId {
+        self.dff_with_init(d, out_name, DffInit::DontCare)
+    }
+
+    /// D-flipflop with an explicit initial state; returns the `q` output net.
+    pub fn dff_with_init(&mut self, d: NetId, out_name: &str, init: DffInit) -> NetId {
         let q = self.add_net(out_name);
         let name = format!("u_{out_name}_{}", self.cells.len());
-        self.add_cell(CellKind::Dff, name, vec![d], vec![q])
+        let cell = self
+            .add_cell(CellKind::Dff, name, vec![d], vec![q])
             .expect("structurally valid flipflop");
+        self.cells[cell.0].dff_init = init;
         q
     }
 
@@ -655,6 +678,35 @@ mod tests {
         assert!(nl.rename_net(b, "alpha").is_err());
         // Renaming to its own name is a no-op.
         nl.rename_net(b, "b").unwrap();
+    }
+
+    #[test]
+    fn dff_init_state_is_stored_per_flipflop() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let q0 = nl.dff(d, "q0");
+        let q1 = nl.dff_with_init(d, "q1", DffInit::One);
+        let ff0 = nl.net(q0).driver().unwrap().cell;
+        let ff1 = nl.net(q1).driver().unwrap().cell;
+        assert_eq!(nl.cell(ff0).dff_init(), DffInit::DontCare);
+        assert_eq!(nl.cell(ff1).dff_init(), DffInit::One);
+        nl.set_dff_init(ff0, DffInit::Zero);
+        assert_eq!(nl.cell(ff0).dff_init(), DffInit::Zero);
+        assert_eq!(DffInit::One.to_bool(), Some(true));
+        assert_eq!(DffInit::DontCare.to_bool(), None);
+        assert_eq!(DffInit::from(true), DffInit::One);
+        assert_eq!(DffInit::Zero.blif_digit(), '0');
+    }
+
+    #[test]
+    #[should_panic(expected = "not a flipflop")]
+    fn set_dff_init_rejects_combinational_cells() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let inv = nl.net(y).driver().unwrap().cell;
+        nl.set_dff_init(inv, DffInit::One);
     }
 
     #[test]

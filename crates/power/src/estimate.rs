@@ -102,8 +102,38 @@ pub fn estimate_power(
         trace.node_count(),
         netlist.net_count()
     );
+    let counts: Vec<u64> = (0..netlist.net_count())
+        .map(|i| trace.node(i).transitions())
+        .collect();
+    estimate_power_from_counts(netlist, &counts, trace.cycles(), tech, frequency)
+}
+
+/// Estimates the dynamic power of a netlist from raw per-net transition
+/// counts (indexed by net index) accumulated over `cycles` clock cycles.
+///
+/// This is the streaming-friendly core behind [`estimate_power`]: a probe
+/// counting transitions on the fly produces numerically identical results
+/// to the trace-based path because both funnel through this function.
+///
+/// # Panics
+///
+/// Panics if `counts` covers fewer entries than the netlist has nets.
+#[must_use]
+pub fn estimate_power_from_counts(
+    netlist: &Netlist,
+    counts: &[u64],
+    cycles: u64,
+    tech: &Technology,
+    frequency: f64,
+) -> PowerReport {
+    assert!(
+        counts.len() >= netlist.net_count(),
+        "counts cover {} nets but the netlist has {} nets",
+        counts.len(),
+        netlist.net_count()
+    );
     let caps = CapacitanceModel::new(netlist, *tech);
-    let cycles = trace.cycles().max(1);
+    let divisor = cycles.max(1);
 
     // Nets driven by flipflop outputs are part of the flipflop power figure.
     let mut is_ff_output = vec![false; netlist.net_count()];
@@ -118,8 +148,8 @@ pub fn estimate_power(
         if net.is_primary_input() || is_ff_output[net_id.index()] {
             continue;
         }
-        let transitions = trace.node(net_id.index()).transitions();
-        let per_cycle = transitions as f64 / cycles as f64;
+        let transitions = counts[net_id.index()];
+        let per_cycle = transitions as f64 / divisor as f64;
         switched_cap_per_cycle += 0.5 * per_cycle * caps.net_capacitance(net_id);
     }
 
@@ -143,7 +173,7 @@ pub fn estimate_power(
             0.0
         },
         switched_cap_per_cycle,
-        cycles: trace.cycles(),
+        cycles,
     }
 }
 
@@ -151,17 +181,18 @@ pub fn estimate_power(
 mod tests {
     use super::*;
     use glitch_arith::{AdderStyle, RippleCarryAdder};
-    use glitch_sim::{ClockedSimulator, RandomStimulus, UnitDelay};
+    use glitch_sim::{ActivityProbe, RandomStimulus, SimSession};
 
     fn adder_trace(bits: usize, cycles: u64) -> (Netlist, ActivityTrace) {
         let adder = RippleCarryAdder::new(bits, AdderStyle::CompoundCell);
-        let trace = {
-            let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
-            let stim = RandomStimulus::new(vec![adder.a.clone(), adder.b.clone()], cycles, 7)
-                .hold(adder.cin, false);
-            sim.run(stim).unwrap();
-            sim.trace().clone()
-        };
+        let stim = RandomStimulus::new(vec![adder.a.clone(), adder.b.clone()], cycles, 7)
+            .hold(adder.cin, false);
+        let mut report = SimSession::new(&adder.netlist)
+            .stimulus(stim)
+            .probe(ActivityProbe::new())
+            .run()
+            .unwrap();
+        let trace = report.take_probe::<ActivityProbe>().unwrap().into_trace();
         (adder.netlist, trace)
     }
 
@@ -197,11 +228,14 @@ mod tests {
         let d = nl.add_input_bus("d", 8);
         let q = nl.register_bus(&d, "q");
         nl.mark_output_bus(&q);
-        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
-        let stim = RandomStimulus::new(vec![d], 100, 3);
-        sim.run(stim).unwrap();
+        let session_report = SimSession::new(&nl)
+            .stimulus(RandomStimulus::new(vec![d], 100, 3))
+            .probe(ActivityProbe::new())
+            .run()
+            .unwrap();
         let tech = Technology::cmos_0p8um_5v();
-        let report = estimate_power(&nl, sim.trace(), &tech, 5e6);
+        let trace = session_report.probe::<ActivityProbe>().unwrap().trace();
+        let report = estimate_power(&nl, trace, &tech, 5e6);
         assert_eq!(report.flipflops, 8);
         assert!(report.breakdown.flipflop > 0.0);
         assert!(report.breakdown.clock > 0.0);
@@ -222,6 +256,25 @@ mod tests {
         let big = estimate_power(&nl_big, &trace_big, &tech, 5e6);
         assert!(big.breakdown.logic > small.breakdown.logic);
         assert!(big.switched_cap_per_cycle > small.switched_cap_per_cycle);
+    }
+
+    #[test]
+    fn counts_path_matches_trace_path_bit_for_bit() {
+        let (nl, trace) = adder_trace(8, 150);
+        let tech = Technology::cmos_0p8um_5v();
+        let from_trace = estimate_power(&nl, &trace, &tech, 5e6);
+        let counts: Vec<u64> = (0..nl.net_count())
+            .map(|i| trace.node(i).transitions())
+            .collect();
+        let from_counts = estimate_power_from_counts(&nl, &counts, trace.cycles(), &tech, 5e6);
+        assert_eq!(from_trace, from_counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts cover")]
+    fn mismatched_counts_are_rejected() {
+        let (nl, _) = adder_trace(4, 10);
+        let _ = estimate_power_from_counts(&nl, &[0, 0], 10, &Technology::default(), 5e6);
     }
 
     #[test]

@@ -39,5 +39,5 @@ mod estimate;
 mod tech;
 
 pub use capacitance::CapacitanceModel;
-pub use estimate::{estimate_power, PowerBreakdown, PowerReport};
+pub use estimate::{estimate_power, estimate_power_from_counts, PowerBreakdown, PowerReport};
 pub use tech::Technology;

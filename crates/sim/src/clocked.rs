@@ -1,18 +1,18 @@
 //! The synchronous, cycle-by-cycle simulation driver.
 
-use glitch_activity::ActivityTrace;
-use glitch_netlist::{Bus, CellId, CellKind, NetId, Netlist};
+use glitch_netlist::{Bus, CellId, CellKind, DffInit, NetId, Netlist};
 
 use crate::delay::DelayModel;
 use crate::engine::EventQueue;
 use crate::error::SimError;
+use crate::probe::{Probe, Transition, TransitionKind};
 use crate::value::Value;
-use crate::vcd::VcdRecorder;
 
 /// Options controlling a [`ClockedSimulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
-    /// Value every flipflop holds before the first clock cycle.
+    /// Value a flipflop without an explicit netlist init state
+    /// ([`DffInit::DontCare`]) holds before the first clock cycle.
     pub dff_init: Value,
     /// Maximum settling time (in delay units) allowed per cycle before the
     /// simulator gives up with [`SimError::DidNotSettle`].
@@ -105,42 +105,44 @@ pub struct CycleStats {
 struct DffInfo {
     d: NetId,
     q: NetId,
+    init: Value,
 }
 
 /// Event-driven simulator for a single-clock synchronous netlist.
 ///
+/// This is the low-level driver: it owns a type-erased [`DelayModel`],
+/// dispatches every observable event to the attached [`Probe`]s, and knows
+/// nothing about activity traces, waveforms or power — those are probes.
+/// Most callers should use [`crate::SimSession`] instead and only drop down
+/// to `ClockedSimulator` for cycle-by-cycle control.
+///
 /// See the crate-level documentation for the simulation semantics and an
 /// example.
-#[derive(Debug)]
-pub struct ClockedSimulator<'a, D: DelayModel> {
+pub struct ClockedSimulator<'a> {
     netlist: &'a Netlist,
-    delay: D,
+    delay: Box<dyn DelayModel + 'a>,
     options: SimOptions,
     values: Vec<Value>,
     pending: Vec<Value>,
-    cycle_counts: Vec<u32>,
-    rising_counts: Vec<u32>,
-    trace: ActivityTrace,
-    rising_totals: Vec<u64>,
     dffs: Vec<DffInfo>,
     dff_state: Vec<Value>,
     constants: Vec<(NetId, Value)>,
     cycles: u64,
     queue: EventQueue,
-    vcd: Option<VcdRecorder>,
+    probes: Vec<Box<dyn Probe>>,
     scratch_cells: Vec<CellId>,
     cell_mark: Vec<u64>,
     mark_generation: u64,
 }
 
-impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
+impl<'a> ClockedSimulator<'a> {
     /// Creates a simulator with default [`SimOptions`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidNetlist`] if the netlist fails structural
     /// validation (floating nets, combinational loops, …).
-    pub fn new(netlist: &'a Netlist, delay: D) -> Result<Self, SimError> {
+    pub fn new(netlist: &'a Netlist, delay: impl DelayModel + 'a) -> Result<Self, SimError> {
         Self::with_options(netlist, delay, SimOptions::default())
     }
 
@@ -152,7 +154,7 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
     /// validation.
     pub fn with_options(
         netlist: &'a Netlist,
-        delay: D,
+        delay: impl DelayModel + 'a,
         options: SimOptions,
     ) -> Result<Self, SimError> {
         netlist.validate()?;
@@ -164,10 +166,15 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
                 DffInfo {
                     d: cell.inputs()[0],
                     q: cell.outputs()[0],
+                    init: match cell.dff_init() {
+                        DffInit::Zero => Value::Zero,
+                        DffInit::One => Value::One,
+                        DffInit::DontCare => options.dff_init,
+                    },
                 }
             })
             .collect();
-        let dff_state = vec![options.dff_init; dffs.len()];
+        let dff_state = dffs.iter().map(|ff| ff.init).collect();
         let constants: Vec<(NetId, Value)> = netlist
             .cells()
             .filter_map(|(_, cell)| match cell.kind() {
@@ -177,34 +184,51 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
             .collect();
         Ok(ClockedSimulator {
             netlist,
-            delay,
+            delay: Box::new(delay),
             options,
             values: vec![Value::X; n],
             pending: vec![Value::X; n],
-            cycle_counts: vec![0; n],
-            rising_counts: vec![0; n],
-            trace: ActivityTrace::new(n),
-            rising_totals: vec![0; n],
             dffs,
             dff_state,
             constants,
             cycles: 0,
             queue: EventQueue::new(),
-            vcd: None,
+            probes: Vec::new(),
             scratch_cells: Vec::new(),
             cell_mark: vec![0; netlist.cell_count()],
             mark_generation: 0,
         })
     }
 
-    /// Attaches a VCD recorder; every subsequent net-value change is logged.
-    pub fn attach_vcd(&mut self, recorder: VcdRecorder) {
-        self.vcd = Some(recorder);
+    /// Attaches an observer; its `on_run_start` hook fires immediately.
+    pub fn attach_probe(&mut self, mut probe: Box<dyn Probe>) {
+        probe.on_run_start(self.netlist);
+        self.probes.push(probe);
     }
 
-    /// Detaches and returns the VCD recorder, if any.
-    pub fn take_vcd(&mut self) -> Option<VcdRecorder> {
-        self.vcd.take()
+    /// Detaches every probe, firing each one's `on_run_end` hook.
+    pub fn detach_probes(&mut self) -> Vec<Box<dyn Probe>> {
+        let mut probes = std::mem::take(&mut self.probes);
+        for probe in &mut probes {
+            probe.on_run_end(self.netlist);
+        }
+        probes
+    }
+
+    /// Borrows the first attached probe of type `T` (e.g. to inspect an
+    /// accumulating trace mid-run).
+    #[must_use]
+    pub fn probe_ref<T: Probe>(&self) -> Option<&T> {
+        self.probes.iter().find_map(|p| {
+            let any: &dyn std::any::Any = p.as_ref();
+            any.downcast_ref::<T>()
+        })
+    }
+
+    /// The attached probes, in attachment order.
+    #[must_use]
+    pub fn probes(&self) -> &[Box<dyn Probe>] {
+        &self.probes
     }
 
     /// The netlist being simulated.
@@ -217,18 +241,6 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
     #[must_use]
     pub fn cycle_count(&self) -> u64 {
         self.cycles
-    }
-
-    /// The accumulated per-net transition trace.
-    #[must_use]
-    pub fn trace(&self) -> &ActivityTrace {
-        &self.trace
-    }
-
-    /// Total power-consuming (0→1) transitions recorded on a net so far.
-    #[must_use]
-    pub fn rising_transitions(&self, net: NetId) -> u64 {
-        self.rising_totals[net.index()]
     }
 
     /// Current value of a net.
@@ -258,6 +270,20 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
         Some(out)
     }
 
+    /// Returns the simulator to its power-on state: every net `X`, every
+    /// flipflop back at its netlist init state (or the [`SimOptions`]
+    /// default), and the cycle counter at zero. Attached probes are kept
+    /// and see the next `step` as a fresh cycle sequence.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = Value::X);
+        self.pending.iter_mut().for_each(|v| *v = Value::X);
+        for (state, ff) in self.dff_state.iter_mut().zip(&self.dffs) {
+            *state = ff.init;
+        }
+        self.queue.clear();
+        self.cycles = 0;
+    }
+
     fn schedule(&mut self, time: u64, net: NetId, value: Value) {
         if self.pending[net.index()] != value {
             self.pending[net.index()] = value;
@@ -267,7 +293,7 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
 
     /// Simulates one clock cycle: applies the input assignment and the
     /// flipflop outputs at time 0, lets the combinational logic settle and
-    /// records per-net transition counts.
+    /// reports every net transition to the attached probes.
     ///
     /// # Errors
     ///
@@ -275,9 +301,10 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
     /// * [`SimError::DidNotSettle`] if the logic does not settle within the
     ///   configured budget.
     pub fn step(&mut self, inputs: InputAssignment) -> Result<CycleStats, SimError> {
-        self.cycle_counts.iter_mut().for_each(|c| *c = 0);
-        self.rising_counts.iter_mut().for_each(|c| *c = 0);
         self.queue.clear();
+        for probe in &mut self.probes {
+            probe.on_cycle_start(self.cycles);
+        }
 
         // Constant drivers assert their value at the start of every cycle;
         // after the first cycle this is a no-op because the scheduled value
@@ -306,6 +333,7 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
 
         let mut settle_time = 0u64;
         let mut events_processed = 0u64;
+        let mut transitions = 0u64;
         let mut changed_nets: Vec<NetId> = Vec::new();
         // Nets that changed during the current time step, with the value
         // they held when the step began: a net transitions at most once per
@@ -366,21 +394,32 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
                 self.scratch_cells = affected;
             }
 
-            // Account one transition per net that ended the time step with a
+            // Report one transition per net that ended the time step with a
             // different value than it started with.
             for &(net, old) in &step_changed {
-                let idx = net.index();
-                let new = self.values[idx];
-                if old.transitions_to(new) {
-                    self.cycle_counts[idx] += 1;
-                    if old.is_rising_to(new) {
-                        self.rising_counts[idx] += 1;
-                    }
+                let new = self.values[net.index()];
+                if old == new {
+                    continue;
                 }
-                if old != new {
-                    if let Some(vcd) = &mut self.vcd {
-                        vcd.change(self.cycles, time, net, new);
+                let kind = if old.transitions_to(new) {
+                    transitions += 1;
+                    if old.is_rising_to(new) {
+                        TransitionKind::Rise
+                    } else {
+                        TransitionKind::Fall
                     }
+                } else {
+                    TransitionKind::Unknown
+                };
+                let event = Transition {
+                    net,
+                    cycle: self.cycles,
+                    time,
+                    value: new,
+                    kind,
+                };
+                for probe in &mut self.probes {
+                    probe.on_transition(&event);
                 }
             }
         }
@@ -394,18 +433,16 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
             .collect();
         self.dff_state = sampled;
 
-        self.trace.record_cycle(&self.cycle_counts);
-        for (total, &count) in self.rising_totals.iter_mut().zip(&self.rising_counts) {
-            *total += u64::from(count);
-        }
-        self.cycles += 1;
-
-        let transitions = self.cycle_counts.iter().map(|&c| u64::from(c)).sum();
-        Ok(CycleStats {
+        let stats = CycleStats {
             transitions,
             settle_time,
             events: events_processed,
-        })
+        };
+        for probe in &mut self.probes {
+            probe.on_cycle_end(self.cycles, &stats);
+        }
+        self.cycles += 1;
+        Ok(stats)
     }
 
     fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) {
@@ -453,7 +490,7 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
     /// # Errors
     ///
     /// Stops at and returns the first cycle error; cycles before the error
-    /// remain recorded in the trace.
+    /// remain observed by the probes.
     pub fn run<I>(&mut self, vectors: I) -> Result<Vec<CycleStats>, SimError>
     where
         I: IntoIterator<Item = InputAssignment>,
@@ -466,10 +503,21 @@ impl<'a, D: DelayModel> ClockedSimulator<'a, D> {
     }
 }
 
+impl std::fmt::Debug for ClockedSimulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockedSimulator")
+            .field("netlist", &self.netlist.name())
+            .field("cycles", &self.cycles)
+            .field("probes", &self.probes.len())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::delay::{CellDelay, UnitDelay, ZeroDelay};
+    use crate::probe::ActivityProbe;
 
     fn xor_chain(depth: usize) -> (Netlist, NetId, NetId, NetId) {
         // y = a ^ a ^ ... via a chain that creates unbalanced paths.
@@ -483,6 +531,16 @@ mod tests {
         let y = nl.xor2(a, cur, "y");
         nl.mark_output(y);
         (nl, a, b, y)
+    }
+
+    fn with_activity<'a>(nl: &'a Netlist, delay: impl DelayModel + 'a) -> ClockedSimulator<'a> {
+        let mut sim = ClockedSimulator::new(nl, delay).unwrap();
+        sim.attach_probe(Box::new(ActivityProbe::new()));
+        sim
+    }
+
+    fn activity<'s>(sim: &'s ClockedSimulator<'_>) -> &'s ActivityProbe {
+        sim.probe_ref::<ActivityProbe>().expect("probe attached")
     }
 
     #[test]
@@ -513,7 +571,7 @@ mod tests {
         // XOR of a and a delayed copy of b: if b toggles while a toggles,
         // the inverter chain delays one input and the XOR output glitches.
         let (nl, a, b, y) = xor_chain(3);
-        let mut unit = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let mut unit = with_activity(&nl, UnitDelay);
         // Cycle 1: a=0,b=0 -> settle (y = 0 ^ !!!0 = 1).
         unit.step(InputAssignment::new().with(a, false).with(b, false))
             .unwrap();
@@ -521,20 +579,20 @@ mod tests {
         // the chain output three units later: a glitch on y.
         unit.step(InputAssignment::new().with(a, true).with(b, true))
             .unwrap();
-        let y_node = unit.trace().node(y.index());
+        let y_node = *activity(&unit).trace().node(y.index());
         assert!(
             y_node.useless() >= 2,
             "expected a glitch on y, trace: {y_node:?}"
         );
 
-        let mut ideal = ClockedSimulator::new(&nl, ZeroDelay).unwrap();
+        let mut ideal = with_activity(&nl, ZeroDelay);
         ideal
             .step(InputAssignment::new().with(a, false).with(b, false))
             .unwrap();
         ideal
             .step(InputAssignment::new().with(a, true).with(b, true))
             .unwrap();
-        let y_node = ideal.trace().node(y.index());
+        let y_node = *activity(&ideal).trace().node(y.index());
         assert_eq!(y_node.useless(), 0, "zero delay cannot glitch");
     }
 
@@ -553,6 +611,59 @@ mod tests {
         assert_eq!(sim.net_bool(q), Some(true));
         sim.step(InputAssignment::new()).unwrap();
         assert_eq!(sim.net_bool(q), Some(false));
+    }
+
+    #[test]
+    fn dff_init_states_from_the_netlist_are_honoured() {
+        let mut nl = Netlist::new("init");
+        let d = nl.add_input("d");
+        let q1 = nl.dff_with_init(d, "q1", DffInit::One);
+        let q0 = nl.dff_with_init(d, "q0", DffInit::Zero);
+        let qd = nl.dff(d, "qd");
+        nl.mark_output(q1);
+        nl.mark_output(q0);
+        nl.mark_output(qd);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        // During the first cycle every Q shows its init state.
+        assert_eq!(sim.net_bool(q1), Some(true));
+        assert_eq!(sim.net_bool(q0), Some(false));
+        assert_eq!(sim.net_bool(qd), Some(false), "DontCare uses the default");
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        assert_eq!(sim.net_bool(q1), Some(false));
+    }
+
+    #[test]
+    fn dont_care_init_follows_sim_options_default() {
+        let mut nl = Netlist::new("init_opt");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, "q");
+        nl.mark_output(q);
+        let options = SimOptions {
+            dff_init: Value::One,
+            ..SimOptions::default()
+        };
+        let mut sim = ClockedSimulator::with_options(&nl, UnitDelay, options).unwrap();
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        assert_eq!(sim.net_bool(q), Some(true));
+    }
+
+    #[test]
+    fn reset_restores_the_power_on_state() {
+        let mut nl = Netlist::new("rst");
+        let d = nl.add_input("d");
+        let q = nl.dff_with_init(d, "q", DffInit::One);
+        nl.mark_output(q);
+        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        assert_eq!(sim.net_bool(q), Some(false));
+        assert_eq!(sim.cycle_count(), 2);
+        sim.reset();
+        assert_eq!(sim.cycle_count(), 0);
+        assert_eq!(sim.net_value(q), Value::X);
+        sim.step(InputAssignment::new().with(d, false)).unwrap();
+        assert_eq!(sim.net_bool(q), Some(true), "init state restored");
     }
 
     #[test]
@@ -613,12 +724,12 @@ mod tests {
         let b = nl.add_input("b");
         let y = nl.and2(a, b, "y");
         nl.mark_output(y);
-        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let mut sim = with_activity(&nl, UnitDelay);
         sim.step(InputAssignment::new().with(a, true)).unwrap();
         assert_eq!(sim.net_value(y), Value::X);
         assert_eq!(sim.bus_value(&Bus::new(vec![y])), None);
         // X-related changes are not counted as transitions.
-        assert_eq!(sim.trace().node(y.index()).transitions(), 0);
+        assert_eq!(activity(&sim).trace().node(y.index()).transitions(), 0);
     }
 
     #[test]
@@ -639,7 +750,7 @@ mod tests {
         let a = nl.add_input("a");
         let y = nl.inv(a, "y");
         nl.mark_output(y);
-        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let mut sim = with_activity(&nl, UnitDelay);
         let vectors = vec![
             InputAssignment::new().with(a, false),
             InputAssignment::new().with(a, true),
@@ -649,8 +760,8 @@ mod tests {
         assert_eq!(stats.len(), 3);
         assert_eq!(sim.cycle_count(), 3);
         // y toggles in cycles 2 and 3 (cycle 1 is initialisation from X).
-        assert_eq!(sim.trace().node(y.index()).transitions(), 2);
-        assert_eq!(sim.rising_transitions(y), 1);
+        assert_eq!(activity(&sim).trace().node(y.index()).transitions(), 2);
+        assert_eq!(activity(&sim).rising_transitions(y), 1);
     }
 
     #[test]
@@ -662,7 +773,7 @@ mod tests {
         let b = nl.add_input("b");
         let y = nl.xor2(a, b, "y");
         nl.mark_output(y);
-        let mut sim = ClockedSimulator::new(&nl, UnitDelay).unwrap();
+        let mut sim = with_activity(&nl, UnitDelay);
         for i in 0..16u64 {
             sim.step(
                 InputAssignment::new()
@@ -671,8 +782,24 @@ mod tests {
             )
             .unwrap();
         }
-        let node = sim.trace().node(y.index());
+        let node = *activity(&sim).trace().node(y.index());
         assert_eq!(node.useless(), 0);
         assert_eq!(node.transitions(), node.useful());
+    }
+
+    #[test]
+    fn detach_probes_fires_run_end_and_empties_the_simulator() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        let mut sim = with_activity(&nl, UnitDelay);
+        sim.step(InputAssignment::new().with(a, true)).unwrap();
+        assert_eq!(sim.probes().len(), 1);
+        let probes = sim.detach_probes();
+        assert_eq!(probes.len(), 1);
+        assert!(sim.probes().is_empty());
+        assert!(sim.probe_ref::<ActivityProbe>().is_none());
+        assert!(format!("{sim:?}").contains("ClockedSimulator"));
     }
 }

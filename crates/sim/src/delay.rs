@@ -149,6 +149,57 @@ impl<D: DelayModel + ?Sized> DelayModel for &D {
     }
 }
 
+// Allow passing boxed (type-erased) delay models; the simulator itself
+// stores its model as `Box<dyn DelayModel>`.
+impl<D: DelayModel + ?Sized> DelayModel for Box<D> {
+    fn delay(&self, kind: CellKind, output: usize) -> u64 {
+        (**self).delay(kind, output)
+    }
+}
+
+/// A selectable delay-model configuration.
+///
+/// `DelayKind` is the data-only description of which [`DelayModel`] a run
+/// should use — the form configs, CLIs and analysis flows pass around —
+/// and [`DelayKind::into_model`] is the constructor that turns it into a
+/// type-erased model the simulator can own. This is what makes the model
+/// swappable without making every consumer generic.
+///
+/// ```
+/// use glitch_netlist::CellKind;
+/// use glitch_sim::{DelayKind, DelayModel};
+///
+/// let model = DelayKind::RealisticAdderCells.into_model();
+/// assert_eq!(model.delay(CellKind::FullAdder, 0), 2);
+/// assert_eq!(model.delay(CellKind::FullAdder, 1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DelayKind {
+    /// One delay unit per cell — the paper's standard model.
+    #[default]
+    Unit,
+    /// Zero delay everywhere: the glitch-free reference ("all delay paths
+    /// balanced").
+    Zero,
+    /// Compound adder cells with `d_sum = 2 · d_carry` (Table 2).
+    RealisticAdderCells,
+    /// A fully custom per-cell delay table.
+    Custom(CellDelay),
+}
+
+impl DelayKind {
+    /// Builds the described delay model as a boxed trait object.
+    #[must_use]
+    pub fn into_model(self) -> Box<dyn DelayModel> {
+        match self {
+            DelayKind::Unit => Box::new(UnitDelay),
+            DelayKind::Zero => Box::new(ZeroDelay),
+            DelayKind::RealisticAdderCells => Box::new(CellDelay::realistic_adder_cells()),
+            DelayKind::Custom(model) => Box::new(model),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +246,19 @@ mod tests {
         let by_ref: &dyn DelayModel = &model;
         assert_eq!(by_ref.delay(CellKind::And, 0), 1);
         assert_eq!(UnitDelay.delay(CellKind::And, 0), 1);
+        let boxed: Box<dyn DelayModel> = Box::new(model);
+        assert_eq!(boxed.delay(CellKind::And, 0), 1);
+    }
+
+    #[test]
+    fn delay_kind_constructs_matching_models() {
+        assert_eq!(DelayKind::Unit.into_model().delay(CellKind::Xor, 0), 1);
+        assert_eq!(DelayKind::Zero.into_model().delay(CellKind::Xor, 0), 0);
+        let adder = DelayKind::RealisticAdderCells.into_model();
+        assert_eq!(adder.delay(CellKind::FullAdder, 0), 2);
+        assert_eq!(adder.delay(CellKind::FullAdder, 1), 1);
+        let custom = DelayKind::Custom(CellDelay::new().with_default(9)).into_model();
+        assert_eq!(custom.delay(CellKind::And, 0), 9);
+        assert_eq!(DelayKind::default(), DelayKind::Unit);
     }
 }

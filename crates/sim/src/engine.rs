@@ -1,16 +1,51 @@
 //! Internal event queue used by the clocked simulator.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use glitch_netlist::NetId;
 
 use crate::value::Value;
 
+/// One pending net-value change.
+///
+/// The ordering is *reversed* on `(time, seq)` so that the max-heap
+/// [`BinaryHeap`] pops the earliest event first, and events pushed at the
+/// same time come out in push order (`seq` is a monotone counter). Stable
+/// same-time ordering keeps the simulator deterministic: the delta loop sees
+/// events exactly in the order the evaluation front produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: NetId,
+    value: Value,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A time-ordered queue of pending net-value changes within one clock cycle.
+///
+/// Backed by a [`BinaryHeap`] keyed on `(time, insertion sequence)`: pushes
+/// and pops are `O(log n)` without the per-timestamp allocation churn of the
+/// previous `BTreeMap<u64, Vec<_>>` representation.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    slots: BTreeMap<u64, Vec<(NetId, Value)>>,
-    len: usize,
+    heap: BinaryHeap<Event>,
+    seq: u64,
 }
 
 impl EventQueue {
@@ -20,45 +55,59 @@ impl EventQueue {
 
     /// Schedules `net` to take `value` at `time`.
     pub(crate) fn push(&mut self, time: u64, net: NetId, value: Value) {
-        self.slots.entry(time).or_default().push((net, value));
-        self.len += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            net,
+            value,
+        });
     }
 
     /// Removes and returns all events at the earliest pending time.
     #[cfg(test)]
     pub(crate) fn pop_earliest(&mut self) -> Option<(u64, Vec<(NetId, Value)>)> {
-        let (&time, _) = self.slots.iter().next()?;
-        let events = self.slots.remove(&time).unwrap_or_default();
-        self.len -= events.len();
+        let time = self.earliest_time()?;
+        let events = self.pop_at(time)?;
         Some((time, events))
     }
 
     /// Earliest pending time, if any.
     pub(crate) fn earliest_time(&self) -> Option<u64> {
-        self.slots.keys().next().copied()
+        self.heap.peek().map(|e| e.time)
     }
 
-    /// Removes and returns the events scheduled exactly at `time`, or `None`
-    /// when nothing is pending at that time.
+    /// Removes and returns the events scheduled exactly at `time` (in push
+    /// order), or `None` when nothing is pending at that time.
     pub(crate) fn pop_at(&mut self, time: u64) -> Option<Vec<(NetId, Value)>> {
-        let events = self.slots.remove(&time)?;
-        self.len -= events.len();
+        if self.heap.peek().map(|e| e.time) != Some(time) {
+            return None;
+        }
+        let mut events = Vec::new();
+        while let Some(e) = self.heap.peek() {
+            if e.time != time {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked event exists");
+            events.push((e.net, e.value));
+        }
         Some(events)
     }
 
     #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.heap.is_empty()
     }
 
     pub(crate) fn clear(&mut self) {
-        self.slots.clear();
-        self.len = 0;
+        self.heap.clear();
+        self.seq = 0;
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.len
+        self.heap.len()
     }
 }
 
@@ -85,11 +134,64 @@ mod tests {
     }
 
     #[test]
+    fn same_time_events_preserve_push_order() {
+        let mut q = EventQueue::new();
+        let nets: Vec<NetId> = (0..8).map(NetId::from_index).collect();
+        // Interleave two timestamps; within each, push order must survive.
+        for (i, &net) in nets.iter().enumerate() {
+            let time = if i % 2 == 0 { 3 } else { 7 };
+            let value = if i % 3 == 0 { Value::One } else { Value::Zero };
+            q.push(time, net, value);
+        }
+        let at3 = q.pop_at(3).unwrap();
+        assert_eq!(
+            at3.iter().map(|(n, _)| n.index()).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6],
+            "same-time events must come out in push order"
+        );
+        // Nothing left at 3; time 7 is next.
+        assert!(q.pop_at(3).is_none());
+        let at7 = q.pop_at(7).unwrap();
+        assert_eq!(
+            at7.iter().map(|(n, _)| n.index()).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_push_during_delta_iteration_is_seen_by_next_pop() {
+        // The delta loop pops all events at time t, evaluates, and newly
+        // scheduled time-t events must surface on the next pop_at(t).
+        let mut q = EventQueue::new();
+        let a = NetId::from_index(1);
+        let b = NetId::from_index(2);
+        q.push(4, a, Value::One);
+        let first = q.pop_at(4).unwrap();
+        assert_eq!(first, vec![(a, Value::One)]);
+        q.push(4, b, Value::Zero);
+        let second = q.pop_at(4).unwrap();
+        assert_eq!(second, vec![(b, Value::Zero)]);
+        assert!(q.pop_at(4).is_none());
+    }
+
+    #[test]
+    fn pop_at_wrong_time_returns_none_and_keeps_events() {
+        let mut q = EventQueue::new();
+        let n = NetId::from_index(0);
+        q.push(2, n, Value::One);
+        assert!(q.pop_at(1).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.earliest_time(), Some(2));
+    }
+
+    #[test]
     fn clear_empties_the_queue() {
         let mut q = EventQueue::new();
         q.push(3, NetId::from_index(1), Value::One);
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+        assert_eq!(q.earliest_time(), None);
     }
 }

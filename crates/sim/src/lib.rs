@@ -1,6 +1,10 @@
 //! # glitch-sim
 //!
-//! Event-driven gate-level logic simulation for glitch analysis.
+//! Event-driven gate-level logic simulation for glitch analysis, organised
+//! around **one-pass sessions**: a [`SimSession`] runs a stimulus through
+//! the simulator exactly once while any number of pluggable [`Probe`]
+//! observers record what they care about — transition activity, waveforms,
+//! switched energy — so no consumer ever re-simulates per artefact.
 //!
 //! The simulator reproduces the experimental method of the DATE'95 paper
 //! *Analysis and Reduction of Glitches in Synchronous Networks*: a
@@ -8,10 +12,11 @@
 //! input values and flipflop outputs change **at the beginning of the clock
 //! cycle**, the combinational logic settles through an event-driven
 //! propagation with per-cell delays (transport-delay semantics, so glitch
-//! pulses are never swallowed), and the number of transitions each net makes
-//! within the cycle is recorded.
+//! pulses are never swallowed), and every net-value change is reported to
+//! the attached probes.
 //!
-//! Delay models:
+//! Delay models (select one with [`DelayKind`], or implement the
+//! dyn-compatible [`DelayModel`] trait):
 //!
 //! * [`UnitDelay`] — every combinational cell takes one delay unit
 //!   (the paper's default, used for Figure 5, Table 1 and the direction
@@ -21,11 +26,15 @@
 //! * [`ZeroDelay`] — ideal, glitch-free reference (what the activity would
 //!   be if all delay paths were perfectly balanced).
 //!
+//! Built-in probes: [`ActivityProbe`], [`VcdProbe`], [`PowerProbe`],
+//! [`WaveCsvProbe`]. Custom observables are one [`Probe`] implementation
+//! away — see the trait's documentation for a complete example.
+//!
 //! ## Example
 //!
 //! ```
 //! use glitch_netlist::Netlist;
-//! use glitch_sim::{ClockedSimulator, InputAssignment, UnitDelay};
+//! use glitch_sim::{ActivityProbe, DelayKind, InputAssignment, SimSession};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut nl = Netlist::new("mux_demo");
@@ -35,27 +44,40 @@
 //! let y = nl.mux2(sel, a, b, "y");
 //! nl.mark_output(y);
 //!
-//! let mut sim = ClockedSimulator::new(&nl, UnitDelay)?;
-//! let cycle = sim.step(
-//!     InputAssignment::new().with(sel, false).with(a, true).with(b, false),
-//! )?;
-//! assert_eq!(sim.net_bool(y), Some(true));
-//! assert!(cycle.settle_time >= 1);
+//! let report = SimSession::new(&nl)
+//!     .delay(DelayKind::Unit)
+//!     .stimulus([
+//!         InputAssignment::new().with(sel, false).with(a, true).with(b, false),
+//!     ])
+//!     .probe(ActivityProbe::new())
+//!     .run()?;
+//! assert_eq!(report.net_bool(y), Some(true));
+//! assert_eq!(report.cycles(), 1);
+//! assert!(report.max_settle_time() >= 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! For cycle-by-cycle control (interactive debugging, mid-run inspection)
+//! drop down to [`ClockedSimulator`] and attach probes directly.
 
 mod clocked;
 mod delay;
 mod engine;
 mod error;
+mod probe;
+mod session;
 mod stimulus;
 mod value;
 mod vcd;
 
 pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
-pub use delay::{CellDelay, DelayModel, UnitDelay, ZeroDelay};
+pub use delay::{CellDelay, DelayKind, DelayModel, UnitDelay, ZeroDelay};
 pub use error::SimError;
+pub use probe::{
+    ActivityProbe, PowerProbe, Probe, Transition, TransitionKind, VcdProbe, WaveCsvProbe,
+};
+pub use session::{SessionError, SessionReport, SimSession};
 pub use stimulus::{ExhaustiveStimulus, RandomStimulus, StimulusProgram};
 pub use value::Value;
 pub use vcd::VcdRecorder;

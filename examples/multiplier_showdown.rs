@@ -10,7 +10,7 @@
 use glitch_core::arith::{AdderStyle, ArrayMultiplier, WallaceTreeMultiplier};
 use glitch_core::netlist::{Bus, Netlist};
 use glitch_core::retime::delay_imbalance;
-use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer, TextTable};
+use glitch_core::{AnalysisConfig, DelayKind, GlitchAnalyzer, TextTable};
 
 struct Candidate {
     name: &'static str,
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let analyzer = GlitchAnalyzer::new(AnalysisConfig {
         cycles: 500,
-        delay: DelayConfig::Unit,
+        delay: DelayKind::Unit,
         ..AnalysisConfig::default()
     });
 

@@ -7,7 +7,7 @@
 //! ```
 
 use glitch_core::arith::{AdderStyle, RippleCarryAdder};
-use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer};
+use glitch_core::{AnalysisConfig, DelayKind, GlitchAnalyzer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a circuit: a 16-bit ripple-carry adder whose operands are new
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    transitions and glitches by parity evaluation.
     let analyzer = GlitchAnalyzer::new(AnalysisConfig {
         cycles: 4000,
-        delay: DelayConfig::Unit,
+        delay: DelayKind::Unit,
         ..AnalysisConfig::default()
     });
     let analysis = analyzer.analyze(
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Compare against the ideal, glitch-free reference.
     let ideal = GlitchAnalyzer::new(AnalysisConfig {
         cycles: 4000,
-        delay: DelayConfig::Zero,
+        delay: DelayKind::Zero,
         ..AnalysisConfig::default()
     })
     .analyze(

@@ -7,10 +7,10 @@ use glitch_core::arith::{AdderStyle, ArrayMultiplier, DirectionDetector, RippleC
 use glitch_core::netlist::Bus;
 use glitch_core::retime::{delay_imbalance, pipeline_netlist, PipelineOptions, RetimingGraph};
 use glitch_core::sim::{
-    ClockedSimulator, InputAssignment, RandomStimulus, StimulusProgram, UnitDelay, VcdRecorder,
-    ZeroDelay,
+    ActivityProbe, ClockedSimulator, InputAssignment, RandomStimulus, SimSession, StimulusProgram,
+    UnitDelay, VcdProbe, VcdRecorder, ZeroDelay,
 };
-use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer, PowerExplorer};
+use glitch_core::{AnalysisConfig, DelayKind, GlitchAnalyzer, PowerExplorer};
 
 fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
     let mut buses: Vec<Bus> = det.a.to_vec();
@@ -35,12 +35,16 @@ fn analyzer_and_manual_simulation_agree() {
         )
         .unwrap();
 
-    // Re-run the same stimulus by hand through the simulator.
-    let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
+    // Re-run the same stimulus by hand through a bare session.
     let stim =
         RandomStimulus::new(vec![adder.a.clone(), adder.b.clone()], 250, 77).hold(adder.cin, false);
-    sim.run(stim).unwrap();
-    let manual = ActivityReport::from_trace(&adder.netlist, sim.trace());
+    let mut report = SimSession::new(&adder.netlist)
+        .stimulus(stim)
+        .probe(ActivityProbe::new())
+        .run()
+        .unwrap();
+    let trace = report.take_probe::<ActivityProbe>().unwrap().into_trace();
+    let manual = ActivityReport::from_trace(&adder.netlist, &trace);
 
     assert_eq!(analysis.activity.totals(), manual.totals());
     assert_eq!(
@@ -57,7 +61,7 @@ fn zero_delay_reference_is_glitch_free_for_every_generator() {
 
     let analyzer = GlitchAnalyzer::new(AnalysisConfig {
         cycles: 100,
-        delay: DelayConfig::Zero,
+        delay: DelayKind::Zero,
         ..AnalysisConfig::default()
     });
     let adder_run = analyzer
@@ -185,25 +189,24 @@ fn retiming_graph_of_generated_circuits_is_well_formed() {
 #[test]
 fn vcd_recording_captures_activity_of_a_real_run() {
     let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
-    let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
-    sim.attach_vcd(VcdRecorder::new(100));
-    sim.step(
-        InputAssignment::new()
-            .with_bus(&adder.a, 5)
-            .with_bus(&adder.b, 9)
-            .with(adder.cin, false),
-    )
-    .unwrap();
-    sim.step(
-        InputAssignment::new()
-            .with_bus(&adder.a, 10)
-            .with_bus(&adder.b, 6)
-            .with(adder.cin, false),
-    )
-    .unwrap();
-    let vcd = sim.take_vcd().unwrap();
+    let mut report = SimSession::new(&adder.netlist)
+        .delay_model(UnitDelay)
+        .probe(VcdProbe::new(VcdRecorder::new(100)))
+        .stimulus([
+            InputAssignment::new()
+                .with_bus(&adder.a, 5)
+                .with_bus(&adder.b, 9)
+                .with(adder.cin, false),
+            InputAssignment::new()
+                .with_bus(&adder.a, 10)
+                .with_bus(&adder.b, 6)
+                .with(adder.cin, false),
+        ])
+        .run()
+        .unwrap();
+    let vcd = report.take_probe::<VcdProbe>().unwrap();
     assert!(vcd.change_count() > 10);
-    let text = vcd.to_vcd(&adder.netlist);
+    let text = vcd.into_vcd();
     assert!(text.contains("$enddefinitions"));
     assert!(text.contains("#100"));
 }
@@ -299,7 +302,7 @@ fn zero_delay_equals_unit_delay_useful_counts() {
         .analyze(&mult.netlist, &buses, &[])
         .unwrap();
     let zero = GlitchAnalyzer::new(AnalysisConfig {
-        delay: DelayConfig::Zero,
+        delay: DelayKind::Zero,
         ..base
     })
     .analyze(&mult.netlist, &buses, &[])

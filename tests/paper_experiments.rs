@@ -9,7 +9,7 @@ use glitch_core::arith::{
     AdderStyle, ArrayMultiplier, DirectionDetector, RippleCarryAdder, WallaceTreeMultiplier,
 };
 use glitch_core::netlist::Bus;
-use glitch_core::{AnalysisConfig, DelayConfig, GlitchAnalyzer, PowerExplorer};
+use glitch_core::{AnalysisConfig, DelayKind, GlitchAnalyzer, PowerExplorer};
 
 fn detector_buses(det: &DirectionDetector) -> Vec<Bus> {
     let mut buses: Vec<Bus> = det.a.to_vec();
@@ -155,7 +155,7 @@ fn slower_sum_outputs_worsen_the_useless_ratio() {
     };
     let realistic = AnalysisConfig {
         cycles: 300,
-        delay: DelayConfig::RealisticAdderCells,
+        delay: DelayKind::RealisticAdderCells,
         ..Default::default()
     };
 

@@ -6,7 +6,9 @@
 use glitch_core::activity::ActivityReport;
 use glitch_core::arith::{build_abs_diff, AdderStyle, RippleCarryAdder, WallaceTreeMultiplier};
 use glitch_core::netlist::Netlist;
-use glitch_core::sim::{CellDelay, ClockedSimulator, InputAssignment, UnitDelay, ZeroDelay};
+use glitch_core::sim::{
+    ActivityProbe, CellDelay, ClockedSimulator, DelayKind, InputAssignment, SimSession, UnitDelay,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -76,15 +78,19 @@ proptest! {
         cycles in 1u64..40,
     ) {
         let adder = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
-        let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
         let stim = glitch_core::sim::RandomStimulus::new(
             vec![adder.a.clone(), adder.b.clone()],
             cycles,
             seed,
         )
         .hold(adder.cin, false);
-        sim.run(stim).unwrap();
-        let report = ActivityReport::from_trace(&adder.netlist, sim.trace());
+        let mut session_report = SimSession::new(&adder.netlist)
+            .stimulus(stim)
+            .probe(ActivityProbe::new())
+            .run()
+            .unwrap();
+        let trace = session_report.take_probe::<ActivityProbe>().unwrap().into_trace();
+        let report = ActivityReport::from_trace(&adder.netlist, &trace);
         let totals = report.totals();
         prop_assert_eq!(totals.transitions, totals.useful + totals.useless);
         prop_assert!(totals.useful <= cycles * report.node_count() as u64);
@@ -105,24 +111,19 @@ proptest! {
                 seed,
             )
             .hold(adder.cin, false);
-            let totals = match which {
-                0 => {
-                    let mut sim = ClockedSimulator::new(&adder.netlist, UnitDelay).unwrap();
-                    sim.run(stim).unwrap();
-                    ActivityReport::from_trace(&adder.netlist, sim.trace()).totals()
-                }
-                1 => {
-                    let mut sim = ClockedSimulator::new(&adder.netlist, ZeroDelay).unwrap();
-                    sim.run(stim).unwrap();
-                    ActivityReport::from_trace(&adder.netlist, sim.trace()).totals()
-                }
-                _ => {
-                    let model = CellDelay::new().with_full_adder(5, 2);
-                    let mut sim = ClockedSimulator::new(&adder.netlist, model).unwrap();
-                    sim.run(stim).unwrap();
-                    ActivityReport::from_trace(&adder.netlist, sim.trace()).totals()
-                }
+            let delay = match which {
+                0 => DelayKind::Unit,
+                1 => DelayKind::Zero,
+                _ => DelayKind::Custom(CellDelay::new().with_full_adder(5, 2)),
             };
+            let mut report = SimSession::new(&adder.netlist)
+                .delay(delay)
+                .stimulus(stim)
+                .probe(ActivityProbe::new())
+                .run()
+                .unwrap();
+            let trace = report.take_probe::<ActivityProbe>().unwrap().into_trace();
+            let totals = ActivityReport::from_trace(&adder.netlist, &trace).totals();
             if useful_only {
                 totals.useful
             } else {

@@ -116,7 +116,7 @@ pub mod collection {
     use super::Strategy;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// Length specification for [`vec()`]: an exact `usize` or a half-open
     /// range.
     pub trait IntoSizeRange {
         /// The corresponding half-open length range.
@@ -135,7 +135,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
