@@ -167,7 +167,41 @@ mod tests {
         assert_eq!(a.totals().transitions, 7);
     }
 
+    /// Builds a 5-node trace from a list of per-cycle count rows.
+    fn trace_from_rows(rows: &[Vec<u32>]) -> ActivityTrace {
+        let mut trace = ActivityTrace::new(5);
+        for row in rows {
+            trace.record_cycle(row);
+        }
+        trace
+    }
+
+    fn merged(mut left: ActivityTrace, right: &ActivityTrace) -> ActivityTrace {
+        left.merge(right);
+        left
+    }
+
     proptest! {
+        /// `merge` is associative and commutative on random traces — the
+        /// property that makes the parallel shard fold independent of how
+        /// the reduction tree is shaped.
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a_rows in proptest::collection::vec(proptest::collection::vec(0u32..8, 5), 0..30),
+            b_rows in proptest::collection::vec(proptest::collection::vec(0u32..8, 5), 0..30),
+            c_rows in proptest::collection::vec(proptest::collection::vec(0u32..8, 5), 0..30),
+        ) {
+            let (a, b, c) = (trace_from_rows(&a_rows), trace_from_rows(&b_rows), trace_from_rows(&c_rows));
+            // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+            let left = merged(merged(a.clone(), &b), &c);
+            let right = merged(a.clone(), &merged(b.clone(), &c));
+            prop_assert_eq!(&left, &right);
+            // Commutativity: a ⊕ b == b ⊕ a.
+            prop_assert_eq!(merged(a.clone(), &b), merged(b.clone(), &a));
+            // Identity: merging an empty trace changes nothing.
+            prop_assert_eq!(merged(a.clone(), &ActivityTrace::new(5)), a);
+        }
+
         #[test]
         fn totals_equal_sum_of_nodes(
             rows in proptest::collection::vec(proptest::collection::vec(0u32..8, 5), 1..50)

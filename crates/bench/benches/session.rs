@@ -3,12 +3,21 @@
 //! from a single simulation at roughly the cost of the cheapest single-
 //! artefact run, where the pre-session code paid one full simulation per
 //! artefact.
+//!
+//! The `parallel_multi_seed` group measures the sharded executor: an
+//! 8-seed sweep of a multiplier-class circuit run serially (1 worker)
+//! versus fanned across 4 workers. On multi-core hardware the 4-worker
+//! run should be comfortably > 1.5× faster; the reduction is bit-identical
+//! either way (see `crates/sim/tests/parallel.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use glitch_core::arith::{AdderStyle, ArrayMultiplier};
 use glitch_core::netlist::{Bus, Netlist};
 use glitch_core::power::Technology;
-use glitch_core::sim::{ActivityProbe, PowerProbe, RandomStimulus, SimSession, VcdProbe};
+use glitch_core::sim::{
+    ActivityProbe, AggregateReport, ParallelRunner, PowerProbe, RandomStimulus, SimJob, SimSession,
+    VcdProbe,
+};
 
 const CYCLES: u64 = 50;
 const SEED: u64 = 7;
@@ -74,5 +83,37 @@ fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_session);
+const SWEEP_SEEDS: usize = 8;
+const SWEEP_CYCLES: u64 = 150;
+
+/// An 8-seed multiplier sweep reduced to its aggregate, on `workers`
+/// worker threads. Serial (1) vs parallel (4) is the speedup headline.
+fn multi_seed_sweep(netlist: &Netlist, buses: &[Bus], workers: usize) -> u64 {
+    let jobs: Vec<SimJob<'_>> = RandomStimulus::shard_seeds(SEED, SWEEP_SEEDS)
+        .into_iter()
+        .map(|seed| SimJob::new(netlist, buses.to_vec(), SWEEP_CYCLES, seed))
+        .collect();
+    let mut reports = ParallelRunner::new(workers)
+        .run_sessions(&jobs)
+        .expect("settles");
+    let aggregate = AggregateReport::reduce(netlist, &jobs, &mut reports);
+    aggregate.merged_totals().transitions
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+    let buses = vec![mult.x.clone(), mult.y.clone()];
+
+    let mut group = c.benchmark_group("parallel_multi_seed");
+    group.throughput(Throughput::Elements(SWEEP_SEEDS as u64 * SWEEP_CYCLES));
+    group.bench_function("serial_1_worker", |b| {
+        b.iter(|| multi_seed_sweep(&mult.netlist, &buses, 1))
+    });
+    group.bench_function("parallel_4_workers", |b| {
+        b.iter(|| multi_seed_sweep(&mult.netlist, &buses, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session, bench_parallel);
 criterion_main!(benches);

@@ -85,6 +85,24 @@ impl JsonObject {
     }
 }
 
+/// Renders already-rendered JSON values as a JSON array.
+#[must_use]
+pub fn json_array<I>(items: I) -> String
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item.as_ref());
+    }
+    out.push(']');
+    out
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -137,5 +155,15 @@ mod tests {
     fn floats_round_trip() {
         let json = JsonObject::new().f64("v", 2.0).render();
         assert_eq!(json, "{\"v\":2.0}");
+    }
+
+    #[test]
+    fn arrays_join_rendered_values() {
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
+        assert_eq!(json_array(["1", "2"]), "[1,2]");
+        assert_eq!(
+            json_array([JsonObject::new().u64("a", 1).render()]),
+            "[{\"a\":1}]"
+        );
     }
 }

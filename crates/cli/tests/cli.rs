@@ -280,3 +280,197 @@ fn power_command_reports_the_three_components() {
     assert!(text.contains("flipflop"));
     assert!(text.contains("clock"));
 }
+
+#[test]
+fn multi_seed_analyze_aggregate_is_independent_of_the_worker_count() {
+    // `--seeds N --jobs J`: the aggregate (text and JSON) must be
+    // bit-identical for J = 1 and J = 4 — parallelism must never change
+    // results.
+    let base = [
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "150",
+        "--seeds",
+        "4",
+    ];
+    let mut serial_args: Vec<&str> = base.to_vec();
+    serial_args.extend(["--jobs", "1", "--json"]);
+    let mut parallel_args: Vec<&str> = base.to_vec();
+    parallel_args.extend(["--jobs", "4", "--json"]);
+    let serial = run(&serial_args);
+    let parallel = run(&parallel_args);
+    assert!(serial.status.success(), "{}", stderr(&serial));
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    // Everything except the echoed worker count must match bit for bit.
+    assert_eq!(
+        stdout(&serial).replace("\"jobs\":1,", "\"jobs\":-,"),
+        stdout(&parallel).replace("\"jobs\":4,", "\"jobs\":-,")
+    );
+    let json = stdout(&parallel);
+    assert!(json.contains("\"seeds\":4"), "{json}");
+    assert!(json.contains("\"total_cycles\":600"), "{json}");
+    assert!(json.contains("\"spread\""), "{json}");
+    assert!(json.contains("\"per_seed\":["), "{json}");
+
+    // The human-readable form reports the per-seed spread.
+    let text_run = run(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "150",
+        "--seeds",
+        "4",
+        "--jobs",
+        "2",
+    ]);
+    assert!(text_run.status.success(), "{}", stderr(&text_run));
+    let text = stdout(&text_run);
+    assert!(
+        text.contains("parallel sweep: 4 seeds x 150 cycles"),
+        "{text}"
+    );
+    assert!(text.contains("per-seed spread"), "{text}");
+    assert!(
+        text.contains("aggregate over the combined activity"),
+        "{text}"
+    );
+}
+
+#[test]
+fn windowed_activity_csv_covers_the_run() {
+    let dir = std::env::temp_dir().join("glitch-cli-window-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("windows.csv");
+    let output = run(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "100",
+        "--window",
+        "20",
+        "--window-csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    assert!(stdout(&output).contains("windowed activity: 5 windows of 20 cycles"));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("window,start_cycle,cycles,transitions,useful,useless,glitches"));
+    assert_eq!(csv.lines().count(), 1 + 5, "{csv}");
+    // The windows jointly cover all 100 cycles.
+    let total_cycles: u64 = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(2).unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total_cycles, 100);
+
+    // Window flags compose with the multi-seed path (merged heatmap).
+    let merged = run(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "100",
+        "--seeds",
+        "3",
+        "--jobs",
+        "2",
+        "--window",
+        "20",
+        "--window-csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(merged.status.success(), "{}", stderr(&merged));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let total_cycles: u64 = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(2).unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total_cycles, 300, "3 seeds x 100 cycles merged");
+}
+
+#[test]
+fn sweep_compares_delay_models_on_identical_seeds() {
+    let output = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "100",
+        "--seeds",
+        "2",
+        "--jobs",
+        "2",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("delay-model sweep"), "{text}");
+    for model in ["unit", "zero", "adder"] {
+        assert!(text.contains(model), "{text}");
+    }
+    // The zero-delay row is the glitch-free reference.
+    let zero_row = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("zero"))
+        .expect("zero-delay row");
+    assert!(zero_row.contains("0.0 +/- 0.0"), "{zero_row}");
+
+    let json_run = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "100",
+        "--seeds",
+        "2",
+        "--delays",
+        "unit,zero",
+        "--json",
+    ]);
+    assert!(json_run.status.success(), "{}", stderr(&json_run));
+    let json = stdout(&json_run);
+    assert!(json.contains("\"points\":["), "{json}");
+    assert!(json.contains("\"delay\":\"unit\""), "{json}");
+    assert!(json.contains("\"glitch_spread\""), "{json}");
+}
+
+#[test]
+fn multi_seed_power_reports_the_spread() {
+    let output = run(&[
+        "power",
+        &data("counter4.blif"),
+        "--cycles",
+        "100",
+        "--seeds",
+        "3",
+        "--jobs",
+        "2",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("aggregate of 3 seeds"), "{text}");
+    assert!(text.contains("per-seed total power"), "{text}");
+    assert!(text.contains("300 cycles of activity"), "{text}");
+}
+
+#[test]
+fn per_seed_artefact_flags_reject_multi_seed_runs() {
+    let output = run(&[
+        "analyze",
+        &data("c17.blif"),
+        "--seeds",
+        "2",
+        "--vcd",
+        "/tmp/never-written.vcd",
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("--vcd applies to single-seed runs"));
+
+    let bad_window = run(&[
+        "analyze",
+        &data("c17.blif"),
+        "--window-csv",
+        "/tmp/never-written.csv",
+    ]);
+    assert_eq!(bad_window.status.code(), Some(2));
+    assert!(stderr(&bad_window).contains("--window-csv requires --window"));
+}

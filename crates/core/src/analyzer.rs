@@ -5,8 +5,8 @@ use glitch_activity::{ActivityReport, ActivityTrace};
 use glitch_netlist::{Bus, NetId, Netlist};
 use glitch_power::{PowerReport, Technology};
 use glitch_sim::{
-    ActivityProbe, DelayKind, DelayModel, PowerProbe, RandomStimulus, SessionReport, SimError,
-    SimSession,
+    ActivityProbe, AggregateReport, DelayKind, DelayModel, ParallelRunner, PowerProbe, Probe,
+    RandomStimulus, SessionReport, SimError, SimJob, SimSession, Spread,
 };
 
 /// Configuration of a [`GlitchAnalyzer`].
@@ -57,6 +57,89 @@ impl Analysis {
     pub fn balance_reduction_factor(&self) -> f64 {
         self.activity.totals().balance_reduction_factor()
     }
+}
+
+/// Result of a multi-seed (parallel) analysis: the merged figures plus the
+/// per-seed spread that quantifies how confident the estimates are.
+///
+/// Glitch counts under random vectors are statistical estimates; a single
+/// seed gives a point estimate with unknown error. A multi-seed aggregate
+/// reports the mean and the min/max/standard deviation across seeds — the
+/// honest form of the paper's Figure 5 / Table 3 numbers. The aggregate is
+/// deterministic: it is bit-identical to the serial fold of the per-seed
+/// runs regardless of the worker count.
+#[derive(Debug, Clone)]
+pub struct AggregateAnalysis {
+    /// Per-node activity report over the **combined** activity of every
+    /// seed, with useful/useless classification.
+    pub activity: ActivityReport,
+    /// Power estimate over the combined activity of every seed.
+    pub power: PowerReport,
+    /// The seeds that were simulated, in shard order.
+    pub seeds: Vec<u64>,
+    /// The underlying shard aggregate (per-seed summaries + spreads).
+    pub aggregate: AggregateReport,
+}
+
+impl AggregateAnalysis {
+    /// Distils a reduced shard aggregate into the analysis form.
+    fn from_aggregate(netlist: &Netlist, seeds: &[u64], aggregate: AggregateReport) -> Self {
+        AggregateAnalysis {
+            activity: ActivityReport::from_trace(netlist, aggregate.merged_trace()),
+            power: aggregate.merged_power().clone(),
+            seeds: seeds.to_vec(),
+            aggregate,
+        }
+    }
+
+    /// The merged raw per-net trace (node indices are net indices), for
+    /// custom post-processing such as per-bit grouping.
+    #[must_use]
+    pub fn trace(&self) -> &ActivityTrace {
+        self.aggregate.merged_trace()
+    }
+
+    /// Total cycles simulated across all seeds.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.aggregate.total_cycles()
+    }
+
+    /// Spread of per-seed complete-glitch counts.
+    #[must_use]
+    pub fn glitch_spread(&self) -> Spread {
+        self.aggregate.glitch_spread()
+    }
+
+    /// Spread of per-seed useless-transition counts.
+    #[must_use]
+    pub fn useless_spread(&self) -> Spread {
+        self.aggregate.useless_spread()
+    }
+
+    /// Spread of per-seed total power, in watts.
+    #[must_use]
+    pub fn power_spread(&self) -> Spread {
+        self.aggregate.power_spread()
+    }
+
+    /// Mean ± stddev of the per-seed `L/F` ratio.
+    #[must_use]
+    pub fn lf_ratio_spread(&self) -> Spread {
+        self.aggregate.spread_of(|s| s.activity.useless_to_useful())
+    }
+}
+
+/// One point of a delay-model sweep: the delay kind under test and the
+/// multi-seed aggregate simulated under it.
+#[derive(Debug, Clone)]
+pub struct DelaySweepPoint {
+    /// Human-readable name of the delay model (e.g. `unit`, `zero`).
+    pub label: String,
+    /// The delay model this point was simulated with.
+    pub delay: DelayKind,
+    /// The multi-seed aggregate under this delay model.
+    pub analysis: AggregateAnalysis,
 }
 
 /// Simulates a netlist with seeded random stimuli and produces the paper's
@@ -195,6 +278,143 @@ impl GlitchAnalyzer {
             .run()?;
         Ok(Self::analysis(netlist, report))
     }
+
+    /// One shard job per seed, configured like [`GlitchAnalyzer::session`].
+    fn job_for<'a>(
+        &self,
+        netlist: &'a Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        seed: u64,
+    ) -> SimJob<'a> {
+        SimJob::new(netlist, random_buses.to_vec(), self.config.cycles, seed)
+            .with_delay(self.config.delay.clone())
+            .with_held(held.to_vec())
+            .with_power(self.config.technology, self.config.frequency)
+    }
+
+    /// Simulates the netlist once per seed — fanned across `jobs` worker
+    /// threads — and reduces the per-seed results into an
+    /// [`AggregateAnalysis`] with per-seed spread. Each seed runs the
+    /// configured number of cycles, so the aggregate covers
+    /// `seeds.len() * config.cycles` cycles in total.
+    ///
+    /// The reduction is deterministic (seeded shards, folded in seed
+    /// order): any worker count produces the same aggregate bit for bit as
+    /// `jobs = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing seed's [`SimError`] (in seed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn analyze_seeds(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Result<AggregateAnalysis, SimError> {
+        self.analyze_seeds_with(netlist, random_buses, held, seeds, jobs, &|_| Vec::new())
+            .map(|(analysis, _)| analysis)
+    }
+
+    /// Like [`GlitchAnalyzer::analyze_seeds`], additionally attaching the
+    /// probes built by `extra_probes(seed_index)` to each seed's session.
+    /// The returned [`SessionReport`]s (one per seed, in seed order) have
+    /// had the standard activity/power/stats probes consumed but still
+    /// carry the extra probes, ready for the caller to take and fold (e.g.
+    /// with [`glitch_sim::MergeableProbe`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing seed's [`SimError`] (in seed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn analyze_seeds_with(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        seeds: &[u64],
+        jobs: usize,
+        extra_probes: &(dyn Fn(usize) -> Vec<Box<dyn Probe>> + Sync),
+    ) -> Result<(AggregateAnalysis, Vec<SessionReport>), SimError> {
+        assert!(!seeds.is_empty(), "at least one seed is required");
+        let job_list: Vec<SimJob<'_>> = seeds
+            .iter()
+            .map(|&seed| self.job_for(netlist, random_buses, held, seed))
+            .collect();
+        let mut reports = ParallelRunner::new(jobs).run_sessions_with(&job_list, extra_probes)?;
+        let aggregate = AggregateReport::reduce(netlist, &job_list, &mut reports);
+        Ok((
+            AggregateAnalysis::from_aggregate(netlist, seeds, aggregate),
+            reports,
+        ))
+    }
+
+    /// Sweeps a set of delay models, simulating every `(delay, seed)`
+    /// combination in **one** parallel batch across `jobs` workers and
+    /// reducing per delay model. `labels_and_delays` pairs a display name
+    /// with each model; the configured delay of the analyzer is ignored.
+    ///
+    /// This is the cheap way to compare how sensitive glitch counts are to
+    /// the delay-modeling choice (cf. Függer et al. on glitch-propagation
+    /// model fidelity): every model sees the same seeds, so differences are
+    /// purely model-induced.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing combination's [`SimError`] in batch order
+    /// (delay-major, then seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels_and_delays` or `seeds` is empty.
+    pub fn sweep_delays(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        labels_and_delays: &[(String, DelayKind)],
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Result<Vec<DelaySweepPoint>, SimError> {
+        assert!(
+            !labels_and_delays.is_empty(),
+            "at least one delay model is required"
+        );
+        assert!(!seeds.is_empty(), "at least one seed is required");
+        let job_list: Vec<SimJob<'_>> = labels_and_delays
+            .iter()
+            .flat_map(|(label, delay)| {
+                seeds.iter().map(move |&seed| {
+                    self.job_for(netlist, random_buses, held, seed)
+                        .with_delay(delay.clone())
+                        .with_label(label.clone())
+                })
+            })
+            .collect();
+        let reports = ParallelRunner::new(jobs).run_sessions(&job_list)?;
+        // Chunk the flat batch back into one aggregate per delay model.
+        let mut points = Vec::with_capacity(labels_and_delays.len());
+        let mut reports = reports.into_iter();
+        for (chunk, (label, delay)) in job_list.chunks(seeds.len()).zip(labels_and_delays) {
+            let mut chunk_reports: Vec<_> = reports.by_ref().take(seeds.len()).collect();
+            let aggregate = AggregateReport::reduce(netlist, chunk, &mut chunk_reports);
+            points.push(DelaySweepPoint {
+                label: label.clone(),
+                delay: delay.clone(),
+                analysis: AggregateAnalysis::from_aggregate(netlist, seeds, aggregate),
+            });
+        }
+        Ok(points)
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +509,77 @@ mod tests {
             )
             .unwrap();
         assert!(analysis.activity.totals().transitions > 0);
+    }
+
+    #[test]
+    fn multi_seed_aggregate_equals_serial_fold_and_reports_spread() {
+        let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 80,
+            ..Default::default()
+        });
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let seeds = [11u64, 22, 33, 44];
+        let parallel = analyzer
+            .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 4)
+            .unwrap();
+        let serial = analyzer
+            .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 1)
+            .unwrap();
+        assert_eq!(parallel.aggregate, serial.aggregate);
+        assert_eq!(parallel.trace(), serial.trace());
+        assert_eq!(parallel.power, serial.power);
+        assert_eq!(parallel.total_cycles(), 4 * 80);
+        assert_eq!(parallel.seeds, seeds);
+        // The merged activity equals the sum of per-seed single analyses.
+        let mut expected_useless = 0;
+        for &seed in &seeds {
+            let single = GlitchAnalyzer::new(AnalysisConfig {
+                cycles: 80,
+                seed,
+                ..Default::default()
+            })
+            .analyze(&adder.netlist, &buses, &held)
+            .unwrap();
+            expected_useless += single.activity.totals().useless;
+        }
+        assert_eq!(parallel.activity.totals().useless, expected_useless);
+        let spread = parallel.glitch_spread();
+        assert!(spread.min <= spread.mean && spread.mean <= spread.max);
+        assert!(parallel.power_spread().mean > 0.0);
+        assert!(parallel.useless_spread().mean > 0.0);
+        assert!(parallel.lf_ratio_spread().mean > 0.0);
+    }
+
+    #[test]
+    fn delay_sweep_compares_models_on_identical_seeds() {
+        let adder = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 60,
+            ..Default::default()
+        });
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let models = vec![
+            ("unit".to_string(), DelayKind::Unit),
+            ("zero".to_string(), DelayKind::Zero),
+        ];
+        let points = analyzer
+            .sweep_delays(&adder.netlist, &buses, &held, &models, &[5, 6, 7], 3)
+            .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].label, "unit");
+        assert_eq!(points[1].delay, DelayKind::Zero);
+        // Zero delay is glitch-free; unit delay glitches; the useful work
+        // is the same because both saw identical stimuli.
+        assert_eq!(points[1].analysis.activity.totals().useless, 0);
+        assert!(points[0].analysis.activity.totals().useless > 0);
+        assert_eq!(
+            points[0].analysis.activity.totals().useful,
+            points[1].analysis.activity.totals().useful
+        );
+        assert_eq!(points[0].analysis.total_cycles(), 3 * 60);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use glitch_activity::ActivityTotals;
 use glitch_netlist::{Bus, NetId, Netlist};
 use glitch_power::PowerBreakdown;
 use glitch_retime::{pipeline_netlist, PipelineOptions, RetimeError};
-use glitch_sim::SimError;
+use glitch_sim::{ParallelRunner, SimError};
 
 use crate::analyzer::{Analysis, GlitchAnalyzer};
 use crate::table::TextTable;
@@ -124,6 +124,16 @@ pub enum ExploreError {
     Retime(RetimeError),
     /// Simulating one of the variants failed.
     Sim(SimError),
+    /// A stimulus net of the original netlist has no same-named counterpart
+    /// in a pipelined variant — the sweep cannot drive that variant.
+    /// Surfaced as an error (not a panic) so a sweep over odd netlists
+    /// fails recoverably.
+    NetNotFound {
+        /// Name of the missing net.
+        net: String,
+        /// Name of the pipelined variant that lacks it.
+        variant: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -131,6 +141,12 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::Retime(e) => write!(f, "pipelining failed: {e}"),
             ExploreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExploreError::NetNotFound { net, variant } => {
+                write!(
+                    f,
+                    "net `{net}` not found in the pipelined netlist `{variant}`"
+                )
+            }
         }
     }
 }
@@ -176,6 +192,58 @@ impl PowerExplorer {
         self
     }
 
+    /// Pipelines `combinational` with each of the requested `ranks` and
+    /// remaps the stimulus nets (by name) into every variant — the serial,
+    /// cheap part shared by the serial and parallel sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExploreError`] if pipelining fails or a stimulus net
+    /// has no counterpart in a variant.
+    fn prepare_variants(
+        &self,
+        combinational: &Netlist,
+        ranks: &[usize],
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+    ) -> Result<Vec<Variant>, ExploreError> {
+        ranks
+            .iter()
+            .map(|&rank| {
+                let piped = pipeline_netlist(combinational, rank, self.pipeline_options)?;
+                let buses: Vec<Bus> = random_buses
+                    .iter()
+                    .map(|b| remap_bus(combinational, b, &piped.netlist))
+                    .collect::<Result<_, _>>()?;
+                let held: Vec<(NetId, bool)> = held
+                    .iter()
+                    .map(|&(net, v)| Ok((remap_net(combinational, net, &piped.netlist)?, v)))
+                    .collect::<Result<_, ExploreError>>()?;
+                Ok(Variant {
+                    rank,
+                    piped,
+                    buses,
+                    held,
+                })
+            })
+            .collect()
+    }
+
+    /// Simulates one prepared variant and distils its exploration point.
+    fn evaluate_variant(&self, variant: &Variant) -> Result<ExplorationPoint, ExploreError> {
+        let analysis: Analysis =
+            self.analyzer
+                .analyze(&variant.piped.netlist, &variant.buses, &variant.held)?;
+        Ok(ExplorationPoint {
+            ranks: variant.rank,
+            flipflops: variant.piped.flipflop_count,
+            power: analysis.power.breakdown,
+            clock_capacitance: analysis.power.clock_capacitance,
+            activity: analysis.activity.totals(),
+            gate_equivalents: variant.piped.netlist.gate_equivalents(),
+        })
+    }
+
     /// Pipelines `combinational` with each of the requested `ranks`,
     /// simulates each variant with the same random stimulus and returns the
     /// power curve.
@@ -186,7 +254,8 @@ impl PowerExplorer {
     /// # Errors
     ///
     /// Returns an [`ExploreError`] if pipelining or simulation of any
-    /// variant fails.
+    /// variant fails, or if a stimulus net has no same-named counterpart in
+    /// a variant ([`ExploreError::NetNotFound`]).
     pub fn explore(
         &self,
         combinational: &Netlist,
@@ -194,39 +263,60 @@ impl PowerExplorer {
         random_buses: &[Bus],
         held: &[(NetId, bool)],
     ) -> Result<ExplorationResult, ExploreError> {
-        let mut points = Vec::with_capacity(ranks.len());
-        for &rank in ranks {
-            let piped = pipeline_netlist(combinational, rank, self.pipeline_options)?;
-            let buses: Vec<Bus> = random_buses
-                .iter()
-                .map(|b| remap_bus(combinational, b, &piped.netlist))
-                .collect();
-            let held: Vec<(NetId, bool)> = held
-                .iter()
-                .map(|&(net, v)| (remap_net(combinational, net, &piped.netlist), v))
-                .collect();
-            let analysis: Analysis = self.analyzer.analyze(&piped.netlist, &buses, &held)?;
-            points.push(ExplorationPoint {
-                ranks: rank,
-                flipflops: piped.flipflop_count,
-                power: analysis.power.breakdown,
-                clock_capacitance: analysis.power.clock_capacitance,
-                activity: analysis.activity.totals(),
-                gate_equivalents: piped.netlist.gate_equivalents(),
-            });
-        }
+        self.explore_parallel(combinational, ranks, random_buses, held, 1)
+    }
+
+    /// Like [`PowerExplorer::explore`], but simulates the pipelined
+    /// variants concurrently on `jobs` worker threads — the multi-circuit
+    /// side of the sharded executor: every variant is an independent
+    /// netlist fanned across a [`ParallelRunner`].
+    ///
+    /// Results are identical to the serial sweep (each variant is a
+    /// deterministic seeded run and the points come back in rank order);
+    /// only the wall-clock time changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing variant's [`ExploreError`] in rank order.
+    pub fn explore_parallel(
+        &self,
+        combinational: &Netlist,
+        ranks: &[usize],
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        jobs: usize,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let variants = self.prepare_variants(combinational, ranks, random_buses, held)?;
+        let points = ParallelRunner::new(jobs)
+            .map(variants, |_, variant| self.evaluate_variant(&variant))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(ExplorationResult { points })
     }
 }
 
-fn remap_net(from: &Netlist, net: NetId, to: &Netlist) -> NetId {
-    let name = from.net(net).name();
-    to.find_net(name)
-        .unwrap_or_else(|| panic!("net `{name}` not found in the pipelined netlist"))
+/// A prepared pipelined variant: the netlist plus its remapped stimulus.
+struct Variant {
+    rank: usize,
+    piped: glitch_retime::PipelinedNetlist,
+    buses: Vec<Bus>,
+    held: Vec<(NetId, bool)>,
 }
 
-fn remap_bus(from: &Netlist, bus: &Bus, to: &Netlist) -> Bus {
-    Bus::new(bus.bits().iter().map(|&b| remap_net(from, b, to)).collect())
+fn remap_net(from: &Netlist, net: NetId, to: &Netlist) -> Result<NetId, ExploreError> {
+    let name = from.net(net).name();
+    to.find_net(name).ok_or_else(|| ExploreError::NetNotFound {
+        net: name.to_string(),
+        variant: to.name().to_string(),
+    })
+}
+
+fn remap_bus(from: &Netlist, bus: &Bus, to: &Netlist) -> Result<Bus, ExploreError> {
+    bus.bits()
+        .iter()
+        .map(|&b| remap_net(from, b, to))
+        .collect::<Result<Vec<_>, _>>()
+        .map(Bus::new)
 }
 
 #[cfg(test)]
@@ -265,6 +355,62 @@ mod tests {
         let table = result.to_table().to_string();
         assert!(table.contains("flipflops"));
         let _ = result.optimum_point();
+    }
+
+    #[test]
+    fn parallel_sweep_equals_the_serial_sweep() {
+        let mult = ArrayMultiplier::new(5, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 80,
+            ..Default::default()
+        });
+        let explorer = PowerExplorer::new(analyzer);
+        let ranks = [0, 2, 4, 6];
+        let buses = [mult.x.clone(), mult.y.clone()];
+        let serial = explorer
+            .explore(&mult.netlist, &ranks, &buses, &[])
+            .unwrap();
+        let parallel = explorer
+            .explore_parallel(&mult.netlist, &ranks, &buses, &[], 4)
+            .unwrap();
+        assert_eq!(serial.points().len(), parallel.points().len());
+        for (s, p) in serial.points().iter().zip(parallel.points()) {
+            assert_eq!(s.ranks, p.ranks);
+            assert_eq!(s.flipflops, p.flipflops);
+            assert_eq!(s.activity, p.activity);
+            assert_eq!(s.power, p.power);
+            assert_eq!(s.clock_capacitance, p.clock_capacitance);
+        }
+        assert_eq!(serial.optimum(), parallel.optimum());
+    }
+
+    #[test]
+    fn missing_stimulus_net_is_a_recoverable_error() {
+        // A stimulus net whose name has no counterpart in the target
+        // netlist used to panic inside the sweep; now it surfaces as
+        // `ExploreError::NetNotFound`.
+        let mut from = Netlist::new("from");
+        let bus = from.add_input_bus("only_in_from", 2);
+        let target = Netlist::new("pipelined variant");
+        let err = remap_net(&from, bus.bit(0), &target).unwrap_err();
+        match &err {
+            ExploreError::NetNotFound { net, variant } => {
+                assert!(net.starts_with("only_in_from"));
+                assert_eq!(variant, "pipelined variant");
+            }
+            other => panic!("expected NetNotFound, got {other:?}"),
+        }
+        assert!(err
+            .to_string()
+            .contains("not found in the pipelined netlist"));
+        assert!(remap_bus(&from, &bus, &target).is_err());
+        // Present nets still remap fine.
+        let mut target = Netlist::new("ok");
+        let there = target.add_input_bus("only_in_from", 2);
+        assert_eq!(
+            remap_bus(&from, &bus, &target).unwrap().bits(),
+            there.bits()
+        );
     }
 
     #[test]

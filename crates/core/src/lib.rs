@@ -42,9 +42,14 @@ mod analyzer;
 mod explore;
 mod table;
 
-pub use analyzer::{Analysis, AnalysisConfig, GlitchAnalyzer};
+pub use analyzer::{AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, GlitchAnalyzer};
 pub use explore::{ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer};
 pub use table::TextTable;
+
+/// The sharded parallel executor, re-exported from `glitch-sim`: fan
+/// multi-seed / multi-circuit jobs across worker threads with a
+/// deterministic reduction.
+pub use glitch_sim::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
 
 /// The delay-model selector, re-exported from `glitch-sim` (which absorbed
 /// the old `glitch_core::DelayConfig`).

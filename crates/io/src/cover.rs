@@ -225,7 +225,8 @@ fn kind_truth_table(kind: CellKind, inputs: usize) -> Vec<bool> {
                 *slot = (x >> i) & 1 == 1;
             }
             let mut out = [false];
-            kind.evaluate_into(&scratch, &mut out);
+            kind.try_evaluate_into(&scratch, &mut out)
+                .expect("candidate kinds accept the arity they are listed under");
             out[0]
         })
         .collect()

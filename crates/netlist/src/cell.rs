@@ -88,6 +88,57 @@ impl From<bool> for DffInit {
     }
 }
 
+/// Why a combinational evaluation could not be performed.
+///
+/// Returned by [`CellKind::try_evaluate_into`] so that callers driving
+/// untrusted netlists (long batch or parallel simulation runs in
+/// particular) can surface a recoverable error instead of aborting the
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalError {
+    /// The cell is sequential; its output is defined by the clocking
+    /// discipline, not by a combinational function.
+    Sequential(CellKind),
+    /// The number of supplied inputs is illegal for the kind.
+    BadArity {
+        /// The kind that was evaluated.
+        kind: CellKind,
+        /// The number of inputs supplied.
+        inputs: usize,
+    },
+    /// The output buffer cannot hold every output pin of the kind.
+    OutputBufferTooSmall {
+        /// The kind that was evaluated.
+        kind: CellKind,
+        /// The buffer length supplied.
+        have: usize,
+        /// The length required ([`CellKind::output_count`]).
+        need: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Sequential(kind) => {
+                write!(f, "{} has no combinational evaluation", kind.mnemonic())
+            }
+            EvalError::BadArity { kind, inputs } => write!(
+                f,
+                "cell kind {} does not accept {inputs} inputs",
+                kind.mnemonic()
+            ),
+            EvalError::OutputBufferTooSmall { kind, have, need } => write!(
+                f,
+                "output buffer too small for {} (have {have}, need {need})",
+                kind.mnemonic()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// The kinds of cells understood by the simulator, the retimer and the power
 /// model.
 ///
@@ -209,26 +260,34 @@ impl CellKind {
     }
 
     /// Evaluates the combinational function of this cell for two-valued
-    /// inputs, writing one value per output pin into `outputs`.
+    /// inputs, writing one value per output pin into `outputs` — the
+    /// checked, non-panicking form of [`CellKind::evaluate_into`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the number of inputs is illegal for this kind, if `outputs`
-    /// is shorter than [`CellKind::output_count`], or if called on a
-    /// sequential cell ([`CellKind::Dff`]), whose output is defined by the
-    /// clocking discipline rather than by a combinational function.
-    pub fn evaluate_into(self, inputs: &[bool], outputs: &mut [bool]) {
-        assert!(
-            self.accepts_arity(inputs.len()),
-            "cell kind {} does not accept {} inputs",
-            self.mnemonic(),
-            inputs.len()
-        );
-        assert!(
-            outputs.len() >= self.output_count(),
-            "output buffer too small for {}",
-            self.mnemonic()
-        );
+    /// Returns an [`EvalError`] if the number of inputs is illegal for this
+    /// kind, if `outputs` is shorter than [`CellKind::output_count`], or if
+    /// called on a sequential cell ([`CellKind::Dff`]), whose output is
+    /// defined by the clocking discipline rather than by a combinational
+    /// function. A malformed netlist therefore surfaces as a recoverable
+    /// error instead of aborting a long (possibly parallel) simulation run.
+    pub fn try_evaluate_into(self, inputs: &[bool], outputs: &mut [bool]) -> Result<(), EvalError> {
+        if matches!(self, CellKind::Dff) {
+            return Err(EvalError::Sequential(self));
+        }
+        if !self.accepts_arity(inputs.len()) {
+            return Err(EvalError::BadArity {
+                kind: self,
+                inputs: inputs.len(),
+            });
+        }
+        if outputs.len() < self.output_count() {
+            return Err(EvalError::OutputBufferTooSmall {
+                kind: self,
+                have: outputs.len(),
+                need: self.output_count(),
+            });
+        }
         match self {
             CellKind::Const(v) => outputs[0] = v,
             CellKind::Buf => outputs[0] = inputs[0],
@@ -251,7 +310,36 @@ impl CellKind {
                 outputs[0] = inputs[0] ^ inputs[1] ^ inputs[2];
                 outputs[1] = majority3(inputs[0], inputs[1], inputs[2]);
             }
-            CellKind::Dff => panic!("Dff has no combinational evaluation"),
+            // Handled by the Sequential early-return above.
+            CellKind::Dff => unreachable!("Dff evaluation rejected above"),
+        }
+        Ok(())
+    }
+
+    /// Checked evaluation returning the outputs as a freshly allocated
+    /// vector; see [`CellKind::try_evaluate_into`] for the error conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for sequential cells and illegal arities.
+    pub fn try_evaluate(self, inputs: &[bool]) -> Result<Vec<bool>, EvalError> {
+        let mut out = vec![false; self.output_count()];
+        self.try_evaluate_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Evaluates the combinational function of this cell for two-valued
+    /// inputs, writing one value per output pin into `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`CellKind::try_evaluate_into`] error conditions:
+    /// an illegal input arity, an `outputs` buffer shorter than
+    /// [`CellKind::output_count`], or a sequential cell ([`CellKind::Dff`]).
+    /// Use the checked form when the netlist is untrusted.
+    pub fn evaluate_into(self, inputs: &[bool], outputs: &mut [bool]) {
+        if let Err(e) = self.try_evaluate_into(inputs, outputs) {
+            panic!("{e}");
         }
     }
 
@@ -426,6 +514,50 @@ mod tests {
     #[should_panic(expected = "does not accept")]
     fn evaluate_rejects_bad_arity() {
         let _ = CellKind::FullAdder.evaluate(&[true, false]);
+    }
+
+    #[test]
+    fn try_evaluate_reports_recoverable_errors() {
+        assert_eq!(
+            CellKind::Dff.try_evaluate(&[true]),
+            Err(EvalError::Sequential(CellKind::Dff))
+        );
+        assert_eq!(
+            CellKind::FullAdder.try_evaluate(&[true, false]),
+            Err(EvalError::BadArity {
+                kind: CellKind::FullAdder,
+                inputs: 2
+            })
+        );
+        let mut short = [false];
+        assert_eq!(
+            CellKind::FullAdder.try_evaluate_into(&[true, false, true], &mut short),
+            Err(EvalError::OutputBufferTooSmall {
+                kind: CellKind::FullAdder,
+                have: 1,
+                need: 2
+            })
+        );
+        // The happy path matches the panicking form.
+        assert_eq!(
+            CellKind::Xor.try_evaluate(&[true, false]).unwrap(),
+            CellKind::Xor.evaluate(&[true, false])
+        );
+        // Every variant renders a useful message.
+        for e in [
+            EvalError::Sequential(CellKind::Dff),
+            EvalError::BadArity {
+                kind: CellKind::Inv,
+                inputs: 3,
+            },
+            EvalError::OutputBufferTooSmall {
+                kind: CellKind::HalfAdder,
+                have: 0,
+                need: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

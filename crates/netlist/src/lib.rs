@@ -44,7 +44,7 @@ mod netlist;
 mod stats;
 mod validate;
 
-pub use cell::{Cell, CellId, CellKind, DffInit};
+pub use cell::{Cell, CellId, CellKind, DffInit, EvalError};
 pub use dot::DotOptions;
 pub use error::NetlistError;
 pub use level::{CellLevels, Levelization};

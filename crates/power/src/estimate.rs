@@ -132,28 +132,75 @@ pub fn estimate_power_from_counts(
         counts.len(),
         netlist.net_count()
     );
-    let caps = CapacitanceModel::new(netlist, *tech);
-    let divisor = cycles.max(1);
+    let model = CapacitanceModel::new(netlist, *tech);
 
-    // Nets driven by flipflop outputs are part of the flipflop power figure.
-    let mut is_ff_output = vec![false; netlist.net_count()];
+    // Nets driven by flipflop outputs are part of the flipflop power figure;
+    // primary inputs are driven by the environment.
+    let mut eligible: Vec<bool> = netlist
+        .nets()
+        .map(|(_, net)| !net.is_primary_input())
+        .collect();
     for cell_id in netlist.dff_cells() {
         for &out in netlist.cell(cell_id).outputs() {
-            is_ff_output[out.index()] = true;
+            eligible[out.index()] = false;
         }
     }
+    let caps: Vec<f64> = netlist
+        .nets()
+        .map(|(id, _)| model.net_capacitance(id))
+        .collect();
 
+    estimate_power_from_parts(
+        &counts[..netlist.net_count()],
+        &caps,
+        &eligible,
+        netlist.dff_count(),
+        cycles,
+        tech,
+        frequency,
+    )
+}
+
+/// The netlist-free core of the power estimate: per-net transition counts,
+/// per-net load capacitances, a per-net eligibility mask (`false` for
+/// primary inputs and flipflop outputs), and the flipflop count.
+///
+/// This is the single implementation of the paper's power formula; the
+/// netlist-based [`estimate_power_from_counts`] and the streaming
+/// `glitch_sim::PowerProbe` (which captures `caps`/`eligible` at run start
+/// and re-estimates after merging shards) both delegate here, so every
+/// path is numerically identical by construction.
+///
+/// # Panics
+///
+/// Panics if `counts`, `caps` and `eligible` have different lengths.
+#[must_use]
+pub fn estimate_power_from_parts(
+    counts: &[u64],
+    caps: &[f64],
+    eligible: &[bool],
+    flipflops: usize,
+    cycles: u64,
+    tech: &Technology,
+    frequency: f64,
+) -> PowerReport {
+    assert!(
+        counts.len() == caps.len() && counts.len() == eligible.len(),
+        "counts ({}), capacitances ({}) and eligibility ({}) must cover the same nets",
+        counts.len(),
+        caps.len(),
+        eligible.len()
+    );
+    let divisor = cycles.max(1);
     let mut switched_cap_per_cycle = 0.0f64;
-    for (net_id, net) in netlist.nets() {
-        if net.is_primary_input() || is_ff_output[net_id.index()] {
+    for ((&transitions, &cap), &eligible) in counts.iter().zip(caps).zip(eligible) {
+        if !eligible {
             continue;
         }
-        let transitions = counts[net_id.index()];
         let per_cycle = transitions as f64 / divisor as f64;
-        switched_cap_per_cycle += 0.5 * per_cycle * caps.net_capacitance(net_id);
+        switched_cap_per_cycle += 0.5 * per_cycle * cap;
     }
 
-    let flipflops = netlist.dff_count();
     let breakdown = PowerBreakdown {
         logic: switched_cap_per_cycle * tech.vdd * tech.vdd * frequency,
         flipflop: tech.flipflop_power(frequency) * flipflops as f64,

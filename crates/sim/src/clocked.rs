@@ -388,10 +388,18 @@ impl<'a> ClockedSimulator<'a> {
                 }
 
                 let affected = std::mem::take(&mut self.scratch_cells);
+                let mut eval_failure = None;
                 for &cell_id in &affected {
-                    self.evaluate_and_schedule(cell_id, time);
+                    if let Err(error) = self.evaluate_and_schedule(cell_id, time) {
+                        eval_failure = Some(error);
+                        break;
+                    }
                 }
                 self.scratch_cells = affected;
+                if let Some(error) = eval_failure {
+                    self.queue.clear();
+                    return Err(error);
+                }
             }
 
             // Report one transition per net that ended the time step with a
@@ -445,7 +453,7 @@ impl<'a> ClockedSimulator<'a> {
         Ok(stats)
     }
 
-    fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) {
+    fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) -> Result<(), SimError> {
         let cell = self.netlist.cell(cell_id);
         let kind = cell.kind();
 
@@ -474,15 +482,20 @@ impl<'a> ClockedSimulator<'a> {
                 let d = self.delay.delay(kind, pin);
                 self.schedule(time + d, out, Value::X);
             }
-            return;
+            return Ok(());
         }
 
         let mut out_bits = [false; 2];
-        kind.evaluate_into(bits, &mut out_bits[..kind.output_count()]);
+        kind.try_evaluate_into(bits, &mut out_bits[..kind.output_count()])
+            .map_err(|error| SimError::CellEval {
+                cell: cell.name().to_string(),
+                error,
+            })?;
         for (pin, out) in outputs.into_iter().enumerate() {
             let d = self.delay.delay(kind, pin);
             self.schedule(time + d, out, Value::from(out_bits[pin]));
         }
+        Ok(())
     }
 
     /// Runs one cycle per assignment and returns the per-cycle statistics.

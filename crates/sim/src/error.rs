@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use glitch_netlist::{NetId, NetlistError};
+use glitch_netlist::{EvalError, NetId, NetlistError};
 
 /// Errors reported by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +25,16 @@ pub enum SimError {
     /// A primary input was left undriven in a cycle before ever being
     /// assigned a value.
     MissingInput(NetId),
+    /// A cell could not be evaluated combinationally — a malformed netlist
+    /// slipped past structural validation. Surfaced as an error (rather than
+    /// a panic) so one bad circuit cannot abort a long batch or parallel
+    /// run.
+    CellEval {
+        /// Instance name of the offending cell.
+        cell: String,
+        /// Why the evaluation was rejected.
+        error: EvalError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +55,9 @@ impl fmt::Display for SimError {
             }
             SimError::MissingInput(net) => {
                 write!(f, "primary input {net} has never been assigned a value")
+            }
+            SimError::CellEval { cell, error } => {
+                write!(f, "cell `{cell}` cannot be evaluated: {error}")
             }
         }
     }

@@ -27,8 +27,16 @@
 //!   be if all delay paths were perfectly balanced).
 //!
 //! Built-in probes: [`ActivityProbe`], [`VcdProbe`], [`PowerProbe`],
-//! [`WaveCsvProbe`]. Custom observables are one [`Probe`] implementation
-//! away — see the trait's documentation for a complete example.
+//! [`WaveCsvProbe`], [`StatsProbe`], [`WindowedActivityProbe`]. Custom
+//! observables are one [`Probe`] implementation away — see the trait's
+//! documentation for a complete example.
+//!
+//! For multi-seed / multi-delay-model sweeps there is a sharded parallel
+//! layer: [`ParallelRunner`] fans `(netlist, seed, delay)` [`SimJob`]s
+//! across scoped worker threads and [`AggregateReport`] reduces the
+//! per-shard results deterministically ([`MergeableProbe`] folds the
+//! probes in job order), so a parallel run is bit-identical to the serial
+//! fold of its shards — only faster.
 //!
 //! ## Example
 //!
@@ -65,19 +73,24 @@ mod clocked;
 mod delay;
 mod engine;
 mod error;
+mod parallel;
 mod probe;
 mod session;
 mod stimulus;
 mod value;
 mod vcd;
+mod window;
 
 pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
 pub use delay::{CellDelay, DelayKind, DelayModel, UnitDelay, ZeroDelay};
 pub use error::SimError;
+pub use parallel::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
 pub use probe::{
-    ActivityProbe, PowerProbe, Probe, Transition, TransitionKind, VcdProbe, WaveCsvProbe,
+    ActivityProbe, MergeableProbe, PowerProbe, Probe, StatsProbe, Transition, TransitionKind,
+    VcdProbe, WaveCsvProbe,
 };
 pub use session::{SessionError, SessionReport, SimSession};
 pub use stimulus::{ExhaustiveStimulus, RandomStimulus, StimulusProgram};
 pub use value::Value;
 pub use vcd::VcdRecorder;
+pub use window::{ActivityWindow, WindowedActivityProbe};

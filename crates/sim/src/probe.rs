@@ -77,7 +77,11 @@ pub struct Transition {
 /// observes.
 ///
 /// The `Any` supertrait lets a [`crate::SessionReport`] hand typed probes
-/// back to the caller; see [`crate::SessionReport::probe`].
+/// back to the caller; see [`crate::SessionReport::probe`]. The `Send`
+/// supertrait lets finished probes travel back from worker threads, which
+/// is what makes sharded parallel execution
+/// ([`crate::ParallelRunner`]) possible; probes are plain accumulators, so
+/// this costs implementations nothing.
 ///
 /// ```
 /// use glitch_netlist::Netlist;
@@ -110,7 +114,7 @@ pub struct Transition {
 /// # Ok(())
 /// # }
 /// ```
-pub trait Probe: Any {
+pub trait Probe: Any + Send {
     /// Called once, before any cycle, with the netlist under simulation.
     fn on_run_start(&mut self, _netlist: &Netlist) {}
 
@@ -126,6 +130,31 @@ pub trait Probe: Any {
 
     /// Called once after the last cycle; render final artefacts here.
     fn on_run_end(&mut self, _netlist: &Netlist) {}
+}
+
+/// A probe whose accumulated state can be folded with another instance's —
+/// the reduction side of sharded parallel simulation.
+///
+/// A parallel run (see [`crate::ParallelRunner`]) gives every shard its own
+/// fresh probe instance; once the shards finish, the per-shard probes are
+/// folded pairwise with [`MergeableProbe::merge`] into one probe that is
+/// indistinguishable from a probe that observed every shard serially,
+/// *provided the shards are independent runs* (per-seed shards). The
+/// built-in implementations ([`ActivityProbe`], [`PowerProbe`],
+/// [`StatsProbe`], [`crate::WindowedActivityProbe`]) all guarantee that the
+/// fold is exact: counts add, maxima combine, and derived reports are
+/// recomputed from the merged counts.
+///
+/// Merging is defined on *finished* probes (after `on_run_end`); merge
+/// order must not matter for the accumulated counts, which is what makes
+/// the parallel fold deterministic when performed in shard order.
+pub trait MergeableProbe: Probe + Sized {
+    /// Folds `other`'s accumulated observations into `self`.
+    ///
+    /// Both probes must have observed the same netlist (or one of them must
+    /// be freshly created and empty); implementations panic on shape
+    /// mismatches, mirroring [`glitch_activity::ActivityTrace::merge`].
+    fn merge(&mut self, other: Self);
 }
 
 // ---------------------------------------------------------------- activity
@@ -203,6 +232,31 @@ impl Probe for ActivityProbe {
         self.trace.record_cycle(&self.counts);
         for (total, &pending) in self.rising.iter_mut().zip(&self.pending_rising) {
             *total += u64::from(pending);
+        }
+    }
+}
+
+impl MergeableProbe for ActivityProbe {
+    /// Folds another shard's trace and rising-transition totals into this
+    /// probe. The merged trace equals the trace a single probe would have
+    /// accumulated observing both runs back to back.
+    fn merge(&mut self, other: ActivityProbe) {
+        if self.rising.is_empty() {
+            // `self` never ran; adopt the other probe wholesale.
+            *self = other;
+            return;
+        }
+        if other.rising.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.rising.len(),
+            other.rising.len(),
+            "cannot merge activity probes of different netlists"
+        );
+        self.trace.merge(&other.trace);
+        for (total, theirs) in self.rising.iter_mut().zip(&other.rising) {
+            *total += theirs;
         }
     }
 }
@@ -291,6 +345,7 @@ pub struct PowerProbe {
     pending_energy: f64,
     caps: Vec<f64>,
     eligible: Vec<bool>,
+    flipflops: usize,
     cycles: u64,
     energy_joules: f64,
     report: Option<PowerReport>,
@@ -308,10 +363,29 @@ impl PowerProbe {
             pending_energy: 0.0,
             caps: Vec::new(),
             eligible: Vec::new(),
+            flipflops: 0,
             cycles: 0,
             energy_joules: 0.0,
             report: None,
         }
+    }
+
+    /// Recomputes the power report from the accumulated counts using the
+    /// capacitance and eligibility tables captured at run start. Delegates
+    /// to `glitch_power::estimate_power_from_parts` — the same single
+    /// implementation `estimate_power_from_counts` funnels through — so a
+    /// merged probe's report is bit-identical to the report a single run
+    /// over the combined activity would have produced.
+    fn compute_report(&self) -> PowerReport {
+        glitch_power::estimate_power_from_parts(
+            &self.counts,
+            &self.caps,
+            &self.eligible,
+            self.flipflops,
+            self.cycles,
+            &self.tech,
+            self.frequency,
+        )
     }
 
     /// Switched energy in the combinational logic so far, in joules.
@@ -363,6 +437,7 @@ impl Probe for PowerProbe {
                 self.eligible[out.index()] = false;
             }
         }
+        self.flipflops = netlist.dff_count();
     }
 
     // Like the activity probe, transitions are staged per cycle and only
@@ -400,6 +475,107 @@ impl Probe for PowerProbe {
             &self.tech,
             self.frequency,
         ));
+    }
+}
+
+impl MergeableProbe for PowerProbe {
+    /// Folds another shard's transition counts, cycle count and streamed
+    /// energy into this probe and recomputes the report over the combined
+    /// activity. The merged report equals
+    /// `glitch_power::estimate_power_from_counts` over the summed counts
+    /// bit for bit (covered by `tests/parallel.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probes observed netlists of different sizes or were
+    /// configured with different technologies or clock frequencies.
+    fn merge(&mut self, other: PowerProbe) {
+        if self.counts.is_empty() {
+            *self = other;
+            return;
+        }
+        if other.counts.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge power probes of different netlists"
+        );
+        assert!(
+            self.tech == other.tech && self.frequency == other.frequency,
+            "cannot merge power probes with different operating points"
+        );
+        for (total, &theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *total += theirs;
+        }
+        self.cycles += other.cycles;
+        self.energy_joules += other.energy_joules;
+        self.report = Some(self.compute_report());
+    }
+}
+
+// ------------------------------------------------------------------- stats
+
+/// Accumulates whole-run cycle statistics: cycle, transition and event
+/// totals plus the worst settle time — the mergeable counterpart of
+/// [`crate::SessionReport::cycle_stats`] for sharded runs, at `O(1)` memory
+/// instead of one [`CycleStats`] per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsProbe {
+    cycles: u64,
+    transitions: u64,
+    events: u64,
+    max_settle_time: u64,
+}
+
+impl StatsProbe {
+    /// Creates an empty statistics probe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed cycles observed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total signal transitions over all observed cycles.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total simulator events over all observed cycles.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The worst intra-cycle settle time observed.
+    #[must_use]
+    pub fn max_settle_time(&self) -> u64 {
+        self.max_settle_time
+    }
+}
+
+impl Probe for StatsProbe {
+    fn on_cycle_end(&mut self, _cycle: u64, stats: &CycleStats) {
+        self.cycles += 1;
+        self.transitions += stats.transitions;
+        self.events += stats.events;
+        self.max_settle_time = self.max_settle_time.max(stats.settle_time);
+    }
+}
+
+impl MergeableProbe for StatsProbe {
+    fn merge(&mut self, other: StatsProbe) {
+        self.cycles += other.cycles;
+        self.transitions += other.transitions;
+        self.events += other.events;
+        self.max_settle_time = self.max_settle_time.max(other.max_settle_time);
     }
 }
 

@@ -137,12 +137,12 @@ impl<'a> SimSession<'a> {
                 // them back untouched (no `on_run_start`, no `on_run_end`).
                 return Err(SessionError {
                     error,
-                    report: SessionReport {
+                    report: Box::new(SessionReport {
                         cycles: 0,
                         cycle_stats: Vec::new(),
                         final_values: vec![Value::X; self.netlist.net_count()],
                         probes: self.probes,
-                    },
+                    }),
                 });
             }
         };
@@ -174,7 +174,10 @@ impl<'a> SimSession<'a> {
         };
         match failure {
             None => Ok(report),
-            Some(error) => Err(SessionError { error, report }),
+            Some(error) => Err(SessionError {
+                error,
+                report: Box::new(report),
+            }),
         }
     }
 }
@@ -192,8 +195,9 @@ impl<'a> SimSession<'a> {
 pub struct SessionError {
     /// The simulator error that stopped the run.
     pub error: SimError,
-    /// Everything the probes observed up to the failing cycle.
-    pub report: SessionReport,
+    /// Everything the probes observed up to the failing cycle (boxed to
+    /// keep the `Err` variant small on the happy path).
+    pub report: Box<SessionReport>,
 }
 
 impl std::fmt::Display for SessionError {

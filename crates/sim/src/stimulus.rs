@@ -90,6 +90,56 @@ impl RandomStimulus {
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
+
+    /// Derives the seed of shard `index` from a base seed.
+    ///
+    /// **Sharding semantics.** Parallel runs shard the stimulus by giving
+    /// every shard an *independent* PRNG stream rather than by splitting one
+    /// stream's cycle range: in a sequential circuit the flipflop state at
+    /// cycle `k` depends on every preceding vector, so a cycle-range split
+    /// would change the simulated behaviour, and even in combinational
+    /// circuits the per-cycle parity classification depends on the previous
+    /// vector at each chunk boundary. Independent per-shard seeds keep every
+    /// shard a self-contained run whose statistics are exactly mergeable
+    /// (`ActivityTrace::merge`), at the cost of the aggregate being a
+    /// *multi-seed* estimate rather than one long single-seed run — which is
+    /// statistically preferable anyway (it yields a per-seed spread).
+    ///
+    /// The mapping is a SplitMix64 step of `base ^ index`, so neighbouring
+    /// shard indices produce decorrelated seeds even for small bases, and
+    /// shard 0 of base `b` differs from a plain run seeded `b`.
+    #[must_use]
+    pub fn shard_seed(base: u64, index: u64) -> u64 {
+        let mut z = (base ^ index).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The seeds of `count` shards derived from `base`; see
+    /// [`RandomStimulus::shard_seed`] for the sharding semantics.
+    #[must_use]
+    pub fn shard_seeds(base: u64, count: usize) -> Vec<u64> {
+        (0..count as u64)
+            .map(|i| Self::shard_seed(base, i))
+            .collect()
+    }
+
+    /// Splits the generator's configuration into `count` independent
+    /// shards of `cycles` cycles each, with seeds derived via
+    /// [`RandomStimulus::shard_seed`]. Held nets are replicated into every
+    /// shard.
+    #[must_use]
+    pub fn shards(&self, cycles: u64, base: u64, count: usize) -> Vec<RandomStimulus> {
+        RandomStimulus::shard_seeds(base, count)
+            .into_iter()
+            .map(|seed| {
+                let mut shard = RandomStimulus::new(self.buses.clone(), cycles, seed);
+                shard.held = self.held.clone();
+                shard
+            })
+            .collect()
+    }
 }
 
 impl StimulusProgram for RandomStimulus {
@@ -259,6 +309,44 @@ mod tests {
             assert!(v.assignments().contains(&(thr.bit(1), false)));
             assert!(v.assignments().contains(&(thr.bit(3), true)));
         }
+    }
+
+    #[test]
+    fn shard_seeds_are_deterministic_and_distinct() {
+        let seeds = RandomStimulus::shard_seeds(42, 16);
+        assert_eq!(seeds, RandomStimulus::shard_seeds(42, 16));
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 16, "shard seeds must not collide");
+        // Shard 0 is not the base seed itself: a sharded run never silently
+        // replays the unsharded stimulus.
+        assert_ne!(seeds[0], 42);
+        assert_ne!(RandomStimulus::shard_seeds(43, 1), seeds[..1]);
+    }
+
+    #[test]
+    fn shards_replicate_buses_and_held_nets() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_bus("a", 4);
+        let cin = nl.add_input("cin");
+        let base = RandomStimulus::new(vec![a], 100, 7).hold(cin, true);
+        let shards = base.shards(10, 7, 3);
+        assert_eq!(shards.len(), 3);
+        for shard in &shards {
+            assert_eq!(shard.remaining(), 10);
+            let vectors: Vec<_> = shard.clone().collect();
+            assert_eq!(vectors.len(), 10);
+            // 4 random bits + 1 held bit per cycle.
+            assert!(vectors.iter().all(|v| v.len() == 5));
+            assert!(vectors
+                .iter()
+                .all(|v| v.assignments().contains(&(cin, true))));
+        }
+        // Different shards draw different vectors.
+        let first: Vec<_> = shards[0].clone().collect();
+        let second: Vec<_> = shards[1].clone().collect();
+        assert_ne!(first, second);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Windowed transition activity: the glitch "heatmap over cycles".
+//!
+//! [`WindowedActivityProbe`] buckets the run into fixed-size windows of `K`
+//! clock cycles and records each window's transition totals (split into
+//! useful work and glitches by the paper's parity rule). Where the flat
+//! [`crate::ActivityProbe`] answers *which nets* glitch, the windowed probe
+//! answers *when* they glitch — burst behaviour after a stimulus change,
+//! warm-up transients, periodic patterns in sequential circuits.
+//!
+//! The probe is [`MergeableProbe`]: per-seed shards of a parallel run all
+//! start at cycle 0, so their windows align and merge element-wise into an
+//! aggregate heatmap. Shards that split one run's *cycle range* would only
+//! merge correctly if every shard length were a multiple of the window
+//! size; the merge asserts on window-size mismatches and documents the
+//! alignment requirement, mirroring the semantics choice made by
+//! [`crate::RandomStimulus::shard_seeds`].
+
+use std::fmt::Write as _;
+
+use glitch_activity::split_by_parity;
+use glitch_netlist::Netlist;
+
+use crate::clocked::CycleStats;
+use crate::probe::{MergeableProbe, Probe, Transition, TransitionKind};
+
+/// Transition totals of one `K`-cycle window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityWindow {
+    /// First cycle (0-based, inclusive) the window covers.
+    pub start_cycle: u64,
+    /// Number of cycles actually recorded in the window (the final window
+    /// of a run may be shorter than `K`).
+    pub cycles: u64,
+    /// Total switching transitions in the window.
+    pub transitions: u64,
+    /// Useful transitions (parity rule, per net per cycle).
+    pub useful: u64,
+    /// Useless (glitch) transitions.
+    pub useless: u64,
+}
+
+impl ActivityWindow {
+    /// Number of complete glitches in the window.
+    #[must_use]
+    pub fn glitches(&self) -> u64 {
+        self.useless / 2
+    }
+}
+
+/// Accumulates per-window transition totals over a run; see the module
+/// documentation.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedActivityProbe {
+    window: u64,
+    windows: Vec<ActivityWindow>,
+    /// Per-net transition counts of the in-flight cycle (parity is a
+    /// per-net, per-cycle property, so per-cycle counts cannot be summed
+    /// before classification).
+    counts: Vec<u32>,
+    current: Option<ActivityWindow>,
+}
+
+impl WindowedActivityProbe {
+    /// Creates a probe bucketing activity into windows of `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window size must be at least one cycle");
+        WindowedActivityProbe {
+            window,
+            windows: Vec::new(),
+            counts: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// The configured window size, in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The completed windows, in cycle order.
+    #[must_use]
+    pub fn windows(&self) -> &[ActivityWindow] {
+        &self.windows
+    }
+
+    /// Renders the heatmap as CSV
+    /// (`window,start_cycle,cycles,transitions,useful,useless,glitches`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("window,start_cycle,cycles,transitions,useful,useless,glitches\n");
+        for (i, w) in self.windows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{i},{},{},{},{},{},{}",
+                w.start_cycle,
+                w.cycles,
+                w.transitions,
+                w.useful,
+                w.useless,
+                w.glitches()
+            );
+        }
+        out
+    }
+
+    fn flush_current(&mut self) {
+        if let Some(window) = self.current.take() {
+            if window.cycles > 0 {
+                self.windows.push(window);
+            }
+        }
+    }
+}
+
+impl Probe for WindowedActivityProbe {
+    fn on_run_start(&mut self, netlist: &Netlist) {
+        self.counts = vec![0; netlist.net_count()];
+        self.windows.clear();
+        self.current = None;
+    }
+
+    fn on_cycle_start(&mut self, cycle: u64) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        if cycle.is_multiple_of(self.window) {
+            self.flush_current();
+        }
+        if self.current.is_none() {
+            self.current = Some(ActivityWindow {
+                start_cycle: cycle - cycle % self.window,
+                ..ActivityWindow::default()
+            });
+        }
+    }
+
+    fn on_transition(&mut self, transition: &Transition) {
+        if matches!(transition.kind, TransitionKind::Rise | TransitionKind::Fall) {
+            self.counts[transition.net.index()] += 1;
+        }
+    }
+
+    // Committed at cycle *end*, like `ActivityProbe`: a cycle that errors
+    // mid-settle must not contribute partial counts to its window.
+    fn on_cycle_end(&mut self, _cycle: u64, _stats: &CycleStats) {
+        let window = self
+            .current
+            .as_mut()
+            .expect("on_cycle_start opens a window before any cycle ends");
+        for &count in &self.counts {
+            if count == 0 {
+                continue;
+            }
+            let split = split_by_parity(u64::from(count));
+            window.transitions += u64::from(count);
+            window.useful += split.useful;
+            window.useless += split.useless;
+        }
+        window.cycles += 1;
+    }
+
+    fn on_run_end(&mut self, _netlist: &Netlist) {
+        self.flush_current();
+    }
+}
+
+impl MergeableProbe for WindowedActivityProbe {
+    /// Merges another run's heatmap element-wise: window `i` of `other` is
+    /// added onto window `i` of `self`, and trailing windows are appended.
+    /// This is exact for shards that all start at cycle 0 (per-seed
+    /// shards); see the module documentation for the alignment caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ.
+    fn merge(&mut self, other: WindowedActivityProbe) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge windowed probes with different window sizes"
+        );
+        for (i, theirs) in other.windows.into_iter().enumerate() {
+            if let Some(mine) = self.windows.get_mut(i) {
+                debug_assert_eq!(mine.start_cycle, theirs.start_cycle);
+                mine.cycles += theirs.cycles;
+                mine.transitions += theirs.transitions;
+                mine.useful += theirs.useful;
+                mine.useless += theirs.useless;
+            } else {
+                self.windows.push(theirs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocked::InputAssignment;
+    use crate::session::SimSession;
+    use glitch_netlist::NetId;
+
+    fn inv_netlist() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("windowed");
+        let a = nl.add_input("a");
+        let y = nl.inv(a, "y");
+        nl.mark_output(y);
+        (nl, a)
+    }
+
+    fn toggling(a: NetId, cycles: u64) -> impl Iterator<Item = InputAssignment> {
+        (0..cycles).map(move |i| InputAssignment::new().with(a, i % 2 == 0))
+    }
+
+    #[test]
+    fn windows_cover_the_run_and_sum_to_the_flat_totals() {
+        let (nl, a) = inv_netlist();
+        let report = SimSession::new(&nl)
+            .probe(crate::ActivityProbe::new())
+            .probe(WindowedActivityProbe::new(4))
+            .stimulus(toggling(a, 10))
+            .run()
+            .unwrap();
+        let windowed = report.probe::<WindowedActivityProbe>().unwrap();
+        // 10 cycles at K=4: windows of 4, 4 and 2 cycles.
+        assert_eq!(windowed.window(), 4);
+        let windows = windowed.windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].start_cycle, 0);
+        assert_eq!(windows[1].start_cycle, 4);
+        assert_eq!(windows[2].start_cycle, 8);
+        assert_eq!(
+            windows.iter().map(|w| w.cycles).collect::<Vec<_>>(),
+            [4, 4, 2]
+        );
+        // Per-window totals sum to the flat activity trace's totals.
+        let flat = report.probe::<crate::ActivityProbe>().unwrap().trace();
+        let totals = flat.totals();
+        assert_eq!(
+            windows.iter().map(|w| w.transitions).sum::<u64>(),
+            totals.transitions
+        );
+        assert_eq!(windows.iter().map(|w| w.useful).sum::<u64>(), totals.useful);
+        assert_eq!(
+            windows.iter().map(|w| w.useless).sum::<u64>(),
+            totals.useless
+        );
+    }
+
+    #[test]
+    fn csv_renders_one_row_per_window() {
+        let (nl, a) = inv_netlist();
+        let report = SimSession::new(&nl)
+            .probe(WindowedActivityProbe::new(2))
+            .stimulus(toggling(a, 6))
+            .run()
+            .unwrap();
+        let csv = report.probe::<WindowedActivityProbe>().unwrap().to_csv();
+        assert!(csv.starts_with("window,start_cycle,cycles,"));
+        assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("1,2,2,"));
+    }
+
+    #[test]
+    fn merge_sums_aligned_windows_and_appends_the_tail() {
+        let (nl, a) = inv_netlist();
+        let run = |cycles: u64| {
+            let report = SimSession::new(&nl)
+                .probe(WindowedActivityProbe::new(3))
+                .stimulus(toggling(a, cycles))
+                .run()
+                .unwrap();
+            let mut report = report;
+            report.take_probe::<WindowedActivityProbe>().unwrap()
+        };
+        let mut merged = WindowedActivityProbe::new(3);
+        let first = run(6);
+        let second = run(9);
+        merged.merge(first.clone());
+        merged.merge(second.clone());
+        assert_eq!(merged.windows().len(), 3);
+        for i in 0..2 {
+            assert_eq!(
+                merged.windows()[i].transitions,
+                first.windows()[i].transitions + second.windows()[i].transitions
+            );
+            assert_eq!(
+                merged.windows()[i].cycles,
+                first.windows()[i].cycles + second.windows()[i].cycles
+            );
+        }
+        // The third window only exists in the longer run.
+        assert_eq!(merged.windows()[2], second.windows()[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window sizes")]
+    fn merge_rejects_mismatched_window_sizes() {
+        let (nl, a) = inv_netlist();
+        let mut report = SimSession::new(&nl)
+            .probe(WindowedActivityProbe::new(2))
+            .stimulus(toggling(a, 4))
+            .run()
+            .unwrap();
+        let mut two = report.take_probe::<WindowedActivityProbe>().unwrap();
+        let mut report = SimSession::new(&nl)
+            .probe(WindowedActivityProbe::new(3))
+            .stimulus(toggling(a, 4))
+            .run()
+            .unwrap();
+        let three = report.take_probe::<WindowedActivityProbe>().unwrap();
+        two.merge(three);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_is_rejected() {
+        let _ = WindowedActivityProbe::new(0);
+    }
+}
