@@ -1,0 +1,109 @@
+//! Criterion benchmarks of incremental dirty-region re-simulation against
+//! full re-simulation — the `incremental_resim` regression group.
+//!
+//! The workload is the ROADMAP's single-input-flip re-run on the
+//! multiplier corpus: a recorded baseline of random vectors, re-simulated
+//! with one input bit flipped in one cycle. The incremental session
+//! replays every clean cycle and re-settles only the dirty cone, so it
+//! must be comfortably faster than simulating the merged stimulus from
+//! scratch; CI enforces >= 2x via `tests/speedup_gate.rs` (the results
+//! themselves are bit-identical, pinned by the differential oracle in
+//! `crates/sim/tests/incremental.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use glitch_core::arith::{AdderStyle, ArrayMultiplier};
+use glitch_core::netlist::{ConeIndex, Netlist};
+use glitch_core::power::Technology;
+use glitch_core::sim::{
+    ActivityProbe, DeltaStimulus, IncrementalSession, InputAssignment, PowerProbe, RandomStimulus,
+    SimBaseline, SimSession, StatsProbe,
+};
+
+const CYCLES: u64 = 300;
+const SEED: u64 = 0xF11;
+const FLIP_CYCLE: u64 = 150;
+
+struct Workload {
+    netlist: Netlist,
+    stimulus: Vec<InputAssignment>,
+    baseline: SimBaseline,
+    index: ConeIndex,
+    delta: DeltaStimulus,
+}
+
+fn workload() -> Workload {
+    let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+    let buses = vec![mult.x.clone(), mult.y.clone()];
+    let stimulus: Vec<InputAssignment> = RandomStimulus::new(buses, CYCLES, SEED).collect();
+    let (_, baseline) = SimSession::new(&mult.netlist)
+        .stimulus(stimulus.clone())
+        .record_baseline()
+        .expect("baseline settles");
+    let index = mult.netlist.cone_index().expect("acyclic");
+    let flip_net = mult.x.bit(3);
+    let flipped_to = baseline.input_value(FLIP_CYCLE, flip_net) != glitch_core::sim::Value::One;
+    let delta = DeltaStimulus::new().set(FLIP_CYCLE, flip_net, flipped_to);
+    Workload {
+        netlist: mult.netlist,
+        stimulus,
+        baseline,
+        index,
+        delta,
+    }
+}
+
+fn probes<'a>(session: SimSession<'a>) -> SimSession<'a> {
+    session
+        .probe(ActivityProbe::new())
+        .probe(PowerProbe::new(Technology::cmos_0p8um_5v(), 5e6))
+        .probe(StatsProbe::new())
+}
+
+/// Full re-simulation of the flipped stimulus: the cost the incremental
+/// path is measured against.
+fn full_resimulation(w: &Workload) -> u64 {
+    let merged: Vec<InputAssignment> = w
+        .stimulus
+        .iter()
+        .enumerate()
+        .map(|(cycle, base)| w.delta.apply_to(cycle as u64, base))
+        .collect();
+    let report = probes(SimSession::new(&w.netlist))
+        .stimulus(merged)
+        .run()
+        .expect("settles");
+    report.total_transitions()
+}
+
+/// Incremental re-simulation of the same flip against the shared baseline.
+fn incremental_resimulation(w: &Workload) -> u64 {
+    let report = IncrementalSession::new(&w.netlist, &w.baseline)
+        .cone_index(&w.index)
+        .probe(ActivityProbe::new())
+        .probe(PowerProbe::new(Technology::cmos_0p8um_5v(), 5e6))
+        .probe(StatsProbe::new())
+        .delta(w.delta.clone())
+        .run()
+        .expect("settles");
+    report.session().total_transitions()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let w = workload();
+    // Both sides observe identical activity — the flip changes behaviour,
+    // not the instrumentation.
+    assert_eq!(full_resimulation(&w), incremental_resimulation(&w));
+
+    let mut group = c.benchmark_group("incremental_resim");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("full_resimulation_single_flip", |b| {
+        b.iter(|| full_resimulation(&w))
+    });
+    group.bench_function("incremental_single_flip", |b| {
+        b.iter(|| incremental_resimulation(&w))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

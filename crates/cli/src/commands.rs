@@ -13,7 +13,8 @@ use glitch_core::sim::{
     WaveCsvProbe, WindowedActivityProbe,
 };
 use glitch_core::{
-    AggregateAnalysis, Analysis, AnalysisConfig, DelayKind, GlitchAnalyzer, Spread, TextTable,
+    AggregateAnalysis, Analysis, AnalysisConfig, DelayKind, DeltaStimulus, GlitchAnalyzer,
+    IncrementalStats, PowerExplorer, Spread, TextTable,
 };
 use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
 
@@ -52,6 +53,14 @@ commands:
                                    report the aggregate with spread [1]
               --jobs <n>           worker threads for the multi-seed sweep
                                    [min(seeds, hardware threads)]
+              --flip <list>        incremental fast path: record the run as
+                                   a baseline, then re-simulate it with the
+                                   listed input bits changed (comma list of
+                                   cycle:net or cycle:net=0|1; without =v
+                                   the baseline value is inverted). Only
+                                   dirty fanout cones re-evaluate; clean
+                                   cycles replay from the baseline, with
+                                   results bit-identical to a full rerun
             (every artefact is recorded by a probe on the same single
             simulation session — no re-simulation per output; with
             --seeds > 1, one session per seed fanned across --jobs
@@ -68,6 +77,12 @@ commands:
               --seeds <n>          seeds per delay model [1]
               --jobs <n>           worker threads [min(jobs needed, cores)]
               --cycles/--seed/--frequency-mhz/--tech/--json as above
+            or sweep input-flip sensitivity instead: one baseline, one
+            incremental re-simulation per flipped input (nearby jobs
+            share the recorded baseline and its fanout-cone index)
+              --flip-inputs <list> comma list of input net names, or `all`
+              --flip-cycle <k>     cycle to flip each input in [0]
+              --delay/--cycles/--seed/--jobs/--json as above
   retime    cutset pipelining of a combinational circuit, with a
             before/after activity and power comparison
               --ranks <n>          register ranks to insert [1]
@@ -425,6 +440,7 @@ const ANALYZE_SPEC: Spec = Spec {
         "window",
         "window-csv",
         "dot",
+        "flip",
     ],
     flags: &["json"],
 };
@@ -438,6 +454,21 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     let config = analysis_config(&args, &library)?;
     let (seeds, jobs) = seeds_and_jobs(&args, 1)?;
     let window = window_option(&args)?;
+    if let Some(spec) = args.option("flip") {
+        if seeds > 1 {
+            return Err(CliError::Usage(
+                "--flip applies to single-seed runs; drop --seeds or --flip".into(),
+            ));
+        }
+        for flag in ["vcd", "wave-csv", "window", "window-csv"] {
+            if args.option(flag).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} does not compose with the --flip fast path yet; drop one"
+                )));
+            }
+        }
+        return cmd_analyze_flip(&netlist, &path, &args, &config, spec);
+    }
     if seeds > 1 {
         return cmd_analyze_aggregate(&netlist, &path, &args, &config, seeds, jobs, window);
     }
@@ -553,6 +584,200 @@ fn write_window_csv(
         write_file(path, &probe.to_csv())?;
     }
     Ok(())
+}
+
+/// One parsed `--flip` entry: `cycle:net` (invert the baseline value) or
+/// `cycle:net=0|1` (force a value).
+struct FlipSpec {
+    cycle: u64,
+    net: glitch_core::netlist::NetId,
+    name: String,
+    value: Option<bool>,
+}
+
+/// Parses the `--flip` comma list against the netlist's primary inputs.
+fn parse_flips(spec: &str, netlist: &Netlist) -> Result<Vec<FlipSpec>, CliError> {
+    spec.split(',')
+        .map(|entry| {
+            let entry = entry.trim();
+            let (cycle_text, rest) = entry.split_once(':').ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--flip entries are cycle:net or cycle:net=0|1, got `{entry}`"
+                ))
+            })?;
+            let cycle: u64 = cycle_text.parse().map_err(|_| {
+                CliError::Usage(format!("--flip: cannot parse cycle `{cycle_text}`"))
+            })?;
+            let (name, value) = match rest.rsplit_once('=') {
+                Some((name, "0")) => (name, Some(false)),
+                Some((name, "1")) => (name, Some(true)),
+                Some((_, bad)) => {
+                    return Err(CliError::Usage(format!(
+                        "--flip: value must be 0 or 1, got `{bad}`"
+                    )));
+                }
+                None => (rest, None),
+            };
+            let net = netlist
+                .find_net(name)
+                .ok_or_else(|| run_err(format!("--flip: no net named `{name}` in the netlist")))?;
+            if !netlist.net(net).is_primary_input() {
+                return Err(CliError::Usage(format!(
+                    "--flip: net `{name}` is not a primary input"
+                )));
+            }
+            Ok(FlipSpec {
+                cycle,
+                net,
+                name: name.to_string(),
+                value,
+            })
+        })
+        .collect()
+}
+
+/// The "re-evaluated N% of cells" line every incremental fast path prints.
+fn incremental_line(stats: &IncrementalStats) -> String {
+    format!(
+        "incremental re-simulation: re-evaluated {:.1}% of cells \
+         ({} of {} cell evaluations); replayed {} of {} cycles",
+        stats.evaluated_fraction() * 100.0,
+        stats.cells_evaluated,
+        stats.baseline_cell_evals,
+        stats.replayed_cycles,
+        stats.total_cycles()
+    )
+}
+
+fn incremental_json(stats: &IncrementalStats) -> JsonObject {
+    JsonObject::new()
+        .u64("replayed_cycles", stats.replayed_cycles)
+        .u64("simulated_cycles", stats.simulated_cycles)
+        .u64("cells_evaluated", stats.cells_evaluated)
+        .u64("baseline_cell_evals", stats.baseline_cell_evals)
+        .f64("evaluated_fraction", stats.evaluated_fraction())
+}
+
+/// The `analyze --flip` fast path: record the configured run as a
+/// baseline, then incrementally re-simulate it with the listed input bits
+/// changed — bit-identical to a full rerun, at the cost of the dirty
+/// region only.
+fn cmd_analyze_flip(
+    netlist: &Netlist,
+    path: &str,
+    args: &Args,
+    config: &AnalysisConfig,
+    spec: &str,
+) -> Result<(), CliError> {
+    let flips = parse_flips(spec, netlist)?;
+    // The run length is known before simulating anything; an out-of-range
+    // flip must not cost a full baseline pass first.
+    for flip in &flips {
+        if flip.cycle >= config.cycles {
+            return Err(CliError::Usage(format!(
+                "--flip: cycle {} is beyond the {}-cycle run",
+                flip.cycle, config.cycles
+            )));
+        }
+    }
+    let json = args.flag("json");
+    let analyzer = GlitchAnalyzer::new(config.clone());
+    let (before, baseline) = analyzer
+        .analyze_baseline(netlist, &input_buses(netlist), &[])
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+
+    let mut delta = DeltaStimulus::new();
+    let mut applied: Vec<(String, u64, bool)> = Vec::new();
+    for flip in &flips {
+        let value = flip
+            .value
+            .unwrap_or(baseline.input_value(flip.cycle, flip.net) != glitch_core::sim::Value::One);
+        delta = delta.set(flip.cycle, flip.net, value);
+        applied.push((flip.name.clone(), flip.cycle, value));
+    }
+
+    let after = analyzer
+        .analyze_delta(netlist, &baseline, &delta)
+        .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?;
+    let stats = after.incremental;
+    let before_totals = before.activity.totals();
+    let after_totals = after.analysis.activity.totals();
+
+    if json {
+        let flips_json = json_array(applied.iter().map(|(name, cycle, value)| {
+            JsonObject::new()
+                .str("net", name)
+                .u64("cycle", *cycle)
+                .u64("value", u64::from(*value))
+                .render()
+        }));
+        let out = JsonObject::new()
+            .str("file", path)
+            .str("netlist", netlist.name())
+            .u64("cycles", baseline.cycle_count())
+            .raw("flips", &flips_json)
+            .raw("incremental", &incremental_json(&stats).render())
+            .raw(
+                "baseline",
+                &JsonObject::new()
+                    .raw("activity", &activity_totals_json(&before_totals).render())
+                    .raw("power", &power_report_json(&before.power).render())
+                    .render(),
+            )
+            .raw(
+                "delta",
+                &JsonObject::new()
+                    .raw("activity", &activity_totals_json(&after_totals).render())
+                    .raw("power", &power_report_json(&after.analysis.power).render())
+                    .render(),
+            )
+            .render();
+        println!("{out}");
+    } else {
+        println!("== {path}: `{}` ==", netlist.name());
+        print!("{}", netlist.stats());
+        println!();
+        println!(
+            "baseline: {} cycles recorded ({} cell evaluations)",
+            baseline.cycle_count(),
+            baseline.total_cell_evals()
+        );
+        for (name, cycle, value) in &applied {
+            println!("flip: `{name}` -> {} in cycle {cycle}", u8::from(*value));
+        }
+        println!("{}", incremental_line(&stats));
+        println!();
+        let mut table = TextTable::new(vec![
+            "run",
+            "useful",
+            "useless",
+            "glitches",
+            "L/F",
+            "total (mW)",
+        ]);
+        for (label, totals, power) in [
+            ("baseline", &before_totals, &before.power),
+            ("flipped", &after_totals, &after.analysis.power),
+        ] {
+            table.add_row(vec![
+                label.to_string(),
+                totals.useful.to_string(),
+                totals.useless.to_string(),
+                totals.glitches().to_string(),
+                format!("{:.3}", totals.useless_to_useful()),
+                format!("{:.3}", power.breakdown.total() * 1e3),
+            ]);
+        }
+        print!("{table}");
+        println!(
+            "(flipped-run figures are bit-identical to a full re-simulation \
+             of the changed stimulus)"
+        );
+    }
+    if let Some(csv_path) = args.option("csv") {
+        write_file(csv_path, &after.analysis.activity.to_csv())?;
+    }
+    maybe_dot(netlist, args)
 }
 
 /// The multi-seed `analyze` path: one session per seed fanned across the
@@ -783,8 +1008,11 @@ const SWEEP_SPEC: Spec = Spec {
         "seed",
         "seeds",
         "jobs",
+        "delay",
         "frequency-mhz",
         "tech",
+        "flip-inputs",
+        "flip-cycle",
     ],
     flags: &["json"],
 };
@@ -818,6 +1046,21 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let (netlist, path) = load(&args)?;
     let library = library_for(&args)?;
     let config = analysis_config(&args, &library)?;
+    if let Some(list) = args.option("flip-inputs") {
+        return cmd_sweep_flips(&netlist, &path, &args, &config, list);
+    }
+    if args.option("flip-cycle").is_some() {
+        return Err(CliError::Usage(
+            "--flip-cycle requires --flip-inputs <list|all>".into(),
+        ));
+    }
+    if args.option("delay").is_some() {
+        return Err(CliError::Usage(
+            "the delay-model sweep takes --delays <list>, not --delay \
+             (--delay selects the model of a --flip-inputs sweep)"
+                .into(),
+        ));
+    }
     let models = delay_sweep_models(&args, &library)?;
     let (seeds, jobs) = seeds_and_jobs(&args, models.len())?;
     let seed_list = stimulus_seeds(config.seed, seeds);
@@ -895,6 +1138,168 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
         println!(
             "(glitch counts are per-seed complete glitches; every model saw the \
              same {seeds} stimulus seed(s), so differences are purely model-induced)"
+        );
+    }
+    Ok(())
+}
+
+/// The `sweep --flip-inputs` fast path: input-flip sensitivity, one
+/// incremental re-simulation per flipped input, all sharing one recorded
+/// baseline and one fanout-cone index across `--jobs` workers.
+fn cmd_sweep_flips(
+    netlist: &Netlist,
+    path: &str,
+    args: &Args,
+    config: &AnalysisConfig,
+    list: &str,
+) -> Result<(), CliError> {
+    if args.option("seeds").is_some() || args.option("delays").is_some() {
+        return Err(CliError::Usage(
+            "--flip-inputs sweeps one stimulus; it does not combine with \
+             --seeds or --delays"
+                .into(),
+        ));
+    }
+    let cycle: u64 = args
+        .parsed_option("flip-cycle", 0)
+        .map_err(CliError::Usage)?;
+    if cycle >= config.cycles {
+        return Err(CliError::Usage(format!(
+            "--flip-cycle {cycle} is beyond the {}-cycle run",
+            config.cycles
+        )));
+    }
+    let inputs: Vec<glitch_core::netlist::NetId> = if list.trim() == "all" {
+        netlist.inputs().to_vec()
+    } else {
+        list.split(',')
+            .map(|name| {
+                let name = name.trim();
+                let net = netlist
+                    .find_net(name)
+                    .ok_or_else(|| run_err(format!("--flip-inputs: no net named `{name}`")))?;
+                if !netlist.net(net).is_primary_input() {
+                    return Err(CliError::Usage(format!(
+                        "--flip-inputs: net `{name}` is not a primary input"
+                    )));
+                }
+                Ok(net)
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if inputs.is_empty() {
+        return Err(CliError::Usage("--flip-inputs: no inputs to flip".into()));
+    }
+    if args.option("jobs").is_some() && inputs.len() == 1 {
+        return Err(CliError::Usage(
+            "--jobs has nothing to parallelise here; flip more than one input".into(),
+        ));
+    }
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let jobs: usize = args
+        .parsed_option("jobs", inputs.len().min(hardware).max(1))
+        .map_err(CliError::Usage)?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    let json = args.flag("json");
+
+    let explorer = PowerExplorer::new(GlitchAnalyzer::new(config.clone()));
+    let (baseline, points) = explorer
+        .explore_input_sensitivity(netlist, &input_buses(netlist), &[], cycle, &inputs, jobs)
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let base_totals = baseline.activity.totals();
+    // Per-flip means: every point re-runs the same baseline, so the
+    // denominators must stay at one baseline's cost, not `points` times it.
+    let flips = points.len() as u64;
+    let mean_stats = IncrementalStats {
+        replayed_cycles: points
+            .iter()
+            .map(|p| p.incremental.replayed_cycles)
+            .sum::<u64>()
+            / flips,
+        simulated_cycles: points
+            .iter()
+            .map(|p| p.incremental.simulated_cycles)
+            .sum::<u64>()
+            / flips,
+        cells_evaluated: points
+            .iter()
+            .map(|p| p.incremental.cells_evaluated)
+            .sum::<u64>()
+            / flips,
+        baseline_cell_evals: points[0].incremental.baseline_cell_evals,
+    };
+
+    if json {
+        let rows = json_array(points.iter().map(|p| {
+            JsonObject::new()
+                .str("input", &p.name)
+                .u64("flipped_to", u64::from(p.flipped_to))
+                .u64("useful", p.activity.useful)
+                .u64("useless", p.activity.useless)
+                .u64("glitches", p.activity.glitches())
+                .f64("power_total_w", p.power.total())
+                .raw("incremental", &incremental_json(&p.incremental).render())
+                .render()
+        }));
+        let out = JsonObject::new()
+            .str("file", path)
+            .str("netlist", netlist.name())
+            .u64("flip_cycle", cycle)
+            .usize("jobs", jobs)
+            .u64("cycles", config.cycles)
+            .raw(
+                "baseline",
+                &JsonObject::new()
+                    .raw("activity", &activity_totals_json(&base_totals).render())
+                    .raw("power", &power_report_json(&baseline.power).render())
+                    .render(),
+            )
+            .raw(
+                "incremental_per_flip_mean",
+                &incremental_json(&mean_stats).render(),
+            )
+            .raw("points", &rows)
+            .render();
+        println!("{out}");
+    } else {
+        println!(
+            "input-flip sensitivity sweep of `{}`: {} inputs flipped in cycle \
+             {cycle} on {jobs} jobs, one shared baseline of {} cycles",
+            netlist.name(),
+            points.len(),
+            config.cycles
+        );
+        println!("per-flip mean {}", incremental_line(&mean_stats));
+        println!();
+        let mut table = TextTable::new(vec![
+            "input",
+            "flip",
+            "useless",
+            "d useless",
+            "total (mW)",
+            "re-eval %",
+        ]);
+        for p in &points {
+            let d_useless = p.activity.useless as i64 - base_totals.useless as i64;
+            table.add_row(vec![
+                p.name.clone(),
+                format!("->{}", u8::from(p.flipped_to)),
+                p.activity.useless.to_string(),
+                format!("{d_useless:+}"),
+                format!("{:.3}", p.power.total() * 1e3),
+                format!("{:.1}", p.incremental.evaluated_fraction() * 100.0),
+            ]);
+        }
+        print!("{table}");
+        println!(
+            "(each row is bit-identical to a full re-simulation with that \
+             bit flipped; `d useless` is the glitch-transition change vs \
+             the baseline's {})",
+            base_totals.useless
         );
     }
     Ok(())

@@ -453,6 +453,166 @@ fn multi_seed_power_reports_the_spread() {
 }
 
 #[test]
+fn analyze_flip_runs_the_incremental_fast_path() {
+    let output = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "200",
+        "--flip",
+        "50:a1,120:b2=1",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(
+        text.contains("incremental re-simulation: re-evaluated"),
+        "{text}"
+    );
+    assert!(text.contains("% of cells"), "{text}");
+    assert!(text.contains("replayed"), "{text}");
+    assert!(text.contains("baseline"), "{text}");
+    assert!(text.contains("flipped"), "{text}");
+    // A sparse flip must replay the overwhelming majority of the run.
+    let replayed: u64 = text
+        .split("replayed ")
+        .nth(1)
+        .and_then(|t| t.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("replayed count in output");
+    assert!(replayed >= 190, "expected >=190 replayed cycles: {text}");
+
+    let json_run = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "150",
+        "--flip",
+        "30:cin",
+        "--json",
+    ]);
+    assert!(json_run.status.success(), "{}", stderr(&json_run));
+    let json = stdout(&json_run);
+    assert!(
+        json.contains("\"flips\":[{\"net\":\"cin\",\"cycle\":30"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"incremental\":{\"replayed_cycles\":"),
+        "{json}"
+    );
+    assert!(json.contains("\"baseline\":{\"activity\""), "{json}");
+    assert!(json.contains("\"delta\":{\"activity\""), "{json}");
+}
+
+#[test]
+fn analyze_flip_rejects_bad_specs() {
+    let bad_net = run(&["analyze", &data("rca4.blif"), "--flip", "10:nope"]);
+    assert!(!bad_net.status.success());
+    assert!(stderr(&bad_net).contains("no net named `nope`"));
+
+    let not_input = run(&["analyze", &data("rca4.blif"), "--flip", "10:s0"]);
+    assert_eq!(not_input.status.code(), Some(2));
+    assert!(stderr(&not_input).contains("not a primary input"));
+
+    let bad_cycle = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "50",
+        "--flip",
+        "50:a1",
+    ]);
+    assert_eq!(bad_cycle.status.code(), Some(2));
+    assert!(stderr(&bad_cycle).contains("beyond the 50-cycle run"));
+
+    let with_seeds = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--flip",
+        "1:a1",
+        "--seeds",
+        "2",
+    ]);
+    assert_eq!(with_seeds.status.code(), Some(2));
+    assert!(stderr(&with_seeds).contains("--flip applies to single-seed runs"));
+}
+
+#[test]
+fn sweep_flip_inputs_reports_sensitivity_per_input() {
+    let output = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "150",
+        "--flip-inputs",
+        "all",
+        "--flip-cycle",
+        "40",
+        "--jobs",
+        "2",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("input-flip sensitivity sweep"), "{text}");
+    assert!(
+        text.contains("incremental re-simulation: re-evaluated"),
+        "{text}"
+    );
+    assert!(text.contains("one shared baseline"), "{text}");
+    // One row per primary input of rca4.
+    for input in ["a0", "b3", "cin"] {
+        assert!(text.contains(input), "missing row for {input}: {text}");
+    }
+
+    // Worker count must not change the rows.
+    let serial = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "150",
+        "--flip-inputs",
+        "all",
+        "--flip-cycle",
+        "40",
+        "--jobs",
+        "1",
+        "--json",
+    ]);
+    let parallel = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "150",
+        "--flip-inputs",
+        "all",
+        "--flip-cycle",
+        "40",
+        "--jobs",
+        "3",
+        "--json",
+    ]);
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(
+        stdout(&serial).replace("\"jobs\":1,", "\"jobs\":-,"),
+        stdout(&parallel).replace("\"jobs\":3,", "\"jobs\":-,")
+    );
+    let json = stdout(&parallel);
+    assert!(json.contains("\"points\":[{\"input\":\"a0\""), "{json}");
+    assert!(json.contains("\"evaluated_fraction\":"), "{json}");
+
+    let with_delays = run(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--flip-inputs",
+        "all",
+        "--delays",
+        "unit,zero",
+    ]);
+    assert_eq!(with_delays.status.code(), Some(2));
+    assert!(stderr(&with_delays).contains("does not combine"));
+}
+
+#[test]
 fn per_seed_artefact_flags_reject_multi_seed_runs() {
     let output = run(&[
         "analyze",

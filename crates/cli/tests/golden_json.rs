@@ -1,0 +1,143 @@
+//! Golden-file tests for the machine-readable CLI outputs: the exact
+//! `--json` bytes of `sweep` and `analyze --window` are pinned under
+//! `tests/golden/`, so neither the JSON schema nor the deterministic
+//! seeded numbers can drift silently.
+//!
+//! The simulations are fully deterministic (fixed seeds, IEEE-754
+//! arithmetic, round-tripping float formatting), so byte-for-byte
+//! comparison is stable across runs and platforms.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p glitch-cli --test golden_json
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn data(file: &str) -> String {
+    format!("{}/../../tests/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(format!(
+        "{}/tests/golden/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+fn run_stdout(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_glitch-cli"))
+        .args(args)
+        .output()
+        .expect("the binary must spawn");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("JSON output is UTF-8")
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn sweep_json_matches_golden() {
+    let out = run_stdout(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--seeds",
+        "2",
+        "--jobs",
+        "1",
+        "--delays",
+        "unit,zero,adder",
+        "--json",
+    ]);
+    assert_matches_golden("sweep_rca4.json", &out);
+}
+
+#[test]
+fn sweep_flip_inputs_json_matches_golden() {
+    let out = run_stdout(&[
+        "sweep",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--flip-inputs",
+        "all",
+        "--flip-cycle",
+        "60",
+        "--jobs",
+        "1",
+        "--json",
+    ]);
+    assert_matches_golden("sweep_flips_rca4.json", &out);
+}
+
+#[test]
+fn analyze_window_json_matches_golden() {
+    let out = run_stdout(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "120",
+        "--window",
+        "30",
+        "--json",
+    ]);
+    assert_matches_golden("analyze_window_counter4.json", &out);
+}
+
+#[test]
+fn analyze_multi_seed_window_json_matches_golden() {
+    let out = run_stdout(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "100",
+        "--seeds",
+        "3",
+        "--jobs",
+        "1",
+        "--window",
+        "25",
+        "--json",
+    ]);
+    assert_matches_golden("analyze_seeds_window_counter4.json", &out);
+}
+
+#[test]
+fn analyze_flip_json_matches_golden() {
+    let out = run_stdout(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--flip",
+        "40:a1,90:cin=1",
+        "--json",
+    ]);
+    assert_matches_golden("analyze_flip_rca4.json", &out);
+}

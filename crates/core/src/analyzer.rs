@@ -2,11 +2,12 @@
 //! classify → power.
 
 use glitch_activity::{ActivityReport, ActivityTrace};
-use glitch_netlist::{Bus, NetId, Netlist};
+use glitch_netlist::{Bus, ConeIndex, NetId, Netlist};
 use glitch_power::{PowerReport, Technology};
 use glitch_sim::{
-    ActivityProbe, AggregateReport, DelayKind, DelayModel, ParallelRunner, PowerProbe, Probe,
-    RandomStimulus, SessionReport, SimError, SimJob, SimSession, Spread,
+    ActivityProbe, AggregateReport, DelayKind, DelayModel, DeltaStimulus, IncrementalSession,
+    IncrementalStats, ParallelRunner, PowerProbe, Probe, RandomStimulus, SessionReport,
+    SimBaseline, SimError, SimJob, SimSession, Spread,
 };
 
 /// Configuration of a [`GlitchAnalyzer`].
@@ -128,6 +129,18 @@ impl AggregateAnalysis {
     pub fn lf_ratio_spread(&self) -> Spread {
         self.aggregate.spread_of(|s| s.activity.useless_to_useful())
     }
+}
+
+/// Result of one incremental delta re-analysis
+/// ([`GlitchAnalyzer::analyze_delta`]): the same figures a full
+/// [`Analysis`] carries — bit-identical to a full re-simulation of the
+/// merged stimulus — plus the incremental work accounting.
+#[derive(Debug, Clone)]
+pub struct DeltaAnalysis {
+    /// Activity, power and trace of the delta run.
+    pub analysis: Analysis,
+    /// How much of the baseline's work the delta run actually redid.
+    pub incremental: IncrementalStats,
 }
 
 /// One point of a delay-model sweep: the delay kind under test and the
@@ -277,6 +290,96 @@ impl GlitchAnalyzer {
             .delay_model(delay)
             .run()?;
         Ok(Self::analysis(netlist, report))
+    }
+
+    /// Like [`GlitchAnalyzer::analyze`], but additionally records a
+    /// replayable [`SimBaseline`] of the run — the anchor for
+    /// [`GlitchAnalyzer::analyze_delta`] / [`GlitchAnalyzer::analyze_deltas`]
+    /// re-analyses of *nearby* stimuli (a few changed input bits).
+    ///
+    /// # Errors
+    ///
+    /// As for [`GlitchAnalyzer::analyze`].
+    pub fn analyze_baseline(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+    ) -> Result<(Analysis, SimBaseline), SimError> {
+        let (report, baseline) = self
+            .session(netlist, random_buses, held)
+            .record_baseline()?;
+        Ok((Self::analysis(netlist, report), baseline))
+    }
+
+    /// Re-analyses the baseline under a [`DeltaStimulus`] incrementally:
+    /// cycles untouched by the delta replay from the baseline, dirty
+    /// fanout cones re-simulate. The returned figures are bit-identical to
+    /// a full [`GlitchAnalyzer::analyze`]-style run of the merged stimulus
+    /// (pinned by the differential oracle in `glitch-sim`); the delay
+    /// model and simulator options come from the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for deltas beyond the baseline, overrides of
+    /// non-input nets, or any simulation failure in a dirty cycle.
+    pub fn analyze_delta(
+        &self,
+        netlist: &Netlist,
+        baseline: &SimBaseline,
+        delta: &DeltaStimulus,
+    ) -> Result<DeltaAnalysis, SimError> {
+        self.analyze_delta_with_index(netlist, baseline, delta, None)
+    }
+
+    fn analyze_delta_with_index(
+        &self,
+        netlist: &Netlist,
+        baseline: &SimBaseline,
+        delta: &DeltaStimulus,
+        index: Option<&ConeIndex>,
+    ) -> Result<DeltaAnalysis, SimError> {
+        let mut session = IncrementalSession::new(netlist, baseline)
+            .probe(ActivityProbe::new())
+            .probe(PowerProbe::new(
+                self.config.technology,
+                self.config.frequency,
+            ))
+            .delta(delta.clone());
+        if let Some(index) = index {
+            session = session.cone_index(index);
+        }
+        let report = session.run().map_err(SimError::from)?;
+        let incremental = report.stats();
+        Ok(DeltaAnalysis {
+            analysis: Self::analysis(netlist, report.into_session()),
+            incremental,
+        })
+    }
+
+    /// Re-analyses many *nearby* deltas against one shared baseline,
+    /// fanned across `jobs` worker threads. The fanout/level cone index is
+    /// built once and shared by every job, and results come back in delta
+    /// order — bit-identical at any worker count, in the
+    /// [`GlitchAnalyzer::analyze_seeds`] tradition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing delta's [`SimError`] in delta order.
+    pub fn analyze_deltas(
+        &self,
+        netlist: &Netlist,
+        baseline: &SimBaseline,
+        deltas: &[DeltaStimulus],
+        jobs: usize,
+    ) -> Result<Vec<DeltaAnalysis>, SimError> {
+        let index = ConeIndex::build(netlist).map_err(SimError::from)?;
+        ParallelRunner::new(jobs)
+            .map(deltas.iter().collect(), |_, delta: &DeltaStimulus| {
+                self.analyze_delta_with_index(netlist, baseline, delta, Some(&index))
+            })
+            .into_iter()
+            .collect()
     }
 
     /// One shard job per seed, configured like [`GlitchAnalyzer::session`].
@@ -580,6 +683,101 @@ mod tests {
             points[1].analysis.activity.totals().useful
         );
         assert_eq!(points[0].analysis.total_cycles(), 3 * 60);
+    }
+
+    #[test]
+    fn empty_delta_replays_the_baseline_bit_for_bit() {
+        let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 120,
+            ..Default::default()
+        });
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let (analysis, baseline) = analyzer
+            .analyze_baseline(&adder.netlist, &buses, &held)
+            .unwrap();
+        assert_eq!(baseline.cycle_count(), 120);
+        assert!(baseline.total_cell_evals() > 0);
+
+        let replay = analyzer
+            .analyze_delta(&adder.netlist, &baseline, &DeltaStimulus::new())
+            .unwrap();
+        assert_eq!(replay.incremental.replayed_cycles, 120);
+        assert_eq!(replay.incremental.cells_evaluated, 0);
+        assert_eq!(replay.analysis.trace, analysis.trace);
+        assert_eq!(replay.analysis.power, analysis.power);
+    }
+
+    #[test]
+    fn delta_analysis_matches_a_full_rerun_and_parallel_deltas_are_deterministic() {
+        let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+        let analyzer = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 100,
+            ..Default::default()
+        });
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let (_, baseline) = analyzer
+            .analyze_baseline(&adder.netlist, &buses, &held)
+            .unwrap();
+
+        let flip_net = adder.a.bit(3);
+        let flip_to = baseline.input_value(40, flip_net) != glitch_sim::Value::One;
+        let delta = DeltaStimulus::new().set(40, flip_net, flip_to);
+
+        // Full reference: simulate the merged stimulus from scratch.
+        let merged: Vec<glitch_sim::InputAssignment> = (0..baseline.cycle_count())
+            .map(|c| delta.apply_to(c, baseline.assignment(c)))
+            .collect();
+        let full_report = SimSession::new(&adder.netlist)
+            .delay(analyzer.config().delay.clone())
+            .stimulus(merged)
+            .probe(ActivityProbe::new())
+            .probe(PowerProbe::new(
+                analyzer.config().technology,
+                analyzer.config().frequency,
+            ))
+            .run()
+            .unwrap();
+        let full = GlitchAnalyzer::analysis(&adder.netlist, full_report);
+
+        let incremental = analyzer
+            .analyze_delta(&adder.netlist, &baseline, &delta)
+            .unwrap();
+        assert_eq!(incremental.analysis.trace, full.trace);
+        assert_eq!(incremental.analysis.power, full.power);
+        assert!(incremental.incremental.replayed_cycles >= 90);
+        assert!(incremental.incremental.evaluated_fraction() < 0.5);
+
+        // Fanning nearby deltas across workers is deterministic and equals
+        // the one-by-one runs.
+        let deltas: Vec<DeltaStimulus> = (0..4)
+            .map(|bit| {
+                let net = adder.a.bit(bit);
+                let to = baseline.input_value(20, net) != glitch_sim::Value::One;
+                DeltaStimulus::new().set(20, net, to)
+            })
+            .collect();
+        let parallel = analyzer
+            .analyze_deltas(&adder.netlist, &baseline, &deltas, 4)
+            .unwrap();
+        let serial = analyzer
+            .analyze_deltas(&adder.netlist, &baseline, &deltas, 1)
+            .unwrap();
+        assert_eq!(parallel.len(), 4);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.analysis.trace, s.analysis.trace);
+            assert_eq!(p.analysis.power, s.analysis.power);
+            assert_eq!(p.incremental, s.incremental);
+        }
+        for (p, delta) in parallel.iter().zip(&deltas) {
+            let single = analyzer
+                .analyze_delta(&adder.netlist, &baseline, delta)
+                .unwrap();
+            assert_eq!(p.analysis.trace, single.analysis.trace);
+            assert_eq!(p.incremental, single.incremental);
+        }
     }
 
     #[test]

@@ -42,14 +42,23 @@ mod analyzer;
 mod explore;
 mod table;
 
-pub use analyzer::{AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, GlitchAnalyzer};
-pub use explore::{ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer};
+pub use analyzer::{
+    AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, DeltaAnalysis, GlitchAnalyzer,
+};
+pub use explore::{
+    ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer, SensitivityPoint,
+};
 pub use table::TextTable;
 
 /// The sharded parallel executor, re-exported from `glitch-sim`: fan
 /// multi-seed / multi-circuit jobs across worker threads with a
 /// deterministic reduction.
 pub use glitch_sim::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
+
+/// The incremental re-simulation layer, re-exported from `glitch-sim`:
+/// record a replayable baseline once, then re-simulate nearby stimuli by
+/// replaying unchanged cycles and re-evaluating only dirty fanout cones.
+pub use glitch_sim::{DeltaStimulus, IncrementalSession, IncrementalStats, SimBaseline};
 
 /// The delay-model selector, re-exported from `glitch-sim` (which absorbed
 /// the old `glitch_core::DelayConfig`).

@@ -36,6 +36,7 @@
 //! ```
 
 mod cell;
+mod cone;
 mod dot;
 mod error;
 mod level;
@@ -45,6 +46,7 @@ mod stats;
 mod validate;
 
 pub use cell::{Cell, CellId, CellKind, DffInit, EvalError};
+pub use cone::{ConeIndex, FanoutCone};
 pub use dot::DotOptions;
 pub use error::NetlistError;
 pub use level::{CellLevels, Levelization};

@@ -99,6 +99,9 @@ pub struct CycleStats {
     pub settle_time: u64,
     /// Number of events processed during the cycle.
     pub events: u64,
+    /// Number of combinational cell evaluations the cycle performed — the
+    /// work metric incremental re-simulation reports its savings against.
+    pub cell_evals: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -334,6 +337,7 @@ impl<'a> ClockedSimulator<'a> {
         let mut settle_time = 0u64;
         let mut events_processed = 0u64;
         let mut transitions = 0u64;
+        let mut cell_evals = 0u64;
         let mut changed_nets: Vec<NetId> = Vec::new();
         // Nets that changed during the current time step, with the value
         // they held when the step began: a net transitions at most once per
@@ -390,6 +394,7 @@ impl<'a> ClockedSimulator<'a> {
                 let affected = std::mem::take(&mut self.scratch_cells);
                 let mut eval_failure = None;
                 for &cell_id in &affected {
+                    cell_evals += 1;
                     if let Err(error) = self.evaluate_and_schedule(cell_id, time) {
                         eval_failure = Some(error);
                         break;
@@ -445,12 +450,70 @@ impl<'a> ClockedSimulator<'a> {
             transitions,
             settle_time,
             events: events_processed,
+            cell_evals,
         };
         for probe in &mut self.probes {
             probe.on_cycle_end(self.cycles, &stats);
         }
         self.cycles += 1;
         Ok(stats)
+    }
+
+    /// Replays one recorded clock cycle without touching the event queue:
+    /// the attached probes see exactly the hook sequence a live [`step`]
+    /// over the same cycle would have produced (`on_cycle_start`, one
+    /// `on_transition` per recorded transition in recorded order,
+    /// `on_cycle_end` with the recorded statistics), net values and the
+    /// pending table are advanced to the recorded post-cycle state, and the
+    /// flipflops resample their D inputs.
+    ///
+    /// This is the fast path of incremental re-simulation
+    /// ([`crate::IncrementalSession`]): a cycle proven identical to a
+    /// baseline run is replayed in `O(transitions)` instead of re-settling
+    /// the event queue. Correctness rests on the caller's guarantee that
+    /// the simulator state at entry equals the baseline state at the same
+    /// cycle boundary.
+    ///
+    /// [`step`]: ClockedSimulator::step
+    pub(crate) fn replay_cycle(&mut self, transitions: &[Transition], stats: &CycleStats) {
+        for probe in &mut self.probes {
+            probe.on_cycle_start(self.cycles);
+        }
+        for recorded in transitions {
+            let idx = recorded.net.index();
+            self.values[idx] = recorded.value;
+            // A settled cycle leaves `pending == values` on every net (a
+            // net's events pop in schedule order because it has a single
+            // driver), so replay maintains the invariant the next live
+            // `step` relies on for its schedule filtering.
+            self.pending[idx] = recorded.value;
+            let event = Transition {
+                net: recorded.net,
+                cycle: self.cycles,
+                time: recorded.time,
+                value: recorded.value,
+                kind: recorded.kind,
+            };
+            for probe in &mut self.probes {
+                probe.on_transition(&event);
+            }
+        }
+        let sampled: Vec<Value> = self
+            .dffs
+            .iter()
+            .map(|ff| self.values[ff.d.index()])
+            .collect();
+        self.dff_state = sampled;
+        for probe in &mut self.probes {
+            probe.on_cycle_end(self.cycles, stats);
+        }
+        self.cycles += 1;
+    }
+
+    /// The sampled flipflop states that will drive the Q outputs at the
+    /// start of the next cycle, in [`Netlist::dff_cells`] order.
+    pub(crate) fn dff_state(&self) -> &[Value] {
+        &self.dff_state
     }
 
     fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) -> Result<(), SimError> {

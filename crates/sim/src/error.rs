@@ -35,6 +35,15 @@ pub enum SimError {
         /// Why the evaluation was rejected.
         error: EvalError,
     },
+    /// A delta stimulus referenced a cycle beyond the recorded baseline —
+    /// incremental re-simulation can only perturb cycles the baseline
+    /// actually ran.
+    DeltaOutOfRange {
+        /// The out-of-range cycle the delta referenced.
+        cycle: u64,
+        /// Number of cycles the baseline recorded.
+        baseline_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +67,16 @@ impl fmt::Display for SimError {
             }
             SimError::CellEval { cell, error } => {
                 write!(f, "cell `{cell}` cannot be evaluated: {error}")
+            }
+            SimError::DeltaOutOfRange {
+                cycle,
+                baseline_cycles,
+            } => {
+                write!(
+                    f,
+                    "delta stimulus targets cycle {cycle} but the baseline \
+                     recorded only {baseline_cycles} cycles"
+                )
             }
         }
     }

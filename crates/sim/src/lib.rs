@@ -38,6 +38,13 @@
 //! probes in job order), so a parallel run is bit-identical to the serial
 //! fold of its shards — only faster.
 //!
+//! For re-running *near-identical* stimuli (a few input bits changed) there
+//! is an incremental layer: [`SimSession::record_baseline`] captures a
+//! replayable [`SimBaseline`], and [`IncrementalSession`] re-simulates a
+//! [`DeltaStimulus`] against it by replaying unchanged cycles and
+//! event-evaluating only dirty fanout cones — bit-identical to a full run
+//! of the merged stimulus for every probe.
+//!
 //! ## Example
 //!
 //! ```
@@ -73,6 +80,7 @@ mod clocked;
 mod delay;
 mod engine;
 mod error;
+mod incremental;
 mod parallel;
 mod probe;
 mod session;
@@ -84,6 +92,9 @@ mod window;
 pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
 pub use delay::{CellDelay, DelayKind, DelayModel, UnitDelay, ZeroDelay};
 pub use error::SimError;
+pub use incremental::{
+    DeltaStimulus, IncrementalReport, IncrementalSession, IncrementalStats, SimBaseline,
+};
 pub use parallel::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
 pub use probe::{
     ActivityProbe, MergeableProbe, PowerProbe, Probe, StatsProbe, Transition, TransitionKind,

@@ -23,8 +23,13 @@
 //! Determinism is the load-bearing property: every shard is seeded, the
 //! fold happens in job order, and merging integer counters is exact — so a
 //! parallel run's aggregate is **bit-identical** to the serial fold of the
-//! same jobs run one by one (covered by `tests/parallel.rs`). Worker count
-//! only affects wall-clock time, never results.
+//! same jobs run one by one. Worker count only affects wall-clock time,
+//! never results. This holds for every [`MergeableProbe`] the reduction
+//! folds — activity, power, stats and windowed heatmaps alike — and each
+//! of the four standard probes is individually pinned against its serial
+//! fold by `tests/parallel.rs` (it is a property of the job-order fold,
+//! not something a probe gets for free: a probe whose `merge` depended on
+//! arrival order would silently break it).
 //!
 //! Threading uses `std::thread::scope` only — no external thread-pool
 //! dependency — so jobs may borrow their netlists from the caller's stack.

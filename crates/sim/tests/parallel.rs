@@ -192,6 +192,45 @@ fn extra_probe_factory_yields_mergeable_window_heatmaps() {
 }
 
 #[test]
+fn stats_probe_shard_merge_is_deterministic_across_worker_counts() {
+    // The runner docs promise job-order determinism for *all* mergeable
+    // probes; activity and power are pinned above, this pins StatsProbe:
+    // the fold of the per-shard statistics must be bit-identical at any
+    // worker count, and equal to an independent serial fold.
+    let (nl, buses) = glitchy_netlist();
+    let seeds = RandomStimulus::shard_seeds(0x57A7, 5);
+    let job_list = jobs(&nl, &buses, &seeds);
+
+    let mut serial_fold = StatsProbe::new();
+    for &seed in &seeds {
+        let mut report = SimSession::new(&nl)
+            .delay(DelayKind::Unit)
+            .stimulus(RandomStimulus::new(buses.clone(), 120, seed))
+            .probe(StatsProbe::new())
+            .run()
+            .expect("settles");
+        serial_fold.merge(report.take_probe::<StatsProbe>().unwrap());
+    }
+
+    for workers in [1, 2, 4, 8] {
+        let mut reports = ParallelRunner::new(workers)
+            .run_sessions(&job_list)
+            .expect("settles");
+        let mut folded = StatsProbe::new();
+        for report in &mut reports {
+            folded.merge(report.take_probe::<StatsProbe>().unwrap());
+        }
+        assert_eq!(
+            folded, serial_fold,
+            "{workers} workers must fold stats bit-identically"
+        );
+    }
+    assert_eq!(serial_fold.cycles(), 5 * 120);
+    assert!(serial_fold.events() > 0);
+    assert!(serial_fold.max_settle_time() > 0);
+}
+
+#[test]
 fn first_failing_job_error_is_deterministic() {
     let (nl, buses) = glitchy_netlist();
     let tight = glitch_sim::SimOptions {

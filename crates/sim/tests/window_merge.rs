@@ -1,0 +1,118 @@
+//! Algebraic properties of [`WindowedActivityProbe::merge`], mirroring the
+//! `ActivityTrace::merge` associativity/commutativity/identity suite: the
+//! windowed heatmap is one of the probes the parallel shard fold reduces,
+//! so the fold must be independent of the reduction tree's shape.
+
+use glitch_netlist::Netlist;
+use glitch_sim::{InputAssignment, MergeableProbe, SimSession, WindowedActivityProbe};
+use proptest::prelude::*;
+
+const WINDOW: u64 = 3;
+
+/// Runs a two-net inverter circuit for `rows.len()` cycles — each row's
+/// low bit drives the input — and returns the finished windowed probe.
+/// Going through a real session keeps the probes *finished* (merge is
+/// defined on finished probes).
+fn probe_from_rows(rows: &[u64]) -> WindowedActivityProbe {
+    let mut nl = Netlist::new("window merge");
+    let a = nl.add_input("a");
+    let y = nl.inv(a, "y");
+    nl.mark_output(y);
+    let stimulus: Vec<InputAssignment> = rows
+        .iter()
+        .map(|&row| InputAssignment::new().with(a, row & 1 == 1))
+        .collect();
+    let mut report = SimSession::new(&nl)
+        .probe(WindowedActivityProbe::new(WINDOW))
+        .stimulus(stimulus)
+        .run()
+        .expect("settles");
+    report
+        .take_probe::<WindowedActivityProbe>()
+        .expect("attached above")
+}
+
+fn merged(mut left: WindowedActivityProbe, right: WindowedActivityProbe) -> WindowedActivityProbe {
+    left.merge(right);
+    left
+}
+
+fn windows_of(probe: &WindowedActivityProbe) -> Vec<glitch_sim::ActivityWindow> {
+    probe.windows().to_vec()
+}
+
+proptest! {
+    /// `merge` is associative and commutative on probes of aligned window
+    /// size, with the freshly-constructed probe as identity — the algebra
+    /// the deterministic parallel fold relies on.
+    #[test]
+    fn merge_is_associative_commutative_with_identity(
+        a_rows in proptest::collection::vec(0u64..2, 0..20),
+        b_rows in proptest::collection::vec(0u64..2, 0..20),
+        c_rows in proptest::collection::vec(0u64..2, 0..20),
+    ) {
+        let (a, b, c) = (
+            probe_from_rows(&a_rows),
+            probe_from_rows(&b_rows),
+            probe_from_rows(&c_rows),
+        );
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let left = merged(merged(a.clone(), b.clone()), c.clone());
+        let right = merged(a.clone(), merged(b.clone(), c.clone()));
+        prop_assert_eq!(windows_of(&left), windows_of(&right));
+
+        // Commutativity: a ⊕ b == b ⊕ a (shorter runs align window-wise
+        // with longer ones because every shard starts at cycle 0).
+        prop_assert_eq!(
+            windows_of(&merged(a.clone(), b.clone())),
+            windows_of(&merged(b.clone(), a.clone()))
+        );
+
+        // Identity: a probe that never ran merges as a neutral element,
+        // on both sides.
+        prop_assert_eq!(
+            windows_of(&merged(a.clone(), WindowedActivityProbe::new(WINDOW))),
+            windows_of(&a)
+        );
+        prop_assert_eq!(
+            windows_of(&merged(WindowedActivityProbe::new(WINDOW), a.clone())),
+            windows_of(&a)
+        );
+    }
+
+    /// Merged window totals are the element-wise sums of the inputs, and
+    /// the merged cycle coverage is the sum of the runs' cycle counts.
+    #[test]
+    fn merge_sums_aligned_windows(
+        a_rows in proptest::collection::vec(0u64..2, 1..20),
+        b_rows in proptest::collection::vec(0u64..2, 1..20),
+    ) {
+        let (a, b) = (probe_from_rows(&a_rows), probe_from_rows(&b_rows));
+        let both = merged(a.clone(), b.clone());
+        let total = |p: &WindowedActivityProbe| -> (u64, u64, u64, u64) {
+            p.windows().iter().fold((0, 0, 0, 0), |acc, w| {
+                (
+                    acc.0 + w.cycles,
+                    acc.1 + w.transitions,
+                    acc.2 + w.useful,
+                    acc.3 + w.useless,
+                )
+            })
+        };
+        let (ac, at, auf, aul) = total(&a);
+        let (bc, bt, buf, bul) = total(&b);
+        let (mc, mt, muf, mul) = total(&both);
+        prop_assert_eq!(mc, ac + bc);
+        prop_assert_eq!(mt, at + bt);
+        prop_assert_eq!(muf, auf + buf);
+        prop_assert_eq!(mul, aul + bul);
+        prop_assert_eq!(
+            both.windows().len(),
+            a.windows().len().max(b.windows().len())
+        );
+        for window in both.windows() {
+            prop_assert_eq!(window.useful + window.useless, window.transitions);
+        }
+    }
+}
