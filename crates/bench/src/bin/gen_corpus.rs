@@ -1,0 +1,18 @@
+//! Regenerates the generated part of the BLIF corpus under `tests/data/`.
+//!
+//! Hand-written fixtures (counter4, xinit_ok, xinit_bug, …) are authored
+//! directly; the arithmetic circuits are emitted from the generators in
+//! `glitch-arith` so they stay in sync with the cell library. Run from
+//! the workspace root:
+//!
+//! ```text
+//! cargo run -p glitch-bench --bin gen_corpus > tests/data/mult4.blif
+//! ```
+
+use glitch_core::arith::{AdderStyle, ArrayMultiplier};
+use glitch_io::emit_blif;
+
+fn main() {
+    let mult = ArrayMultiplier::new(4, AdderStyle::CompoundCell);
+    print!("{}", emit_blif(&mult.netlist));
+}

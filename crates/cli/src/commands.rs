@@ -1,4 +1,5 @@
-//! The subcommands: parse, stats, analyze, simulate, power, sweep, retime.
+//! The subcommands: parse, stats, analyze, simulate, power, sweep, check,
+//! retime.
 
 use std::fmt;
 use std::fs;
@@ -12,6 +13,8 @@ use glitch_core::sim::{
     MergeableProbe, Probe, RandomStimulus, SessionReport, SimSession, UnitDelay, VcdProbe,
     WaveCsvProbe, WindowedActivityProbe,
 };
+use glitch_core::sim::{SimBaseline, SimOptions};
+use glitch_core::verify::{BudgetSpec, CheckSuite, CycleFilter, Verdict, VerifyReport, Violation};
 use glitch_core::{
     AggregateAnalysis, Analysis, AnalysisConfig, DelayKind, DeltaStimulus, GlitchAnalyzer,
     IncrementalStats, PowerExplorer, Spread, TextTable,
@@ -61,6 +64,14 @@ commands:
                                    dirty fanout cones re-evaluate; clean
                                    cycles replay from the baseline, with
                                    results bit-identical to a full rerun
+              --baseline <file>    with --flip: persist the recorded
+                                   baseline to <file> on first use and
+                                   load it (skipping the re-recording
+                                   pass) on later runs. The file is
+                                   validated against the netlist (incl.
+                                   a structural fingerprint), cycle
+                                   count, delay model, simulator options
+                                   and the regenerated seeded stimulus
             (every artefact is recorded by a probe on the same single
             simulation session — no re-simulation per output; with
             --seeds > 1, one session per seed fanned across --jobs
@@ -83,6 +94,33 @@ commands:
               --flip-inputs <list> comma list of input net names, or `all`
               --flip-cycle <k>     cycle to flip each input in [0]
               --delay/--cycles/--seed/--jobs/--json as above
+  check     three-valued (0/1/X) verification: simulate the configured
+            stimulus with assertion checkers attached and report a
+            pass/fail verdict with located violations. The X-propagation
+            checker is always on; add the rest as needed
+              --x-init             flipflops without a netlist init value
+                                   power on X and cells evaluate through
+                                   three-valued tables (AND(0,X)=0, ...),
+                                   so uninitialised-state reachability is
+                                   simulated, not assumed
+              --hazards            classify static-0/static-1/dynamic
+                                   hazards per net per cycle
+              --budget <list>      settle-time budgets, comma list of
+                                   net=UNITS | outputs=UNITS | *=UNITS or
+                                   *=cycle (the combinational depth)
+              --budgets <file>     budgets from a file (one `net = units`
+                                   line each, # comments); --budget
+                                   entries override it
+              --stable <list>      nets that must never switch: net or
+                                   net@from..to (inclusive cycle range)
+              --seeds/--jobs       multi-seed parallel checking; verdicts
+                                   are bit-identical at any --jobs count
+              --flip <list>        re-check with flipped input bits via
+                                   the incremental fast path (verdicts
+                                   bit-identical to a full re-run)
+              --strict             exit with an error when the verdict
+                                   is FAIL
+              --cycles/--seed/--delay/--tech/--json as above
   retime    cutset pipelining of a combinational circuit, with a
             before/after activity and power comparison
               --ranks <n>          register ranks to insert [1]
@@ -133,6 +171,7 @@ pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
         "simulate" => cmd_simulate(rest),
         "power" => cmd_power(rest),
         "sweep" => cmd_sweep(rest),
+        "check" => cmd_check(rest),
         "retime" => cmd_retime(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -224,6 +263,7 @@ fn analysis_config(args: &Args, library: &GateLibrary) -> Result<AnalysisConfig,
         frequency: frequency_mhz * 1e6,
         technology: *library.technology(),
         delay: delay_config(args, library)?,
+        options: defaults.options,
     })
 }
 
@@ -441,6 +481,7 @@ const ANALYZE_SPEC: Spec = Spec {
         "window-csv",
         "dot",
         "flip",
+        "baseline",
     ],
     flags: &["json"],
 };
@@ -468,6 +509,11 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
             }
         }
         return cmd_analyze_flip(&netlist, &path, &args, &config, spec);
+    }
+    if args.option("baseline").is_some() {
+        return Err(CliError::Usage(
+            "--baseline persists the --flip fast path's baseline; add --flip <list>".into(),
+        ));
     }
     if seeds > 1 {
         return cmd_analyze_aggregate(&netlist, &path, &args, &config, seeds, jobs, window);
@@ -636,6 +682,35 @@ fn parse_flips(spec: &str, netlist: &Netlist) -> Result<Vec<FlipSpec>, CliError>
         .collect()
 }
 
+/// One applied flip: `(net name, cycle, driven value)`.
+type AppliedFlip = (String, u64, bool);
+
+/// Applies a parsed `--flip` list against a recorded baseline: entries
+/// without an explicit value invert the baseline's, and duplicate
+/// `cycle:net` pairs are rejected with their location (the
+/// [`DeltaStimulus::try_set`] construction contract).
+fn flips_to_delta(
+    flips: &[FlipSpec],
+    baseline: &SimBaseline,
+) -> Result<(DeltaStimulus, Vec<AppliedFlip>), CliError> {
+    let mut delta = DeltaStimulus::new();
+    let mut applied: Vec<AppliedFlip> = Vec::new();
+    for flip in flips {
+        let value = flip
+            .value
+            .unwrap_or(baseline.input_value(flip.cycle, flip.net) != glitch_core::sim::Value::One);
+        delta = delta.try_set(flip.cycle, flip.net, value).map_err(|_| {
+            CliError::Usage(format!(
+                "--flip: duplicate override for `{}` in cycle {} \
+                 (each cycle:net pair may appear once)",
+                flip.name, flip.cycle
+            ))
+        })?;
+        applied.push((flip.name.clone(), flip.cycle, value));
+    }
+    Ok((delta, applied))
+}
+
 /// The "re-evaluated N% of cells" line every incremental fast path prints.
 fn incremental_line(stats: &IncrementalStats) -> String {
     format!(
@@ -656,6 +731,94 @@ fn incremental_json(stats: &IncrementalStats) -> JsonObject {
         .u64("cells_evaluated", stats.cells_evaluated)
         .u64("baseline_cell_evals", stats.baseline_cell_evals)
         .f64("evaluated_fraction", stats.evaluated_fraction())
+}
+
+/// Produces the `--flip` baseline: recorded fresh, or — with
+/// `--baseline FILE` — loaded from disk when the file exists (skipping
+/// the recording pass; the "before" figures are then recovered by an
+/// empty-delta replay, which costs no cell evaluations) and recorded and
+/// saved when it does not. Loaded baselines are validated against the
+/// netlist (including its structural fingerprint), the cycle count, the
+/// delay model, the simulator options and — by regenerating the
+/// configured stimulus and comparing it cycle for cycle — the stimulus
+/// itself, so a `--seed` mismatch is caught too.
+fn obtain_baseline(
+    netlist: &Netlist,
+    baseline_path: Option<&str>,
+    analyzer: &GlitchAnalyzer,
+    config: &AnalysisConfig,
+) -> Result<(Analysis, SimBaseline, Option<String>), CliError> {
+    if let Some(file) = baseline_path {
+        if Path::new(file).exists() {
+            let baseline = SimBaseline::load(file).map_err(|e| run_err(format!("{file}: {e}")))?;
+            if !baseline.matches_netlist(netlist) {
+                return Err(run_err(format!(
+                    "{file}: baseline was recorded on `{}`, which does not match \
+                     `{}` structurally (the circuit may have been edited since); \
+                     delete the file to re-record",
+                    baseline.netlist_name(),
+                    netlist.name()
+                )));
+            }
+            if baseline.cycle_count() != config.cycles {
+                return Err(run_err(format!(
+                    "{file}: baseline records {} cycles but --cycles is {}",
+                    baseline.cycle_count(),
+                    config.cycles
+                )));
+            }
+            if baseline.delay() != &config.delay {
+                return Err(run_err(format!(
+                    "{file}: baseline was recorded under a different delay model; \
+                     re-record or match --delay"
+                )));
+            }
+            if baseline.options() != config.options {
+                return Err(run_err(format!(
+                    "{file}: baseline was recorded under different simulator options; \
+                     re-record or match them"
+                )));
+            }
+            // The file does not store the stimulus seed; regenerate the
+            // configured stimulus and compare it cycle for cycle against
+            // the recorded assignments, so a `--seed` mismatch fails
+            // loudly instead of silently replaying another run's inputs.
+            let mut regenerated =
+                RandomStimulus::new(input_buses(netlist), config.cycles, config.seed);
+            for cycle in 0..baseline.cycle_count() {
+                if regenerated.next().as_ref() != Some(baseline.assignment(cycle)) {
+                    return Err(run_err(format!(
+                        "{file}: baseline was recorded under a different stimulus \
+                         (cycle {cycle} differs — --seed mismatch?); re-record or \
+                         match --seed"
+                    )));
+                }
+            }
+            // Recover the "before" figures by replaying the baseline
+            // through fresh probes — O(transitions), zero cell evaluations.
+            let before = analyzer
+                .analyze_delta(netlist, &baseline, &DeltaStimulus::new())
+                .map_err(|e| run_err(format!("{file}: baseline replay failed: {e}")))?;
+            return Ok((
+                before.analysis,
+                baseline,
+                Some(format!(
+                    "loaded baseline from {file} (re-recording skipped)"
+                )),
+            ));
+        }
+        let (before, baseline) = analyzer
+            .analyze_baseline(netlist, &input_buses(netlist), &[])
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+        baseline
+            .save(file)
+            .map_err(|e| run_err(format!("{file}: {e}")))?;
+        return Ok((before, baseline, Some(format!("wrote baseline to {file}"))));
+    }
+    let (before, baseline) = analyzer
+        .analyze_baseline(netlist, &input_buses(netlist), &[])
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    Ok((before, baseline, None))
 }
 
 /// The `analyze --flip` fast path: record the configured run as a
@@ -682,19 +845,10 @@ fn cmd_analyze_flip(
     }
     let json = args.flag("json");
     let analyzer = GlitchAnalyzer::new(config.clone());
-    let (before, baseline) = analyzer
-        .analyze_baseline(netlist, &input_buses(netlist), &[])
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let (before, baseline, baseline_note) =
+        obtain_baseline(netlist, args.option("baseline"), &analyzer, config)?;
 
-    let mut delta = DeltaStimulus::new();
-    let mut applied: Vec<(String, u64, bool)> = Vec::new();
-    for flip in &flips {
-        let value = flip
-            .value
-            .unwrap_or(baseline.input_value(flip.cycle, flip.net) != glitch_core::sim::Value::One);
-        delta = delta.set(flip.cycle, flip.net, value);
-        applied.push((flip.name.clone(), flip.cycle, value));
-    }
+    let (delta, applied) = flips_to_delta(&flips, &baseline)?;
 
     let after = analyzer
         .analyze_delta(netlist, &baseline, &delta)
@@ -737,6 +891,9 @@ fn cmd_analyze_flip(
         println!("== {path}: `{}` ==", netlist.name());
         print!("{}", netlist.stats());
         println!();
+        if let Some(note) = &baseline_note {
+            println!("{note}");
+        }
         println!(
             "baseline: {} cycles recorded ({} cell evaluations)",
             baseline.cycle_count(),
@@ -1301,6 +1458,350 @@ fn cmd_sweep_flips(
              the baseline's {})",
             base_totals.useless
         );
+    }
+    Ok(())
+}
+
+const CHECK_SPEC: Spec = Spec {
+    options: &[
+        "cycles",
+        "seed",
+        "seeds",
+        "jobs",
+        "delay",
+        "frequency-mhz",
+        "tech",
+        "budget",
+        "budgets",
+        "stable",
+        "flip",
+    ],
+    flags: &["json", "x-init", "hazards", "strict"],
+};
+
+/// Parses the `--stable` comma list: `net` (all cycles) or
+/// `net@from..to` (inclusive cycle range).
+fn parse_stability(
+    list: &str,
+    netlist: &Netlist,
+) -> Result<Vec<(glitch_core::netlist::NetId, CycleFilter)>, CliError> {
+    list.split(',')
+        .map(|entry| {
+            let entry = entry.trim();
+            let (name, filter) = match entry.split_once('@') {
+                None => (entry, CycleFilter::All),
+                Some((name, range)) => {
+                    let (from, to) = range.split_once("..").ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--stable entries are net or net@from..to, got `{entry}`"
+                        ))
+                    })?;
+                    let parse = |text: &str| -> Result<u64, CliError> {
+                        text.trim().parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--stable: cannot parse cycle `{text}` in `{entry}`"
+                            ))
+                        })
+                    };
+                    let (from, to) = (parse(from)?, parse(to)?);
+                    if from > to {
+                        return Err(CliError::Usage(format!(
+                            "--stable: empty cycle range {from}..{to} in `{entry}` \
+                             (from must not exceed to)"
+                        )));
+                    }
+                    (name, CycleFilter::Range { from, to })
+                }
+            };
+            let net = netlist
+                .find_net(name.trim())
+                .ok_or_else(|| run_err(format!("--stable: no net named `{}`", name.trim())))?;
+            Ok((net, filter))
+        })
+        .collect()
+}
+
+/// Builds the checker suite from the `check` arguments. The
+/// X-propagation checker is always attached; hazards, budgets and
+/// stability assertions are opt-in.
+fn build_check_suite(args: &Args, netlist: &Netlist) -> Result<CheckSuite, CliError> {
+    let mut suite = CheckSuite::new().with_x_propagation();
+    let mut spec = BudgetSpec::new();
+    if let Some(file) = args.option("budgets") {
+        let text = fs::read_to_string(file).map_err(|e| run_err(format!("{file}: {e}")))?;
+        spec.extend(BudgetSpec::parse_file(&text).map_err(|e| run_err(format!("{file}: {e}")))?);
+    }
+    if let Some(list) = args.option("budget") {
+        spec.extend(BudgetSpec::parse_list(list).map_err(|e| CliError::Usage(e.to_string()))?);
+    }
+    if !spec.is_empty() {
+        let resolved = spec
+            .resolve(netlist)
+            .map_err(|e| run_err(format!("--budget: {e}")))?;
+        suite = suite.with_budgets(resolved);
+    }
+    if args.flag("hazards") {
+        suite = suite.with_hazards();
+    }
+    if let Some(list) = args.option("stable") {
+        for (net, filter) in parse_stability(list, netlist)? {
+            suite = suite.with_stability(net, filter);
+        }
+    }
+    Ok(suite)
+}
+
+/// One verdict line: `PASS` / `FAIL (n violations in m checkers)`.
+fn verdict_line(report: &VerifyReport) -> String {
+    match report.verdict() {
+        Verdict::Pass => "PASS".to_string(),
+        Verdict::Fail => format!(
+            "FAIL ({} violations in {} checkers)",
+            report.total_violations(),
+            report.failed_checkers()
+        ),
+    }
+}
+
+/// Renders one report's checkers as a JSON array.
+fn verify_checkers_json(report: &VerifyReport, netlist: &Netlist) -> String {
+    json_array(report.outcomes().iter().map(|outcome| {
+        let mut metrics = JsonObject::new();
+        for (name, value) in &outcome.metrics {
+            metrics = metrics.u64(name, *value);
+        }
+        let violations = json_array(outcome.violations.iter().map(|v: &Violation| {
+            JsonObject::new()
+                .str("net", netlist.net(v.net).name())
+                .u64("cycle", v.cycle)
+                .u64("time", v.time)
+                .u64("budget", v.budget)
+                .render()
+        }));
+        JsonObject::new()
+            .str("name", &outcome.checker)
+            .str("verdict", outcome.verdict.as_str())
+            .u64("total_violations", outcome.total_violations)
+            .raw("metrics", &metrics.render())
+            .raw("violations", &violations)
+            .str("summary", &outcome.summary)
+            .render()
+    }))
+}
+
+/// Renders one report as a nested JSON object (verdict + checkers).
+fn verify_report_json(report: &VerifyReport, netlist: &Netlist) -> JsonObject {
+    JsonObject::new()
+        .str("verdict", report.verdict().as_str())
+        .u64("violations_total", report.total_violations())
+        .raw("checkers", &verify_checkers_json(report, netlist))
+}
+
+/// Prints a report as the checker table plus located violations.
+fn print_verify_text(report: &VerifyReport, netlist: &Netlist) {
+    let mut table = TextTable::new(vec!["checker", "verdict", "violations", "summary"]);
+    for outcome in report.outcomes() {
+        table.add_row(vec![
+            outcome.checker.clone(),
+            outcome.verdict.as_str().to_string(),
+            outcome.total_violations.to_string(),
+            outcome.summary.clone(),
+        ]);
+    }
+    print!("{table}");
+    for outcome in report.outcomes() {
+        if outcome.verdict.passed() || outcome.violations.is_empty() {
+            continue;
+        }
+        let shown = outcome.violations.len().min(5);
+        println!(
+            "{} violations ({} of {} shown):",
+            outcome.checker, shown, outcome.total_violations
+        );
+        for v in &outcome.violations[..shown] {
+            // The Violation fields are overloaded per checker (see the
+            // `glitch_verify::Violation` docs); label them accordingly.
+            if outcome.checker == "x-propagation" {
+                println!(
+                    "  `{}`: first X at cycle end {}, unknown for {} cycle ends",
+                    netlist.net(v.net).name(),
+                    v.cycle,
+                    v.time
+                );
+            } else {
+                println!(
+                    "  `{}`: cycle {}, t={}, budget {}",
+                    netlist.net(v.net).name(),
+                    v.cycle,
+                    v.time,
+                    v.budget
+                );
+            }
+        }
+    }
+}
+
+fn cmd_check(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &CHECK_SPEC).map_err(CliError::Usage)?;
+    let (netlist, path) = load(&args)?;
+    let library = library_for(&args)?;
+    let mut config = analysis_config(&args, &library)?;
+    if args.flag("x-init") {
+        config.options = SimOptions::x_init();
+    }
+    let suite = build_check_suite(&args, &netlist)?;
+    if let Some(spec) = args.option("flip") {
+        if args.option("seeds").is_some() {
+            return Err(CliError::Usage(
+                "--flip applies to single-seed runs; drop --seeds or --flip".into(),
+            ));
+        }
+        return cmd_check_flip(&netlist, &path, &args, &config, &suite, spec);
+    }
+    let (seeds, jobs) = seeds_and_jobs(&args, 1)?;
+    let json = args.flag("json");
+    let seed_list = stimulus_seeds(config.seed, seeds);
+    let analyzer = GlitchAnalyzer::new(config.clone());
+    let checked = analyzer
+        .check_seeds(
+            &netlist,
+            &input_buses(&netlist),
+            &[],
+            &suite,
+            &seed_list,
+            jobs,
+        )
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let report = &checked.report;
+
+    if json {
+        let out = JsonObject::new()
+            .str("file", &path)
+            .str("netlist", netlist.name())
+            .u64("cycles_per_seed", config.cycles)
+            .usize("seeds", seeds)
+            .usize("jobs", jobs)
+            .bool("x_init", args.flag("x-init"))
+            .u64("total_cycles", checked.analysis.total_cycles())
+            .u64(
+                "max_settle_time",
+                checked.analysis.aggregate.max_settle_time(),
+            )
+            .str("verdict", report.verdict().as_str())
+            .u64("violations_total", report.total_violations())
+            .raw("checkers", &verify_checkers_json(report, &netlist))
+            .render();
+        println!("{out}");
+    } else {
+        println!("== {path}: `{}` ==", netlist.name());
+        println!(
+            "verification: {seeds} seeds x {} cycles on {jobs} jobs; x-init {}; \
+             {} checkers ({} cycles total, worst settle time {})",
+            config.cycles,
+            if args.flag("x-init") { "on" } else { "off" },
+            suite.checker_count(),
+            checked.analysis.total_cycles(),
+            checked.analysis.aggregate.max_settle_time()
+        );
+        println!();
+        print_verify_text(report, &netlist);
+        println!("verdict: {}", verdict_line(report));
+    }
+    strict_exit(&args, report)
+}
+
+/// The `check --flip` fast path: check the recorded baseline, then
+/// incrementally re-check it with the listed input bits changed. Both
+/// verdicts are reported; the flipped one is bit-identical to a full
+/// re-simulation of the changed stimulus.
+fn cmd_check_flip(
+    netlist: &Netlist,
+    path: &str,
+    args: &Args,
+    config: &AnalysisConfig,
+    suite: &CheckSuite,
+    spec: &str,
+) -> Result<(), CliError> {
+    let flips = parse_flips(spec, netlist)?;
+    for flip in &flips {
+        if flip.cycle >= config.cycles {
+            return Err(CliError::Usage(format!(
+                "--flip: cycle {} is beyond the {}-cycle run",
+                flip.cycle, config.cycles
+            )));
+        }
+    }
+    let json = args.flag("json");
+    let analyzer = GlitchAnalyzer::new(config.clone());
+    let (base_report, _, baseline) = analyzer
+        .check_baseline(netlist, &input_buses(netlist), &[], suite)
+        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+
+    let (delta, applied) = flips_to_delta(&flips, &baseline)?;
+    let flipped = analyzer
+        .check_delta(netlist, &baseline, &delta, suite)
+        .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?;
+
+    if json {
+        let flips_json = json_array(applied.iter().map(|(name, cycle, value)| {
+            JsonObject::new()
+                .str("net", name)
+                .u64("cycle", *cycle)
+                .u64("value", u64::from(*value))
+                .render()
+        }));
+        let out = JsonObject::new()
+            .str("file", path)
+            .str("netlist", netlist.name())
+            .u64("cycles", baseline.cycle_count())
+            .bool("x_init", args.flag("x-init"))
+            .raw("flips", &flips_json)
+            .raw(
+                "incremental",
+                &incremental_json(&flipped.incremental).render(),
+            )
+            .raw(
+                "baseline",
+                &verify_report_json(&base_report, netlist).render(),
+            )
+            .raw(
+                "flipped",
+                &verify_report_json(&flipped.report, netlist).render(),
+            )
+            .render();
+        println!("{out}");
+    } else {
+        println!("== {path}: `{}` ==", netlist.name());
+        println!(
+            "verification (incremental): {} cycles; x-init {}; {} checkers",
+            baseline.cycle_count(),
+            if args.flag("x-init") { "on" } else { "off" },
+            suite.checker_count()
+        );
+        for (name, cycle, value) in &applied {
+            println!("flip: `{name}` -> {} in cycle {cycle}", u8::from(*value));
+        }
+        println!("{}", incremental_line(&flipped.incremental));
+        println!();
+        println!("baseline verdict: {}", verdict_line(&base_report));
+        println!("flipped verdict:  {}", verdict_line(&flipped.report));
+        println!();
+        print_verify_text(&flipped.report, netlist);
+        println!(
+            "(flipped verdicts are bit-identical to a full re-simulation of \
+             the changed stimulus)"
+        );
+    }
+    strict_exit(args, &flipped.report)
+}
+
+/// Applies `--strict`: a failing verdict becomes a command error.
+fn strict_exit(args: &Args, report: &VerifyReport) -> Result<(), CliError> {
+    if args.flag("strict") && !report.passed() {
+        return Err(run_err(format!(
+            "verification verdict: {}",
+            verdict_line(report)
+        )));
     }
     Ok(())
 }

@@ -54,6 +54,12 @@ impl JsonObject {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string());
+        self
+    }
+
     /// Adds an optional unsigned integer field; `None` becomes `null`.
     pub fn opt_usize(mut self, key: &str, value: Option<usize>) -> Self {
         let rendered = match value {

@@ -634,3 +634,426 @@ fn per_seed_artefact_flags_reject_multi_seed_runs() {
     assert_eq!(bad_window.status.code(), Some(2));
     assert!(stderr(&bad_window).contains("--window-csv requires --window"));
 }
+
+// ------------------------------------------------------------------ check
+
+#[test]
+fn check_detects_the_seeded_x_propagation_bug() {
+    // The seeded bug: an uninitialised latch in an XOR feedback loop —
+    // its X reaches output `y` and never clears.
+    let bug = run(&[
+        "check",
+        &data("xinit_bug.blif"),
+        "--x-init",
+        "--cycles",
+        "60",
+    ]);
+    assert!(bug.status.success(), "{}", stderr(&bug));
+    let text = stdout(&bug);
+    assert!(text.contains("x-propagation"), "{text}");
+    assert!(text.contains("verdict: FAIL"), "{text}");
+    assert!(text.contains("`y`: first X at cycle end 0"), "{text}");
+
+    // The well-initialised reference passes: explicit latch inits clear
+    // the unknown region within the first cycle.
+    let ok = run(&[
+        "check",
+        &data("xinit_ok.blif"),
+        "--x-init",
+        "--cycles",
+        "60",
+    ]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    let text = stdout(&ok);
+    assert!(text.contains("verdict: PASS"), "{text}");
+    assert!(text.contains("X cleared within the first cycle"), "{text}");
+
+    // --strict turns the failing verdict into a nonzero exit.
+    let strict = run(&[
+        "check",
+        &data("xinit_bug.blif"),
+        "--x-init",
+        "--cycles",
+        "60",
+        "--strict",
+    ]);
+    assert_eq!(strict.status.code(), Some(1));
+    assert!(stderr(&strict).contains("verification verdict: FAIL"));
+    let strict_ok = run(&[
+        "check",
+        &data("xinit_ok.blif"),
+        "--x-init",
+        "--cycles",
+        "60",
+        "--strict",
+    ]);
+    assert!(strict_ok.status.success());
+}
+
+#[test]
+fn check_detects_the_seeded_settle_budget_violation() {
+    // The 4-bit multiplier's sum outputs settle as late as t=8 under unit
+    // delay; a 4-unit output budget is the seeded violation.
+    let output = run(&[
+        "check",
+        &data("mult4.blif"),
+        "--budget",
+        "outputs=4",
+        "--cycles",
+        "60",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("settle-budget"), "{text}");
+    assert!(text.contains("verdict: FAIL"), "{text}");
+    assert!(text.contains("budget 4"), "{text}");
+
+    // `*=cycle` (the combinational depth) is met by construction.
+    let relaxed = run(&[
+        "check",
+        &data("mult4.blif"),
+        "--budget",
+        "*=cycle",
+        "--cycles",
+        "60",
+    ]);
+    assert!(relaxed.status.success());
+    assert!(
+        stdout(&relaxed).contains("verdict: PASS"),
+        "{}",
+        stdout(&relaxed)
+    );
+
+    // Budget files load, and bad specs are rejected with locations.
+    let from_file = run(&[
+        "check",
+        &data("rca4.blif"),
+        "--budgets",
+        &data("budgets.toml"),
+        "--cycles",
+        "40",
+    ]);
+    assert!(from_file.status.success(), "{}", stderr(&from_file));
+    assert!(stdout(&from_file).contains("settle-budget"));
+    let bad = run(&["check", &data("rca4.blif"), "--budget", "cout=abc"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("budget entries"), "{}", stderr(&bad));
+    let unknown = run(&["check", &data("rca4.blif"), "--budget", "ghost=3"]);
+    assert!(!unknown.status.success());
+    assert!(stderr(&unknown).contains("ghost"), "{}", stderr(&unknown));
+}
+
+#[test]
+fn check_verdicts_are_bit_identical_at_any_jobs_count() {
+    let run_jobs = |jobs: &str| {
+        let output = run(&[
+            "check",
+            &data("counter4.blif"),
+            "--x-init",
+            "--hazards",
+            "--budget",
+            "*=cycle",
+            "--cycles",
+            "80",
+            "--seeds",
+            "4",
+            "--jobs",
+            jobs,
+            "--json",
+        ]);
+        assert!(output.status.success(), "{}", stderr(&output));
+        stdout(&output)
+    };
+    let serial = run_jobs("1");
+    // counter4's latches carry init digit 2 (don't care): under x-init the
+    // state is genuinely uninitialised and the verdict must say so.
+    assert!(serial.contains("\"verdict\":\"fail\""), "{serial}");
+    assert!(serial.contains("\"name\":\"x-propagation\""), "{serial}");
+    for jobs in ["2", "8"] {
+        let parallel = run_jobs(jobs);
+        // Bit-identical stdout apart from the jobs count itself.
+        let normalize = |s: &str| {
+            s.replace(&format!("\"jobs\":{jobs},"), "\"jobs\":N,")
+                .replace("\"jobs\":1,", "\"jobs\":N,")
+        };
+        assert_eq!(normalize(&parallel), normalize(&serial), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn check_stability_assertions_flag_watched_cycles() {
+    let output = run(&[
+        "check",
+        &data("counter4.blif"),
+        "--stable",
+        "q3@0..2",
+        "--cycles",
+        "40",
+    ]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let text = stdout(&output);
+    // q3 cannot toggle before cycle 8 (it is the high counter bit), so the
+    // assertion over cycles 0..=2 holds.
+    assert!(text.contains("stability"), "{text}");
+    assert!(text.contains("verdict: PASS"), "{text}");
+
+    // q0 toggles constantly whenever en is high: watching all cycles fails.
+    let failing = run(&[
+        "check",
+        &data("counter4.blif"),
+        "--stable",
+        "q0",
+        "--cycles",
+        "40",
+    ]);
+    assert!(failing.status.success());
+    assert!(
+        stdout(&failing).contains("verdict: FAIL"),
+        "{}",
+        stdout(&failing)
+    );
+
+    let bad = run(&["check", &data("counter4.blif"), "--stable", "q0@5"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("net@from..to"), "{}", stderr(&bad));
+
+    // An inverted range would be a vacuous always-pass assertion; reject
+    // it at parse time.
+    let inverted = run(&["check", &data("counter4.blif"), "--stable", "q0@10..2"]);
+    assert_eq!(inverted.status.code(), Some(2));
+    assert!(
+        stderr(&inverted).contains("empty cycle range 10..2"),
+        "{}",
+        stderr(&inverted)
+    );
+}
+
+#[test]
+fn check_flip_reports_both_verdicts_and_replays_no_op_flips() {
+    // Flip `en` to the value it already has in cycle 10 (the stimulus
+    // seed drives it deterministically): the merged stimulus is identical,
+    // every cycle replays, and the flipped verdict equals the baseline's.
+    let json_run = run(&[
+        "check",
+        &data("xinit_bug.blif"),
+        "--x-init",
+        "--cycles",
+        "40",
+        "--flip",
+        "10:en",
+        "--json",
+    ]);
+    assert!(json_run.status.success(), "{}", stderr(&json_run));
+    let json = stdout(&json_run);
+    assert!(
+        json.contains("\"baseline\":{\"verdict\":\"fail\""),
+        "{json}"
+    );
+    assert!(json.contains("\"flipped\":{\"verdict\":\"fail\""), "{json}");
+    assert!(
+        json.contains("\"incremental\":{\"replayed_cycles\":"),
+        "{json}"
+    );
+
+    let text_run = run(&[
+        "check",
+        &data("xinit_ok.blif"),
+        "--x-init",
+        "--cycles",
+        "40",
+        "--flip",
+        "10:en",
+    ]);
+    assert!(text_run.status.success(), "{}", stderr(&text_run));
+    let text = stdout(&text_run);
+    assert!(text.contains("baseline verdict: PASS"), "{text}");
+    assert!(text.contains("flipped verdict:  PASS"), "{text}");
+    assert!(text.contains("incremental re-simulation"), "{text}");
+
+    // Duplicate cycle:net pairs in the flip list are rejected, located.
+    let dup = run(&[
+        "check",
+        &data("xinit_ok.blif"),
+        "--cycles",
+        "40",
+        "--flip",
+        "10:en,10:en=1",
+    ]);
+    assert_eq!(dup.status.code(), Some(2));
+    assert!(
+        stderr(&dup).contains("duplicate override for `en` in cycle 10"),
+        "{}",
+        stderr(&dup)
+    );
+}
+
+#[test]
+fn analyze_flip_rejects_duplicate_flips_with_location() {
+    let dup = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "100",
+        "--flip",
+        "40:a1,40:a1=0",
+    ]);
+    assert_eq!(dup.status.code(), Some(2));
+    let err = stderr(&dup);
+    assert!(
+        err.contains("duplicate override for `a1` in cycle 40"),
+        "{err}"
+    );
+    // Same net in different cycles — or different nets in the same cycle —
+    // stay legal.
+    let ok = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "100",
+        "--flip",
+        "40:a1,41:a1,40:b1",
+    ]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+}
+
+#[test]
+fn analyze_flip_baseline_file_skips_the_recording_pass() {
+    let dir = std::env::temp_dir().join(format!("glitch_cli_baseline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("rca4.baseline");
+    let file = file.to_str().unwrap();
+
+    let first = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--flip",
+        "30:a1",
+        "--baseline",
+        file,
+    ]);
+    assert!(first.status.success(), "{}", stderr(&first));
+    assert!(
+        stdout(&first).contains("wrote baseline to"),
+        "{}",
+        stdout(&first)
+    );
+
+    let second = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--flip",
+        "30:a1",
+        "--baseline",
+        file,
+    ]);
+    assert!(second.status.success(), "{}", stderr(&second));
+    let second_text = stdout(&second);
+    assert!(
+        second_text.contains("loaded baseline from"),
+        "{second_text}"
+    );
+
+    // Apart from the wrote/loaded note the two runs are identical — the
+    // loaded baseline replays bit-identically.
+    let strip_note = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("baseline to") && !l.contains("baseline from"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_note(&stdout(&first)), strip_note(&second_text));
+
+    // Mismatched parameters are caught before any simulation.
+    let wrong_cycles = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "80",
+        "--flip",
+        "30:a1",
+        "--baseline",
+        file,
+    ]);
+    assert!(!wrong_cycles.status.success());
+    assert!(
+        stderr(&wrong_cycles).contains("records 120 cycles but --cycles is 80"),
+        "{}",
+        stderr(&wrong_cycles)
+    );
+    let wrong_delay = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--delay",
+        "zero",
+        "--flip",
+        "30:a1",
+        "--baseline",
+        file,
+    ]);
+    assert!(!wrong_delay.status.success());
+    assert!(
+        stderr(&wrong_delay).contains("different delay model"),
+        "{}",
+        stderr(&wrong_delay)
+    );
+    // The seed is not stored in the file; the regenerated-stimulus
+    // comparison must still catch a mismatch.
+    let wrong_seed = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--seed",
+        "12345",
+        "--flip",
+        "30:a1",
+        "--baseline",
+        file,
+    ]);
+    assert!(!wrong_seed.status.success());
+    assert!(
+        stderr(&wrong_seed).contains("--seed mismatch"),
+        "{}",
+        stderr(&wrong_seed)
+    );
+    let wrong_netlist = run(&[
+        "analyze",
+        &data("counter4.blif"),
+        "--cycles",
+        "120",
+        "--flip",
+        "10:en",
+        "--baseline",
+        file,
+    ]);
+    assert!(!wrong_netlist.status.success());
+    assert!(
+        stderr(&wrong_netlist).contains("was recorded on `rca4`"),
+        "{}",
+        stderr(&wrong_netlist)
+    );
+
+    // --baseline without --flip is a usage error.
+    let no_flip = run(&[
+        "analyze",
+        &data("rca4.blif"),
+        "--cycles",
+        "120",
+        "--baseline",
+        file,
+    ]);
+    assert_eq!(no_flip.status.code(), Some(2));
+    assert!(
+        stderr(&no_flip).contains("add --flip"),
+        "{}",
+        stderr(&no_flip)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

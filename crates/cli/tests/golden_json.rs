@@ -129,6 +129,49 @@ fn analyze_multi_seed_window_json_matches_golden() {
 }
 
 #[test]
+fn check_json_matches_golden() {
+    // The full checker suite on the counter (whose don't-care latch inits
+    // make x-init fail honestly), multi-seed: pins the `check --json`
+    // schema — verdicts, per-checker metrics and located violations.
+    let out = run_stdout(&[
+        "check",
+        &data("counter4.blif"),
+        "--x-init",
+        "--hazards",
+        "--budget",
+        "*=cycle",
+        "--stable",
+        "q3@0..2",
+        "--cycles",
+        "80",
+        "--seeds",
+        "2",
+        "--jobs",
+        "1",
+        "--json",
+    ]);
+    assert_matches_golden("check_counter4.json", &out);
+}
+
+#[test]
+fn check_flip_json_matches_golden() {
+    // The incremental check path: baseline + flipped verdicts plus the
+    // replay accounting.
+    let out = run_stdout(&[
+        "check",
+        &data("xinit_ok.blif"),
+        "--x-init",
+        "--hazards",
+        "--cycles",
+        "60",
+        "--flip",
+        "20:en=1",
+        "--json",
+    ]);
+    assert_matches_golden("check_flip_xinit_ok.json", &out);
+}
+
+#[test]
 fn analyze_flip_json_matches_golden() {
     let out = run_stdout(&[
         "analyze",

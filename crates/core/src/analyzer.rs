@@ -23,6 +23,12 @@ pub struct AnalysisConfig {
     pub technology: Technology,
     /// Delay model used for the simulation.
     pub delay: DelayKind,
+    /// Simulator options (settle budget, flipflop reset policy, X
+    /// evaluation mode). The defaults are the analysis defaults; the
+    /// verification flow (`glitch-cli check --x-init`) swaps in
+    /// [`glitch_sim::SimOptions::x_init`] to simulate uninitialised-state
+    /// reachability.
+    pub options: glitch_sim::SimOptions,
 }
 
 impl Default for AnalysisConfig {
@@ -33,6 +39,7 @@ impl Default for AnalysisConfig {
             frequency: 5e6,
             technology: Technology::cmos_0p8um_5v(),
             delay: DelayKind::Unit,
+            options: glitch_sim::SimOptions::default(),
         }
     }
 }
@@ -219,6 +226,7 @@ impl GlitchAnalyzer {
         }
         SimSession::new(netlist)
             .delay(self.config.delay.clone())
+            .options(self.config.options)
             .stimulus(stimulus)
             .probe(ActivityProbe::new())
             .probe(PowerProbe::new(
@@ -394,6 +402,7 @@ impl GlitchAnalyzer {
             .with_delay(self.config.delay.clone())
             .with_held(held.to_vec())
             .with_power(self.config.technology, self.config.frequency)
+            .with_options(self.config.options)
     }
 
     /// Simulates the netlist once per seed — fanned across `jobs` worker

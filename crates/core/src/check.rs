@@ -1,0 +1,269 @@
+//! Verification entry points on [`GlitchAnalyzer`]: run a
+//! [`glitch_verify::CheckSuite`] against the configured stimulus —
+//! multi-seed parallel, baseline-recording, or incremental.
+//!
+//! Checking composes with the existing execution layers rather than
+//! duplicating them: [`GlitchAnalyzer::check_seeds`] rides the sharded
+//! parallel runner (one fresh checker set per seed, folded in seed
+//! order, so the verdict is bit-identical at any `--jobs` count), and
+//! [`GlitchAnalyzer::check_delta`] rides the incremental layer (checkers
+//! re-run only on dirty cycles and replay the recorded stream verbatim on
+//! clean ones, so the verdict is bit-identical to a full re-simulation of
+//! the merged stimulus).
+
+use glitch_netlist::{Bus, NetId, Netlist};
+use glitch_sim::{
+    DeltaStimulus, IncrementalSession, IncrementalStats, Probe, SessionReport, SimBaseline,
+    SimError,
+};
+use glitch_verify::{CheckSuite, CheckerProbe, VerifyReport};
+
+use crate::analyzer::{AggregateAnalysis, Analysis, GlitchAnalyzer};
+
+/// Result of a multi-seed [`GlitchAnalyzer::check_seeds`] run: the merged
+/// verification report plus the standard multi-seed analysis (the checkers
+/// ride the same sessions, so both come from one simulation pass per
+/// seed).
+#[derive(Debug, Clone)]
+pub struct CheckAnalysis {
+    /// The merged verification report (deterministic seed-order fold).
+    pub report: VerifyReport,
+    /// The standard multi-seed activity/power aggregate of the same runs.
+    pub analysis: AggregateAnalysis,
+}
+
+/// Result of an incremental [`GlitchAnalyzer::check_delta`] run.
+#[derive(Debug, Clone)]
+pub struct DeltaCheck {
+    /// The verification report of the delta run — bit-identical to a full
+    /// re-simulation of the merged stimulus.
+    pub report: VerifyReport,
+    /// Activity/power of the delta run.
+    pub analysis: Analysis,
+    /// Incremental work accounting (replayed cycles, cells re-evaluated).
+    pub incremental: IncrementalStats,
+}
+
+impl GlitchAnalyzer {
+    /// Runs the checker suite once per seed — fanned across `jobs` worker
+    /// threads — and folds the per-seed checkers in seed order. The
+    /// configured [`crate::AnalysisConfig::options`] select the reset /
+    /// X-evaluation policy ([`glitch_sim::SimOptions::x_init`] for
+    /// uninitialised-state checking).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing seed's [`SimError`] (in seed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn check_seeds(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        suite: &CheckSuite,
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Result<CheckAnalysis, SimError> {
+        let factory = |_seed: usize| -> Vec<Box<dyn Probe>> { vec![Box::new(suite.build())] };
+        let (analysis, mut reports) =
+            self.analyze_seeds_with(netlist, random_buses, held, seeds, jobs, &factory)?;
+        let mut merged = CheckerProbe::default();
+        for report in &mut reports {
+            let probe = report
+                .take_probe::<CheckerProbe>()
+                .expect("check sessions carry a CheckerProbe");
+            glitch_sim::MergeableProbe::merge(&mut merged, probe);
+        }
+        Ok(CheckAnalysis {
+            report: merged.report(netlist),
+            analysis,
+        })
+    }
+
+    /// Runs the checker suite on the configured single-seed stimulus while
+    /// recording a replayable [`SimBaseline`] — the anchor for
+    /// [`GlitchAnalyzer::check_delta`] re-checks of nearby stimuli.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GlitchAnalyzer::analyze`]; a failed run yields no baseline.
+    pub fn check_baseline(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        suite: &CheckSuite,
+    ) -> Result<(VerifyReport, Analysis, SimBaseline), SimError> {
+        let (mut report, baseline) = self
+            .session(netlist, random_buses, held)
+            .probe(suite.build())
+            .record_baseline()?;
+        let verify = take_report(&mut report, netlist);
+        Ok((verify, Self::analysis(netlist, report), baseline))
+    }
+
+    /// Re-checks a recorded baseline under a [`DeltaStimulus`]
+    /// incrementally: the checkers replay the recorded stream verbatim on
+    /// clean cycles and re-run on dirty ones, so the returned report is
+    /// bit-identical to a full re-simulation of the merged stimulus
+    /// (pinned by `glitch-verify`'s incremental oracle test). The delay
+    /// model and simulator options come from the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for deltas beyond the baseline, overrides of
+    /// non-input nets, or any simulation failure in a dirty cycle.
+    pub fn check_delta(
+        &self,
+        netlist: &Netlist,
+        baseline: &SimBaseline,
+        delta: &DeltaStimulus,
+        suite: &CheckSuite,
+    ) -> Result<DeltaCheck, SimError> {
+        let report = IncrementalSession::new(netlist, baseline)
+            .probe(suite.build())
+            .probe(glitch_sim::ActivityProbe::new())
+            .probe(glitch_sim::PowerProbe::new(
+                self.config().technology,
+                self.config().frequency,
+            ))
+            .delta(delta.clone())
+            .run()
+            .map_err(SimError::from)?;
+        let incremental = report.stats();
+        let mut session = report.into_session();
+        let verify = take_report(&mut session, netlist);
+        Ok(DeltaCheck {
+            report: verify,
+            analysis: Self::analysis(netlist, session),
+            incremental,
+        })
+    }
+}
+
+/// Extracts the checker probe's report from a finished session.
+fn take_report(report: &mut SessionReport, netlist: &Netlist) -> VerifyReport {
+    report
+        .take_probe::<CheckerProbe>()
+        .expect("check sessions carry a CheckerProbe")
+        .report(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::AnalysisConfig;
+    use glitch_netlist::Bus;
+    use glitch_sim::{InputAssignment, SimOptions, SimSession};
+    use glitch_verify::BudgetSpec;
+
+    /// A counter-like circuit with one uninitialised flipflop.
+    fn fixture() -> (Netlist, Vec<Bus>) {
+        let mut nl = Netlist::new("check fixture");
+        let en = nl.add_input("en");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, "q");
+        let y = nl.xor2(en, q, "y");
+        let z = nl.and2(en, q, "z");
+        nl.mark_output(y);
+        nl.mark_output(z);
+        let buses = vec![Bus::new(nl.inputs().to_vec())];
+        (nl, buses)
+    }
+
+    fn x_analyzer(cycles: u64) -> GlitchAnalyzer {
+        GlitchAnalyzer::new(AnalysisConfig {
+            cycles,
+            options: SimOptions::x_init(),
+            ..Default::default()
+        })
+    }
+
+    fn full_suite(nl: &Netlist) -> CheckSuite {
+        let budgets = BudgetSpec::parse_list("*=cycle")
+            .unwrap()
+            .resolve(nl)
+            .unwrap();
+        CheckSuite::new()
+            .with_x_propagation()
+            .with_budgets(budgets)
+            .with_hazards()
+    }
+
+    #[test]
+    fn check_seeds_is_jobs_invariant_and_detects_the_x_bug() {
+        let (nl, buses) = fixture();
+        let analyzer = x_analyzer(60);
+        let suite = full_suite(&nl);
+        let seeds = [7u64, 8, 9, 10];
+        let serial = analyzer
+            .check_seeds(&nl, &buses, &[], &suite, &seeds, 1)
+            .unwrap();
+        assert!(!serial.report.passed(), "the uninitialised q reaches y");
+        assert_eq!(serial.report.failed_checkers(), 1);
+        for jobs in [2, 4, 8] {
+            let parallel = analyzer
+                .check_seeds(&nl, &buses, &[], &suite, &seeds, jobs)
+                .unwrap();
+            assert_eq!(parallel.report, serial.report, "jobs={jobs}");
+            assert_eq!(parallel.analysis.aggregate, serial.analysis.aggregate);
+        }
+        // The checkers ride the analysis sessions: the aggregate covers
+        // every seed's cycles.
+        assert_eq!(serial.analysis.total_cycles(), 4 * 60);
+        let xprop = serial.report.outcome("x-propagation").unwrap();
+        assert_eq!(xprop.metric("cycles"), Some(4 * 60));
+    }
+
+    #[test]
+    fn check_delta_equals_a_full_check_of_the_merged_stimulus() {
+        let (nl, buses) = fixture();
+        let analyzer = x_analyzer(40);
+        let suite = full_suite(&nl);
+        let (_, _, baseline) = analyzer.check_baseline(&nl, &buses, &[], &suite).unwrap();
+        let en = nl.find_net("en").unwrap();
+        let flip_to = baseline.input_value(15, en) != glitch_sim::Value::One;
+        let delta = DeltaStimulus::new().set(15, en, flip_to);
+
+        let incremental = analyzer
+            .check_delta(&nl, &baseline, &delta, &suite)
+            .unwrap();
+        assert!(incremental.incremental.replayed_cycles >= 30);
+
+        // Full reference: simulate the merged stimulus from scratch with a
+        // fresh checker set.
+        let merged: Vec<InputAssignment> = (0..baseline.cycle_count())
+            .map(|c| delta.apply_to(c, baseline.assignment(c)))
+            .collect();
+        let full = SimSession::new(&nl)
+            .delay(analyzer.config().delay.clone())
+            .options(analyzer.config().options)
+            .stimulus(merged)
+            .probe(suite.build())
+            .run()
+            .unwrap();
+        let full_report = full.probe::<CheckerProbe>().unwrap().report(&nl);
+        assert_eq!(incremental.report, full_report);
+    }
+
+    #[test]
+    fn baseline_check_report_matches_a_plain_run() {
+        let (nl, buses) = fixture();
+        let analyzer = x_analyzer(30);
+        let suite = full_suite(&nl);
+        let (from_baseline, analysis, baseline) =
+            analyzer.check_baseline(&nl, &buses, &[], &suite).unwrap();
+        assert_eq!(baseline.cycle_count(), 30);
+        assert_eq!(analysis.cycles, 30);
+        // An empty delta replays everything and reproduces the report.
+        let replay = analyzer
+            .check_delta(&nl, &baseline, &DeltaStimulus::new(), &suite)
+            .unwrap();
+        assert_eq!(replay.incremental.cells_evaluated, 0);
+        assert_eq!(replay.report, from_baseline);
+        assert_eq!(replay.analysis.trace, analysis.trace);
+    }
+}

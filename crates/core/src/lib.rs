@@ -39,12 +39,14 @@
 //! ```
 
 mod analyzer;
+mod check;
 mod explore;
 mod table;
 
 pub use analyzer::{
     AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, DeltaAnalysis, GlitchAnalyzer,
 };
+pub use check::{CheckAnalysis, DeltaCheck};
 pub use explore::{
     ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer, SensitivityPoint,
 };
@@ -87,3 +89,7 @@ pub use glitch_retime as retime;
 
 /// Re-export of the power model.
 pub use glitch_power as power;
+
+/// Re-export of the verification subsystem (three-valued X-propagation,
+/// settle-time budgets, hazard classification, stability assertions).
+pub use glitch_verify as verify;

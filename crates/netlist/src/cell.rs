@@ -8,6 +8,7 @@
 use std::fmt;
 
 use crate::net::NetId;
+use crate::tri::{tri_majority3, Tri};
 
 /// Identifier of a cell inside one [`crate::Netlist`].
 ///
@@ -328,6 +329,108 @@ impl CellKind {
         Ok(out)
     }
 
+    /// Evaluates the combinational function of this cell over the
+    /// three-valued domain `{0, 1, X}`, writing one [`Tri`] per output pin
+    /// into `outputs`.
+    ///
+    /// The tables are *pessimistic* (Kleene-style): an output is concrete
+    /// exactly when the known inputs force it — a controlling `0` on an
+    /// AND/NAND, a controlling `1` on an OR/NOR, two agreeing majority
+    /// inputs, a MUX whose select is known (or whose data inputs agree) —
+    /// and `X` otherwise. XOR-class gates have no controlling value, so any
+    /// `X` input makes their output `X`.
+    ///
+    /// Two properties are load-bearing for the verification subsystem and
+    /// are pinned by `tests/tri_props.rs`:
+    ///
+    /// * **concrete agreement** — on all-known inputs the result is
+    ///   bit-identical to [`CellKind::try_evaluate_into`];
+    /// * **monotonicity** — raising any input from `X` to a concrete value
+    ///   never flips a concrete output ([`Tri::refines_to`] pointwise).
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`CellKind::try_evaluate_into`]: sequential
+    /// cells, illegal arities and short output buffers.
+    pub fn try_evaluate_tri_into(
+        self,
+        inputs: &[Tri],
+        outputs: &mut [Tri],
+    ) -> Result<(), EvalError> {
+        if matches!(self, CellKind::Dff) {
+            return Err(EvalError::Sequential(self));
+        }
+        if !self.accepts_arity(inputs.len()) {
+            return Err(EvalError::BadArity {
+                kind: self,
+                inputs: inputs.len(),
+            });
+        }
+        if outputs.len() < self.output_count() {
+            return Err(EvalError::OutputBufferTooSmall {
+                kind: self,
+                have: outputs.len(),
+                need: self.output_count(),
+            });
+        }
+        match self {
+            CellKind::Const(v) => outputs[0] = Tri::from(v),
+            CellKind::Buf => outputs[0] = inputs[0],
+            CellKind::Inv => outputs[0] = !inputs[0],
+            CellKind::And => outputs[0] = inputs.iter().fold(Tri::One, |acc, &v| acc.and(v)),
+            CellKind::Or => outputs[0] = inputs.iter().fold(Tri::Zero, |acc, &v| acc.or(v)),
+            CellKind::Nand => {
+                outputs[0] = !inputs.iter().fold(Tri::One, |acc, &v| acc.and(v));
+            }
+            CellKind::Nor => {
+                outputs[0] = !inputs.iter().fold(Tri::Zero, |acc, &v| acc.or(v));
+            }
+            CellKind::Xor => outputs[0] = inputs.iter().fold(Tri::Zero, |acc, &v| acc.xor(v)),
+            CellKind::Xnor => {
+                outputs[0] = !inputs.iter().fold(Tri::Zero, |acc, &v| acc.xor(v));
+            }
+            CellKind::Mux2 => {
+                outputs[0] = match inputs[0] {
+                    Tri::Zero => inputs[1],
+                    Tri::One => inputs[2],
+                    // Unknown select: concrete only when both data inputs
+                    // agree on a known value.
+                    Tri::X => {
+                        if inputs[1] == inputs[2] {
+                            inputs[1]
+                        } else {
+                            Tri::X
+                        }
+                    }
+                };
+            }
+            CellKind::Maj3 => outputs[0] = tri_majority3(inputs[0], inputs[1], inputs[2]),
+            CellKind::HalfAdder => {
+                outputs[0] = inputs[0].xor(inputs[1]);
+                outputs[1] = inputs[0].and(inputs[1]);
+            }
+            CellKind::FullAdder => {
+                outputs[0] = inputs[0].xor(inputs[1]).xor(inputs[2]);
+                outputs[1] = tri_majority3(inputs[0], inputs[1], inputs[2]);
+            }
+            // Handled by the Sequential early-return above.
+            CellKind::Dff => unreachable!("Dff evaluation rejected above"),
+        }
+        Ok(())
+    }
+
+    /// Three-valued evaluation returning the outputs as a freshly allocated
+    /// vector; see [`CellKind::try_evaluate_tri_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for sequential cells and illegal arities.
+    pub fn try_evaluate_tri(self, inputs: &[Tri]) -> Result<Vec<Tri>, EvalError> {
+        let mut out = vec![Tri::X; self.output_count()];
+        self.try_evaluate_tri_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
     /// Evaluates the combinational function of this cell for two-valued
     /// inputs, writing one value per output pin into `outputs`.
     ///
@@ -564,6 +667,129 @@ mod tests {
     #[should_panic(expected = "no combinational evaluation")]
     fn evaluate_rejects_dff() {
         let _ = CellKind::Dff.evaluate(&[true]);
+    }
+
+    /// Every combinational kind at a representative arity.
+    fn combinational_kinds_and_arities() -> Vec<(CellKind, usize)> {
+        vec![
+            (CellKind::Const(false), 0),
+            (CellKind::Const(true), 0),
+            (CellKind::Buf, 1),
+            (CellKind::Inv, 1),
+            (CellKind::And, 3),
+            (CellKind::Or, 3),
+            (CellKind::Nand, 3),
+            (CellKind::Nor, 3),
+            (CellKind::Xor, 3),
+            (CellKind::Xnor, 3),
+            (CellKind::Mux2, 3),
+            (CellKind::Maj3, 3),
+            (CellKind::HalfAdder, 2),
+            (CellKind::FullAdder, 3),
+        ]
+    }
+
+    fn tri_inputs(arity: usize, word: usize) -> Vec<Tri> {
+        const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+        (0..arity)
+            .map(|i| ALL[(word / 3usize.pow(i as u32)) % 3])
+            .collect()
+    }
+
+    #[test]
+    fn tri_evaluation_agrees_with_binary_on_concrete_inputs() {
+        for (kind, arity) in combinational_kinds_and_arities() {
+            for word in 0..(1usize << arity) {
+                let bools: Vec<bool> = (0..arity).map(|i| word & (1 << i) != 0).collect();
+                let tris: Vec<Tri> = bools.iter().map(|&b| Tri::from(b)).collect();
+                let binary = kind.try_evaluate(&bools).unwrap();
+                let tri = kind.try_evaluate_tri(&tris).unwrap();
+                let expected: Vec<Tri> = binary.into_iter().map(Tri::from).collect();
+                assert_eq!(tri, expected, "{kind} on {bools:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tri_evaluation_is_monotone_exhaustively() {
+        // For every kind, every input vector and every X position: raising
+        // the X to either concrete value must refine the outputs pointwise.
+        for (kind, arity) in combinational_kinds_and_arities() {
+            for word in 0..3usize.pow(arity as u32) {
+                let lo = tri_inputs(arity, word);
+                let lo_out = kind.try_evaluate_tri(&lo).unwrap();
+                for (i, _) in lo.iter().enumerate().filter(|(_, &v)| v == Tri::X) {
+                    for raised in [Tri::Zero, Tri::One] {
+                        let mut hi = lo.clone();
+                        hi[i] = raised;
+                        let hi_out = kind.try_evaluate_tri(&hi).unwrap();
+                        for (l, h) in lo_out.iter().zip(&hi_out) {
+                            assert!(
+                                l.refines_to(*h),
+                                "{kind}: {lo:?} -> {lo_out:?} must refine {hi:?} -> {hi_out:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tri_evaluation_is_pessimistic_where_expected() {
+        use Tri::{One, Zero, X};
+        assert_eq!(CellKind::And.try_evaluate_tri(&[Zero, X]).unwrap(), [Zero]);
+        assert_eq!(CellKind::And.try_evaluate_tri(&[One, X]).unwrap(), [X]);
+        assert_eq!(CellKind::Or.try_evaluate_tri(&[One, X]).unwrap(), [One]);
+        assert_eq!(CellKind::Nor.try_evaluate_tri(&[One, X]).unwrap(), [Zero]);
+        assert_eq!(CellKind::Nand.try_evaluate_tri(&[Zero, X]).unwrap(), [One]);
+        assert_eq!(CellKind::Xor.try_evaluate_tri(&[One, X]).unwrap(), [X]);
+        // A MUX with unknown select but agreeing data inputs is known.
+        assert_eq!(
+            CellKind::Mux2.try_evaluate_tri(&[X, One, One]).unwrap(),
+            [One]
+        );
+        assert_eq!(
+            CellKind::Mux2.try_evaluate_tri(&[X, One, Zero]).unwrap(),
+            [X]
+        );
+        // Majority settles as soon as two inputs agree.
+        assert_eq!(
+            CellKind::Maj3.try_evaluate_tri(&[One, X, One]).unwrap(),
+            [One]
+        );
+        assert_eq!(
+            CellKind::FullAdder
+                .try_evaluate_tri(&[Zero, X, Zero])
+                .unwrap(),
+            [X, Zero]
+        );
+        // Constants ignore the X world entirely.
+        assert_eq!(CellKind::Const(true).try_evaluate_tri(&[]).unwrap(), [One]);
+    }
+
+    #[test]
+    fn tri_evaluation_reports_the_same_errors_as_binary() {
+        assert_eq!(
+            CellKind::Dff.try_evaluate_tri(&[Tri::One]),
+            Err(EvalError::Sequential(CellKind::Dff))
+        );
+        assert_eq!(
+            CellKind::Mux2.try_evaluate_tri(&[Tri::One]),
+            Err(EvalError::BadArity {
+                kind: CellKind::Mux2,
+                inputs: 1
+            })
+        );
+        let mut short = [Tri::X];
+        assert_eq!(
+            CellKind::HalfAdder.try_evaluate_tri_into(&[Tri::One, Tri::One], &mut short),
+            Err(EvalError::OutputBufferTooSmall {
+                kind: CellKind::HalfAdder,
+                have: 1,
+                need: 2
+            })
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod level;
 mod net;
 mod netlist;
 mod stats;
+mod tri;
 mod validate;
 
 pub use cell::{Cell, CellId, CellKind, DffInit, EvalError};
@@ -53,3 +54,4 @@ pub use level::{CellLevels, Levelization};
 pub use net::{Net, NetId, Pin};
 pub use netlist::{Bus, Netlist};
 pub use stats::NetlistStats;
+pub use tri::Tri;

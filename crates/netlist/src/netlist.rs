@@ -99,6 +99,48 @@ impl Netlist {
         &self.name
     }
 
+    /// A structural fingerprint of the netlist: an FNV-1a hash over the
+    /// design name, every net (name, input/output marking) and every cell
+    /// (kind, connectivity, flipflop init state), in id order.
+    ///
+    /// Two netlists with equal fingerprints are structurally identical for
+    /// simulation purposes; recorded baselines persisted to disk use this
+    /// to reject replay against an edited circuit that happens to keep the
+    /// same name and element counts. The hash is implemented explicitly
+    /// (not via `std::hash`) so the value is stable across Rust versions —
+    /// it is part of the baseline file format.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        for net in &self.nets {
+            eat(net.name().as_bytes());
+            eat(&[
+                0xFE,
+                u8::from(net.is_primary_input()),
+                u8::from(net.is_primary_output()),
+            ]);
+        }
+        for cell in &self.cells {
+            eat(cell.name().as_bytes());
+            eat(&[0xFD]);
+            eat(format!("{}", cell.kind()).as_bytes());
+            eat(&[cell.dff_init().blif_digit() as u8]);
+            for &net in cell.inputs().iter().chain(cell.outputs()) {
+                eat(&(net.index() as u64).to_le_bytes());
+            }
+        }
+        hash
+    }
+
     /// Number of nets (signal nodes).
     #[must_use]
     pub fn net_count(&self) -> usize {

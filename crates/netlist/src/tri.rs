@@ -1,0 +1,232 @@
+//! Three-valued logic values: the [`Tri`] domain `{0, 1, X}`.
+//!
+//! `Tri` is the value domain of X-aware (Kleene-style) evaluation: `X`
+//! stands for *unknown* — an uninitialised flipflop, an undriven input, a
+//! net whose value depends on one. Evaluation over `Tri` (see
+//! [`crate::CellKind::try_evaluate_tri_into`]) is *pessimistic*: a cell
+//! output is concrete only when the known inputs force it (a controlling
+//! `0` on an AND, a controlling `1` on an OR, agreeing MUX data inputs),
+//! and `X` otherwise — never an optimistic guess.
+//!
+//! The domain carries an **information order**: `X ⊑ 0` and `X ⊑ 1`
+//! (unknown is below every concrete value), concrete values are
+//! incomparable. Evaluation is monotone with respect to this order —
+//! raising an input from `X` to a concrete value can only raise outputs,
+//! never flip a concrete output to the other concrete value. Monotonicity
+//! is what makes X-propagation sound: whatever the unknown bits turn out
+//! to be, every concrete output of the `X` run is already correct.
+
+use std::fmt;
+
+/// A three-valued logic value: `0`, `1` or `X` (unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tri {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Tri {
+    /// `true` when the value is 0 or 1.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Tri::X)
+    }
+
+    /// Converts to `bool`, or `None` for `X`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tri::Zero => Some(false),
+            Tri::One => Some(true),
+            Tri::X => None,
+        }
+    }
+
+    /// The information order `self ⊑ other`: `X` is below everything, a
+    /// concrete value only below itself. Monotone evaluation preserves
+    /// this order pointwise.
+    #[must_use]
+    pub fn refines_to(self, other: Tri) -> bool {
+        self == Tri::X || self == other
+    }
+
+    /// Three-valued AND: a controlling `0` dominates any unknown.
+    #[must_use]
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::Zero, _) | (_, Tri::Zero) => Tri::Zero,
+            (Tri::One, Tri::One) => Tri::One,
+            _ => Tri::X,
+        }
+    }
+
+    /// Three-valued OR: a controlling `1` dominates any unknown.
+    #[must_use]
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::One, _) | (_, Tri::One) => Tri::One,
+            (Tri::Zero, Tri::Zero) => Tri::Zero,
+            _ => Tri::X,
+        }
+    }
+
+    /// Three-valued XOR: XOR has no controlling value, so any unknown
+    /// input makes the result unknown.
+    #[must_use]
+    pub fn xor(self, other: Tri) -> Tri {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Tri::from(a ^ b),
+            _ => Tri::X,
+        }
+    }
+}
+
+/// Three-valued NOT (`!x`): unknown stays unknown.
+impl std::ops::Not for Tri {
+    type Output = Tri;
+
+    fn not(self) -> Tri {
+        match self {
+            Tri::Zero => Tri::One,
+            Tri::One => Tri::Zero,
+            Tri::X => Tri::X,
+        }
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Self {
+        if b {
+            Tri::One
+        } else {
+            Tri::Zero
+        }
+    }
+}
+
+impl From<Option<bool>> for Tri {
+    fn from(b: Option<bool>) -> Self {
+        match b {
+            Some(b) => Tri::from(b),
+            None => Tri::X,
+        }
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tri::Zero => f.write_str("0"),
+            Tri::One => f.write_str("1"),
+            Tri::X => f.write_str("x"),
+        }
+    }
+}
+
+/// Three-valued majority of three (the carry function of a full adder):
+/// concrete as soon as two inputs agree.
+#[must_use]
+pub(crate) fn tri_majority3(a: Tri, b: Tri, c: Tri) -> Tri {
+    let ones = [a, b, c].iter().filter(|&&v| v == Tri::One).count();
+    let zeros = [a, b, c].iter().filter(|&&v| v == Tri::Zero).count();
+    if ones >= 2 {
+        Tri::One
+    } else if zeros >= 2 {
+        Tri::Zero
+    } else {
+        Tri::X
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Tri::from(true), Tri::One);
+        assert_eq!(Tri::from(false), Tri::Zero);
+        assert_eq!(Tri::from(Some(true)), Tri::One);
+        assert_eq!(Tri::from(None), Tri::X);
+        assert_eq!(Tri::One.to_bool(), Some(true));
+        assert_eq!(Tri::X.to_bool(), None);
+        assert_eq!(Tri::default(), Tri::X);
+        assert_eq!(Tri::Zero.to_string(), "0");
+        assert_eq!(Tri::One.to_string(), "1");
+        assert_eq!(Tri::X.to_string(), "x");
+    }
+
+    #[test]
+    fn information_order() {
+        for v in ALL {
+            assert!(Tri::X.refines_to(v), "X is the bottom element");
+            assert!(v.refines_to(v), "reflexive");
+        }
+        assert!(!Tri::Zero.refines_to(Tri::One));
+        assert!(!Tri::One.refines_to(Tri::Zero));
+        assert!(!Tri::One.refines_to(Tri::X));
+    }
+
+    #[test]
+    fn controlling_values_dominate_unknowns() {
+        assert_eq!(Tri::Zero.and(Tri::X), Tri::Zero);
+        assert_eq!(Tri::X.and(Tri::Zero), Tri::Zero);
+        assert_eq!(Tri::One.and(Tri::X), Tri::X);
+        assert_eq!(Tri::One.or(Tri::X), Tri::One);
+        assert_eq!(Tri::X.or(Tri::One), Tri::One);
+        assert_eq!(Tri::Zero.or(Tri::X), Tri::X);
+        assert_eq!(Tri::X.xor(Tri::Zero), Tri::X);
+        assert_eq!(!Tri::X, Tri::X);
+    }
+
+    #[test]
+    fn concrete_cases_match_bool_logic() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (ta, tb) = (Tri::from(a), Tri::from(b));
+                assert_eq!(ta.and(tb), Tri::from(a && b));
+                assert_eq!(ta.or(tb), Tri::from(a || b));
+                assert_eq!(ta.xor(tb), Tri::from(a ^ b));
+                assert_eq!(!ta, Tri::from(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn ops_are_monotone_in_both_arguments() {
+        // For every pair lo ⊑ hi (pointwise), op(lo) ⊑ op(hi).
+        type TriOp = fn(Tri, Tri) -> Tri;
+        let ops: [(&str, TriOp); 3] = [("and", Tri::and), ("or", Tri::or), ("xor", Tri::xor)];
+        for (name, op) in ops {
+            for a_lo in ALL {
+                for b_lo in ALL {
+                    for a_hi in ALL {
+                        for b_hi in ALL {
+                            if a_lo.refines_to(a_hi) && b_lo.refines_to(b_hi) {
+                                assert!(
+                                    op(a_lo, b_lo).refines_to(op(a_hi, b_hi)),
+                                    "{name}({a_lo},{b_lo}) must refine to {name}({a_hi},{b_hi})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_is_concrete_when_two_agree() {
+        assert_eq!(tri_majority3(Tri::One, Tri::One, Tri::X), Tri::One);
+        assert_eq!(tri_majority3(Tri::Zero, Tri::X, Tri::Zero), Tri::Zero);
+        assert_eq!(tri_majority3(Tri::One, Tri::Zero, Tri::X), Tri::X);
+        assert_eq!(tri_majority3(Tri::X, Tri::X, Tri::One), Tri::X);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests of the three-valued evaluation tables
+//! ([`CellKind::try_evaluate_tri_into`]) against the binary reference:
+//!
+//! * **monotonicity** — raising an input from `X` to a concrete value
+//!   never flips a concrete output (the information order is preserved
+//!   pointwise), which is what makes X-propagation sound;
+//! * **concrete agreement** — on all-known inputs the Tri tables are
+//!   bit-identical to [`CellKind::try_evaluate`], on random cells and on
+//!   random feed-forward netlists evaluated gate by gate.
+
+use glitch_netlist::{CellKind, Netlist, Tri};
+use proptest::prelude::*;
+
+/// The combinational kinds, indexable by a sampled word.
+const KINDS: [CellKind; 14] = [
+    CellKind::Const(false),
+    CellKind::Const(true),
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And,
+    CellKind::Or,
+    CellKind::Nand,
+    CellKind::Nor,
+    CellKind::Xor,
+    CellKind::Xnor,
+    CellKind::Mux2,
+    CellKind::Maj3,
+    CellKind::HalfAdder,
+    CellKind::FullAdder,
+];
+
+/// Picks a kind and a legal arity from two sampled words.
+fn kind_and_arity(kind_word: u64, arity_word: u64) -> (CellKind, usize) {
+    let kind = KINDS[(kind_word % KINDS.len() as u64) as usize];
+    let arity = match kind.fixed_input_arity() {
+        Some(n) => n,
+        None => 2 + (arity_word % 5) as usize,
+    };
+    (kind, arity)
+}
+
+/// Decodes base-3 digits of `word` into Tri inputs.
+fn tri_inputs(arity: usize, word: u64) -> Vec<Tri> {
+    const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+    (0..arity)
+        .map(|i| ALL[((word / 3u64.pow(i as u32)) % 3) as usize])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raising one X input to a concrete value refines every output:
+    /// concrete outputs stay bit-identical, X outputs may become concrete.
+    #[test]
+    fn tri_evaluation_is_monotone(
+        kind_word in 0u64..u64::MAX,
+        arity_word in 0u64..u64::MAX,
+        input_word in 0u64..u64::MAX,
+        raise_word in 0u64..u64::MAX,
+    ) {
+        let (kind, arity) = kind_and_arity(kind_word, arity_word);
+        let lo = tri_inputs(arity, input_word);
+        let lo_out = kind.try_evaluate_tri(&lo).unwrap();
+        let x_positions: Vec<usize> = lo
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == Tri::X)
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&pos) = x_positions.get((raise_word >> 1) as usize % x_positions.len().max(1)) {
+            let mut hi = lo.clone();
+            hi[pos] = Tri::from(raise_word & 1 == 1);
+            let hi_out = kind.try_evaluate_tri(&hi).unwrap();
+            for (l, h) in lo_out.iter().zip(&hi_out) {
+                prop_assert!(
+                    l.refines_to(*h),
+                    "{kind}: raising input {pos} of {lo:?} flipped {l} to {h}"
+                );
+            }
+        }
+    }
+
+    /// All-concrete Tri evaluation equals the binary tables bit for bit.
+    #[test]
+    fn concrete_tri_evaluation_matches_binary(
+        kind_word in 0u64..u64::MAX,
+        arity_word in 0u64..u64::MAX,
+        input_word in 0u64..u64::MAX,
+    ) {
+        let (kind, arity) = kind_and_arity(kind_word, arity_word);
+        let bools: Vec<bool> = (0..arity).map(|i| input_word & (1 << i) != 0).collect();
+        let tris: Vec<Tri> = bools.iter().map(|&b| Tri::from(b)).collect();
+        let binary: Vec<Tri> = kind
+            .try_evaluate(&bools)
+            .unwrap()
+            .into_iter()
+            .map(Tri::from)
+            .collect();
+        prop_assert_eq!(kind.try_evaluate_tri(&tris).unwrap(), binary);
+    }
+
+    /// On a random feed-forward netlist driven with concrete inputs, a
+    /// gate-by-gate Tri sweep in creation order computes exactly the values
+    /// a binary sweep computes.
+    #[test]
+    fn concrete_netlist_sweep_matches_binary(
+        input_count in 1usize..6,
+        gate_words in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        input_word in 0u64..u64::MAX,
+    ) {
+        let mut nl = Netlist::new("tri sweep");
+        let inputs: Vec<_> = (0..input_count).map(|i| nl.add_input(format!("in{i}"))).collect();
+        let mut nets = inputs.clone();
+        for (g, &word) in gate_words.iter().enumerate() {
+            let pick = |shift: u32| nets[(word >> shift) as usize % nets.len()];
+            let (a, b, c) = (pick(8), pick(20), pick(32));
+            let name = format!("g{g}");
+            let out = match word % 7 {
+                0 => nl.inv(a, &name),
+                1 => nl.and2(a, b, &name),
+                2 => nl.or2(a, b, &name),
+                3 => nl.xor2(a, b, &name),
+                4 => nl.nand2(a, b, &name),
+                5 => nl.mux2(a, b, c, &name),
+                _ => nl.xnor2(a, b, &name),
+            };
+            nets.push(out);
+        }
+        let mut tri_values = vec![Tri::X; nl.net_count()];
+        let mut bool_values = vec![false; nl.net_count()];
+        for (i, &input) in inputs.iter().enumerate() {
+            let bit = input_word & (1 << i) != 0;
+            tri_values[input.index()] = Tri::from(bit);
+            bool_values[input.index()] = bit;
+        }
+        // Creation order is topological for this feed-forward construction.
+        for (_, cell) in nl.cells() {
+            let tri_in: Vec<Tri> = cell.inputs().iter().map(|n| tri_values[n.index()]).collect();
+            let bool_in: Vec<bool> = cell.inputs().iter().map(|n| bool_values[n.index()]).collect();
+            let tri_out = cell.kind().try_evaluate_tri(&tri_in).unwrap();
+            let bool_out = cell.kind().try_evaluate(&bool_in).unwrap();
+            for (pin, &net) in cell.outputs().iter().enumerate() {
+                prop_assert_eq!(tri_out[pin], Tri::from(bool_out[pin]));
+                tri_values[net.index()] = tri_out[pin];
+                bool_values[net.index()] = bool_out[pin];
+            }
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! Baseline persistence: [`SimBaseline`] to and from a compact binary file.
+//!
+//! A recorded baseline is the expensive half of every incremental what-if
+//! run ([`crate::IncrementalSession`]): it costs one full simulation pass.
+//! Saving it to disk lets repeated `analyze --flip` invocations (and any
+//! other delta consumer) skip the re-recording entirely — load, validate
+//! against the netlist, and go straight to the dirty-region fast path.
+//!
+//! The format is a little-endian binary stream with a magic/version
+//! header: netlist identity (name, net count, flipflop count), the delay
+//! kind (including custom per-cell tables, serialised in sorted canonical
+//! order so the bytes are deterministic), the simulator options, and per
+//! cycle the stimulus entries, the transition stream and the cycle
+//! statistics. No external serialisation dependency is involved.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use glitch_netlist::CellKind;
+
+use crate::clocked::{CycleStats, InputAssignment, SimOptions, XEval};
+use crate::delay::{CellDelay, DelayKind};
+use crate::incremental::{BaselineCycle, SimBaseline};
+use crate::probe::{Transition, TransitionKind};
+use crate::value::Value;
+
+/// `b"GLBL"` — glitch baseline.
+const MAGIC: [u8; 4] = *b"GLBL";
+const VERSION: u16 = 1;
+
+/// Why a baseline file could not be written or read.
+#[derive(Debug)]
+pub enum BaselineFileError {
+    /// The underlying I/O operation failed.
+    Io(io::Error),
+    /// The bytes are not a baseline file this version understands; the
+    /// message names the offending field.
+    Format(String),
+}
+
+impl fmt::Display for BaselineFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineFileError::Io(e) => write!(f, "baseline file I/O failed: {e}"),
+            BaselineFileError::Format(m) => write!(f, "not a valid baseline file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineFileError::Io(e) => Some(e),
+            BaselineFileError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for BaselineFileError {
+    fn from(e: io::Error) -> Self {
+        BaselineFileError::Io(e)
+    }
+}
+
+fn format_err(message: impl Into<String>) -> BaselineFileError {
+    BaselineFileError::Format(message.into())
+}
+
+// ---------------------------------------------------------------- encoding
+
+/// Stable on-disk code of a [`CellKind`] (the enum itself carries no
+/// guaranteed discriminants).
+fn kind_code(kind: CellKind) -> u8 {
+    match kind {
+        CellKind::Const(false) => 0,
+        CellKind::Const(true) => 1,
+        CellKind::Buf => 2,
+        CellKind::Inv => 3,
+        CellKind::And => 4,
+        CellKind::Or => 5,
+        CellKind::Nand => 6,
+        CellKind::Nor => 7,
+        CellKind::Xor => 8,
+        CellKind::Xnor => 9,
+        CellKind::Mux2 => 10,
+        CellKind::Maj3 => 11,
+        CellKind::HalfAdder => 12,
+        CellKind::FullAdder => 13,
+        CellKind::Dff => 14,
+    }
+}
+
+fn kind_from_code(code: u8) -> Result<CellKind, BaselineFileError> {
+    Ok(match code {
+        0 => CellKind::Const(false),
+        1 => CellKind::Const(true),
+        2 => CellKind::Buf,
+        3 => CellKind::Inv,
+        4 => CellKind::And,
+        5 => CellKind::Or,
+        6 => CellKind::Nand,
+        7 => CellKind::Nor,
+        8 => CellKind::Xor,
+        9 => CellKind::Xnor,
+        10 => CellKind::Mux2,
+        11 => CellKind::Maj3,
+        12 => CellKind::HalfAdder,
+        13 => CellKind::FullAdder,
+        14 => CellKind::Dff,
+        other => return Err(format_err(format!("unknown cell-kind code {other}"))),
+    })
+}
+
+fn value_code(value: Value) -> u8 {
+    match value {
+        Value::Zero => 0,
+        Value::One => 1,
+        Value::X => 2,
+    }
+}
+
+fn value_from_code(code: u8) -> Result<Value, BaselineFileError> {
+    Ok(match code {
+        0 => Value::Zero,
+        1 => Value::One,
+        2 => Value::X,
+        other => return Err(format_err(format!("unknown value code {other}"))),
+    })
+}
+
+fn transition_kind_code(kind: TransitionKind) -> u8 {
+    match kind {
+        TransitionKind::Rise => 0,
+        TransitionKind::Fall => 1,
+        TransitionKind::Unknown => 2,
+    }
+}
+
+fn transition_kind_from_code(code: u8) -> Result<TransitionKind, BaselineFileError> {
+    Ok(match code {
+        0 => TransitionKind::Rise,
+        1 => TransitionKind::Fall,
+        2 => TransitionKind::Unknown,
+        other => return Err(format_err(format!("unknown transition-kind code {other}"))),
+    })
+}
+
+// ---------------------------------------------------------- write helpers
+
+fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn write_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_len(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+/// Length prefixes share one bound with the reader ([`MAX_LEN`]): a
+/// baseline too large for `load` must fail loudly at `save` time instead
+/// of producing a file the reader rejects (or, past `u32::MAX`, a
+/// silently truncated prefix and a corrupt file).
+fn write_len(w: &mut impl Write, len: usize) -> io::Result<()> {
+    if len > MAX_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("baseline section of {len} entries exceeds the format limit of {MAX_LEN}"),
+        ));
+    }
+    write_u32(w, len as u32)
+}
+
+// ----------------------------------------------------------- read helpers
+
+fn read_u8(r: &mut impl Read) -> Result<u8, BaselineFileError> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn read_u16(r: &mut impl Read) -> Result<u16, BaselineFileError> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, BaselineFileError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, BaselineFileError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Upper bound on serialized string/collection lengths — a corrupt length
+/// prefix must not trigger a giant allocation.
+const MAX_LEN: u32 = 64 * 1024 * 1024;
+
+fn read_len(r: &mut impl Read, what: &str) -> Result<usize, BaselineFileError> {
+    let len = read_u32(r)?;
+    if len > MAX_LEN {
+        return Err(format_err(format!("{what} length {len} is implausible")));
+    }
+    Ok(len as usize)
+}
+
+fn read_str(r: &mut impl Read, what: &str) -> Result<String, BaselineFileError> {
+    let len = read_len(r, what)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| format_err(format!("{what} is not UTF-8")))
+}
+
+// ------------------------------------------------------------- delay kind
+
+fn write_delay(w: &mut impl Write, delay: &DelayKind) -> io::Result<()> {
+    match delay {
+        DelayKind::Unit => write_u8(w, 0),
+        DelayKind::Zero => write_u8(w, 1),
+        DelayKind::RealisticAdderCells => write_u8(w, 2),
+        DelayKind::Custom(table) => {
+            write_u8(w, 3)?;
+            let (default, by_kind, by_kind_output) = table.parts();
+            write_u64(w, default)?;
+            write_len(w, by_kind.len())?;
+            for (kind, d) in by_kind {
+                write_u8(w, kind_code(kind))?;
+                write_u64(w, d)?;
+            }
+            write_len(w, by_kind_output.len())?;
+            for (kind, pin, d) in by_kind_output {
+                write_u8(w, kind_code(kind))?;
+                write_u8(w, pin as u8)?;
+                write_u64(w, d)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_delay(r: &mut impl Read) -> Result<DelayKind, BaselineFileError> {
+    Ok(match read_u8(r)? {
+        0 => DelayKind::Unit,
+        1 => DelayKind::Zero,
+        2 => DelayKind::RealisticAdderCells,
+        3 => {
+            let default = read_u64(r)?;
+            let mut table = CellDelay::new().with_default(default);
+            for _ in 0..read_len(r, "delay by-kind table")? {
+                let kind = kind_from_code(read_u8(r)?)?;
+                table = table.with_kind(kind, read_u64(r)?);
+            }
+            for _ in 0..read_len(r, "delay by-output table")? {
+                let kind = kind_from_code(read_u8(r)?)?;
+                let pin = read_u8(r)? as usize;
+                table = table.with_output(kind, pin, read_u64(r)?);
+            }
+            DelayKind::Custom(table)
+        }
+        other => return Err(format_err(format!("unknown delay-kind tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------- options
+
+fn write_options(w: &mut impl Write, options: SimOptions) -> io::Result<()> {
+    write_u8(w, value_code(options.dff_init))?;
+    write_u64(w, options.settle_budget)?;
+    write_u8(
+        w,
+        match options.x_eval {
+            XEval::Coarse => 0,
+            XEval::TriTable => 1,
+        },
+    )
+}
+
+fn read_options(r: &mut impl Read) -> Result<SimOptions, BaselineFileError> {
+    let dff_init = value_from_code(read_u8(r)?)?;
+    let settle_budget = read_u64(r)?;
+    let x_eval = match read_u8(r)? {
+        0 => XEval::Coarse,
+        1 => XEval::TriTable,
+        other => return Err(format_err(format!("unknown x-eval code {other}"))),
+    };
+    Ok(SimOptions {
+        dff_init,
+        settle_budget,
+        x_eval,
+    })
+}
+
+// --------------------------------------------------------------- baseline
+
+/// Serialises a baseline into `writer`; see the module docs for the
+/// format. The bytes are deterministic for a given baseline.
+///
+/// # Errors
+///
+/// Returns [`BaselineFileError::Io`] on write failures.
+pub fn save_baseline_to(
+    baseline: &SimBaseline,
+    writer: &mut impl Write,
+) -> Result<(), BaselineFileError> {
+    let w = writer;
+    w.write_all(&MAGIC)?;
+    write_u16(w, VERSION)?;
+    write_str(w, &baseline.netlist_name)?;
+    write_u64(w, baseline.netlist_fingerprint)?;
+    write_u32(w, baseline.net_count as u32)?;
+    write_u32(w, baseline.dff_count as u32)?;
+    write_delay(w, &baseline.delay)?;
+    write_options(w, baseline.options)?;
+    write_u64(w, baseline.total_cell_evals)?;
+    write_len(w, baseline.cycles.len())?;
+    for cycle in &baseline.cycles {
+        write_len(w, cycle.assignment.assignments().len())?;
+        for &(net, value) in cycle.assignment.assignments() {
+            write_u32(w, net.index() as u32)?;
+            write_u8(w, u8::from(value))?;
+        }
+        write_len(w, cycle.transitions.len())?;
+        for t in &cycle.transitions {
+            write_u32(w, t.net.index() as u32)?;
+            write_u64(w, t.time)?;
+            write_u8(w, value_code(t.value))?;
+            write_u8(w, transition_kind_code(t.kind))?;
+        }
+        write_u64(w, cycle.stats.transitions)?;
+        write_u64(w, cycle.stats.settle_time)?;
+        write_u64(w, cycle.stats.events)?;
+        write_u64(w, cycle.stats.cell_evals)?;
+    }
+    Ok(())
+}
+
+/// Deserialises a baseline from `reader`.
+///
+/// # Errors
+///
+/// Returns [`BaselineFileError::Format`] for wrong magic/version or
+/// malformed fields and [`BaselineFileError::Io`] for read failures.
+pub fn load_baseline_from(reader: &mut impl Read) -> Result<SimBaseline, BaselineFileError> {
+    let r = reader;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(format_err("wrong magic bytes (expected GLBL)"));
+    }
+    let version = read_u16(r)?;
+    if version != VERSION {
+        return Err(format_err(format!(
+            "unsupported baseline version {version} (this build reads {VERSION})"
+        )));
+    }
+    let netlist_name = read_str(r, "netlist name")?;
+    let netlist_fingerprint = read_u64(r)?;
+    let net_count = read_u32(r)? as usize;
+    let dff_count = read_u32(r)? as usize;
+    let delay = read_delay(r)?;
+    let options = read_options(r)?;
+    let total_cell_evals = read_u64(r)?;
+    let cycle_count = read_len(r, "cycle list")?;
+    // Length prefixes are untrusted until the entries actually parse:
+    // cap the upfront reservation so a corrupt 4-byte prefix yields a
+    // Format error from the entry loop, not a gigabyte allocation here.
+    let mut cycles = Vec::with_capacity(cycle_count.min(4096));
+    for cycle_index in 0..cycle_count {
+        let mut assignment = InputAssignment::new();
+        for _ in 0..read_len(r, "assignment list")? {
+            let net = read_net(r, net_count)?;
+            assignment.set(net, read_u8(r)? != 0);
+        }
+        let transition_count = read_len(r, "transition list")?;
+        let mut transitions = Vec::with_capacity(transition_count.min(4096));
+        for _ in 0..transition_count {
+            let net = read_net(r, net_count)?;
+            let time = read_u64(r)?;
+            let value = value_from_code(read_u8(r)?)?;
+            let kind = transition_kind_from_code(read_u8(r)?)?;
+            transitions.push(Transition {
+                net,
+                cycle: cycle_index as u64,
+                time,
+                value,
+                kind,
+            });
+        }
+        let stats = CycleStats {
+            transitions: read_u64(r)?,
+            settle_time: read_u64(r)?,
+            events: read_u64(r)?,
+            cell_evals: read_u64(r)?,
+        };
+        cycles.push(BaselineCycle {
+            assignment,
+            transitions,
+            stats,
+        });
+    }
+    // Trailing garbage means the file is not what it claims to be.
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing)? {
+        0 => {}
+        _ => return Err(format_err("trailing bytes after the last cycle")),
+    }
+    Ok(SimBaseline {
+        netlist_name,
+        netlist_fingerprint,
+        net_count,
+        dff_count,
+        delay,
+        options,
+        cycles,
+        total_cell_evals,
+    })
+}
+
+fn read_net(
+    r: &mut impl Read,
+    net_count: usize,
+) -> Result<glitch_netlist::NetId, BaselineFileError> {
+    let index = read_u32(r)? as usize;
+    if index >= net_count {
+        return Err(format_err(format!(
+            "net index {index} out of range (netlist has {net_count} nets)"
+        )));
+    }
+    Ok(glitch_netlist::NetId::from_index(index))
+}
+
+/// Saves a baseline to `path` (buffered, created or truncated).
+///
+/// # Errors
+///
+/// As for [`save_baseline_to`].
+pub fn save_baseline(
+    baseline: &SimBaseline,
+    path: impl AsRef<Path>,
+) -> Result<(), BaselineFileError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    save_baseline_to(baseline, &mut writer)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Loads a baseline from `path` (buffered).
+///
+/// # Errors
+///
+/// As for [`load_baseline_from`].
+pub fn load_baseline(path: impl AsRef<Path>) -> Result<SimBaseline, BaselineFileError> {
+    load_baseline_from(&mut BufReader::new(File::open(path)?))
+}
+
+impl SimBaseline {
+    /// Saves this baseline to a compact binary file; load it back with
+    /// [`SimBaseline::load`]. See the module docs of [`crate::baseline_io`]
+    /// for the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineFileError`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BaselineFileError> {
+        save_baseline(self, path)
+    }
+
+    /// Loads a baseline previously written by [`SimBaseline::save`].
+    /// Callers should confirm [`SimBaseline::matches_netlist`] before
+    /// handing the result to an [`crate::IncrementalSession`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineFileError`] for I/O failures and malformed or
+    /// version-mismatched files.
+    pub fn load(path: impl AsRef<Path>) -> Result<SimBaseline, BaselineFileError> {
+        load_baseline(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocked::InputAssignment;
+    use crate::probe::ActivityProbe;
+    use crate::session::SimSession;
+    use crate::DeltaStimulus;
+    use glitch_netlist::Netlist;
+
+    fn recorded_baseline(delay: DelayKind, options: SimOptions) -> (Netlist, SimBaseline) {
+        let mut nl = Netlist::new("roundtrip");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl.dff(b, "q");
+        let y = nl.xor2(a, q, "y");
+        nl.mark_output(y);
+        let stimulus: Vec<InputAssignment> = (0..12)
+            .map(|i| {
+                InputAssignment::new()
+                    .with(a, i % 2 == 0)
+                    .with(b, i % 3 == 0)
+            })
+            .collect();
+        let (_, baseline) = SimSession::new(&nl)
+            .delay(delay)
+            .options(options)
+            .stimulus(stimulus)
+            .record_baseline()
+            .unwrap();
+        (nl, baseline)
+    }
+
+    fn roundtrip(baseline: &SimBaseline) -> SimBaseline {
+        let mut bytes = Vec::new();
+        save_baseline_to(baseline, &mut bytes).unwrap();
+        load_baseline_from(&mut bytes.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field_and_replays_identically() {
+        for delay in [
+            DelayKind::Unit,
+            DelayKind::Zero,
+            DelayKind::RealisticAdderCells,
+            DelayKind::Custom(
+                CellDelay::new()
+                    .with_default(2)
+                    .with_kind(glitch_netlist::CellKind::Xor, 3)
+                    .with_output(glitch_netlist::CellKind::FullAdder, 0, 5),
+            ),
+        ] {
+            let (nl, baseline) = recorded_baseline(delay.clone(), SimOptions::x_init());
+            let loaded = roundtrip(&baseline);
+            assert_eq!(loaded.netlist_name(), baseline.netlist_name());
+            assert_eq!(loaded.cycle_count(), baseline.cycle_count());
+            assert_eq!(loaded.total_cell_evals(), baseline.total_cell_evals());
+            assert_eq!(loaded.delay(), &delay);
+            assert_eq!(loaded.options(), baseline.options());
+            assert!(loaded.matches_netlist(&nl));
+
+            // The loaded baseline replays bit-identically to the original.
+            let from_original = crate::IncrementalSession::new(&nl, &baseline)
+                .probe(ActivityProbe::new())
+                .run()
+                .unwrap();
+            let from_loaded = crate::IncrementalSession::new(&nl, &loaded)
+                .probe(ActivityProbe::new())
+                .run()
+                .unwrap();
+            assert_eq!(
+                from_loaded
+                    .session()
+                    .probe::<ActivityProbe>()
+                    .unwrap()
+                    .trace(),
+                from_original
+                    .session()
+                    .probe::<ActivityProbe>()
+                    .unwrap()
+                    .trace()
+            );
+            assert_eq!(from_loaded.stats(), from_original.stats());
+        }
+    }
+
+    #[test]
+    fn loaded_baseline_supports_delta_reruns() {
+        let (nl, baseline) = recorded_baseline(DelayKind::Unit, SimOptions::default());
+        let loaded = roundtrip(&baseline);
+        let a = nl.find_net("a").unwrap();
+        let delta = DeltaStimulus::new().set(5, a, baseline.input_value(5, a) != Value::One);
+        let original = crate::IncrementalSession::new(&nl, &baseline)
+            .probe(ActivityProbe::new())
+            .delta(delta.clone())
+            .run()
+            .unwrap();
+        let reloaded = crate::IncrementalSession::new(&nl, &loaded)
+            .probe(ActivityProbe::new())
+            .delta(delta)
+            .run()
+            .unwrap();
+        assert_eq!(
+            reloaded.session().probe::<ActivityProbe>().unwrap().trace(),
+            original.session().probe::<ActivityProbe>().unwrap().trace()
+        );
+        assert_eq!(reloaded.stats(), original.stats());
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let (nl, baseline) = recorded_baseline(DelayKind::Unit, SimOptions::default());
+        let path = std::env::temp_dir().join(format!(
+            "glitch_baseline_roundtrip_{}.bin",
+            std::process::id()
+        ));
+        baseline.save(&path).unwrap();
+        let loaded = SimBaseline::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.matches_netlist(&nl));
+        assert_eq!(loaded.cycle_count(), baseline.cycle_count());
+    }
+
+    #[test]
+    fn edited_netlist_with_identical_counts_is_rejected_by_fingerprint() {
+        // Two structurally different circuits with the same name, net
+        // count, cell count and flipflop count: only the fingerprint can
+        // tell a stale baseline file from a matching one.
+        let build = |xor: bool| {
+            let mut nl = Netlist::new("twin");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let y = if xor {
+                nl.xor2(a, b, "y")
+            } else {
+                nl.and2(a, b, "y")
+            };
+            nl.mark_output(y);
+            (nl, a, b)
+        };
+        let (original, a, b) = build(true);
+        let (edited, ..) = build(false);
+        assert_eq!(original.net_count(), edited.net_count());
+        assert_eq!(original.cell_count(), edited.cell_count());
+        assert_ne!(original.fingerprint(), edited.fingerprint());
+
+        let (_, baseline) = SimSession::new(&original)
+            .stimulus(vec![InputAssignment::new().with(a, true).with(b, false)])
+            .record_baseline()
+            .unwrap();
+        let loaded = roundtrip(&baseline);
+        assert!(loaded.matches_netlist(&original));
+        assert!(
+            !loaded.matches_netlist(&edited),
+            "a stale baseline must not replay against an edited circuit"
+        );
+    }
+
+    #[test]
+    fn oversized_sections_fail_at_save_time() {
+        // A length prefix over the format bound must be rejected while
+        // writing, not discovered as a corrupt file at load time. (The
+        // writer and reader share the same MAX_LEN bound.)
+        let mut sink = Vec::new();
+        let err = write_len(&mut sink, MAX_LEN as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("format limit"), "{err}");
+        assert!(sink.is_empty(), "nothing written for a rejected length");
+        write_len(&mut sink, MAX_LEN as usize).unwrap();
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_reasons() {
+        let (_, baseline) = recorded_baseline(DelayKind::Unit, SimOptions::default());
+        let mut bytes = Vec::new();
+        save_baseline_to(&baseline, &mut bytes).unwrap();
+
+        // Wrong magic.
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        let err = load_baseline_from(&mut wrong_magic.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Future version.
+        let mut future = bytes.clone();
+        future[4] = 0xFF;
+        let err = load_baseline_from(&mut future.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Truncation.
+        let err =
+            load_baseline_from(&mut bytes[..bytes.len() / 2].to_vec().as_slice()).unwrap_err();
+        assert!(matches!(err, BaselineFileError::Io(_)), "{err}");
+
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = load_baseline_from(&mut padded.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+
+        // Missing file.
+        assert!(SimBaseline::load("/nonexistent/glitch/baseline.bin").is_err());
+    }
+}

@@ -1,12 +1,34 @@
 //! The synchronous, cycle-by-cycle simulation driver.
 
-use glitch_netlist::{Bus, CellId, CellKind, DffInit, NetId, Netlist};
+use glitch_netlist::{Bus, CellId, CellKind, DffInit, NetId, Netlist, Tri};
 
 use crate::delay::DelayModel;
 use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::probe::{Probe, Transition, TransitionKind};
 use crate::value::Value;
+
+/// How combinational cells evaluate when one of their inputs is `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum XEval {
+    /// Any `X` input forces every (non-constant) output to `X` — the
+    /// fastest, maximally conservative rule. `X` only occurs before a net's
+    /// first assignment under the default reset policy, so this is the
+    /// right default for analysis runs.
+    #[default]
+    Coarse,
+    /// Per-kind three-valued truth tables
+    /// ([`CellKind::try_evaluate_tri_into`]): controlling known inputs
+    /// dominate unknowns (`AND(0, X) = 0`, `OR(1, X) = 1`, a majority of
+    /// two agreeing inputs, …), so `X` regions shrink to the nets whose
+    /// value genuinely depends on unknown state. This is what
+    /// X-propagation *checking* (`glitch_verify`) runs under: combined
+    /// with an all-`X` flipflop reset it simulates uninitialised-state
+    /// reachability instead of assuming it away. Evaluation is monotone in
+    /// the information order, so every concrete value of a Tri run is
+    /// correct for *any* resolution of the unknowns.
+    TriTable,
+}
 
 /// Options controlling a [`ClockedSimulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +39,23 @@ pub struct SimOptions {
     /// Maximum settling time (in delay units) allowed per cycle before the
     /// simulator gives up with [`SimError::DidNotSettle`].
     pub settle_budget: u64,
+    /// How cells evaluate `X` inputs; see [`XEval`].
+    pub x_eval: XEval,
+}
+
+impl SimOptions {
+    /// The verification preset: flipflops without a netlist-specified init
+    /// value power on as `X` and cells evaluate through the three-valued
+    /// tables — uninitialised-state reachability is simulated, not
+    /// assumed. This is what `glitch-cli check --x-init` runs under.
+    #[must_use]
+    pub fn x_init() -> Self {
+        SimOptions {
+            dff_init: Value::X,
+            x_eval: XEval::TriTable,
+            ..SimOptions::default()
+        }
+    }
 }
 
 impl Default for SimOptions {
@@ -24,6 +63,7 @@ impl Default for SimOptions {
         SimOptions {
             dff_init: Value::Zero,
             settle_budget: 1_000_000,
+            x_eval: XEval::default(),
         }
     }
 }
@@ -517,6 +557,9 @@ impl<'a> ClockedSimulator<'a> {
     }
 
     fn evaluate_and_schedule(&mut self, cell_id: CellId, time: u64) -> Result<(), SimError> {
+        if self.options.x_eval == XEval::TriTable {
+            return self.evaluate_and_schedule_tri(cell_id, time);
+        }
         let cell = self.netlist.cell(cell_id);
         let kind = cell.kind();
 
@@ -557,6 +600,38 @@ impl<'a> ClockedSimulator<'a> {
         for (pin, out) in outputs.into_iter().enumerate() {
             let d = self.delay.delay(kind, pin);
             self.schedule(time + d, out, Value::from(out_bits[pin]));
+        }
+        Ok(())
+    }
+
+    /// The [`XEval::TriTable`] evaluation path: cells evaluate through the
+    /// netlist's three-valued tables, so controlling known inputs dominate
+    /// unknowns instead of any `X` forcing every output `X`.
+    fn evaluate_and_schedule_tri(&mut self, cell_id: CellId, time: u64) -> Result<(), SimError> {
+        let cell = self.netlist.cell(cell_id);
+        let kind = cell.kind();
+        let inputs = cell.inputs();
+        let mut input_tris: [Tri; 8] = [Tri::X; 8];
+        let mut input_vec: Vec<Tri>;
+        let tris: &mut [Tri] = if inputs.len() <= 8 {
+            &mut input_tris[..inputs.len()]
+        } else {
+            input_vec = vec![Tri::X; inputs.len()];
+            &mut input_vec
+        };
+        for (slot, &net) in tris.iter_mut().zip(inputs) {
+            *slot = Tri::from(self.values[net.index()]);
+        }
+        let mut out_tris = [Tri::X; 2];
+        kind.try_evaluate_tri_into(tris, &mut out_tris[..kind.output_count()])
+            .map_err(|error| SimError::CellEval {
+                cell: cell.name().to_string(),
+                error,
+            })?;
+        let outputs: Vec<NetId> = cell.outputs().to_vec();
+        for (pin, out) in outputs.into_iter().enumerate() {
+            let d = self.delay.delay(kind, pin);
+            self.schedule(time + d, out, Value::from(out_tris[pin]));
         }
         Ok(())
     }
@@ -861,6 +936,94 @@ mod tests {
         let node = *activity(&sim).trace().node(y.index());
         assert_eq!(node.useless(), 0);
         assert_eq!(node.transitions(), node.useful());
+    }
+
+    #[test]
+    fn tri_table_mode_lets_controlling_values_dominate_unknown_state() {
+        // y = a AND q, with q an uninitialised flipflop. Under the x-init
+        // preset q powers on as X; driving a = 0 makes y known (0) through
+        // the three-valued AND table, while the coarse rule keeps y at X.
+        let build = || {
+            let mut nl = Netlist::new("xinit");
+            let a = nl.add_input("a");
+            let d = nl.add_input("d");
+            let q = nl.dff(d, "q");
+            let y = nl.and2(a, q, "y");
+            nl.mark_output(y);
+            (nl, a, d, y)
+        };
+        let (nl, a, d, y) = build();
+        let tri_opts = SimOptions::x_init();
+        assert_eq!(tri_opts.dff_init, Value::X);
+        assert_eq!(tri_opts.x_eval, XEval::TriTable);
+        let mut tri = ClockedSimulator::with_options(&nl, UnitDelay, tri_opts).unwrap();
+        tri.step(InputAssignment::new().with(a, false).with(d, true))
+            .unwrap();
+        assert_eq!(tri.net_value(y), Value::Zero, "AND(0, X) = 0");
+
+        let (nl2, a2, d2, y2) = build();
+        let coarse_opts = SimOptions {
+            dff_init: Value::X,
+            ..SimOptions::default()
+        };
+        let mut coarse = ClockedSimulator::with_options(&nl2, UnitDelay, coarse_opts).unwrap();
+        coarse
+            .step(InputAssignment::new().with(a2, false).with(d2, true))
+            .unwrap();
+        assert_eq!(coarse.net_value(y2), Value::X, "coarse: any X input => X");
+
+        // Next cycle the flipflop has sampled d = 1, so both modes agree on
+        // a fully-known evaluation: y = a AND 1.
+        tri.step(InputAssignment::new().with(a, true).with(d, true))
+            .unwrap();
+        assert_eq!(tri.net_value(y), Value::One);
+    }
+
+    #[test]
+    fn tri_table_mode_keeps_genuinely_unknown_nets_x() {
+        // y = a XOR q: XOR has no controlling value, so the uninitialised
+        // flipflop keeps the output unknown until the state is known.
+        let mut nl = Netlist::new("xinit xor");
+        let a = nl.add_input("a");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, "q");
+        let y = nl.xor2(a, q, "y");
+        nl.mark_output(y);
+        let mut sim = ClockedSimulator::with_options(&nl, UnitDelay, SimOptions::x_init()).unwrap();
+        sim.step(InputAssignment::new().with(a, true).with(d, false))
+            .unwrap();
+        assert_eq!(sim.net_value(y), Value::X);
+        sim.step(InputAssignment::new().with(a, true).with(d, false))
+            .unwrap();
+        assert_eq!(sim.net_value(y), Value::One, "q known after one sample");
+    }
+
+    #[test]
+    fn tri_table_mode_matches_coarse_once_no_x_remains() {
+        // With concrete flipflop resets both modes see only known values
+        // after the first settle, so an identical stimulus produces
+        // identical per-cycle statistics from cycle 1 on.
+        let (nl, a, b, _) = xor_chain(3);
+        let run = |x_eval: XEval| -> Vec<CycleStats> {
+            let options = SimOptions {
+                x_eval,
+                ..SimOptions::default()
+            };
+            let mut sim = ClockedSimulator::with_options(&nl, UnitDelay, options).unwrap();
+            (0..8u64)
+                .map(|i| {
+                    sim.step(
+                        InputAssignment::new()
+                            .with(a, i % 2 == 0)
+                            .with(b, i % 3 == 0),
+                    )
+                    .unwrap()
+                })
+                .collect()
+        };
+        let coarse = run(XEval::Coarse);
+        let tri = run(XEval::TriTable);
+        assert_eq!(coarse[1..], tri[1..]);
     }
 
     #[test]

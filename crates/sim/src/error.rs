@@ -44,6 +44,15 @@ pub enum SimError {
         /// Number of cycles the baseline recorded.
         baseline_cycles: u64,
     },
+    /// A delta stimulus set the same `(cycle, net)` override twice.
+    /// Last-write-wins would silently discard the earlier value, so the
+    /// duplicate is rejected at construction with its location.
+    DuplicateDelta {
+        /// The cycle both overrides target.
+        cycle: u64,
+        /// The net both overrides drive.
+        net: NetId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +85,13 @@ impl fmt::Display for SimError {
                     f,
                     "delta stimulus targets cycle {cycle} but the baseline \
                      recorded only {baseline_cycles} cycles"
+                )
+            }
+            SimError::DuplicateDelta { cycle, net } => {
+                write!(
+                    f,
+                    "delta stimulus overrides net {net} twice in cycle {cycle}; \
+                     each cycle:net pair may be set at most once"
                 )
             }
         }

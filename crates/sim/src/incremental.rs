@@ -56,13 +56,13 @@ use crate::value::Value;
 
 /// One recorded cycle of a baseline run.
 #[derive(Debug, Clone)]
-struct BaselineCycle {
+pub(crate) struct BaselineCycle {
     /// The stimulus applied at the start of the cycle, as given.
-    assignment: InputAssignment,
+    pub(crate) assignment: InputAssignment,
     /// Every transition the cycle reported to its probes, in report order.
-    transitions: Vec<Transition>,
+    pub(crate) transitions: Vec<Transition>,
     /// The cycle's statistics (settle time, events, cell evaluations).
-    stats: CycleStats,
+    pub(crate) stats: CycleStats,
 }
 
 /// The replay log of one full simulation run; see the module docs.
@@ -72,13 +72,14 @@ struct BaselineCycle {
 /// parallel delta jobs share one baseline by reference).
 #[derive(Debug, Clone)]
 pub struct SimBaseline {
-    netlist_name: String,
-    net_count: usize,
-    dff_count: usize,
-    delay: DelayKind,
-    options: SimOptions,
-    cycles: Vec<BaselineCycle>,
-    total_cell_evals: u64,
+    pub(crate) netlist_name: String,
+    pub(crate) netlist_fingerprint: u64,
+    pub(crate) net_count: usize,
+    pub(crate) dff_count: usize,
+    pub(crate) delay: DelayKind,
+    pub(crate) options: SimOptions,
+    pub(crate) cycles: Vec<BaselineCycle>,
+    pub(crate) total_cell_evals: u64,
 }
 
 impl SimBaseline {
@@ -86,6 +87,27 @@ impl SimBaseline {
     #[must_use]
     pub fn cycle_count(&self) -> u64 {
         self.cycles.len() as u64
+    }
+
+    /// The name of the netlist the baseline was recorded on.
+    #[must_use]
+    pub fn netlist_name(&self) -> &str {
+        &self.netlist_name
+    }
+
+    /// Whether this baseline was recorded on a structurally matching
+    /// netlist — same name, same counts, and the same structural
+    /// [`Netlist::fingerprint`] (kinds, connectivity, flipflop inits), so
+    /// an edited circuit that happens to preserve its name and element
+    /// counts is still rejected. Offered as a predicate so callers
+    /// loading baselines from disk ([`crate::load_baseline`]) can fail
+    /// gracefully where [`IncrementalSession::new`] panics.
+    #[must_use]
+    pub fn matches_netlist(&self, netlist: &Netlist) -> bool {
+        self.netlist_name == netlist.name()
+            && self.net_count == netlist.net_count()
+            && self.dff_count == netlist.dff_count()
+            && self.netlist_fingerprint == netlist.fingerprint()
     }
 
     /// Total combinational cell evaluations the baseline run performed —
@@ -251,6 +273,7 @@ pub(crate) fn record_baseline<'a>(
         report,
         SimBaseline {
             netlist_name: netlist.name().to_string(),
+            netlist_fingerprint: netlist.fingerprint(),
             net_count: netlist.net_count(),
             dff_count: netlist.dff_count(),
             delay,
@@ -281,10 +304,41 @@ impl DeltaStimulus {
     }
 
     /// Overrides one input bit in one cycle (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(cycle, net)` pair is already overridden — a
+    /// silent last-write-wins would discard the earlier value. Use
+    /// [`DeltaStimulus::try_set`] to handle the duplicate as a recoverable
+    /// error (CLI flip lists do).
     #[must_use]
-    pub fn set(mut self, cycle: u64, net: NetId, value: bool) -> Self {
+    pub fn set(self, cycle: u64, net: NetId, value: bool) -> Self {
+        match self.try_set(cycle, net, value) {
+            Ok(delta) => delta,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Overrides one input bit in one cycle, rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateDelta`] (with the offending cycle and
+    /// net) if this `(cycle, net)` pair already has an override.
+    pub fn try_set(mut self, cycle: u64, net: NetId, value: bool) -> Result<Self, SimError> {
+        if self.overrides(cycle, net) {
+            return Err(SimError::DuplicateDelta { cycle, net });
+        }
         self.sets.push((cycle, net, value));
-        self
+        Ok(self)
+    }
+
+    /// Whether a per-cycle override for `(cycle, net)` already exists
+    /// (held overrides do not count; they apply to every cycle and are
+    /// replaced by per-cycle sets where both exist).
+    #[must_use]
+    pub fn overrides(&self, cycle: u64, net: NetId) -> bool {
+        self.sets.iter().any(|&(c, n, _)| c == cycle && n == net)
     }
 
     /// Overrides one input bit on *every* cycle (builder style) — the
@@ -920,6 +974,30 @@ mod tests {
         assert_eq!(baseline.input_value(2, b), Value::One);
         assert_eq!(baseline.input_value(0, b), Value::Zero);
         assert_eq!(baseline.assignment(1).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_delta_overrides_are_rejected_with_location() {
+        let (_, a, b, _) = xor_pair();
+        let delta = DeltaStimulus::new().set(3, a, true);
+        assert!(delta.overrides(3, a));
+        assert!(!delta.overrides(3, b));
+        assert!(!delta.overrides(2, a));
+        // Same cycle:net again — even with the same value — is an error.
+        let err = delta.clone().try_set(3, a, true).unwrap_err();
+        assert_eq!(err, SimError::DuplicateDelta { cycle: 3, net: a });
+        assert!(err.to_string().contains("twice in cycle 3"));
+        // A different cycle or net is fine.
+        let delta = delta.try_set(4, a, false).unwrap();
+        let delta = delta.try_set(3, b, false).unwrap();
+        assert_eq!(delta.nets().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice in cycle 7")]
+    fn duplicate_set_panics_in_builder_form() {
+        let (_, a, _, _) = xor_pair();
+        let _ = DeltaStimulus::new().set(7, a, true).set(7, a, false);
     }
 
     #[test]

@@ -76,6 +76,7 @@
 //! For cycle-by-cycle control (interactive debugging, mid-run inspection)
 //! drop down to [`ClockedSimulator`] and attach probes directly.
 
+pub mod baseline_io;
 mod clocked;
 mod delay;
 mod engine;
@@ -89,7 +90,8 @@ mod value;
 mod vcd;
 mod window;
 
-pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
+pub use baseline_io::{load_baseline, save_baseline, BaselineFileError};
+pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions, XEval};
 pub use delay::{CellDelay, DelayKind, DelayModel, UnitDelay, ZeroDelay};
 pub use error::SimError;
 pub use incremental::{

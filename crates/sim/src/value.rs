@@ -61,6 +61,31 @@ impl From<bool> for Value {
     }
 }
 
+// `Value` (the simulator's net-value plane) and `glitch_netlist::Tri` (the
+// evaluation domain of the three-valued cell tables) are the same
+// three-point lattice; the conversions are the bridge the simulator's
+// `XEval::TriTable` mode crosses on every cell evaluation.
+
+impl From<glitch_netlist::Tri> for Value {
+    fn from(t: glitch_netlist::Tri) -> Self {
+        match t {
+            glitch_netlist::Tri::Zero => Value::Zero,
+            glitch_netlist::Tri::One => Value::One,
+            glitch_netlist::Tri::X => Value::X,
+        }
+    }
+}
+
+impl From<Value> for glitch_netlist::Tri {
+    fn from(v: Value) -> Self {
+        match v {
+            Value::Zero => glitch_netlist::Tri::Zero,
+            Value::One => glitch_netlist::Tri::One,
+            Value::X => glitch_netlist::Tri::X,
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -82,6 +82,8 @@ pub fn build_assignments(inputs: &[NetId], cycle_words: &[u64]) -> Vec<InputAssi
 
 /// A random delta: each word overrides one input bit in one cycle, and a
 /// word with bit 62 set becomes a held (every-cycle) override instead.
+/// Words that would duplicate an existing `(cycle, net)` override are
+/// skipped — duplicates are rejected at construction since PR 5.
 pub fn build_delta(inputs: &[NetId], cycles: u64, delta_words: &[u64]) -> DeltaStimulus {
     let mut delta = DeltaStimulus::new();
     for &word in delta_words {
@@ -90,7 +92,10 @@ pub fn build_delta(inputs: &[NetId], cycles: u64, delta_words: &[u64]) -> DeltaS
         if word & (1 << 62) != 0 {
             delta = delta.hold(net, value);
         } else {
-            delta = delta.set((word >> 24) % cycles.max(1), net, value);
+            let cycle = (word >> 24) % cycles.max(1);
+            if !delta.overrides(cycle, net) {
+                delta = delta.set(cycle, net, value);
+            }
         }
     }
     delta

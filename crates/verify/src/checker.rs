@@ -1,0 +1,303 @@
+//! The [`Checker`] trait, its verdict/violation vocabulary, and the
+//! [`CheckerProbe`] adapter that attaches a set of checkers to any
+//! simulation session.
+//!
+//! A checker mirrors [`glitch_sim::Probe`] hook for hook — it observes a
+//! run's transition stream and cycle statistics — but where a probe
+//! accumulates an *artefact* (a trace, a waveform, an energy figure), a
+//! checker accumulates *evidence for a verdict*: located [`Violation`]
+//! records plus summary metrics. Checkers are mergeable across shards like
+//! [`glitch_sim::MergeableProbe`]s, and the fold is performed in shard
+//! order, so a multi-seed parallel check is bit-identical to the serial
+//! fold of its shards at any worker count.
+
+use std::any::Any;
+
+use glitch_netlist::{NetId, Netlist};
+use glitch_sim::{CycleStats, MergeableProbe, Probe, Transition};
+
+/// Upper bound on the located [`Violation`] records a checker *retains*
+/// (the `total_violations` count keeps counting past it). A pathological
+/// run — every net over budget every cycle — must not turn the report into
+/// a memory hog; the retained records are the first
+/// [`VIOLATION_CAP`] in observation order (shard order across a parallel
+/// fold), which keeps the truncation deterministic.
+pub const VIOLATION_CAP: usize = 64;
+
+/// The outcome of a check: pass or fail.
+///
+/// Checkers that only *measure* (hazard classification) always pass;
+/// their findings live in the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// No violation observed.
+    Pass,
+    /// At least one violation observed.
+    Fail,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Pass`].
+    #[must_use]
+    pub fn passed(self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// The conjunction of two verdicts: fails if either fails.
+    #[must_use]
+    pub fn and(self, other: Verdict) -> Verdict {
+        if self.passed() && other.passed() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    /// Renders as `pass` / `fail` (the `--json` spelling).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One located check violation.
+///
+/// The fields are the settle-budget reading — *net `net` was still
+/// switching at `time` in `cycle`, over its budget of `budget`* — and the
+/// other checkers reuse the shape with documented meanings:
+///
+/// * X-propagation: `cycle` is the first cycle the output ended unknown,
+///   `time` the number of cycle ends it spent unknown, `budget` 0;
+/// * stability: `cycle`/`time` locate the forbidden transition, `budget`
+///   is 0 (no switching allowed at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Violation {
+    /// The offending net.
+    pub net: NetId,
+    /// The clock cycle of the violation.
+    pub cycle: u64,
+    /// The intra-cycle settle time (delay units) of the violation.
+    pub time: u64,
+    /// The budget that was exceeded.
+    pub budget: u64,
+}
+
+/// Appends a violation under the [`VIOLATION_CAP`] retention rule.
+pub(crate) fn push_capped(violations: &mut Vec<Violation>, violation: Violation) {
+    if violations.len() < VIOLATION_CAP {
+        violations.push(violation);
+    }
+}
+
+/// Merges another shard's retained violations (shard order, capped).
+pub(crate) fn merge_capped(violations: &mut Vec<Violation>, other: Vec<Violation>) {
+    for violation in other {
+        push_capped(violations, violation);
+    }
+}
+
+/// A finished checker's structured result: the verdict, the retained
+/// violations, the full violation count, and ordered summary metrics.
+///
+/// Outcomes are plain data with a stable field order, so two runs that
+/// observed the same evidence produce equal (`==`) outcomes — this is the
+/// object the determinism guarantees ("bit-identical at any `--jobs`,
+/// bit-identical between full and incremental runs") are stated over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// The checker's name (e.g. `x-propagation`).
+    pub checker: String,
+    /// Pass or fail.
+    pub verdict: Verdict,
+    /// The retained violations, at most [`VIOLATION_CAP`].
+    pub violations: Vec<Violation>,
+    /// The full violation count (never truncated).
+    pub total_violations: u64,
+    /// Ordered `(name, value)` summary metrics.
+    pub metrics: Vec<(String, u64)>,
+    /// One human-readable summary line.
+    pub summary: String,
+}
+
+impl CheckOutcome {
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// An object-safe assertion checker over a simulation run.
+///
+/// The observation hooks mirror [`Probe`] and have empty defaults; a
+/// checker implements what it watches plus [`Checker::outcome`] (distil
+/// the accumulated evidence) and [`Checker::merge_boxed`] (fold another
+/// shard's instance of the *same* checker into this one — the reduction
+/// side of parallel checking, invoked in shard order).
+pub trait Checker: Any + Send {
+    /// Short stable name (`x-propagation`, `settle-budget`, `hazard`,
+    /// `stability`) — used in reports, JSON output and merge assertions.
+    fn name(&self) -> &'static str;
+
+    /// Called once, before any cycle, with the netlist under simulation.
+    fn on_run_start(&mut self, _netlist: &Netlist) {}
+
+    /// Called at the beginning of clock cycle `cycle`.
+    fn on_cycle_start(&mut self, _cycle: u64) {}
+
+    /// Called once per net-value change, in settle-time order.
+    fn on_transition(&mut self, _transition: &Transition) {}
+
+    /// Called after the cycle's logic has settled.
+    fn on_cycle_end(&mut self, _cycle: u64, _stats: &CycleStats) {}
+
+    /// Called once after the last cycle.
+    fn on_run_end(&mut self, _netlist: &Netlist) {}
+
+    /// Distils the accumulated evidence into a [`CheckOutcome`].
+    fn outcome(&self, netlist: &Netlist) -> CheckOutcome;
+
+    /// Folds another shard's instance of this checker into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is a different checker type (the suite builder
+    /// guarantees positional alignment, so this indicates caller error).
+    fn merge_boxed(&mut self, other: Box<dyn Checker>);
+}
+
+/// Downcasts a boxed checker to a concrete type for merging.
+///
+/// # Panics
+///
+/// Panics when the types differ.
+pub(crate) fn downcast_checker<T: Checker>(other: Box<dyn Checker>) -> T {
+    let name = other.name();
+    let any: Box<dyn Any> = other;
+    *any.downcast::<T>()
+        .unwrap_or_else(|_| panic!("cannot merge checker `{name}` into a different checker type"))
+}
+
+/// The [`Probe`] adapter that runs a set of checkers inside any simulation
+/// session — [`glitch_sim::SimSession`], [`glitch_sim::ParallelRunner`]
+/// shards and [`glitch_sim::IncrementalSession`] alike. Because checkers
+/// ride the probe hook stream, an incremental run re-checks only the dirty
+/// cycles and replays the recorded stream verbatim through the checkers on
+/// clean ones — bit-identity with a full run is inherited from the
+/// incremental layer's headline guarantee.
+#[derive(Default)]
+pub struct CheckerProbe {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl CheckerProbe {
+    /// Wraps a list of checkers; they observe events in list order.
+    #[must_use]
+    pub fn new(checkers: Vec<Box<dyn Checker>>) -> Self {
+        CheckerProbe { checkers }
+    }
+
+    /// Number of wrapped checkers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checkers.len()
+    }
+
+    /// `true` when no checker is attached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkers.is_empty()
+    }
+
+    /// Distils every checker into a [`crate::VerifyReport`].
+    #[must_use]
+    pub fn report(&self, netlist: &Netlist) -> crate::VerifyReport {
+        crate::VerifyReport::new(self.checkers.iter().map(|c| c.outcome(netlist)).collect())
+    }
+}
+
+impl std::fmt::Debug for CheckerProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckerProbe")
+            .field("checkers", &self.checkers.len())
+            .finish()
+    }
+}
+
+impl Probe for CheckerProbe {
+    fn on_run_start(&mut self, netlist: &Netlist) {
+        for checker in &mut self.checkers {
+            checker.on_run_start(netlist);
+        }
+    }
+
+    fn on_cycle_start(&mut self, cycle: u64) {
+        for checker in &mut self.checkers {
+            checker.on_cycle_start(cycle);
+        }
+    }
+
+    fn on_transition(&mut self, transition: &Transition) {
+        for checker in &mut self.checkers {
+            checker.on_transition(transition);
+        }
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64, stats: &CycleStats) {
+        for checker in &mut self.checkers {
+            checker.on_cycle_end(cycle, stats);
+        }
+    }
+
+    fn on_run_end(&mut self, netlist: &Netlist) {
+        for checker in &mut self.checkers {
+            checker.on_run_end(netlist);
+        }
+    }
+}
+
+impl MergeableProbe for CheckerProbe {
+    /// Folds another shard's checkers into this probe, pairwise by
+    /// position. Suites build shards from the same [`crate::CheckSuite`],
+    /// so positions align; the fold is exact for every built-in checker
+    /// (counts add, minima/maxima combine, retained violations concatenate
+    /// in fold order under the cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two probes carry different checker lists.
+    fn merge(&mut self, other: CheckerProbe) {
+        if self.checkers.is_empty() {
+            *self = other;
+            return;
+        }
+        if other.checkers.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.checkers.len(),
+            other.checkers.len(),
+            "cannot merge checker probes with different checker lists"
+        );
+        for (mine, theirs) in self.checkers.iter_mut().zip(other.checkers) {
+            assert_eq!(
+                mine.name(),
+                theirs.name(),
+                "cannot merge checker probes with different checker lists"
+            );
+            mine.merge_boxed(theirs);
+        }
+    }
+}

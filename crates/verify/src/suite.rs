@@ -1,0 +1,100 @@
+//! The [`CheckSuite`]: a cloneable, shard-replicable description of which
+//! checkers to run.
+//!
+//! Parallel checking needs one fresh checker set per shard (the probe
+//! factory pattern of [`glitch_sim::ParallelRunner::run_sessions_with`])
+//! and a deterministic fold afterwards. The suite is that description:
+//! [`CheckSuite::build`] instantiates a fresh [`CheckerProbe`] with the
+//! checkers in a fixed order (X-propagation, settle-budget, hazard,
+//! stability assertions in insertion order), so every shard's probe is
+//! positionally alignable with every other's and the merge is exact.
+
+use glitch_netlist::NetId;
+
+use crate::budget::{ResolvedBudgets, SettleBudgetChecker};
+use crate::checker::{Checker, CheckerProbe};
+use crate::hazard::HazardChecker;
+use crate::stability::{CycleFilter, StabilityChecker};
+use crate::xprop::XPropagationChecker;
+
+/// Which checkers a verification run attaches; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct CheckSuite {
+    x_propagation: bool,
+    hazards: bool,
+    budgets: Option<ResolvedBudgets>,
+    stability: Vec<(NetId, CycleFilter)>,
+}
+
+impl CheckSuite {
+    /// An empty suite; add checkers with the builder methods.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the X-propagation checker.
+    #[must_use]
+    pub fn with_x_propagation(mut self) -> Self {
+        self.x_propagation = true;
+        self
+    }
+
+    /// Adds the hazard classifier.
+    #[must_use]
+    pub fn with_hazards(mut self) -> Self {
+        self.hazards = true;
+        self
+    }
+
+    /// Adds the settle-budget checker over an already-resolved budget
+    /// table ([`crate::BudgetSpec::resolve`]).
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: ResolvedBudgets) -> Self {
+        self.budgets = Some(budgets);
+        self
+    }
+
+    /// Adds one stability assertion.
+    #[must_use]
+    pub fn with_stability(mut self, net: NetId, filter: CycleFilter) -> Self {
+        self.stability.push((net, filter));
+        self
+    }
+
+    /// Number of checkers [`CheckSuite::build`] will instantiate.
+    #[must_use]
+    pub fn checker_count(&self) -> usize {
+        usize::from(self.x_propagation)
+            + usize::from(self.budgets.is_some())
+            + usize::from(self.hazards)
+            + self.stability.len()
+    }
+
+    /// `true` when the suite would check nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checker_count() == 0
+    }
+
+    /// Instantiates a fresh probe with this suite's checkers. Every call
+    /// produces positionally identical checker lists, which is what makes
+    /// shard probes mergeable.
+    #[must_use]
+    pub fn build(&self) -> CheckerProbe {
+        let mut checkers: Vec<Box<dyn Checker>> = Vec::with_capacity(self.checker_count());
+        if self.x_propagation {
+            checkers.push(Box::new(XPropagationChecker::new()));
+        }
+        if let Some(budgets) = &self.budgets {
+            checkers.push(Box::new(SettleBudgetChecker::new(budgets.clone())));
+        }
+        if self.hazards {
+            checkers.push(Box::new(HazardChecker::new()));
+        }
+        for &(net, filter) in &self.stability {
+            checkers.push(Box::new(StabilityChecker::new(net, filter)));
+        }
+        CheckerProbe::new(checkers)
+    }
+}
