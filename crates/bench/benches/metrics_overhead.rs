@@ -1,0 +1,67 @@
+//! Overhead of the observability layer on the simulation hot loop.
+//!
+//! Three rungs on the same multiplier workload:
+//!
+//! - `bare`: no probe at all — the untouched engine path, and what the
+//!   CLI runs when no telemetry flag is given.
+//! - `disabled_registry`: a [`MetricsProbe`] over a *disabled* registry —
+//!   the hook plumbing fires every cycle but each record call is a flag
+//!   check. This is the no-op mode whose cost the `metrics_gate` test
+//!   pins below 5%.
+//! - `enabled_registry`: full metrics collection (counters, gauges and
+//!   per-cycle histograms).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use glitch_core::arith::{AdderStyle, ArrayMultiplier};
+use glitch_core::netlist::{Bus, Netlist};
+use glitch_core::sim::{MetricsProbe, RandomStimulus, SimSession};
+use glitch_obs::MetricsRegistry;
+
+const CYCLES: u64 = 50;
+const SEED: u64 = 7;
+
+fn stimulus(buses: &[Bus]) -> RandomStimulus {
+    RandomStimulus::new(buses.to_vec(), CYCLES, SEED)
+}
+
+fn bare(netlist: &Netlist, buses: &[Bus]) -> u64 {
+    SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .run()
+        .expect("settles")
+        .total_transitions()
+}
+
+fn with_probe(netlist: &Netlist, buses: &[Bus], probe: MetricsProbe) -> u64 {
+    SimSession::new(netlist)
+        .stimulus(stimulus(buses))
+        .probe(probe)
+        .run()
+        .expect("settles")
+        .total_transitions()
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mult = ArrayMultiplier::new(8, AdderStyle::CompoundCell);
+    let buses = vec![mult.x.clone(), mult.y.clone()];
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("bare", |b| b.iter(|| bare(&mult.netlist, &buses)));
+    group.bench_function("disabled_registry", |b| {
+        b.iter(|| {
+            with_probe(
+                &mult.netlist,
+                &buses,
+                MetricsProbe::with_registry(MetricsRegistry::disabled()),
+            )
+        })
+    });
+    group.bench_function("enabled_registry", |b| {
+        b.iter(|| with_probe(&mult.netlist, &buses, MetricsProbe::new()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -10,6 +10,11 @@ pub struct Spec {
     pub options: &'static [&'static str],
     /// Flag names (without `--`) that take no value.
     pub flags: &'static [&'static str],
+    /// Option names (without `--`) whose value is optional: `--name` alone
+    /// records an empty value, `--name=V` records `V`. A bare `--name`
+    /// never consumes the next token (so `--metrics out.blif` keeps
+    /// `out.blif` positional).
+    pub optional: &'static [&'static str],
 }
 
 /// Parsed arguments.
@@ -42,6 +47,9 @@ impl Args {
                         return Err(format!("flag --{name} does not take a value (got `{v}`)"));
                     }
                     args.flags.push(name.to_string());
+                } else if spec.optional.contains(&name) {
+                    args.options
+                        .insert(name.to_string(), inline_value.unwrap_or_default());
                 } else if spec.options.contains(&name) {
                     let value = match inline_value {
                         Some(v) => v,
@@ -97,6 +105,7 @@ mod tests {
     const SPEC: Spec = Spec {
         options: &["cycles", "vcd"],
         flags: &["quiet"],
+        optional: &["metrics"],
     };
 
     fn raw(tokens: &[&str]) -> Vec<String> {
@@ -116,6 +125,17 @@ mod tests {
         assert!(args.flag("quiet"));
         assert_eq!(args.parsed_option("cycles", 0u64).unwrap(), 500);
         assert_eq!(args.parsed_option("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn optional_value_options_never_consume_the_next_token() {
+        let args = Args::parse(&raw(&["--metrics", "file.blif"]), &SPEC).unwrap();
+        assert_eq!(args.option("metrics"), Some(""));
+        assert_eq!(args.positional(), ["file.blif"]);
+        let args = Args::parse(&raw(&["--metrics=m.txt"]), &SPEC).unwrap();
+        assert_eq!(args.option("metrics"), Some("m.txt"));
+        let args = Args::parse(&raw(&["file.blif"]), &SPEC).unwrap();
+        assert_eq!(args.option("metrics"), None);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use glitch_core::netlist::{Bus, DotOptions, Netlist};
 use glitch_core::power::{PowerReport, Technology};
 use glitch_core::retime::{pipeline_netlist, PipelineOptions};
 use glitch_core::sim::{
-    MergeableProbe, Probe, RandomStimulus, SessionReport, SimSession, UnitDelay, VcdProbe,
-    WaveCsvProbe, WindowedActivityProbe,
+    MergeableProbe, MetricsProbe, Probe, RandomStimulus, SessionReport, SimSession, UnitDelay,
+    VcdProbe, WaveCsvProbe, WindowedActivityProbe,
 };
 use glitch_core::sim::{SimBaseline, SimOptions};
 use glitch_core::verify::{BudgetSpec, CheckSuite, CycleFilter, Verdict, VerifyReport, Violation};
@@ -23,6 +23,7 @@ use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
 
 use crate::args::{Args, Spec};
 use crate::json::{json_array, JsonObject};
+use crate::telemetry::Telemetry;
 
 /// The usage text printed on argument errors and by `help`.
 pub const USAGE: &str = "\
@@ -128,7 +129,19 @@ commands:
                                    of spending the first on the inputs
               --cycles/--seed/--frequency-mhz/--tech as above
               --emit-blif <file>   write the retimed circuit as BLIF
-  help      print this text";
+  help      print this text
+
+telemetry options (analyze, power, sweep, check):
+  --metrics[=FILE]     dump engine metrics (counters, gauges, histograms)
+                       after the report — to FILE, or to stdout when bare.
+                       Deterministic: byte-identical at any --jobs count
+  --metrics-json       dump the metrics as stable sorted JSON instead of
+                       text (alone implies --metrics; printed last on
+                       stdout, so scripts can parse the final line)
+  --trace-out <FILE>   write a Chrome trace-event JSON of the command's
+                       timing spans (parse, cone-index, simulate, merge,
+                       per-shard bars); open in Perfetto or
+                       chrome://tracing. Wall-clock — not deterministic";
 
 /// Errors surfaced to `main`.
 #[derive(Debug)]
@@ -411,6 +424,7 @@ fn maybe_dot(netlist: &Netlist, args: &Args) -> Result<(), CliError> {
 const PARSE_SPEC: Spec = Spec {
     options: &["emit-blif", "dot", "tech"],
     flags: &[],
+    optional: &[],
 };
 
 fn cmd_parse(raw: &[String]) -> Result<(), CliError> {
@@ -434,6 +448,7 @@ fn cmd_parse(raw: &[String]) -> Result<(), CliError> {
 const STATS_SPEC: Spec = Spec {
     options: &["tech"],
     flags: &["json"],
+    optional: &[],
 };
 
 fn cmd_stats(raw: &[String]) -> Result<(), CliError> {
@@ -482,13 +497,20 @@ const ANALYZE_SPEC: Spec = Spec {
         "dot",
         "flip",
         "baseline",
+        "trace-out",
     ],
-    flags: &["json"],
+    flags: &["json", "metrics-json"],
+    optional: &["metrics"],
 };
 
 fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &ANALYZE_SPEC).map_err(CliError::Usage)?;
-    let (netlist, path) = load(&args)?;
+    let mut telemetry = Telemetry::from_args(&args);
+    let (netlist, path) = {
+        let _span = telemetry.span("parse");
+        load(&args)?
+    };
+    telemetry.cone_index_phase(&netlist);
     let library = library_for(&args)?;
     // Resolve every option before printing anything, so a bad value fails
     // cleanly instead of after half a report.
@@ -508,7 +530,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
                 )));
             }
         }
-        return cmd_analyze_flip(&netlist, &path, &args, &config, spec);
+        return cmd_analyze_flip(&netlist, &path, &args, &config, spec, &mut telemetry);
     }
     if args.option("baseline").is_some() {
         return Err(CliError::Usage(
@@ -516,7 +538,16 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
         ));
     }
     if seeds > 1 {
-        return cmd_analyze_aggregate(&netlist, &path, &args, &config, seeds, jobs, window);
+        return cmd_analyze_aggregate(
+            &netlist,
+            &path,
+            &args,
+            &config,
+            seeds,
+            jobs,
+            window,
+            &mut telemetry,
+        );
     }
     let json = args.flag("json");
 
@@ -538,9 +569,16 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     if let Some(k) = window {
         session = session.probe(WindowedActivityProbe::new(k));
     }
-    let mut report = session
-        .run()
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    if telemetry.enabled() {
+        session = session.probe(MetricsProbe::new());
+    }
+    let mut report = {
+        let _span = telemetry.span("simulate");
+        session
+            .run()
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
+    telemetry.absorb_session(&mut report);
 
     let vcd_text = report.take_probe::<VcdProbe>().map(VcdProbe::into_vcd);
     let wave_csv = report
@@ -550,6 +588,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     let passes = report.passes();
     let events = report.total_events();
     let max_settle = report.max_settle_time();
+    let cell_evals = report.total_cell_evals();
     let analysis = GlitchAnalyzer::analysis(&netlist, report);
     let totals = analysis.activity.totals();
 
@@ -561,6 +600,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
             .u64("passes", passes)
             .u64("events", events)
             .u64("max_settle_time", max_settle)
+            .u64("cell_evals", cell_evals)
             .raw("activity", &activity_totals_json(&totals).render())
             .raw("power", &power_report_json(&analysis.power).render());
         let out = match windowed.as_ref() {
@@ -596,7 +636,8 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
         write_file(wave_path, &wave_csv.expect("WaveCsvProbe attached above"))?;
     }
     write_window_csv(&args, windowed.as_ref(), json)?;
-    maybe_dot(&netlist, &args)
+    maybe_dot(&netlist, &args)?;
+    telemetry.finish()
 }
 
 /// Writes `--window-csv` (or prints a one-line window summary in text
@@ -730,6 +771,8 @@ fn incremental_json(stats: &IncrementalStats) -> JsonObject {
         .u64("simulated_cycles", stats.simulated_cycles)
         .u64("cells_evaluated", stats.cells_evaluated)
         .u64("baseline_cell_evals", stats.baseline_cell_evals)
+        .u64("peak_dirty_cone_nets", stats.peak_dirty_cone_nets)
+        .u64("dff_divergence_reseeds", stats.dff_divergence_reseeds)
         .f64("evaluated_fraction", stats.evaluated_fraction())
 }
 
@@ -831,6 +874,7 @@ fn cmd_analyze_flip(
     args: &Args,
     config: &AnalysisConfig,
     spec: &str,
+    telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
     let flips = parse_flips(spec, netlist)?;
     // The run length is known before simulating anything; an out-of-range
@@ -845,15 +889,21 @@ fn cmd_analyze_flip(
     }
     let json = args.flag("json");
     let analyzer = GlitchAnalyzer::new(config.clone());
-    let (before, baseline, baseline_note) =
-        obtain_baseline(netlist, args.option("baseline"), &analyzer, config)?;
+    let (before, baseline, baseline_note) = {
+        let _span = telemetry.span("simulate");
+        obtain_baseline(netlist, args.option("baseline"), &analyzer, config)?
+    };
 
     let (delta, applied) = flips_to_delta(&flips, &baseline)?;
 
-    let after = analyzer
-        .analyze_delta(netlist, &baseline, &delta)
-        .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?;
+    let after = {
+        let _span = telemetry.span("incremental");
+        analyzer
+            .analyze_delta(netlist, &baseline, &delta)
+            .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?
+    };
     let stats = after.incremental;
+    telemetry.record_incremental(&stats);
     let before_totals = before.activity.totals();
     let after_totals = after.analysis.activity.totals();
 
@@ -934,11 +984,13 @@ fn cmd_analyze_flip(
     if let Some(csv_path) = args.option("csv") {
         write_file(csv_path, &after.analysis.activity.to_csv())?;
     }
-    maybe_dot(netlist, args)
+    maybe_dot(netlist, args)?;
+    telemetry.finish()
 }
 
 /// The multi-seed `analyze` path: one session per seed fanned across the
 /// worker pool, reduced into an aggregate with per-seed spread.
+#[allow(clippy::too_many_arguments)]
 fn cmd_analyze_aggregate(
     netlist: &Netlist,
     path: &str,
@@ -947,6 +999,7 @@ fn cmd_analyze_aggregate(
     seeds: usize,
     jobs: usize,
     window: Option<u64>,
+    telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
     for flag in ["vcd", "wave-csv"] {
         if args.option(flag).is_some() {
@@ -958,24 +1011,36 @@ fn cmd_analyze_aggregate(
     let json = args.flag("json");
     let seed_list = stimulus_seeds(config.seed, seeds);
     let analyzer = GlitchAnalyzer::new(config.clone());
+    let with_metrics = telemetry.enabled();
     let factory = move |_shard: usize| -> Vec<Box<dyn Probe>> {
-        match window {
-            Some(k) => vec![Box::new(WindowedActivityProbe::new(k))],
-            None => Vec::new(),
+        let mut probes: Vec<Box<dyn Probe>> = Vec::new();
+        if let Some(k) = window {
+            probes.push(Box::new(WindowedActivityProbe::new(k)));
         }
+        if with_metrics {
+            probes.push(Box::new(MetricsProbe::new()));
+        }
+        probes
     };
-    let (aggregate, mut reports) = analyzer
-        .analyze_seeds_with(
-            netlist,
-            &input_buses(netlist),
-            &[],
-            &seed_list,
-            jobs,
-            &factory,
-        )
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let batch_start = telemetry.now_micros();
+    let (aggregate, mut reports) = {
+        let _span = telemetry.span("simulate");
+        analyzer
+            .analyze_seeds_with(
+                netlist,
+                &input_buses(netlist),
+                &[],
+                &seed_list,
+                jobs,
+                &factory,
+            )
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
+    telemetry.record_shard_spans(batch_start, aggregate.aggregate.shards());
     // Fold the per-seed window heatmaps (aligned: every seed starts at
-    // cycle 0) into one aggregate heatmap.
+    // cycle 0) into one aggregate heatmap, and the per-seed metrics
+    // registries in seed order (the `--jobs`-invariance discipline).
+    let merge_start = telemetry.now_micros();
     let mut windowed: Option<WindowedActivityProbe> = None;
     for report in &mut reports {
         if let Some(probe) = report.take_probe::<WindowedActivityProbe>() {
@@ -984,7 +1049,9 @@ fn cmd_analyze_aggregate(
                 Some(merged) => merged.merge(probe),
             }
         }
+        telemetry.absorb_session(report);
     }
+    telemetry.record_span_since("merge", merge_start);
 
     let totals = aggregate.activity.totals();
     if json {
@@ -1008,6 +1075,7 @@ fn cmd_analyze_aggregate(
             .u64("total_cycles", aggregate.total_cycles())
             .u64("events", aggregate.aggregate.total_events())
             .u64("max_settle_time", aggregate.aggregate.max_settle_time())
+            .u64("cell_evals", aggregate.aggregate.total_cell_evals())
             .raw("activity", &activity_totals_json(&totals).render())
             .raw("power", &power_report_json(&aggregate.power).render())
             .raw("spread", &spreads.render())
@@ -1059,12 +1127,14 @@ fn cmd_analyze_aggregate(
         write_file(csv_path, &aggregate.activity.to_csv())?;
     }
     write_window_csv(args, windowed.as_ref(), json)?;
-    maybe_dot(netlist, args)
+    maybe_dot(netlist, args)?;
+    telemetry.finish()
 }
 
 const SIMULATE_SPEC: Spec = Spec {
     options: &["cycles", "seed", "tech", "vcd"],
     flags: &[],
+    optional: &[],
 };
 
 fn cmd_simulate(raw: &[String]) -> Result<(), CliError> {
@@ -1123,21 +1193,53 @@ const POWER_SPEC: Spec = Spec {
         "delay",
         "frequency-mhz",
         "tech",
+        "trace-out",
     ],
-    flags: &[],
+    flags: &["metrics-json"],
+    optional: &["metrics"],
 };
 
 fn cmd_power(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &POWER_SPEC).map_err(CliError::Usage)?;
-    let (netlist, _) = load(&args)?;
+    let mut telemetry = Telemetry::from_args(&args);
+    let (netlist, _) = {
+        let _span = telemetry.span("parse");
+        load(&args)?
+    };
+    telemetry.cone_index_phase(&netlist);
     let library = library_for(&args)?;
     let config = analysis_config(&args, &library)?;
     let (seeds, jobs) = seeds_and_jobs(&args, 1)?;
     if seeds > 1 {
         let seed_list = stimulus_seeds(config.seed, seeds);
-        let aggregate = GlitchAnalyzer::new(config.clone())
-            .analyze_seeds(&netlist, &input_buses(&netlist), &[], &seed_list, jobs)
-            .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+        let with_metrics = telemetry.enabled();
+        let factory = move |_shard: usize| -> Vec<Box<dyn Probe>> {
+            if with_metrics {
+                vec![Box::new(MetricsProbe::new())]
+            } else {
+                Vec::new()
+            }
+        };
+        let batch_start = telemetry.now_micros();
+        let (aggregate, mut reports) = {
+            let _span = telemetry.span("simulate");
+            GlitchAnalyzer::new(config.clone())
+                .analyze_seeds_with(
+                    &netlist,
+                    &input_buses(&netlist),
+                    &[],
+                    &seed_list,
+                    jobs,
+                    &factory,
+                )
+                .map_err(|e| run_err(format!("simulation failed: {e}")))?
+        };
+        telemetry.record_shard_spans(batch_start, aggregate.aggregate.shards());
+        let merge_start = telemetry.now_micros();
+        for report in &mut reports {
+            telemetry.absorb_session(report);
+        }
+        telemetry.record_span_since("merge", merge_start);
         println!(
             "aggregate of {seeds} seeds x {} cycles on {jobs} jobs:",
             config.cycles
@@ -1151,11 +1253,25 @@ fn cmd_power(raw: &[String]) -> Result<(), CliError> {
             spread.min * 1e3,
             spread.max * 1e3
         );
-        return Ok(());
+        return telemetry.finish();
     }
-    let analysis = analyze_netlist(&netlist, &config)?;
+    let analysis = if telemetry.enabled() {
+        let analyzer = GlitchAnalyzer::new(config.clone());
+        let mut report = {
+            let _span = telemetry.span("simulate");
+            analyzer
+                .session(&netlist, &input_buses(&netlist), &[])
+                .probe(MetricsProbe::new())
+                .run()
+                .map_err(|e| run_err(format!("simulation failed: {e}")))?
+        };
+        telemetry.absorb_session(&mut report);
+        GlitchAnalyzer::analysis(&netlist, report)
+    } else {
+        analyze_netlist(&netlist, &config)?
+    };
     print!("{}", analysis.power);
-    Ok(())
+    telemetry.finish()
 }
 
 const SWEEP_SPEC: Spec = Spec {
@@ -1170,8 +1286,10 @@ const SWEEP_SPEC: Spec = Spec {
         "tech",
         "flip-inputs",
         "flip-cycle",
+        "trace-out",
     ],
-    flags: &["json"],
+    flags: &["json", "metrics-json"],
+    optional: &["metrics"],
 };
 
 /// Parses the `--delays` comma list into `(label, DelayKind)` pairs.
@@ -1200,11 +1318,16 @@ fn delay_sweep_models(
 
 fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &SWEEP_SPEC).map_err(CliError::Usage)?;
-    let (netlist, path) = load(&args)?;
+    let mut telemetry = Telemetry::from_args(&args);
+    let (netlist, path) = {
+        let _span = telemetry.span("parse");
+        load(&args)?
+    };
+    telemetry.cone_index_phase(&netlist);
     let library = library_for(&args)?;
     let config = analysis_config(&args, &library)?;
     if let Some(list) = args.option("flip-inputs") {
-        return cmd_sweep_flips(&netlist, &path, &args, &config, list);
+        return cmd_sweep_flips(&netlist, &path, &args, &config, list, &mut telemetry);
     }
     if args.option("flip-cycle").is_some() {
         return Err(CliError::Usage(
@@ -1223,16 +1346,26 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let seed_list = stimulus_seeds(config.seed, seeds);
     let json = args.flag("json");
 
-    let points = GlitchAnalyzer::new(config.clone())
-        .sweep_delays(
-            &netlist,
-            &input_buses(&netlist),
-            &[],
-            &models,
-            &seed_list,
-            jobs,
-        )
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let batch_start = telemetry.now_micros();
+    let points = {
+        let _span = telemetry.span("simulate");
+        GlitchAnalyzer::new(config.clone())
+            .sweep_delays(
+                &netlist,
+                &input_buses(&netlist),
+                &[],
+                &models,
+                &seed_list,
+                jobs,
+            )
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
+    let merge_start = telemetry.now_micros();
+    for point in &points {
+        telemetry.record_aggregate(&point.analysis.aggregate);
+        telemetry.record_shard_spans(batch_start, point.analysis.aggregate.shards());
+    }
+    telemetry.record_span_since("merge", merge_start);
 
     if json {
         let rendered = points
@@ -1297,7 +1430,7 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
              same {seeds} stimulus seed(s), so differences are purely model-induced)"
         );
     }
-    Ok(())
+    telemetry.finish()
 }
 
 /// The `sweep --flip-inputs` fast path: input-flip sensitivity, one
@@ -1309,6 +1442,7 @@ fn cmd_sweep_flips(
     args: &Args,
     config: &AnalysisConfig,
     list: &str,
+    telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
     if args.option("seeds").is_some() || args.option("delays").is_some() {
         return Err(CliError::Usage(
@@ -1364,12 +1498,19 @@ fn cmd_sweep_flips(
     let json = args.flag("json");
 
     let explorer = PowerExplorer::new(GlitchAnalyzer::new(config.clone()));
-    let (baseline, points) = explorer
-        .explore_input_sensitivity(netlist, &input_buses(netlist), &[], cycle, &inputs, jobs)
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let (baseline, points) = {
+        let _span = telemetry.span("simulate");
+        explorer
+            .explore_input_sensitivity(netlist, &input_buses(netlist), &[], cycle, &inputs, jobs)
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
+    for point in &points {
+        telemetry.record_incremental(&point.incremental);
+    }
     let base_totals = baseline.activity.totals();
     // Per-flip means: every point re-runs the same baseline, so the
     // denominators must stay at one baseline's cost, not `points` times it.
+    // The dirty-cone peak is a high-water mark, so it maxes instead.
     let flips = points.len() as u64;
     let mean_stats = IncrementalStats {
         replayed_cycles: points
@@ -1388,6 +1529,16 @@ fn cmd_sweep_flips(
             .sum::<u64>()
             / flips,
         baseline_cell_evals: points[0].incremental.baseline_cell_evals,
+        peak_dirty_cone_nets: points
+            .iter()
+            .map(|p| p.incremental.peak_dirty_cone_nets)
+            .max()
+            .unwrap_or(0),
+        dff_divergence_reseeds: points
+            .iter()
+            .map(|p| p.incremental.dff_divergence_reseeds)
+            .sum::<u64>()
+            / flips,
     };
 
     if json {
@@ -1459,7 +1610,7 @@ fn cmd_sweep_flips(
             base_totals.useless
         );
     }
-    Ok(())
+    telemetry.finish()
 }
 
 const CHECK_SPEC: Spec = Spec {
@@ -1475,8 +1626,10 @@ const CHECK_SPEC: Spec = Spec {
         "budgets",
         "stable",
         "flip",
+        "trace-out",
     ],
-    flags: &["json", "x-init", "hazards", "strict"],
+    flags: &["json", "x-init", "hazards", "strict", "metrics-json"],
+    optional: &["metrics"],
 };
 
 /// Parses the `--stable` comma list: `net` (all cycles) or
@@ -1594,6 +1747,8 @@ fn verify_report_json(report: &VerifyReport, netlist: &Netlist) -> JsonObject {
     JsonObject::new()
         .str("verdict", report.verdict().as_str())
         .u64("violations_total", report.total_violations())
+        .u64("violations_retained", report.retained_violations())
+        .u64("violations_dropped", report.dropped_violations())
         .raw("checkers", &verify_checkers_json(report, netlist))
 }
 
@@ -1643,35 +1798,60 @@ fn print_verify_text(report: &VerifyReport, netlist: &Netlist) {
 
 fn cmd_check(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &CHECK_SPEC).map_err(CliError::Usage)?;
-    let (netlist, path) = load(&args)?;
+    let mut telemetry = Telemetry::from_args(&args);
+    let (netlist, path) = {
+        let _span = telemetry.span("parse");
+        load(&args)?
+    };
+    telemetry.cone_index_phase(&netlist);
     let library = library_for(&args)?;
     let mut config = analysis_config(&args, &library)?;
     if args.flag("x-init") {
         config.options = SimOptions::x_init();
     }
-    let suite = build_check_suite(&args, &netlist)?;
+    let mut suite = build_check_suite(&args, &netlist)?;
+    if telemetry.enabled() {
+        suite = suite.with_timing();
+    }
     if let Some(spec) = args.option("flip") {
         if args.option("seeds").is_some() {
             return Err(CliError::Usage(
                 "--flip applies to single-seed runs; drop --seeds or --flip".into(),
             ));
         }
-        return cmd_check_flip(&netlist, &path, &args, &config, &suite, spec);
+        return cmd_check_flip(
+            &netlist,
+            &path,
+            &args,
+            &config,
+            &suite,
+            spec,
+            &mut telemetry,
+        );
     }
     let (seeds, jobs) = seeds_and_jobs(&args, 1)?;
     let json = args.flag("json");
     let seed_list = stimulus_seeds(config.seed, seeds);
     let analyzer = GlitchAnalyzer::new(config.clone());
-    let checked = analyzer
-        .check_seeds(
-            &netlist,
-            &input_buses(&netlist),
-            &[],
-            &suite,
-            &seed_list,
-            jobs,
-        )
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let batch_start = telemetry.now_micros();
+    let checked = {
+        let _span = telemetry.span("simulate");
+        analyzer
+            .check_seeds(
+                &netlist,
+                &input_buses(&netlist),
+                &[],
+                &suite,
+                &seed_list,
+                jobs,
+            )
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
+    telemetry.record_shard_spans(batch_start, checked.analysis.aggregate.shards());
+    let merge_start = telemetry.now_micros();
+    telemetry.record_aggregate(&checked.analysis.aggregate);
+    telemetry.record_check(&checked.report, &checked.checker_micros);
+    telemetry.record_span_since("merge", merge_start);
     let report = &checked.report;
 
     if json {
@@ -1687,8 +1867,11 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
                 "max_settle_time",
                 checked.analysis.aggregate.max_settle_time(),
             )
+            .u64("cell_evals", checked.analysis.aggregate.total_cell_evals())
             .str("verdict", report.verdict().as_str())
             .u64("violations_total", report.total_violations())
+            .u64("violations_retained", report.retained_violations())
+            .u64("violations_dropped", report.dropped_violations())
             .raw("checkers", &verify_checkers_json(report, &netlist))
             .render();
         println!("{out}");
@@ -1707,6 +1890,7 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
         print_verify_text(report, &netlist);
         println!("verdict: {}", verdict_line(report));
     }
+    telemetry.finish()?;
     strict_exit(&args, report)
 }
 
@@ -1714,6 +1898,7 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
 /// incrementally re-check it with the listed input bits changed. Both
 /// verdicts are reported; the flipped one is bit-identical to a full
 /// re-simulation of the changed stimulus.
+#[allow(clippy::too_many_arguments)]
 fn cmd_check_flip(
     netlist: &Netlist,
     path: &str,
@@ -1721,6 +1906,7 @@ fn cmd_check_flip(
     config: &AnalysisConfig,
     suite: &CheckSuite,
     spec: &str,
+    telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
     let flips = parse_flips(spec, netlist)?;
     for flip in &flips {
@@ -1733,14 +1919,22 @@ fn cmd_check_flip(
     }
     let json = args.flag("json");
     let analyzer = GlitchAnalyzer::new(config.clone());
-    let (base_report, _, baseline) = analyzer
-        .check_baseline(netlist, &input_buses(netlist), &[], suite)
-        .map_err(|e| run_err(format!("simulation failed: {e}")))?;
+    let (base_report, _, baseline) = {
+        let _span = telemetry.span("simulate");
+        analyzer
+            .check_baseline(netlist, &input_buses(netlist), &[], suite)
+            .map_err(|e| run_err(format!("simulation failed: {e}")))?
+    };
 
     let (delta, applied) = flips_to_delta(&flips, &baseline)?;
-    let flipped = analyzer
-        .check_delta(netlist, &baseline, &delta, suite)
-        .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?;
+    let flipped = {
+        let _span = telemetry.span("incremental");
+        analyzer
+            .check_delta(netlist, &baseline, &delta, suite)
+            .map_err(|e| run_err(format!("incremental simulation failed: {e}")))?
+    };
+    telemetry.record_incremental(&flipped.incremental);
+    telemetry.record_check(&flipped.report, &[]);
 
     if json {
         let flips_json = json_array(applied.iter().map(|(name, cycle, value)| {
@@ -1792,6 +1986,7 @@ fn cmd_check_flip(
              the changed stimulus)"
         );
     }
+    telemetry.finish()?;
     strict_exit(args, &flipped.report)
 }
 
@@ -1817,6 +2012,7 @@ const RETIME_SPEC: Spec = Spec {
         "emit-blif",
     ],
     flags: &["no-input-rank"],
+    optional: &[],
 };
 
 fn cmd_retime(raw: &[String]) -> Result<(), CliError> {

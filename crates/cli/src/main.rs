@@ -10,6 +10,7 @@
 mod args;
 mod commands;
 mod json;
+mod telemetry;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,284 @@
+//! CLI-side observability: the shared `--metrics[=FILE]`, `--metrics-json`
+//! and `--trace-out FILE` wiring of `analyze`, `power`, `sweep` and
+//! `check`.
+//!
+//! The split mirrors `glitch-obs`'s contract. Deterministic quantities
+//! (cycle, event, evaluation and queue counts) go into one
+//! [`MetricsRegistry`], folded in job order, so `--metrics-json` output is
+//! byte-identical across runs and at any `--jobs` count. Wall-clock time
+//! goes into timing spans only — the Chrome trace (`--trace-out`) and the
+//! appendix of the human-readable dump — and never into the registry.
+
+use std::fs;
+use std::path::Path;
+
+use glitch_core::netlist::{ConeIndex, Netlist};
+use glitch_core::sim::{MetricsProbe, SessionReport};
+use glitch_core::{AggregateReport, IncrementalStats, ShardSummary};
+use glitch_obs::export::{chrome_trace, metrics_json, metrics_text};
+use glitch_obs::{MetricsRegistry, Span, SpanLog};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Where the metrics dump goes.
+enum MetricsDest {
+    /// `--metrics` (bare) or `--metrics-json` alone: stdout, as the final
+    /// line(s) of the command, so scripts can parse the tail.
+    Stdout,
+    /// `--metrics=FILE`.
+    File(String),
+}
+
+/// Per-command telemetry state, constructed from the parsed arguments.
+///
+/// When none of the telemetry options are given, every method is a cheap
+/// no-op and the instrumented commands run their untouched bare paths (no
+/// extra probes, no cone index build) — the property the `metrics_overhead`
+/// bench gate pins.
+pub struct Telemetry {
+    dest: Option<MetricsDest>,
+    json: bool,
+    trace_path: Option<String>,
+    spans: SpanLog,
+    registry: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// Reads `--metrics[=FILE]`, `--metrics-json` and `--trace-out FILE`.
+    pub fn from_args(args: &Args) -> Telemetry {
+        let json = args.flag("metrics-json");
+        let dest = match args.option("metrics") {
+            Some("") => Some(MetricsDest::Stdout),
+            Some(path) => Some(MetricsDest::File(path.to_string())),
+            // --metrics-json alone implies metrics-to-stdout.
+            None if json => Some(MetricsDest::Stdout),
+            None => None,
+        };
+        Telemetry {
+            dest,
+            json,
+            trace_path: args.option("trace-out").map(str::to_string),
+            spans: SpanLog::new(glitch_obs::Clock::new()),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// `true` when any telemetry output was requested; gates every piece
+    /// of instrumentation (extra probes, cone index, timing spans).
+    pub fn enabled(&self) -> bool {
+        self.dest.is_some() || self.trace_path.is_some()
+    }
+
+    /// Microseconds since this command's telemetry clock started.
+    pub fn now_micros(&self) -> u64 {
+        self.spans.clock().now_micros()
+    }
+
+    /// Opens a RAII timing span named `name` (recorded on drop). Returns
+    /// `None` when telemetry is off so disabled runs never touch the clock.
+    pub fn span(&self, name: &str) -> Option<Span<'_>> {
+        self.enabled().then(|| self.spans.span(name))
+    }
+
+    /// Closes a span opened by hand: records `name` from `start_micros`
+    /// to now. Used where the RAII [`Telemetry::span`] guard would hold an
+    /// immutable borrow across registry mutations.
+    pub fn record_span_since(&self, name: &str, start_micros: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let dur = self.now_micros().saturating_sub(start_micros);
+        self.spans.record(name.to_string(), 0, start_micros, dur);
+    }
+
+    /// Takes the [`MetricsProbe`] out of a finished session report (if
+    /// any), attributes the session's event-queue traffic to it, and folds
+    /// its registry into the command-wide one. Call once per report *in
+    /// job order* — that ordering is what keeps the merged registry
+    /// bit-identical at any `--jobs` count.
+    pub fn absorb_session(&mut self, report: &mut SessionReport) {
+        if let Some(mut probe) = report.take_probe::<MetricsProbe>() {
+            probe.record_queue_stats(report.queue_stats());
+            self.registry.merge(probe.into_registry());
+        }
+    }
+
+    /// Records the deterministic side of a reduced multi-shard aggregate:
+    /// cycle/event/evaluation totals and merged queue traffic. Used by the
+    /// paths that cannot attach per-session probes (`check`, `sweep`).
+    pub fn record_aggregate(&mut self, aggregate: &AggregateReport) {
+        if !self.enabled() {
+            return;
+        }
+        self.add_counter("sim.cycles", aggregate.total_cycles());
+        self.add_counter("sim.events", aggregate.total_events());
+        self.add_counter("sim.cell_evals", aggregate.total_cell_evals());
+        self.observe_gauge("sim.max_settle_time", aggregate.max_settle_time());
+        let queue = aggregate.queue_stats();
+        self.add_counter("queue.pushes", queue.pushes);
+        self.add_counter("queue.pops", queue.pops);
+        self.observe_gauge("queue.peak_depth", queue.peak_depth);
+    }
+
+    /// Records the work accounting of one incremental (dirty-region)
+    /// re-simulation: replay/re-settle split, dirty-cone peak, flipflop
+    /// divergence fallbacks.
+    pub fn record_incremental(&mut self, stats: &IncrementalStats) {
+        if !self.enabled() {
+            return;
+        }
+        self.add_counter("incremental.replayed_cycles", stats.replayed_cycles);
+        self.add_counter("incremental.simulated_cycles", stats.simulated_cycles);
+        self.add_counter("incremental.cells_evaluated", stats.cells_evaluated);
+        self.add_counter(
+            "incremental.dff_divergence_reseeds",
+            stats.dff_divergence_reseeds,
+        );
+        self.observe_gauge(
+            "incremental.peak_dirty_cone_nets",
+            stats.peak_dirty_cone_nets,
+        );
+    }
+
+    /// Builds the netlist's fanout/level cone index under a `cone-index`
+    /// span and records its size. Telemetry-only work: the bare command
+    /// paths never build an index, so this runs only when enabled.
+    pub fn cone_index_phase(&mut self, netlist: &Netlist) {
+        if !self.enabled() {
+            return;
+        }
+        let built = {
+            let _span = self.spans.span("cone-index");
+            ConeIndex::build(netlist)
+        };
+        self.observe_gauge("netlist.cells", netlist.cell_count() as u64);
+        self.observe_gauge("netlist.nets", netlist.net_count() as u64);
+        if built.is_ok() {
+            self.add_counter("cone.index_builds", 1);
+        }
+    }
+
+    /// Synthesizes one trace span per shard from the wall-clock fields of
+    /// a reduced batch: each shard's bar starts at `batch_start_micros`
+    /// plus its queue wait and spans its session wall time, on its own
+    /// trace track.
+    pub fn record_shard_spans(&self, batch_start_micros: u64, shards: &[ShardSummary]) {
+        if !self.enabled() {
+            return;
+        }
+        for (index, shard) in shards.iter().enumerate() {
+            let name = if shard.label.is_empty() {
+                format!("shard seed={}", shard.seed)
+            } else {
+                format!("shard {} seed={}", shard.label, shard.seed)
+            };
+            self.spans.record(
+                name,
+                index as u64 + 1,
+                batch_start_micros + shard.queue_wait_micros,
+                shard.wall_micros,
+            );
+        }
+    }
+
+    /// Records per-checker wall time (from
+    /// [`glitch_core::CheckAnalysis::checker_micros`]) as trace spans and
+    /// `check.*` violation counters from the verdict report.
+    pub fn record_check(
+        &mut self,
+        report: &glitch_core::verify::VerifyReport,
+        checker_micros: &[(String, u64)],
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.add_counter("check.violations_total", report.total_violations());
+        self.add_counter("check.violations_retained", report.retained_violations());
+        self.add_counter("check.violations_dropped", report.dropped_violations());
+        for outcome in report.outcomes() {
+            self.add_counter(
+                &format!("check.{}.violations", outcome.checker),
+                outcome.total_violations,
+            );
+        }
+        let mut cursor = self.now_micros();
+        for (name, micros) in checker_micros {
+            self.spans
+                .record(format!("checker:{name}"), 0, cursor, *micros);
+            cursor += micros;
+        }
+    }
+
+    /// Adds `n` to the counter `name` (created on first use).
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let handle = self.registry.counter(name);
+        self.registry.add(handle, n);
+    }
+
+    /// Raises the gauge `name` to at least `value`.
+    pub fn observe_gauge(&mut self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let handle = self.registry.gauge(name);
+        self.registry.observe_max(handle, value);
+    }
+
+    /// Writes the requested outputs: the Chrome trace file first, then the
+    /// metrics dump — so a stdout metrics dump is the command's final
+    /// output and scripts can parse the last line(s).
+    ///
+    /// The JSON dump contains only the deterministic registry. The human
+    /// text dump appends a wall-clock appendix (span summary) that is
+    /// explicitly non-deterministic.
+    pub fn finish(&self) -> Result<(), CliError> {
+        if let Some(path) = &self.trace_path {
+            write(path, &chrome_trace(&self.spans))?;
+            println!("wrote {path}");
+        }
+        match &self.dest {
+            None => {}
+            Some(MetricsDest::File(path)) => {
+                let dump = if self.json {
+                    metrics_json(&self.registry)
+                } else {
+                    self.text_dump()
+                };
+                write(path, &dump)?;
+                println!("wrote {path}");
+            }
+            Some(MetricsDest::Stdout) => {
+                if self.json {
+                    println!("{}", metrics_json(&self.registry));
+                } else {
+                    print!("{}", self.text_dump());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The human-readable dump: registry summary plus the span appendix.
+    fn text_dump(&self) -> String {
+        let mut out = metrics_text(&self.registry);
+        let records = self.spans.records();
+        if !records.is_empty() {
+            out.push_str("spans (wall clock, non-deterministic):\n");
+            for record in &records {
+                out.push_str(&format!(
+                    "  {:<28} {:>10} us (track {})\n",
+                    record.name, record.dur_micros, record.tid
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn write(path: &str, contents: &str) -> Result<(), CliError> {
+    fs::write(Path::new(path), contents).map_err(|e| CliError::Run(format!("{path}: {e}")))
+}

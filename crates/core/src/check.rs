@@ -30,6 +30,11 @@ pub struct CheckAnalysis {
     pub report: VerifyReport,
     /// The standard multi-seed activity/power aggregate of the same runs.
     pub analysis: AggregateAnalysis,
+    /// Cumulative wall-clock time inside each checker's hooks, summed over
+    /// seeds, as `(name, micros)` pairs. All zeros unless the suite was
+    /// built with [`CheckSuite::with_timing`]. Telemetry only — never part
+    /// of the determinism-checked report.
+    pub checker_micros: Vec<(String, u64)>,
 }
 
 /// Result of an incremental [`GlitchAnalyzer::check_delta`] run.
@@ -79,6 +84,7 @@ impl GlitchAnalyzer {
         }
         Ok(CheckAnalysis {
             report: merged.report(netlist),
+            checker_micros: merged.checker_micros(),
             analysis,
         })
     }

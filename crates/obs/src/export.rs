@@ -1,0 +1,216 @@
+//! Exporters: human-readable summary, stable metrics JSON, and Chrome
+//! trace-event JSON (open a `--trace-out` file in Perfetto or
+//! `chrome://tracing`).
+//!
+//! The metrics exporters render every metric sorted by name, so two equal
+//! registries (the registry's `==` is name-order-insensitive) render to
+//! byte-identical text/JSON — the determinism guarantee "merged metrics
+//! are bit-identical at any job count" is stated over these bytes.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::span::SpanLog;
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(histogram: &Histogram) -> String {
+    let buckets = histogram
+        .nonzero_buckets()
+        .iter()
+        .map(|&(i, n)| format!("[{i},{n}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+        histogram.count(),
+        histogram.sum(),
+        histogram.min(),
+        histogram.max(),
+        buckets
+    )
+}
+
+/// Renders a registry as one stable JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}`, each section
+/// sorted by metric name. Histogram buckets are `[log2 bucket index,
+/// sample count]` pairs (bucket `i > 0` covers `[2^(i-1), 2^i)`, bucket 0
+/// is the zero samples).
+#[must_use]
+pub fn metrics_json(metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let counters = metrics
+        .counters()
+        .iter()
+        .map(|&(n, v)| format!("\"{}\":{v}", escape_json(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&counters);
+    out.push_str("},\"gauges\":{");
+    let gauges = metrics
+        .gauges()
+        .iter()
+        .map(|&(n, v)| format!("\"{}\":{v}", escape_json(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&gauges);
+    out.push_str("},\"histograms\":{");
+    let histograms = metrics
+        .histograms()
+        .iter()
+        .map(|(n, h)| format!("\"{}\":{}", escape_json(n), histogram_json(h)))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&histograms);
+    out.push_str("}}");
+    out
+}
+
+/// Renders a registry as an aligned human-readable summary.
+#[must_use]
+pub fn metrics_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    if metrics.is_empty() {
+        out.push_str("metrics: (none recorded)\n");
+        return out;
+    }
+    out.push_str("metrics:\n");
+    for (name, value) in metrics.counters() {
+        let _ = writeln!(out, "  {name:<40} {value}");
+    }
+    for (name, value) in metrics.gauges() {
+        let _ = writeln!(out, "  {name:<40} {value} (max)");
+    }
+    for (name, histogram) in metrics.histograms() {
+        let _ = writeln!(
+            out,
+            "  {name:<40} n={} mean={:.1} min={} max={}",
+            histogram.count(),
+            histogram.mean(),
+            histogram.min(),
+            histogram.max()
+        );
+    }
+    out
+}
+
+/// Renders a span log as a Chrome trace-event JSON array of complete
+/// (`"ph":"X"`) events — load the file in Perfetto (<https://ui.perfetto.dev>)
+/// or `chrome://tracing`. Timestamps and durations are microseconds on the
+/// log's [`crate::Clock`] timeline.
+#[must_use]
+pub fn chrome_trace(log: &SpanLog) -> String {
+    let events = log
+        .records()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"glitch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                escape_json(&r.name),
+                r.start_micros,
+                r.dur_micros,
+                r.tid
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{events}\n]\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Clock;
+
+    fn sample() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("b.counter");
+        let c2 = m.counter("a.counter");
+        let g = m.gauge("g.peak");
+        let h = m.histogram("h.values");
+        m.add(c, 2);
+        m.add(c2, 1);
+        m.observe_max(g, 9);
+        m.record(h, 5);
+        m
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_stable() {
+        let json = metrics_json(&sample());
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.counter\":1,\"b.counter\":2},\
+             \"gauges\":{\"g.peak\":9},\
+             \"histograms\":{\"h.values\":{\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\
+             \"buckets\":[[3,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn equal_registries_render_identically() {
+        let a = sample();
+        // Same metrics registered in a different order.
+        let mut b = MetricsRegistry::new();
+        let h = b.histogram("h.values");
+        let g = b.gauge("g.peak");
+        let c2 = b.counter("a.counter");
+        let c = b.counter("b.counter");
+        b.record(h, 5);
+        b.observe_max(g, 9);
+        b.add(c2, 1);
+        b.add(c, 2);
+        assert_eq!(a, b);
+        assert_eq!(metrics_json(&a), metrics_json(&b));
+        assert_eq!(metrics_text(&a), metrics_text(&b));
+    }
+
+    #[test]
+    fn text_summary_mentions_every_metric() {
+        let text = metrics_text(&sample());
+        for name in ["a.counter", "b.counter", "g.peak", "h.values"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(metrics_text(&MetricsRegistry::new()).contains("none recorded"));
+    }
+
+    #[test]
+    fn chrome_trace_is_an_event_array() {
+        let log = SpanLog::new(Clock::new());
+        log.record("parse", 0, 10, 5);
+        log.record("shard \"q\"", 2, 20, 7);
+        let trace = chrome_trace(&log);
+        assert!(trace.starts_with("[\n"));
+        assert!(trace.ends_with("\n]\n"));
+        assert!(trace.contains("\"name\":\"parse\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ts\":10"));
+        assert!(trace.contains("\"dur\":5"));
+        assert!(trace.contains("\"tid\":2"));
+        assert!(trace.contains("shard \\\"q\\\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

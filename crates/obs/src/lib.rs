@@ -1,0 +1,30 @@
+//! `glitch-obs`: the engine's dependency-free observability layer.
+//!
+//! Three pieces, designed to be cheap enough to leave compiled into every
+//! build:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and fixed-log2-bucket
+//!   histograms behind copyable handles. One registry per worker thread;
+//!   [`MetricsRegistry::merge`] folds them in job order with the exact
+//!   discipline of `glitch-sim`'s `MergeableProbe`, so merged metrics are
+//!   bit-identical at any `--jobs` count. A disabled registry turns every
+//!   record operation into one predictable branch.
+//! * [`Clock`] / [`SpanLog`] / [`Span`] — RAII timing spans over a shared
+//!   monotonic origin, ring-buffered with a drop counter.
+//! * [`export`] — a human-readable summary, stable sorted-by-name metrics
+//!   JSON, and Chrome trace-event JSON for Perfetto/`chrome://tracing`.
+//!
+//! Deterministic quantities (cycle, event and evaluation counts) belong in
+//! the registry; wall-clock time belongs in spans. Keeping the two apart
+//! is what lets the CLI promise byte-identical `--metrics-json` output
+//! across runs and job counts while still shipping a flame view.
+
+pub mod export;
+mod metrics;
+mod span;
+
+pub use metrics::{
+    bucket_index, CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricsRegistry,
+    HISTOGRAM_BUCKETS,
+};
+pub use span::{Clock, Span, SpanLog, SpanRecord, DEFAULT_SPAN_CAPACITY};

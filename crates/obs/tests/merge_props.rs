@@ -1,0 +1,98 @@
+//! Property tests for [`MetricsRegistry::merge`]: associative,
+//! commutative, identity — mirroring the `ActivityTrace::merge` laws that
+//! underpin the engine's parallel fold determinism.
+
+use glitch_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+/// One random record operation: `(kind, name index, value)` against a
+/// small shared name pool, so random registries overlap on some names and
+/// differ on others. Kind 0 adds to a counter, 1 observes a gauge
+/// maximum, 2 records a histogram sample.
+type Op = (usize, usize, u64);
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn ops_strategy() -> proptest::collection::VecStrategy<(
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<u64>,
+)> {
+    proptest::collection::vec((0usize..3, 0usize..NAMES.len(), 0u64..1_000_000), 0..40)
+}
+
+fn registry_from_ops(ops: &[Op]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for &(kind, name, value) in ops {
+        match kind {
+            0 => {
+                let handle = m.counter(NAMES[name]);
+                m.add(handle, value);
+            }
+            1 => {
+                let handle = m.gauge(NAMES[name]);
+                m.observe_max(handle, value);
+            }
+            _ => {
+                let handle = m.histogram(NAMES[name]);
+                m.record(handle, value);
+            }
+        }
+    }
+    m
+}
+
+fn merged(mut left: MetricsRegistry, right: &MetricsRegistry) -> MetricsRegistry {
+    left.merge(right.clone());
+    left
+}
+
+proptest! {
+    /// `merge` is associative and commutative with the empty registry as
+    /// identity — the laws that make the job-order fold of per-thread
+    /// collectors independent of how the reduction is bracketed.
+    #[test]
+    fn merge_is_associative_commutative_identity(
+        a_ops in ops_strategy(),
+        b_ops in ops_strategy(),
+        c_ops in ops_strategy(),
+    ) {
+        let a = registry_from_ops(&a_ops);
+        let b = registry_from_ops(&b_ops);
+        let c = registry_from_ops(&c_ops);
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let left = merged(merged(a.clone(), &b), &c);
+        let right = merged(a.clone(), &merged(b.clone(), &c));
+        prop_assert_eq!(&left, &right);
+        // Commutativity: a ⊕ b == b ⊕ a.
+        prop_assert_eq!(merged(a.clone(), &b), merged(b.clone(), &a));
+        // Identity, both sides.
+        prop_assert_eq!(merged(a.clone(), &MetricsRegistry::new()), a.clone());
+        prop_assert_eq!(merged(MetricsRegistry::new(), &a), a);
+    }
+
+    /// Splitting one observation stream into chunks and folding them — in
+    /// either direction — reproduces the single-collector registry, and
+    /// equal registries export byte-identical JSON.
+    #[test]
+    fn chunked_folds_match_and_export_identically(
+        ops in ops_strategy(),
+    ) {
+        let whole = registry_from_ops(&ops);
+        let chunks: Vec<MetricsRegistry> = ops.chunks(7).map(registry_from_ops).collect();
+        let mut forward = MetricsRegistry::new();
+        for chunk in &chunks {
+            forward.merge(chunk.clone());
+        }
+        let mut backward = MetricsRegistry::new();
+        for chunk in chunks.iter().rev() {
+            backward.merge(chunk.clone());
+        }
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        prop_assert_eq!(
+            glitch_obs::export::metrics_json(&forward),
+            glitch_obs::export::metrics_json(&backward)
+        );
+    }
+}

@@ -324,7 +324,16 @@ impl<'a> ClockedSimulator<'a> {
             *state = ff.init;
         }
         self.queue.clear();
+        self.queue.reset_stats();
         self.cycles = 0;
+    }
+
+    /// Cumulative event-queue traffic (pushes, pops, peak depth) since
+    /// construction or the last [`ClockedSimulator::reset`]. Deterministic:
+    /// a pure function of netlist, stimulus and delay model.
+    #[must_use]
+    pub fn queue_stats(&self) -> crate::QueueStats {
+        self.queue.stats()
     }
 
     fn schedule(&mut self, time: u64, net: NetId, value: Value) {

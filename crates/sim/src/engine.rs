@@ -37,6 +37,33 @@ impl PartialOrd for Event {
     }
 }
 
+/// Cumulative traffic statistics of the engine's event queue over a
+/// whole run.
+///
+/// These counters are deterministic — the event stream is a pure function
+/// of netlist, stimulus and delay model — so they may participate in the
+/// engine's bit-identity guarantees (and in `ShardSummary` equality),
+/// unlike wall-clock timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub pushes: u64,
+    /// Events ever delivered to the delta loop.
+    pub pops: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_depth: u64,
+}
+
+impl QueueStats {
+    /// Folds another run's statistics into this one (counts add, the peak
+    /// combines by maximum) — shard-order merging, as everywhere else.
+    pub fn merge(&mut self, other: QueueStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+    }
+}
+
 /// A time-ordered queue of pending net-value changes within one clock cycle.
 ///
 /// Backed by a [`BinaryHeap`] keyed on `(time, insertion sequence)`: pushes
@@ -46,6 +73,9 @@ impl PartialOrd for Event {
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Event>,
     seq: u64,
+    /// Cumulative over the queue's lifetime: [`EventQueue::clear`] runs at
+    /// the start of every cycle and must not reset run-level statistics.
+    stats: QueueStats,
 }
 
 impl EventQueue {
@@ -63,6 +93,8 @@ impl EventQueue {
             net,
             value,
         });
+        self.stats.pushes += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
     }
 
     /// Removes and returns all events at the earliest pending time.
@@ -92,7 +124,20 @@ impl EventQueue {
             let e = self.heap.pop().expect("peeked event exists");
             events.push((e.net, e.value));
         }
+        self.stats.pops += events.len() as u64;
         Some(events)
+    }
+
+    /// Cumulative traffic statistics since construction (or
+    /// [`EventQueue::reset_stats`]); *not* reset by [`EventQueue::clear`].
+    pub(crate) fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Resets the cumulative statistics (a full simulator reset, not the
+    /// per-cycle clear).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = QueueStats::default();
     }
 
     #[cfg(test)]
@@ -193,5 +238,45 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert_eq!(q.earliest_time(), None);
+    }
+
+    #[test]
+    fn stats_survive_clear_and_count_traffic() {
+        let mut q = EventQueue::new();
+        let n = NetId::from_index(0);
+        q.push(1, n, Value::One);
+        q.push(1, n, Value::Zero);
+        q.push(2, n, Value::One);
+        assert_eq!(q.stats().peak_depth, 3);
+        let _ = q.pop_at(1);
+        q.clear();
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 3);
+        assert_eq!(stats.pops, 2);
+        assert_eq!(stats.peak_depth, 3);
+        q.reset_stats();
+        assert_eq!(q.stats(), QueueStats::default());
+    }
+
+    #[test]
+    fn queue_stats_merge_adds_and_maxes() {
+        let mut a = QueueStats {
+            pushes: 3,
+            pops: 2,
+            peak_depth: 5,
+        };
+        a.merge(QueueStats {
+            pushes: 4,
+            pops: 4,
+            peak_depth: 2,
+        });
+        assert_eq!(
+            a,
+            QueueStats {
+                pushes: 7,
+                pops: 6,
+                peak_depth: 5
+            }
+        );
     }
 }

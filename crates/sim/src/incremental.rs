@@ -249,8 +249,9 @@ pub(crate) fn record_baseline<'a>(
     let final_values = (0..netlist.net_count())
         .map(|i| sim.net_value(NetId::from_index(i)))
         .collect();
-    let report =
+    let mut report =
         SessionReport::from_parts(sim.cycle_count(), cycle_stats.clone(), final_values, probes);
+    report.set_queue_stats(sim.queue_stats());
     if let Some(error) = failure {
         return Err(SessionError {
             error,
@@ -429,6 +430,13 @@ pub struct IncrementalStats {
     pub cells_evaluated: u64,
     /// Cell evaluations of the baseline run (the full-run reference cost).
     pub baseline_cell_evals: u64,
+    /// Largest suspicion-set (dirty-cone union) size reached, in nets —
+    /// how far divergence spread before reconverging.
+    pub peak_dirty_cone_nets: u64,
+    /// Dirty cycles whose dirtiness was (re-)seeded by a diverged
+    /// flipflop state — the cross-cycle fallback path where divergence
+    /// escaped the combinational cone through a register.
+    pub dff_divergence_reseeds: u64,
 }
 
 impl IncrementalStats {
@@ -707,10 +715,15 @@ impl<'a> IncrementalSession<'a> {
                     seeds.push(net);
                 }
             }
+            let mut dff_reseeded = false;
             for (i, &q) in dff_outputs.iter().enumerate() {
                 if sim.dff_state()[i] != base_dff_state[i] {
                     seeds.push(q);
+                    dff_reseeded = true;
                 }
+            }
+            if dff_reseeded {
+                stats.dff_divergence_reseeds += 1;
             }
 
             let clean = seeds.is_empty() && diverged == 0;
@@ -733,6 +746,7 @@ impl<'a> IncrementalSession<'a> {
                         }
                     }
                 }
+                stats.peak_dirty_cone_nets = stats.peak_dirty_cone_nets.max(suspects.len() as u64);
                 let mut assignment = InputAssignment::new();
                 for (net, value) in entries {
                     assignment.set(net, value);
@@ -773,12 +787,14 @@ impl<'a> IncrementalSession<'a> {
             }
         }
 
+        let queue = sim.queue_stats();
         let probes = sim.detach_probes();
         let final_values = (0..netlist.net_count())
             .map(|i| sim.net_value(NetId::from_index(i)))
             .collect();
-        let report =
+        let mut report =
             SessionReport::from_parts(sim.cycle_count(), cycle_stats, final_values, probes);
+        report.set_queue_stats(queue);
         match failure {
             None => Ok(IncrementalReport {
                 session: report,

@@ -82,6 +82,7 @@ mod delay;
 mod engine;
 mod error;
 mod incremental;
+mod metrics;
 mod parallel;
 mod probe;
 mod session;
@@ -93,10 +94,12 @@ mod window;
 pub use baseline_io::{load_baseline, save_baseline, BaselineFileError};
 pub use clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions, XEval};
 pub use delay::{CellDelay, DelayKind, DelayModel, UnitDelay, ZeroDelay};
+pub use engine::QueueStats;
 pub use error::SimError;
 pub use incremental::{
     DeltaStimulus, IncrementalReport, IncrementalSession, IncrementalStats, SimBaseline,
 };
+pub use metrics::MetricsProbe;
 pub use parallel::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
 pub use probe::{
     ActivityProbe, MergeableProbe, PowerProbe, Probe, StatsProbe, Transition, TransitionKind,

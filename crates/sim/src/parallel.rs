@@ -43,6 +43,7 @@ use glitch_power::{PowerReport, Technology};
 
 use crate::clocked::SimOptions;
 use crate::delay::DelayKind;
+use crate::engine::QueueStats;
 use crate::error::SimError;
 use crate::probe::{ActivityProbe, MergeableProbe, PowerProbe, Probe, StatsProbe};
 use crate::session::{SessionReport, SimSession};
@@ -177,12 +178,20 @@ impl ParallelRunner {
         // stop claiming new jobs instead of simulating shards whose results
         // would be dropped anyway.
         let failed = AtomicBool::new(false);
+        let batch_start = std::time::Instant::now();
         let results = self.map(jobs.iter().collect(), |index, job: &SimJob<'_>| {
             if failed.load(Ordering::Relaxed) {
                 return None;
             }
-            let result = job.run_with(extra_probes(index));
-            if result.is_err() {
+            // Queue wait: how long this shard sat behind others before a
+            // worker picked it up. Wall-clock only — never merged into
+            // deterministic aggregates.
+            let queue_wait = as_micros(batch_start.elapsed());
+            let job_start = std::time::Instant::now();
+            let mut result = job.run_with(extra_probes(index));
+            if let Ok(report) = result.as_mut() {
+                report.set_timing(as_micros(job_start.elapsed()), queue_wait);
+            } else {
                 failed.store(true, Ordering::Relaxed);
             }
             Some(result)
@@ -202,6 +211,11 @@ impl ParallelRunner {
         debug_assert!(!skipped, "skipped jobs imply an error in the batch");
         Ok(reports)
     }
+}
+
+/// Saturating duration → microsecond conversion for timing fields.
+fn as_micros(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// One shard of a parallel run: a `(netlist, seed, delay)` tuple plus the
@@ -308,7 +322,13 @@ impl<'a> SimJob<'a> {
 }
 
 /// Per-shard scalars extracted from one job's finished session.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the *deterministic* fields — the wall-clock
+/// timing fields ([`ShardSummary::wall_micros`],
+/// [`ShardSummary::queue_wait_micros`]) vary run to run and are excluded,
+/// so the parallel-equals-serial determinism assertions upstream keep
+/// holding with timing instrumentation on.
+#[derive(Debug, Clone)]
 pub struct ShardSummary {
     /// The job's label.
     pub label: String,
@@ -327,6 +347,32 @@ pub struct ShardSummary {
     pub events: u64,
     /// Worst intra-cycle settle time.
     pub max_settle_time: u64,
+    /// Combinational cell evaluations performed.
+    pub cell_evals: u64,
+    /// Cumulative event-queue traffic (deterministic: pushes, pops, peak
+    /// depth are functions of the stimulus, not of scheduling).
+    pub queue: QueueStats,
+    /// Wall-clock time this shard's session took, in microseconds.
+    /// Non-deterministic; display and trace export only.
+    pub wall_micros: u64,
+    /// Wall-clock delay between batch start and this shard starting, in
+    /// microseconds. Non-deterministic; display and trace export only.
+    pub queue_wait_micros: u64,
+}
+
+impl PartialEq for ShardSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.seed == other.seed
+            && self.delay == other.delay
+            && self.cycles == other.cycles
+            && self.activity == other.activity
+            && self.power == other.power
+            && self.events == other.events
+            && self.max_settle_time == other.max_settle_time
+            && self.cell_evals == other.cell_evals
+            && self.queue == other.queue
+    }
 }
 
 /// Minimum / mean / maximum / standard deviation of a per-shard series —
@@ -429,6 +475,10 @@ impl AggregateReport {
                 power: power.report().expect("session ended").clone(),
                 events: stats.events(),
                 max_settle_time: stats.max_settle_time(),
+                cell_evals: stats.cell_evals(),
+                queue: report.queue_stats(),
+                wall_micros: report.wall_micros(),
+                queue_wait_micros: report.queue_wait_micros(),
             });
             match merged_activity.as_mut() {
                 None => merged_activity = Some(activity),
@@ -500,6 +550,45 @@ impl AggregateReport {
         self.merged_stats.max_settle_time()
     }
 
+    /// Total combinational cell evaluations across all shards.
+    #[must_use]
+    pub fn total_cell_evals(&self) -> u64 {
+        self.merged_stats.cell_evals()
+    }
+
+    /// Event-queue traffic summed (pushes, pops) and maxed (peak depth)
+    /// over all shards. Deterministic, like every merged aggregate.
+    #[must_use]
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for shard in &self.shards {
+            total.merge(shard.queue);
+        }
+        total
+    }
+
+    /// Load-imbalance ratio of the batch: slowest shard wall time divided
+    /// by the mean shard wall time (1.0 = perfectly balanced). Returns 1.0
+    /// for batches without timing data. Wall-clock derived — display only,
+    /// never part of deterministic aggregates.
+    #[must_use]
+    pub fn imbalance_ratio(&self) -> f64 {
+        let walls: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.wall_micros as f64)
+            .filter(|&w| w > 0.0)
+            .collect();
+        if walls.is_empty() {
+            return 1.0;
+        }
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        walls.iter().copied().fold(f64::NEG_INFINITY, f64::max) / mean
+    }
+
     /// Spread of per-shard complete-glitch counts.
     #[must_use]
     pub fn glitch_spread(&self) -> Spread {
@@ -560,6 +649,34 @@ mod tests {
         assert_eq!(runner.workers(), 1);
         assert_eq!(runner.map(vec![1, 2, 3], |_, x| x + 1), vec![2, 3, 4]);
         assert!(ParallelRunner::default().workers() >= 1);
+    }
+
+    #[test]
+    fn shard_equality_ignores_wall_clock_fields() {
+        let runner = ParallelRunner::new(2);
+        let mut nl = glitch_netlist::Netlist::new("pair");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b, "y");
+        nl.mark_output(y);
+        let buses = vec![Bus::new(vec![a, b])];
+        let jobs: Vec<SimJob<'_>> = (0..3)
+            .map(|seed| SimJob::new(&nl, buses.clone(), 16, seed))
+            .collect();
+        let mut first = runner.run_sessions(&jobs).unwrap();
+        let mut second = runner.run_sessions(&jobs).unwrap();
+        let agg_a = AggregateReport::reduce(&nl, &jobs, &mut first);
+        let agg_b = AggregateReport::reduce(&nl, &jobs, &mut second);
+        // Wall times differ between the two batches, but equality (and so
+        // the upstream determinism asserts) only sees deterministic fields.
+        assert_eq!(agg_a, agg_b);
+        assert_eq!(agg_a.shards(), agg_b.shards());
+        let shard = &agg_a.shards()[0];
+        assert!(shard.cell_evals > 0);
+        assert!(shard.queue.pops > 0);
+        assert!(agg_a.total_cell_evals() >= shard.cell_evals);
+        assert!(agg_a.queue_stats().pushes >= shard.queue.pushes);
+        assert!(agg_a.imbalance_ratio() >= 1.0);
     }
 
     #[test]

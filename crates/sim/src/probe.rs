@@ -526,6 +526,7 @@ pub struct StatsProbe {
     cycles: u64,
     transitions: u64,
     events: u64,
+    cell_evals: u64,
     max_settle_time: u64,
 }
 
@@ -554,6 +555,13 @@ impl StatsProbe {
         self.events
     }
 
+    /// Total combinational cell evaluations over all observed cycles — the
+    /// work metric the incremental layer reports its savings against.
+    #[must_use]
+    pub fn cell_evals(&self) -> u64 {
+        self.cell_evals
+    }
+
     /// The worst intra-cycle settle time observed.
     #[must_use]
     pub fn max_settle_time(&self) -> u64 {
@@ -566,6 +574,7 @@ impl Probe for StatsProbe {
         self.cycles += 1;
         self.transitions += stats.transitions;
         self.events += stats.events;
+        self.cell_evals += stats.cell_evals;
         self.max_settle_time = self.max_settle_time.max(stats.settle_time);
     }
 }
@@ -575,6 +584,7 @@ impl MergeableProbe for StatsProbe {
         self.cycles += other.cycles;
         self.transitions += other.transitions;
         self.events += other.events;
+        self.cell_evals += other.cell_evals;
         self.max_settle_time = self.max_settle_time.max(other.max_settle_time);
     }
 }

@@ -13,6 +13,7 @@ use glitch_netlist::{Bus, NetId, Netlist};
 
 use crate::clocked::{ClockedSimulator, CycleStats, InputAssignment, SimOptions};
 use crate::delay::{DelayKind, DelayModel};
+use crate::engine::QueueStats;
 use crate::error::SimError;
 use crate::probe::Probe;
 use crate::value::Value;
@@ -151,10 +152,14 @@ impl<'a> SimSession<'a> {
                         cycle_stats: Vec::new(),
                         final_values: vec![Value::X; self.netlist.net_count()],
                         probes: self.probes,
+                        queue: QueueStats::default(),
+                        wall_micros: 0,
+                        queue_wait_micros: 0,
                     }),
                 });
             }
         };
+        let started = std::time::Instant::now();
         for probe in self.probes {
             sim.attach_probe(probe);
         }
@@ -171,6 +176,7 @@ impl<'a> SimSession<'a> {
                 }
             }
         }
+        let queue = sim.queue_stats();
         let probes = sim.detach_probes();
         let final_values = (0..self.netlist.net_count())
             .map(|i| sim.net_value(NetId::from_index(i)))
@@ -180,6 +186,9 @@ impl<'a> SimSession<'a> {
             cycle_stats,
             final_values,
             probes,
+            queue,
+            wall_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            queue_wait_micros: 0,
         };
         match failure {
             None => Ok(report),
@@ -279,6 +288,9 @@ pub struct SessionReport {
     cycle_stats: Vec<CycleStats>,
     final_values: Vec<Value>,
     probes: Vec<Box<dyn Probe>>,
+    queue: QueueStats,
+    wall_micros: u64,
+    queue_wait_micros: u64,
 }
 
 impl SessionReport {
@@ -296,7 +308,25 @@ impl SessionReport {
             cycle_stats,
             final_values,
             probes,
+            queue: QueueStats::default(),
+            wall_micros: 0,
+            queue_wait_micros: 0,
         }
+    }
+
+    /// Attaches the simulator's cumulative event-queue statistics — for
+    /// in-crate drivers assembling reports via
+    /// [`SessionReport::from_parts`].
+    pub(crate) fn set_queue_stats(&mut self, queue: QueueStats) {
+        self.queue = queue;
+    }
+
+    /// Records the run's observed timing (for the parallel runner, which
+    /// measures each shard on the worker thread): the wall-clock duration
+    /// and how long the job waited from batch start to being picked up.
+    pub(crate) fn set_timing(&mut self, wall_micros: u64, queue_wait_micros: u64) {
+        self.wall_micros = wall_micros;
+        self.queue_wait_micros = queue_wait_micros;
     }
 
     /// Number of clock cycles the single pass simulated.
@@ -339,6 +369,35 @@ impl SessionReport {
             .map(|s| s.settle_time)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total combinational cell evaluations over all cycles.
+    #[must_use]
+    pub fn total_cell_evals(&self) -> u64 {
+        self.cycle_stats.iter().map(|s| s.cell_evals).sum()
+    }
+
+    /// Cumulative event-queue traffic of the run (deterministic).
+    #[must_use]
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue
+    }
+
+    /// Wall-clock duration of the simulation pass, in microseconds.
+    /// Non-deterministic — display and trace material, never folded into
+    /// equality-checked aggregates.
+    #[must_use]
+    pub fn wall_micros(&self) -> u64 {
+        self.wall_micros
+    }
+
+    /// How long the run waited before starting, in microseconds: 0 for a
+    /// direct run, the time from batch start to worker pickup for a shard
+    /// of a parallel batch. Non-deterministic, like
+    /// [`SessionReport::wall_micros`].
+    #[must_use]
+    pub fn queue_wait_micros(&self) -> u64 {
+        self.queue_wait_micros
     }
 
     /// The value a net held when the run ended.
@@ -457,6 +516,42 @@ mod tests {
             report.probe::<ActivityProbe>().unwrap().trace().cycles(),
             20
         );
+    }
+
+    #[test]
+    fn report_carries_queue_stats_and_wall_time() {
+        let (nl, inputs) = xor_netlist();
+        let report = SimSession::new(&nl)
+            .delay(DelayKind::Unit)
+            .stimulus(RandomStimulus::new(vec![inputs], 20, 11))
+            .run()
+            .unwrap();
+        let queue = report.queue_stats();
+        assert!(queue.pushes > 0);
+        assert_eq!(
+            queue.pops,
+            report.total_events(),
+            "every event delivered to the delta loop was popped"
+        );
+        assert!(queue.peak_depth >= 1);
+        assert!(report.total_cell_evals() > 0);
+        assert_eq!(report.queue_wait_micros(), 0, "direct runs never wait");
+        // Wall time is non-deterministic; only its presence is asserted.
+        let _ = report.wall_micros();
+    }
+
+    #[test]
+    fn queue_stats_are_deterministic_across_runs() {
+        let (nl, inputs) = xor_netlist();
+        let run = || {
+            SimSession::new(&nl)
+                .delay(DelayKind::Unit)
+                .stimulus(RandomStimulus::new(vec![inputs.clone()], 30, 7))
+                .run()
+                .unwrap()
+                .queue_stats()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -402,7 +402,7 @@ impl Checker for SettleBudgetChecker {
             )
         } else {
             let first = self.violations.first().expect("total > 0 retains one");
-            format!(
+            let mut text = format!(
                 "{} budget violations on {nets_over} nets (worst excess {} units; \
                  first: `{}` still switching at t={} in cycle {}, budget {})",
                 self.total,
@@ -411,8 +411,17 @@ impl Checker for SettleBudgetChecker {
                 first.time,
                 first.cycle,
                 first.budget
-            )
+            );
+            let dropped = self.total - self.violations.len() as u64;
+            if dropped > 0 {
+                text.push_str(&format!(
+                    " [{} retained, {dropped} dropped past the cap]",
+                    self.violations.len()
+                ));
+            }
+            text
         };
+        let retained = self.violations.len() as u64;
         CheckOutcome {
             checker: self.name().to_string(),
             verdict,
@@ -427,6 +436,8 @@ impl Checker for SettleBudgetChecker {
                 ("nets_over_budget".to_string(), nets_over as u64),
                 ("worst_excess".to_string(), self.worst_excess),
                 ("max_settle_time".to_string(), self.max_settle_seen),
+                ("violations_retained".to_string(), retained),
+                ("violations_dropped".to_string(), self.total - retained),
             ],
             summary,
         }

@@ -200,13 +200,48 @@ pub(crate) fn downcast_checker<T: Checker>(other: Box<dyn Checker>) -> T {
 #[derive(Default)]
 pub struct CheckerProbe {
     checkers: Vec<Box<dyn Checker>>,
+    /// When set, every hook fan-out is timed per checker. Off by default —
+    /// the untimed path does not touch the clock at all, so checking
+    /// without telemetry pays nothing.
+    timed: bool,
+    /// Cumulative wall-clock nanoseconds per checker (index-aligned with
+    /// `checkers`). Non-deterministic; never part of [`CheckOutcome`] or
+    /// [`crate::VerifyReport`], so the determinism guarantees stated over
+    /// those objects are unaffected.
+    elapsed_nanos: Vec<u64>,
 }
 
 impl CheckerProbe {
     /// Wraps a list of checkers; they observe events in list order.
     #[must_use]
     pub fn new(checkers: Vec<Box<dyn Checker>>) -> Self {
-        CheckerProbe { checkers }
+        let elapsed_nanos = vec![0; checkers.len()];
+        CheckerProbe {
+            checkers,
+            timed: false,
+            elapsed_nanos,
+        }
+    }
+
+    /// Enables per-checker wall-clock timing (builder style). Retrieve the
+    /// accumulated figures with [`CheckerProbe::checker_micros`].
+    #[must_use]
+    pub fn timed(mut self) -> Self {
+        self.timed = true;
+        self
+    }
+
+    /// Cumulative wall-clock time spent inside each checker's hooks, in
+    /// microseconds, as `(name, micros)` pairs in checker order. All zeros
+    /// unless the probe was built with [`CheckerProbe::timed`]. Display
+    /// and trace export only — wall-clock figures are not deterministic.
+    #[must_use]
+    pub fn checker_micros(&self) -> Vec<(String, u64)> {
+        self.checkers
+            .iter()
+            .zip(&self.elapsed_nanos)
+            .map(|(c, &nanos)| (c.name().to_string(), nanos / 1_000))
+            .collect()
     }
 
     /// Number of wrapped checkers.
@@ -226,6 +261,21 @@ impl CheckerProbe {
     pub fn report(&self, netlist: &Netlist) -> crate::VerifyReport {
         crate::VerifyReport::new(self.checkers.iter().map(|c| c.outcome(netlist)).collect())
     }
+
+    /// Fans one hook call across the checkers, timing each when enabled.
+    fn fan_out(&mut self, mut f: impl FnMut(&mut dyn Checker)) {
+        if self.timed {
+            for (checker, nanos) in self.checkers.iter_mut().zip(&mut self.elapsed_nanos) {
+                let start = std::time::Instant::now();
+                f(checker.as_mut());
+                *nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+        } else {
+            for checker in &mut self.checkers {
+                f(checker.as_mut());
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for CheckerProbe {
@@ -238,33 +288,23 @@ impl std::fmt::Debug for CheckerProbe {
 
 impl Probe for CheckerProbe {
     fn on_run_start(&mut self, netlist: &Netlist) {
-        for checker in &mut self.checkers {
-            checker.on_run_start(netlist);
-        }
+        self.fan_out(|checker| checker.on_run_start(netlist));
     }
 
     fn on_cycle_start(&mut self, cycle: u64) {
-        for checker in &mut self.checkers {
-            checker.on_cycle_start(cycle);
-        }
+        self.fan_out(|checker| checker.on_cycle_start(cycle));
     }
 
     fn on_transition(&mut self, transition: &Transition) {
-        for checker in &mut self.checkers {
-            checker.on_transition(transition);
-        }
+        self.fan_out(|checker| checker.on_transition(transition));
     }
 
     fn on_cycle_end(&mut self, cycle: u64, stats: &CycleStats) {
-        for checker in &mut self.checkers {
-            checker.on_cycle_end(cycle, stats);
-        }
+        self.fan_out(|checker| checker.on_cycle_end(cycle, stats));
     }
 
     fn on_run_end(&mut self, netlist: &Netlist) {
-        for checker in &mut self.checkers {
-            checker.on_run_end(netlist);
-        }
+        self.fan_out(|checker| checker.on_run_end(netlist));
     }
 }
 
@@ -298,6 +338,10 @@ impl MergeableProbe for CheckerProbe {
                 "cannot merge checker probes with different checker lists"
             );
             mine.merge_boxed(theirs);
+        }
+        self.timed |= other.timed;
+        for (mine, theirs) in self.elapsed_nanos.iter_mut().zip(&other.elapsed_nanos) {
+            *mine += theirs;
         }
     }
 }

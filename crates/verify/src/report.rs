@@ -49,6 +49,23 @@ impl VerifyReport {
         self.outcomes.iter().map(|o| o.total_violations).sum()
     }
 
+    /// Violations retained as located records across all checkers (at most
+    /// [`crate::VIOLATION_CAP`] each).
+    #[must_use]
+    pub fn retained_violations(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.violations.len() as u64)
+            .sum()
+    }
+
+    /// Violations counted but dropped past the retention cap — the honest
+    /// "and N more" figure for pathological runs.
+    #[must_use]
+    pub fn dropped_violations(&self) -> u64 {
+        self.total_violations() - self.retained_violations()
+    }
+
     /// Number of checkers that failed.
     #[must_use]
     pub fn failed_checkers(&self) -> usize {

@@ -24,6 +24,7 @@ pub struct CheckSuite {
     hazards: bool,
     budgets: Option<ResolvedBudgets>,
     stability: Vec<(NetId, CycleFilter)>,
+    timed: bool,
 }
 
 impl CheckSuite {
@@ -62,6 +63,14 @@ impl CheckSuite {
         self
     }
 
+    /// Builds probes with per-checker wall-clock timing enabled
+    /// ([`CheckerProbe::timed`]) — telemetry only, verdicts unaffected.
+    #[must_use]
+    pub fn with_timing(mut self) -> Self {
+        self.timed = true;
+        self
+    }
+
     /// Number of checkers [`CheckSuite::build`] will instantiate.
     #[must_use]
     pub fn checker_count(&self) -> usize {
@@ -95,6 +104,11 @@ impl CheckSuite {
         for &(net, filter) in &self.stability {
             checkers.push(Box::new(StabilityChecker::new(net, filter)));
         }
-        CheckerProbe::new(checkers)
+        let probe = CheckerProbe::new(checkers);
+        if self.timed {
+            probe.timed()
+        } else {
+            probe
+        }
     }
 }

@@ -153,6 +153,76 @@ fn settle_budget_locates_late_transitions() {
 }
 
 #[test]
+fn budget_checker_reports_retained_and_dropped_past_the_cap() {
+    // A pathological run: budget 0 on a 5-deep chain makes every stage a
+    // violation every toggling cycle, far past the retention cap. The full
+    // count, the retained count and the dropped count must all be honest.
+    let mut nl = Netlist::new("cap");
+    let a = nl.add_input("a");
+    let mut cur = a;
+    for i in 0..5 {
+        cur = nl.inv(cur, &format!("n{i}"));
+    }
+    nl.mark_output(cur);
+    let budgets = BudgetSpec::new()
+        .with(BudgetTarget::All, BudgetValue::Units(0))
+        .resolve(&nl)
+        .unwrap();
+    let suite = CheckSuite::new().with_budgets(budgets).with_timing();
+    let report = check_once(&nl, &suite, SimOptions::default(), 40);
+    let budget = report.outcome("settle-budget").unwrap();
+    assert_eq!(budget.verdict, Verdict::Fail);
+    let cap = glitch_verify::VIOLATION_CAP as u64;
+    assert!(
+        budget.total_violations > cap,
+        "the run must overflow the cap"
+    );
+    assert_eq!(budget.violations.len() as u64, cap);
+    assert_eq!(budget.metric("violations_retained"), Some(cap));
+    assert_eq!(
+        budget.metric("violations_dropped"),
+        Some(budget.total_violations - cap)
+    );
+    assert!(
+        budget.summary.contains("dropped past the cap"),
+        "{}",
+        budget.summary
+    );
+    assert_eq!(report.retained_violations(), cap);
+    assert_eq!(report.dropped_violations(), budget.total_violations - cap);
+}
+
+#[test]
+fn timed_probes_accumulate_checker_wall_time_without_changing_verdicts() {
+    let (nl, _) = xinit_circuit();
+    let suite = CheckSuite::new().with_x_propagation().with_hazards();
+    let inputs = nl.inputs().to_vec();
+    let run = |timed: bool| {
+        let suite = if timed {
+            suite.clone().with_timing()
+        } else {
+            suite.clone()
+        };
+        let report = SimSession::new(&nl)
+            .options(SimOptions::x_init())
+            .stimulus(toggling(&inputs, 64))
+            .probe(suite.build())
+            .run()
+            .unwrap();
+        let probe = report.probe::<CheckerProbe>().unwrap();
+        (probe.report(&nl), probe.checker_micros())
+    };
+    let (timed_report, timed_micros) = run(true);
+    let (plain_report, plain_micros) = run(false);
+    // Verdicts and evidence are identical; only the telemetry differs.
+    assert_eq!(timed_report, plain_report);
+    assert_eq!(timed_micros.len(), 2);
+    assert_eq!(timed_micros[0].0, "x-propagation");
+    assert_eq!(timed_micros[1].0, "hazard");
+    assert!(plain_micros.iter().all(|&(_, micros)| micros == 0));
+}
+
+#[test]
 fn budget_spec_parsing_resolution_and_precedence() {
     let mut nl = Netlist::new("spec");
     let a = nl.add_input("a");

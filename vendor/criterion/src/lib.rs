@@ -14,10 +14,15 @@
 //! benchmark code compiling.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box`, criterion-style.
 pub use std::hint::black_box;
+
+/// Every `(benchmark id, median ns/iter)` measured by this process, in
+/// run order; drained by [`write_summary`] at the end of `main`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// How long each benchmark is measured for (after warm-up).
 const MEASUREMENT_WINDOW: Duration = Duration::from_millis(200);
@@ -68,15 +73,22 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// How many timed chunks the measurement loop is split into; the reported
+/// median is the median of the per-chunk means.
+const MEASUREMENT_CHUNKS: u64 = 5;
+
 /// Passed to every benchmark closure; runs and times the workload.
 #[derive(Debug, Default)]
 pub struct Bencher {
     mean_ns: f64,
+    median_ns: f64,
     iterations: u64,
 }
 
 impl Bencher {
-    /// Times `routine`: warm-up, then an adaptive measurement loop.
+    /// Times `routine`: warm-up, then an adaptive measurement loop split
+    /// into `MEASUREMENT_CHUNKS` timed chunks (their median damps
+    /// one-off scheduling noise in the machine-readable summary).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up, and a first estimate of the per-iteration cost.
         let warmup_start = Instant::now();
@@ -89,13 +101,20 @@ impl Bencher {
 
         let target =
             ((MEASUREMENT_WINDOW.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
-        let start = Instant::now();
-        for _ in 0..target {
-            black_box(routine());
-        }
-        let elapsed = start.elapsed();
-        self.iterations = target;
-        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+        let per_chunk = (target / MEASUREMENT_CHUNKS).max(1);
+        let mut chunk_means: Vec<f64> = (0..MEASUREMENT_CHUNKS)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_chunk {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / per_chunk as f64
+            })
+            .collect();
+        self.iterations = per_chunk * MEASUREMENT_CHUNKS;
+        self.mean_ns = chunk_means.iter().sum::<f64>() / chunk_means.len() as f64;
+        chunk_means.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        self.median_ns = chunk_means[chunk_means.len() / 2];
     }
 }
 
@@ -132,6 +151,74 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput
     let mut bencher = Bencher::default();
     f(&mut bencher);
     report(id, &bencher, throughput);
+    RESULTS
+        .lock()
+        .expect("results mutex")
+        .push((id.to_string(), bencher.median_ns));
+}
+
+/// Renders `entries` as one flat JSON object, `{"id": median_ns, ...}`,
+/// sorted by id. Bench ids contain no characters needing JSON escapes.
+fn render_summary(entries: &[(String, f64)]) -> String {
+    let body = entries
+        .iter()
+        .map(|(name, ns)| format!("\"{name}\":{ns:.1}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}\n")
+}
+
+/// Parses the flat JSON object written by [`render_summary`]; malformed
+/// input yields an empty list (the file is then rewritten from scratch).
+fn parse_summary(text: &str) -> Vec<(String, f64)> {
+    let Some(body) = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+    else {
+        return Vec::new();
+    };
+    body.split(',')
+        .filter(|entry| !entry.trim().is_empty())
+        .filter_map(|entry| {
+            let (name, value) = entry.split_once(':')?;
+            let name = name.trim().strip_prefix('"')?.strip_suffix('"')?;
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Writes (or merges into) the machine-readable benchmark summary:
+/// `{"group/bench": median_ns_per_iter, ...}`, one entry per benchmark
+/// this process ran. `cargo bench` runs each bench target as its own
+/// process, so the file is read-merged-rewritten — entries from other
+/// targets survive, same-id entries are replaced. The path comes from
+/// `BENCH_SUMMARY_PATH`, defaulting to `target/BENCH_summary.json`
+/// relative to the bench's working directory.
+pub fn write_summary() {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("results mutex"));
+    if results.is_empty() {
+        return;
+    }
+    let path = std::env::var("BENCH_SUMMARY_PATH")
+        .unwrap_or_else(|_| "target/BENCH_summary.json".to_string());
+    let mut merged = std::fs::read_to_string(&path)
+        .map(|text| parse_summary(&text))
+        .unwrap_or_default();
+    for (name, ns) in results {
+        match merged.iter_mut().find(|(existing, _)| *existing == name) {
+            Some(entry) => entry.1 = ns,
+            None => merged.push((name, ns)),
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, render_summary(&merged)) {
+        Ok(()) => println!("wrote benchmark summary to {path}"),
+        Err(e) => eprintln!("cannot write benchmark summary {path}: {e}"),
+    }
 }
 
 /// A named group of related benchmarks.
@@ -219,13 +306,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines `main` running the listed benchmark groups.
+/// Defines `main` running the listed benchmark groups, then writing the
+/// machine-readable summary ([`write_summary`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // `cargo bench`/`cargo test` pass harness flags; none apply here.
             $($group();)+
+            $crate::write_summary();
         }
     };
 }
@@ -246,6 +335,19 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(String::from(BenchmarkId::new("rca", 16)), "rca/16");
         assert_eq!(String::from(BenchmarkId::from("plain")), "plain");
+    }
+
+    #[test]
+    fn summary_render_and_parse_round_trip() {
+        let entries = vec![
+            ("group/a".to_string(), 123.4),
+            ("group/b".to_string(), 1_000_000.0),
+        ];
+        let rendered = render_summary(&entries);
+        assert_eq!(rendered, "{\"group/a\":123.4,\"group/b\":1000000.0}\n");
+        assert_eq!(parse_summary(&rendered), entries);
+        assert!(parse_summary("not json").is_empty());
+        assert!(parse_summary("{}").is_empty());
     }
 
     #[test]
