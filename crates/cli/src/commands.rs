@@ -5,24 +5,24 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use glitch_core::activity::ActivityTotals;
-use glitch_core::netlist::{Bus, DotOptions, Netlist};
-use glitch_core::power::{PowerReport, Technology};
+use glitch_core::netlist::{DotOptions, Netlist};
 use glitch_core::retime::{pipeline_netlist, PipelineOptions};
 use glitch_core::sim::{
     MergeableProbe, MetricsProbe, Probe, RandomStimulus, SessionReport, SimSession, UnitDelay,
     VcdProbe, WaveCsvProbe, WindowedActivityProbe,
 };
 use glitch_core::sim::{SimBaseline, SimOptions};
-use glitch_core::verify::{BudgetSpec, CheckSuite, CycleFilter, Verdict, VerifyReport, Violation};
+use glitch_core::verify::{CheckSuite, Verdict, VerifyReport};
 use glitch_core::{
-    AggregateAnalysis, Analysis, AnalysisConfig, DelayKind, DeltaStimulus, GlitchAnalyzer,
-    IncrementalStats, PowerExplorer, Spread, TextTable,
+    Analysis, AnalysisConfig, DeltaStimulus, GlitchAnalyzer, IncrementalStats, PowerExplorer,
+    TextTable,
 };
 use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
+use glitch_serve::json::{json_array, JsonObject};
+use glitch_serve::params::{self, input_buses, stimulus_seeds, ParamError};
+use glitch_serve::report;
 
 use crate::args::{Args, Spec};
-use crate::json::{json_array, JsonObject};
 use crate::telemetry::Telemetry;
 
 /// The usage text printed on argument errors and by `help`.
@@ -129,6 +129,21 @@ commands:
                                    of spending the first on the inputs
               --cycles/--seed/--frequency-mhz/--tech as above
               --emit-blif <file>   write the retimed circuit as BLIF
+  serve     run the batch-analysis daemon: a JSON-lines protocol on a
+            loopback TCP socket, with parsed netlists, cone indexes and
+            recorded baselines kept warm in a content-addressed cache.
+            Responses are byte-identical to the matching one-shot --json
+            output. Takes no netlist argument
+              --port <p>           listen port on 127.0.0.1 [ephemeral;
+                                   printed on the `listening` line]
+              --jobs <n>           worker threads [hardware threads]
+              --cache-bytes <b>    cache byte budget [268435456]
+              --trace-out <FILE>   write a Chrome trace of every request
+                                   span (one track per worker) at shutdown
+  client    send request lines to a running daemon and print each
+            response line; requests come from the positional arguments,
+            or from stdin when none are given
+              --port <p>           daemon port (required)
   help      print this text
 
 telemetry options (analyze, power, sweep, check):
@@ -166,6 +181,15 @@ fn run_err(message: impl Into<String>) -> CliError {
     CliError::Run(message.into())
 }
 
+impl From<ParamError> for CliError {
+    fn from(error: ParamError) -> CliError {
+        match error {
+            ParamError::Usage(m) => CliError::Usage(m),
+            ParamError::Run(m) => CliError::Run(m),
+        }
+    }
+}
+
 /// Entry point: resolves the subcommand and runs it.
 ///
 /// # Errors
@@ -186,6 +210,8 @@ pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep(rest),
         "check" => cmd_check(rest),
         "retime" => cmd_retime(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -219,16 +245,7 @@ fn load(args: &Args) -> Result<(Netlist, String), CliError> {
 }
 
 fn library_for(args: &Args) -> Result<GateLibrary, CliError> {
-    let library = GateLibrary::standard();
-    Ok(match args.option("tech") {
-        None | Some("0.8um") => library,
-        Some("65nm") => library.with_technology(Technology::cmos_65nm_1v2()),
-        Some(other) => {
-            return Err(CliError::Usage(format!(
-                "--tech must be 0.8um or 65nm, got `{other}`"
-            )));
-        }
-    })
+    Ok(params::library_for_tech(args.option("tech"))?)
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
@@ -237,47 +254,26 @@ fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Groups the primary inputs into buses of at most 32 bits so the random
-/// stimulus can drive arbitrarily wide circuits.
-fn input_buses(netlist: &Netlist) -> Vec<Bus> {
-    netlist
-        .inputs()
-        .chunks(32)
-        .map(|chunk| Bus::new(chunk.to_vec()))
-        .collect()
-}
-
-fn delay_config(args: &Args, library: &GateLibrary) -> Result<DelayKind, CliError> {
-    Ok(match args.option("delay") {
-        None | Some("unit") => DelayKind::Unit,
-        Some("zero") => DelayKind::Zero,
-        Some("adder") => DelayKind::RealisticAdderCells,
-        Some("library") => DelayKind::Custom(library.cell_delay()),
-        Some(other) => {
-            return Err(CliError::Usage(format!(
-                "--delay must be unit, zero, adder or library, got `{other}`"
-            )));
-        }
-    })
-}
-
+/// The shared [`params::analysis_config`] resolution, with the numeric
+/// flags pre-parsed through the CLI's own error messages.
 fn analysis_config(args: &Args, library: &GateLibrary) -> Result<AnalysisConfig, CliError> {
     let defaults = AnalysisConfig::default();
+    let cycles: u64 = args
+        .parsed_option("cycles", defaults.cycles)
+        .map_err(CliError::Usage)?;
+    let seed: u64 = args
+        .parsed_option("seed", defaults.seed)
+        .map_err(CliError::Usage)?;
     let frequency_mhz: f64 = args
         .parsed_option("frequency-mhz", defaults.frequency / 1e6)
         .map_err(CliError::Usage)?;
-    Ok(AnalysisConfig {
-        cycles: args
-            .parsed_option("cycles", defaults.cycles)
-            .map_err(CliError::Usage)?,
-        seed: args
-            .parsed_option("seed", defaults.seed)
-            .map_err(CliError::Usage)?,
-        frequency: frequency_mhz * 1e6,
-        technology: *library.technology(),
-        delay: delay_config(args, library)?,
-        options: defaults.options,
-    })
+    Ok(params::analysis_config(
+        library,
+        Some(cycles),
+        Some(seed),
+        Some(frequency_mhz),
+        args.option("delay"),
+    )?)
 }
 
 fn analyze_netlist(netlist: &Netlist, config: &AnalysisConfig) -> Result<Analysis, CliError> {
@@ -286,33 +282,24 @@ fn analyze_netlist(netlist: &Netlist, config: &AnalysisConfig) -> Result<Analysi
         .map_err(|e| run_err(format!("simulation failed: {e}")))
 }
 
-/// Resolves `--seeds` and `--jobs`. The seed count defaults to 1 (a plain
-/// single-seed run); the worker count defaults to `min(seeds * models,
-/// hardware threads)`, where `models` is the number of delay models the
-/// command sweeps (1 except for `sweep`).
+/// The shared [`params::seeds_and_jobs`] resolution (seeds default to 1;
+/// jobs default to `min(seeds * models, hardware threads)`).
 fn seeds_and_jobs(args: &Args, models: usize) -> Result<(usize, usize), CliError> {
-    let seeds: usize = args.parsed_option("seeds", 1).map_err(CliError::Usage)?;
-    if seeds == 0 {
-        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    let seeds = parsed_presence::<usize>(args, "seeds")?;
+    let jobs = parsed_presence::<usize>(args, "jobs")?;
+    Ok(params::seeds_and_jobs(seeds, jobs, models)?)
+}
+
+/// Parses option `name` as `T` while preserving whether it was given at
+/// all (the shared resolvers treat absence differently from any value).
+fn parsed_presence<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, CliError> {
+    match args.option(name) {
+        None => Ok(None),
+        Some(text) => text
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("option --{name}: cannot parse `{text}`"))),
     }
-    if args.option("jobs").is_some() && seeds * models.max(1) == 1 {
-        return Err(CliError::Usage(
-            "--jobs has nothing to parallelise here; combine it with --seeds <n> \
-             (or, for sweep, more than one delay model)"
-                .into(),
-        ));
-    }
-    let hardware = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let default_jobs = (seeds * models.max(1)).min(hardware).max(1);
-    let jobs: usize = args
-        .parsed_option("jobs", default_jobs)
-        .map_err(CliError::Usage)?;
-    if jobs == 0 {
-        return Err(CliError::Usage("--jobs must be at least 1".into()));
-    }
-    Ok((seeds, jobs))
 }
 
 /// Resolves `--window` into an optional window size of at least one cycle.
@@ -334,82 +321,6 @@ fn window_option(args: &Args) -> Result<Option<u64>, CliError> {
             Ok(Some(k))
         }
     }
-}
-
-fn activity_totals_json(totals: &ActivityTotals) -> JsonObject {
-    JsonObject::new()
-        .u64("transitions", totals.transitions)
-        .u64("useful", totals.useful)
-        .u64("useless", totals.useless)
-        .u64("glitches", totals.glitches())
-        .f64("lf_ratio", totals.useless_to_useful())
-        .f64(
-            "balance_reduction_factor",
-            totals.balance_reduction_factor(),
-        )
-}
-
-fn power_report_json(power: &PowerReport) -> JsonObject {
-    JsonObject::new()
-        .f64("logic_w", power.breakdown.logic)
-        .f64("flipflop_w", power.breakdown.flipflop)
-        .f64("clock_w", power.breakdown.clock)
-        .f64("total_w", power.breakdown.total())
-        .f64("frequency_hz", power.frequency)
-        .usize("flipflops", power.flipflops)
-        .f64("clock_capacitance_f", power.clock_capacitance)
-        .f64("switched_cap_per_cycle_f", power.switched_cap_per_cycle)
-}
-
-/// The stimulus seeds of a multi-seed run. A single seed is the raw
-/// `--seed` value — so `--seeds 1` reproduces a plain single-seed run
-/// exactly — while `n > 1` derives decorrelated per-shard seeds via
-/// [`RandomStimulus::shard_seeds`].
-fn stimulus_seeds(base: u64, seeds: usize) -> Vec<u64> {
-    if seeds == 1 {
-        vec![base]
-    } else {
-        RandomStimulus::shard_seeds(base, seeds)
-    }
-}
-
-/// The per-window rows of a windowed-activity probe, as a rendered JSON
-/// array.
-fn windows_json(probe: &WindowedActivityProbe) -> String {
-    json_array(probe.windows().iter().enumerate().map(|(i, w)| {
-        JsonObject::new()
-            .usize("window", i)
-            .u64("start_cycle", w.start_cycle)
-            .u64("cycles", w.cycles)
-            .u64("transitions", w.transitions)
-            .u64("useful", w.useful)
-            .u64("useless", w.useless)
-            .u64("glitches", w.glitches())
-            .render()
-    }))
-}
-
-fn spread_json(spread: Spread) -> JsonObject {
-    JsonObject::new()
-        .f64("min", spread.min)
-        .f64("mean", spread.mean)
-        .f64("max", spread.max)
-        .f64("stddev", spread.stddev)
-}
-
-/// The per-seed rows of a multi-seed aggregate, as rendered JSON objects.
-fn per_seed_json(aggregate: &AggregateAnalysis) -> String {
-    json_array(aggregate.aggregate.shards().iter().map(|shard| {
-        JsonObject::new()
-            .u64("seed", shard.seed)
-            .u64("cycles", shard.cycles)
-            .u64("transitions", shard.activity.transitions)
-            .u64("useful", shard.activity.useful)
-            .u64("useless", shard.activity.useless)
-            .u64("glitches", shard.activity.glitches())
-            .f64("power_total_w", shard.power.breakdown.total())
-            .render()
-    }))
 }
 
 fn maybe_dot(netlist: &Netlist, args: &Args) -> Result<(), CliError> {
@@ -593,21 +504,19 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     let totals = analysis.activity.totals();
 
     if json {
-        let out = JsonObject::new()
-            .str("file", &path)
-            .str("netlist", netlist.name())
-            .u64("cycles", analysis.cycles)
-            .u64("passes", passes)
-            .u64("events", events)
-            .u64("max_settle_time", max_settle)
-            .u64("cell_evals", cell_evals)
-            .raw("activity", &activity_totals_json(&totals).render())
-            .raw("power", &power_report_json(&analysis.power).render());
-        let out = match windowed.as_ref() {
-            Some(probe) => out.raw("windows", &windows_json(probe)),
-            None => out,
-        };
-        println!("{}", out.render());
+        println!(
+            "{}",
+            report::analyze_json(
+                &path,
+                &netlist,
+                &analysis,
+                passes,
+                events,
+                max_settle,
+                cell_evals,
+                windowed.as_ref(),
+            )
+        );
     } else {
         println!();
         println!(
@@ -673,85 +582,6 @@ fn write_window_csv(
     Ok(())
 }
 
-/// One parsed `--flip` entry: `cycle:net` (invert the baseline value) or
-/// `cycle:net=0|1` (force a value).
-struct FlipSpec {
-    cycle: u64,
-    net: glitch_core::netlist::NetId,
-    name: String,
-    value: Option<bool>,
-}
-
-/// Parses the `--flip` comma list against the netlist's primary inputs.
-fn parse_flips(spec: &str, netlist: &Netlist) -> Result<Vec<FlipSpec>, CliError> {
-    spec.split(',')
-        .map(|entry| {
-            let entry = entry.trim();
-            let (cycle_text, rest) = entry.split_once(':').ok_or_else(|| {
-                CliError::Usage(format!(
-                    "--flip entries are cycle:net or cycle:net=0|1, got `{entry}`"
-                ))
-            })?;
-            let cycle: u64 = cycle_text.parse().map_err(|_| {
-                CliError::Usage(format!("--flip: cannot parse cycle `{cycle_text}`"))
-            })?;
-            let (name, value) = match rest.rsplit_once('=') {
-                Some((name, "0")) => (name, Some(false)),
-                Some((name, "1")) => (name, Some(true)),
-                Some((_, bad)) => {
-                    return Err(CliError::Usage(format!(
-                        "--flip: value must be 0 or 1, got `{bad}`"
-                    )));
-                }
-                None => (rest, None),
-            };
-            let net = netlist
-                .find_net(name)
-                .ok_or_else(|| run_err(format!("--flip: no net named `{name}` in the netlist")))?;
-            if !netlist.net(net).is_primary_input() {
-                return Err(CliError::Usage(format!(
-                    "--flip: net `{name}` is not a primary input"
-                )));
-            }
-            Ok(FlipSpec {
-                cycle,
-                net,
-                name: name.to_string(),
-                value,
-            })
-        })
-        .collect()
-}
-
-/// One applied flip: `(net name, cycle, driven value)`.
-type AppliedFlip = (String, u64, bool);
-
-/// Applies a parsed `--flip` list against a recorded baseline: entries
-/// without an explicit value invert the baseline's, and duplicate
-/// `cycle:net` pairs are rejected with their location (the
-/// [`DeltaStimulus::try_set`] construction contract).
-fn flips_to_delta(
-    flips: &[FlipSpec],
-    baseline: &SimBaseline,
-) -> Result<(DeltaStimulus, Vec<AppliedFlip>), CliError> {
-    let mut delta = DeltaStimulus::new();
-    let mut applied: Vec<AppliedFlip> = Vec::new();
-    for flip in flips {
-        let value = flip
-            .value
-            .unwrap_or(baseline.input_value(flip.cycle, flip.net) != glitch_core::sim::Value::One);
-        delta = delta.try_set(flip.cycle, flip.net, value).map_err(|_| {
-            CliError::Usage(format!(
-                "--flip: duplicate override for `{}` in cycle {} \
-                 (each cycle:net pair may appear once)",
-                flip.name, flip.cycle
-            ))
-        })?;
-        applied.push((flip.name.clone(), flip.cycle, value));
-    }
-    Ok((delta, applied))
-}
-
 /// The "re-evaluated N% of cells" line every incremental fast path prints.
 fn incremental_line(stats: &IncrementalStats) -> String {
     format!(
@@ -763,17 +593,6 @@ fn incremental_line(stats: &IncrementalStats) -> String {
         stats.replayed_cycles,
         stats.total_cycles()
     )
-}
-
-fn incremental_json(stats: &IncrementalStats) -> JsonObject {
-    JsonObject::new()
-        .u64("replayed_cycles", stats.replayed_cycles)
-        .u64("simulated_cycles", stats.simulated_cycles)
-        .u64("cells_evaluated", stats.cells_evaluated)
-        .u64("baseline_cell_evals", stats.baseline_cell_evals)
-        .u64("peak_dirty_cone_nets", stats.peak_dirty_cone_nets)
-        .u64("dff_divergence_reseeds", stats.dff_divergence_reseeds)
-        .f64("evaluated_fraction", stats.evaluated_fraction())
 }
 
 /// Produces the `--flip` baseline: recorded fresh, or — with
@@ -876,17 +695,10 @@ fn cmd_analyze_flip(
     spec: &str,
     telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
-    let flips = parse_flips(spec, netlist)?;
+    let flips = params::parse_flips(spec, netlist)?;
     // The run length is known before simulating anything; an out-of-range
     // flip must not cost a full baseline pass first.
-    for flip in &flips {
-        if flip.cycle >= config.cycles {
-            return Err(CliError::Usage(format!(
-                "--flip: cycle {} is beyond the {}-cycle run",
-                flip.cycle, config.cycles
-            )));
-        }
-    }
+    params::check_flip_cycles(&flips, config.cycles)?;
     let json = args.flag("json");
     let analyzer = GlitchAnalyzer::new(config.clone());
     let (before, baseline, baseline_note) = {
@@ -894,7 +706,7 @@ fn cmd_analyze_flip(
         obtain_baseline(netlist, args.option("baseline"), &analyzer, config)?
     };
 
-    let (delta, applied) = flips_to_delta(&flips, &baseline)?;
+    let (delta, applied) = params::flips_to_delta(&flips, &baseline)?;
 
     let after = {
         let _span = telemetry.span("incremental");
@@ -908,35 +720,18 @@ fn cmd_analyze_flip(
     let after_totals = after.analysis.activity.totals();
 
     if json {
-        let flips_json = json_array(applied.iter().map(|(name, cycle, value)| {
-            JsonObject::new()
-                .str("net", name)
-                .u64("cycle", *cycle)
-                .u64("value", u64::from(*value))
-                .render()
-        }));
-        let out = JsonObject::new()
-            .str("file", path)
-            .str("netlist", netlist.name())
-            .u64("cycles", baseline.cycle_count())
-            .raw("flips", &flips_json)
-            .raw("incremental", &incremental_json(&stats).render())
-            .raw(
-                "baseline",
-                &JsonObject::new()
-                    .raw("activity", &activity_totals_json(&before_totals).render())
-                    .raw("power", &power_report_json(&before.power).render())
-                    .render(),
+        println!(
+            "{}",
+            report::analyze_flip_json(
+                path,
+                netlist,
+                baseline.cycle_count(),
+                &applied,
+                &stats,
+                &before,
+                &after.analysis,
             )
-            .raw(
-                "delta",
-                &JsonObject::new()
-                    .raw("activity", &activity_totals_json(&after_totals).render())
-                    .raw("power", &power_report_json(&after.analysis.power).render())
-                    .render(),
-            )
-            .render();
-        println!("{out}");
+        );
     } else {
         println!("== {path}: `{}` ==", netlist.name());
         print!("{}", netlist.stats());
@@ -1055,36 +850,18 @@ fn cmd_analyze_aggregate(
 
     let totals = aggregate.activity.totals();
     if json {
-        let spreads = JsonObject::new()
-            .raw("glitches", &spread_json(aggregate.glitch_spread()).render())
-            .raw("useless", &spread_json(aggregate.useless_spread()).render())
-            .raw(
-                "lf_ratio",
-                &spread_json(aggregate.lf_ratio_spread()).render(),
+        println!(
+            "{}",
+            report::analyze_aggregate_json(
+                path,
+                netlist,
+                seeds,
+                jobs,
+                config.cycles,
+                &aggregate,
+                windowed.as_ref(),
             )
-            .raw(
-                "power_total_w",
-                &spread_json(aggregate.power_spread()).render(),
-            );
-        let out = JsonObject::new()
-            .str("file", path)
-            .str("netlist", netlist.name())
-            .usize("seeds", seeds)
-            .usize("jobs", jobs)
-            .u64("cycles_per_seed", config.cycles)
-            .u64("total_cycles", aggregate.total_cycles())
-            .u64("events", aggregate.aggregate.total_events())
-            .u64("max_settle_time", aggregate.aggregate.max_settle_time())
-            .u64("cell_evals", aggregate.aggregate.total_cell_evals())
-            .raw("activity", &activity_totals_json(&totals).render())
-            .raw("power", &power_report_json(&aggregate.power).render())
-            .raw("spread", &spreads.render())
-            .raw("per_seed", &per_seed_json(&aggregate));
-        let out = match windowed.as_ref() {
-            Some(probe) => out.raw("windows", &windows_json(probe)),
-            None => out,
-        };
-        println!("{}", out.render());
+        );
     } else {
         println!("== {path}: `{}` ==", netlist.name());
         print!("{}", netlist.stats());
@@ -1292,30 +1069,6 @@ const SWEEP_SPEC: Spec = Spec {
     optional: &["metrics"],
 };
 
-/// Parses the `--delays` comma list into `(label, DelayKind)` pairs.
-fn delay_sweep_models(
-    args: &Args,
-    library: &GateLibrary,
-) -> Result<Vec<(String, DelayKind)>, CliError> {
-    let list = args.option("delays").unwrap_or("unit,zero,adder");
-    list.split(',')
-        .map(|name| {
-            let kind = match name.trim() {
-                "unit" => DelayKind::Unit,
-                "zero" => DelayKind::Zero,
-                "adder" => DelayKind::RealisticAdderCells,
-                "library" => DelayKind::Custom(library.cell_delay()),
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "--delays entries must be unit, zero, adder or library, got `{other}`"
-                    )));
-                }
-            };
-            Ok((name.trim().to_string(), kind))
-        })
-        .collect()
-}
-
 fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw, &SWEEP_SPEC).map_err(CliError::Usage)?;
     let mut telemetry = Telemetry::from_args(&args);
@@ -1341,7 +1094,7 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
                 .into(),
         ));
     }
-    let models = delay_sweep_models(&args, &library)?;
+    let models = params::delay_sweep_models(args.option("delays"), &library)?;
     let (seeds, jobs) = seeds_and_jobs(&args, models.len())?;
     let seed_list = stimulus_seeds(config.seed, seeds);
     let json = args.flag("json");
@@ -1368,34 +1121,10 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     telemetry.record_span_since("merge", merge_start);
 
     if json {
-        let rendered = points
-            .iter()
-            .map(|point| {
-                let totals = point.analysis.activity.totals();
-                JsonObject::new()
-                    .str("delay", &point.label)
-                    .raw("activity", &activity_totals_json(&totals).render())
-                    .raw("power", &power_report_json(&point.analysis.power).render())
-                    .raw(
-                        "glitch_spread",
-                        &spread_json(point.analysis.glitch_spread()).render(),
-                    )
-                    .raw(
-                        "power_spread",
-                        &spread_json(point.analysis.power_spread()).render(),
-                    )
-                    .render()
-            })
-            .collect::<Vec<_>>();
-        let out = JsonObject::new()
-            .str("file", &path)
-            .str("netlist", netlist.name())
-            .usize("seeds", seeds)
-            .usize("jobs", jobs)
-            .u64("cycles_per_seed", config.cycles)
-            .raw("points", &json_array(rendered))
-            .render();
-        println!("{out}");
+        println!(
+            "{}",
+            report::sweep_json(&path, &netlist, seeds, jobs, config.cycles, &points)
+        );
     } else {
         println!(
             "delay-model sweep of `{}`: {} models x {seeds} seeds x {} cycles on {jobs} jobs",
@@ -1550,7 +1279,10 @@ fn cmd_sweep_flips(
                 .u64("useless", p.activity.useless)
                 .u64("glitches", p.activity.glitches())
                 .f64("power_total_w", p.power.total())
-                .raw("incremental", &incremental_json(&p.incremental).render())
+                .raw(
+                    "incremental",
+                    &report::incremental_json(&p.incremental).render(),
+                )
                 .render()
         }));
         let out = JsonObject::new()
@@ -1562,13 +1294,19 @@ fn cmd_sweep_flips(
             .raw(
                 "baseline",
                 &JsonObject::new()
-                    .raw("activity", &activity_totals_json(&base_totals).render())
-                    .raw("power", &power_report_json(&baseline.power).render())
+                    .raw(
+                        "activity",
+                        &report::activity_totals_json(&base_totals).render(),
+                    )
+                    .raw(
+                        "power",
+                        &report::power_report_json(&baseline.power).render(),
+                    )
                     .render(),
             )
             .raw(
                 "incremental_per_flip_mean",
-                &incremental_json(&mean_stats).render(),
+                &report::incremental_json(&mean_stats).render(),
             )
             .raw("points", &rows)
             .render();
@@ -1632,76 +1370,26 @@ const CHECK_SPEC: Spec = Spec {
     optional: &["metrics"],
 };
 
-/// Parses the `--stable` comma list: `net` (all cycles) or
-/// `net@from..to` (inclusive cycle range).
-fn parse_stability(
-    list: &str,
-    netlist: &Netlist,
-) -> Result<Vec<(glitch_core::netlist::NetId, CycleFilter)>, CliError> {
-    list.split(',')
-        .map(|entry| {
-            let entry = entry.trim();
-            let (name, filter) = match entry.split_once('@') {
-                None => (entry, CycleFilter::All),
-                Some((name, range)) => {
-                    let (from, to) = range.split_once("..").ok_or_else(|| {
-                        CliError::Usage(format!(
-                            "--stable entries are net or net@from..to, got `{entry}`"
-                        ))
-                    })?;
-                    let parse = |text: &str| -> Result<u64, CliError> {
-                        text.trim().parse().map_err(|_| {
-                            CliError::Usage(format!(
-                                "--stable: cannot parse cycle `{text}` in `{entry}`"
-                            ))
-                        })
-                    };
-                    let (from, to) = (parse(from)?, parse(to)?);
-                    if from > to {
-                        return Err(CliError::Usage(format!(
-                            "--stable: empty cycle range {from}..{to} in `{entry}` \
-                             (from must not exceed to)"
-                        )));
-                    }
-                    (name, CycleFilter::Range { from, to })
-                }
-            };
-            let net = netlist
-                .find_net(name.trim())
-                .ok_or_else(|| run_err(format!("--stable: no net named `{}`", name.trim())))?;
-            Ok((net, filter))
-        })
-        .collect()
-}
-
-/// Builds the checker suite from the `check` arguments. The
-/// X-propagation checker is always attached; hazards, budgets and
-/// stability assertions are opt-in.
+/// Builds the checker suite from the `check` arguments (reading the
+/// `--budgets` file first, since [`params::build_check_suite`] takes its
+/// contents).
 fn build_check_suite(args: &Args, netlist: &Netlist) -> Result<CheckSuite, CliError> {
-    let mut suite = CheckSuite::new().with_x_propagation();
-    let mut spec = BudgetSpec::new();
-    if let Some(file) = args.option("budgets") {
-        let text = fs::read_to_string(file).map_err(|e| run_err(format!("{file}: {e}")))?;
-        spec.extend(BudgetSpec::parse_file(&text).map_err(|e| run_err(format!("{file}: {e}")))?);
-    }
-    if let Some(list) = args.option("budget") {
-        spec.extend(BudgetSpec::parse_list(list).map_err(|e| CliError::Usage(e.to_string()))?);
-    }
-    if !spec.is_empty() {
-        let resolved = spec
-            .resolve(netlist)
-            .map_err(|e| run_err(format!("--budget: {e}")))?;
-        suite = suite.with_budgets(resolved);
-    }
-    if args.flag("hazards") {
-        suite = suite.with_hazards();
-    }
-    if let Some(list) = args.option("stable") {
-        for (net, filter) in parse_stability(list, netlist)? {
-            suite = suite.with_stability(net, filter);
-        }
-    }
-    Ok(suite)
+    let budgets_text = match args.option("budgets") {
+        Some(file) => Some((
+            file,
+            fs::read_to_string(file).map_err(|e| run_err(format!("{file}: {e}")))?,
+        )),
+        None => None,
+    };
+    Ok(params::build_check_suite(
+        netlist,
+        args.option("budget"),
+        budgets_text
+            .as_ref()
+            .map(|(file, text)| (*file, text.as_str())),
+        args.flag("hazards"),
+        args.option("stable"),
+    )?)
 }
 
 /// One verdict line: `PASS` / `FAIL (n violations in m checkers)`.
@@ -1714,42 +1402,6 @@ fn verdict_line(report: &VerifyReport) -> String {
             report.failed_checkers()
         ),
     }
-}
-
-/// Renders one report's checkers as a JSON array.
-fn verify_checkers_json(report: &VerifyReport, netlist: &Netlist) -> String {
-    json_array(report.outcomes().iter().map(|outcome| {
-        let mut metrics = JsonObject::new();
-        for (name, value) in &outcome.metrics {
-            metrics = metrics.u64(name, *value);
-        }
-        let violations = json_array(outcome.violations.iter().map(|v: &Violation| {
-            JsonObject::new()
-                .str("net", netlist.net(v.net).name())
-                .u64("cycle", v.cycle)
-                .u64("time", v.time)
-                .u64("budget", v.budget)
-                .render()
-        }));
-        JsonObject::new()
-            .str("name", &outcome.checker)
-            .str("verdict", outcome.verdict.as_str())
-            .u64("total_violations", outcome.total_violations)
-            .raw("metrics", &metrics.render())
-            .raw("violations", &violations)
-            .str("summary", &outcome.summary)
-            .render()
-    }))
-}
-
-/// Renders one report as a nested JSON object (verdict + checkers).
-fn verify_report_json(report: &VerifyReport, netlist: &Netlist) -> JsonObject {
-    JsonObject::new()
-        .str("verdict", report.verdict().as_str())
-        .u64("violations_total", report.total_violations())
-        .u64("violations_retained", report.retained_violations())
-        .u64("violations_dropped", report.dropped_violations())
-        .raw("checkers", &verify_checkers_json(report, netlist))
 }
 
 /// Prints a report as the checker table plus located violations.
@@ -1855,26 +1507,18 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
     let report = &checked.report;
 
     if json {
-        let out = JsonObject::new()
-            .str("file", &path)
-            .str("netlist", netlist.name())
-            .u64("cycles_per_seed", config.cycles)
-            .usize("seeds", seeds)
-            .usize("jobs", jobs)
-            .bool("x_init", args.flag("x-init"))
-            .u64("total_cycles", checked.analysis.total_cycles())
-            .u64(
-                "max_settle_time",
-                checked.analysis.aggregate.max_settle_time(),
+        println!(
+            "{}",
+            report::check_json(
+                &path,
+                &netlist,
+                config.cycles,
+                seeds,
+                jobs,
+                args.flag("x-init"),
+                &checked,
             )
-            .u64("cell_evals", checked.analysis.aggregate.total_cell_evals())
-            .str("verdict", report.verdict().as_str())
-            .u64("violations_total", report.total_violations())
-            .u64("violations_retained", report.retained_violations())
-            .u64("violations_dropped", report.dropped_violations())
-            .raw("checkers", &verify_checkers_json(report, &netlist))
-            .render();
-        println!("{out}");
+        );
     } else {
         println!("== {path}: `{}` ==", netlist.name());
         println!(
@@ -1908,15 +1552,8 @@ fn cmd_check_flip(
     spec: &str,
     telemetry: &mut Telemetry,
 ) -> Result<(), CliError> {
-    let flips = parse_flips(spec, netlist)?;
-    for flip in &flips {
-        if flip.cycle >= config.cycles {
-            return Err(CliError::Usage(format!(
-                "--flip: cycle {} is beyond the {}-cycle run",
-                flip.cycle, config.cycles
-            )));
-        }
-    }
+    let flips = params::parse_flips(spec, netlist)?;
+    params::check_flip_cycles(&flips, config.cycles)?;
     let json = args.flag("json");
     let analyzer = GlitchAnalyzer::new(config.clone());
     let (base_report, _, baseline) = {
@@ -1926,7 +1563,7 @@ fn cmd_check_flip(
             .map_err(|e| run_err(format!("simulation failed: {e}")))?
     };
 
-    let (delta, applied) = flips_to_delta(&flips, &baseline)?;
+    let (delta, applied) = params::flips_to_delta(&flips, &baseline)?;
     let flipped = {
         let _span = telemetry.span("incremental");
         analyzer
@@ -1937,33 +1574,18 @@ fn cmd_check_flip(
     telemetry.record_check(&flipped.report, &[]);
 
     if json {
-        let flips_json = json_array(applied.iter().map(|(name, cycle, value)| {
-            JsonObject::new()
-                .str("net", name)
-                .u64("cycle", *cycle)
-                .u64("value", u64::from(*value))
-                .render()
-        }));
-        let out = JsonObject::new()
-            .str("file", path)
-            .str("netlist", netlist.name())
-            .u64("cycles", baseline.cycle_count())
-            .bool("x_init", args.flag("x-init"))
-            .raw("flips", &flips_json)
-            .raw(
-                "incremental",
-                &incremental_json(&flipped.incremental).render(),
+        println!(
+            "{}",
+            report::check_flip_json(
+                path,
+                netlist,
+                baseline.cycle_count(),
+                args.flag("x-init"),
+                &applied,
+                &base_report,
+                &flipped,
             )
-            .raw(
-                "baseline",
-                &verify_report_json(&base_report, netlist).render(),
-            )
-            .raw(
-                "flipped",
-                &verify_report_json(&flipped.report, netlist).render(),
-            )
-            .render();
-        println!("{out}");
+        );
     } else {
         println!("== {path}: `{}` ==", netlist.name());
         println!(
@@ -2069,6 +1691,70 @@ fn cmd_retime(raw: &[String]) -> Result<(), CliError> {
 
     if let Some(out) = args.option("emit-blif") {
         write_file(out, &emit_blif(&piped.netlist))?;
+    }
+    Ok(())
+}
+
+const SERVE_SPEC: Spec = Spec {
+    options: &["port", "jobs", "cache-bytes", "trace-out"],
+    flags: &[],
+    optional: &[],
+};
+
+fn cmd_serve(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &SERVE_SPEC).map_err(CliError::Usage)?;
+    if let Some(extra) = args.positional().first() {
+        return Err(CliError::Usage(format!(
+            "serve takes no netlist argument (circuits arrive per request), got `{extra}`"
+        )));
+    }
+    let port: u16 = args.parsed_option("port", 0).map_err(CliError::Usage)?;
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let jobs: usize = args
+        .parsed_option("jobs", hardware)
+        .map_err(CliError::Usage)?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    let cache_bytes: usize = args
+        .parsed_option("cache-bytes", 256 * 1024 * 1024)
+        .map_err(CliError::Usage)?;
+    let mut config = glitch_serve::ServeConfig::new(port, jobs, cache_bytes);
+    config.trace_out = args.option("trace-out").map(str::to_string);
+    glitch_serve::run_server(&config).map_err(run_err)
+}
+
+const CLIENT_SPEC: Spec = Spec {
+    options: &["port"],
+    flags: &[],
+    optional: &[],
+};
+
+fn cmd_client(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &CLIENT_SPEC).map_err(CliError::Usage)?;
+    let port: u16 = match args.option("port") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| CliError::Usage(format!("option --port: cannot parse `{text}`")))?,
+        None => return Err(CliError::Usage("client requires --port <p>".into())),
+    };
+    let mut client = glitch_serve::Client::connect(port).map_err(run_err)?;
+    if args.positional().is_empty() {
+        // No request arguments: relay stdin line by line.
+        let stdin = std::io::stdin();
+        for line in std::io::BufRead::lines(stdin.lock()) {
+            let line = line.map_err(|e| run_err(format!("cannot read stdin: {e}")))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            println!("{}", client.request(&line).map_err(run_err)?);
+        }
+        return Ok(());
+    }
+    for line in args.positional() {
+        println!("{}", client.request(line).map_err(run_err)?);
     }
     Ok(())
 }

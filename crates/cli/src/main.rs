@@ -9,7 +9,6 @@
 
 mod args;
 mod commands;
-mod json;
 mod telemetry;
 
 use std::process::ExitCode;

@@ -1,0 +1,234 @@
+//! End-to-end tests of the `glitch-cli serve` daemon and its `client`
+//! companion over the JSON-lines protocol: job responses must be
+//! byte-identical to the matching one-shot `--json` runs, repeated flips
+//! must hit the baseline cache, stale fingerprints must be rejected, and
+//! `shutdown` must drain and exit 0.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Output, Stdio};
+
+fn data(file: &str) -> String {
+    format!("{}/../../tests/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A daemon spawned on an ephemeral loopback port, killed on drop if a
+/// test panics before shutting it down.
+struct Daemon {
+    child: Child,
+    port: u16,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_glitch-cli"))
+            .args(["serve", "--jobs", "2"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("the daemon must spawn");
+        // The ephemeral port is announced on the first stdout line.
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("the daemon must print its listening line");
+        let port = line
+            .trim()
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| panic!("no port in listening line {line:?}"));
+        Daemon { child, port }
+    }
+
+    /// Sends request lines through the `client` subcommand and returns
+    /// one response line per request.
+    fn client(&self, requests: &[&str]) -> Vec<String> {
+        let output = Command::new(env!("CARGO_BIN_EXE_glitch-cli"))
+            .args(["client", "--port", &self.port.to_string()])
+            .args(requests)
+            .output()
+            .expect("the client must spawn");
+        assert!(
+            output.status.success(),
+            "client failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let text = String::from_utf8(output.stdout).expect("responses are UTF-8");
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), requests.len(), "one response per request");
+        lines
+    }
+
+    /// Requests shutdown and waits for a clean exit.
+    fn shutdown(mut self) {
+        let response = self.client(&[r#"{"op":"shutdown"}"#]);
+        assert_eq!(response[0], r#"{"ok":true}"#);
+        let status = self.child.wait().expect("the daemon must be waitable");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Normal paths call `shutdown`; this only fires on panic.
+        if self.child.try_wait().map(|s| s.is_none()).unwrap_or(false) {
+            self.child.kill().ok();
+            self.child.wait().ok();
+        }
+    }
+}
+
+fn one_shot_json(args: &[&str]) -> String {
+    let output: Output = Command::new(env!("CARGO_BIN_EXE_glitch-cli"))
+        .args(args)
+        .output()
+        .expect("the binary must spawn");
+    assert!(
+        output.status.success(),
+        "one-shot failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout)
+        .expect("reports are UTF-8")
+        .trim_end()
+        .to_string()
+}
+
+#[test]
+fn daemon_responses_are_byte_identical_to_one_shot_json() {
+    let daemon = Daemon::spawn(&[]);
+    let counter = data("counter4.blif");
+    let mult = data("mult4.blif");
+
+    // (request line, equivalent one-shot invocation) pairs across every
+    // job op, including a multi-seed analyze and a checker suite.
+    let cases: Vec<(String, Vec<&str>)> = vec![
+        (
+            format!(r#"{{"op":"analyze","file":"{counter}","cycles":120}}"#),
+            vec!["analyze", &counter, "--cycles", "120", "--json"],
+        ),
+        (
+            format!(r#"{{"op":"analyze","file":"{mult}","cycles":60,"seeds":3,"jobs":2}}"#),
+            vec![
+                "analyze", &mult, "--cycles", "60", "--seeds", "3", "--jobs", "2", "--json",
+            ],
+        ),
+        (
+            format!(r#"{{"op":"check","file":"{mult}","cycles":80,"hazards":true}}"#),
+            vec!["check", &mult, "--cycles", "80", "--hazards", "--json"],
+        ),
+        (
+            format!(r#"{{"op":"flip","file":"{counter}","cycles":100,"flips":"3:en"}}"#),
+            vec![
+                "analyze", &counter, "--cycles", "100", "--flip", "3:en", "--json",
+            ],
+        ),
+        (
+            format!(r#"{{"op":"sweep","file":"{counter}","cycles":50,"delays":"unit,zero"}}"#),
+            vec![
+                "sweep",
+                &counter,
+                "--cycles",
+                "50",
+                "--delays",
+                "unit,zero",
+                "--json",
+            ],
+        ),
+    ];
+
+    let requests: Vec<&str> = cases.iter().map(|(line, _)| line.as_str()).collect();
+    let responses = daemon.client(&requests);
+    for ((request, one_shot), response) in cases.iter().zip(&responses) {
+        assert_eq!(
+            response,
+            &one_shot_json(one_shot),
+            "daemon response for {request} diverges from the one-shot run"
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn repeated_flips_are_served_from_the_baseline_cache() {
+    let daemon = Daemon::spawn(&[]);
+    let counter = data("counter4.blif");
+    let flip = format!(r#"{{"op":"flip","file":"{counter}","cycles":80,"flips":"2:en"}}"#);
+    let other = format!(r#"{{"op":"flip","file":"{counter}","cycles":80,"flips":"5:en"}}"#);
+
+    let responses = daemon.client(&[&flip, &other, &flip, r#"{"op":"metrics"}"#]);
+    assert_eq!(
+        responses[0], responses[2],
+        "the same flip must render identically on a cache hit"
+    );
+    assert_ne!(responses[0], responses[1]);
+    let metrics = &responses[3];
+    // One baseline recording (first flip), two hits sharing it.
+    assert!(
+        metrics.contains(r#""cache.baseline_misses":1"#),
+        "expected exactly one baseline recording in {metrics}"
+    );
+    assert!(
+        metrics.contains(r#""cache.baseline_hits":2"#),
+        "expected two baseline cache hits in {metrics}"
+    );
+    assert!(
+        metrics.contains(r#""cache.netlist_misses":1"#),
+        "expected one parsed netlist shared by all flips in {metrics}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn stale_fingerprints_and_protocol_errors_are_rejected() {
+    let daemon = Daemon::spawn(&[]);
+    let counter = data("counter4.blif");
+
+    let stale = format!(
+        r#"{{"op":"analyze","file":"{counter}","cycles":40,"fingerprint":"0000000000000001"}}"#
+    );
+    let responses = daemon.client(&[&stale, r#"{"op":"explode"}"#, r#"{"op":"ping"}"#]);
+    assert!(
+        responses[0].starts_with(r#"{"error":"stale fingerprint"#),
+        "expected a stale-fingerprint rejection, got {}",
+        responses[0]
+    );
+    assert!(responses[1].starts_with(r#"{"error":"unknown op"#));
+    assert!(responses[2].contains(r#""ok":true"#));
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_and_flushes_the_trace() {
+    let trace = std::env::temp_dir().join(format!("glitch-serve-test-{}.json", std::process::id()));
+    let trace_path = trace.to_str().expect("temp path is UTF-8").to_string();
+    let daemon = Daemon::spawn(&["--trace-out", &trace_path]);
+    let counter = data("counter4.blif");
+
+    // The job and the shutdown ride the same connection: the daemon must
+    // answer the job before acknowledging the shutdown.
+    let responses = daemon.client(&[
+        &format!(r#"{{"op":"analyze","file":"{counter}","cycles":200}}"#),
+        r#"{"op":"shutdown"}"#,
+    ]);
+    assert!(responses[0].starts_with(r#"{"file":"#));
+    assert_eq!(responses[1], r#"{"ok":true}"#);
+
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("the daemon must be waitable");
+    assert!(status.success(), "daemon exited with {status}");
+
+    let trace_text =
+        std::fs::read_to_string(&trace).expect("the trace must be flushed at shutdown");
+    assert!(trace_text.trim_start().starts_with('['));
+    assert!(
+        trace_text.contains(r#""name":"worker-1""#),
+        "worker tracks must be named in the trace"
+    );
+    assert!(
+        trace_text.contains(r#""ph":"X""#) && trace_text.contains("analyze"),
+        "the request span must land in the trace"
+    );
+    std::fs::remove_file(&trace).ok();
+}

@@ -340,7 +340,17 @@ impl GlitchAnalyzer {
         self.analyze_delta_with_index(netlist, baseline, delta, None)
     }
 
-    fn analyze_delta_with_index(
+    /// [`GlitchAnalyzer::analyze_delta`] with an optional pre-built
+    /// [`ConeIndex`] to reuse across calls. Long-lived callers (the
+    /// serving layer's warm cache, [`GlitchAnalyzer::analyze_deltas`])
+    /// amortise the index build over many deltas this way; the index is
+    /// deterministic for a netlist, so the figures are identical either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GlitchAnalyzer::analyze_delta`].
+    pub fn analyze_delta_with_index(
         &self,
         netlist: &Netlist,
         baseline: &SimBaseline,

@@ -117,10 +117,25 @@ pub fn metrics_text(metrics: &MetricsRegistry) -> String {
 /// log's [`crate::Clock`] timeline.
 #[must_use]
 pub fn chrome_trace(log: &SpanLog) -> String {
-    let events = log
-        .records()
+    chrome_trace_with_tracks(log, &[])
+}
+
+/// [`chrome_trace`] with named tracks: each `(tid, name)` pair emits a
+/// `thread_name` metadata event, so long-lived consumers (the serving
+/// layer's worker pool) label their per-worker rows in Perfetto instead
+/// of showing bare thread ids.
+#[must_use]
+pub fn chrome_trace_with_tracks(log: &SpanLog, tracks: &[(u64, &str)]) -> String {
+    let events = tracks
         .iter()
-        .map(|r| {
+        .map(|&(tid, name)| {
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name)
+            )
+        })
+        .chain(log.records().iter().map(|r| {
             format!(
                 "{{\"name\":\"{}\",\"cat\":\"glitch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                  \"pid\":1,\"tid\":{}}}",
@@ -129,7 +144,7 @@ pub fn chrome_trace(log: &SpanLog) -> String {
                 r.dur_micros,
                 r.tid
             )
-        })
+        }))
         .collect::<Vec<_>>()
         .join(",\n");
     format!("[\n{events}\n]\n")

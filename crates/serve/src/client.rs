@@ -1,0 +1,69 @@
+//! A minimal blocking client for the JSON-lines protocol: one connection,
+//! one request line out, one response line back per call.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon on the loopback interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the connection cannot be established.
+    pub fn connect(port: u16) -> Result<Client, String> {
+        let writer = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}"))?;
+        // One small request per round trip: Nagle coalescing only adds
+        // delayed-ACK latency here.
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("cannot clone connection: {e}"))?,
+        );
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line and blocks for its response line (without
+    /// the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure or when the daemon closes the
+    /// connection before responding.
+    pub fn request(&mut self, line: &str) -> Result<String, String> {
+        // Line and newline in one write, so the request is one segment.
+        let framed = format!("{}\n", line.trim_end());
+        self.writer
+            .write_all(framed.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let read = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if read == 0 {
+            return Err("daemon closed the connection without responding".into());
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// Connects, sends one request, returns the response.
+///
+/// # Errors
+///
+/// Propagates [`Client::connect`] and [`Client::request`] failures.
+pub fn request_once(port: u16, line: &str) -> Result<String, String> {
+    Client::connect(port)?.request(line)
+}

@@ -1,0 +1,665 @@
+//! The request engine: executes parsed protocol jobs against the warm
+//! cache and produces the response line for each.
+//!
+//! One [`Engine`] is shared by every worker thread of the daemon. It owns
+//! the [`CircuitCache`], the merged [`MetricsRegistry`] behind the
+//! `metrics` op, and the span records behind `--trace-out`. Job execution
+//! mirrors the CLI's command paths *call for call* — the same `params`
+//! resolution, the same analysis entry points, the same `report`
+//! envelopes — which is what makes a daemon response byte-identical to
+//! the equivalent one-shot `glitch-cli ... --json` run.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use glitch_core::sim::{MetricsProbe, Probe, RandomStimulus, SimOptions};
+use glitch_core::verify::VerifyReport;
+use glitch_core::{AggregateReport, DeltaStimulus, GlitchAnalyzer, IncrementalStats, SimBaseline};
+use glitch_io::GateLibrary;
+use glitch_obs::export::{chrome_trace_with_tracks, metrics_json, metrics_text};
+use glitch_obs::{Clock, MetricsRegistry, SpanLog};
+
+use crate::cache::{CachedCircuit, CircuitCache};
+use crate::json::JsonObject;
+use crate::params;
+use crate::protocol::{error_response, ok_response, JobKind, JobRequest, MetricsFormat};
+use crate::report;
+
+/// Upper bound on retained per-request spans, mirroring
+/// [`glitch_obs::span::DEFAULT_SPAN_CAPACITY`]: a long-lived daemon must
+/// not grow its trace without bound.
+const SPAN_CAPACITY: usize = 4096;
+
+/// The shared request executor. All methods take `&self`; the registry
+/// and span store sit behind short-lived locks, the heavy work (parse,
+/// simulate) runs lock-free through the cache's single-flight slots.
+pub struct Engine {
+    cache: CircuitCache,
+    metrics: Mutex<MetricsRegistry>,
+    clock: Clock,
+    spans: Mutex<VecDeque<(String, u64, u64, u64)>>,
+}
+
+impl Engine {
+    /// An engine with a cache byte budget (0 = unbounded) and an optional
+    /// baseline spill directory.
+    #[must_use]
+    pub fn new(cache_bytes: usize, spill_dir: Option<PathBuf>) -> Engine {
+        Engine {
+            cache: CircuitCache::new(cache_bytes, spill_dir),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            clock: Clock::new(),
+            spans: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The engine's monotonic clock (shared timeline for every span).
+    #[must_use]
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Reads a counter from the merged registry (0 when never touched).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .counter_value(name)
+            .unwrap_or(0)
+    }
+
+    fn add(&self, name: &str, n: u64) {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let handle = metrics.counter(name);
+        metrics.add(handle, n);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let handle = metrics.gauge(name);
+        metrics.observe_max(handle, value);
+    }
+
+    fn merge(&self, registry: MetricsRegistry) {
+        self.metrics.lock().expect("metrics lock").merge(registry);
+    }
+
+    fn record_span(&self, name: String, track: u64, start: u64, dur: u64) {
+        let mut spans = self.spans.lock().expect("span lock");
+        if spans.len() == SPAN_CAPACITY {
+            spans.pop_front();
+        }
+        spans.push_back((name, track, start, dur));
+    }
+
+    /// Mirrors the CLI telemetry's aggregate recording (`sim.*`,
+    /// `queue.*`).
+    fn record_aggregate(&self, aggregate: &AggregateReport) {
+        self.add("sim.cycles", aggregate.total_cycles());
+        self.add("sim.events", aggregate.total_events());
+        self.add("sim.cell_evals", aggregate.total_cell_evals());
+        self.gauge_max("sim.max_settle_time", aggregate.max_settle_time());
+        let queue = aggregate.queue_stats();
+        self.add("queue.pushes", queue.pushes);
+        self.add("queue.pops", queue.pops);
+        self.gauge_max("queue.peak_depth", queue.peak_depth);
+    }
+
+    /// Mirrors the CLI telemetry's incremental recording
+    /// (`incremental.*`).
+    fn record_incremental(&self, stats: &IncrementalStats) {
+        self.add("incremental.replayed_cycles", stats.replayed_cycles);
+        self.add("incremental.simulated_cycles", stats.simulated_cycles);
+        self.add("incremental.cells_evaluated", stats.cells_evaluated);
+        self.add(
+            "incremental.dff_divergence_reseeds",
+            stats.dff_divergence_reseeds,
+        );
+        self.gauge_max(
+            "incremental.peak_dirty_cone_nets",
+            stats.peak_dirty_cone_nets,
+        );
+    }
+
+    /// Mirrors the CLI telemetry's verdict recording (`check.*`).
+    fn record_check(&self, report: &VerifyReport) {
+        self.add("check.violations_total", report.total_violations());
+        self.add("check.violations_retained", report.retained_violations());
+        self.add("check.violations_dropped", report.dropped_violations());
+        for outcome in report.outcomes() {
+            self.add(
+                &format!("check.{}.violations", outcome.checker),
+                outcome.total_violations,
+            );
+        }
+    }
+
+    /// Folds a finished session's metrics probe into the daemon registry,
+    /// exactly as the CLI's `--metrics` wiring does per session.
+    fn absorb_session(&self, report: &mut glitch_core::sim::SessionReport) {
+        if let Some(mut probe) = report.take_probe::<MetricsProbe>() {
+            probe.record_queue_stats(report.queue_stats());
+            self.merge(probe.into_registry());
+        }
+    }
+
+    /// Runs one job to a single response line, with its request counter,
+    /// timing span (on the worker's trace track) and cache gauges.
+    pub fn run_job(&self, kind: JobKind, job: &JobRequest, track: u64) -> String {
+        self.add(&format!("serve.requests.{}", kind.op()), 1);
+        let start = self.clock.now_micros();
+        let result = self.execute(kind, job);
+        let dur = self.clock.now_micros().saturating_sub(start);
+        self.record_span(format!("{} {}", kind.op(), job.file), track, start, dur);
+        self.gauge_max("cache.peak_bytes", self.cache.bytes() as u64);
+        self.gauge_max("cache.circuits", self.cache.circuit_count() as u64);
+        match result {
+            Ok(line) => line,
+            Err(message) => {
+                self.add("serve.errors", 1);
+                error_response(&message)
+            }
+        }
+    }
+
+    /// The `ping` response.
+    pub fn ping_response(&self) -> String {
+        self.add("serve.requests.ping", 1);
+        ok_response()
+    }
+
+    /// The `metrics` response: the merged registry, either as the stable
+    /// sorted one-line JSON object or as the human-readable text wrapped
+    /// in a JSON envelope.
+    pub fn metrics_response(&self, format: MetricsFormat) -> String {
+        self.add("serve.requests.metrics", 1);
+        let registry = self.metrics.lock().expect("metrics lock").clone();
+        match format {
+            MetricsFormat::Json => metrics_json(&registry),
+            MetricsFormat::Text => JsonObject::new()
+                .str("metrics", &metrics_text(&registry))
+                .render(),
+        }
+    }
+
+    /// Counts a request shed by admission control (the caller renders the
+    /// error line).
+    pub fn record_shed(&self) {
+        self.add("serve.shed", 1);
+    }
+
+    /// Tracks the job queue's high-water mark.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.gauge_max("serve.queue_peak_depth", depth as u64);
+    }
+
+    /// Renders every retained per-request span as a Chrome trace, with
+    /// one named track per worker.
+    #[must_use]
+    pub fn chrome_trace(&self, tracks: &[(u64, &str)]) -> String {
+        let log = SpanLog::with_capacity(self.clock, SPAN_CAPACITY);
+        for (name, tid, start, dur) in self.spans.lock().expect("span lock").iter() {
+            log.record(name.clone(), *tid, *start, *dur);
+        }
+        chrome_trace_with_tracks(&log, tracks)
+    }
+
+    /// Fields a job op must not carry — the strict-protocol counterpart
+    /// of CLI flags that only exist on other subcommands.
+    fn reject_foreign_fields(kind: JobKind, job: &JobRequest) -> Result<(), String> {
+        let mut bad: Vec<&str> = Vec::new();
+        let check_only = [
+            (job.x_init, "x_init"),
+            (job.hazards, "hazards"),
+            (job.budget.is_some(), "budget"),
+            (job.stable.is_some(), "stable"),
+        ];
+        match kind {
+            JobKind::Analyze => {
+                if job.flips.is_some() {
+                    bad.push("flips (use op `flip`)");
+                }
+                if job.delays.is_some() {
+                    bad.push("delays (sweep only)");
+                }
+                bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
+            }
+            JobKind::Flip => {
+                if job.delays.is_some() {
+                    bad.push("delays (sweep only)");
+                }
+                bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
+            }
+            JobKind::Check => {
+                if job.delays.is_some() {
+                    bad.push("delays (sweep only)");
+                }
+            }
+            JobKind::Sweep => {
+                if job.flips.is_some() {
+                    bad.push("flips (use op `flip`)");
+                }
+                if job.delay.is_some() {
+                    bad.push("delay (the delay-model sweep takes `delays`)");
+                }
+                bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "op `{}` does not take: {}",
+                kind.op(),
+                bad.join(", ")
+            ))
+        }
+    }
+
+    fn execute(&self, kind: JobKind, job: &JobRequest) -> Result<String, String> {
+        Self::reject_foreign_fields(kind, job)?;
+        let lookup = self.cache.circuit_for(&job.file)?;
+        self.add(
+            if lookup.hit {
+                "cache.netlist_hits"
+            } else {
+                "cache.netlist_misses"
+            },
+            1,
+        );
+        if lookup.coalesced {
+            self.add("cache.coalesced_waits", 1);
+        }
+        let circuit = lookup.circuit;
+        if let Some(expected) = job.fingerprint {
+            let actual = circuit.fingerprint();
+            if expected != actual {
+                self.add("serve.stale_fingerprints", 1);
+                return Err(format!(
+                    "stale fingerprint: request pins {expected:016x} but `{}` now parses \
+                     to {actual:016x}; re-fetch the circuit and retry",
+                    job.file
+                ));
+            }
+        }
+        let library = params::library_for_tech(job.tech.as_deref()).map_err(|e| e.to_string())?;
+        match kind {
+            JobKind::Analyze => self.run_analyze(job, &circuit, &library),
+            JobKind::Flip => self.run_flip(job, &circuit, &library),
+            JobKind::Check => self.run_check(job, &circuit, &library),
+            JobKind::Sweep => self.run_sweep(job, &circuit, &library),
+        }
+    }
+
+    /// `analyze` — the CLI's single- and multi-seed `--json` paths.
+    fn run_analyze(
+        &self,
+        job: &JobRequest,
+        circuit: &Arc<CachedCircuit>,
+        library: &GateLibrary,
+    ) -> Result<String, String> {
+        let config = params::analysis_config(
+            library,
+            job.cycles,
+            job.seed,
+            job.frequency_mhz,
+            job.delay.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        let (seeds, jobs) =
+            params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
+        let netlist = circuit.netlist();
+        let buses = params::input_buses(netlist);
+        let analyzer = GlitchAnalyzer::new(config.clone());
+        if seeds > 1 {
+            let seed_list = params::stimulus_seeds(config.seed, seeds);
+            let factory =
+                |_shard: usize| -> Vec<Box<dyn Probe>> { vec![Box::new(MetricsProbe::new())] };
+            let (aggregate, mut reports) = analyzer
+                .analyze_seeds_with(netlist, &buses, &[], &seed_list, jobs, &factory)
+                .map_err(|e| format!("simulation failed: {e}"))?;
+            for report in &mut reports {
+                self.absorb_session(report);
+            }
+            return Ok(report::analyze_aggregate_json(
+                &job.file,
+                netlist,
+                seeds,
+                jobs,
+                config.cycles,
+                &aggregate,
+                None,
+            ));
+        }
+        let mut report = analyzer
+            .session(netlist, &buses, &[])
+            .probe(MetricsProbe::new())
+            .run()
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        self.absorb_session(&mut report);
+        let passes = report.passes();
+        let events = report.total_events();
+        let max_settle = report.max_settle_time();
+        let cell_evals = report.total_cell_evals();
+        let analysis = GlitchAnalyzer::analysis(netlist, report);
+        Ok(report::analyze_json(
+            &job.file, netlist, &analysis, passes, events, max_settle, cell_evals, None,
+        ))
+    }
+
+    /// `flip` — the CLI's `analyze --flip --json` path, served from the
+    /// baseline cache: the recording pass runs once per (circuit,
+    /// parameters), later requests replay through the shared cone index.
+    fn run_flip(
+        &self,
+        job: &JobRequest,
+        circuit: &Arc<CachedCircuit>,
+        library: &GateLibrary,
+    ) -> Result<String, String> {
+        let config = params::analysis_config(
+            library,
+            job.cycles,
+            job.seed,
+            job.frequency_mhz,
+            job.delay.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        let (seeds, _jobs) =
+            params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
+        if seeds > 1 {
+            return Err("--flip applies to single-seed runs; drop --seeds or --flip".into());
+        }
+        let netlist = circuit.netlist();
+        let spec = job.flips.as_deref().unwrap_or_default();
+        let flips = params::parse_flips(spec, netlist).map_err(|e| e.to_string())?;
+        params::check_flip_cycles(&flips, config.cycles).map_err(|e| e.to_string())?;
+        let buses = params::input_buses(netlist);
+        let analyzer = GlitchAnalyzer::new(config.clone());
+        // The baseline cache key: everything the cached "before" analysis
+        // depends on. The netlist fingerprint is the cache's own outer key.
+        let key = format!(
+            "{}:{}:{}:{}:{:?}:{:?}",
+            config.cycles,
+            config.seed,
+            job.tech.as_deref().unwrap_or("0.8um"),
+            config.frequency.to_bits(),
+            config.delay,
+            config.options
+        );
+        // A spill file stores the baseline but not its seed; validate by
+        // regenerating the configured stimulus, as the CLI's `--baseline`
+        // loader does.
+        let validate = |baseline: &SimBaseline| {
+            if baseline.cycle_count() != config.cycles
+                || baseline.delay() != &config.delay
+                || baseline.options() != config.options
+            {
+                return false;
+            }
+            let mut regenerated =
+                RandomStimulus::new(params::input_buses(netlist), config.cycles, config.seed);
+            (0..baseline.cycle_count())
+                .all(|cycle| regenerated.next().as_ref() == Some(baseline.assignment(cycle)))
+        };
+        let lookup = self.cache.baseline_for(
+            circuit,
+            &key,
+            validate,
+            || {
+                analyzer
+                    .analyze_baseline(netlist, &buses, &[])
+                    .map(|(analysis, baseline)| (baseline, analysis))
+                    .map_err(|e| format!("simulation failed: {e}"))
+            },
+            |nl, baseline| {
+                analyzer
+                    .analyze_delta(nl, baseline, &DeltaStimulus::new())
+                    .map(|delta| delta.analysis)
+                    .map_err(|e| format!("baseline replay failed: {e}"))
+            },
+        )?;
+        self.add(
+            if lookup.hit {
+                "cache.baseline_hits"
+            } else {
+                "cache.baseline_misses"
+            },
+            1,
+        );
+        if lookup.coalesced {
+            self.add("cache.coalesced_waits", 1);
+        }
+        if lookup.spill_load {
+            self.add("cache.spill_loads", 1);
+        }
+        if lookup.evicted > 0 {
+            self.add("cache.evictions", lookup.evicted);
+        }
+        let entry = lookup.entry;
+        let (delta, applied) =
+            params::flips_to_delta(&flips, &entry.baseline).map_err(|e| e.to_string())?;
+        let index = circuit.cone_index()?;
+        let after = analyzer
+            .analyze_delta_with_index(netlist, &entry.baseline, &delta, Some(&index))
+            .map_err(|e| format!("incremental simulation failed: {e}"))?;
+        self.record_incremental(&after.incremental);
+        Ok(report::analyze_flip_json(
+            &job.file,
+            netlist,
+            entry.baseline.cycle_count(),
+            &applied,
+            &after.incremental,
+            &entry.before,
+            &after.analysis,
+        ))
+    }
+
+    /// `check` — the CLI's `check --json` paths (multi-seed suite run, or
+    /// the incremental baseline/flipped pair when `flips` is present).
+    fn run_check(
+        &self,
+        job: &JobRequest,
+        circuit: &Arc<CachedCircuit>,
+        library: &GateLibrary,
+    ) -> Result<String, String> {
+        let mut config = params::analysis_config(
+            library,
+            job.cycles,
+            job.seed,
+            job.frequency_mhz,
+            job.delay.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        if job.x_init {
+            config.options = SimOptions::x_init();
+        }
+        let netlist = circuit.netlist();
+        let suite = params::build_check_suite(
+            netlist,
+            job.budget.as_deref(),
+            None,
+            job.hazards,
+            job.stable.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        let buses = params::input_buses(netlist);
+        if let Some(spec) = job.flips.as_deref() {
+            if job.seeds.is_some() {
+                return Err("--flip applies to single-seed runs; drop --seeds or --flip".into());
+            }
+            let flips = params::parse_flips(spec, netlist).map_err(|e| e.to_string())?;
+            params::check_flip_cycles(&flips, config.cycles).map_err(|e| e.to_string())?;
+            let analyzer = GlitchAnalyzer::new(config.clone());
+            let (base_report, _, baseline) = analyzer
+                .check_baseline(netlist, &buses, &[], &suite)
+                .map_err(|e| format!("simulation failed: {e}"))?;
+            let (delta, applied) =
+                params::flips_to_delta(&flips, &baseline).map_err(|e| e.to_string())?;
+            let flipped = analyzer
+                .check_delta(netlist, &baseline, &delta, &suite)
+                .map_err(|e| format!("incremental simulation failed: {e}"))?;
+            self.record_incremental(&flipped.incremental);
+            self.record_check(&flipped.report);
+            return Ok(report::check_flip_json(
+                &job.file,
+                netlist,
+                baseline.cycle_count(),
+                job.x_init,
+                &applied,
+                &base_report,
+                &flipped,
+            ));
+        }
+        let (seeds, jobs) =
+            params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
+        let seed_list = params::stimulus_seeds(config.seed, seeds);
+        let checked = GlitchAnalyzer::new(config.clone())
+            .check_seeds(netlist, &buses, &[], &suite, &seed_list, jobs)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        self.record_aggregate(&checked.analysis.aggregate);
+        self.record_check(&checked.report);
+        Ok(report::check_json(
+            &job.file,
+            netlist,
+            config.cycles,
+            seeds,
+            jobs,
+            job.x_init,
+            &checked,
+        ))
+    }
+
+    /// `sweep` — the CLI's delay-model `sweep --json` path.
+    fn run_sweep(
+        &self,
+        job: &JobRequest,
+        circuit: &Arc<CachedCircuit>,
+        library: &GateLibrary,
+    ) -> Result<String, String> {
+        let config =
+            params::analysis_config(library, job.cycles, job.seed, job.frequency_mhz, None)
+                .map_err(|e| e.to_string())?;
+        let models = params::delay_sweep_models(job.delays.as_deref(), library)
+            .map_err(|e| e.to_string())?;
+        let (seeds, jobs) =
+            params::seeds_and_jobs(job.seeds, job.jobs, models.len()).map_err(|e| e.to_string())?;
+        let seed_list = params::stimulus_seeds(config.seed, seeds);
+        let netlist = circuit.netlist();
+        let buses = params::input_buses(netlist);
+        let points = GlitchAnalyzer::new(config.clone())
+            .sweep_delays(netlist, &buses, &[], &models, &seed_list, jobs)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        for point in &points {
+            self.record_aggregate(&point.analysis.aggregate);
+        }
+        Ok(report::sweep_json(
+            &job.file,
+            netlist,
+            seeds,
+            jobs,
+            config.cycles,
+            &points,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_core::netlist::Netlist;
+    use glitch_io::emit_blif;
+
+    fn temp_netlist(tag: &str) -> (PathBuf, String) {
+        let mut n = Netlist::new("enginetest");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.xor2(a, b, "x");
+        let y = n.and2(a, x, "y");
+        n.mark_output(y);
+        let dir = std::env::temp_dir().join(format!("glitch-engine-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.blif");
+        std::fs::write(&path, emit_blif(&n)).unwrap();
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    fn job(file: &str) -> JobRequest {
+        JobRequest {
+            file: file.to_string(),
+            cycles: Some(30),
+            ..JobRequest::default()
+        }
+    }
+
+    #[test]
+    fn analyze_responses_are_deterministic() {
+        let (dir, file) = temp_netlist("det");
+        let engine = Engine::new(0, None);
+        let first = engine.run_job(JobKind::Analyze, &job(&file), 1);
+        let second = engine.run_job(JobKind::Analyze, &job(&file), 2);
+        assert!(first.contains("\"activity\""), "unexpected: {first}");
+        assert_eq!(first, second);
+        assert_eq!(engine.counter_value("cache.netlist_hits"), 1);
+        assert_eq!(engine.counter_value("cache.netlist_misses"), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_flips_hit_the_baseline_cache() {
+        let (dir, file) = temp_netlist("flip");
+        let engine = Engine::new(0, None);
+        let mut request = job(&file);
+        request.flips = Some("0:a".to_string());
+        let first = engine.run_job(JobKind::Flip, &request, 1);
+        assert!(first.contains("\"incremental\""), "unexpected: {first}");
+        request.flips = Some("1:b".to_string());
+        let second = engine.run_job(JobKind::Flip, &request, 1);
+        assert!(second.contains("\"incremental\""), "unexpected: {second}");
+        assert_eq!(engine.counter_value("cache.baseline_misses"), 1);
+        assert_eq!(engine.counter_value("cache.baseline_hits"), 1);
+        // Same flip again: identical bytes, another hit.
+        let third = engine.run_job(JobKind::Flip, &request, 1);
+        assert_eq!(second, third);
+        assert_eq!(engine.counter_value("cache.baseline_hits"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_fingerprints_and_bad_params_are_rejected() {
+        let (dir, file) = temp_netlist("stale");
+        let engine = Engine::new(0, None);
+        let mut request = job(&file);
+        request.fingerprint = Some(0xdead_beef);
+        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        assert!(reply.contains("stale fingerprint"), "unexpected: {reply}");
+        let mut request = job(&file);
+        request.tech = Some("90nm".to_string());
+        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        assert!(reply.contains("--tech must be"), "unexpected: {reply}");
+        let mut request = job(&file);
+        request.flips = Some("0:a".to_string());
+        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        assert!(reply.contains("does not take"), "unexpected: {reply}");
+        assert_eq!(engine.counter_value("serve.errors"), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_and_trace_render() {
+        let (dir, file) = temp_netlist("metrics");
+        let engine = Engine::new(0, None);
+        engine.run_job(JobKind::Analyze, &job(&file), 3);
+        let metrics = engine.metrics_response(MetricsFormat::Json);
+        assert!(metrics.starts_with("{\"counters\":{"), "got: {metrics}");
+        assert!(metrics.contains("serve.requests.analyze"));
+        let text = engine.metrics_response(MetricsFormat::Text);
+        assert!(text.starts_with("{\"metrics\":\""), "got: {text}");
+        let trace = engine.chrome_trace(&[(3, "worker-3")]);
+        assert!(trace.contains("\"tid\":3"), "got: {trace}");
+        assert!(trace.contains("worker-3"), "got: {trace}");
+        assert!(engine.ping_response().contains("\"ok\":true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,4 +1,6 @@
-//! Dependency-free JSON emission for the `--json` machine-readable outputs.
+//! Dependency-free JSON emission shared by the CLI `--json` outputs and
+//! the serving protocol (the sharing is what makes daemon responses
+//! byte-identical to one-shot CLI runs).
 //!
 //! Small by design: an order-preserving object builder with typed `field`
 //! methods and correct string escaping. Non-finite floats serialise as

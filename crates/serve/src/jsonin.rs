@@ -1,0 +1,428 @@
+//! Dependency-free JSON *parsing* for protocol requests — the inbound
+//! counterpart of [`crate::json`].
+//!
+//! A small recursive-descent parser covering the full JSON grammar
+//! (objects, arrays, strings with escapes, numbers, booleans, null).
+//! Requests are flat objects of scalars, but the parser is complete so a
+//! malformed or adversarial line fails with a located error instead of a
+//! panic. Depth is bounded; numbers keep an integer fast path so `u64`
+//! seeds and fingerprints round-trip exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Integral number that fits `u64` (the common protocol case: cycles,
+    /// seeds). Kept exact — `u64::MAX` seeds must not round through `f64`.
+    UInt(u64),
+    /// Any other number (negative, fractional, exponent).
+    Number(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting integral floats written as `1.0`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(v) => Some(v),
+            JsonValue::Number(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::UInt(v) => Some(v as f64),
+            JsonValue::Number(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Why a request line failed to parse; carries the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Maximum nesting depth; protocol requests are flat, so anything deep is
+/// garbage (or a stack-exhaustion attempt).
+const MAX_DEPTH: usize = 32;
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a [`JsonParseError`] with the byte offset of the first problem.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are valid scalar boundaries).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let slice = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(slice, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::Number(v)),
+            _ => Err(JsonParseError {
+                offset: start,
+                message: format!("invalid number `{text}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_request_objects() {
+        let v = parse_json(
+            "{\"op\":\"analyze\",\"file\":\"a.blif\",\"cycles\":200,\
+             \"frequency_mhz\":5.5,\"x_init\":true,\"note\":null}",
+        )
+        .unwrap();
+        let JsonValue::Object(map) = v else {
+            panic!("expected object")
+        };
+        assert_eq!(map["op"].as_str(), Some("analyze"));
+        assert_eq!(map["cycles"].as_u64(), Some(200));
+        assert_eq!(map["frequency_mhz"].as_f64(), Some(5.5));
+        assert_eq!(map["x_init"].as_bool(), Some(true));
+        assert_eq!(map["note"], JsonValue::Null);
+    }
+
+    #[test]
+    fn u64_values_round_trip_exactly() {
+        let v = parse_json(&format!("{{\"seed\":{}}}", u64::MAX)).unwrap();
+        let JsonValue::Object(map) = v else {
+            panic!("expected object")
+        };
+        assert_eq!(map["seed"].as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parses_nested_arrays_strings_and_escapes() {
+        let v = parse_json("[1, -2.5, \"a\\n\\\"b\\u0041\", [true, false], {}]").unwrap();
+        let JsonValue::Array(items) = v else {
+            panic!("expected array")
+        };
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(-2.5));
+        assert_eq!(items[2].as_str(), Some("a\n\"bA"));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = parse_json("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(parse_json("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn round_trips_the_emitter() {
+        let rendered = crate::json::JsonObject::new()
+            .str("k", "a\"b\\c\nd\u{1}")
+            .f64("v", 1.5)
+            .u64("n", 42)
+            .render();
+        let parsed = parse_json(&rendered).unwrap();
+        let JsonValue::Object(map) = parsed else {
+            panic!("expected object")
+        };
+        assert_eq!(map["k"].as_str(), Some("a\"b\\c\nd\u{1}"));
+        assert_eq!(map["v"].as_f64(), Some(1.5));
+        assert_eq!(map["n"].as_u64(), Some(42));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "1e999",
+            "\u{1}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse_json("{\"a\": nope}").unwrap_err();
+        assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&deep).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `glitch-serve`: the batch analysis daemon.
+//!
+//! Amortises the per-invocation costs of the one-shot CLI — netlist
+//! parsing, cone-index construction and baseline recording — across many
+//! requests, behind a dependency-free JSON-lines protocol on a loopback
+//! TCP socket:
+//!
+//! - [`protocol`]: request parsing (`analyze`, `check`, `flip`, `sweep`,
+//!   `metrics`, `ping`, `shutdown`) with strict unknown-field rejection.
+//! - [`cache`]: the content-addressed warm cache — circuits keyed by
+//!   [`glitch_core::netlist::Netlist::fingerprint`], baselines by their
+//!   full parameter set, with single-flight coalescing, LRU byte-budget
+//!   eviction and atomic disk spill.
+//! - [`engine`]: job execution mirroring the CLI's command paths call for
+//!   call, so responses are byte-identical to one-shot `--json` output.
+//! - [`server`] / [`client`]: the worker-pool daemon and its blocking
+//!   line-protocol client.
+//!
+//! The CLI layers (`glitch-cli serve` / `glitch-cli client`) are thin
+//! wrappers over [`server::run_server`] and [`client::Client`]. The
+//! shared JSON emission ([`json`]), parameter resolution ([`params`]) and
+//! report envelopes ([`report`]) live here so the daemon and the one-shot
+//! commands render through literally the same code.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod jsonin;
+pub mod params;
+pub mod protocol;
+pub mod report;
+pub mod server;
+
+pub use client::Client;
+pub use engine::Engine;
+pub use protocol::{JobKind, JobRequest, MetricsFormat, Request};
+pub use server::{run_server, ServeConfig};

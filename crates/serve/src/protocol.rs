@@ -1,0 +1,343 @@
+//! The JSON-lines protocol: one request object per line in, one response
+//! object per line out.
+//!
+//! Requests are flat objects with an `op` discriminator. Job ops
+//! (`analyze`, `check`, `flip`, `sweep`) carry the same knobs as the CLI
+//! flags they mirror, with identical defaults, so a job response is
+//! byte-identical to the matching one-shot `glitch-cli ... --json` run.
+//! Control ops are `metrics` (the merged registry), `ping` and
+//! `shutdown`. Unknown ops and unknown fields are rejected — a typo must
+//! fail loudly, not silently run with defaults.
+
+use std::collections::BTreeMap;
+
+use crate::jsonin::{parse_json, JsonValue};
+
+/// Which analysis pipeline a job request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Single- or multi-seed glitch/power analysis (`analyze --json`).
+    Analyze,
+    /// Three-valued verification (`check --json`).
+    Check,
+    /// Incremental what-if via the baseline cache (`analyze --flip --json`).
+    Flip,
+    /// Delay-model sweep (`sweep --json`).
+    Sweep,
+}
+
+impl JobKind {
+    /// The protocol's `op` string for this kind.
+    pub fn op(self) -> &'static str {
+        match self {
+            JobKind::Analyze => "analyze",
+            JobKind::Check => "check",
+            JobKind::Flip => "flip",
+            JobKind::Sweep => "sweep",
+        }
+    }
+}
+
+/// An analysis job: the netlist file plus the CLI-mirroring knobs.
+/// `None` fields take the CLI's defaults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobRequest {
+    /// Path of the netlist file, resolved on the daemon's filesystem.
+    pub file: String,
+    /// `--cycles`.
+    pub cycles: Option<u64>,
+    /// `--seed`.
+    pub seed: Option<u64>,
+    /// `--seeds`.
+    pub seeds: Option<usize>,
+    /// `--jobs` (within-job worker threads, not daemon workers).
+    pub jobs: Option<usize>,
+    /// `--delay`.
+    pub delay: Option<String>,
+    /// `--delays` (sweep only).
+    pub delays: Option<String>,
+    /// `--tech`.
+    pub tech: Option<String>,
+    /// `--frequency-mhz`.
+    pub frequency_mhz: Option<f64>,
+    /// `--flip` list (required for `flip`, optional for `check`).
+    pub flips: Option<String>,
+    /// `--x-init` (check only).
+    pub x_init: bool,
+    /// `--hazards` (check only).
+    pub hazards: bool,
+    /// `--budget` list (check only).
+    pub budget: Option<String>,
+    /// `--stable` list (check only).
+    pub stable: Option<String>,
+    /// Expected [`glitch_core::netlist::Netlist::fingerprint`] as 16 hex
+    /// digits; the daemon rejects the request if the file on disk parses
+    /// to a different circuit (stale-client protection).
+    pub fingerprint: Option<u64>,
+}
+
+/// The format of a `metrics` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The stable sorted one-line JSON dump.
+    Json,
+    /// The human-readable multi-line dump, wrapped in a JSON envelope.
+    Text,
+}
+
+/// One parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// An analysis job to dispatch to the worker pool (boxed: the request
+    /// carries a dozen option fields and would dominate the enum size).
+    Job(JobKind, Box<JobRequest>),
+    /// Serve the merged metrics registry.
+    Metrics(MetricsFormat),
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight jobs, flush the trace, exit 0.
+    Shutdown,
+}
+
+fn field_str(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<Option<String>, String> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("field `{key}` must be a string")),
+    }
+}
+
+fn field_u64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<Option<u64>, String> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn field_usize(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<Option<usize>, String> {
+    Ok(field_u64(map, key)?.map(|v| v as usize))
+}
+
+fn field_f64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<Option<f64>, String> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+fn field_bool(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<bool, String> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("field `{key}` must be a boolean")),
+    }
+}
+
+/// The request fields every job op understands.
+const JOB_FIELDS: &[&str] = &[
+    "op",
+    "file",
+    "cycles",
+    "seed",
+    "seeds",
+    "jobs",
+    "delay",
+    "delays",
+    "tech",
+    "frequency_mhz",
+    "flips",
+    "x_init",
+    "hazards",
+    "budget",
+    "stable",
+    "fingerprint",
+];
+
+impl Request {
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an `{"error": ...}` response:
+    /// malformed JSON, a non-object, an unknown `op`, an unknown field, or
+    /// a field of the wrong type.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = parse_json(line).map_err(|e| format!("malformed request: {e}"))?;
+        let JsonValue::Object(map) = value else {
+            return Err("request must be a JSON object".into());
+        };
+        let op = field_str(&map, "op")?.ok_or("request is missing the `op` field")?;
+        let kind = match op.as_str() {
+            "analyze" => JobKind::Analyze,
+            "check" => JobKind::Check,
+            "flip" => JobKind::Flip,
+            "sweep" => JobKind::Sweep,
+            "metrics" => {
+                for key in map.keys() {
+                    if key != "op" && key != "format" {
+                        return Err(format!("unknown field `{key}` for op `metrics`"));
+                    }
+                }
+                let format = match field_str(&map, "format")?.as_deref() {
+                    None | Some("json") => MetricsFormat::Json,
+                    Some("text") => MetricsFormat::Text,
+                    Some(other) => {
+                        return Err(format!(
+                            "metrics format must be json or text, got `{other}`"
+                        ));
+                    }
+                };
+                return Ok(Request::Metrics(format));
+            }
+            "ping" | "shutdown" => {
+                if map.len() > 1 {
+                    return Err(format!("op `{op}` takes no other fields"));
+                }
+                return Ok(if op == "ping" {
+                    Request::Ping
+                } else {
+                    Request::Shutdown
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unknown op `{other}` (expected analyze, check, flip, sweep, \
+                     metrics, ping or shutdown)"
+                ));
+            }
+        };
+        for key in map.keys() {
+            if !JOB_FIELDS.contains(&key.as_str()) {
+                return Err(format!("unknown field `{key}` for op `{op}`"));
+            }
+        }
+        let fingerprint = match field_str(&map, "fingerprint")? {
+            None => None,
+            Some(hex) => Some(
+                u64::from_str_radix(&hex, 16)
+                    .map_err(|_| "field `fingerprint` must be up to 16 hex digits".to_string())?,
+            ),
+        };
+        let job = JobRequest {
+            file: field_str(&map, "file")?.ok_or("request is missing the `file` field")?,
+            cycles: field_u64(&map, "cycles")?,
+            seed: field_u64(&map, "seed")?,
+            seeds: field_usize(&map, "seeds")?,
+            jobs: field_usize(&map, "jobs")?,
+            delay: field_str(&map, "delay")?,
+            delays: field_str(&map, "delays")?,
+            tech: field_str(&map, "tech")?,
+            frequency_mhz: field_f64(&map, "frequency_mhz")?,
+            flips: field_str(&map, "flips")?,
+            x_init: field_bool(&map, "x_init")?,
+            hazards: field_bool(&map, "hazards")?,
+            budget: field_str(&map, "budget")?,
+            stable: field_str(&map, "stable")?,
+            fingerprint,
+        };
+        if kind == JobKind::Flip && job.flips.is_none() {
+            return Err("op `flip` requires the `flips` field (e.g. \"0:a\")".into());
+        }
+        Ok(Request::Job(kind, Box::new(job)))
+    }
+}
+
+/// Renders an error response line.
+pub fn error_response(message: &str) -> String {
+    crate::json::JsonObject::new()
+        .str("error", message)
+        .render()
+}
+
+/// Renders the trivial `{"ok":true}` acknowledgement line.
+pub fn ok_response() -> String {
+    crate::json::JsonObject::new().bool("ok", true).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_job_requests_with_defaults() {
+        let req = Request::parse(r#"{"op":"analyze","file":"a.blif"}"#).unwrap();
+        let Request::Job(kind, job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(kind, JobKind::Analyze);
+        assert_eq!(job.file, "a.blif");
+        assert_eq!(job.cycles, None);
+        assert!(!job.x_init);
+
+        let req = Request::parse(
+            r#"{"op":"check","file":"a.blif","cycles":50,"x_init":true,"budget":"*=cycle","jobs":2,"seeds":3}"#,
+        )
+        .unwrap();
+        let Request::Job(kind, job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(kind, JobKind::Check);
+        assert_eq!(job.cycles, Some(50));
+        assert_eq!(job.seeds, Some(3));
+        assert!(job.x_init);
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics(MetricsFormat::Json)
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"text"}"#).unwrap(),
+            Request::Metrics(MetricsFormat::Text)
+        );
+    }
+
+    #[test]
+    fn fingerprints_parse_as_hex() {
+        let req =
+            Request::parse(r#"{"op":"flip","file":"a.blif","flips":"0:a","fingerprint":"00ff"}"#)
+                .unwrap();
+        let Request::Job(_, job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(job.fingerprint, Some(0xff));
+        assert!(Request::parse(
+            r#"{"op":"flip","file":"a.blif","flips":"0:a","fingerprint":"xyz"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_loudly() {
+        for bad in [
+            "",
+            "[]",
+            r#"{"file":"a.blif"}"#,
+            r#"{"op":"explode","file":"a.blif"}"#,
+            r#"{"op":"analyze"}"#,
+            r#"{"op":"analyze","file":"a.blif","cyclez":1}"#,
+            r#"{"op":"analyze","file":"a.blif","cycles":"many"}"#,
+            r#"{"op":"flip","file":"a.blif"}"#,
+            r#"{"op":"ping","file":"a.blif"}"#,
+            r#"{"op":"metrics","format":"xml"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The machine-readable report envelopes — one renderer behind both the
+//! CLI's `--json` output and the daemon's protocol responses.
+//!
+//! Field order, formatting and escaping live here and nowhere else: a
+//! daemon response for a job is produced by the *same* function as the
+//! equivalent one-shot `glitch-cli ... --json` line, which is what makes
+//! the serving layer's byte-identity guarantee a structural property
+//! instead of a test-only coincidence.
+
+use glitch_core::activity::ActivityTotals;
+use glitch_core::netlist::Netlist;
+use glitch_core::power::PowerReport;
+use glitch_core::sim::WindowedActivityProbe;
+use glitch_core::verify::{VerifyReport, Violation};
+use glitch_core::{
+    AggregateAnalysis, Analysis, CheckAnalysis, DelaySweepPoint, DeltaCheck, IncrementalStats,
+    Spread,
+};
+
+use crate::json::{json_array, JsonObject};
+use crate::params::AppliedFlip;
+
+/// The `activity` sub-object: transition totals and derived ratios.
+pub fn activity_totals_json(totals: &ActivityTotals) -> JsonObject {
+    JsonObject::new()
+        .u64("transitions", totals.transitions)
+        .u64("useful", totals.useful)
+        .u64("useless", totals.useless)
+        .u64("glitches", totals.glitches())
+        .f64("lf_ratio", totals.useless_to_useful())
+        .f64(
+            "balance_reduction_factor",
+            totals.balance_reduction_factor(),
+        )
+}
+
+/// The `power` sub-object: the three-component breakdown and its inputs.
+pub fn power_report_json(power: &PowerReport) -> JsonObject {
+    JsonObject::new()
+        .f64("logic_w", power.breakdown.logic)
+        .f64("flipflop_w", power.breakdown.flipflop)
+        .f64("clock_w", power.breakdown.clock)
+        .f64("total_w", power.breakdown.total())
+        .f64("frequency_hz", power.frequency)
+        .usize("flipflops", power.flipflops)
+        .f64("clock_capacitance_f", power.clock_capacitance)
+        .f64("switched_cap_per_cycle_f", power.switched_cap_per_cycle)
+}
+
+/// The per-window rows of a windowed-activity probe, as a rendered JSON
+/// array.
+pub fn windows_json(probe: &WindowedActivityProbe) -> String {
+    json_array(probe.windows().iter().enumerate().map(|(i, w)| {
+        JsonObject::new()
+            .usize("window", i)
+            .u64("start_cycle", w.start_cycle)
+            .u64("cycles", w.cycles)
+            .u64("transitions", w.transitions)
+            .u64("useful", w.useful)
+            .u64("useless", w.useless)
+            .u64("glitches", w.glitches())
+            .render()
+    }))
+}
+
+/// A min/mean/max/stddev spread sub-object.
+pub fn spread_json(spread: Spread) -> JsonObject {
+    JsonObject::new()
+        .f64("min", spread.min)
+        .f64("mean", spread.mean)
+        .f64("max", spread.max)
+        .f64("stddev", spread.stddev)
+}
+
+/// The per-seed rows of a multi-seed aggregate, as rendered JSON objects.
+pub fn per_seed_json(aggregate: &AggregateAnalysis) -> String {
+    json_array(aggregate.aggregate.shards().iter().map(|shard| {
+        JsonObject::new()
+            .u64("seed", shard.seed)
+            .u64("cycles", shard.cycles)
+            .u64("transitions", shard.activity.transitions)
+            .u64("useful", shard.activity.useful)
+            .u64("useless", shard.activity.useless)
+            .u64("glitches", shard.activity.glitches())
+            .f64("power_total_w", shard.power.breakdown.total())
+            .render()
+    }))
+}
+
+/// The `incremental` sub-object: dirty-region re-simulation accounting.
+pub fn incremental_json(stats: &IncrementalStats) -> JsonObject {
+    JsonObject::new()
+        .u64("replayed_cycles", stats.replayed_cycles)
+        .u64("simulated_cycles", stats.simulated_cycles)
+        .u64("cells_evaluated", stats.cells_evaluated)
+        .u64("baseline_cell_evals", stats.baseline_cell_evals)
+        .u64("peak_dirty_cone_nets", stats.peak_dirty_cone_nets)
+        .u64("dff_divergence_reseeds", stats.dff_divergence_reseeds)
+        .f64("evaluated_fraction", stats.evaluated_fraction())
+}
+
+/// The applied-flip rows (`net`, `cycle`, driven `value`).
+pub fn flips_json(applied: &[AppliedFlip]) -> String {
+    json_array(applied.iter().map(|(name, cycle, value)| {
+        JsonObject::new()
+            .str("net", name)
+            .u64("cycle", *cycle)
+            .u64("value", u64::from(*value))
+            .render()
+    }))
+}
+
+/// Renders one verify report's checkers as a JSON array.
+pub fn verify_checkers_json(report: &VerifyReport, netlist: &Netlist) -> String {
+    json_array(report.outcomes().iter().map(|outcome| {
+        let mut metrics = JsonObject::new();
+        for (name, value) in &outcome.metrics {
+            metrics = metrics.u64(name, *value);
+        }
+        let violations = json_array(outcome.violations.iter().map(|v: &Violation| {
+            JsonObject::new()
+                .str("net", netlist.net(v.net).name())
+                .u64("cycle", v.cycle)
+                .u64("time", v.time)
+                .u64("budget", v.budget)
+                .render()
+        }));
+        JsonObject::new()
+            .str("name", &outcome.checker)
+            .str("verdict", outcome.verdict.as_str())
+            .u64("total_violations", outcome.total_violations)
+            .raw("metrics", &metrics.render())
+            .raw("violations", &violations)
+            .str("summary", &outcome.summary)
+            .render()
+    }))
+}
+
+/// Renders one verify report as a nested JSON object (verdict + checkers).
+pub fn verify_report_json(report: &VerifyReport, netlist: &Netlist) -> JsonObject {
+    JsonObject::new()
+        .str("verdict", report.verdict().as_str())
+        .u64("violations_total", report.total_violations())
+        .u64("violations_retained", report.retained_violations())
+        .u64("violations_dropped", report.dropped_violations())
+        .raw("checkers", &verify_checkers_json(report, netlist))
+}
+
+// ------------------------------------------------------------- envelopes
+
+/// The single-seed `analyze` report line.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_json(
+    file: &str,
+    netlist: &Netlist,
+    analysis: &Analysis,
+    passes: u64,
+    events: u64,
+    max_settle: u64,
+    cell_evals: u64,
+    windowed: Option<&WindowedActivityProbe>,
+) -> String {
+    let totals = analysis.activity.totals();
+    let out = JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .u64("cycles", analysis.cycles)
+        .u64("passes", passes)
+        .u64("events", events)
+        .u64("max_settle_time", max_settle)
+        .u64("cell_evals", cell_evals)
+        .raw("activity", &activity_totals_json(&totals).render())
+        .raw("power", &power_report_json(&analysis.power).render());
+    let out = match windowed {
+        Some(probe) => out.raw("windows", &windows_json(probe)),
+        None => out,
+    };
+    out.render()
+}
+
+/// The multi-seed `analyze` report line (aggregate + spread + per-seed).
+pub fn analyze_aggregate_json(
+    file: &str,
+    netlist: &Netlist,
+    seeds: usize,
+    jobs: usize,
+    cycles_per_seed: u64,
+    aggregate: &AggregateAnalysis,
+    windowed: Option<&WindowedActivityProbe>,
+) -> String {
+    let totals = aggregate.activity.totals();
+    let spreads = JsonObject::new()
+        .raw("glitches", &spread_json(aggregate.glitch_spread()).render())
+        .raw("useless", &spread_json(aggregate.useless_spread()).render())
+        .raw(
+            "lf_ratio",
+            &spread_json(aggregate.lf_ratio_spread()).render(),
+        )
+        .raw(
+            "power_total_w",
+            &spread_json(aggregate.power_spread()).render(),
+        );
+    let out = JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .usize("seeds", seeds)
+        .usize("jobs", jobs)
+        .u64("cycles_per_seed", cycles_per_seed)
+        .u64("total_cycles", aggregate.total_cycles())
+        .u64("events", aggregate.aggregate.total_events())
+        .u64("max_settle_time", aggregate.aggregate.max_settle_time())
+        .u64("cell_evals", aggregate.aggregate.total_cell_evals())
+        .raw("activity", &activity_totals_json(&totals).render())
+        .raw("power", &power_report_json(&aggregate.power).render())
+        .raw("spread", &spreads.render())
+        .raw("per_seed", &per_seed_json(aggregate));
+    let out = match windowed {
+        Some(probe) => out.raw("windows", &windows_json(probe)),
+        None => out,
+    };
+    out.render()
+}
+
+/// The `analyze --flip` report line: applied flips, incremental
+/// accounting, and before/after activity+power.
+pub fn analyze_flip_json(
+    file: &str,
+    netlist: &Netlist,
+    cycles: u64,
+    applied: &[AppliedFlip],
+    stats: &IncrementalStats,
+    before: &Analysis,
+    after: &Analysis,
+) -> String {
+    let before_totals = before.activity.totals();
+    let after_totals = after.activity.totals();
+    JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .u64("cycles", cycles)
+        .raw("flips", &flips_json(applied))
+        .raw("incremental", &incremental_json(stats).render())
+        .raw(
+            "baseline",
+            &JsonObject::new()
+                .raw("activity", &activity_totals_json(&before_totals).render())
+                .raw("power", &power_report_json(&before.power).render())
+                .render(),
+        )
+        .raw(
+            "delta",
+            &JsonObject::new()
+                .raw("activity", &activity_totals_json(&after_totals).render())
+                .raw("power", &power_report_json(&after.power).render())
+                .render(),
+        )
+        .render()
+}
+
+/// The delay-model `sweep` report line.
+pub fn sweep_json(
+    file: &str,
+    netlist: &Netlist,
+    seeds: usize,
+    jobs: usize,
+    cycles_per_seed: u64,
+    points: &[DelaySweepPoint],
+) -> String {
+    let rendered = points
+        .iter()
+        .map(|point| {
+            let totals = point.analysis.activity.totals();
+            JsonObject::new()
+                .str("delay", &point.label)
+                .raw("activity", &activity_totals_json(&totals).render())
+                .raw("power", &power_report_json(&point.analysis.power).render())
+                .raw(
+                    "glitch_spread",
+                    &spread_json(point.analysis.glitch_spread()).render(),
+                )
+                .raw(
+                    "power_spread",
+                    &spread_json(point.analysis.power_spread()).render(),
+                )
+                .render()
+        })
+        .collect::<Vec<_>>();
+    JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .usize("seeds", seeds)
+        .usize("jobs", jobs)
+        .u64("cycles_per_seed", cycles_per_seed)
+        .raw("points", &json_array(rendered))
+        .render()
+}
+
+/// The `check` report line: run shape, totals, verdict and checkers.
+#[allow(clippy::too_many_arguments)]
+pub fn check_json(
+    file: &str,
+    netlist: &Netlist,
+    cycles_per_seed: u64,
+    seeds: usize,
+    jobs: usize,
+    x_init: bool,
+    checked: &CheckAnalysis,
+) -> String {
+    let report = &checked.report;
+    JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .u64("cycles_per_seed", cycles_per_seed)
+        .usize("seeds", seeds)
+        .usize("jobs", jobs)
+        .bool("x_init", x_init)
+        .u64("total_cycles", checked.analysis.total_cycles())
+        .u64(
+            "max_settle_time",
+            checked.analysis.aggregate.max_settle_time(),
+        )
+        .u64("cell_evals", checked.analysis.aggregate.total_cell_evals())
+        .str("verdict", report.verdict().as_str())
+        .u64("violations_total", report.total_violations())
+        .u64("violations_retained", report.retained_violations())
+        .u64("violations_dropped", report.dropped_violations())
+        .raw("checkers", &verify_checkers_json(report, netlist))
+        .render()
+}
+
+/// The `check --flip` report line: flips, incremental accounting and the
+/// baseline/flipped verdict pair.
+pub fn check_flip_json(
+    file: &str,
+    netlist: &Netlist,
+    cycles: u64,
+    x_init: bool,
+    applied: &[AppliedFlip],
+    base_report: &VerifyReport,
+    flipped: &DeltaCheck,
+) -> String {
+    JsonObject::new()
+        .str("file", file)
+        .str("netlist", netlist.name())
+        .u64("cycles", cycles)
+        .bool("x_init", x_init)
+        .raw("flips", &flips_json(applied))
+        .raw(
+            "incremental",
+            &incremental_json(&flipped.incremental).render(),
+        )
+        .raw(
+            "baseline",
+            &verify_report_json(base_report, netlist).render(),
+        )
+        .raw(
+            "flipped",
+            &verify_report_json(&flipped.report, netlist).render(),
+        )
+        .render()
+}

@@ -1,0 +1,358 @@
+//! The daemon: a `TcpListener` accept loop, a fixed worker pool draining
+//! a bounded job queue, and graceful shutdown that finishes every
+//! admitted job before the process exits.
+//!
+//! One thread per connection reads JSON-lines requests; control ops
+//! (`ping`, `metrics`, `shutdown`) are answered inline, jobs are queued
+//! for the workers. Admission control sheds jobs once the queue is full —
+//! a shed request gets an immediate error line rather than unbounded
+//! latency. Shutdown (protocol request or Ctrl-C on Unix) stops
+//! admission, drains the queue, flushes the Chrome trace and removes the
+//! baseline spill directory.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::protocol::{error_response, ok_response, JobKind, JobRequest, Request};
+
+/// How the daemon binds, sizes its pool and budgets its cache.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen port on 127.0.0.1; 0 picks an ephemeral port (the chosen
+    /// port is printed on the `listening` line).
+    pub port: u16,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Cache byte budget (0 = unbounded).
+    pub cache_bytes: usize,
+    /// Admission bound: jobs queued beyond in-flight ones before shedding.
+    pub max_queue: usize,
+    /// Chrome-trace output path, flushed at shutdown.
+    pub trace_out: Option<String>,
+}
+
+impl ServeConfig {
+    /// A config with the default pool (`workers`) and queue sizing.
+    #[must_use]
+    pub fn new(port: u16, workers: usize, cache_bytes: usize) -> ServeConfig {
+        let workers = workers.max(1);
+        ServeConfig {
+            port,
+            workers,
+            cache_bytes,
+            max_queue: workers * 8,
+            trace_out: None,
+        }
+    }
+}
+
+/// A queued job: what to run and where to send the response line.
+struct Job {
+    kind: JobKind,
+    request: JobRequest,
+    reply: mpsc::Sender<String>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The worker-pool queue. The shutdown bit lives inside the same mutex as
+/// the job list so "still admitting?" and "push" are one atomic step: a
+/// job is either rejected at admission or guaranteed to drain.
+struct Queue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+enum Admission {
+    Queued(mpsc::Receiver<String>),
+    Shed(&'static str),
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn enqueue(&self, kind: JobKind, request: JobRequest, max_queue: usize) -> (Admission, usize) {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.shutdown {
+            return (Admission::Shed("daemon is shutting down"), state.jobs.len());
+        }
+        if state.jobs.len() >= max_queue {
+            return (
+                Admission::Shed("daemon is saturated; retry later"),
+                state.jobs.len(),
+            );
+        }
+        let (reply, receiver) = mpsc::channel();
+        state.jobs.push_back(Job {
+            kind,
+            request,
+            reply,
+        });
+        let depth = state.jobs.len();
+        self.available.notify_one();
+        (Admission::Queued(receiver), depth)
+    }
+
+    /// Blocks for the next job; `None` once shutdown is requested and the
+    /// queue has fully drained.
+    fn next_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.state.lock().expect("queue lock").shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(unix)]
+mod sigint {
+    //! A minimal SIGINT hook (no external crates): the handler only flips
+    //! an atomic, the server's watchdog thread does the actual shutdown.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        // SAFETY: installs an async-signal-safe handler (a single atomic
+        // store) for SIGINT; `signal` itself has no memory preconditions.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything the shutdown path needs, shared by the protocol handler,
+/// the Ctrl-C watchdog and the accept loop.
+struct Shutdown {
+    flag: AtomicBool,
+    port: u16,
+}
+
+impl Shutdown {
+    fn trigger(&self, queue: &Queue) {
+        self.flag.store(true, Ordering::SeqCst);
+        queue.request_shutdown();
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+    }
+
+    fn requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs the daemon until a `shutdown` request (or Ctrl-C) drains it.
+/// Prints `glitch-serve listening on 127.0.0.1:<port>` once ready — with
+/// `port: 0`, that line is where the chosen port is announced.
+///
+/// # Errors
+///
+/// Returns a message when the listen socket cannot be bound or the trace
+/// file cannot be written.
+pub fn run_server(config: &ServeConfig) -> Result<(), String> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port))
+        .map_err(|e| format!("cannot listen on 127.0.0.1:{}: {e}", config.port))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?
+        .port();
+    let spill_dir =
+        std::env::temp_dir().join(format!("glitch-serve-{}-{port}", std::process::id()));
+    let engine = Arc::new(Engine::new(config.cache_bytes, Some(spill_dir.clone())));
+    let queue = Arc::new(Queue::new());
+    let shutdown = Arc::new(Shutdown {
+        flag: AtomicBool::new(false),
+        port,
+    });
+
+    let workers: Vec<_> = (1..=config.workers)
+        .map(|track| {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                while let Some(job) = queue.next_job() {
+                    let line = engine.run_job(job.kind, &job.request, track as u64);
+                    // The client may already be gone; the job still ran.
+                    let _ = job.reply.send(line);
+                }
+            })
+        })
+        .collect();
+
+    #[cfg(unix)]
+    {
+        sigint::install();
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(100));
+            if shutdown.requested() {
+                return;
+            }
+            if sigint::requested() {
+                shutdown.trigger(&queue);
+                return;
+            }
+        });
+    }
+
+    println!("glitch-serve listening on 127.0.0.1:{port}");
+    std::io::stdout().flush().ok();
+
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.requested() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let engine = Arc::clone(&engine);
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let max_queue = config.max_queue;
+        connections.push(std::thread::spawn(move || {
+            serve_connection(&stream, &engine, &queue, &shutdown, max_queue);
+        }));
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+
+    if let Some(path) = &config.trace_out {
+        let tracks: Vec<(u64, String)> = (1..=config.workers)
+            .map(|i| (i as u64, format!("worker-{i}")))
+            .collect();
+        let tracks: Vec<(u64, &str)> = tracks.iter().map(|(i, n)| (*i, n.as_str())).collect();
+        std::fs::write(path, engine.chrome_trace(&tracks))
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    std::fs::remove_dir_all(&spill_dir).ok();
+    Ok(())
+}
+
+/// Reads request lines from one client until EOF or shutdown, answering
+/// each with exactly one response line.
+fn serve_connection(
+    stream: &TcpStream,
+    engine: &Engine,
+    queue: &Queue,
+    shutdown: &Shutdown,
+    max_queue: usize,
+) {
+    // The timeout bounds how long a drained connection outlives shutdown.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    // Responses are single small writes; Nagle would stall them behind
+    // the peer's delayed ACK.
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(reading_half) => reading_half,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so a partial line survives timeout retries.
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.requested() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = line.trim().to_string();
+        line.clear();
+        if request.is_empty() {
+            continue;
+        }
+        let (mut response, is_shutdown) = handle_request(&request, engine, queue, max_queue);
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if is_shutdown {
+            shutdown.trigger(queue);
+            return;
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response and whether it was a
+/// shutdown request (acknowledged before the daemon starts draining).
+fn handle_request(
+    request: &str,
+    engine: &Engine,
+    queue: &Queue,
+    max_queue: usize,
+) -> (String, bool) {
+    match Request::parse(request) {
+        Err(message) => (error_response(&message), false),
+        Ok(Request::Ping) => (engine.ping_response(), false),
+        Ok(Request::Metrics(format)) => (engine.metrics_response(format), false),
+        Ok(Request::Shutdown) => (ok_response(), true),
+        Ok(Request::Job(kind, job)) => {
+            let (admission, depth) = queue.enqueue(kind, *job, max_queue);
+            engine.observe_queue_depth(depth);
+            match admission {
+                Admission::Shed(reason) => {
+                    engine.record_shed();
+                    (error_response(reason), false)
+                }
+                Admission::Queued(receiver) => match receiver.recv() {
+                    Ok(response) => (response, false),
+                    Err(_) => (error_response("worker pool dropped the job"), false),
+                },
+            }
+        }
+    }
+}

@@ -447,7 +447,22 @@ fn read_net(
     Ok(glitch_netlist::NetId::from_index(index))
 }
 
+/// The sibling temp path `save_baseline` stages its bytes in before the
+/// atomic rename. Pid-qualified so concurrent savers (several daemon
+/// workers, a daemon plus a CLI run) never clobber each other mid-write.
+pub(crate) fn staging_path(path: &Path) -> std::path::PathBuf {
+    let mut temp = path.as_os_str().to_os_string();
+    temp.push(format!(".tmp.{}", std::process::id()));
+    temp.into()
+}
+
 /// Saves a baseline to `path` (buffered, created or truncated).
+///
+/// The bytes are staged in a pid-qualified `<path>.tmp.<pid>` sibling and
+/// renamed into place only once fully written, so a crashed or killed
+/// writer never leaves a truncated file where `load` expects a baseline —
+/// readers see either the old complete file or the new complete file,
+/// never a partial one. A failed save cleans its temp file up.
 ///
 /// # Errors
 ///
@@ -456,10 +471,19 @@ pub fn save_baseline(
     baseline: &SimBaseline,
     path: impl AsRef<Path>,
 ) -> Result<(), BaselineFileError> {
-    let mut writer = BufWriter::new(File::create(path)?);
-    save_baseline_to(baseline, &mut writer)?;
-    writer.flush()?;
-    Ok(())
+    let path = path.as_ref();
+    let temp = staging_path(path);
+    let written: Result<(), BaselineFileError> = (|| {
+        let mut writer = BufWriter::new(File::create(&temp)?);
+        save_baseline_to(baseline, &mut writer)?;
+        writer.flush()?;
+        Ok(())
+    })();
+    let renamed = written.and_then(|()| std::fs::rename(&temp, path).map_err(Into::into));
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&temp);
+    }
+    renamed
 }
 
 /// Loads a baseline from `path` (buffered).
@@ -616,6 +640,44 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(loaded.matches_netlist(&nl));
         assert_eq!(loaded.cycle_count(), baseline.cycle_count());
+    }
+
+    #[test]
+    fn save_is_atomic_and_cleans_its_staging_file() {
+        let (_, baseline) = recorded_baseline(DelayKind::Unit, SimOptions::default());
+        let dir = std::env::temp_dir().join(format!("glitch_atomic_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.bin");
+        let temp = staging_path(&path);
+
+        // A stale truncated staging file — what a killed writer leaves
+        // behind — must never be visible as the baseline itself: the load
+        // path only ever sees `path`, and a fresh save replaces the
+        // stale temp rather than tripping over it.
+        std::fs::write(&temp, b"GLBL\x01\x00trunca").unwrap();
+        assert!(
+            SimBaseline::load(&path).is_err(),
+            "a staging file must not satisfy a load of the real path"
+        );
+        baseline.save(&path).unwrap();
+        assert!(!temp.exists(), "save must consume its staging file");
+        let loaded = SimBaseline::load(&path).unwrap();
+        assert_eq!(loaded.cycle_count(), baseline.cycle_count());
+
+        // Overwriting an existing (corrupt) file goes through the same
+        // rename, so a reader never observes a half-written state.
+        std::fs::write(&path, b"corrupt").unwrap();
+        baseline.save(&path).unwrap();
+        assert!(!temp.exists());
+        assert!(SimBaseline::load(&path).is_ok());
+
+        // A failed save (unwritable target directory) leaves no debris.
+        let missing = dir.join("no_such_dir").join("baseline.bin");
+        assert!(baseline.save(&missing).is_err());
+        assert!(!staging_path(&missing).exists());
+        assert!(!missing.exists());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -154,6 +154,25 @@ impl SimBaseline {
     pub fn assignment(&self, cycle: u64) -> &InputAssignment {
         &self.cycles[cycle as usize].assignment
     }
+
+    /// Approximate in-memory footprint in bytes — the per-cycle stimulus
+    /// entries and transition stream dominate. Used by cache byte budgets;
+    /// an estimate, not an allocator-exact figure.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let per_cycle: usize = self
+            .cycles
+            .iter()
+            .map(|cycle| {
+                std::mem::size_of_val(cycle.assignment.assignments())
+                    + cycle.transitions.len() * std::mem::size_of::<Transition>()
+            })
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.netlist_name.len()
+            + self.cycles.len() * std::mem::size_of::<BaselineCycle>()
+            + per_cycle
+    }
 }
 
 /// Internal probe that captures the per-cycle transition stream during
