@@ -1,14 +1,35 @@
 //! Criterion benchmarks of the netlist interchange layer: BLIF emission
-//! and parsing throughput, and event-driven simulation of a circuit that
-//! went through the parse round trip (the end-to-end `glitch-cli analyze`
-//! hot path).
+//! and parsing throughput (both readers run on interned identifiers —
+//! these groups pin that win), and event-driven simulation of a circuit
+//! that went through the parse round trip (the end-to-end
+//! `glitch-cli analyze` hot path).
+
+use std::fmt::Write;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use glitch_core::arith::{AdderStyle, RippleCarryAdder, WallaceTreeMultiplier};
 use glitch_core::sim::{ActivityProbe, RandomStimulus, SimSession};
-use glitch_io::{emit_blif, parse_blif, GateLibrary};
+use glitch_io::{emit_blif, parse_blif, parse_verilog, GateLibrary};
 
 const SIM_CYCLES: u64 = 200;
+
+/// A synthetic structural-Verilog module: a `stages`-deep xor/and chain
+/// whose `a` and `b` inputs are re-referenced by every gate, the
+/// identifier-heavy shape that exercises the parser's interning path.
+fn synthetic_verilog(stages: usize) -> String {
+    let mut text = String::from("module chain (a, b, y);\n  input a, b;\n  output y;\n");
+    let wires: Vec<String> = (0..stages).map(|i| format!("t{i}")).collect();
+    let _ = writeln!(text, "  wire {};", wires.join(", "));
+    let _ = writeln!(text, "  xor g0 (t0, a, b);");
+    for i in 1..stages {
+        let gate = if i % 2 == 0 { "xor" } else { "and" };
+        let other = if i % 3 == 0 { "a" } else { "b" };
+        let _ = writeln!(text, "  {gate} g{i} (t{i}, t{}, {other});", i - 1);
+    }
+    let _ = writeln!(text, "  buf gy (y, t{});", stages - 1);
+    text.push_str("endmodule\n");
+    text
+}
 
 fn bench_io(c: &mut Criterion) {
     let library = GateLibrary::standard();
@@ -34,6 +55,18 @@ fn bench_io(c: &mut Criterion) {
         b.iter(|| {
             let parsed = parse_blif(&blif, &library).expect("benchmark input parses");
             emit_blif(&parsed).len()
+        })
+    });
+    group.finish();
+
+    let verilog = synthetic_verilog(512);
+    let mut group = c.benchmark_group("verilog");
+    group.throughput(Throughput::Bytes(verilog.len() as u64));
+    group.bench_function("parse_chain512", |b| {
+        b.iter(|| {
+            parse_verilog(&verilog, &library)
+                .expect("benchmark input parses")
+                .cell_count()
         })
     });
     group.finish();

@@ -8,14 +8,14 @@ use std::path::Path;
 use glitch_core::netlist::{DotOptions, Netlist};
 use glitch_core::retime::{pipeline_netlist, PipelineOptions};
 use glitch_core::sim::{
-    MergeableProbe, MetricsProbe, Probe, RandomStimulus, SessionReport, SimSession, UnitDelay,
-    VcdProbe, WaveCsvProbe, WindowedActivityProbe,
+    kernel_prepass, run_kernel_jobs, MergeableProbe, MetricsProbe, Probe, RandomStimulus,
+    SessionReport, SimJob, SimSession, UnitDelay, VcdProbe, WaveCsvProbe, WindowedActivityProbe,
 };
 use glitch_core::sim::{SimBaseline, SimOptions};
 use glitch_core::verify::{CheckSuite, Verdict, VerifyReport};
 use glitch_core::{
-    Analysis, AnalysisConfig, DeltaStimulus, GlitchAnalyzer, IncrementalStats, PowerExplorer,
-    TextTable,
+    Analysis, AnalysisConfig, DeltaStimulus, EngineKind, GlitchAnalyzer, IncrementalStats,
+    KernelProgram, KernelTelemetry, PowerExplorer, TextTable,
 };
 use glitch_io::{emit_blif, parse_netlist, Format, GateLibrary};
 use glitch_serve::json::{json_array, JsonObject};
@@ -43,6 +43,15 @@ commands:
               --cycles <n>         random vectors to simulate [1000]
               --seed <n>           stimulus seed [3665697173]
               --delay <model>      unit | zero | adder | library [unit]
+              --engine <name>      queue | kernel | hybrid [queue].
+                                   `queue` is the event-driven reference;
+                                   `hybrid` adds a compiled bit-parallel
+                                   kernel prepass that proves cycles quiet
+                                   so only active cycles pay for the timed
+                                   settle (reports bit-identical to queue);
+                                   `kernel` runs the compiled kernel alone
+                                   (functional zero-delay semantics, no
+                                   glitch modelling, no event queue)
               --frequency-mhz <f>  clock for the power estimate [5]
               --tech <name>        0.8um | 65nm [0.8um]
               --csv <file>         write per-node activity as CSV
@@ -95,6 +104,9 @@ commands:
               --flip-inputs <list> comma list of input net names, or `all`
               --flip-cycle <k>     cycle to flip each input in [0]
               --delay/--cycles/--seed/--jobs/--json as above
+              --engine <name>      as in analyze; a sweep compares delay
+                                   models, so `kernel` degrades to `hybrid`
+                                   (one prepass prunes every model's chunk)
   check     three-valued (0/1/X) verification: simulate the configured
             stimulus with assertion checkers attached and report a
             pass/fail verdict with located violations. The X-propagation
@@ -121,6 +133,8 @@ commands:
                                    bit-identical to a full re-run)
               --strict             exit with an error when the verdict
                                    is FAIL
+              --engine <name>      as in analyze; hybrid verdicts are
+                                   bit-identical to queue verdicts
               --cycles/--seed/--delay/--tech/--json as above
   retime    cutset pipelining of a combinational circuit, with a
             before/after activity and power comparison
@@ -273,7 +287,44 @@ fn analysis_config(args: &Args, library: &GateLibrary) -> Result<AnalysisConfig,
         Some(seed),
         Some(frequency_mhz),
         args.option("delay"),
+        args.option("engine"),
     )?)
+}
+
+/// The single-lane [`SimJob`] mirroring [`GlitchAnalyzer::session`]'s
+/// stimulus, for feeding the compiled kernel on single-seed runs.
+fn kernel_job<'a>(netlist: &'a Netlist, config: &AnalysisConfig) -> SimJob<'a> {
+    SimJob::new(netlist, input_buses(netlist), config.cycles, config.seed)
+        .with_delay(config.delay.clone())
+        .with_power(config.technology, config.frequency)
+        .with_options(config.options)
+}
+
+/// Compiles the kernel program under its own telemetry span whenever the
+/// configured engine needs one.
+fn compile_program(
+    netlist: &Netlist,
+    config: &AnalysisConfig,
+    telemetry: &Telemetry,
+) -> Result<Option<KernelProgram>, CliError> {
+    if config.engine == EngineKind::Queue {
+        return Ok(None);
+    }
+    let _span = telemetry.span("kernel-compile");
+    KernelProgram::compile(netlist)
+        .map(Some)
+        .map_err(|e| run_err(format!("kernel compile failed: {e}")))
+}
+
+/// The incremental fast paths replay recorded queue cycles, so they only
+/// compose with the queue engine.
+fn reject_engine_for(config: &AnalysisConfig, flag: &str) -> Result<(), CliError> {
+    if config.engine != EngineKind::Queue {
+        return Err(CliError::Usage(format!(
+            "--{flag} rides the incremental queue replay; drop --engine or --{flag}"
+        )));
+    }
+    Ok(())
 }
 
 fn analyze_netlist(netlist: &Netlist, config: &AnalysisConfig) -> Result<Analysis, CliError> {
@@ -398,6 +449,7 @@ const ANALYZE_SPEC: Spec = Spec {
         "seeds",
         "jobs",
         "delay",
+        "engine",
         "frequency-mhz",
         "tech",
         "csv",
@@ -441,6 +493,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
                 )));
             }
         }
+        reject_engine_for(&config, "flip")?;
         return cmd_analyze_flip(&netlist, &path, &args, &config, spec, &mut telemetry);
     }
     if args.option("baseline").is_some() {
@@ -469,21 +522,69 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
 
     // One session, one simulation pass: the analyzer's activity and power
     // probes plus one extra probe per requested artefact.
-    let analyzer = GlitchAnalyzer::new(config.clone());
-    let mut session = analyzer.session(&netlist, &input_buses(&netlist), &[]);
-    if args.option("vcd").is_some() {
-        session = session.probe(VcdProbe::default());
-    }
-    if args.option("wave-csv").is_some() {
-        session = session.probe(WaveCsvProbe::new());
-    }
-    if let Some(k) = window {
-        session = session.probe(WindowedActivityProbe::new(k));
-    }
-    if telemetry.enabled() {
-        session = session.probe(MetricsProbe::new());
-    }
-    let mut report = {
+    let program = compile_program(&netlist, &config, &telemetry)?;
+    let mut report = if config.engine == EngineKind::Kernel {
+        let program = program.as_ref().expect("compiled for the kernel engine");
+        let want_vcd = args.option("vcd").is_some();
+        let want_wave = args.option("wave-csv").is_some();
+        let with_metrics = telemetry.enabled();
+        let factory = move |_lane: usize| -> Vec<Box<dyn Probe>> {
+            let mut probes: Vec<Box<dyn Probe>> = Vec::new();
+            if want_vcd {
+                probes.push(Box::new(VcdProbe::default()));
+            }
+            if want_wave {
+                probes.push(Box::new(WaveCsvProbe::new()));
+            }
+            if let Some(k) = window {
+                probes.push(Box::new(WindowedActivityProbe::new(k)));
+            }
+            if with_metrics {
+                probes.push(Box::new(MetricsProbe::new()));
+            }
+            probes
+        };
+        let job = kernel_job(&netlist, &config);
+        let reports = {
+            let _span = telemetry.span("simulate");
+            run_kernel_jobs(&netlist, program, std::slice::from_ref(&job), &factory)
+                .map_err(|e| run_err(format!("simulation failed: {e}")))?
+        };
+        reports
+            .into_iter()
+            .next()
+            .expect("one job in, one report out")
+    } else {
+        let analyzer = GlitchAnalyzer::new(config.clone());
+        let mut session = analyzer.session(&netlist, &input_buses(&netlist), &[]);
+        if args.option("vcd").is_some() {
+            session = session.probe(VcdProbe::default());
+        }
+        if args.option("wave-csv").is_some() {
+            session = session.probe(WaveCsvProbe::new());
+        }
+        if let Some(k) = window {
+            session = session.probe(WindowedActivityProbe::new(k));
+        }
+        if telemetry.enabled() {
+            session = session.probe(MetricsProbe::new());
+        }
+        if let Some(program) = &program {
+            // Hybrid: one functional kernel pass marks the provably quiet
+            // cycles; the queue replays those and settles only the rest.
+            let job = kernel_job(&netlist, &config);
+            let prepass = {
+                let _span = telemetry.span("kernel-prepass");
+                kernel_prepass(&netlist, program, std::slice::from_ref(&job))
+                    .map_err(|e| run_err(format!("kernel prepass failed: {e}")))?
+            };
+            if telemetry.enabled() {
+                let kernel = KernelTelemetry::from_prepass(&netlist, program, &prepass)
+                    .map_err(|e| run_err(format!("kernel prepass failed: {e}")))?;
+                telemetry.record_kernel(&kernel);
+            }
+            session = session.quiet_cycles(prepass.quiet_cycles(0));
+        }
         let _span = telemetry.span("simulate");
         session
             .run()
@@ -502,6 +603,22 @@ fn cmd_analyze(raw: &[String]) -> Result<(), CliError> {
     let cell_evals = report.total_cell_evals();
     let analysis = GlitchAnalyzer::analysis(&netlist, report);
     let totals = analysis.activity.totals();
+    if config.engine == EngineKind::Kernel {
+        if let Some(program) = &program {
+            telemetry.record_kernel(&KernelTelemetry {
+                engine: EngineKind::Kernel,
+                lanes: 1,
+                total_cycles: config.cycles,
+                quiet_cycles: 0,
+                total_pairs: 0,
+                quiet_pairs: 0,
+                functional_transitions: totals.transitions,
+                functional_cell_evals: program.op_count() as u64 * config.cycles,
+                program_ops: program.op_count(),
+                program_bytes: program.byte_size(),
+            });
+        }
+    }
 
     if json {
         println!(
@@ -817,21 +934,26 @@ fn cmd_analyze_aggregate(
         }
         probes
     };
+    let program = compile_program(netlist, config, telemetry)?;
     let batch_start = telemetry.now_micros();
     let (aggregate, mut reports) = {
         let _span = telemetry.span("simulate");
         analyzer
-            .analyze_seeds_with(
+            .analyze_seeds_compiled(
                 netlist,
                 &input_buses(netlist),
                 &[],
                 &seed_list,
                 jobs,
                 &factory,
+                program.as_ref(),
             )
             .map_err(|e| run_err(format!("simulation failed: {e}")))?
     };
     telemetry.record_shard_spans(batch_start, aggregate.aggregate.shards());
+    if let Some(kernel) = &aggregate.kernel {
+        telemetry.record_kernel(kernel);
+    }
     // Fold the per-seed window heatmaps (aligned: every seed starts at
     // cycle 0) into one aggregate heatmap, and the per-seed metrics
     // registries in seed order (the `--jobs`-invariance discipline).
@@ -1059,6 +1181,7 @@ const SWEEP_SPEC: Spec = Spec {
         "seeds",
         "jobs",
         "delay",
+        "engine",
         "frequency-mhz",
         "tech",
         "flip-inputs",
@@ -1080,6 +1203,7 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let library = library_for(&args)?;
     let config = analysis_config(&args, &library)?;
     if let Some(list) = args.option("flip-inputs") {
+        reject_engine_for(&config, "flip-inputs")?;
         return cmd_sweep_flips(&netlist, &path, &args, &config, list, &mut telemetry);
     }
     if args.option("flip-cycle").is_some() {
@@ -1099,21 +1223,28 @@ fn cmd_sweep(raw: &[String]) -> Result<(), CliError> {
     let seed_list = stimulus_seeds(config.seed, seeds);
     let json = args.flag("json");
 
+    let program = compile_program(&netlist, &config, &telemetry)?;
     let batch_start = telemetry.now_micros();
     let points = {
         let _span = telemetry.span("simulate");
         GlitchAnalyzer::new(config.clone())
-            .sweep_delays(
+            .sweep_delays_compiled(
                 &netlist,
                 &input_buses(&netlist),
                 &[],
                 &models,
                 &seed_list,
                 jobs,
+                program.as_ref(),
             )
             .map_err(|e| run_err(format!("simulation failed: {e}")))?
     };
     let merge_start = telemetry.now_micros();
+    // The prepass runs once for the whole sweep, so its classification is
+    // recorded once (every point carries the same copy).
+    if let Some(kernel) = points.first().and_then(|p| p.analysis.kernel.as_ref()) {
+        telemetry.record_kernel(kernel);
+    }
     for point in &points {
         telemetry.record_aggregate(&point.analysis.aggregate);
         telemetry.record_shard_spans(batch_start, point.analysis.aggregate.shards());
@@ -1358,6 +1489,7 @@ const CHECK_SPEC: Spec = Spec {
         "seeds",
         "jobs",
         "delay",
+        "engine",
         "frequency-mhz",
         "tech",
         "budget",
@@ -1471,6 +1603,7 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
                 "--flip applies to single-seed runs; drop --seeds or --flip".into(),
             ));
         }
+        reject_engine_for(&config, "flip")?;
         return cmd_check_flip(
             &netlist,
             &path,
@@ -1485,21 +1618,26 @@ fn cmd_check(raw: &[String]) -> Result<(), CliError> {
     let json = args.flag("json");
     let seed_list = stimulus_seeds(config.seed, seeds);
     let analyzer = GlitchAnalyzer::new(config.clone());
+    let program = compile_program(&netlist, &config, &telemetry)?;
     let batch_start = telemetry.now_micros();
     let checked = {
         let _span = telemetry.span("simulate");
         analyzer
-            .check_seeds(
+            .check_seeds_compiled(
                 &netlist,
                 &input_buses(&netlist),
                 &[],
                 &suite,
                 &seed_list,
                 jobs,
+                program.as_ref(),
             )
             .map_err(|e| run_err(format!("simulation failed: {e}")))?
     };
     telemetry.record_shard_spans(batch_start, checked.analysis.aggregate.shards());
+    if let Some(kernel) = &checked.analysis.kernel {
+        telemetry.record_kernel(kernel);
+    }
     let merge_start = telemetry.now_micros();
     telemetry.record_aggregate(&checked.analysis.aggregate);
     telemetry.record_check(&checked.report, &checked.checker_micros);

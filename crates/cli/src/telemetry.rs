@@ -14,7 +14,7 @@ use std::path::Path;
 
 use glitch_core::netlist::{ConeIndex, Netlist};
 use glitch_core::sim::{MetricsProbe, SessionReport};
-use glitch_core::{AggregateReport, IncrementalStats, ShardSummary};
+use glitch_core::{AggregateReport, IncrementalStats, KernelTelemetry, ShardSummary};
 use glitch_obs::export::{chrome_trace, metrics_json, metrics_text};
 use glitch_obs::{MetricsRegistry, Span, SpanLog};
 
@@ -119,6 +119,27 @@ impl Telemetry {
         self.add_counter("queue.pushes", queue.pushes);
         self.add_counter("queue.pops", queue.pops);
         self.observe_gauge("queue.peak_depth", queue.peak_depth);
+    }
+
+    /// Records the `kernel.*` counters of a compiled-kernel or hybrid run:
+    /// lane/cycle/pair classification and functional work. Deterministic
+    /// (plane diffs and word-wide popcounts), so it lives in the registry.
+    pub fn record_kernel(&mut self, kernel: &KernelTelemetry) {
+        if !self.enabled() {
+            return;
+        }
+        self.add_counter("kernel.lanes", kernel.lanes as u64);
+        self.add_counter("kernel.cycles_total", kernel.total_cycles);
+        self.add_counter("kernel.cycles_quiet", kernel.quiet_cycles);
+        self.add_counter("kernel.pairs_total", kernel.total_pairs);
+        self.add_counter("kernel.pairs_quiet", kernel.quiet_pairs);
+        self.add_counter(
+            "kernel.functional_transitions",
+            kernel.functional_transitions,
+        );
+        self.add_counter("kernel.functional_cell_evals", kernel.functional_cell_evals);
+        self.observe_gauge("kernel.program_ops", kernel.program_ops as u64);
+        self.observe_gauge("kernel.program_bytes", kernel.program_bytes as u64);
     }
 
     /// Records the work accounting of one incremental (dirty-region)

@@ -1,14 +1,157 @@
 //! The single-circuit analysis flow: one simulation session → count →
 //! classify → power.
 
+use std::fmt;
+use std::str::FromStr;
+
 use glitch_activity::{ActivityReport, ActivityTrace};
 use glitch_netlist::{Bus, ConeIndex, NetId, Netlist};
 use glitch_power::{PowerReport, Technology};
 use glitch_sim::{
-    ActivityProbe, AggregateReport, DelayKind, DelayModel, DeltaStimulus, IncrementalSession,
-    IncrementalStats, ParallelRunner, PowerProbe, Probe, RandomStimulus, SessionReport,
-    SimBaseline, SimError, SimJob, SimSession, Spread,
+    kernel_prepass, run_kernel_jobs, ActivityProbe, AggregateReport, DelayKind, DelayModel,
+    DeltaStimulus, IncrementalSession, IncrementalStats, KernelPrepass, KernelProgram,
+    ParallelRunner, PowerProbe, Probe, RandomStimulus, SessionReport, SimBaseline, SimError,
+    SimJob, SimSession, Spread,
 };
+
+/// Which execution backend the multi-seed analysis entry points drive.
+///
+/// All three produce their figures through the same probe pipeline; they
+/// differ in *how* net values are computed per cycle:
+///
+/// * [`EngineKind::Queue`] — the event-driven simulator with the
+///   configured delay model. The reference engine: models glitches.
+/// * [`EngineKind::Kernel`] — the compiled bit-parallel kernel only.
+///   Functional (zero-delay) semantics: activity and power equal a
+///   [`DelayKind::Zero`] queue run bit for bit, 64 seeds per machine word,
+///   no event queue. No glitch modelling.
+/// * [`EngineKind::Hybrid`] — a kernel prepass classifies every
+///   `(seed, cycle)` pair as provably quiet or possibly active; only the
+///   active cycles pay for the event-driven settle, and quiet cycles
+///   replay as empty. Reports are bit-identical to [`EngineKind::Queue`]
+///   at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Event-driven simulation with the configured delay model.
+    #[default]
+    Queue,
+    /// Compiled bit-parallel kernel, functional (zero-delay) semantics.
+    Kernel,
+    /// Kernel prepass pruning + event-driven settle of active cycles.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// The engine's command-line name (`queue`, `kernel`, `hybrid`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Queue => "queue",
+            EngineKind::Kernel => "kernel",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "queue" => Ok(EngineKind::Queue),
+            "kernel" => Ok(EngineKind::Kernel),
+            "hybrid" => Ok(EngineKind::Hybrid),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `queue`, `kernel` or `hybrid`)"
+            )),
+        }
+    }
+}
+
+/// Work accounting of the compiled-kernel side of a run — attached to
+/// [`AggregateAnalysis::kernel`] whenever the engine was not pure
+/// [`EngineKind::Queue`]. Telemetry only: never part of the
+/// determinism-checked figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelTelemetry {
+    /// The engine that produced this run. A delay sweep always settles
+    /// through the queue, so [`EngineKind::Kernel`] degrades to
+    /// [`EngineKind::Hybrid`] there.
+    pub engine: EngineKind,
+    /// Lanes (seeds) the kernel batch packed.
+    pub lanes: usize,
+    /// Total `(seed, cycle)` pairs the prepass covered.
+    pub total_cycles: u64,
+    /// `(seed, cycle)` pairs proved quiet — skipped by the queue engine
+    /// under [`EngineKind::Hybrid`]. Zero for [`EngineKind::Kernel`] runs
+    /// (nothing is dispatched to the queue at all).
+    pub quiet_cycles: u64,
+    /// Total `(seed, source-cone)` pairs classified, one cone per primary
+    /// input or flipflop output. Zero when no prepass ran.
+    pub total_pairs: u64,
+    /// `(seed, source-cone)` pairs in which no cone net ever changed —
+    /// provably inert for that seed under any delay assignment.
+    pub quiet_pairs: u64,
+    /// Functional (zero-delay) switching transitions counted word-wide.
+    pub functional_transitions: u64,
+    /// Kernel op evaluations performed (`ops × lanes × cycles`).
+    pub functional_cell_evals: u64,
+    /// Straight-line ops in the compiled program.
+    pub program_ops: usize,
+    /// In-memory size of the compiled program, in bytes.
+    pub program_bytes: usize,
+}
+
+impl KernelTelemetry {
+    /// Distils a hybrid prepass into its telemetry: per-cycle quiet counts
+    /// straight off the prepass, plus the `(seed, source-cone)`
+    /// classification — one fanout cone per primary input or flipflop
+    /// output, quiet when no net in the cone changed after the
+    /// initialisation transient of that seed's lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the cone index cannot be
+    /// built.
+    pub fn from_prepass(
+        netlist: &Netlist,
+        program: &KernelProgram,
+        prepass: &KernelPrepass,
+    ) -> Result<KernelTelemetry, SimError> {
+        let index = ConeIndex::build(netlist)?;
+        let mut total_pairs = 0u64;
+        let mut quiet_pairs = 0u64;
+        for root in program.source_nets() {
+            let cone = index.cone([root]);
+            for lane in 0..prepass.lanes() {
+                total_pairs += 1;
+                let active = cone
+                    .nets()
+                    .iter()
+                    .any(|&net| prepass.net_changed(net, lane));
+                quiet_pairs += u64::from(!active);
+            }
+        }
+        Ok(KernelTelemetry {
+            engine: EngineKind::Hybrid,
+            lanes: prepass.lanes(),
+            total_cycles: prepass.total_cycles(),
+            quiet_cycles: prepass.quiet_cycle_count(),
+            total_pairs,
+            quiet_pairs,
+            functional_transitions: prepass.functional_transitions(),
+            functional_cell_evals: prepass.functional_cell_evals(),
+            program_ops: program.op_count(),
+            program_bytes: program.byte_size(),
+        })
+    }
+}
 
 /// Configuration of a [`GlitchAnalyzer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +166,12 @@ pub struct AnalysisConfig {
     pub technology: Technology,
     /// Delay model used for the simulation.
     pub delay: DelayKind,
+    /// Execution backend for the multi-seed entry points
+    /// ([`GlitchAnalyzer::analyze_seeds`], [`GlitchAnalyzer::sweep_delays`]
+    /// and the check flow riding them). Single-session entry points
+    /// ([`GlitchAnalyzer::analyze`], the incremental layer) always use the
+    /// queue engine.
+    pub engine: EngineKind,
     /// Simulator options (settle budget, flipflop reset policy, X
     /// evaluation mode). The defaults are the analysis defaults; the
     /// verification flow (`glitch-cli check --x-init`) swaps in
@@ -39,6 +188,7 @@ impl Default for AnalysisConfig {
             frequency: 5e6,
             technology: Technology::cmos_0p8um_5v(),
             delay: DelayKind::Unit,
+            engine: EngineKind::Queue,
             options: glitch_sim::SimOptions::default(),
         }
     }
@@ -87,6 +237,11 @@ pub struct AggregateAnalysis {
     pub seeds: Vec<u64>,
     /// The underlying shard aggregate (per-seed summaries + spreads).
     pub aggregate: AggregateReport,
+    /// Kernel-side work accounting when the run used the compiled kernel
+    /// ([`EngineKind::Kernel`] or [`EngineKind::Hybrid`]); `None` for pure
+    /// queue runs. Telemetry only — the analysis figures above are
+    /// engine-invariant for `Hybrid` vs `Queue`.
+    pub kernel: Option<KernelTelemetry>,
 }
 
 impl AggregateAnalysis {
@@ -97,6 +252,7 @@ impl AggregateAnalysis {
             power: aggregate.merged_power().clone(),
             seeds: seeds.to_vec(),
             aggregate,
+            kernel: None,
         }
     }
 
@@ -467,17 +623,94 @@ impl GlitchAnalyzer {
         jobs: usize,
         extra_probes: &(dyn Fn(usize) -> Vec<Box<dyn Probe>> + Sync),
     ) -> Result<(AggregateAnalysis, Vec<SessionReport>), SimError> {
+        self.analyze_seeds_compiled(netlist, random_buses, held, seeds, jobs, extra_probes, None)
+    }
+
+    /// [`GlitchAnalyzer::analyze_seeds_with`] with an optional precompiled
+    /// [`KernelProgram`] to reuse. Long-lived callers (the serving layer's
+    /// content-addressed program cache) amortise the one-time compile this
+    /// way; a program is deterministic for a netlist, so the figures are
+    /// identical either way. Ignored under [`EngineKind::Queue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing seed's [`SimError`] (in seed order), or
+    /// [`SimError::InvalidNetlist`] if kernel compilation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, or if a supplied `program` was compiled
+    /// from a different netlist.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_seeds_compiled(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        seeds: &[u64],
+        jobs: usize,
+        extra_probes: &(dyn Fn(usize) -> Vec<Box<dyn Probe>> + Sync),
+        program: Option<&KernelProgram>,
+    ) -> Result<(AggregateAnalysis, Vec<SessionReport>), SimError> {
         assert!(!seeds.is_empty(), "at least one seed is required");
-        let job_list: Vec<SimJob<'_>> = seeds
+        let mut job_list: Vec<SimJob<'_>> = seeds
             .iter()
             .map(|&seed| self.job_for(netlist, random_buses, held, seed))
             .collect();
+        let mut telemetry = None;
+        match self.config.engine {
+            EngineKind::Queue => {}
+            EngineKind::Kernel => {
+                let compiled;
+                let program = match program {
+                    Some(program) => program,
+                    None => {
+                        compiled = KernelProgram::compile(netlist)?;
+                        &compiled
+                    }
+                };
+                let mut reports = run_kernel_jobs(netlist, program, &job_list, extra_probes)?;
+                let aggregate = AggregateReport::reduce(netlist, &job_list, &mut reports);
+                let mut analysis = AggregateAnalysis::from_aggregate(netlist, seeds, aggregate);
+                analysis.kernel = Some(KernelTelemetry {
+                    engine: EngineKind::Kernel,
+                    lanes: job_list.len(),
+                    total_cycles: job_list.len() as u64 * self.config.cycles,
+                    quiet_cycles: 0,
+                    total_pairs: 0,
+                    quiet_pairs: 0,
+                    functional_transitions: analysis.activity.totals().transitions,
+                    functional_cell_evals: program.op_count() as u64
+                        * job_list.len() as u64
+                        * self.config.cycles,
+                    program_ops: program.op_count(),
+                    program_bytes: program.byte_size(),
+                });
+                return Ok((analysis, reports));
+            }
+            EngineKind::Hybrid => {
+                let compiled;
+                let program = match program {
+                    Some(program) => program,
+                    None => {
+                        compiled = KernelProgram::compile(netlist)?;
+                        &compiled
+                    }
+                };
+                let prepass = kernel_prepass(netlist, program, &job_list)?;
+                telemetry = Some(KernelTelemetry::from_prepass(netlist, program, &prepass)?);
+                job_list = job_list
+                    .into_iter()
+                    .enumerate()
+                    .map(|(lane, job)| job.with_quiet_cycles(prepass.quiet_cycles(lane)))
+                    .collect();
+            }
+        }
         let mut reports = ParallelRunner::new(jobs).run_sessions_with(&job_list, extra_probes)?;
         let aggregate = AggregateReport::reduce(netlist, &job_list, &mut reports);
-        Ok((
-            AggregateAnalysis::from_aggregate(netlist, seeds, aggregate),
-            reports,
-        ))
+        let mut analysis = AggregateAnalysis::from_aggregate(netlist, seeds, aggregate);
+        analysis.kernel = telemetry;
+        Ok((analysis, reports))
     }
 
     /// Sweeps a set of delay models, simulating every `(delay, seed)`
@@ -507,12 +740,54 @@ impl GlitchAnalyzer {
         seeds: &[u64],
         jobs: usize,
     ) -> Result<Vec<DelaySweepPoint>, SimError> {
+        self.sweep_delays_compiled(
+            netlist,
+            random_buses,
+            held,
+            labels_and_delays,
+            seeds,
+            jobs,
+            None,
+        )
+    }
+
+    /// [`GlitchAnalyzer::sweep_delays`] with an optional precompiled
+    /// [`KernelProgram`] to reuse (see
+    /// [`GlitchAnalyzer::analyze_seeds_compiled`]).
+    ///
+    /// Under a non-queue engine the kernel prepass runs **once** per seed
+    /// batch — quiet cycles are a functional property of the stimulus, so
+    /// the same masks prune every delay model's chunk. A sweep exists to
+    /// compare delay models, which the delay-less kernel cannot evaluate,
+    /// so [`EngineKind::Kernel`] degrades to the hybrid here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing combination's [`SimError`] in batch order
+    /// (delay-major, then seed), or [`SimError::InvalidNetlist`] if kernel
+    /// compilation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels_and_delays` or `seeds` is empty, or if a supplied
+    /// `program` was compiled from a different netlist.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_delays_compiled(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        labels_and_delays: &[(String, DelayKind)],
+        seeds: &[u64],
+        jobs: usize,
+        program: Option<&KernelProgram>,
+    ) -> Result<Vec<DelaySweepPoint>, SimError> {
         assert!(
             !labels_and_delays.is_empty(),
             "at least one delay model is required"
         );
         assert!(!seeds.is_empty(), "at least one seed is required");
-        let job_list: Vec<SimJob<'_>> = labels_and_delays
+        let mut job_list: Vec<SimJob<'_>> = labels_and_delays
             .iter()
             .flat_map(|(label, delay)| {
                 seeds.iter().map(move |&seed| {
@@ -522,6 +797,30 @@ impl GlitchAnalyzer {
                 })
             })
             .collect();
+        let mut telemetry = None;
+        if self.config.engine != EngineKind::Queue {
+            let compiled;
+            let program = match program {
+                Some(program) => program,
+                None => {
+                    compiled = KernelProgram::compile(netlist)?;
+                    &compiled
+                }
+            };
+            let base: Vec<SimJob<'_>> = seeds
+                .iter()
+                .map(|&seed| self.job_for(netlist, random_buses, held, seed))
+                .collect();
+            let prepass = kernel_prepass(netlist, program, &base)?;
+            telemetry = Some(KernelTelemetry::from_prepass(netlist, program, &prepass)?);
+            // Delay-major batch: job i drives seed i % seeds.len(), and the
+            // kernel ignores delay, so one mask set prunes every chunk.
+            job_list = job_list
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| job.with_quiet_cycles(prepass.quiet_cycles(i % seeds.len())))
+                .collect();
+        }
         let reports = ParallelRunner::new(jobs).run_sessions(&job_list)?;
         // Chunk the flat batch back into one aggregate per delay model.
         let mut points = Vec::with_capacity(labels_and_delays.len());
@@ -529,10 +828,12 @@ impl GlitchAnalyzer {
         for (chunk, (label, delay)) in job_list.chunks(seeds.len()).zip(labels_and_delays) {
             let mut chunk_reports: Vec<_> = reports.by_ref().take(seeds.len()).collect();
             let aggregate = AggregateReport::reduce(netlist, chunk, &mut chunk_reports);
+            let mut analysis = AggregateAnalysis::from_aggregate(netlist, seeds, aggregate);
+            analysis.kernel = telemetry.clone();
             points.push(DelaySweepPoint {
                 label: label.clone(),
                 delay: delay.clone(),
-                analysis: AggregateAnalysis::from_aggregate(netlist, seeds, aggregate),
+                analysis,
             });
         }
         Ok(points)
@@ -796,6 +1097,149 @@ mod tests {
                 .unwrap();
             assert_eq!(p.analysis.trace, single.analysis.trace);
             assert_eq!(p.incremental, single.incremental);
+        }
+    }
+
+    #[test]
+    fn engine_kind_parses_round_trip() {
+        for kind in [EngineKind::Queue, EngineKind::Kernel, EngineKind::Hybrid] {
+            assert_eq!(kind.as_str().parse::<EngineKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert!("express".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Queue);
+    }
+
+    #[test]
+    fn hybrid_engine_is_bit_identical_to_the_queue_engine() {
+        let adder = RippleCarryAdder::new(8, AdderStyle::CompoundCell);
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let seeds = [3u64, 5, 8, 13];
+        let queue = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 60,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 2)
+        .unwrap();
+        let hybrid = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 60,
+            engine: EngineKind::Hybrid,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 2)
+        .unwrap();
+        assert_eq!(hybrid.aggregate, queue.aggregate);
+        assert_eq!(hybrid.trace(), queue.trace());
+        assert_eq!(hybrid.power, queue.power);
+        assert!(queue.kernel.is_none());
+        let telemetry = hybrid.kernel.expect("hybrid runs carry kernel telemetry");
+        assert_eq!(telemetry.engine, EngineKind::Hybrid);
+        assert_eq!(telemetry.lanes, seeds.len());
+        assert_eq!(telemetry.total_cycles, 4 * 60);
+        assert!(telemetry.total_pairs > 0);
+        assert!(telemetry.program_ops > 0);
+        assert!(telemetry.program_bytes > 0);
+    }
+
+    #[test]
+    fn hybrid_engine_prunes_quiet_cycles_under_held_inputs() {
+        let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
+        let mut held = vec![(adder.cin, false)];
+        for bit in 0..4 {
+            held.push((adder.a.bit(bit), bit % 2 == 0));
+            held.push((adder.b.bit(bit), bit % 3 == 0));
+        }
+        let seeds = [1u64, 2];
+        let queue = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 20,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &[], &held, &seeds, 1)
+        .unwrap();
+        let hybrid = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 20,
+            engine: EngineKind::Hybrid,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &[], &held, &seeds, 1)
+        .unwrap();
+        assert_eq!(hybrid.aggregate, queue.aggregate);
+        let telemetry = hybrid.kernel.unwrap();
+        // A combinational circuit under constant inputs is quiet in every
+        // cycle after the first, and every source cone is inert.
+        assert_eq!(telemetry.quiet_cycles, 2 * 19);
+        assert_eq!(telemetry.quiet_pairs, telemetry.total_pairs);
+    }
+
+    #[test]
+    fn kernel_engine_matches_a_zero_delay_queue_run() {
+        let adder = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let seeds = [21u64, 42, 63];
+        let zero_queue = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 50,
+            delay: DelayKind::Zero,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 1)
+        .unwrap();
+        // The kernel ignores the configured delay model: semantics are
+        // functional, i.e. zero-delay.
+        let kernel = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 50,
+            delay: DelayKind::Unit,
+            engine: EngineKind::Kernel,
+            ..Default::default()
+        })
+        .analyze_seeds(&adder.netlist, &buses, &held, &seeds, 1)
+        .unwrap();
+        assert_eq!(kernel.trace(), zero_queue.trace());
+        assert_eq!(kernel.power, zero_queue.power);
+        assert_eq!(
+            kernel.activity.totals().transitions,
+            zero_queue.activity.totals().transitions
+        );
+        let telemetry = kernel.kernel.unwrap();
+        assert_eq!(telemetry.engine, EngineKind::Kernel);
+        assert!(telemetry.functional_cell_evals > 0);
+    }
+
+    #[test]
+    fn hybrid_delay_sweep_matches_the_queue_sweep() {
+        let adder = RippleCarryAdder::new(6, AdderStyle::CompoundCell);
+        let buses = [adder.a.clone(), adder.b.clone()];
+        let held = [(adder.cin, false)];
+        let models = vec![
+            ("unit".to_string(), DelayKind::Unit),
+            ("zero".to_string(), DelayKind::Zero),
+        ];
+        let seeds = [5u64, 6, 7];
+        let queue = GlitchAnalyzer::new(AnalysisConfig {
+            cycles: 40,
+            ..Default::default()
+        })
+        .sweep_delays(&adder.netlist, &buses, &held, &models, &seeds, 3)
+        .unwrap();
+        // `kernel` degrades to the hybrid for sweeps: the comparison under
+        // test is between delay models, which need the queue.
+        for engine in [EngineKind::Hybrid, EngineKind::Kernel] {
+            let swept = GlitchAnalyzer::new(AnalysisConfig {
+                cycles: 40,
+                engine,
+                ..Default::default()
+            })
+            .sweep_delays(&adder.netlist, &buses, &held, &models, &seeds, 3)
+            .unwrap();
+            assert_eq!(swept.len(), queue.len());
+            for (h, q) in swept.iter().zip(&queue) {
+                assert_eq!(h.label, q.label);
+                assert_eq!(h.analysis.aggregate, q.analysis.aggregate);
+                let telemetry = h.analysis.kernel.as_ref().unwrap();
+                assert_eq!(telemetry.engine, EngineKind::Hybrid);
+                assert_eq!(telemetry.lanes, seeds.len());
+            }
         }
     }
 

@@ -72,9 +72,44 @@ impl GlitchAnalyzer {
         seeds: &[u64],
         jobs: usize,
     ) -> Result<CheckAnalysis, SimError> {
+        self.check_seeds_compiled(netlist, random_buses, held, suite, seeds, jobs, None)
+    }
+
+    /// [`GlitchAnalyzer::check_seeds`] with an optional precompiled
+    /// [`glitch_sim::KernelProgram`] to reuse (see
+    /// [`GlitchAnalyzer::analyze_seeds_compiled`]); the checkers ride
+    /// whichever engine [`crate::AnalysisConfig::engine`] selects, and the
+    /// hybrid verdict is bit-identical to the queue one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing seed's [`SimError`] (in seed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, or if a supplied `program` was compiled
+    /// from a different netlist.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_seeds_compiled(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        suite: &CheckSuite,
+        seeds: &[u64],
+        jobs: usize,
+        program: Option<&glitch_sim::KernelProgram>,
+    ) -> Result<CheckAnalysis, SimError> {
         let factory = |_seed: usize| -> Vec<Box<dyn Probe>> { vec![Box::new(suite.build())] };
-        let (analysis, mut reports) =
-            self.analyze_seeds_with(netlist, random_buses, held, seeds, jobs, &factory)?;
+        let (analysis, mut reports) = self.analyze_seeds_compiled(
+            netlist,
+            random_buses,
+            held,
+            seeds,
+            jobs,
+            &factory,
+            program,
+        )?;
         let mut merged = CheckerProbe::default();
         for report in &mut reports {
             let probe = report

@@ -44,7 +44,8 @@ mod explore;
 mod table;
 
 pub use analyzer::{
-    AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, DeltaAnalysis, GlitchAnalyzer,
+    AggregateAnalysis, Analysis, AnalysisConfig, DelaySweepPoint, DeltaAnalysis, EngineKind,
+    GlitchAnalyzer, KernelTelemetry,
 };
 pub use check::{CheckAnalysis, DeltaCheck};
 pub use explore::{
@@ -56,6 +57,13 @@ pub use table::TextTable;
 /// multi-seed / multi-circuit jobs across worker threads with a
 /// deterministic reduction.
 pub use glitch_sim::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
+
+/// The compiled bit-parallel kernel backend, re-exported from
+/// `glitch-sim` (which re-exports `glitch-kernel`): compile a netlist
+/// once, evaluate 64 stimulus lanes per machine word with two-plane
+/// three-valued logic, no event queue. Select it per run with
+/// [`AnalysisConfig::engine`].
+pub use glitch_sim::{EvalMode, KernelProgram, KernelState};
 
 /// The incremental re-simulation layer, re-exported from `glitch-sim`:
 /// record a replayable baseline once, then re-simulate nearby stimuli by

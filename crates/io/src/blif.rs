@@ -7,38 +7,38 @@
 //! `.subckt` / `.gate` resolved through a [`GateLibrary`], `.end`, `#`
 //! comments and `\` line continuations.
 
-use std::collections::HashMap;
-
 use glitch_netlist::{CellKind, DffInit, NetId, Netlist, NetlistError};
 
 use crate::cover::{Lit, SopCover};
 use crate::error::{IoError, Loc};
+use crate::intern::FxHashMap;
 use crate::library::GateLibrary;
 
-/// One whitespace-separated token with its source location.
-#[derive(Debug, Clone)]
-struct Token {
-    text: String,
+/// One whitespace-separated token with its source location. Borrows the
+/// source text — tokenizing allocates nothing per token.
+#[derive(Debug, Clone, Copy)]
+struct Token<'t> {
+    text: &'t str,
     loc: Loc,
 }
 
 /// One logical line (continuations joined, comments stripped).
 #[derive(Debug, Clone)]
-struct Line {
-    tokens: Vec<Token>,
+struct Line<'t> {
+    tokens: Vec<Token<'t>>,
 }
 
-impl Line {
+impl<'t> Line<'t> {
     fn loc(&self) -> Loc {
         self.tokens[0].loc
     }
-    fn keyword(&self) -> &str {
-        &self.tokens[0].text
+    fn keyword(&self) -> &'t str {
+        self.tokens[0].text
     }
 }
 
-/// Splits the text into non-empty logical lines.
-fn tokenize(text: &str) -> Vec<Line> {
+/// Splits the text into non-empty logical lines of borrowed tokens.
+fn tokenize(text: &str) -> Vec<Line<'_>> {
     let mut lines: Vec<Line> = Vec::new();
     let mut current: Vec<Token> = Vec::new();
     let mut continued = false;
@@ -61,7 +61,7 @@ fn tokenize(text: &str) -> Vec<Line> {
             let at = body[col..].find(chunk).map_or(col, |p| col + p);
             col = at + chunk.len();
             current.push(Token {
-                text: chunk.to_string(),
+                text: chunk,
                 loc: Loc::new(line_index + 1, at + 1),
             });
         }
@@ -78,24 +78,26 @@ fn tokenize(text: &str) -> Vec<Line> {
     lines
 }
 
-/// Incremental builder shared by the parsing passes.
-struct Builder<'l> {
+/// Incremental builder shared by the parsing passes. Net lookup borrows
+/// token text straight from the source (`'t`): resolving a reference to
+/// an already-seen net costs one Fx hash and zero allocations.
+struct Builder<'t, 'l> {
     netlist: Netlist,
-    nets: HashMap<String, NetId>,
-    outputs: Vec<(String, Loc)>,
+    nets: FxHashMap<&'t str, NetId>,
+    outputs: Vec<(&'t str, Loc)>,
     library: &'l GateLibrary,
     model_seen: bool,
     inputs_may_still_be_declared: bool,
 }
 
-impl Builder<'_> {
+impl<'t> Builder<'t, '_> {
     /// The net named `name`, created as an internal net on first use.
-    fn net(&mut self, name: &str) -> NetId {
+    fn net(&mut self, name: &'t str) -> NetId {
         if let Some(&id) = self.nets.get(name) {
             return id;
         }
         let id = self.netlist.add_net(name);
-        self.nets.insert(name.to_string(), id);
+        self.nets.insert(name, id);
         id
     }
 
@@ -134,7 +136,7 @@ pub fn parse_blif(text: &str, library: &GateLibrary) -> Result<Netlist, IoError>
     let lines = tokenize(text);
     let mut builder = Builder {
         netlist: Netlist::new("top"),
-        nets: HashMap::new(),
+        nets: FxHashMap::default(),
         outputs: Vec::new(),
         library,
         model_seen: false,
@@ -176,7 +178,7 @@ pub fn parse_blif(text: &str, library: &GateLibrary) -> Result<Netlist, IoError>
                 }
                 builder.model_seen = true;
                 if let Some(name) = line.tokens.get(1) {
-                    builder.netlist = Netlist::new(&name.text);
+                    builder.netlist = Netlist::new(name.text);
                 }
                 i += 1;
             }
@@ -188,20 +190,20 @@ pub fn parse_blif(text: &str, library: &GateLibrary) -> Result<Netlist, IoError>
                     ));
                 }
                 for token in &line.tokens[1..] {
-                    if builder.nets.contains_key(&token.text) {
+                    if builder.nets.contains_key(token.text) {
                         return Err(IoError::Undeclared {
                             loc: token.loc,
                             name: format!("duplicate primary input `{}`", token.text),
                         });
                     }
-                    let id = builder.netlist.add_input(&token.text);
-                    builder.nets.insert(token.text.clone(), id);
+                    let id = builder.netlist.add_input(token.text);
+                    builder.nets.insert(token.text, id);
                 }
                 i += 1;
             }
             ".outputs" => {
                 for token in &line.tokens[1..] {
-                    builder.outputs.push((token.text.clone(), token.loc));
+                    builder.outputs.push((token.text, token.loc));
                 }
                 i += 1;
             }
@@ -243,7 +245,11 @@ pub fn parse_blif(text: &str, library: &GateLibrary) -> Result<Netlist, IoError>
 
 /// Parses one `.names` block starting at `lines[start]`; returns the index
 /// of the first line after its cover rows.
-fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<usize, IoError> {
+fn parse_names<'t>(
+    builder: &mut Builder<'t, '_>,
+    lines: &[Line<'t>],
+    start: usize,
+) -> Result<usize, IoError> {
     let header = &lines[start];
     if header.tokens.len() < 2 {
         return Err(IoError::syntax(
@@ -255,10 +261,10 @@ fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<us
     let input_count = signal_tokens.len() - 1;
     let input_ids: Vec<NetId> = signal_tokens[..input_count]
         .iter()
-        .map(|t| builder.net(&t.text))
+        .map(|t| builder.net(t.text))
         .collect();
     let out_token = &signal_tokens[input_count];
-    let out_id = builder.net(&out_token.text);
+    let out_id = builder.net(out_token.text);
 
     // Collect the cover rows that follow.
     let mut rows: Vec<Vec<Lit>> = Vec::new();
@@ -267,14 +273,10 @@ fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<us
     while next < lines.len() && !lines[next].keyword().starts_with('.') {
         let row_line = &lines[next];
         let (plane_text, out_text, out_loc) = match (input_count, row_line.tokens.len()) {
-            (0, 1) => (
-                String::new(),
-                row_line.tokens[0].text.clone(),
-                row_line.tokens[0].loc,
-            ),
+            (0, 1) => ("", row_line.tokens[0].text, row_line.tokens[0].loc),
             (_, 2) => (
-                row_line.tokens[0].text.clone(),
-                row_line.tokens[1].text.clone(),
+                row_line.tokens[0].text,
+                row_line.tokens[1].text,
                 row_line.tokens[1].loc,
             ),
             (_, got) => {
@@ -309,7 +311,7 @@ fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<us
                 }
             });
         }
-        let row_phase = match out_text.as_str() {
+        let row_phase = match out_text {
             "1" => true,
             "0" => false,
             other => {
@@ -348,7 +350,7 @@ fn parse_names(builder: &mut Builder, lines: &[Line], start: usize) -> Result<us
 }
 
 /// Parses one `.latch` line.
-fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
+fn parse_latch<'t>(builder: &mut Builder<'t, '_>, line: &Line<'t>) -> Result<(), IoError> {
     // .latch <input> <output> [<type> <control>] [<init-val>]
     let args = &line.tokens[1..];
     let (d_tok, q_tok, init_tok) = match args.len() {
@@ -365,7 +367,7 @@ fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
     };
     let init = match init_tok {
         None => DffInit::DontCare,
-        Some(init) => match init.text.as_str() {
+        Some(init) => match init.text {
             "0" => DffInit::Zero,
             "1" => DffInit::One,
             "2" | "3" => DffInit::DontCare,
@@ -377,8 +379,8 @@ fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
             }
         },
     };
-    let d = builder.net(&d_tok.text);
-    let q = builder.net(&q_tok.text);
+    let d = builder.net(d_tok.text);
+    let q = builder.net(q_tok.text);
     let name = format!("ff_{}_{}", q_tok.text, builder.netlist.cell_count());
     let cell = builder
         .netlist
@@ -389,18 +391,18 @@ fn parse_latch(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
 }
 
 /// Parses one `.subckt` / `.gate` line through the gate library.
-fn parse_subckt(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
-    let directive = line.keyword().to_string();
+fn parse_subckt<'t>(builder: &mut Builder<'t, '_>, line: &Line<'t>) -> Result<(), IoError> {
+    let directive = line.keyword();
     let model_tok = line
         .tokens
         .get(1)
         .ok_or_else(|| IoError::syntax(line.loc(), format!("{directive} needs a model name")))?;
     let cell = builder
         .library
-        .lookup(&model_tok.text)
+        .lookup(model_tok.text)
         .ok_or_else(|| IoError::UnknownCell {
             loc: model_tok.loc,
-            name: model_tok.text.clone(),
+            name: model_tok.text.to_string(),
         })?
         .clone();
 
@@ -484,9 +486,11 @@ fn parse_subckt(builder: &mut Builder, line: &Line) -> Result<(), IoError> {
 /// Marks outputs, checks drivers and runs structural validation.
 fn finish(mut builder: Builder) -> Result<Netlist, IoError> {
     for (name, _loc) in std::mem::take(&mut builder.outputs) {
-        let id = builder.net(&name);
+        let id = builder.net(name);
         if builder.netlist.net(id).is_floating() {
-            return Err(IoError::DanglingNet { net: name });
+            return Err(IoError::DanglingNet {
+                net: name.to_string(),
+            });
         }
         builder.netlist.mark_output(id);
     }

@@ -1,0 +1,193 @@
+//! Dependency-free string interning for the parsers.
+//!
+//! Netlist sources mention every net name many times (a fanout-`k` net
+//! appears `k + 1` times), so the readers would otherwise allocate a
+//! `String` per *reference*. [`StringInterner`] deduplicates names into
+//! [`Atom`] handles — one allocation per *distinct* name — and
+//! [`FxHashMap`] replaces SipHash with the Firefox multiply-rotate hash,
+//! which is markedly faster on the short ASCII identifier keys the
+//! parsers throw at it (and not exposed to untrusted-key flooding: the
+//! keys come from a netlist the user chose to analyze).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// The `FxHasher` multiplier (the golden-ratio-derived constant used by
+/// the Firefox and rustc hashers).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Firefox multiply-rotate hasher: word-at-a-time, no finalizer.
+/// Not DoS-resistant — use only on keys the process itself produced or
+/// the user handed over knowingly (parser identifiers, net names).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plugs into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A handle to an interned string: `Copy`, 4 bytes, O(1) equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom(u32);
+
+impl Atom {
+    /// The dense index of this atom (0-based, in interning order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deduplicating string storage: each distinct string is allocated once
+/// and addressed by a dense [`Atom`].
+///
+/// Storage is `Rc<str>` shared between the lookup map and the resolve
+/// table, so there is exactly one heap copy per distinct string and no
+/// unsafe self-referencing.
+#[derive(Default)]
+pub struct StringInterner {
+    map: FxHashMap<Rc<str>, Atom>,
+    strings: Vec<Rc<str>>,
+}
+
+impl StringInterner {
+    #[must_use]
+    pub fn new() -> StringInterner {
+        StringInterner::default()
+    }
+
+    /// The atom for `s`, allocating it on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` distinct strings (a netlist that size does
+    /// not fit in memory long before the handle space runs out).
+    pub fn intern(&mut self, s: &str) -> Atom {
+        if let Some(&atom) = self.map.get(s) {
+            return atom;
+        }
+        let atom = Atom(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let stored: Rc<str> = Rc::from(s);
+        self.strings.push(Rc::clone(&stored));
+        self.map.insert(stored, atom);
+        atom
+    }
+
+    /// The string behind `atom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an atom from a different interner whose index is out of
+    /// range.
+    #[must_use]
+    pub fn resolve(&self, atom: Atom) -> &str {
+        &self.strings[atom.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut interner = StringInterner::new();
+        let a = interner.intern("carry");
+        let b = interner.intern("sum");
+        let a2 = interner.intern("carry");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        // Only two distinct strings were stored.
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.resolve(a), "carry");
+        assert_eq!(interner.resolve(b), "sum");
+    }
+
+    #[test]
+    fn atoms_are_dense() {
+        let mut interner = StringInterner::new();
+        for i in 0..100 {
+            let atom = interner.intern(&format!("net{i}"));
+            assert_eq!(atom.index(), i);
+        }
+    }
+
+    #[test]
+    fn fx_hash_is_stable_and_spreads() {
+        let build = FxBuildHasher::default();
+        let hash = |s: &str| build.hash_one(s);
+        assert_eq!(hash("a"), hash("a"));
+        assert_ne!(hash("a"), hash("b"));
+        assert_ne!(hash("ab"), hash("ba"));
+        // Longer-than-a-word keys exercise the chunked path.
+        assert_ne!(hash("carry_chain_17"), hash("carry_chain_18"));
+    }
+
+    #[test]
+    fn fx_map_works_with_str_and_atom_keys() {
+        // Both key types the parsers use.
+        let mut by_name: FxHashMap<&str, u32> = FxHashMap::default();
+        by_name.insert("a", 1);
+        by_name.insert("b", 2);
+        assert_eq!(by_name.get("a"), Some(&1));
+
+        let mut interner = StringInterner::new();
+        let mut by_atom: FxHashMap<Atom, u32> = FxHashMap::default();
+        by_atom.insert(interner.intern("x"), 7);
+        assert_eq!(by_atom.get(&interner.intern("x")), Some(&7));
+    }
+}

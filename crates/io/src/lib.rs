@@ -48,6 +48,7 @@ mod blif;
 mod cover;
 mod emit;
 mod error;
+mod intern;
 mod library;
 mod verilog;
 

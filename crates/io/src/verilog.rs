@@ -14,29 +14,30 @@
 //! blocks (`always`, `initial`), parameters, part-selects and multi-module
 //! files.
 
-use std::collections::HashMap;
-
 use glitch_netlist::{CellKind, NetId, Netlist, NetlistError};
 
 use crate::error::{IoError, Loc};
+use crate::intern::{Atom, FxHashMap, StringInterner};
 use crate::library::GateLibrary;
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Identifiers are interned: a net referenced by fifty instances costs
+/// one allocation, and every later mention is a 4-byte [`Atom`] copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tok {
-    Ident(String),
+    Ident(Atom),
     Number(u64),
     /// `1'b0` / `1'b1` style constant.
     Constant(bool),
     Punct(char),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Token {
     tok: Tok,
     loc: Loc,
 }
 
-fn tokenize(text: &str) -> Result<Vec<Token>, IoError> {
+fn tokenize(text: &str, interner: &mut StringInterner) -> Result<Vec<Token>, IoError> {
     let mut tokens = Vec::new();
     let mut chars = text.char_indices().peekable();
     let mut line = 1usize;
@@ -145,17 +146,17 @@ fn tokenize(text: &str) -> Result<Vec<Token>, IoError> {
             }
             c if c.is_alphabetic() || c == '_' || c == '$' => {
                 let loc = Loc::new(line, col(at, line_start));
-                let mut ident = String::new();
-                while let Some(&(_, d)) = chars.peek() {
+                let mut end = text.len();
+                while let Some(&(i, d)) = chars.peek() {
                     if d.is_alphanumeric() || d == '_' || d == '$' {
-                        ident.push(d);
                         chars.next();
                     } else {
+                        end = i;
                         break;
                     }
                 }
                 tokens.push(Token {
-                    tok: Tok::Ident(ident),
+                    tok: Tok::Ident(interner.intern(&text[at..end])),
                     loc,
                 });
             }
@@ -199,23 +200,29 @@ struct Parser<'t, 'l> {
     tokens: &'t [Token],
     pos: usize,
     library: &'l GateLibrary,
+    interner: StringInterner,
     netlist: Netlist,
-    signals: HashMap<String, Signal>,
-    output_names: Vec<String>,
+    signals: FxHashMap<Atom, Signal>,
+    output_names: Vec<Atom>,
     const_nets: [Option<NetId>; 2],
 }
 
 impl Parser<'_, '_> {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+    fn peek(&self) -> Option<Token> {
+        self.tokens.get(self.pos).copied()
     }
 
-    fn next(&mut self) -> Option<&Token> {
-        let t = self.tokens.get(self.pos);
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).copied();
         if t.is_some() {
             self.pos += 1;
         }
         t
+    }
+
+    /// The source text behind an interned identifier.
+    fn text(&self, atom: Atom) -> &str {
+        self.interner.resolve(atom)
     }
 
     fn eof_loc(&self) -> Loc {
@@ -227,7 +234,7 @@ impl Parser<'_, '_> {
             Some(Token {
                 tok: Tok::Punct(p),
                 loc,
-            }) if *p == c => Ok(*loc),
+            }) if p == c => Ok(loc),
             Some(t) => Err(IoError::syntax(t.loc, format!("expected `{c}`"))),
             None => Err(IoError::syntax(
                 self.eof_loc(),
@@ -236,12 +243,12 @@ impl Parser<'_, '_> {
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<(String, Loc), IoError> {
+    fn expect_ident(&mut self, what: &str) -> Result<(Atom, Loc), IoError> {
         match self.next() {
             Some(Token {
                 tok: Tok::Ident(name),
                 loc,
-            }) => Ok((name.clone(), *loc)),
+            }) => Ok((name, loc)),
             Some(t) => Err(IoError::syntax(t.loc, format!("expected {what}"))),
             None => Err(IoError::syntax(
                 self.eof_loc(),
@@ -255,7 +262,7 @@ impl Parser<'_, '_> {
             Some(Token {
                 tok: Tok::Number(n),
                 loc,
-            }) => Ok((*n, *loc)),
+            }) => Ok((n, loc)),
             Some(t) => Err(IoError::syntax(t.loc, "expected a number".to_string())),
             None => Err(IoError::syntax(
                 self.eof_loc(),
@@ -265,7 +272,7 @@ impl Parser<'_, '_> {
     }
 
     fn eat_punct(&mut self, c: char) -> bool {
-        if matches!(self.peek(), Some(Token { tok: Tok::Punct(p), .. }) if *p == c) {
+        if matches!(self.peek(), Some(Token { tok: Tok::Punct(p), .. }) if p == c) {
             self.pos += 1;
             true
         } else {
@@ -293,14 +300,14 @@ impl Parser<'_, '_> {
     /// `module name (ports?) ; item* endmodule`
     fn module(&mut self) -> Result<(), IoError> {
         let (kw, loc) = self.expect_ident("`module`")?;
-        if kw != "module" {
+        if self.text(kw) != "module" {
             return Err(IoError::syntax(
                 loc,
-                format!("expected `module`, found `{kw}`"),
+                format!("expected `module`, found `{}`", self.text(kw)),
             ));
         }
         let (name, _) = self.expect_ident("a module name")?;
-        self.netlist = Netlist::new(name);
+        self.netlist = Netlist::new(self.interner.resolve(name));
         if self.eat_punct('(') {
             // The port list is redundant with the input/output declarations;
             // skip identifiers and commas until `)`.
@@ -330,46 +337,43 @@ impl Parser<'_, '_> {
                 return Err(IoError::syntax(self.eof_loc(), "missing `endmodule`"));
             };
             let loc = token.loc;
-            match &token.tok {
-                Tok::Ident(kw) if kw == "endmodule" => {
+            let Tok::Ident(atom) = token.tok else {
+                return Err(IoError::syntax(
+                    loc,
+                    "expected a declaration or an instantiation",
+                ));
+            };
+            if let Some(kind) = primitive_kind(self.text(atom)) {
+                self.pos += 1;
+                self.primitive_instance(kind, loc)?;
+                continue;
+            }
+            match self.text(atom) {
+                "endmodule" => {
                     self.pos += 1;
                     break;
                 }
-                Tok::Ident(kw) if kw == "input" => self.declaration(Direction::Input)?,
-                Tok::Ident(kw) if kw == "output" => self.declaration(Direction::Output)?,
-                Tok::Ident(kw) if kw == "wire" => self.declaration(Direction::Wire)?,
-                Tok::Ident(kw)
-                    if matches!(
-                        kw.as_str(),
-                        "assign" | "always" | "initial" | "reg" | "parameter" | "generate"
-                    ) =>
-                {
+                "input" => self.declaration(Direction::Input)?,
+                "output" => self.declaration(Direction::Output)?,
+                "wire" => self.declaration(Direction::Wire)?,
+                "assign" | "always" | "initial" | "reg" | "parameter" | "generate" => {
                     return Err(IoError::Unsupported {
                         loc,
-                        construct: format!("`{kw}` (only structural netlists are supported)"),
+                        construct: format!(
+                            "`{}` (only structural netlists are supported)",
+                            self.text(atom)
+                        ),
                     });
                 }
-                Tok::Ident(kw) if primitive_kind(kw).is_some() => {
-                    let kind = primitive_kind(kw).expect("checked above");
-                    self.pos += 1;
-                    self.primitive_instance(kind, loc)?;
-                }
-                Tok::Ident(name) => {
-                    let name = name.clone();
-                    self.pos += 1;
-                    self.library_instance(&name, loc)?;
-                }
                 _ => {
-                    return Err(IoError::syntax(
-                        loc,
-                        "expected a declaration or an instantiation",
-                    ));
+                    self.pos += 1;
+                    self.library_instance(atom, loc)?;
                 }
             }
         }
 
         if let Some(extra) = self.peek() {
-            if matches!(&extra.tok, Tok::Ident(kw) if kw == "module") {
+            if matches!(extra.tok, Tok::Ident(kw) if self.text(kw) == "module") {
                 return Err(IoError::Unsupported {
                     loc: extra.loc,
                     construct: "multiple modules in one file".into(),
@@ -387,7 +391,8 @@ impl Parser<'_, '_> {
     /// `input wire` are accepted.
     fn declaration(&mut self, direction: Direction) -> Result<(), IoError> {
         self.pos += 1; // the direction keyword
-        if matches!(self.peek(), Some(Token { tok: Tok::Ident(kw), .. }) if kw == "wire") {
+        if matches!(self.peek(), Some(Token { tok: Tok::Ident(kw), .. }) if self.text(kw) == "wire")
+        {
             self.pos += 1;
         }
         let range = if self.eat_punct('[') {
@@ -417,20 +422,23 @@ impl Parser<'_, '_> {
         loop {
             let (name, loc) = self.expect_ident("a signal name")?;
             if self.signals.contains_key(&name) {
-                return Err(IoError::syntax(loc, format!("`{name}` is declared twice")));
+                return Err(IoError::syntax(
+                    loc,
+                    format!("`{}` is declared twice", self.text(name)),
+                ));
             }
             let signal = match range {
                 None => {
                     let id = match direction {
-                        Direction::Input => self.netlist.add_input(&name),
-                        _ => self.netlist.add_net(&name),
+                        Direction::Input => self.netlist.add_input(self.interner.resolve(name)),
+                        _ => self.netlist.add_net(self.interner.resolve(name)),
                     };
                     Signal::Scalar(id)
                 }
                 Some((msb, lsb)) => {
                     let nets = (lsb..=msb)
                         .map(|i| {
-                            let bit = format!("{name}[{i}]");
+                            let bit = format!("{}[{i}]", self.interner.resolve(name));
                             match direction {
                                 Direction::Input => self.netlist.add_input(&bit),
                                 _ => self.netlist.add_net(&bit),
@@ -441,7 +449,7 @@ impl Parser<'_, '_> {
                 }
             };
             if direction == Direction::Output {
-                self.output_names.push(name.clone());
+                self.output_names.push(name);
             }
             self.signals.insert(name, signal);
             if !self.eat_punct(',') {
@@ -459,7 +467,6 @@ impl Parser<'_, '_> {
                 tok: Tok::Constant(value),
                 loc,
             }) => {
-                let (value, loc) = (*value, *loc);
                 let id = self.constant_net(value);
                 Ok((id, loc))
             }
@@ -467,9 +474,11 @@ impl Parser<'_, '_> {
                 tok: Tok::Ident(name),
                 loc,
             }) => {
-                let (name, loc) = (name.clone(), *loc);
                 let Some(signal) = self.signals.get(&name).cloned() else {
-                    return Err(IoError::Undeclared { loc, name });
+                    return Err(IoError::Undeclared {
+                        loc,
+                        name: self.text(name).to_string(),
+                    });
                 };
                 if self.eat_punct('[') {
                     let (index, index_loc) = self.expect_number()?;
@@ -477,7 +486,7 @@ impl Parser<'_, '_> {
                     match signal {
                         Signal::Scalar(_) => Err(IoError::WidthMismatch {
                             loc: index_loc,
-                            subject: format!("`{name}` (a scalar net, indexed)"),
+                            subject: format!("`{}` (a scalar net, indexed)", self.text(name)),
                             expected: 1,
                             got: 2,
                         }),
@@ -487,7 +496,7 @@ impl Parser<'_, '_> {
                                 Some(&id) => Ok((id, loc)),
                                 None => Err(IoError::WidthMismatch {
                                     loc: index_loc,
-                                    subject: format!("index {index} of `{name}`"),
+                                    subject: format!("index {index} of `{}`", self.text(name)),
                                     expected: nets.len(),
                                     got: index as usize,
                                 }),
@@ -499,7 +508,10 @@ impl Parser<'_, '_> {
                         Signal::Scalar(id) => Ok((id, loc)),
                         Signal::Vector { nets, .. } => Err(IoError::WidthMismatch {
                             loc,
-                            subject: format!("`{name}` (a vector net used as a scalar)"),
+                            subject: format!(
+                                "`{}` (a vector net used as a scalar)",
+                                self.text(name)
+                            ),
                             expected: 1,
                             got: nets.len(),
                         }),
@@ -532,9 +544,8 @@ impl Parser<'_, '_> {
             Some(Token {
                 tok: Tok::Ident(n), ..
             }) => {
-                let n = n.clone();
                 self.pos += 1;
-                n
+                self.text(n).to_string()
             }
             _ => format!("g{}", self.netlist.cell_count()),
         };
@@ -573,14 +584,15 @@ impl Parser<'_, '_> {
     }
 
     /// `DFF ff0 (.d(x), .q(y));` or `DFF ff0 (y, x);` (outputs first).
-    fn library_instance(&mut self, cell_name: &str, loc: Loc) -> Result<(), IoError> {
-        let Some(cell) = self.library.lookup(cell_name).cloned() else {
+    fn library_instance(&mut self, cell_atom: Atom, loc: Loc) -> Result<(), IoError> {
+        let Some(cell) = self.library.lookup(self.text(cell_atom)).cloned() else {
             return Err(IoError::UnknownCell {
                 loc,
-                name: cell_name.to_string(),
+                name: self.text(cell_atom).to_string(),
             });
         };
         let (instance, _) = self.expect_ident("an instance name")?;
+        let instance = self.text(instance).to_string();
         self.expect_punct('(')?;
 
         let mut input_nets: Vec<Option<NetId>> = vec![None; cell.inputs.len()];
@@ -609,14 +621,18 @@ impl Parser<'_, '_> {
                     Some(self.operand()?.0)
                 };
                 self.expect_punct(')')?;
-                match cell.resolve_pin(&pin) {
+                match cell.resolve_pin(self.text(pin)) {
                     Ok(Some((true, index))) => output_nets[index] = connection,
                     Ok(Some((false, index))) => input_nets[index] = connection,
                     Ok(None) => {}
                     Err(()) => {
                         return Err(IoError::syntax(
                             pin_loc,
-                            format!("cell `{cell_name}` has no pin `{pin}`"),
+                            format!(
+                                "cell `{}` has no pin `{}`",
+                                self.text(cell_atom),
+                                self.text(pin)
+                            ),
                         ));
                     }
                 }
@@ -688,7 +704,8 @@ impl Parser<'_, '_> {
                 return Err(IoError::syntax(
                     loc,
                     format!(
-                        "cell `{cell_name}` output pin `{}` is not connected",
+                        "cell `{}` output pin `{}` is not connected",
+                        self.text(cell_atom),
                         cell.outputs[missing].canonical()
                     ),
                 ));
@@ -724,7 +741,8 @@ fn primitive_kind(keyword: &str) -> Option<CellKind> {
 /// and mapping problems, and a name-resolved [`IoError`] for structural
 /// problems found by post-parse validation.
 pub fn parse_verilog(text: &str, library: &GateLibrary) -> Result<Netlist, IoError> {
-    let tokens = tokenize(text)?;
+    let mut interner = StringInterner::new();
+    let tokens = tokenize(text, &mut interner)?;
     if tokens.is_empty() {
         return Err(IoError::syntax(Loc::new(1, 1), "empty file"));
     }
@@ -732,8 +750,9 @@ pub fn parse_verilog(text: &str, library: &GateLibrary) -> Result<Netlist, IoErr
         tokens: &tokens,
         pos: 0,
         library,
+        interner,
         netlist: Netlist::new("top"),
-        signals: HashMap::new(),
+        signals: FxHashMap::default(),
         output_names: Vec::new(),
         const_nets: [None, None],
     };

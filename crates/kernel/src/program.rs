@@ -1,0 +1,418 @@
+//! Netlist → straight-line program compilation and word-wise evaluation.
+
+use glitch_netlist::{CellKind, DffInit, NetId, Netlist, NetlistError, Tri};
+
+use crate::state::KernelState;
+
+/// How unknowns propagate through the word-wise tables, mirroring the
+/// event-driven simulator's `XEval` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Any `X` input makes every output of the cell `X`.
+    #[default]
+    Coarse,
+    /// Exact Kleene tables: a controlling input yields a known output
+    /// even when other inputs are `X` (pinned against
+    /// [`CellKind::try_evaluate_tri`]).
+    TriTable,
+}
+
+/// One compiled combinational cell: its kind, an operand range into the
+/// shared operand pool, and one or two output nets.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: CellKind,
+    first: u32,
+    count: u16,
+    out0: u32,
+    /// Second output (carry of the compound adder cells), `u32::MAX`
+    /// when the kind has a single output.
+    out1: u32,
+}
+
+/// One compiled D-flipflop: where to read D, where to assert Q, and the
+/// declared init value.
+#[derive(Debug, Clone, Copy)]
+pub struct DffSlot {
+    d: NetId,
+    q: NetId,
+    init: DffInit,
+}
+
+impl DffSlot {
+    /// The D (data input) net.
+    #[must_use]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The Q (state output) net.
+    #[must_use]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+}
+
+/// A netlist compiled once into a levelized straight-line program.
+///
+/// The program is immutable and shared: any number of [`KernelState`]s
+/// (with any lane counts) can be evaluated against one program, from any
+/// thread. One cycle of the synchronous network is:
+///
+/// ```text
+/// program.begin_cycle(&mut state);      // assert Q from flipflop state
+/// state.set_bool(input, lane, value);   // drive this cycle's stimulus
+/// program.eval(&mut state, mode);       // settle combinationally
+/// program.latch(&mut state);            // capture D into flipflop state
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    net_count: usize,
+    ops: Vec<Op>,
+    operands: Vec<u32>,
+    dffs: Vec<DffSlot>,
+    inputs: Vec<NetId>,
+}
+
+impl KernelProgram {
+    /// Compiles `netlist` into a straight-line program, validating it and
+    /// levelizing its combinational cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`NetlistError`] when the netlist fails
+    /// structural validation or contains a combinational loop.
+    pub fn compile(netlist: &Netlist) -> Result<KernelProgram, NetlistError> {
+        netlist.validate()?;
+        let levels = netlist.levelize()?;
+        let mut ops = Vec::with_capacity(levels.order().len());
+        let mut operands = Vec::new();
+        for &cell_id in levels.order() {
+            let cell = netlist.cell(cell_id);
+            let first = u32::try_from(operands.len()).expect("operand pool fits in u32");
+            operands.extend(cell.inputs().iter().map(|n| n.index() as u32));
+            let outs = cell.outputs();
+            ops.push(Op {
+                kind: cell.kind(),
+                first,
+                count: u16::try_from(cell.inputs().len()).expect("cell arity fits in u16"),
+                out0: outs[0].index() as u32,
+                out1: outs.get(1).map_or(u32::MAX, |n| n.index() as u32),
+            });
+        }
+        let dffs = netlist
+            .dff_cells()
+            .map(|id| {
+                let cell = netlist.cell(id);
+                DffSlot {
+                    d: cell.inputs()[0],
+                    q: cell.outputs()[0],
+                    init: cell.dff_init(),
+                }
+            })
+            .collect();
+        Ok(KernelProgram {
+            net_count: netlist.net_count(),
+            ops,
+            operands,
+            dffs,
+            inputs: netlist.inputs().to_vec(),
+        })
+    }
+
+    /// Number of nets in the compiled netlist.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of compiled combinational ops (= cells evaluated per cycle).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The compiled flipflops.
+    #[must_use]
+    pub fn dffs(&self) -> &[DffSlot] {
+        &self.dffs
+    }
+
+    /// The primary input nets of the compiled netlist.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The cycle-boundary source nets — primary inputs first, then
+    /// flipflop Q nets. A cycle on which no source net changes is
+    /// provably quiet under any delay assignment.
+    pub fn source_nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.inputs
+            .iter()
+            .copied()
+            .chain(self.dffs.iter().map(|d| d.q))
+    }
+
+    /// Heap footprint of the compiled program, for cache accounting.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<Op>()
+            + self.operands.len() * std::mem::size_of::<u32>()
+            + self.dffs.len() * std::mem::size_of::<DffSlot>()
+            + self.inputs.len() * std::mem::size_of::<NetId>()
+    }
+
+    /// A fresh state for `lanes` parallel stimulus lanes. Every net starts
+    /// `X`; flipflop state starts from the per-cell [`DffInit`], with
+    /// `DontCare` resolved to `dff_dontcare` (the simulator's
+    /// `SimOptions::dff_init` equivalent).
+    #[must_use]
+    pub fn new_state(&self, lanes: usize, dff_dontcare: Tri) -> KernelState {
+        let mut state = KernelState::new(self.net_count, self.dffs.len(), lanes);
+        let words = state.words;
+        for (i, dff) in self.dffs.iter().enumerate() {
+            let value = match dff.init {
+                DffInit::Zero => Tri::Zero,
+                DffInit::One => Tri::One,
+                DffInit::DontCare => dff_dontcare,
+            };
+            let (v, m) = match value {
+                Tri::Zero => (false, false),
+                Tri::One => (true, false),
+                Tri::X => (false, true),
+            };
+            for w in 0..words {
+                let wm = state.word_mask(w);
+                state.dff_val[i * words + w] = if v { wm } else { 0 };
+                state.dff_msk[i * words + w] = if m { wm } else { 0 };
+            }
+        }
+        state
+    }
+
+    /// Asserts every flipflop's Q net from its captured state — the first
+    /// step of a cycle.
+    pub fn begin_cycle(&self, state: &mut KernelState) {
+        let words = state.words;
+        for (i, dff) in self.dffs.iter().enumerate() {
+            let q = dff.q.index() * words;
+            let s = i * words;
+            state.val[q..q + words].copy_from_slice(&state.dff_val[s..s + words]);
+            state.msk[q..q + words].copy_from_slice(&state.dff_msk[s..s + words]);
+        }
+    }
+
+    /// Captures every flipflop's D net into its state — the last step of
+    /// a cycle.
+    pub fn latch(&self, state: &mut KernelState) {
+        let words = state.words;
+        for (i, dff) in self.dffs.iter().enumerate() {
+            let d = dff.d.index() * words;
+            let s = i * words;
+            state.dff_val[s..s + words].copy_from_slice(&state.val[d..d + words]);
+            state.dff_msk[s..s + words].copy_from_slice(&state.msk[d..d + words]);
+        }
+    }
+
+    /// Evaluates the combinational program: every op once, in level
+    /// order, over all lanes at once. After this the planes hold the
+    /// functional (zero-delay) settled values of the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` was built for a different netlist size.
+    pub fn eval(&self, state: &mut KernelState, mode: EvalMode) {
+        assert_eq!(
+            state.val.len(),
+            self.net_count * state.words,
+            "state does not match the compiled netlist"
+        );
+        let words = state.words;
+        let tail_mask = state.tail_mask;
+        let val = &mut state.val;
+        let msk = &mut state.msk;
+        // Valid-lane mask of word `w`: only the final word is partial.
+        let wmask = |w: usize| {
+            if w + 1 == words {
+                tail_mask
+            } else {
+                !0u64
+            }
+        };
+
+        for op in &self.ops {
+            let ins = &self.operands[op.first as usize..op.first as usize + op.count as usize];
+            let out0 = op.out0 as usize * words;
+            match op.kind {
+                CellKind::Const(b) => {
+                    for w in 0..words {
+                        val[out0 + w] = if b { wmask(w) } else { 0 };
+                        msk[out0 + w] = 0;
+                    }
+                }
+                CellKind::Buf => {
+                    let a = ins[0] as usize * words;
+                    for w in 0..words {
+                        val[out0 + w] = val[a + w];
+                        msk[out0 + w] = msk[a + w];
+                    }
+                }
+                CellKind::Inv => {
+                    let a = ins[0] as usize * words;
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let m = msk[a + w];
+                        val[out0 + w] = !val[a + w] & !m & wm;
+                        msk[out0 + w] = m;
+                    }
+                }
+                CellKind::And | CellKind::Nand | CellKind::Or | CellKind::Nor => {
+                    let (and_like, invert) = match op.kind {
+                        CellKind::And => (true, false),
+                        CellKind::Nand => (true, true),
+                        CellKind::Or => (false, false),
+                        _ => (false, true),
+                    };
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let (mut one, mut zero, mut anyx) = (wm, 0u64, 0u64);
+                        if !and_like {
+                            (one, zero) = (0, wm);
+                        }
+                        for &i in ins {
+                            let at = i as usize * words + w;
+                            let (v, m) = (val[at], msk[at]);
+                            let z = !v & !m & wm;
+                            anyx |= m;
+                            if and_like {
+                                one &= v;
+                                zero |= z;
+                            } else {
+                                one |= v;
+                                zero &= z;
+                            }
+                        }
+                        let (one, zero) = if invert { (zero, one) } else { (one, zero) };
+                        let m = match mode {
+                            // A controlling input decides the output even
+                            // next to unknowns.
+                            EvalMode::TriTable => !(one | zero) & wm,
+                            EvalMode::Coarse => anyx,
+                        };
+                        val[out0 + w] = one & !m & wm;
+                        msk[out0 + w] = m;
+                    }
+                }
+                CellKind::Xor | CellKind::Xnor => {
+                    // XOR has no controlling value, so the exact Kleene
+                    // table and the coarse rule agree: any X → X.
+                    let invert = op.kind == CellKind::Xnor;
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let (mut x, mut m) = (0u64, 0u64);
+                        for &i in ins {
+                            let at = i as usize * words + w;
+                            x ^= val[at];
+                            m |= msk[at];
+                        }
+                        if invert {
+                            x = !x;
+                        }
+                        val[out0 + w] = x & !m & wm;
+                        msk[out0 + w] = m;
+                    }
+                }
+                CellKind::Mux2 => {
+                    let s = ins[0] as usize * words;
+                    let a = ins[1] as usize * words;
+                    let b = ins[2] as usize * words;
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let (vs, ms) = (val[s + w], msk[s + w]);
+                        let (va, ma) = (val[a + w], msk[a + w]);
+                        let (vb, mb) = (val[b + w], msk[b + w]);
+                        let routed_v = (vs & vb) | (!vs & va);
+                        let (v, m) = match mode {
+                            EvalMode::TriTable => {
+                                // Unknown select still yields the common
+                                // value when both data inputs agree.
+                                let agree = !ma & !mb & !(va ^ vb);
+                                let m = (!ms & ((vs & mb) | (!vs & ma))) | (ms & !agree);
+                                ((routed_v & !ms) | (ms & agree & va), m)
+                            }
+                            EvalMode::Coarse => (routed_v, ms | ma | mb),
+                        };
+                        val[out0 + w] = v & !m & wm;
+                        msk[out0 + w] = m & wm;
+                    }
+                }
+                CellKind::Maj3 => {
+                    let a = ins[0] as usize * words;
+                    let b = ins[1] as usize * words;
+                    let c = ins[2] as usize * words;
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let (va, ma) = (val[a + w], msk[a + w]);
+                        let (vb, mb) = (val[b + w], msk[b + w]);
+                        let (vc, mc) = (val[c + w], msk[c + w]);
+                        let maj_v = (va & vb) | (va & vc) | (vb & vc);
+                        let (v, m) = match mode {
+                            EvalMode::TriTable => {
+                                // Two agreeing known inputs decide the
+                                // majority regardless of the third.
+                                let (za, zb, zc) = (!va & !ma & wm, !vb & !mb & wm, !vc & !mc & wm);
+                                let one = maj_v;
+                                let zero = (za & zb) | (za & zc) | (zb & zc);
+                                (one, !(one | zero) & wm)
+                            }
+                            EvalMode::Coarse => (maj_v, ma | mb | mc),
+                        };
+                        val[out0 + w] = v & !m & wm;
+                        msk[out0 + w] = m;
+                    }
+                }
+                CellKind::HalfAdder | CellKind::FullAdder => {
+                    let out1 = op.out1 as usize * words;
+                    let a = ins[0] as usize * words;
+                    let b = ins[1] as usize * words;
+                    let c = (op.kind == CellKind::FullAdder).then(|| ins[2] as usize * words);
+                    for w in 0..words {
+                        let wm = wmask(w);
+                        let (va, ma) = (val[a + w], msk[a + w]);
+                        let (vb, mb) = (val[b + w], msk[b + w]);
+                        let (vc, mc) = c.map_or((0, 0), |c| (val[c + w], msk[c + w]));
+                        let anyx = ma | mb | mc;
+                        // Sum is a pure XOR: exact and coarse agree.
+                        let sum_v = va ^ vb ^ vc;
+                        val[out0 + w] = sum_v & !anyx & wm;
+                        msk[out0 + w] = anyx;
+                        // Carry: AND for the half adder, majority for the
+                        // full adder — exactly the simulator's tri tables.
+                        let carry_one = if c.is_some() {
+                            (va & vb) | (va & vc) | (vb & vc)
+                        } else {
+                            va & vb
+                        };
+                        let (cv, cm) = match mode {
+                            EvalMode::TriTable => {
+                                let (za, zb) = (!va & !ma & wm, !vb & !mb & wm);
+                                let carry_zero = if c.is_some() {
+                                    let zc = !vc & !mc & wm;
+                                    (za & zb) | (za & zc) | (zb & zc)
+                                } else {
+                                    za | zb
+                                };
+                                (carry_one, !(carry_one | carry_zero) & wm)
+                            }
+                            EvalMode::Coarse => (carry_one, anyx),
+                        };
+                        val[out1 + w] = cv & !cm & wm;
+                        msk[out1 + w] = cm;
+                    }
+                }
+                CellKind::Dff => unreachable!("flipflops are not part of the levelized order"),
+            }
+        }
+    }
+}

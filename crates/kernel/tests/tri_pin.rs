@@ -1,0 +1,171 @@
+//! Pins the kernel's word-wise plane formulas bit-identically against the
+//! netlist crate's reference tables: every lane of a single-cell program
+//! must decode to exactly what [`CellKind::try_evaluate_tri`] (TriTable
+//! mode) or the any-X-in → X-out rule over [`CellKind::try_evaluate`]
+//! (Coarse mode) produces for that lane's inputs.
+
+use glitch_kernel::{EvalMode, KernelProgram};
+use glitch_netlist::{CellKind, NetId, Netlist, Tri};
+use proptest::prelude::*;
+
+const KINDS: [CellKind; 14] = [
+    CellKind::Const(false),
+    CellKind::Const(true),
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And,
+    CellKind::Or,
+    CellKind::Nand,
+    CellKind::Nor,
+    CellKind::Xor,
+    CellKind::Xnor,
+    CellKind::Mux2,
+    CellKind::Maj3,
+    CellKind::HalfAdder,
+    CellKind::FullAdder,
+];
+
+const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+
+/// Decodes base-3 digits of `lane` into the cell's input vector.
+fn lane_inputs(arity: usize, lane: usize) -> Vec<Tri> {
+    (0..arity)
+        .map(|i| ALL[(lane / 3usize.pow(i as u32)) % 3])
+        .collect()
+}
+
+/// A netlist holding exactly one `kind` cell with `arity` inputs.
+fn single_cell(kind: CellKind, arity: usize) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+    let mut nl = Netlist::new("pin");
+    let inputs: Vec<NetId> = (0..arity).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let outputs: Vec<NetId> = (0..kind.output_count())
+        .map(|i| nl.add_net(format!("out{i}")))
+        .collect();
+    nl.add_cell(kind, "dut", inputs.clone(), outputs.clone())
+        .expect("single cell is legal");
+    for &out in &outputs {
+        nl.mark_output(out);
+    }
+    (nl, inputs, outputs)
+}
+
+/// The event-driven simulator's coarse rule: any X input makes every
+/// output X, otherwise the binary tables apply.
+fn coarse_reference(kind: CellKind, inputs: &[Tri]) -> Vec<Tri> {
+    let known: Option<Vec<bool>> = inputs.iter().map(|t| t.to_bool()).collect();
+    match known {
+        Some(bools) => kind
+            .try_evaluate(&bools)
+            .expect("legal arity")
+            .into_iter()
+            .map(Tri::from)
+            .collect(),
+        None => vec![Tri::X; kind.output_count()],
+    }
+}
+
+/// Evaluates every one of the `3^arity` input combinations in its own
+/// lane and checks each output lane against the per-lane oracle.
+fn check_exhaustive(kind: CellKind, arity: usize, mode: EvalMode) {
+    let (nl, input_nets, output_nets) = single_cell(kind, arity);
+    let program = KernelProgram::compile(&nl).expect("compiles");
+    let lanes = 3usize.pow(arity as u32);
+    let mut state = program.new_state(lanes, Tri::X);
+    for lane in 0..lanes {
+        for (i, &net) in input_nets.iter().enumerate() {
+            state.set(net, lane, lane_inputs(arity, lane)[i]);
+        }
+    }
+    program.eval(&mut state, mode);
+    for lane in 0..lanes {
+        let ins = lane_inputs(arity, lane);
+        let want = match mode {
+            EvalMode::TriTable => kind.try_evaluate_tri(&ins).expect("legal arity"),
+            EvalMode::Coarse => coarse_reference(kind, &ins),
+        };
+        for (o, &net) in output_nets.iter().enumerate() {
+            assert_eq!(
+                state.get(net, lane),
+                want[o],
+                "{kind:?}/{mode:?} arity {arity} output {o} on {ins:?}"
+            );
+        }
+    }
+}
+
+fn legal_arities(kind: CellKind) -> Vec<usize> {
+    match kind.fixed_input_arity() {
+        Some(n) => vec![n],
+        None => vec![kind.min_input_arity().max(1), 2, 3, 4, 5],
+    }
+}
+
+#[test]
+fn tri_table_planes_match_try_evaluate_tri_exhaustively() {
+    for kind in KINDS {
+        for arity in legal_arities(kind) {
+            check_exhaustive(kind, arity, EvalMode::TriTable);
+        }
+    }
+}
+
+#[test]
+fn coarse_planes_match_the_any_x_rule_exhaustively() {
+    for kind in KINDS {
+        for arity in legal_arities(kind) {
+            check_exhaustive(kind, arity, EvalMode::Coarse);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random (kind, arity, lane placement): a sparse subset of lanes is
+    /// driven with random tri inputs, with lane counts crossing word
+    /// boundaries, and every driven lane must match the reference table.
+    #[test]
+    fn random_lanes_match_reference_tables(
+        kind_word in 0u64..u64::MAX,
+        arity_word in 0u64..u64::MAX,
+        lane_count in 1usize..200,
+        input_word in 0u64..u64::MAX,
+        coarse in proptest::bool::ANY,
+    ) {
+        let kind = KINDS[(kind_word % KINDS.len() as u64) as usize];
+        let arity = match kind.fixed_input_arity() {
+            Some(n) => n,
+            None => kind.min_input_arity().max(1) + (arity_word % 4) as usize,
+        };
+        let mode = if coarse { EvalMode::Coarse } else { EvalMode::TriTable };
+        let (nl, input_nets, output_nets) = single_cell(kind, arity);
+        let program = KernelProgram::compile(&nl).expect("compiles");
+        let mut state = program.new_state(lane_count, Tri::X);
+        let combos = 3usize.pow(arity as u32);
+        let mut per_lane = Vec::with_capacity(lane_count);
+        for lane in 0..lane_count {
+            // A different combo per lane, offset by the sampled word.
+            let combo = (lane + input_word as usize) % combos;
+            let ins = lane_inputs(arity, combo);
+            for (i, &net) in input_nets.iter().enumerate() {
+                state.set(net, lane, ins[i]);
+            }
+            per_lane.push(ins);
+        }
+        program.eval(&mut state, mode);
+        for (lane, ins) in per_lane.iter().enumerate() {
+            let want = match mode {
+                EvalMode::TriTable => kind.try_evaluate_tri(ins).expect("legal arity"),
+                EvalMode::Coarse => coarse_reference(kind, ins),
+            };
+            for (o, &net) in output_nets.iter().enumerate() {
+                prop_assert_eq!(
+                    state.get(net, lane),
+                    want[o],
+                    "{:?}/{:?} arity {} output {} on {:?}",
+                    kind, mode, arity, o, ins
+                );
+            }
+        }
+    }
+}

@@ -1,13 +1,17 @@
 //! The content-addressed warm cache behind the daemon.
 //!
-//! Three tiers, all keyed off [`Netlist::fingerprint`]:
+//! Four tiers, all keyed off [`Netlist::fingerprint`]:
 //!
 //! 1. **Parsed netlists** — a file-stamp map (`path -> (mtime, len)`)
 //!    fronts a fingerprint-keyed circuit map, so an unchanged file never
 //!    re-parses and two paths with identical content share one circuit.
 //! 2. **Cone indexes** — built lazily once per circuit and shared by every
 //!    incremental job against it.
-//! 3. **Sim baselines** — the recorded replay logs that make `flip`
+//! 3. **Compiled kernel programs** — the levelized straight-line programs
+//!    behind the `kernel`/`hybrid` engines, compiled once per circuit and
+//!    shared by every prepass against it. Delay-independent, so one
+//!    program serves every parameter combination.
+//! 4. **Sim baselines** — the recorded replay logs that make `flip`
 //!    requests incremental, keyed by the analysis parameters that shape
 //!    them, with their "before" figures recovered on load by a zero-eval
 //!    empty-delta replay.
@@ -28,7 +32,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::SystemTime;
 
 use glitch_core::netlist::{ConeIndex, Netlist};
-use glitch_core::{Analysis, SimBaseline};
+use glitch_core::{Analysis, KernelProgram, SimBaseline};
 use glitch_io::{parse_netlist, Format, GateLibrary};
 
 /// A parsed circuit shared across requests: the netlist plus its lazily
@@ -104,6 +108,16 @@ pub struct CircuitLookup {
     pub coalesced: bool,
 }
 
+/// What a compiled-program lookup did, for the engine's counters.
+pub struct ProgramLookup {
+    /// The shared compiled kernel program.
+    pub program: Arc<KernelProgram>,
+    /// Served from the warm cache without recompiling.
+    pub hit: bool,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+}
+
 /// What a baseline lookup did, for the engine's counters.
 pub struct BaselineLookup {
     /// The shared baseline + before-figures pair.
@@ -161,6 +175,8 @@ struct BaselineSlot {
 struct CircuitSlot {
     circuit: Arc<CachedCircuit>,
     baselines: HashMap<String, BaselineSlot>,
+    /// The compiled kernel program and its accounted byte footprint.
+    program: Option<(Arc<KernelProgram>, usize)>,
     last_used: u64,
 }
 
@@ -178,11 +194,12 @@ impl CacheState {
         self.tick
     }
 
-    /// Evicts LRU entries (baselines first, then whole circuits) until the
-    /// budget holds, never evicting the entry just inserted for
-    /// `(protect_fp, protect_key)`. The protected entry may leave the
-    /// cache a single entry over budget — a cache that cannot hold its
-    /// current working item would thrash.
+    /// Evicts LRU entries (baselines first, then cold circuits' compiled
+    /// programs, then whole circuits) until the budget holds, never
+    /// evicting the entry just inserted for `(protect_fp, protect_key)`
+    /// or the protected circuit's program. The protected entry may leave
+    /// the cache a single entry over budget — a cache that cannot hold
+    /// its current working item would thrash.
     fn evict_to_budget(&mut self, budget: usize, protect_fp: u64, protect_key: &str) -> u64 {
         let mut evicted = 0;
         while budget > 0 && self.bytes > budget {
@@ -206,12 +223,28 @@ impl CacheState {
             let victim = self
                 .circuits
                 .iter()
+                .filter(|&(&fp, slot)| fp != protect_fp && slot.program.is_some())
+                .map(|(&fp, slot)| (slot.last_used, fp))
+                .min();
+            if let Some((_, fp)) = victim {
+                let slot = self.circuits.get_mut(&fp).expect("victim circuit");
+                let (_, bytes) = slot.program.take().expect("victim program");
+                self.bytes -= bytes;
+                evicted += 1;
+                continue;
+            }
+            let victim = self
+                .circuits
+                .iter()
                 .filter(|&(&fp, slot)| fp != protect_fp && slot.baselines.is_empty())
                 .map(|(&fp, slot)| (slot.last_used, fp))
                 .min();
             let Some((_, fp)) = victim else { break };
             let removed = self.circuits.remove(&fp).expect("victim circuit");
             self.bytes -= removed.circuit.approx;
+            if let Some((_, bytes)) = removed.program {
+                self.bytes -= bytes;
+            }
             self.files.retain(|_, stamp| stamp.fingerprint != fp);
             evicted += 1;
         }
@@ -356,6 +389,7 @@ impl CircuitCache {
                     CircuitSlot {
                         circuit: Arc::clone(&circuit),
                         baselines: HashMap::new(),
+                        program: None,
                         last_used: tick,
                     },
                 );
@@ -372,6 +406,68 @@ impl CircuitCache {
         );
         state.evict_to_budget(self.budget, fingerprint, "");
         Ok(circuit)
+    }
+
+    /// Returns the shared compiled kernel program for `circuit`, compiling
+    /// at most once per cached circuit (content-addressed: two paths with
+    /// identical netlist bytes share one program). The program's
+    /// [`KernelProgram::byte_size`] counts against the same byte budget as
+    /// baselines, and cold circuits' programs are evicted before circuits.
+    ///
+    /// # Errors
+    ///
+    /// The compile error (cyclic netlists), as a one-line message.
+    pub fn program_for(&self, circuit: &Arc<CachedCircuit>) -> Result<ProgramLookup, String> {
+        let fingerprint = circuit.fingerprint;
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            let tick = state.touch();
+            if let Some(slot) = state.circuits.get_mut(&fingerprint) {
+                slot.last_used = tick;
+                if let Some((program, _)) = &slot.program {
+                    return Ok(ProgramLookup {
+                        program: Arc::clone(program),
+                        hit: true,
+                        evicted: 0,
+                    });
+                }
+            }
+        }
+        // Compile outside the lock. A racing duplicate compile is harmless
+        // (the programs are identical; first to insert wins) and cheap next
+        // to the simulation the caller is about to run, so no single-flight
+        // slot here.
+        let program = KernelProgram::compile(&circuit.netlist)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())?;
+        let bytes = program.byte_size();
+        let mut state = self.state.lock().expect("cache lock");
+        let tick = state.touch();
+        let Some(slot) = state.circuits.get_mut(&fingerprint) else {
+            // Circuit evicted while compiling: hand the program back
+            // uncached rather than resurrect the slot.
+            return Ok(ProgramLookup {
+                program,
+                hit: false,
+                evicted: 0,
+            });
+        };
+        slot.last_used = tick;
+        if let Some((existing, _)) = &slot.program {
+            return Ok(ProgramLookup {
+                program: Arc::clone(existing),
+                hit: true,
+                evicted: 0,
+            });
+        }
+        slot.program = Some((Arc::clone(&program), bytes));
+        state.bytes += bytes;
+        let evicted = state.evict_to_budget(self.budget, fingerprint, "");
+        Ok(ProgramLookup {
+            program,
+            hit: false,
+            evicted,
+        })
     }
 
     fn spill_path(&self, fingerprint: u64, key: &str) -> Option<PathBuf> {
@@ -718,6 +814,33 @@ mod tests {
             .analyze_delta(netlist, baseline, &DeltaStimulus::new())
             .map_err(|e| e.to_string())?;
         Ok(delta.analysis)
+    }
+
+    #[test]
+    fn programs_compile_once_and_share_by_content() {
+        let dir = temp_dir("program");
+        let netlist = sample_netlist();
+        let path = write_netlist(&dir, "a.blif", &netlist);
+        let copy = write_netlist(&dir, "b.blif", &netlist);
+        let cache = CircuitCache::new(0, None);
+        let circuit = cache.circuit_for(&path).unwrap().circuit;
+        let bytes_before = cache.bytes();
+        let first = cache.program_for(&circuit).unwrap();
+        assert!(!first.hit);
+        assert!(
+            cache.bytes() > bytes_before,
+            "the program must count against the byte budget"
+        );
+        let second = cache.program_for(&circuit).unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.program, &second.program));
+        // Content-addressed: a second path with the same netlist bytes
+        // lands on the same circuit, hence the same compiled program.
+        let other = cache.circuit_for(&copy).unwrap().circuit;
+        let third = cache.program_for(&other).unwrap();
+        assert!(third.hit);
+        assert!(Arc::ptr_eq(&first.program, &third.program));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,9 +13,15 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use glitch_core::sim::{MetricsProbe, Probe, RandomStimulus, SimOptions};
+use glitch_core::netlist::Netlist;
+use glitch_core::sim::{
+    kernel_prepass, run_kernel_jobs, MetricsProbe, Probe, RandomStimulus, SimJob, SimOptions,
+};
 use glitch_core::verify::VerifyReport;
-use glitch_core::{AggregateReport, DeltaStimulus, GlitchAnalyzer, IncrementalStats, SimBaseline};
+use glitch_core::{
+    AggregateReport, AnalysisConfig, DeltaStimulus, EngineKind, GlitchAnalyzer, IncrementalStats,
+    KernelProgram, KernelTelemetry, SimBaseline,
+};
 use glitch_io::GateLibrary;
 use glitch_obs::export::{chrome_trace_with_tracks, metrics_json, metrics_text};
 use glitch_obs::{Clock, MetricsRegistry, SpanLog};
@@ -30,6 +36,21 @@ use crate::report;
 /// [`glitch_obs::span::DEFAULT_SPAN_CAPACITY`]: a long-lived daemon must
 /// not grow its trace without bound.
 const SPAN_CAPACITY: usize = 4096;
+
+/// The single-lane [`SimJob`] mirroring [`GlitchAnalyzer::session`]'s
+/// stimulus, for feeding the compiled kernel on single-seed runs (the
+/// CLI's `kernel_job` twin).
+fn kernel_job<'a>(netlist: &'a Netlist, config: &AnalysisConfig) -> SimJob<'a> {
+    SimJob::new(
+        netlist,
+        params::input_buses(netlist),
+        config.cycles,
+        config.seed,
+    )
+    .with_delay(config.delay.clone())
+    .with_power(config.technology, config.frequency)
+    .with_options(config.options)
+}
 
 /// The shared request executor. All methods take `&self`; the registry
 /// and span store sit behind short-lived locks, the heavy work (parse,
@@ -105,6 +126,48 @@ impl Engine {
         self.add("queue.pushes", queue.pushes);
         self.add("queue.pops", queue.pops);
         self.gauge_max("queue.peak_depth", queue.peak_depth);
+    }
+
+    /// Mirrors the CLI telemetry's kernel recording (`kernel.*`): the
+    /// prepass's lane/cycle/pair classification and functional work.
+    fn record_kernel(&self, kernel: &KernelTelemetry) {
+        self.add("kernel.lanes", kernel.lanes as u64);
+        self.add("kernel.cycles_total", kernel.total_cycles);
+        self.add("kernel.cycles_quiet", kernel.quiet_cycles);
+        self.add("kernel.pairs_total", kernel.total_pairs);
+        self.add("kernel.pairs_quiet", kernel.quiet_pairs);
+        self.add(
+            "kernel.functional_transitions",
+            kernel.functional_transitions,
+        );
+        self.add("kernel.functional_cell_evals", kernel.functional_cell_evals);
+        self.gauge_max("kernel.program_ops", kernel.program_ops as u64);
+        self.gauge_max("kernel.program_bytes", kernel.program_bytes as u64);
+    }
+
+    /// The cached compiled kernel program for non-queue engines (`None`
+    /// for the queue engine), with its hit/miss/eviction counters.
+    fn compiled_program(
+        &self,
+        circuit: &Arc<CachedCircuit>,
+        config: &AnalysisConfig,
+    ) -> Result<Option<Arc<KernelProgram>>, String> {
+        if config.engine == EngineKind::Queue {
+            return Ok(None);
+        }
+        let lookup = self.cache.program_for(circuit)?;
+        self.add(
+            if lookup.hit {
+                "cache.program_hits"
+            } else {
+                "cache.program_misses"
+            },
+            1,
+        );
+        if lookup.evicted > 0 {
+            self.add("cache.evictions", lookup.evicted);
+        }
+        Ok(Some(lookup.program))
     }
 
     /// Mirrors the CLI telemetry's incremental recording
@@ -230,6 +293,9 @@ impl Engine {
                 if job.delays.is_some() {
                     bad.push("delays (sweep only)");
                 }
+                if job.engine.is_some() {
+                    bad.push("engine (flip rides the incremental queue replay)");
+                }
                 bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
             }
             JobKind::Check => {
@@ -294,32 +360,54 @@ impl Engine {
     }
 
     /// `analyze` — the CLI's single- and multi-seed `--json` paths.
+    ///
+    /// The daemon defaults to the *hybrid* engine: a kernel prepass over
+    /// the cached compiled program classifies the quiet work before the
+    /// queue runs, and the response stays byte-identical to a one-shot
+    /// `glitch-cli analyze --json` queue run. An explicit `engine` field
+    /// overrides the default.
     fn run_analyze(
         &self,
         job: &JobRequest,
         circuit: &Arc<CachedCircuit>,
         library: &GateLibrary,
     ) -> Result<String, String> {
-        let config = params::analysis_config(
+        let mut config = params::analysis_config(
             library,
             job.cycles,
             job.seed,
             job.frequency_mhz,
             job.delay.as_deref(),
+            job.engine.as_deref(),
         )
         .map_err(|e| e.to_string())?;
+        if job.engine.is_none() {
+            config.engine = EngineKind::Hybrid;
+        }
         let (seeds, jobs) =
             params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
         let netlist = circuit.netlist();
         let buses = params::input_buses(netlist);
+        let program = self.compiled_program(circuit, &config)?;
         let analyzer = GlitchAnalyzer::new(config.clone());
         if seeds > 1 {
             let seed_list = params::stimulus_seeds(config.seed, seeds);
             let factory =
                 |_shard: usize| -> Vec<Box<dyn Probe>> { vec![Box::new(MetricsProbe::new())] };
             let (aggregate, mut reports) = analyzer
-                .analyze_seeds_with(netlist, &buses, &[], &seed_list, jobs, &factory)
+                .analyze_seeds_compiled(
+                    netlist,
+                    &buses,
+                    &[],
+                    &seed_list,
+                    jobs,
+                    &factory,
+                    program.as_deref(),
+                )
                 .map_err(|e| format!("simulation failed: {e}"))?;
+            if let Some(kernel) = &aggregate.kernel {
+                self.record_kernel(kernel);
+            }
             for report in &mut reports {
                 self.absorb_session(report);
             }
@@ -333,11 +421,35 @@ impl Engine {
                 None,
             ));
         }
-        let mut report = analyzer
-            .session(netlist, &buses, &[])
-            .probe(MetricsProbe::new())
-            .run()
-            .map_err(|e| format!("simulation failed: {e}"))?;
+        let mut report = if config.engine == EngineKind::Kernel {
+            let program = program.as_deref().expect("compiled for the kernel engine");
+            let factory =
+                |_lane: usize| -> Vec<Box<dyn Probe>> { vec![Box::new(MetricsProbe::new())] };
+            let sim_job = kernel_job(netlist, &config);
+            let reports =
+                run_kernel_jobs(netlist, program, std::slice::from_ref(&sim_job), &factory)
+                    .map_err(|e| format!("simulation failed: {e}"))?;
+            reports
+                .into_iter()
+                .next()
+                .expect("one job in, one report out")
+        } else {
+            let mut session = analyzer
+                .session(netlist, &buses, &[])
+                .probe(MetricsProbe::new());
+            if let Some(program) = program.as_deref() {
+                let sim_job = kernel_job(netlist, &config);
+                let prepass = kernel_prepass(netlist, program, std::slice::from_ref(&sim_job))
+                    .map_err(|e| format!("kernel prepass failed: {e}"))?;
+                let kernel = KernelTelemetry::from_prepass(netlist, program, &prepass)
+                    .map_err(|e| format!("kernel prepass failed: {e}"))?;
+                self.record_kernel(&kernel);
+                session = session.quiet_cycles(prepass.quiet_cycles(0));
+            }
+            session
+                .run()
+                .map_err(|e| format!("simulation failed: {e}"))?
+        };
         self.absorb_session(&mut report);
         let passes = report.passes();
         let events = report.total_events();
@@ -364,6 +476,7 @@ impl Engine {
             job.seed,
             job.frequency_mhz,
             job.delay.as_deref(),
+            None,
         )
         .map_err(|e| e.to_string())?;
         let (seeds, _jobs) =
@@ -470,6 +583,7 @@ impl Engine {
             job.seed,
             job.frequency_mhz,
             job.delay.as_deref(),
+            job.engine.as_deref(),
         )
         .map_err(|e| e.to_string())?;
         if job.x_init {
@@ -488,6 +602,11 @@ impl Engine {
         if let Some(spec) = job.flips.as_deref() {
             if job.seeds.is_some() {
                 return Err("--flip applies to single-seed runs; drop --seeds or --flip".into());
+            }
+            if config.engine != EngineKind::Queue {
+                return Err(
+                    "`flips` rides the incremental queue replay; drop `engine` or `flips`".into(),
+                );
             }
             let flips = params::parse_flips(spec, netlist).map_err(|e| e.to_string())?;
             params::check_flip_cycles(&flips, config.cycles).map_err(|e| e.to_string())?;
@@ -512,12 +631,27 @@ impl Engine {
                 &flipped,
             ));
         }
+        if job.engine.is_none() {
+            config.engine = EngineKind::Hybrid;
+        }
         let (seeds, jobs) =
             params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
         let seed_list = params::stimulus_seeds(config.seed, seeds);
+        let program = self.compiled_program(circuit, &config)?;
         let checked = GlitchAnalyzer::new(config.clone())
-            .check_seeds(netlist, &buses, &[], &suite, &seed_list, jobs)
+            .check_seeds_compiled(
+                netlist,
+                &buses,
+                &[],
+                &suite,
+                &seed_list,
+                jobs,
+                program.as_deref(),
+            )
             .map_err(|e| format!("simulation failed: {e}"))?;
+        if let Some(kernel) = &checked.analysis.kernel {
+            self.record_kernel(kernel);
+        }
         self.record_aggregate(&checked.analysis.aggregate);
         self.record_check(&checked.report);
         Ok(report::check_json(
@@ -538,9 +672,18 @@ impl Engine {
         circuit: &Arc<CachedCircuit>,
         library: &GateLibrary,
     ) -> Result<String, String> {
-        let config =
-            params::analysis_config(library, job.cycles, job.seed, job.frequency_mhz, None)
-                .map_err(|e| e.to_string())?;
+        let mut config = params::analysis_config(
+            library,
+            job.cycles,
+            job.seed,
+            job.frequency_mhz,
+            None,
+            job.engine.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        if job.engine.is_none() {
+            config.engine = EngineKind::Hybrid;
+        }
         let models = params::delay_sweep_models(job.delays.as_deref(), library)
             .map_err(|e| e.to_string())?;
         let (seeds, jobs) =
@@ -548,9 +691,23 @@ impl Engine {
         let seed_list = params::stimulus_seeds(config.seed, seeds);
         let netlist = circuit.netlist();
         let buses = params::input_buses(netlist);
+        let program = self.compiled_program(circuit, &config)?;
         let points = GlitchAnalyzer::new(config.clone())
-            .sweep_delays(netlist, &buses, &[], &models, &seed_list, jobs)
+            .sweep_delays_compiled(
+                netlist,
+                &buses,
+                &[],
+                &models,
+                &seed_list,
+                jobs,
+                program.as_deref(),
+            )
             .map_err(|e| format!("simulation failed: {e}"))?;
+        // One prepass serves the whole sweep; record its classification
+        // once (every point carries the same copy).
+        if let Some(kernel) = points.first().and_then(|p| p.analysis.kernel.as_ref()) {
+            self.record_kernel(kernel);
+        }
         for point in &points {
             self.record_aggregate(&point.analysis.aggregate);
         }

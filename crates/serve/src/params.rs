@@ -12,7 +12,7 @@ use glitch_core::netlist::{Bus, NetId, Netlist};
 use glitch_core::power::Technology;
 use glitch_core::sim::RandomStimulus;
 use glitch_core::verify::{BudgetSpec, CheckSuite, CycleFilter};
-use glitch_core::{AnalysisConfig, DelayKind, DeltaStimulus, SimBaseline};
+use glitch_core::{AnalysisConfig, DelayKind, DeltaStimulus, EngineKind, SimBaseline};
 use glitch_io::GateLibrary;
 
 /// A rejected parameter. `Usage` marks a malformed value (the CLI appends
@@ -111,19 +111,35 @@ pub fn delay_sweep_models(
         .collect()
 }
 
+/// Resolves an engine name (`queue` default, `kernel`, `hybrid`) to an
+/// [`EngineKind`].
+///
+/// # Errors
+///
+/// Returns [`ParamError::Usage`] for unknown engine names.
+pub fn engine_kind(name: Option<&str>) -> Result<EngineKind, ParamError> {
+    match name {
+        None => Ok(EngineKind::Queue),
+        Some(text) => text
+            .parse()
+            .map_err(|e: String| usage(format!("--engine: {e}"))),
+    }
+}
+
 /// The common analysis configuration from resolved scalar parameters.
 /// `None` fields take the [`AnalysisConfig::default`] values, exactly as
 /// the CLI's omitted flags do.
 ///
 /// # Errors
 ///
-/// As for [`delay_kind`].
+/// As for [`delay_kind`] and [`engine_kind`].
 pub fn analysis_config(
     library: &GateLibrary,
     cycles: Option<u64>,
     seed: Option<u64>,
     frequency_mhz: Option<f64>,
     delay: Option<&str>,
+    engine: Option<&str>,
 ) -> Result<AnalysisConfig, ParamError> {
     let defaults = AnalysisConfig::default();
     Ok(AnalysisConfig {
@@ -132,6 +148,7 @@ pub fn analysis_config(
         frequency: frequency_mhz.unwrap_or(defaults.frequency / 1e6) * 1e6,
         technology: *library.technology(),
         delay: delay_kind(delay, library)?,
+        engine: engine_kind(engine)?,
         options: defaults.options,
     })
 }
@@ -406,15 +423,28 @@ mod tests {
     #[test]
     fn defaults_mirror_the_cli() {
         let library = library_for_tech(None).unwrap();
-        let config = analysis_config(&library, None, None, None, None).unwrap();
+        let config = analysis_config(&library, None, None, None, None, None).unwrap();
         let defaults = AnalysisConfig::default();
         assert_eq!(config.cycles, defaults.cycles);
         assert_eq!(config.seed, defaults.seed);
         assert_eq!(config.frequency, defaults.frequency);
         assert_eq!(config.delay, DelayKind::Unit);
+        assert_eq!(config.engine, EngineKind::Queue);
         assert_eq!(seeds_and_jobs(None, None, 1).unwrap(), (1, 1));
         assert!(library_for_tech(Some("90nm")).is_err());
         assert!(delay_kind(Some("psychic"), &library).is_err());
+    }
+
+    #[test]
+    fn engine_names_resolve() {
+        assert_eq!(engine_kind(None).unwrap(), EngineKind::Queue);
+        assert_eq!(engine_kind(Some("queue")).unwrap(), EngineKind::Queue);
+        assert_eq!(engine_kind(Some("kernel")).unwrap(), EngineKind::Kernel);
+        assert_eq!(engine_kind(Some("hybrid")).unwrap(), EngineKind::Hybrid);
+        assert!(matches!(
+            engine_kind(Some("express")),
+            Err(ParamError::Usage(_))
+        ));
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct JobRequest {
     pub delay: Option<String>,
     /// `--delays` (sweep only).
     pub delays: Option<String>,
+    /// `--engine` (`queue`, `kernel` or `hybrid`; the daemon defaults to
+    /// `hybrid`, which is bit-identical to `queue`).
+    pub engine: Option<String>,
     /// `--tech`.
     pub tech: Option<String>,
     /// `--frequency-mhz`.
@@ -152,6 +155,7 @@ const JOB_FIELDS: &[&str] = &[
     "jobs",
     "delay",
     "delays",
+    "engine",
     "tech",
     "frequency_mhz",
     "flips",
@@ -235,6 +239,7 @@ impl Request {
             jobs: field_usize(&map, "jobs")?,
             delay: field_str(&map, "delay")?,
             delays: field_str(&map, "delays")?,
+            engine: field_str(&map, "engine")?,
             tech: field_str(&map, "tech")?,
             frequency_mhz: field_f64(&map, "frequency_mhz")?,
             flips: field_str(&map, "flips")?,
@@ -289,6 +294,12 @@ mod tests {
         assert_eq!(job.cycles, Some(50));
         assert_eq!(job.seeds, Some(3));
         assert!(job.x_init);
+
+        let req = Request::parse(r#"{"op":"analyze","file":"a.blif","engine":"queue"}"#).unwrap();
+        let Request::Job(_, job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(job.engine.as_deref(), Some("queue"));
     }
 
     #[test]

@@ -82,6 +82,7 @@ mod delay;
 mod engine;
 mod error;
 mod incremental;
+mod kernel;
 mod metrics;
 mod parallel;
 mod probe;
@@ -99,6 +100,7 @@ pub use error::SimError;
 pub use incremental::{
     DeltaStimulus, IncrementalReport, IncrementalSession, IncrementalStats, SimBaseline,
 };
+pub use kernel::{kernel_eval_mode, kernel_prepass, run_kernel_jobs, KernelPrepass};
 pub use metrics::MetricsProbe;
 pub use parallel::{AggregateReport, ParallelRunner, ShardSummary, SimJob, Spread};
 pub use probe::{
@@ -109,4 +111,7 @@ pub use session::{SessionError, SessionReport, SimSession};
 pub use stimulus::{ExhaustiveStimulus, RandomStimulus, StimulusProgram};
 pub use value::Value;
 pub use vcd::VcdRecorder;
+// The compiled-kernel backend's own types, re-exported so downstream
+// crates can compile and cache programs without a direct dependency.
+pub use glitch_kernel::{EvalMode, KernelProgram, KernelState};
 pub use window::{ActivityWindow, WindowedActivityProbe};

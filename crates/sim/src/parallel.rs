@@ -243,6 +243,10 @@ pub struct SimJob<'a> {
     pub frequency: f64,
     /// Simulator options (settle budget, flipflop reset default).
     pub options: SimOptions,
+    /// Per-cycle quiet flags from a kernel prepass
+    /// ([`crate::kernel_prepass`]); flagged cycles are replayed as empty
+    /// instead of settling the event queue. `None` runs every cycle.
+    pub quiet_cycles: Option<std::sync::Arc<Vec<bool>>>,
 }
 
 impl<'a> SimJob<'a> {
@@ -261,6 +265,7 @@ impl<'a> SimJob<'a> {
             technology: Technology::cmos_0p8um_5v(),
             frequency: 5e6,
             options: SimOptions::default(),
+            quiet_cycles: None,
         }
     }
 
@@ -300,6 +305,14 @@ impl<'a> SimJob<'a> {
         self
     }
 
+    /// Attaches kernel-prepass quiet flags: flagged cycles replay as
+    /// empty, skipping the event-driven settle entirely (builder style).
+    #[must_use]
+    pub fn with_quiet_cycles(mut self, quiet: std::sync::Arc<Vec<bool>>) -> Self {
+        self.quiet_cycles = Some(quiet);
+        self
+    }
+
     /// Runs this job as a one-pass session with the standard probe set plus
     /// `extra` probes.
     fn run_with(&self, extra: Vec<Box<dyn Probe>>) -> Result<SessionReport, SimError> {
@@ -314,6 +327,9 @@ impl<'a> SimJob<'a> {
             .probe(ActivityProbe::new())
             .probe(PowerProbe::new(self.technology, self.frequency))
             .probe(StatsProbe::new());
+        if let Some(quiet) = &self.quiet_cycles {
+            session = session.quiet_cycles(std::sync::Arc::clone(quiet));
+        }
         for probe in extra {
             session = session.boxed_probe(probe);
         }
