@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the reduction loop: the full greedy descent
+//! (measure → propose → screen → confirm → verify) and the candidate
+//! screen on its own, through both backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glitch_core::arith::{AdderStyle, ArrayMultiplier, RippleCarryAdder};
+use glitch_core::retime::{insert_buffer, PipelineOptions};
+use glitch_core::{AnalysisConfig, EngineKind, ReduceSession};
+use glitch_reduce::{screen_candidate, ReduceOptions, Reducer, ScreenBackend};
+
+fn bench_reduce(c: &mut Criterion) {
+    let rca = RippleCarryAdder::new(6, AdderStyle::Gates);
+    let mult = ArrayMultiplier::new(4, AdderStyle::CompoundCell);
+
+    let mut group = c.benchmark_group("reduce_loop");
+    group.sample_size(10);
+
+    // The full descent on the paper's multiplier: analysis passes
+    // dominate, so this tracks the cost of one accepted move end to end.
+    group.bench_function("mult4_full_descent", |b| {
+        let buses = vec![mult.x.clone(), mult.y.clone()];
+        b.iter(|| {
+            let session = ReduceSession::new(
+                AnalysisConfig {
+                    cycles: 64,
+                    ..AnalysisConfig::default()
+                },
+                vec![1],
+                1,
+            );
+            let options = ReduceOptions {
+                max_iters: 1,
+                equivalence_cycles: 64,
+                pipeline: PipelineOptions::default(),
+                ..ReduceOptions::default()
+            };
+            Reducer::new(session, options)
+                .run(&mult.netlist, &buses, &[])
+                .expect("reduction runs")
+                .moves
+                .len()
+        })
+    });
+
+    // Hybrid screening through the compiled kernel must stay well ahead
+    // of per-lane queue screening — the batch screen is the reason the
+    // hybrid engine exists in the loop.
+    let hot = rca
+        .netlist
+        .nets()
+        .find(|(_, net)| !net.loads().is_empty())
+        .map(|(id, _)| id)
+        .expect("the adder has loaded nets");
+    let rewrite = insert_buffer(&rca.netlist, hot).expect("buffer applies");
+    for (label, backend) in [
+        ("screen_kernel", ScreenBackend::Kernel),
+        ("screen_queue", ScreenBackend::Queue),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                screen_candidate(&rca.netlist, &rewrite, backend, 48, 64, 7)
+                    .expect("screen runs")
+                    .accepted
+            })
+        });
+    }
+
+    // One confirm-grade scoring pass (the descent's inner-loop cost).
+    group.bench_function("score_pass", |b| {
+        let session = ReduceSession::new(
+            AnalysisConfig {
+                cycles: 64,
+                engine: EngineKind::Queue,
+                ..AnalysisConfig::default()
+            },
+            vec![1],
+            1,
+        );
+        let buses = vec![rca.a.clone(), rca.b.clone()];
+        let held = [(rca.cin, false)];
+        b.iter(|| {
+            session
+                .score(&rca.netlist, &buses, &held)
+                .expect("scoring runs")
+                .glitch_power
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

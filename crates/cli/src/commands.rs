@@ -1,5 +1,5 @@
 //! The subcommands: parse, stats, analyze, simulate, power, sweep, check,
-//! retime.
+//! retime, reduce.
 
 use std::fmt;
 use std::fs;
@@ -143,6 +143,30 @@ commands:
                                    of spending the first on the inputs
               --cycles/--seed/--frequency-mhz/--tech as above
               --emit-blif <file>   write the retimed circuit as BLIF
+  reduce    the paper's reduction loop: greedy accept/reject descent on
+            glitch power. Hazard-hot nets rank the candidate moves
+            (retiming cutsets, delay-buffer insertion, gate duplication),
+            a cheap batch co-simulation screens each candidate, a full
+            analysis pass confirms the survivors, and the best strictly
+            improving move is accepted. The final netlist is verified
+            cycle-accurately against the original before the headline
+            `glitch power -N% at equal function` is claimed
+              --moves <list>       comma list of buffer,duplicate,retime,
+                                   or `all` [all]
+              --target <pct>       stop once glitch power dropped by this
+                                   percent of the baseline [descend until
+                                   no move improves]
+              --max-iters <n>      maximum accepted moves [8]
+              --seeds/--jobs       score with n independent seeds fanned
+                                   across worker threads; reports are
+                                   bit-identical at any --jobs count
+              --engine <name>      queue | hybrid [queue]: hybrid screens
+                                   batch-wide through the compiled kernel
+                                   (reports bit-identical to queue);
+                                   kernel alone cannot score glitches
+              --emit-blif <file>   write the reduced circuit as BLIF
+              --cycles/--seed/--delay/--tech/--frequency-mhz/--json
+                                   as above
   serve     run the batch-analysis daemon: a JSON-lines protocol on a
             loopback TCP socket, with parsed netlists, cone indexes and
             recorded baselines kept warm in a content-addressed cache.
@@ -160,7 +184,7 @@ commands:
               --port <p>           daemon port (required)
   help      print this text
 
-telemetry options (analyze, power, sweep, check):
+telemetry options (analyze, power, sweep, check, reduce):
   --metrics[=FILE]     dump engine metrics (counters, gauges, histograms)
                        after the report — to FILE, or to stdout when bare.
                        Deterministic: byte-identical at any --jobs count
@@ -224,6 +248,7 @@ pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep(rest),
         "check" => cmd_check(rest),
         "retime" => cmd_retime(rest),
+        "reduce" => cmd_reduce(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
@@ -1831,6 +1856,126 @@ fn cmd_retime(raw: &[String]) -> Result<(), CliError> {
         write_file(out, &emit_blif(&piped.netlist))?;
     }
     Ok(())
+}
+
+const REDUCE_SPEC: Spec = Spec {
+    options: &[
+        "moves",
+        "target",
+        "max-iters",
+        "cycles",
+        "seed",
+        "seeds",
+        "jobs",
+        "delay",
+        "engine",
+        "frequency-mhz",
+        "tech",
+        "emit-blif",
+        "trace-out",
+    ],
+    flags: &["json", "metrics-json"],
+    optional: &["metrics"],
+};
+
+fn cmd_reduce(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &REDUCE_SPEC).map_err(CliError::Usage)?;
+    let mut telemetry = Telemetry::from_args(&args);
+    let (netlist, path) = {
+        let _span = telemetry.span("parse");
+        load(&args)?
+    };
+    telemetry.cone_index_phase(&netlist);
+    let library = library_for(&args)?;
+    let config = analysis_config(&args, &library)?;
+    if config.engine == EngineKind::Kernel {
+        return Err(CliError::Usage(
+            "the kernel engine has no glitch model to score moves with; \
+             use --engine queue or hybrid"
+                .into(),
+        ));
+    }
+    let (seeds, jobs) = seeds_and_jobs(&args, 1)?;
+    let moves = glitch_reduce::parse_moves(args.option("moves").unwrap_or_default())
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let target: Option<f64> = parsed_presence(&args, "target")?;
+    let defaults = glitch_reduce::ReduceOptions::default();
+    let max_iters: usize = args
+        .parsed_option("max-iters", defaults.max_iters)
+        .map_err(CliError::Usage)?;
+    let options = glitch_reduce::ReduceOptions {
+        moves,
+        target_percent: target,
+        max_iters,
+        ..defaults
+    };
+    let seed_list = params::stimulus_seeds(config.seed, seeds);
+    let cycles = config.cycles;
+    let session = glitch_core::ReduceSession::new(config, seed_list, jobs);
+    let start = telemetry.now_micros();
+    let report = glitch_reduce::Reducer::new(session, options)
+        .run(&netlist, &input_buses(&netlist), &[])
+        .map_err(|e| run_err(format!("{path}: reduction failed: {e}")))?;
+    telemetry.record_span_since("reduce", start);
+    telemetry.add_counter("reduce.iterations", report.iterations as u64);
+    telemetry.add_counter("reduce.proposed", report.proposed as u64);
+    telemetry.add_counter("reduce.screened", report.screened as u64);
+    telemetry.add_counter("reduce.confirmed", report.confirmed as u64);
+    telemetry.add_counter("reduce.accepted", report.moves.len() as u64);
+
+    if args.flag("json") {
+        println!(
+            "{}",
+            report::reduce_json(&path, &report, seeds, jobs, cycles)
+        );
+    } else {
+        println!(
+            "== {path}: `{}` — {} iteration(s), {} proposed / {} screened / {} confirmed ==",
+            report.circuit, report.iterations, report.proposed, report.screened, report.confirmed
+        );
+        if report.moves.is_empty() {
+            println!("no improving move found; the netlist is unchanged");
+        } else {
+            let mut table = TextTable::new(vec!["iter", "move", "glitch power (mW)", "latency"]);
+            for m in &report.moves {
+                table.add_row(vec![
+                    m.iteration.to_string(),
+                    m.description.clone(),
+                    format!(
+                        "{:.6} -> {:.6}",
+                        m.glitch_power_before * 1e3,
+                        m.glitch_power_after * 1e3
+                    ),
+                    format!("+{}", m.latency_added),
+                ]);
+            }
+            print!("{table}");
+        }
+        println!(
+            "glitch power {:.6} mW -> {:.6} mW; total {:.6} mW -> {:.6} mW; latency +{} cycle(s)",
+            report.initial_glitch_power * 1e3,
+            report.final_glitch_power * 1e3,
+            report.initial_total_power * 1e3,
+            report.final_total_power * 1e3,
+            report.latency
+        );
+        println!(
+            "equivalence: {} ({} checks, {} output values compared)",
+            if report.equivalence.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            report.equivalence.checks.len(),
+            report.equivalence.compared()
+        );
+        println!("{}", report.headline());
+    }
+
+    if let Some(out) = args.option("emit-blif") {
+        write_file(out, &emit_blif(&report.netlist))?;
+    }
+    telemetry.finish()
 }
 
 const SERVE_SPEC: Spec = Spec {

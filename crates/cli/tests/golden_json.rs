@@ -184,3 +184,25 @@ fn analyze_flip_json_matches_golden() {
     ]);
     assert_matches_golden("analyze_flip_rca4.json", &out);
 }
+
+#[test]
+fn reduce_json_matches_golden() {
+    // The full reduction loop: move list, descent history, equivalence
+    // verdict. Runs twice — the report must be byte-identical before it
+    // is compared against the pinned golden bytes.
+    let args = [
+        "reduce",
+        &data("rca4.blif"),
+        "--cycles",
+        "96",
+        "--seeds",
+        "2",
+        "--jobs",
+        "1",
+        "--json",
+    ];
+    let first = run_stdout(&args);
+    let second = run_stdout(&args);
+    assert_eq!(first, second, "reduce --json must be deterministic");
+    assert_matches_golden("reduce_rca4.json", &first);
+}

@@ -136,6 +136,24 @@ fn daemon_responses_are_byte_identical_to_one_shot_json() {
                 "--json",
             ],
         ),
+        (
+            format!(
+                r#"{{"op":"reduce","file":"{mult}","cycles":96,"seeds":2,"jobs":1,"max_iters":2}}"#
+            ),
+            vec![
+                "reduce",
+                &mult,
+                "--cycles",
+                "96",
+                "--seeds",
+                "2",
+                "--jobs",
+                "1",
+                "--max-iters",
+                "2",
+                "--json",
+            ],
+        ),
     ];
 
     let requests: Vec<&str> = cases.iter().map(|(line, _)| line.as_str()).collect();

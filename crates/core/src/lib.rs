@@ -41,6 +41,7 @@
 mod analyzer;
 mod check;
 mod explore;
+mod reduce;
 mod table;
 
 pub use analyzer::{
@@ -51,6 +52,7 @@ pub use check::{CheckAnalysis, DeltaCheck};
 pub use explore::{
     ExplorationPoint, ExplorationResult, ExploreError, PowerExplorer, SensitivityPoint,
 };
+pub use reduce::{ReduceScore, ReduceSession};
 pub use table::TextTable;
 
 /// The sharded parallel executor, re-exported from `glitch-sim`: fan

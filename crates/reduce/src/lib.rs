@@ -1,0 +1,66 @@
+//! # glitch-reduce
+//!
+//! The paper's reduction loop: iterative glitch-power optimization of a
+//! synchronous network, pinned by an equivalence-checking differential
+//! oracle.
+//!
+//! Section 5 of the DATE'95 paper (*Analysis and Reduction of Glitches in
+//! Synchronous Networks*) reduces glitching with structural levers —
+//! retiming, delay insertion, gate duplication — chosen where the
+//! analysis says the glitches are. This crate closes that loop as a
+//! greedy accept/reject optimizer:
+//!
+//! 1. **Measure** — a [`glitch_core::ReduceSession`] pass prices the
+//!    netlist in glitch power (combinational power of useless transitions)
+//!    and locates hazards per net.
+//! 2. **Propose** — [`generate_candidates`] ranks rewrites at the
+//!    hazard-hot sites: [`MoveKind::Buffer`], [`MoveKind::Duplicate`],
+//!    [`MoveKind::Retime`] (all from [`glitch_retime::rewrite`], each a
+//!    total-mapping `Netlist → Netlist` rebuild).
+//! 3. **Screen** — [`screen_candidate`] co-simulates candidate against
+//!    current functionally, batch-wide through the compiled kernel (or
+//!    per-lane through the event queue — both decide identically).
+//! 4. **Confirm** — survivors get a full analysis pass; the best strictly
+//!    improving candidate is accepted and its mapping composed.
+//! 5. **Verify** — the final netlist is checked against the *original*
+//!    with [`glitch_verify::EquivalenceChecker`]: cycle-accurate output
+//!    equality through the composed mapping, under the configured delay
+//!    model, binary and `x_init`. Only then is the headline claimed:
+//!    *glitch power −N% at equal function*.
+//!
+//! ## Example
+//!
+//! ```
+//! use glitch_core::{AnalysisConfig, ReduceSession};
+//! use glitch_core::arith::{AdderStyle, RippleCarryAdder};
+//! use glitch_reduce::{ReduceOptions, Reducer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let adder = RippleCarryAdder::new(4, AdderStyle::CompoundCell);
+//! let session = ReduceSession::new(
+//!     AnalysisConfig { cycles: 80, ..AnalysisConfig::default() },
+//!     vec![1, 2],
+//!     1,
+//! );
+//! let options = ReduceOptions { max_iters: 2, ..ReduceOptions::default() };
+//! let report = Reducer::new(session, options).run(
+//!     &adder.netlist,
+//!     &[adder.a.clone(), adder.b.clone()],
+//!     &[(adder.cin, false)],
+//! )?;
+//! assert!(report.equivalence.passed(), "reduction preserves the function");
+//! assert!(report.final_glitch_power <= report.initial_glitch_power);
+//! println!("{}", report.headline());
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod moves;
+mod reducer;
+mod screen;
+
+pub use error::ReduceError;
+pub use moves::{generate_candidates, parse_moves, Candidate, MoveKind};
+pub use reducer::{AcceptedMove, ReduceOptions, ReduceReport, Reducer};
+pub use screen::{screen_candidate, ScreenBackend, ScreenOutcome};

@@ -1,0 +1,200 @@
+//! The move taxonomy and hazard-ranked candidate generation.
+//!
+//! Candidates come from the *measurement*, not from enumeration: the
+//! [`ReduceScore`]'s per-net hazard counts rank where glitches actually
+//! concentrate under the configured stimulus, and each enabled move kind
+//! proposes rewrites at the hottest applicable sites:
+//!
+//! * [`MoveKind::Buffer`] — delay insertion behind a hazard-hot net; the
+//!   buffered loads see a later, cleaner arrival (paper section 5's
+//!   "delay insertion" lever).
+//! * [`MoveKind::Duplicate`] — gate duplication splitting a hot
+//!   reconvergent driver, halving the capacitance each residual glitch
+//!   charges.
+//! * [`MoveKind::Retime`] — register-rank insertion
+//!   ([`glitch_retime::pipeline_rewrite`]): arrival times realign at the
+//!   register boundary, the paper's strongest reduction (Table 3). Only
+//!   proposed for flipflop-free netlists — cutset pipelining starts from
+//!   a combinational network.
+
+use std::str::FromStr;
+
+use glitch_core::ReduceScore;
+use glitch_netlist::Netlist;
+use glitch_retime::rewrite::{duplicate_driver, insert_buffer, pipeline_rewrite};
+use glitch_retime::{PipelineOptions, Rewrite};
+
+use crate::error::ReduceError;
+
+/// The reduction loop's structural move vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoveKind {
+    /// Delay-buffer insertion behind a hazard-hot net.
+    Buffer,
+    /// Duplication of a hot multi-load combinational driver.
+    Duplicate,
+    /// Register-rank insertion (cutset pipelining).
+    Retime,
+}
+
+impl MoveKind {
+    /// The command-line spelling (`buffer`, `duplicate`, `retime`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MoveKind::Buffer => "buffer",
+            MoveKind::Duplicate => "duplicate",
+            MoveKind::Retime => "retime",
+        }
+    }
+
+    /// Every move kind, in the default generation order.
+    #[must_use]
+    pub fn all() -> &'static [MoveKind] {
+        &[MoveKind::Buffer, MoveKind::Duplicate, MoveKind::Retime]
+    }
+}
+
+impl std::fmt::Display for MoveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for MoveKind {
+    type Err = ReduceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "buffer" => Ok(MoveKind::Buffer),
+            "duplicate" => Ok(MoveKind::Duplicate),
+            "retime" => Ok(MoveKind::Retime),
+            other => Err(ReduceError::UnknownMove {
+                name: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses a comma-separated move list (`buffer,retime`); the empty string
+/// and `all` both mean every move kind. Duplicates are dropped, first
+/// spelling wins the order.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::UnknownMove`] on the first unknown name.
+pub fn parse_moves(list: &str) -> Result<Vec<MoveKind>, ReduceError> {
+    let trimmed = list.trim();
+    if trimmed.is_empty() || trimmed == "all" {
+        return Ok(MoveKind::all().to_vec());
+    }
+    let mut kinds = Vec::new();
+    for part in trimmed.split(',') {
+        let kind = part.trim().parse::<MoveKind>()?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    Ok(kinds)
+}
+
+/// One proposed rewrite, tagged with the move kind that generated it.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Which lever proposed this rewrite.
+    pub kind: MoveKind,
+    /// The rewrite itself (netlist + total mapping + description).
+    pub rewrite: Rewrite,
+}
+
+/// The register-rank depths [`MoveKind::Retime`] proposes, shallowest
+/// first. Rank 1 registers only the netlist boundary (no interior
+/// realignment), so proposals start at 2; 4 and 6 probe deeper cuts on
+/// larger netlists.
+const RETIME_RANKS: [usize; 3] = [2, 4, 6];
+
+/// Proposes up to `per_kind` candidates per enabled move kind, ranked by
+/// the score's per-net hazard counts. Inapplicable sites are skipped, so
+/// the result can be shorter (or empty when the netlist offers nothing).
+///
+/// Generation is deterministic: the hot-net ranking is a pure function of
+/// the score and ties break on net id.
+#[must_use]
+pub fn generate_candidates(
+    netlist: &Netlist,
+    score: &ReduceScore,
+    kinds: &[MoveKind],
+    per_kind: usize,
+    pipeline: PipelineOptions,
+) -> Vec<Candidate> {
+    let hot = score.hot_nets();
+    let mut candidates = Vec::new();
+    for &kind in kinds {
+        match kind {
+            MoveKind::Buffer => {
+                let mut taken = 0;
+                for &net in &hot {
+                    if taken >= per_kind {
+                        break;
+                    }
+                    if let Ok(rewrite) = insert_buffer(netlist, net) {
+                        candidates.push(Candidate { kind, rewrite });
+                        taken += 1;
+                    }
+                }
+            }
+            MoveKind::Duplicate => {
+                let mut taken = 0;
+                for &net in &hot {
+                    if taken >= per_kind {
+                        break;
+                    }
+                    let Some(pin) = netlist.net(net).driver() else {
+                        continue;
+                    };
+                    if let Ok(rewrite) = duplicate_driver(netlist, pin.cell) {
+                        candidates.push(Candidate { kind, rewrite });
+                        taken += 1;
+                    }
+                }
+            }
+            MoveKind::Retime => {
+                if netlist.dff_count() > 0 {
+                    continue;
+                }
+                for &ranks in RETIME_RANKS.iter().take(per_kind) {
+                    if let Ok(rewrite) = pipeline_rewrite(netlist, ranks, pipeline) {
+                        candidates.push(Candidate { kind, rewrite });
+                    }
+                }
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_lists_parse_with_dedup_and_default() {
+        assert_eq!(parse_moves("").unwrap(), MoveKind::all());
+        assert_eq!(parse_moves("all").unwrap(), MoveKind::all());
+        assert_eq!(
+            parse_moves("retime, buffer,retime").unwrap(),
+            vec![MoveKind::Retime, MoveKind::Buffer]
+        );
+        assert!(matches!(
+            parse_moves("buffer,swizzle"),
+            Err(ReduceError::UnknownMove { name }) if name == "swizzle"
+        ));
+    }
+
+    #[test]
+    fn kinds_round_trip_their_spelling() {
+        for &kind in MoveKind::all() {
+            assert_eq!(kind.as_str().parse::<MoveKind>().unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Pins the screen-backend identity: the 64-lane compiled-kernel batch
+//! screen accepts and rejects **exactly** the same candidates as the
+//! event-queue screen — same decision, same first-divergence message,
+//! same cycle count — on the corpus circuits and on random netlists.
+//!
+//! This is what lets the hybrid engine batch-screen through the kernel
+//! without changing any reduction result: kernel settled values equal
+//! queue settled values (the kernel oracle), and both backends share the
+//! stimulus generator and comparison order.
+
+#[path = "../../sim/tests/support/mod.rs"]
+#[allow(dead_code)]
+mod support;
+
+use glitch_arith::{AdderStyle, ArrayMultiplier, RippleCarryAdder};
+use glitch_netlist::{CellId, NetId, Netlist};
+use glitch_reduce::{screen_candidate, ScreenBackend};
+use glitch_retime::{
+    duplicate_driver, insert_buffer, pipeline_rewrite, NetMap, PipelineOptions, Rewrite,
+};
+
+const CYCLES: u64 = 32;
+const LANES: usize = 64;
+const SEED: u64 = 0x5C12_EE4D;
+
+/// Every applicable rewrite on `netlist`, capped per kind: buffers on the
+/// first nets with loads, duplicates on the first eligible drivers, and
+/// (for combinational netlists) shallow pipeline ranks.
+fn candidates(netlist: &Netlist) -> Vec<Rewrite> {
+    let mut rewrites = Vec::new();
+    let loaded: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, net)| !net.loads().is_empty())
+        .map(|(id, _)| id)
+        .collect();
+    rewrites.extend(
+        loaded
+            .iter()
+            .filter_map(|&net| insert_buffer(netlist, net).ok())
+            .take(4),
+    );
+    let drivers: Vec<CellId> = netlist
+        .combinational_cells()
+        .filter(|&cell| {
+            let outs = netlist.cell(cell).outputs();
+            outs.len() == 1 && netlist.net(outs[0]).loads().len() >= 2
+        })
+        .collect();
+    rewrites.extend(
+        drivers
+            .iter()
+            .filter_map(|&cell| duplicate_driver(netlist, cell).ok())
+            .take(4),
+    );
+    if netlist.dff_count() == 0 {
+        rewrites.extend([1usize, 2, 3].iter().filter_map(|&ranks| {
+            pipeline_rewrite(netlist, ranks, PipelineOptions::default()).ok()
+        }));
+    }
+    rewrites
+}
+
+fn assert_backends_agree(netlist: &Netlist, rewrite: &Rewrite, expect_accept: bool) {
+    let kernel = screen_candidate(netlist, rewrite, ScreenBackend::Kernel, CYCLES, LANES, SEED)
+        .expect("kernel screen runs");
+    let queue = screen_candidate(netlist, rewrite, ScreenBackend::Queue, CYCLES, LANES, SEED)
+        .expect("queue screen runs");
+    assert_eq!(
+        kernel,
+        queue,
+        "`{}` on `{}`: the backends must return identical outcomes",
+        rewrite.description,
+        netlist.name()
+    );
+    assert_eq!(
+        kernel.accepted,
+        expect_accept,
+        "`{}` on `{}`: wrong decision ({:?})",
+        rewrite.description,
+        netlist.name(),
+        kernel.mismatch
+    );
+}
+
+#[test]
+fn backends_accept_the_same_moves_on_the_corpus() {
+    let corpus: Vec<Netlist> = vec![
+        RippleCarryAdder::new(4, AdderStyle::Gates).netlist,
+        RippleCarryAdder::new(6, AdderStyle::CompoundCell).netlist,
+        ArrayMultiplier::new(3, AdderStyle::Gates).netlist,
+    ];
+    let mut screened = 0usize;
+    for netlist in &corpus {
+        for rewrite in candidates(netlist) {
+            assert_backends_agree(netlist, &rewrite, true);
+            screened += 1;
+        }
+    }
+    assert!(
+        screened >= 12,
+        "the corpus must exercise a real move set, got {screened}"
+    );
+}
+
+#[test]
+fn backends_accept_the_same_moves_on_random_netlists() {
+    for seed in 0u64..6 {
+        let words: Vec<u64> = (0..20)
+            .map(|i| {
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i * 0x0123_4567_89AB_CDEF)
+            })
+            .collect();
+        let built = support::build_netlist(2 + (seed as usize % 3), &words);
+        for rewrite in candidates(&built.netlist) {
+            assert_backends_agree(&built.netlist, &rewrite, true);
+        }
+    }
+}
+
+/// A deliberately broken "move" — the same shape with an AND where the
+/// XOR belongs — must be rejected by **both** backends, with the same
+/// divergence location and the same early-exit cycle count.
+#[test]
+fn backends_reject_a_broken_rewrite_identically() {
+    let mut original = Netlist::new("sum_bit");
+    let a = original.add_input("a");
+    let b = original.add_input("b");
+    let y = original.xor2(a, b, "y");
+    original.mark_output(y);
+
+    // Built in the same order, so net ids line up and the identity map
+    // is total over both netlists.
+    let mut broken = Netlist::new("sum_bit");
+    let a2 = broken.add_input("a");
+    let b2 = broken.add_input("b");
+    let y2 = broken.and2(a2, b2, "y");
+    broken.mark_output(y2);
+    assert_eq!((a, b, y), (a2, b2, y2));
+
+    let rewrite = Rewrite {
+        map: NetMap::identity(&original),
+        netlist: broken,
+        description: "and2 masquerading as xor2".to_string(),
+    };
+    let kernel = screen_candidate(
+        &original,
+        &rewrite,
+        ScreenBackend::Kernel,
+        CYCLES,
+        LANES,
+        SEED,
+    )
+    .unwrap();
+    let queue = screen_candidate(
+        &original,
+        &rewrite,
+        ScreenBackend::Queue,
+        CYCLES,
+        LANES,
+        SEED,
+    )
+    .unwrap();
+    assert_eq!(kernel, queue);
+    assert!(!kernel.accepted);
+    let mismatch = kernel.mismatch.expect("rejections carry a location");
+    assert!(
+        mismatch.contains("output `y`"),
+        "divergence must be located: {mismatch}"
+    );
+    assert!(kernel.cycles < CYCLES, "rejections exit early");
+}

@@ -25,6 +25,12 @@ pub enum RetimeError {
     InvalidNetlist(NetlistError),
     /// A graph query referenced a vertex that does not exist.
     UnknownVertex(usize),
+    /// A rewrite move does not apply to its target (nothing to rewire,
+    /// wrong cell shape, ...).
+    MoveNotApplicable {
+        /// What disqualified the move.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RetimeError {
@@ -39,6 +45,9 @@ impl fmt::Display for RetimeError {
             ),
             RetimeError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
             RetimeError::UnknownVertex(v) => write!(f, "vertex {v} does not exist"),
+            RetimeError::MoveNotApplicable { reason } => {
+                write!(f, "move not applicable: {reason}")
+            }
         }
     }
 }

@@ -17,6 +17,12 @@
 //!   mechanism used to create the paper's four direction-detector variants
 //!   with increasing flipflop counts (Table 3 / Figure 10).
 //!
+//! The [`rewrite`] module exposes the move vocabulary of the reduction
+//! loop — buffer insertion, driver duplication and pipelining as
+//! `Netlist → Netlist` rewrites, each returning a total [`NetMap`] from
+//! old nets to new so equivalence checking and move composition work
+//! across the rewrite.
+//!
 //! The [`delay_imbalance`] metric quantifies how badly input arrival times
 //! diverge at each cell — the structural property that creates glitches.
 //!
@@ -40,10 +46,14 @@
 
 mod error;
 mod graph;
+mod mapping;
 mod pipeline;
 mod retiming;
+pub mod rewrite;
 
 pub use error::RetimeError;
 pub use graph::{EdgeId, RetimingGraph, VertexId};
+pub use mapping::NetMap;
 pub use pipeline::{delay_imbalance, pipeline_netlist, PipelineOptions, PipelinedNetlist};
 pub use retiming::Retiming;
+pub use rewrite::{duplicate_driver, insert_buffer, pipeline_rewrite, Rewrite};

@@ -1,0 +1,262 @@
+//! The total old-net → new-net mapping carried by every netlist rewrite.
+//!
+//! A rewrite (`pipeline_netlist`, the moves in [`crate::rewrite`]) rebuilds
+//! the netlist, so old [`NetId`]s mean nothing in the result. Downstream
+//! consumers — the equivalence checker co-simulating original against
+//! transformed, the reduction loop composing accepted moves — need two
+//! questions answered for *every* original net, not just the lucky ones
+//! that kept their names:
+//!
+//! * [`NetMap::new_net`] — where did this net's *combinational value* go?
+//!   Total by construction: every original net (primary input or cell
+//!   output) has exactly one same-stage copy in the rewritten netlist.
+//! * [`NetMap::output_net`] — where is this primary output *observed*?
+//!   Pipelining re-registers outputs onto the final stage, so the marked
+//!   output net can be a `_pipeK` flipflop output rather than the
+//!   same-stage copy; for latency-free rewrites the two coincide.
+//!
+//! Maps compose ([`NetMap::compose`]) so a chain of accepted moves still
+//! answers both questions against the *original* netlist, with the
+//! latencies summing.
+
+use std::collections::HashMap;
+
+use glitch_netlist::{NetId, Netlist};
+
+/// A total mapping from the nets of a source netlist to the nets of its
+/// rewritten form, plus the clock-cycle latency the rewrite added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetMap {
+    /// `forward[old.index()]` = the new net carrying the same-stage value.
+    forward: Vec<NetId>,
+    /// For re-registered primary outputs: old output net → the new net
+    /// that is actually marked as the output. Absent entries fall back to
+    /// `forward`.
+    outputs: HashMap<NetId, NetId>,
+    /// Clock cycles of latency the rewrite added (0 for in-place moves,
+    /// `ranks` for pipelining).
+    latency: usize,
+}
+
+impl NetMap {
+    /// Builds a map from the dense forward table, the re-registered output
+    /// entries, and the added latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output entry's key is outside the forward table — the
+    /// map must stay total over the source netlist.
+    #[must_use]
+    pub fn new(forward: Vec<NetId>, outputs: HashMap<NetId, NetId>, latency: usize) -> Self {
+        for old in outputs.keys() {
+            assert!(
+                old.index() < forward.len(),
+                "output entry {old} is outside the {}-net forward table",
+                forward.len()
+            );
+        }
+        NetMap {
+            forward,
+            outputs,
+            latency,
+        }
+    }
+
+    /// The identity map over `netlist` (every net maps to itself, zero
+    /// latency) — the starting point for composing a move sequence.
+    #[must_use]
+    pub fn identity(netlist: &Netlist) -> Self {
+        NetMap {
+            forward: (0..netlist.net_count()).map(NetId::from_index).collect(),
+            outputs: HashMap::new(),
+            latency: 0,
+        }
+    }
+
+    /// Number of source nets covered (the source netlist's net count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` for a map over an empty netlist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Clock cycles of latency the rewrite added.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// The new net carrying `old`'s same-stage value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not a net of the source netlist (the map is
+    /// total over the source, so this is caller error).
+    #[must_use]
+    pub fn new_net(&self, old: NetId) -> NetId {
+        self.forward[old.index()]
+    }
+
+    /// Where the primary output `old` is observed in the rewritten
+    /// netlist: the re-registered final-stage net when the rewrite moved
+    /// it, the same-stage copy otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not a net of the source netlist.
+    #[must_use]
+    pub fn output_net(&self, old: NetId) -> NetId {
+        self.outputs
+            .get(&old)
+            .copied()
+            .unwrap_or_else(|| self.new_net(old))
+    }
+
+    /// Composes `self` (source → mid) with `later` (mid → final) into a
+    /// source → final map; latencies add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `later` is not total over `self`'s target netlist.
+    #[must_use]
+    pub fn compose(&self, later: &NetMap) -> NetMap {
+        let forward: Vec<NetId> = self.forward.iter().map(|&mid| later.new_net(mid)).collect();
+        let outputs: HashMap<NetId, NetId> = (0..self.forward.len())
+            .map(NetId::from_index)
+            .filter_map(|old| {
+                let final_net = later.output_net(self.output_net(old));
+                (final_net != forward[old.index()]).then_some((old, final_net))
+            })
+            .collect();
+        NetMap {
+            forward,
+            outputs,
+            latency: self.latency + later.latency,
+        }
+    }
+
+    /// Checks the map is total over `original` and lands inside
+    /// `transformed`: every original net has a same-stage image and every
+    /// original primary output an observation point. Returns the first
+    /// problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first uncovered or
+    /// out-of-range net.
+    pub fn validate(&self, original: &Netlist, transformed: &Netlist) -> Result<(), String> {
+        if self.forward.len() != original.net_count() {
+            return Err(format!(
+                "map covers {} nets but `{}` has {}",
+                self.forward.len(),
+                original.name(),
+                original.net_count()
+            ));
+        }
+        for (old, _) in original.nets() {
+            let new = self.new_net(old);
+            if new.index() >= transformed.net_count() {
+                return Err(format!(
+                    "net `{}` maps to {new} outside `{}`",
+                    original.net(old).name(),
+                    transformed.name()
+                ));
+            }
+        }
+        for &old in original.outputs() {
+            let observed = self.output_net(old);
+            if observed.index() >= transformed.net_count() {
+                return Err(format!(
+                    "output `{}` is observed at {observed} outside `{}`",
+                    original.net(old).name(),
+                    transformed.name()
+                ));
+            }
+            if !transformed.net(observed).is_primary_output() {
+                return Err(format!(
+                    "output `{}` maps to `{}` which is not marked as an output",
+                    original.net(old).name(),
+                    transformed.net(observed).name()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b, "y");
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn identity_is_total_and_latency_free() {
+        let nl = tiny();
+        let map = NetMap::identity(&nl);
+        assert_eq!(map.len(), nl.net_count());
+        assert_eq!(map.latency(), 0);
+        for (id, _) in nl.nets() {
+            assert_eq!(map.new_net(id), id);
+            assert_eq!(map.output_net(id), id);
+        }
+        map.validate(&nl, &nl).unwrap();
+    }
+
+    #[test]
+    fn composition_adds_latency_and_chains_lookups() {
+        let first = NetMap::new(
+            vec![
+                NetId::from_index(2),
+                NetId::from_index(1),
+                NetId::from_index(0),
+            ],
+            HashMap::new(),
+            1,
+        );
+        let second = NetMap::new(
+            vec![
+                NetId::from_index(0),
+                NetId::from_index(2),
+                NetId::from_index(1),
+            ],
+            HashMap::from([(NetId::from_index(1), NetId::from_index(0))]),
+            2,
+        );
+        let both = first.compose(&second);
+        assert_eq!(both.latency(), 3);
+        // first: 0 -> 2, second: 2 -> 1.
+        assert_eq!(both.new_net(NetId::from_index(0)), NetId::from_index(1));
+        // first: 1 -> 1, second observes 1 at 0.
+        assert_eq!(both.output_net(NetId::from_index(1)), NetId::from_index(0));
+    }
+
+    #[test]
+    fn validation_spots_lossy_maps() {
+        let nl = tiny();
+        let short = NetMap::new(vec![NetId::from_index(0)], HashMap::new(), 0);
+        assert!(short.validate(&nl, &nl).unwrap_err().contains("covers 1"));
+        let out_of_range = NetMap::new(
+            vec![
+                NetId::from_index(7),
+                NetId::from_index(1),
+                NetId::from_index(2),
+            ],
+            HashMap::new(),
+            0,
+        );
+        assert!(out_of_range.validate(&nl, &nl).unwrap_err().contains("n7"));
+    }
+}

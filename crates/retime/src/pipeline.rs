@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use glitch_netlist::{CellId, NetId, Netlist};
 
 use crate::error::RetimeError;
+use crate::mapping::NetMap;
 
 /// Options for [`pipeline_netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,10 @@ pub struct PipelinedNetlist {
     pub flipflop_count: usize,
     /// The stage index assigned to every original combinational cell.
     pub stage_of_cell: HashMap<CellId, usize>,
+    /// Total old-net → new-net mapping: every original net's same-stage
+    /// copy, plus the final registered net each primary output was brought
+    /// to (which is where the output is observed, `latency` cycles late).
+    pub mapping: NetMap,
 }
 
 /// Splits a purely combinational netlist into `ranks + 1` pipeline stages by
@@ -160,14 +165,29 @@ pub fn pipeline_netlist(
     }
 
     // Bring every primary output up to the final stage so all outputs appear
-    // in the same cycle, then mark them.
+    // in the same cycle, then mark them. The mapping records where each
+    // output ended up — possibly a `_pipeK` register output rather than the
+    // same-stage copy.
     let final_stage = ranks;
+    let mut output_of: HashMap<NetId, NetId> = HashMap::new();
     for &output in netlist.outputs() {
         let src_stage = stage_of_net.get(&output).copied().unwrap_or(0);
         let extra = final_stage - src_stage;
         let new_net = registered(&mut out, &new_net_of, &mut delayed, output, extra);
         out.mark_output(new_net);
+        output_of.insert(output, new_net);
     }
+
+    // The forward table must stay total: every original net (input or cell
+    // output) has a same-stage copy in `new_net_of`; nets that somehow have
+    // neither (floating) get a fresh copy so the map never loses them.
+    let forward: Vec<NetId> = (0..netlist.net_count())
+        .map(NetId::from_index)
+        .map(|old| match new_net_of.get(&old) {
+            Some(&new) => new,
+            None => out.add_net(netlist.net(old).name()),
+        })
+        .collect();
 
     let flipflop_count = out.dff_count();
     Ok(PipelinedNetlist {
@@ -175,6 +195,7 @@ pub fn pipeline_netlist(
         latency: ranks,
         flipflop_count,
         stage_of_cell,
+        mapping: NetMap::new(forward, output_of, ranks),
     })
 }
 
@@ -246,35 +267,30 @@ mod tests {
         for ranks in [0usize, 1, 2, 4] {
             let piped = pipeline_netlist(&mult.netlist, ranks, PipelineOptions::default()).unwrap();
             piped.netlist.validate().unwrap();
-            let x = (0..4)
-                .map(|i| piped.netlist.find_net(&format!("x[{i}]")).unwrap())
-                .collect::<Vec<_>>();
-            let y = (0..4)
-                .map(|i| piped.netlist.find_net(&format!("y[{i}]")).unwrap())
-                .collect::<Vec<_>>();
-            let x = glitch_netlist::Bus::new(x);
-            let y = glitch_netlist::Bus::new(y);
-            let product = glitch_netlist::Bus::new(
-                mult.product
-                    .bits()
-                    .iter()
-                    .map(|&b| {
-                        let name = mult.netlist.net(b).name();
-                        // The output may have been re-registered; the final net
-                        // keeps either the original name or a _pipeK suffix.
-                        piped
-                            .netlist
-                            .outputs()
-                            .iter()
-                            .copied()
-                            .find(|&o| {
-                                let n = piped.netlist.net(o).name();
-                                n == name || n.starts_with(&format!("{name}_pipe"))
-                            })
-                            .unwrap()
-                    })
-                    .collect(),
-            );
+            piped
+                .mapping
+                .validate(&mult.netlist, &piped.netlist)
+                .unwrap();
+            assert_eq!(piped.mapping.latency(), ranks);
+            // The mapping answers both directions: inputs by their
+            // same-stage copy, outputs by their final registered net.
+            let map_bus = |bus: &glitch_netlist::Bus, outputs: bool| {
+                glitch_netlist::Bus::new(
+                    bus.bits()
+                        .iter()
+                        .map(|&b| {
+                            if outputs {
+                                piped.mapping.output_net(b)
+                            } else {
+                                piped.mapping.new_net(b)
+                            }
+                        })
+                        .collect(),
+                )
+            };
+            let x = map_bus(&mult.x, false);
+            let y = map_bus(&mult.y, false);
+            let product = map_bus(&mult.product, true);
             let mut sim = ClockedSimulator::new(&piped.netlist, UnitDelay).unwrap();
             let mut rng = StdRng::seed_from_u64(2 + ranks as u64);
             let pairs: Vec<(u64, u64)> = (0..8)

@@ -279,6 +279,14 @@ impl Engine {
             (job.budget.is_some(), "budget"),
             (job.stable.is_some(), "stable"),
         ];
+        let reduce_only = [
+            (job.moves.is_some(), "moves"),
+            (job.target.is_some(), "target"),
+            (job.max_iters.is_some(), "max_iters"),
+        ];
+        if kind != JobKind::Reduce {
+            bad.extend(reduce_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
+        }
         match kind {
             JobKind::Analyze => {
                 if job.flips.is_some() {
@@ -309,6 +317,15 @@ impl Engine {
                 }
                 if job.delay.is_some() {
                     bad.push("delay (the delay-model sweep takes `delays`)");
+                }
+                bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
+            }
+            JobKind::Reduce => {
+                if job.flips.is_some() {
+                    bad.push("flips (use op `flip`)");
+                }
+                if job.delays.is_some() {
+                    bad.push("delays (sweep only)");
                 }
                 bad.extend(check_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
             }
@@ -356,6 +373,7 @@ impl Engine {
             JobKind::Flip => self.run_flip(job, &circuit, &library),
             JobKind::Check => self.run_check(job, &circuit, &library),
             JobKind::Sweep => self.run_sweep(job, &circuit, &library),
+            JobKind::Reduce => self.run_reduce(job, &circuit, &library),
         }
     }
 
@@ -719,6 +737,64 @@ impl Engine {
             config.cycles,
             &points,
         ))
+    }
+
+    /// `reduce` — the CLI's `reduce --json` path: the greedy glitch-power
+    /// descent with the final equivalence verification, served from the
+    /// same content-addressed netlist cache as every other op. The daemon
+    /// defaults to the hybrid engine (kernel batch screening, queue
+    /// scoring), whose reports are bit-identical to pure-queue runs.
+    fn run_reduce(
+        &self,
+        job: &JobRequest,
+        circuit: &Arc<CachedCircuit>,
+        library: &GateLibrary,
+    ) -> Result<String, String> {
+        let mut config = params::analysis_config(
+            library,
+            job.cycles,
+            job.seed,
+            job.frequency_mhz,
+            job.delay.as_deref(),
+            job.engine.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        if job.engine.is_none() {
+            config.engine = EngineKind::Hybrid;
+        }
+        if config.engine == EngineKind::Kernel {
+            return Err(
+                "the kernel engine has no glitch model to score moves with; \
+                 use engine `queue` or `hybrid`"
+                    .into(),
+            );
+        }
+        let (seeds, jobs) =
+            params::seeds_and_jobs(job.seeds, job.jobs, 1).map_err(|e| e.to_string())?;
+        let seed_list = params::stimulus_seeds(config.seed, seeds);
+        let moves = glitch_reduce::parse_moves(job.moves.as_deref().unwrap_or_default())
+            .map_err(|e| e.to_string())?;
+        let options = glitch_reduce::ReduceOptions {
+            moves,
+            target_percent: job.target,
+            max_iters: job
+                .max_iters
+                .unwrap_or(glitch_reduce::ReduceOptions::default().max_iters),
+            ..glitch_reduce::ReduceOptions::default()
+        };
+        let netlist = circuit.netlist();
+        let buses = params::input_buses(netlist);
+        let cycles = config.cycles;
+        let session = glitch_core::ReduceSession::new(config, seed_list, jobs);
+        let report = glitch_reduce::Reducer::new(session, options)
+            .run(netlist, &buses, &[])
+            .map_err(|e| format!("reduction failed: {e}"))?;
+        self.add("reduce.iterations", report.iterations as u64);
+        self.add("reduce.proposed", report.proposed as u64);
+        self.add("reduce.screened", report.screened as u64);
+        self.add("reduce.confirmed", report.confirmed as u64);
+        self.add("reduce.accepted", report.moves.len() as u64);
+        Ok(report::reduce_json(&job.file, &report, seeds, jobs, cycles))
     }
 }
 

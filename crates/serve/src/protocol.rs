@@ -2,7 +2,7 @@
 //! object per line out.
 //!
 //! Requests are flat objects with an `op` discriminator. Job ops
-//! (`analyze`, `check`, `flip`, `sweep`) carry the same knobs as the CLI
+//! (`analyze`, `check`, `flip`, `sweep`, `reduce`) carry the same knobs as the CLI
 //! flags they mirror, with identical defaults, so a job response is
 //! byte-identical to the matching one-shot `glitch-cli ... --json` run.
 //! Control ops are `metrics` (the merged registry), `ping` and
@@ -24,6 +24,8 @@ pub enum JobKind {
     Flip,
     /// Delay-model sweep (`sweep --json`).
     Sweep,
+    /// Glitch-power reduction loop (`reduce --json`).
+    Reduce,
 }
 
 impl JobKind {
@@ -34,6 +36,7 @@ impl JobKind {
             JobKind::Check => "check",
             JobKind::Flip => "flip",
             JobKind::Sweep => "sweep",
+            JobKind::Reduce => "reduce",
         }
     }
 }
@@ -73,6 +76,12 @@ pub struct JobRequest {
     pub budget: Option<String>,
     /// `--stable` list (check only).
     pub stable: Option<String>,
+    /// `--moves` list (reduce only).
+    pub moves: Option<String>,
+    /// `--target` reduction percent (reduce only).
+    pub target: Option<f64>,
+    /// `--max-iters` (reduce only).
+    pub max_iters: Option<usize>,
     /// Expected [`glitch_core::netlist::Netlist::fingerprint`] as 16 hex
     /// digits; the daemon rejects the request if the file on disk parses
     /// to a different circuit (stale-client protection).
@@ -163,6 +172,9 @@ const JOB_FIELDS: &[&str] = &[
     "hazards",
     "budget",
     "stable",
+    "moves",
+    "target",
+    "max_iters",
     "fingerprint",
 ];
 
@@ -185,6 +197,7 @@ impl Request {
             "check" => JobKind::Check,
             "flip" => JobKind::Flip,
             "sweep" => JobKind::Sweep,
+            "reduce" => JobKind::Reduce,
             "metrics" => {
                 for key in map.keys() {
                     if key != "op" && key != "format" {
@@ -215,7 +228,7 @@ impl Request {
             other => {
                 return Err(format!(
                     "unknown op `{other}` (expected analyze, check, flip, sweep, \
-                     metrics, ping or shutdown)"
+                     reduce, metrics, ping or shutdown)"
                 ));
             }
         };
@@ -247,6 +260,9 @@ impl Request {
             hazards: field_bool(&map, "hazards")?,
             budget: field_str(&map, "budget")?,
             stable: field_str(&map, "stable")?,
+            moves: field_str(&map, "moves")?,
+            target: field_f64(&map, "target")?,
+            max_iters: field_usize(&map, "max_iters")?,
             fingerprint,
         };
         if kind == JobKind::Flip && job.flips.is_none() {

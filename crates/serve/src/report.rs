@@ -11,11 +11,12 @@ use glitch_core::activity::ActivityTotals;
 use glitch_core::netlist::Netlist;
 use glitch_core::power::PowerReport;
 use glitch_core::sim::WindowedActivityProbe;
-use glitch_core::verify::{VerifyReport, Violation};
+use glitch_core::verify::{EquivalenceReport, VerifyReport, Violation};
 use glitch_core::{
     AggregateAnalysis, Analysis, CheckAnalysis, DelaySweepPoint, DeltaCheck, IncrementalStats,
     Spread,
 };
+use glitch_reduce::ReduceReport;
 
 use crate::json::{json_array, JsonObject};
 use crate::params::AppliedFlip;
@@ -356,6 +357,73 @@ pub fn check_flip_json(
         .raw(
             "flipped",
             &verify_report_json(&flipped.report, netlist).render(),
+        )
+        .render()
+}
+
+/// The `equivalence` sub-object of a `reduce` report: one entry per
+/// (delay model, init mode) verification, plus the overall verdict.
+pub fn equivalence_json(report: &EquivalenceReport) -> JsonObject {
+    let checks = report.checks.iter().map(|check| {
+        JsonObject::new()
+            .str("delay", &check.delay)
+            .bool("x_init", check.x_init)
+            .u64("cycles", check.outcome.cycles)
+            .u64("compared", check.outcome.compared)
+            .bool("passed", check.outcome.passed())
+            .render()
+    });
+    JsonObject::new()
+        .bool("passed", report.passed())
+        .u64("compared", report.compared())
+        .raw("checks", &json_array(checks))
+}
+
+/// The `reduce` report line: headline, descent accounting, accepted
+/// moves, the glitch-power history, and the equivalence verdict.
+pub fn reduce_json(
+    file: &str,
+    report: &ReduceReport,
+    seeds: usize,
+    jobs: usize,
+    cycles_per_seed: u64,
+) -> String {
+    let moves = report.moves.iter().map(|m| {
+        JsonObject::new()
+            .usize("iteration", m.iteration)
+            .str("kind", m.kind.as_str())
+            .str("description", &m.description)
+            .f64("glitch_power_before_w", m.glitch_power_before)
+            .f64("glitch_power_after_w", m.glitch_power_after)
+            .usize("latency_added", m.latency_added)
+            .render()
+    });
+    let history = report
+        .glitch_history
+        .iter()
+        .map(|value| format!("{value:?}"));
+    JsonObject::new()
+        .str("file", file)
+        .str("netlist", &report.circuit)
+        .u64("cycles_per_seed", cycles_per_seed)
+        .usize("seeds", seeds)
+        .usize("jobs", jobs)
+        .str("headline", &report.headline())
+        .f64("reduction_percent", report.reduction_percent())
+        .f64("initial_glitch_power_w", report.initial_glitch_power)
+        .f64("final_glitch_power_w", report.final_glitch_power)
+        .f64("initial_total_power_w", report.initial_total_power)
+        .f64("final_total_power_w", report.final_total_power)
+        .usize("iterations", report.iterations)
+        .usize("proposed", report.proposed)
+        .usize("screened", report.screened)
+        .usize("confirmed", report.confirmed)
+        .usize("latency", report.latency)
+        .raw("moves", &json_array(moves))
+        .raw("glitch_history_w", &json_array(history))
+        .raw(
+            "equivalence",
+            &equivalence_json(&report.equivalence).render(),
         )
         .render()
 }

@@ -1,0 +1,472 @@
+//! Differential functional equivalence: co-simulating an original netlist
+//! against a transformed one through an explicit net mapping.
+//!
+//! This is the machine-checked half of every "glitch power −N% **at equal
+//! function**" claim: the reduction loop may only accept a move if the
+//! rewritten netlist, driven with the *same* stimulus through the move's
+//! input mapping, produces **cycle-accurate identical output values**
+//! through the output mapping — shifted by the rewrite's added latency,
+//! under any delay model, and including three-valued `x_init` runs where
+//! uninitialised flipflops power on `X`.
+//!
+//! The check is differential, not symbolic: both netlists run through the
+//! event-driven [`ClockedSimulator`] on seeded random stimulus, so a
+//! passing verdict is a statement about the compared cycles (like the
+//! repo's other oracles), and any mismatch comes back located — output,
+//! cycle, both values — ready for shrinking.
+
+use std::collections::VecDeque;
+
+use glitch_netlist::{Bus, NetId, Netlist};
+use glitch_sim::{
+    ClockedSimulator, DelayKind, InputAssignment, RandomStimulus, SimError, SimOptions, Value,
+};
+
+/// Maximum input-bus width the stimulus generator is fed — mirrors the
+/// CLI's bus chunking so equivalence runs see the same shape of stimulus
+/// as analysis runs.
+const STIMULUS_BUS_WIDTH: usize = 32;
+
+/// Ways an equivalence-checker construction can be rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EquivalenceError {
+    /// An original primary input has no counterpart mapped.
+    InputNotMapped(String),
+    /// A mapped input pair does not land on a primary input of the
+    /// transformed netlist.
+    NotAnInput(String),
+    /// An original primary output has no observation point mapped.
+    OutputNotMapped(String),
+}
+
+impl std::fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceError::InputNotMapped(name) => {
+                write!(f, "primary input `{name}` has no mapped counterpart")
+            }
+            EquivalenceError::NotAnInput(name) => write!(
+                f,
+                "`{name}` is mapped onto a net that is not a primary input of the transformed netlist"
+            ),
+            EquivalenceError::OutputNotMapped(name) => {
+                write!(f, "primary output `{name}` has no mapped observation point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+/// One located disagreement between the two netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceMismatch {
+    /// Name of the original primary output that diverged.
+    pub output: String,
+    /// The (original-side) cycle whose value diverged.
+    pub cycle: u64,
+    /// What the original netlist produced.
+    pub original: Value,
+    /// What the transformed netlist produced `latency` cycles later.
+    pub transformed: Value,
+}
+
+/// The result of one co-simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceOutcome {
+    /// Cycles simulated on each side.
+    pub cycles: u64,
+    /// Output values compared (outputs × compared cycles).
+    pub compared: u64,
+    /// The first mismatch, if any; `None` is a pass.
+    pub mismatch: Option<EquivalenceMismatch>,
+}
+
+impl EquivalenceOutcome {
+    /// `true` when no mismatch was observed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// One entry of an [`EquivalenceReport`]: which configuration ran and what
+/// it found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceCheck {
+    /// Stable delay-model label (`unit`, `zero`, `adder`, `custom`).
+    pub delay: String,
+    /// Whether the run used [`SimOptions::x_init`].
+    pub x_init: bool,
+    /// The run's outcome.
+    pub outcome: EquivalenceOutcome,
+}
+
+/// The outcome of [`EquivalenceChecker::verify`]: one check per
+/// (delay model × init mode) combination, in a deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// All runs, delay-major, binary before `x_init`.
+    pub checks: Vec<EquivalenceCheck>,
+}
+
+impl EquivalenceReport {
+    /// `true` when every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.outcome.passed())
+    }
+
+    /// Total output values compared across all checks.
+    #[must_use]
+    pub fn compared(&self) -> u64 {
+        self.checks.iter().map(|c| c.outcome.compared).sum()
+    }
+
+    /// The first failing check, if any.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<&EquivalenceCheck> {
+        self.checks.iter().find(|c| !c.outcome.passed())
+    }
+}
+
+/// The stable label for a delay model in equivalence reports.
+#[must_use]
+pub fn delay_label(delay: &DelayKind) -> &'static str {
+    match delay {
+        DelayKind::Unit => "unit",
+        DelayKind::Zero => "zero",
+        DelayKind::RealisticAdderCells => "adder",
+        DelayKind::Custom(_) => "custom",
+    }
+}
+
+/// Co-simulates two netlists through a net mapping; see the module docs.
+#[derive(Debug, Clone)]
+pub struct EquivalenceChecker<'a> {
+    original: &'a Netlist,
+    transformed: &'a Netlist,
+    inputs: Vec<(NetId, NetId)>,
+    outputs: Vec<(NetId, NetId)>,
+    latency: usize,
+}
+
+impl<'a> EquivalenceChecker<'a> {
+    /// Builds a checker from explicit input/output pairs (original net,
+    /// transformed net) and the transform's added latency in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mappings that miss an original primary input or output, or
+    /// that map an input onto a non-input of the transformed netlist.
+    pub fn new(
+        original: &'a Netlist,
+        transformed: &'a Netlist,
+        inputs: Vec<(NetId, NetId)>,
+        outputs: Vec<(NetId, NetId)>,
+        latency: usize,
+    ) -> Result<Self, EquivalenceError> {
+        for &input in original.inputs() {
+            let Some(&(_, mapped)) = inputs.iter().find(|&&(old, _)| old == input) else {
+                return Err(EquivalenceError::InputNotMapped(
+                    original.net(input).name().to_string(),
+                ));
+            };
+            if !transformed.net(mapped).is_primary_input() {
+                return Err(EquivalenceError::NotAnInput(
+                    original.net(input).name().to_string(),
+                ));
+            }
+        }
+        for &output in original.outputs() {
+            if !outputs.iter().any(|&(old, _)| old == output) {
+                return Err(EquivalenceError::OutputNotMapped(
+                    original.net(output).name().to_string(),
+                ));
+            }
+        }
+        Ok(EquivalenceChecker {
+            original,
+            transformed,
+            inputs,
+            outputs,
+            latency,
+        })
+    }
+
+    /// Builds the identity mapping by net name — the common case of a
+    /// rewrite that preserves primary input/output names (all the rebuild
+    /// moves do).
+    ///
+    /// # Errors
+    ///
+    /// As for [`EquivalenceChecker::new`], with a missing name reported as
+    /// an unmapped net.
+    pub fn by_name(
+        original: &'a Netlist,
+        transformed: &'a Netlist,
+        latency: usize,
+    ) -> Result<Self, EquivalenceError> {
+        let mut inputs = Vec::with_capacity(original.inputs().len());
+        for &input in original.inputs() {
+            let name = original.net(input).name();
+            let mapped = transformed
+                .find_net(name)
+                .ok_or_else(|| EquivalenceError::InputNotMapped(name.to_string()))?;
+            inputs.push((input, mapped));
+        }
+        let mut outputs = Vec::with_capacity(original.outputs().len());
+        for &output in original.outputs() {
+            let name = original.net(output).name();
+            let mapped = transformed
+                .find_net(name)
+                .ok_or_else(|| EquivalenceError::OutputNotMapped(name.to_string()))?;
+            outputs.push((output, mapped));
+        }
+        Self::new(original, transformed, inputs, outputs, latency)
+    }
+
+    /// The added latency the comparison compensates for.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// The mapped input pairs, in original-input order as supplied.
+    #[must_use]
+    pub fn input_pairs(&self) -> &[(NetId, NetId)] {
+        &self.inputs
+    }
+
+    /// The mapped output pairs.
+    #[must_use]
+    pub fn output_pairs(&self) -> &[(NetId, NetId)] {
+        &self.outputs
+    }
+
+    /// The original's primary inputs chunked into stimulus buses.
+    fn stimulus_buses(&self) -> Vec<Bus> {
+        self.original
+            .inputs()
+            .chunks(STIMULUS_BUS_WIDTH)
+            .map(|chunk| Bus::new(chunk.to_vec()))
+            .collect()
+    }
+
+    /// Runs one co-simulation: `cycles` of seeded random stimulus under
+    /// `delay` and `options`, comparing every mapped output every compared
+    /// cycle. Stops at the first mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction/settle failures from either side.
+    pub fn check(
+        &self,
+        delay: &DelayKind,
+        cycles: u64,
+        seed: u64,
+        options: SimOptions,
+    ) -> Result<EquivalenceOutcome, SimError> {
+        let mut stimulus = RandomStimulus::new(self.stimulus_buses(), cycles, seed);
+        let mut original =
+            ClockedSimulator::with_options(self.original, delay.clone().into_model(), options)?;
+        let mut transformed =
+            ClockedSimulator::with_options(self.transformed, delay.clone().into_model(), options)?;
+        let mut history: VecDeque<Vec<Value>> = VecDeque::with_capacity(self.latency + 1);
+        let mut compared = 0u64;
+        for cycle in 0..cycles {
+            let assignment = stimulus
+                .next()
+                .expect("the stimulus covers the requested cycles");
+            let mut mapped = InputAssignment::new();
+            for &(net, value) in assignment.assignments() {
+                let &(_, counterpart) = self
+                    .inputs
+                    .iter()
+                    .find(|&&(old, _)| old == net)
+                    .expect("constructor checked every input is mapped");
+                mapped = mapped.with(counterpart, value);
+            }
+            original.step(assignment)?;
+            transformed.step(mapped)?;
+            history.push_back(
+                self.outputs
+                    .iter()
+                    .map(|&(old, _)| original.net_value(old))
+                    .collect(),
+            );
+            if cycle >= self.latency as u64 {
+                let expected = history.pop_front().expect("ring holds latency+1 entries");
+                for (index, &(old, new)) in self.outputs.iter().enumerate() {
+                    let got = transformed.net_value(new);
+                    compared += 1;
+                    if got != expected[index] {
+                        return Ok(EquivalenceOutcome {
+                            cycles: cycle + 1,
+                            compared,
+                            mismatch: Some(EquivalenceMismatch {
+                                output: self.original.net(old).name().to_string(),
+                                cycle: cycle - self.latency as u64,
+                                original: expected[index],
+                                transformed: got,
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(EquivalenceOutcome {
+            cycles,
+            compared,
+            mismatch: None,
+        })
+    }
+
+    /// The full matrix: every delay model × {binary, `x_init`}, in a
+    /// deterministic order. This is the configuration the reduction loop
+    /// pins its headline claim with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation failure.
+    pub fn verify(
+        &self,
+        delays: &[DelayKind],
+        cycles: u64,
+        seed: u64,
+    ) -> Result<EquivalenceReport, SimError> {
+        let mut checks = Vec::with_capacity(delays.len() * 2);
+        for delay in delays {
+            for (x_init, options) in [(false, SimOptions::default()), (true, SimOptions::x_init())]
+            {
+                let outcome = self.check(delay, cycles, seed, options)?;
+                checks.push(EquivalenceCheck {
+                    delay: delay_label(delay).to_string(),
+                    x_init,
+                    outcome,
+                });
+            }
+        }
+        Ok(EquivalenceReport { checks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitch_sim::CellDelay;
+
+    fn xor_chain() -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.xor2(a, b, "x");
+        let y = nl.xor2(x, c, "y");
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn a_netlist_is_equivalent_to_itself() {
+        let nl = xor_chain();
+        let checker = EquivalenceChecker::by_name(&nl, &nl, 0).unwrap();
+        let report = checker
+            .verify(
+                &[
+                    DelayKind::Unit,
+                    DelayKind::Zero,
+                    DelayKind::RealisticAdderCells,
+                ],
+                40,
+                7,
+            )
+            .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 6);
+        assert!(report.compared() > 0);
+    }
+
+    #[test]
+    fn a_functional_difference_is_located() {
+        let nl = xor_chain();
+        let mut other = Netlist::new("chain");
+        let a = other.add_input("a");
+        let b = other.add_input("b");
+        let c = other.add_input("c");
+        let x = other.xor2(a, b, "x");
+        // and2 instead of xor2: differs whenever x & c disagree with x ^ c.
+        let y = other.and2(x, c, "y");
+        other.mark_output(y);
+        let checker = EquivalenceChecker::by_name(&nl, &other, 0).unwrap();
+        let outcome = checker
+            .check(&DelayKind::Unit, 60, 3, SimOptions::default())
+            .unwrap();
+        let mismatch = outcome.mismatch.expect("and is not xor");
+        assert_eq!(mismatch.output, "y");
+        assert_ne!(mismatch.original, mismatch.transformed);
+    }
+
+    #[test]
+    fn latency_shifts_the_comparison_window() {
+        let nl = xor_chain();
+        // The same function behind a 2-deep register chain on the output.
+        let mut piped = Netlist::new("chain_p2");
+        let a = piped.add_input("a");
+        let b = piped.add_input("b");
+        let c = piped.add_input("c");
+        let x = piped.xor2(a, b, "x");
+        let y = piped.xor2(x, c, "y");
+        let q = piped.dff_chain(y, 2, "y_pipe");
+        piped.mark_output(q);
+        let outputs = vec![(nl.find_net("y").unwrap(), q)];
+        let inputs = nl
+            .inputs()
+            .iter()
+            .map(|&i| (i, piped.find_net(nl.net(i).name()).unwrap()))
+            .collect();
+        let checker = EquivalenceChecker::new(&nl, &piped, inputs, outputs, 2).unwrap();
+        for options in [SimOptions::default(), SimOptions::x_init()] {
+            let outcome = checker.check(&DelayKind::Unit, 50, 11, options).unwrap();
+            assert!(outcome.passed(), "{:?}: {:?}", options, outcome.mismatch);
+        }
+        // With the latency misdeclared the same pair must fail.
+        let wrong = EquivalenceChecker::by_name(&nl, &nl, 0).unwrap();
+        assert!(wrong
+            .check(&DelayKind::Unit, 50, 11, SimOptions::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn bad_mappings_are_rejected_at_construction() {
+        let nl = xor_chain();
+        let mut other = Netlist::new("other");
+        let p = other.add_input("p");
+        let q = other.inv(p, "q");
+        other.mark_output(q);
+        assert!(matches!(
+            EquivalenceChecker::by_name(&nl, &other, 0),
+            Err(EquivalenceError::InputNotMapped(_))
+        ));
+        // Mapping an input onto a non-input is caught too.
+        let inputs = nl.inputs().iter().map(|&i| (i, q)).collect();
+        let outputs = vec![(nl.find_net("y").unwrap(), q)];
+        assert!(matches!(
+            EquivalenceChecker::new(&nl, &other, inputs, outputs, 0),
+            Err(EquivalenceError::NotAnInput(_))
+        ));
+    }
+
+    #[test]
+    fn custom_delay_models_are_labelled() {
+        assert_eq!(delay_label(&DelayKind::Unit), "unit");
+        assert_eq!(delay_label(&DelayKind::Zero), "zero");
+        assert_eq!(delay_label(&DelayKind::RealisticAdderCells), "adder");
+        assert_eq!(
+            delay_label(&DelayKind::Custom(CellDelay::new().with_default(2))),
+            "custom"
+        );
+    }
+}

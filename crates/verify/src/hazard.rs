@@ -20,7 +20,7 @@
 //! a known starting level.
 
 use glitch_netlist::{NetId, Netlist};
-use glitch_sim::{CycleStats, Transition, Value};
+use glitch_sim::{CycleStats, MergeableProbe, Probe, Transition, Value};
 
 use crate::checker::{downcast_checker, CheckOutcome, Checker, Verdict};
 
@@ -204,5 +204,66 @@ impl Checker for HazardChecker {
         for (mine, theirs) in self.per_net.iter_mut().zip(&other.per_net) {
             *mine += theirs;
         }
+    }
+}
+
+/// A standalone [`Probe`] adapter for one [`HazardChecker`].
+///
+/// [`crate::CheckerProbe`] runs whole suites but does not hand back its
+/// inner checkers — the right shape for pass/fail reporting, and the wrong
+/// one for consumers that want the per-net hazard *counts* as data (the
+/// reduction loop ranks candidate nets by them). `HazardProbe` attaches a
+/// single hazard checker to any session, merges across shards in shard
+/// order exactly like the suite path, and exposes the checker directly.
+#[derive(Debug, Clone, Default)]
+pub struct HazardProbe {
+    checker: HazardChecker,
+}
+
+impl HazardProbe {
+    /// Creates a probe around a fresh [`HazardChecker`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wrapped checker, for reading totals and per-net counts.
+    #[must_use]
+    pub fn checker(&self) -> &HazardChecker {
+        &self.checker
+    }
+
+    /// Per-net hazard counts, index-aligned with the netlist's nets.
+    #[must_use]
+    pub fn per_net(&self) -> &[u64] {
+        &self.checker.per_net
+    }
+}
+
+impl Probe for HazardProbe {
+    fn on_run_start(&mut self, netlist: &Netlist) {
+        self.checker.on_run_start(netlist);
+    }
+
+    fn on_cycle_start(&mut self, cycle: u64) {
+        self.checker.on_cycle_start(cycle);
+    }
+
+    fn on_transition(&mut self, transition: &Transition) {
+        self.checker.on_transition(transition);
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64, stats: &CycleStats) {
+        self.checker.on_cycle_end(cycle, stats);
+    }
+
+    fn on_run_end(&mut self, netlist: &Netlist) {
+        self.checker.on_run_end(netlist);
+    }
+}
+
+impl MergeableProbe for HazardProbe {
+    fn merge(&mut self, other: HazardProbe) {
+        self.checker.merge_boxed(Box::new(other.checker));
     }
 }

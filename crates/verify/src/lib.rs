@@ -71,6 +71,7 @@
 
 mod budget;
 mod checker;
+mod equivalence;
 mod hazard;
 mod report;
 mod stability;
@@ -81,7 +82,11 @@ pub use budget::{
     BudgetError, BudgetSpec, BudgetTarget, BudgetValue, ResolvedBudgets, SettleBudgetChecker,
 };
 pub use checker::{CheckOutcome, Checker, CheckerProbe, Verdict, Violation, VIOLATION_CAP};
-pub use hazard::HazardChecker;
+pub use equivalence::{
+    delay_label, EquivalenceCheck, EquivalenceChecker, EquivalenceError, EquivalenceMismatch,
+    EquivalenceOutcome, EquivalenceReport,
+};
+pub use hazard::{HazardChecker, HazardProbe};
 pub use report::VerifyReport;
 pub use stability::{CycleFilter, StabilityChecker};
 pub use suite::CheckSuite;
