@@ -1,0 +1,57 @@
+//! The cost of the live-serving telemetry primitives added for the
+//! `status` op and `--access-log`:
+//!
+//! - `windowed_record`: one [`WindowedHistogram::record`] sample — the
+//!   per-request cost every admitted job pays twice (queue wait, handle
+//!   time).
+//! - `windowed_query`: merging the ring into 1-minute percentiles — the
+//!   per-`status` read cost.
+//! - `eventlog_append`: one access-log line framed and written — the
+//!   per-request cost of `--access-log`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glitch_obs::{EventLog, WindowedHistogram, WINDOW_1M_MICROS};
+
+fn bench_obs_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_streaming");
+
+    group.bench_function("windowed_record", |b| {
+        let mut histogram = WindowedHistogram::default();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            histogram.record(now, std::hint::black_box(now % 4096));
+        });
+    });
+
+    group.bench_function("windowed_query", |b| {
+        let mut histogram = WindowedHistogram::default();
+        // A fully-populated ring: worst-case merge width for a window.
+        for i in 0..120_000u64 {
+            histogram.record(i * 2_500, i % 8192);
+        }
+        let now = 120_000 * 2_500;
+        b.iter(|| {
+            let window = histogram.window(std::hint::black_box(now), WINDOW_1M_MICROS);
+            std::hint::black_box((
+                window.value_at_quantile(0.50),
+                window.value_at_quantile(0.99),
+            ));
+        });
+    });
+
+    group.bench_function("eventlog_append", |b| {
+        let dir = std::env::temp_dir().join(format!("glitch-obs-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let log = EventLog::create(dir.join("access.jsonl"), 1 << 30).expect("event log");
+        let line = r#"{"id":1,"op":"analyze","fingerprint":"00deadbeef00cafe","cache":"hit","queue_us":12,"wall_us":3400,"outcome":"ok"}"#;
+        b.iter(|| log.append(std::hint::black_box(line)).expect("append"));
+        drop(log);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_streaming);
+criterion_main!(benches);

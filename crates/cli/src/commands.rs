@@ -165,6 +165,9 @@ commands:
                                    (reports bit-identical to queue);
                                    kernel alone cannot score glitches
               --emit-blif <file>   write the reduced circuit as BLIF
+              --progress           print one JSON progress line per
+                                   descent iteration (accepted or final
+                                   rejected round) before the report
               --cycles/--seed/--delay/--tech/--frequency-mhz/--json
                                    as above
   serve     run the batch-analysis daemon: a JSON-lines protocol on a
@@ -177,11 +180,32 @@ commands:
               --jobs <n>           worker threads [hardware threads]
               --cache-bytes <b>    cache byte budget [268435456]
               --trace-out <FILE>   write a Chrome trace of every request
-                                   span (one track per worker) at shutdown
+                                   span (one track per worker, request ids
+                                   in the span args) at shutdown
+              --access-log <FILE>  append one JSON line per request
+                                   {id, op, fingerprint, cache, queue_us,
+                                   wall_us, outcome}
+              --access-log-max-bytes <b>
+                                   rotate the access log to FILE.1 past
+                                   this size [67108864]
   client    send request lines to a running daemon and print each
-            response line; requests come from the positional arguments,
-            or from stdin when none are given
+            response line (interim progress lines included); requests
+            come from the positional arguments, or from stdin when none
+            are given. Exits nonzero when any response is an error
               --port <p>           daemon port (required)
+              --timeout-ms <ms>    per-response read timeout; 0 waits
+                                   forever [30000]
+  status    one-shot daemon health: request counts, error and shed
+            tallies, queue depth, worker busyness, cache occupancy and
+            per-op latency percentiles over 1m/5m/total windows
+              --port <p>           daemon port (required)
+              --json               print the raw status line instead of
+                                   the rendered dashboard
+  top       redraw the status dashboard at a fixed interval (Ctrl-C to
+            stop)
+              --port <p>           daemon port (required)
+              --interval <ms>      refresh period [1000]
+              --count <n>          stop after n frames [run until killed]
   help      print this text
 
 telemetry options (analyze, power, sweep, check, reduce):
@@ -251,6 +275,8 @@ pub fn dispatch(raw: &[String]) -> Result<(), CliError> {
         "reduce" => cmd_reduce(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "status" => cmd_status(rest),
+        "top" => cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -1874,7 +1900,7 @@ const REDUCE_SPEC: Spec = Spec {
         "emit-blif",
         "trace-out",
     ],
-    flags: &["json", "metrics-json"],
+    flags: &["json", "metrics-json", "progress"],
     optional: &["metrics"],
 };
 
@@ -1913,9 +1939,28 @@ fn cmd_reduce(raw: &[String]) -> Result<(), CliError> {
     let cycles = config.cycles;
     let session = glitch_core::ReduceSession::new(config, seed_list, jobs);
     let start = telemetry.now_micros();
-    let report = glitch_reduce::Reducer::new(session, options)
-        .run(&netlist, &input_buses(&netlist), &[])
-        .map_err(|e| run_err(format!("{path}: reduction failed: {e}")))?;
+    let reducer = glitch_reduce::Reducer::new(session, options);
+    let report = if args.flag("progress") {
+        // The same rows the daemon streams for `"progress": true`, minus
+        // the request id — printed as they happen, before the report.
+        struct PrintProgress<'a>(&'a str);
+        impl glitch_reduce::ProgressSink for PrintProgress<'_> {
+            fn iteration(&mut self, event: &glitch_reduce::ProgressEvent<'_>) {
+                println!("{}", report::reduce_progress_json(self.0, event, None));
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+            }
+        }
+        reducer.run_with_progress(
+            &netlist,
+            &input_buses(&netlist),
+            &[],
+            &mut PrintProgress(&path),
+        )
+    } else {
+        reducer.run(&netlist, &input_buses(&netlist), &[])
+    }
+    .map_err(|e| run_err(format!("{path}: reduction failed: {e}")))?;
     telemetry.record_span_since("reduce", start);
     telemetry.add_counter("reduce.iterations", report.iterations as u64);
     telemetry.add_counter("reduce.proposed", report.proposed as u64);
@@ -1979,7 +2024,14 @@ fn cmd_reduce(raw: &[String]) -> Result<(), CliError> {
 }
 
 const SERVE_SPEC: Spec = Spec {
-    options: &["port", "jobs", "cache-bytes", "trace-out"],
+    options: &[
+        "port",
+        "jobs",
+        "cache-bytes",
+        "trace-out",
+        "access-log",
+        "access-log-max-bytes",
+    ],
     flags: &[],
     optional: &[],
 };
@@ -2006,24 +2058,48 @@ fn cmd_serve(raw: &[String]) -> Result<(), CliError> {
         .map_err(CliError::Usage)?;
     let mut config = glitch_serve::ServeConfig::new(port, jobs, cache_bytes);
     config.trace_out = args.option("trace-out").map(str::to_string);
+    config.access_log = args.option("access-log").map(str::to_string);
+    config.access_log_max_bytes = args
+        .parsed_option("access-log-max-bytes", config.access_log_max_bytes)
+        .map_err(CliError::Usage)?;
     glitch_serve::run_server(&config).map_err(run_err)
 }
 
 const CLIENT_SPEC: Spec = Spec {
-    options: &["port"],
+    options: &["port", "timeout-ms"],
     flags: &[],
     optional: &[],
 };
 
-fn cmd_client(raw: &[String]) -> Result<(), CliError> {
-    let args = Args::parse(raw, &CLIENT_SPEC).map_err(CliError::Usage)?;
-    let port: u16 = match args.option("port") {
+/// Resolves the required `--port` for the daemon-facing subcommands.
+fn required_port(args: &Args, command: &str) -> Result<u16, CliError> {
+    match args.option("port") {
         Some(text) => text
             .parse()
-            .map_err(|_| CliError::Usage(format!("option --port: cannot parse `{text}`")))?,
-        None => return Err(CliError::Usage("client requires --port <p>".into())),
+            .map_err(|_| CliError::Usage(format!("option --port: cannot parse `{text}`"))),
+        None => Err(CliError::Usage(format!("{command} requires --port <p>"))),
+    }
+}
+
+fn cmd_client(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &CLIENT_SPEC).map_err(CliError::Usage)?;
+    let port = required_port(&args, "client")?;
+    let timeout_ms: u64 = args
+        .parsed_option("timeout-ms", 30_000)
+        .map_err(CliError::Usage)?;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let mut client = glitch_serve::Client::connect_with_timeout(port, timeout).map_err(run_err)?;
+    let mut errors = 0usize;
+    let mut relay = |client: &mut glitch_serve::Client, line: &str| -> Result<(), CliError> {
+        let response = client
+            .request_streaming(line, |interim| println!("{interim}"))
+            .map_err(run_err)?;
+        if response.starts_with("{\"error\"") {
+            errors += 1;
+        }
+        println!("{response}");
+        Ok(())
     };
-    let mut client = glitch_serve::Client::connect(port).map_err(run_err)?;
     if args.positional().is_empty() {
         // No request arguments: relay stdin line by line.
         let stdin = std::io::stdin();
@@ -2032,12 +2108,170 @@ fn cmd_client(raw: &[String]) -> Result<(), CliError> {
             if line.trim().is_empty() {
                 continue;
             }
-            println!("{}", client.request(&line).map_err(run_err)?);
+            relay(&mut client, &line)?;
         }
-        return Ok(());
+    } else {
+        for line in args.positional() {
+            relay(&mut client, line)?;
+        }
     }
-    for line in args.positional() {
-        println!("{}", client.request(line).map_err(run_err)?);
+    if errors > 0 {
+        return Err(run_err(format!(
+            "daemon answered {errors} request(s) with an error"
+        )));
     }
     Ok(())
+}
+
+const STATUS_SPEC: Spec = Spec {
+    options: &["port"],
+    flags: &["json"],
+    optional: &[],
+};
+
+fn cmd_status(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &STATUS_SPEC).map_err(CliError::Usage)?;
+    let port = required_port(&args, "status")?;
+    let line = fetch_status(port)?;
+    if args.flag("json") {
+        println!("{line}");
+    } else {
+        print!("{}", render_status_dashboard(&line, port)?);
+    }
+    Ok(())
+}
+
+const TOP_SPEC: Spec = Spec {
+    options: &["port", "interval", "count"],
+    flags: &[],
+    optional: &[],
+};
+
+fn cmd_top(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, &TOP_SPEC).map_err(CliError::Usage)?;
+    let port = required_port(&args, "top")?;
+    let interval_ms: u64 = args
+        .parsed_option("interval", 1_000)
+        .map_err(CliError::Usage)?;
+    let count: usize = args.parsed_option("count", 0).map_err(CliError::Usage)?;
+    let mut frames = 0usize;
+    loop {
+        let dashboard = render_status_dashboard(&fetch_status(port)?, port)?;
+        // Plain ANSI home+clear redraw: no terminal library, and a dumb
+        // pipe just sees frames separated by the escape sequence.
+        print!("\x1b[H\x1b[2J{dashboard}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        frames += 1;
+        if count > 0 && frames >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+fn fetch_status(port: u16) -> Result<String, CliError> {
+    let timeout = Some(std::time::Duration::from_millis(5_000));
+    let mut client = glitch_serve::Client::connect_with_timeout(port, timeout).map_err(run_err)?;
+    let line = client.request("{\"op\":\"status\"}").map_err(run_err)?;
+    if line.starts_with("{\"error\"") {
+        return Err(run_err(format!(
+            "daemon rejected the status request: {line}"
+        )));
+    }
+    Ok(line)
+}
+
+/// Renders one `status` response as the plain-text dashboard `status` and
+/// `top` share.
+fn render_status_dashboard(line: &str, port: u16) -> Result<String, CliError> {
+    use glitch_serve::jsonin::{parse_json, JsonValue};
+    use std::fmt::Write as _;
+
+    fn object(value: &JsonValue) -> &std::collections::BTreeMap<String, JsonValue> {
+        static EMPTY: std::sync::OnceLock<std::collections::BTreeMap<String, JsonValue>> =
+            std::sync::OnceLock::new();
+        match value {
+            JsonValue::Object(map) => map,
+            _ => EMPTY.get_or_init(std::collections::BTreeMap::new),
+        }
+    }
+    fn field<'a>(
+        map: &'a std::collections::BTreeMap<String, JsonValue>,
+        key: &str,
+    ) -> &'a JsonValue {
+        map.get(key).unwrap_or(&JsonValue::Null)
+    }
+    fn sum(map: &std::collections::BTreeMap<String, JsonValue>) -> u64 {
+        map.values().filter_map(JsonValue::as_u64).sum()
+    }
+
+    let status = parse_json(line)
+        .map_err(|e| run_err(format!("cannot parse status response: {e}: {line}")))?;
+    let status = object(&status);
+    let counts = object(field(status, "counts"));
+    let requests = object(field(counts, "requests"));
+    let errors = object(field(counts, "errors"));
+    let shed = object(field(counts, "shed"));
+    let cache = object(field(status, "cache"));
+    let latency = object(field(status, "latency"));
+    let uptime_s = field(status, "uptime_us").as_u64().unwrap_or(0) as f64 / 1e6;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "glitch-serve 127.0.0.1:{port} — up {uptime_s:.1}s — {} request(s), {} error(s), {} shed",
+        sum(requests),
+        sum(errors),
+        sum(shed)
+    );
+    let _ = writeln!(
+        out,
+        "workers {}/{} busy, queue depth {}; cache {} circuit(s), {} baseline(s), {} byte(s)",
+        field(status, "busy_workers").as_u64().unwrap_or(0),
+        field(status, "workers").as_u64().unwrap_or(0),
+        field(status, "queue_depth").as_u64().unwrap_or(0),
+        field(cache, "circuits").as_u64().unwrap_or(0),
+        field(cache, "baselines").as_u64().unwrap_or(0),
+        field(cache, "bytes").as_u64().unwrap_or(0),
+    );
+    let mut table = TextTable::new(vec![
+        "op",
+        "reqs",
+        "errs",
+        "shed",
+        "q p50/1m",
+        "q p99/1m",
+        "h p50/1m",
+        "h p99/1m",
+        "h p99/tot",
+    ]);
+    let mut ops: Vec<&String> = requests.keys().chain(shed.keys()).collect();
+    ops.sort();
+    ops.dedup();
+    for op in ops {
+        let lat = object(field(latency, op));
+        let queue_wait = object(field(lat, "queue_wait_us"));
+        let handle = object(field(lat, "handle_us"));
+        let pick = |windowed: &std::collections::BTreeMap<String, JsonValue>,
+                    window: &str,
+                    quantile: &str| {
+            field(object(field(windowed, window)), quantile)
+                .as_u64()
+                .map_or_else(|| "-".to_string(), |v| format!("{v}us"))
+        };
+        table.add_row(vec![
+            op.clone(),
+            field(requests, op).as_u64().unwrap_or(0).to_string(),
+            field(errors, op).as_u64().unwrap_or(0).to_string(),
+            field(shed, op).as_u64().unwrap_or(0).to_string(),
+            pick(queue_wait, "1m", "p50"),
+            pick(queue_wait, "1m", "p99"),
+            pick(handle, "1m", "p50"),
+            pick(handle, "1m", "p99"),
+            pick(handle, "total", "p99"),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+    Ok(out)
 }

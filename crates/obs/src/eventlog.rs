@@ -1,0 +1,191 @@
+//! [`EventLog`]: a bounded, dependency-free JSON-lines event writer.
+//!
+//! The serving daemon's access log: callers render one JSON object per
+//! event and [`EventLog::append`] writes it as exactly one line. A mutex
+//! serialises writers and each line goes out as a single `write_all`, so
+//! concurrent appends never interleave bytes. The log is size-bounded:
+//! when a line would push the file past `max_bytes`, the file rotates to
+//! `<path>.1` (replacing any previous rotation) and a fresh file starts,
+//! bounding disk use at roughly `2 × max_bytes`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Default rotation threshold: 64 MiB per file.
+pub const DEFAULT_EVENT_LOG_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+/// A rotating JSON-lines writer; see the module docs.
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    max_bytes: u64,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    file: File,
+    written: u64,
+}
+
+fn open_append(path: &Path) -> io::Result<File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+impl EventLog {
+    /// Opens (or creates) the log at `path`, appending to existing
+    /// content; `max_bytes` caps each file before rotation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open/metadata failures.
+    pub fn create(path: impl Into<PathBuf>, max_bytes: u64) -> io::Result<EventLog> {
+        let path = path.into();
+        let file = open_append(&path)?;
+        let written = file.metadata()?.len();
+        Ok(EventLog {
+            path,
+            max_bytes: max_bytes.max(1),
+            state: Mutex::new(State { file, written }),
+        })
+    }
+
+    /// The active log file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Where rotation moves a full file: `<path>.1`.
+    #[must_use]
+    pub fn rotated_path(path: &Path) -> PathBuf {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Appends one event as one line (a trailing newline is added; any
+    /// already present is normalised away). The line is written atomically
+    /// with respect to other appenders. Rotates first when the line would
+    /// push the file past `max_bytes` — a single oversized line still goes
+    /// out whole, to its own file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and rotation failures.
+    pub fn append(&self, line: &str) -> io::Result<()> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line.trim_end_matches(['\n', '\r']));
+        framed.push('\n');
+        let mut state = self.state.lock().expect("event log lock");
+        if state.written > 0 && state.written + framed.len() as u64 > self.max_bytes {
+            state.file.flush()?;
+            std::fs::rename(&self.path, Self::rotated_path(&self.path))?;
+            state.file = open_append(&self.path)?;
+            state.written = 0;
+        }
+        state.file.write_all(framed.as_bytes())?;
+        state.written += framed.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "glitch-eventlog-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(EventLog::rotated_path(path)).ok();
+    }
+
+    #[test]
+    fn appends_one_line_per_event() {
+        let path = temp_path("lines");
+        cleanup(&path);
+        let log = EventLog::create(&path, DEFAULT_EVENT_LOG_MAX_BYTES).unwrap();
+        log.append(r#"{"id":1}"#).unwrap();
+        log.append("{\"id\":2}\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"id\":1}\n{\"id\":2}\n");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rotates_at_the_size_cap() {
+        let path = temp_path("rotate");
+        cleanup(&path);
+        let log = EventLog::create(&path, 32).unwrap();
+        let line = r#"{"id":1,"pad":"xxxxxxxxxx"}"#; // 28 bytes framed
+        log.append(line).unwrap();
+        log.append(line).unwrap(); // would exceed 32: rotates first
+        let rotated = EventLog::rotated_path(&path);
+        assert!(rotated.exists(), "rotation must produce {rotated:?}");
+        assert_eq!(
+            std::fs::read_to_string(&rotated).unwrap().lines().count(),
+            1
+        );
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+        // A third line rotates again, replacing the previous rotation.
+        log.append(line).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&rotated).unwrap().lines().count(),
+            1
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn reopening_appends_and_counts_existing_bytes() {
+        let path = temp_path("reopen");
+        cleanup(&path);
+        {
+            let log = EventLog::create(&path, 1024).unwrap();
+            log.append(r#"{"id":1}"#).unwrap();
+        }
+        let log = EventLog::create(&path, 1024).unwrap();
+        log.append(r#"{"id":2}"#).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn concurrent_appends_never_interleave() {
+        let path = temp_path("concurrent");
+        cleanup(&path);
+        let log = std::sync::Arc::new(EventLog::create(&path, u64::MAX).unwrap());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        log.append(&format!("{{\"thread\":{t},\"i\":{i}}}"))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 200);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"thread\":") && line.ends_with('}'),
+                "mangled line: {line}"
+            );
+        }
+        cleanup(&path);
+    }
+}

@@ -111,6 +111,53 @@ pub fn metrics_text(metrics: &MetricsRegistry) -> String {
     out
 }
 
+/// Renders a registry in the Prometheus text exposition format (one
+/// `# TYPE` line per metric, names sanitised to `[a-zA-Z0-9_]`).
+/// Histograms expose cumulative `_bucket{le="..."}` series at the log2
+/// bucket upper bounds (only occupied buckets, plus the mandatory
+/// `+Inf`), with the usual `_sum`/`_count` pair.
+#[must_use]
+pub fn metrics_prometheus(metrics: &MetricsRegistry) -> String {
+    fn sanitize(name: &str) -> String {
+        let mut out: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            out.insert(0, '_');
+        }
+        out
+    }
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in metrics.gauges() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in metrics.histograms() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (index, count) in histogram.nonzero_buckets() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                crate::metrics::bucket_upper_bound(index)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.count());
+        let _ = writeln!(out, "{name}_sum {}", histogram.sum());
+        let _ = writeln!(out, "{name}_count {}", histogram.count());
+    }
+    out
+}
+
 /// Renders a span log as a Chrome trace-event JSON array of complete
 /// (`"ph":"X"`) events — load the file in Perfetto (<https://ui.perfetto.dev>)
 /// or `chrome://tracing`. Timestamps and durations are microseconds on the
@@ -136,9 +183,20 @@ pub fn chrome_trace_with_tracks(log: &SpanLog, tracks: &[(u64, &str)]) -> String
             )
         })
         .chain(log.records().iter().map(|r| {
+            let args = if r.args.is_empty() {
+                String::new()
+            } else {
+                let rendered = r
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{v}", escape_json(k)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(",\"args\":{{{rendered}}}")
+            };
             format!(
                 "{{\"name\":\"{}\",\"cat\":\"glitch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":1,\"tid\":{}}}",
+                 \"pid\":1,\"tid\":{}{args}}}",
                 escape_json(&r.name),
                 r.start_micros,
                 r.dur_micros,
@@ -221,6 +279,34 @@ mod tests {
         assert!(trace.contains("\"dur\":5"));
         assert!(trace.contains("\"tid\":2"));
         assert!(trace.contains("shard \\\"q\\\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_metric() {
+        let text = metrics_prometheus(&sample());
+        assert!(text.contains("# TYPE a_counter counter\na_counter 1\n"));
+        assert!(text.contains("# TYPE b_counter counter\nb_counter 2\n"));
+        assert!(text.contains("# TYPE g_peak gauge\ng_peak 9\n"));
+        assert!(text.contains("# TYPE h_values histogram\n"));
+        // Value 5 sits in bucket 3 ([4,8)), upper bound 7; cumulative 1.
+        assert!(
+            text.contains("h_values_bucket{le=\"7\"} 1\n"),
+            "got:\n{text}"
+        );
+        assert!(text.contains("h_values_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("h_values_sum 5\n"));
+        assert!(text.contains("h_values_count 1\n"));
+    }
+
+    #[test]
+    fn span_args_render_into_the_trace() {
+        let log = SpanLog::new(Clock::new());
+        log.record_with_args("analyze m.blif", 1, 10, 5, vec![("request_id".into(), 7)]);
+        let trace = chrome_trace(&log);
+        assert!(
+            trace.contains("\"args\":{\"request_id\":7}"),
+            "got: {trace}"
+        );
     }
 
     #[test]

@@ -61,8 +61,23 @@ pub fn bucket_index(value: u64) -> usize {
     (64 - value.leading_zeros()) as usize
 }
 
+/// The largest value a bucket holds: 0 for bucket 0, `2^i - 1` for
+/// bucket `0 < i < 64`, and `u64::MAX` for the last bucket.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
 impl Histogram {
-    fn record(&mut self, value: u64) {
+    /// Records one sample. Standalone histograms (outside a registry, e.g.
+    /// the time slots of a `WindowedHistogram`) record through this
+    /// directly; registry-held ones go through
+    /// [`MetricsRegistry::record`].
+    pub fn record(&mut self, value: u64) {
         self.buckets[bucket_index(value)] += 1;
         self.count += 1;
         self.sum += value;
@@ -70,7 +85,8 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
-    fn merge(&mut self, other: &Histogram) {
+    /// Adds another histogram bucket-wise (count/sum add, min/max fold).
+    pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
@@ -78,6 +94,27 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`) by exact rank: the
+    /// sample of rank `ceil(q · count)` is located in its bucket and the
+    /// bucket's upper bound is returned, clamped to the recorded
+    /// `[min, max]` so a narrow distribution reports tight quantiles.
+    /// Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
     }
 
     /// Number of recorded samples.
@@ -360,6 +397,42 @@ mod tests {
         assert_eq!(bucket_index(3), 2);
         assert_eq!(bucket_index(4), 3);
         assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_use_exact_rank_over_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        for value in [1u64, 2, 3, 100, 1000] {
+            h.record(value);
+        }
+        // Rank ceil(0.5 * 5) = 3 lands in bucket 2 ([2,4)): upper bound 3.
+        assert_eq!(h.value_at_quantile(0.5), 3);
+        // Rank 5 lands in bucket 10; clamped to the recorded max.
+        assert_eq!(h.value_at_quantile(0.99), 1000);
+        assert_eq!(h.value_at_quantile(1.0), 1000);
+        // Rank is at least 1: the lowest sample's bucket.
+        assert_eq!(h.value_at_quantile(0.0), 1);
+
+        let mut uniform = Histogram::default();
+        for _ in 0..10 {
+            uniform.record(7);
+        }
+        // All mass in one bucket: every quantile is clamped to [7, 7].
+        assert_eq!(uniform.value_at_quantile(0.5), 7);
+        assert_eq!(uniform.value_at_quantile(0.99), 7);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_match_bucket_index() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for value in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            assert!(value <= bucket_upper_bound(bucket_index(value)));
+        }
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct SpanRecord {
     pub start_micros: u64,
     /// Duration in microseconds.
     pub dur_micros: u64,
+    /// Numeric span arguments (e.g. `request_id`), rendered into the
+    /// Chrome trace event's `args` object; usually empty.
+    pub args: Vec<(String, u64)>,
 }
 
 /// The default ring-buffer capacity of a [`SpanLog`].
@@ -110,6 +113,19 @@ impl SpanLog {
 
     /// Records an externally measured span.
     pub fn record(&self, name: impl Into<String>, tid: u64, start_micros: u64, dur_micros: u64) {
+        self.record_with_args(name, tid, start_micros, dur_micros, Vec::new());
+    }
+
+    /// Records an externally measured span with numeric arguments (e.g.
+    /// the serving layer's per-request id).
+    pub fn record_with_args(
+        &self,
+        name: impl Into<String>,
+        tid: u64,
+        start_micros: u64,
+        dur_micros: u64,
+        args: Vec<(String, u64)>,
+    ) {
         let mut inner = self.inner.borrow_mut();
         if inner.records.len() == self.capacity {
             inner.records.pop_front();
@@ -120,6 +136,7 @@ impl SpanLog {
             tid,
             start_micros,
             dur_micros,
+            args,
         });
     }
 
@@ -215,6 +232,14 @@ mod tests {
         log.record("shard", 3, 10, 20);
         let r = &log.records()[0];
         assert_eq!((r.tid, r.start_micros, r.dur_micros), (3, 10, 20));
+        assert!(r.args.is_empty());
+    }
+
+    #[test]
+    fn args_survive_the_ring() {
+        let log = SpanLog::new(Clock::new());
+        log.record_with_args("analyze", 1, 5, 9, vec![("request_id".into(), 42)]);
+        assert_eq!(log.records()[0].args, vec![("request_id".to_string(), 42)]);
     }
 
     #[test]

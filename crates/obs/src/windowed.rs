@@ -1,0 +1,170 @@
+//! [`WindowedHistogram`]: a ring of fixed-duration time slots over the
+//! registry's log2 [`Histogram`], for live latency percentiles.
+//!
+//! A long-lived process (the serving daemon) wants "p99 over the last
+//! minute", not "p99 since boot". The windowed histogram keeps one log2
+//! histogram per time slot plus a cumulative total; recording touches the
+//! slot the timestamp falls into (resetting it if the ring has wrapped),
+//! and a window query merges every slot that intersects the window into
+//! one histogram, whose exact-rank [`Histogram::value_at_quantile`]
+//! answers the percentile.
+//!
+//! Time is explicit: every call takes `now_micros` from the caller's
+//! [`crate::Clock`], so windows are deterministic under test and the
+//! struct itself needs no interior clock or locking.
+
+use crate::metrics::Histogram;
+
+/// Microseconds in the canonical short window (one minute).
+pub const WINDOW_1M_MICROS: u64 = 60_000_000;
+
+/// Microseconds in the canonical long window (five minutes).
+pub const WINDOW_5M_MICROS: u64 = 300_000_000;
+
+/// The default slot duration: 5-second slots.
+pub const DEFAULT_SLOT_MICROS: u64 = 5_000_000;
+
+/// The default slot count: 60 slots of 5 s cover the 5-minute window.
+pub const DEFAULT_SLOT_COUNT: usize = 60;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Which absolute slot index (`time / slot_micros`) this holds, or
+    /// `u64::MAX` when never written.
+    index: u64,
+    histogram: Histogram,
+}
+
+/// A time-sliced histogram ring; see the module docs.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    slot_micros: u64,
+    slots: Vec<Slot>,
+    total: Histogram,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOT_MICROS, DEFAULT_SLOT_COUNT)
+    }
+}
+
+impl WindowedHistogram {
+    /// A ring of `slot_count` slots of `slot_micros` each. The ring
+    /// covers `slot_count × slot_micros` of history; queries for longer
+    /// windows silently miss the evicted slots, so size the ring to the
+    /// longest window you ask for.
+    #[must_use]
+    pub fn new(slot_micros: u64, slot_count: usize) -> Self {
+        WindowedHistogram {
+            slot_micros: slot_micros.max(1),
+            slots: vec![
+                Slot {
+                    index: u64::MAX,
+                    histogram: Histogram::default(),
+                };
+                slot_count.max(1)
+            ],
+            total: Histogram::default(),
+        }
+    }
+
+    /// Records one sample at `now_micros` on the caller's clock.
+    pub fn record(&mut self, now_micros: u64, value: u64) {
+        let index = now_micros / self.slot_micros;
+        let pos = (index as usize) % self.slots.len();
+        let slot = &mut self.slots[pos];
+        if slot.index != index {
+            slot.index = index;
+            slot.histogram = Histogram::default();
+        }
+        slot.histogram.record(value);
+        self.total.record(value);
+    }
+
+    /// The cumulative histogram over every sample ever recorded.
+    #[must_use]
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// Merges every slot intersecting `[now - window, now]` into one
+    /// histogram. A slot qualifies when its `[start, end)` time range
+    /// overlaps the window, so a query issued mid-slot sees the samples
+    /// recorded earlier in that same slot.
+    #[must_use]
+    pub fn window(&self, now_micros: u64, window_micros: u64) -> Histogram {
+        let from = now_micros.saturating_sub(window_micros);
+        let mut merged = Histogram::default();
+        for slot in &self.slots {
+            if slot.index == u64::MAX {
+                continue;
+            }
+            let start = slot.index.saturating_mul(self.slot_micros);
+            let end = start.saturating_add(self.slot_micros);
+            if end > from && start <= now_micros {
+                merged.merge(&slot.histogram);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sees_recent_slots_only() {
+        let mut w = WindowedHistogram::new(1_000_000, 10); // 1 s slots, 10 s ring
+        w.record(500_000, 10); // slot 0
+        w.record(3_500_000, 20); // slot 3
+        w.record(8_500_000, 30); // slot 8
+
+        // 2 s window at t=9 s: only slot 8.
+        let recent = w.window(9_000_000, 2_000_000);
+        assert_eq!(recent.count(), 1);
+        assert_eq!(recent.max(), 30);
+
+        // 6 s window at t=9 s: slots 3 and 8.
+        let mid = w.window(9_000_000, 6_000_000);
+        assert_eq!(mid.count(), 2);
+
+        // Everything, and the cumulative total.
+        assert_eq!(w.window(9_000_000, 10_000_000).count(), 3);
+        assert_eq!(w.total().count(), 3);
+        assert_eq!(w.total().sum(), 60);
+    }
+
+    #[test]
+    fn ring_wrap_evicts_stale_slots_but_keeps_total() {
+        let mut w = WindowedHistogram::new(1_000_000, 4);
+        w.record(0, 1); // slot 0
+        w.record(4_500_000, 2); // slot 4 reuses slot 0's position
+        let window = w.window(4_900_000, 10_000_000);
+        assert_eq!(window.count(), 1, "slot 0 must have been reset");
+        assert_eq!(window.max(), 2);
+        assert_eq!(w.total().count(), 2, "the total never forgets");
+    }
+
+    #[test]
+    fn query_mid_slot_includes_the_open_slot() {
+        let mut w = WindowedHistogram::default();
+        w.record(1_000, 500);
+        let window = w.window(2_000, WINDOW_1M_MICROS);
+        assert_eq!(window.count(), 1);
+        assert_eq!(window.value_at_quantile(0.5), 500);
+    }
+
+    #[test]
+    fn percentiles_over_a_window_use_exact_rank() {
+        let mut w = WindowedHistogram::default();
+        for i in 0..100u64 {
+            w.record(i * 1_000, if i < 90 { 100 } else { 4_000 });
+        }
+        let window = w.window(100_000, WINDOW_1M_MICROS);
+        assert_eq!(window.count(), 100);
+        assert_eq!(window.value_at_quantile(0.50), 127); // bucket [64,128)
+        assert_eq!(window.value_at_quantile(0.99), 4_000); // clamped to max
+    }
+}

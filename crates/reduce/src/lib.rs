@@ -57,10 +57,12 @@
 
 mod error;
 mod moves;
+mod progress;
 mod reducer;
 mod screen;
 
 pub use error::ReduceError;
 pub use moves::{generate_candidates, parse_moves, Candidate, MoveKind};
+pub use progress::{NullProgress, ProgressEvent, ProgressSink};
 pub use reducer::{AcceptedMove, ReduceOptions, ReduceReport, Reducer};
 pub use screen::{screen_candidate, ScreenBackend, ScreenOutcome};

@@ -1,0 +1,42 @@
+//! Per-iteration progress reporting for long reductions.
+//!
+//! The descent can run for minutes on large circuits; a [`ProgressSink`]
+//! observes one [`ProgressEvent`] per loop iteration — the accepted move
+//! with its glitch-power delta, or the rejection that ends the descent —
+//! so the serving daemon can stream interim rows while the loop runs.
+//! Sinks are observers only: they cannot alter the descent, so a run with
+//! a sink attached produces a byte-identical report to one without.
+
+use crate::reducer::AcceptedMove;
+
+/// One reduction-loop iteration, as seen by a [`ProgressSink`].
+#[derive(Debug, Clone)]
+pub struct ProgressEvent<'a> {
+    /// 1-based loop iteration.
+    pub iteration: usize,
+    /// Candidates proposed this iteration.
+    pub proposed: usize,
+    /// Candidates that survived this iteration's functional screen.
+    pub screened: usize,
+    /// The accepted move, or `None` when no candidate improved (the
+    /// iteration that ends the descent).
+    pub accepted: Option<&'a AcceptedMove>,
+    /// Glitch power after this iteration, in watts.
+    pub glitch_power: f64,
+    /// The run's baseline glitch power, in watts.
+    pub baseline_glitch_power: f64,
+}
+
+/// Observes reduction-loop iterations; see the module docs.
+pub trait ProgressSink {
+    /// Called once per loop iteration, after its accept/reject decision.
+    fn iteration(&mut self, event: &ProgressEvent<'_>);
+}
+
+/// The sink that drops every event — what [`crate::Reducer::run`] uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {
+    fn iteration(&mut self, _event: &ProgressEvent<'_>) {}
+}

@@ -23,6 +23,7 @@ use glitch_verify::{EquivalenceChecker, EquivalenceReport};
 
 use crate::error::ReduceError;
 use crate::moves::{generate_candidates, Candidate, MoveKind};
+use crate::progress::{NullProgress, ProgressEvent, ProgressSink};
 use crate::screen::{screen_candidate, ScreenBackend};
 
 /// Knobs of the reduction loop; see the field docs for defaults.
@@ -182,6 +183,24 @@ impl Reducer {
         random_buses: &[Bus],
         held: &[(NetId, bool)],
     ) -> Result<ReduceReport, ReduceError> {
+        self.run_with_progress(netlist, random_buses, held, &mut NullProgress)
+    }
+
+    /// [`Reducer::run`] with a [`ProgressSink`] observing one event per
+    /// loop iteration (the accepted move, or the rejection that ends the
+    /// descent). The sink is an observer only: the returned report is
+    /// byte-identical to a sink-less run.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Reducer::run`].
+    pub fn run_with_progress(
+        &self,
+        netlist: &Netlist,
+        random_buses: &[Bus],
+        held: &[(NetId, bool)],
+        progress: &mut dyn ProgressSink,
+    ) -> Result<ReduceReport, ReduceError> {
         let baseline = self.session.score(netlist, random_buses, held)?;
         let backend = self.screen_backend();
         let screen_seed = self.session.config().seed;
@@ -213,8 +232,17 @@ impl Reducer {
                 self.options.per_kind,
                 self.options.pipeline,
             );
-            proposed += candidates.len();
+            let iter_proposed = candidates.len();
+            proposed += iter_proposed;
             if candidates.is_empty() {
+                progress.iteration(&ProgressEvent {
+                    iteration: iterations,
+                    proposed: 0,
+                    screened: 0,
+                    accepted: None,
+                    glitch_power: score.glitch_power,
+                    baseline_glitch_power: baseline.glitch_power,
+                });
                 break;
             }
             // Functional screen: cheap batch rejection of broken rewrites.
@@ -232,7 +260,8 @@ impl Reducer {
                     survivors.push(candidate);
                 }
             }
-            screened += survivors.len();
+            let iter_screened = survivors.len();
+            screened += iter_screened;
             // Confirm: full glitch-power pass per survivor; best wins.
             type Confirmed = (Candidate, ReduceScore, Vec<Bus>, Vec<(NetId, bool)>);
             let mut best: Option<Confirmed> = None;
@@ -264,6 +293,14 @@ impl Reducer {
                 }
             }
             let Some((winner, winner_score, winner_buses, winner_held)) = best else {
+                progress.iteration(&ProgressEvent {
+                    iteration: iterations,
+                    proposed: iter_proposed,
+                    screened: iter_screened,
+                    accepted: None,
+                    glitch_power: score.glitch_power,
+                    baseline_glitch_power: baseline.glitch_power,
+                });
                 break;
             };
             moves.push(AcceptedMove {
@@ -273,6 +310,14 @@ impl Reducer {
                 glitch_power_before: score.glitch_power,
                 glitch_power_after: winner_score.glitch_power,
                 latency_added: winner.rewrite.map.latency(),
+            });
+            progress.iteration(&ProgressEvent {
+                iteration: iterations,
+                proposed: iter_proposed,
+                screened: iter_screened,
+                accepted: moves.last(),
+                glitch_power: winner_score.glitch_power,
+                baseline_glitch_power: baseline.glitch_power,
             });
             map = map.compose(&winner.rewrite.map);
             current = winner.rewrite.netlist;

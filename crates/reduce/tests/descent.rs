@@ -11,7 +11,7 @@
 use glitch_core::{AnalysisConfig, EngineKind, ReduceSession};
 use glitch_io::{parse_netlist, Format, GateLibrary};
 use glitch_netlist::{Bus, Netlist};
-use glitch_reduce::{MoveKind, ReduceOptions, ReduceReport, Reducer};
+use glitch_reduce::{MoveKind, ProgressEvent, ProgressSink, ReduceOptions, ReduceReport, Reducer};
 
 fn load(file: &str) -> Netlist {
     let path = format!("{}/../../tests/data/{file}", env!("CARGO_MANIFEST_DIR"));
@@ -145,6 +145,58 @@ fn the_target_stops_the_descent_early() {
     // run must not have stopped earlier than the targeted one.
     let unbounded = reduce("mult4.blif", EngineKind::Queue, 2, ReduceOptions::default());
     assert!(unbounded.moves.len() >= report.moves.len());
+}
+
+#[test]
+fn progress_sink_observes_every_iteration_without_changing_the_report() {
+    struct Collect(Vec<(usize, bool, u64)>);
+    impl ProgressSink for Collect {
+        fn iteration(&mut self, event: &ProgressEvent<'_>) {
+            self.0.push((
+                event.iteration,
+                event.accepted.is_some(),
+                event.glitch_power.to_bits(),
+            ));
+        }
+    }
+    let netlist = load("rca4.blif");
+    let buses = input_buses(&netlist);
+    let options = ReduceOptions {
+        max_iters: 2,
+        ..ReduceOptions::default()
+    };
+    let session = || {
+        ReduceSession::new(
+            AnalysisConfig {
+                cycles: 192,
+                engine: EngineKind::Queue,
+                ..AnalysisConfig::default()
+            },
+            vec![11, 17],
+            1,
+        )
+    };
+    let plain = Reducer::new(session(), options.clone())
+        .run(&netlist, &buses, &[])
+        .expect("reduction runs");
+    let mut sink = Collect(Vec::new());
+    let observed = Reducer::new(session(), options)
+        .run_with_progress(&netlist, &buses, &[], &mut sink)
+        .expect("reduction runs");
+
+    // One event per iteration, accepted events first, in loop order.
+    assert_eq!(sink.0.len(), observed.iterations);
+    assert_eq!(
+        sink.0.iter().filter(|(_, accepted, _)| *accepted).count(),
+        observed.moves.len()
+    );
+    for (event, m) in sink.0.iter().zip(&observed.moves) {
+        assert_eq!(event.0, m.iteration);
+        assert!(event.1);
+        assert_eq!(event.2, m.glitch_power_after.to_bits());
+    }
+    // The sink is observe-only: both reports are identical.
+    assert_eq!(fingerprint(&plain), fingerprint(&observed));
 }
 
 #[test]

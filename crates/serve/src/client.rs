@@ -1,8 +1,10 @@
 //! A minimal blocking client for the JSON-lines protocol: one connection,
-//! one request line out, one response line back per call.
+//! one request line out, one response line back per call (plus any
+//! interim progress lines a streaming job emits before its final line).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// A connected protocol client.
 pub struct Client {
@@ -17,6 +19,15 @@ impl Client {
     ///
     /// Returns a message when the connection cannot be established.
     pub fn connect(port: u16) -> Result<Client, String> {
+        Client::connect_with_timeout(port, None)
+    }
+
+    /// Connects with a per-response read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the connection cannot be established.
+    pub fn connect_with_timeout(port: u16, timeout: Option<Duration>) -> Result<Client, String> {
         let writer = TcpStream::connect(("127.0.0.1", port))
             .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}"))?;
         // One small request per round trip: Nagle coalescing only adds
@@ -27,6 +38,10 @@ impl Client {
                 .try_clone()
                 .map_err(|e| format!("cannot clone connection: {e}"))?,
         );
+        reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
         Ok(Client { writer, reader })
     }
 
@@ -38,24 +53,47 @@ impl Client {
     /// Returns a message on I/O failure or when the daemon closes the
     /// connection before responding.
     pub fn request(&mut self, line: &str) -> Result<String, String> {
+        self.request_streaming(line, |_| {})
+    }
+
+    /// Sends one request line, feeds every interim progress line (one
+    /// that opens with `{"progress"`) to `on_interim`, and returns the
+    /// final response line. A non-streaming request never calls the
+    /// callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure (including a read timeout) or
+    /// when the daemon closes the connection before responding.
+    pub fn request_streaming(
+        &mut self,
+        line: &str,
+        mut on_interim: impl FnMut(&str),
+    ) -> Result<String, String> {
         // Line and newline in one write, so the request is one segment.
         let framed = format!("{}\n", line.trim_end());
         self.writer
             .write_all(framed.as_bytes())
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("cannot send request: {e}"))?;
-        let mut response = String::new();
-        let read = self
-            .reader
-            .read_line(&mut response)
-            .map_err(|e| format!("cannot read response: {e}"))?;
-        if read == 0 {
-            return Err("daemon closed the connection without responding".into());
+        loop {
+            let mut response = String::new();
+            let read = self
+                .reader
+                .read_line(&mut response)
+                .map_err(|e| format!("cannot read response: {e}"))?;
+            if read == 0 {
+                return Err("daemon closed the connection without responding".into());
+            }
+            while response.ends_with('\n') || response.ends_with('\r') {
+                response.pop();
+            }
+            if response.starts_with("{\"progress\"") {
+                on_interim(&response);
+                continue;
+            }
+            return Ok(response);
         }
-        while response.ends_with('\n') || response.ends_with('\r') {
-            response.pop();
-        }
-        Ok(response)
     }
 }
 

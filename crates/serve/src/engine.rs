@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use glitch_core::netlist::Netlist;
@@ -23,8 +24,13 @@ use glitch_core::{
     KernelProgram, KernelTelemetry, SimBaseline,
 };
 use glitch_io::GateLibrary;
-use glitch_obs::export::{chrome_trace_with_tracks, metrics_json, metrics_text};
-use glitch_obs::{Clock, MetricsRegistry, SpanLog};
+use glitch_obs::export::{
+    chrome_trace_with_tracks, metrics_json, metrics_prometheus, metrics_text,
+};
+use glitch_obs::{
+    Clock, EventLog, Histogram, MetricsRegistry, SpanLog, WindowedHistogram, WINDOW_1M_MICROS,
+    WINDOW_5M_MICROS,
+};
 
 use crate::cache::{CachedCircuit, CircuitCache};
 use crate::json::JsonObject;
@@ -52,6 +58,46 @@ fn kernel_job<'a>(netlist: &'a Netlist, config: &AnalysisConfig) -> SimJob<'a> {
     .with_options(config.options)
 }
 
+/// What the server threads know about one request: its monotonic id
+/// (assigned at the connection, before admission control) and how long it
+/// waited in the queue before a worker picked it up.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestContext {
+    /// The daemon-wide monotonic request id.
+    pub id: u64,
+    /// Microseconds between admission and dequeue (0 for control ops,
+    /// which are answered inline).
+    pub queue_wait_us: u64,
+}
+
+impl RequestContext {
+    /// A context for inline work that never queued.
+    #[must_use]
+    pub fn inline(id: u64) -> RequestContext {
+        RequestContext {
+            id,
+            queue_wait_us: 0,
+        }
+    }
+}
+
+/// One span entry: name, track, start, duration, request id.
+type SpanEntry = (String, u64, u64, u64, u64);
+
+/// The per-op windowed latency pair behind the `status` op.
+struct OpWindows {
+    queue_wait: WindowedHistogram,
+    handle: WindowedHistogram,
+}
+
+/// What one finished job contributes to its access-log line beyond the
+/// response itself: the resolved circuit fingerprint and how the netlist
+/// cache answered.
+struct JobTrace {
+    fingerprint: Option<u64>,
+    cache: &'static str,
+}
+
 /// The shared request executor. All methods take `&self`; the registry
 /// and span store sit behind short-lived locks, the heavy work (parse,
 /// simulate) runs lock-free through the cache's single-flight slots.
@@ -59,7 +105,11 @@ pub struct Engine {
     cache: CircuitCache,
     metrics: Mutex<MetricsRegistry>,
     clock: Clock,
-    spans: Mutex<VecDeque<(String, u64, u64, u64)>>,
+    spans: Mutex<VecDeque<SpanEntry>>,
+    next_id: AtomicU64,
+    busy_workers: AtomicUsize,
+    windows: Mutex<Vec<(String, OpWindows)>>,
+    access_log: Option<EventLog>,
 }
 
 impl Engine {
@@ -72,7 +122,29 @@ impl Engine {
             metrics: Mutex::new(MetricsRegistry::new()),
             clock: Clock::new(),
             spans: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
+            windows: Mutex::new(Vec::new()),
+            access_log: None,
         }
+    }
+
+    /// Opens the access log at `path` (rotating past `max_bytes`); every
+    /// subsequent request appends exactly one line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be opened.
+    pub fn set_access_log(&mut self, path: &str, max_bytes: u64) -> Result<(), String> {
+        let log = EventLog::create(path, max_bytes)
+            .map_err(|e| format!("cannot open access log {path}: {e}"))?;
+        self.access_log = Some(log);
+        Ok(())
+    }
+
+    /// Assigns the next monotonic request id (1-based).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The engine's monotonic clock (shared timeline for every span).
@@ -107,12 +179,74 @@ impl Engine {
         self.metrics.lock().expect("metrics lock").merge(registry);
     }
 
-    fn record_span(&self, name: String, track: u64, start: u64, dur: u64) {
+    fn record_span(&self, name: String, track: u64, start: u64, dur: u64, request_id: u64) {
         let mut spans = self.spans.lock().expect("span lock");
         if spans.len() == SPAN_CAPACITY {
             spans.pop_front();
         }
-        spans.push_back((name, track, start, dur));
+        spans.push_back((name, track, start, dur, request_id));
+    }
+
+    /// Records one admitted request's latency pair: the shared-registry
+    /// histograms (per op, visible in `metrics`) and the windowed
+    /// per-op histograms behind `status`. Shed requests never reach this.
+    fn record_latency(&self, op: &str, queue_wait_us: u64, handle_us: u64, now_micros: u64) {
+        {
+            let mut metrics = self.metrics.lock().expect("metrics lock");
+            let queue = metrics.histogram(&format!("serve.queue_wait_us.{op}"));
+            metrics.record(queue, queue_wait_us);
+            let handle = metrics.histogram(&format!("serve.handle_us.{op}"));
+            metrics.record(handle, handle_us);
+        }
+        let mut windows = self.windows.lock().expect("window lock");
+        let entry = match windows.iter_mut().find(|(name, _)| name == op) {
+            Some((_, entry)) => entry,
+            None => {
+                windows.push((
+                    op.to_string(),
+                    OpWindows {
+                        queue_wait: WindowedHistogram::default(),
+                        handle: WindowedHistogram::default(),
+                    },
+                ));
+                &mut windows.last_mut().expect("just pushed").1
+            }
+        };
+        entry.queue_wait.record(now_micros, queue_wait_us);
+        entry.handle.record(now_micros, handle_us);
+    }
+
+    /// Appends one access-log line (a no-op without `--access-log`).
+    /// Write failures are counted, not fatal: observability must never
+    /// take the serving path down.
+    #[allow(clippy::too_many_arguments)]
+    fn access_line(
+        &self,
+        id: u64,
+        op: &str,
+        fingerprint: Option<u64>,
+        cache: &str,
+        queue_us: u64,
+        wall_us: u64,
+        outcome: &str,
+    ) {
+        let Some(log) = &self.access_log else { return };
+        let fingerprint = match fingerprint {
+            Some(f) => format!("{f:016x}"),
+            None => String::new(),
+        };
+        let line = JsonObject::new()
+            .u64("id", id)
+            .str("op", op)
+            .str("fingerprint", &fingerprint)
+            .str("cache", cache)
+            .u64("queue_us", queue_us)
+            .u64("wall_us", wall_us)
+            .str("outcome", outcome)
+            .render();
+        if log.append(&line).is_err() {
+            self.add("serve.access_log_errors", 1);
+        }
     }
 
     /// Mirrors the CLI telemetry's aggregate recording (`sim.*`,
@@ -208,49 +342,209 @@ impl Engine {
         }
     }
 
-    /// Runs one job to a single response line, with its request counter,
-    /// timing span (on the worker's trace track) and cache gauges.
-    pub fn run_job(&self, kind: JobKind, job: &JobRequest, track: u64) -> String {
+    /// Runs one job to its final response line, with its request counter,
+    /// timing span (on the worker's trace track, tagged with the request
+    /// id), latency histograms, cache gauges and access-log line. When
+    /// `interim` is given and the job asked for progress, interim lines
+    /// are emitted through it before this returns.
+    pub fn run_job(
+        &self,
+        kind: JobKind,
+        job: &JobRequest,
+        track: u64,
+        ctx: RequestContext,
+        interim: Option<&(dyn Fn(String) + Sync)>,
+    ) -> String {
+        self.busy_workers.fetch_add(1, Ordering::SeqCst);
         self.add(&format!("serve.requests.{}", kind.op()), 1);
+        let mut trace = JobTrace {
+            fingerprint: None,
+            cache: "-",
+        };
         let start = self.clock.now_micros();
-        let result = self.execute(kind, job);
-        let dur = self.clock.now_micros().saturating_sub(start);
-        self.record_span(format!("{} {}", kind.op(), job.file), track, start, dur);
+        let result = self.execute(kind, job, &mut trace, ctx.id, interim);
+        let end = self.clock.now_micros();
+        let dur = end.saturating_sub(start);
+        self.record_span(
+            format!("{} {}", kind.op(), job.file),
+            track,
+            start,
+            dur,
+            ctx.id,
+        );
+        self.record_latency(kind.op(), ctx.queue_wait_us, dur, end);
         self.gauge_max("cache.peak_bytes", self.cache.bytes() as u64);
         self.gauge_max("cache.circuits", self.cache.circuit_count() as u64);
-        match result {
-            Ok(line) => line,
+        let (line, outcome) = match result {
+            Ok(line) => (line, "ok"),
             Err(message) => {
                 self.add("serve.errors", 1);
-                error_response(&message)
+                self.add(&format!("serve.errors.{}", kind.op()), 1);
+                (error_response(&message), "error")
             }
-        }
+        };
+        self.access_line(
+            ctx.id,
+            kind.op(),
+            trace.fingerprint,
+            trace.cache,
+            ctx.queue_wait_us,
+            dur,
+            outcome,
+        );
+        self.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        line
+    }
+
+    /// Wraps one inline control op: request counter, zero-queue-wait
+    /// latency sample, span (track 0) and access-log line around the
+    /// rendered response.
+    fn control_response(
+        &self,
+        op: &str,
+        id: u64,
+        render: impl FnOnce(&Engine) -> String,
+    ) -> String {
+        self.add(&format!("serve.requests.{op}"), 1);
+        let start = self.clock.now_micros();
+        let line = render(self);
+        let end = self.clock.now_micros();
+        let dur = end.saturating_sub(start);
+        self.record_span(op.to_string(), 0, start, dur, id);
+        self.record_latency(op, 0, dur, end);
+        self.access_line(id, op, None, "-", 0, dur, "ok");
+        line
     }
 
     /// The `ping` response.
-    pub fn ping_response(&self) -> String {
-        self.add("serve.requests.ping", 1);
-        ok_response()
+    pub fn ping_response(&self, id: u64) -> String {
+        self.control_response("ping", id, |_| ok_response())
     }
 
-    /// The `metrics` response: the merged registry, either as the stable
-    /// sorted one-line JSON object or as the human-readable text wrapped
-    /// in a JSON envelope.
-    pub fn metrics_response(&self, format: MetricsFormat) -> String {
-        self.add("serve.requests.metrics", 1);
-        let registry = self.metrics.lock().expect("metrics lock").clone();
-        match format {
-            MetricsFormat::Json => metrics_json(&registry),
-            MetricsFormat::Text => JsonObject::new()
-                .str("metrics", &metrics_text(&registry))
-                .render(),
+    /// The `shutdown` acknowledgement (the caller triggers the drain).
+    pub fn shutdown_response(&self, id: u64) -> String {
+        self.control_response("shutdown", id, |_| ok_response())
+    }
+
+    /// The `metrics` response: the merged registry as the stable sorted
+    /// one-line JSON object, or as human-readable text / Prometheus
+    /// exposition wrapped in a JSON envelope.
+    pub fn metrics_response(&self, format: MetricsFormat, id: u64) -> String {
+        self.control_response("metrics", id, |engine| {
+            let registry = engine.metrics.lock().expect("metrics lock").clone();
+            match format {
+                MetricsFormat::Json => metrics_json(&registry),
+                MetricsFormat::Text => JsonObject::new()
+                    .str("metrics", &metrics_text(&registry))
+                    .render(),
+                MetricsFormat::Prometheus => JsonObject::new()
+                    .str("metrics", &metrics_prometheus(&registry))
+                    .render(),
+            }
+        })
+    }
+
+    /// The `status` response: live serving telemetry. The leading
+    /// `counts` sub-object is deterministic for a fixed request sequence
+    /// (counters only); everything after it (uptime, percentiles,
+    /// busyness) is wall-clock-dependent.
+    pub fn status_response(&self, id: u64, queue_depth: usize, workers: usize) -> String {
+        self.control_response("status", id, |engine| {
+            engine.render_status(queue_depth, workers)
+        })
+    }
+
+    fn render_status(&self, queue_depth: usize, workers: usize) -> String {
+        fn percentiles(histogram: &Histogram) -> JsonObject {
+            JsonObject::new()
+                .u64("count", histogram.count())
+                .u64("p50", histogram.value_at_quantile(0.50))
+                .u64("p90", histogram.value_at_quantile(0.90))
+                .u64("p99", histogram.value_at_quantile(0.99))
+                .u64("max", histogram.max())
         }
+        fn windowed(windows: &WindowedHistogram, now: u64) -> JsonObject {
+            JsonObject::new()
+                .raw(
+                    "1m",
+                    &percentiles(&windows.window(now, WINDOW_1M_MICROS)).render(),
+                )
+                .raw(
+                    "5m",
+                    &percentiles(&windows.window(now, WINDOW_5M_MICROS)).render(),
+                )
+                .raw("total", &percentiles(windows.total()).render())
+        }
+        let now = self.clock.now_micros();
+        let registry = self.metrics.lock().expect("metrics lock").clone();
+        let counts_of = |prefix: &str| {
+            let mut out = JsonObject::new();
+            for (name, value) in registry.counters() {
+                if let Some(op) = name.strip_prefix(prefix) {
+                    if !op.is_empty() && !op.contains('.') {
+                        out = out.u64(op, value);
+                    }
+                }
+            }
+            out
+        };
+        let counts = JsonObject::new()
+            .raw("requests", &counts_of("serve.requests.").render())
+            .raw("errors", &counts_of("serve.errors.").render())
+            .raw("shed", &counts_of("serve.shed.").render())
+            .u64(
+                "stale_fingerprints",
+                registry
+                    .counter_value("serve.stale_fingerprints")
+                    .unwrap_or(0),
+            );
+        let cache = JsonObject::new()
+            .u64("bytes", self.cache.bytes() as u64)
+            .u64("circuits", self.cache.circuit_count() as u64)
+            .u64("baselines", self.cache.baseline_count() as u64);
+        let mut latency = JsonObject::new();
+        {
+            let mut windows = self.windows.lock().expect("window lock");
+            windows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (op, entry) in windows.iter() {
+                latency = latency.raw(
+                    op,
+                    &JsonObject::new()
+                        .raw("queue_wait_us", &windowed(&entry.queue_wait, now).render())
+                        .raw("handle_us", &windowed(&entry.handle, now).render())
+                        .render(),
+                );
+            }
+        }
+        JsonObject::new()
+            .raw("counts", &counts.render())
+            .u64("uptime_us", now)
+            .usize("queue_depth", queue_depth)
+            .usize("workers", workers)
+            .usize("busy_workers", self.busy_workers.load(Ordering::SeqCst))
+            .raw("cache", &cache.render())
+            .raw("latency", &latency.render())
+            .render()
     }
 
     /// Counts a request shed by admission control (the caller renders the
-    /// error line).
-    pub fn record_shed(&self) {
+    /// error line). Shed requests get an access-log line and a trace span
+    /// but — deliberately — no latency histogram sample: they never
+    /// queued, and folding their instant rejection into the latency
+    /// percentiles would flatter the tail.
+    pub fn record_shed(&self, id: u64, op: &str) {
         self.add("serve.shed", 1);
+        self.add(&format!("serve.shed.{op}"), 1);
+        let now = self.clock.now_micros();
+        self.record_span(format!("shed {op}"), 0, now, 0, id);
+        self.access_line(id, op, None, "-", 0, 0, "shed");
+    }
+
+    /// Counts a request line the protocol parser rejected, so even typos
+    /// show up in the access log with their id.
+    pub fn record_invalid(&self, id: u64) {
+        self.add("serve.invalid", 1);
+        self.access_line(id, "invalid", None, "-", 0, 0, "error");
     }
 
     /// Tracks the job queue's high-water mark.
@@ -259,12 +553,19 @@ impl Engine {
     }
 
     /// Renders every retained per-request span as a Chrome trace, with
-    /// one named track per worker.
+    /// one named track per worker and each span's request id in its
+    /// `args` (the same id the access log carries).
     #[must_use]
     pub fn chrome_trace(&self, tracks: &[(u64, &str)]) -> String {
         let log = SpanLog::with_capacity(self.clock, SPAN_CAPACITY);
-        for (name, tid, start, dur) in self.spans.lock().expect("span lock").iter() {
-            log.record(name.clone(), *tid, *start, *dur);
+        for (name, tid, start, dur, request_id) in self.spans.lock().expect("span lock").iter() {
+            log.record_with_args(
+                name.clone(),
+                *tid,
+                *start,
+                *dur,
+                vec![("request_id".to_string(), *request_id)],
+            );
         }
         chrome_trace_with_tracks(&log, tracks)
     }
@@ -283,6 +584,7 @@ impl Engine {
             (job.moves.is_some(), "moves"),
             (job.target.is_some(), "target"),
             (job.max_iters.is_some(), "max_iters"),
+            (job.progress, "progress"),
         ];
         if kind != JobKind::Reduce {
             bad.extend(reduce_only.iter().filter(|(set, _)| *set).map(|&(_, n)| n));
@@ -341,7 +643,14 @@ impl Engine {
         }
     }
 
-    fn execute(&self, kind: JobKind, job: &JobRequest) -> Result<String, String> {
+    fn execute(
+        &self,
+        kind: JobKind,
+        job: &JobRequest,
+        trace: &mut JobTrace,
+        id: u64,
+        interim: Option<&(dyn Fn(String) + Sync)>,
+    ) -> Result<String, String> {
         Self::reject_foreign_fields(kind, job)?;
         let lookup = self.cache.circuit_for(&job.file)?;
         self.add(
@@ -355,7 +664,15 @@ impl Engine {
         if lookup.coalesced {
             self.add("cache.coalesced_waits", 1);
         }
+        trace.cache = if lookup.coalesced {
+            "coalesced"
+        } else if lookup.hit {
+            "hit"
+        } else {
+            "miss"
+        };
         let circuit = lookup.circuit;
+        trace.fingerprint = Some(circuit.fingerprint());
         if let Some(expected) = job.fingerprint {
             let actual = circuit.fingerprint();
             if expected != actual {
@@ -373,7 +690,7 @@ impl Engine {
             JobKind::Flip => self.run_flip(job, &circuit, &library),
             JobKind::Check => self.run_check(job, &circuit, &library),
             JobKind::Sweep => self.run_sweep(job, &circuit, &library),
-            JobKind::Reduce => self.run_reduce(job, &circuit, &library),
+            JobKind::Reduce => self.run_reduce(job, &circuit, &library, id, interim),
         }
     }
 
@@ -744,11 +1061,18 @@ impl Engine {
     /// same content-addressed netlist cache as every other op. The daemon
     /// defaults to the hybrid engine (kernel batch screening, queue
     /// scoring), whose reports are bit-identical to pure-queue runs.
+    ///
+    /// With `"progress": true` and a streaming-capable connection, each
+    /// descent iteration emits one interim line through `interim` before
+    /// the final report. The sink is observe-only, so the final line is
+    /// byte-identical to a non-progress run of the same request.
     fn run_reduce(
         &self,
         job: &JobRequest,
         circuit: &Arc<CachedCircuit>,
         library: &GateLibrary,
+        id: u64,
+        interim: Option<&(dyn Fn(String) + Sync)>,
     ) -> Result<String, String> {
         let mut config = params::analysis_config(
             library,
@@ -786,9 +1110,33 @@ impl Engine {
         let buses = params::input_buses(netlist);
         let cycles = config.cycles;
         let session = glitch_core::ReduceSession::new(config, seed_list, jobs);
-        let report = glitch_reduce::Reducer::new(session, options)
-            .run(netlist, &buses, &[])
-            .map_err(|e| format!("reduction failed: {e}"))?;
+        let reducer = glitch_reduce::Reducer::new(session, options);
+        let report = match interim.filter(|_| job.progress) {
+            Some(emit) => {
+                struct StreamingSink<'a> {
+                    file: &'a str,
+                    id: u64,
+                    emit: &'a (dyn Fn(String) + Sync),
+                }
+                impl glitch_reduce::ProgressSink for StreamingSink<'_> {
+                    fn iteration(&mut self, event: &glitch_reduce::ProgressEvent<'_>) {
+                        (self.emit)(report::reduce_progress_json(
+                            self.file,
+                            event,
+                            Some(self.id),
+                        ));
+                    }
+                }
+                let mut sink = StreamingSink {
+                    file: &job.file,
+                    id,
+                    emit,
+                };
+                reducer.run_with_progress(netlist, &buses, &[], &mut sink)
+            }
+            None => reducer.run(netlist, &buses, &[]),
+        }
+        .map_err(|e| format!("reduction failed: {e}"))?;
         self.add("reduce.iterations", report.iterations as u64);
         self.add("reduce.proposed", report.proposed as u64);
         self.add("reduce.screened", report.screened as u64);
@@ -826,12 +1174,17 @@ mod tests {
         }
     }
 
+    fn run(engine: &Engine, kind: JobKind, request: &JobRequest, track: u64) -> String {
+        let ctx = RequestContext::inline(engine.next_request_id());
+        engine.run_job(kind, request, track, ctx, None)
+    }
+
     #[test]
     fn analyze_responses_are_deterministic() {
         let (dir, file) = temp_netlist("det");
         let engine = Engine::new(0, None);
-        let first = engine.run_job(JobKind::Analyze, &job(&file), 1);
-        let second = engine.run_job(JobKind::Analyze, &job(&file), 2);
+        let first = run(&engine, JobKind::Analyze, &job(&file), 1);
+        let second = run(&engine, JobKind::Analyze, &job(&file), 2);
         assert!(first.contains("\"activity\""), "unexpected: {first}");
         assert_eq!(first, second);
         assert_eq!(engine.counter_value("cache.netlist_hits"), 1);
@@ -845,15 +1198,15 @@ mod tests {
         let engine = Engine::new(0, None);
         let mut request = job(&file);
         request.flips = Some("0:a".to_string());
-        let first = engine.run_job(JobKind::Flip, &request, 1);
+        let first = run(&engine, JobKind::Flip, &request, 1);
         assert!(first.contains("\"incremental\""), "unexpected: {first}");
         request.flips = Some("1:b".to_string());
-        let second = engine.run_job(JobKind::Flip, &request, 1);
+        let second = run(&engine, JobKind::Flip, &request, 1);
         assert!(second.contains("\"incremental\""), "unexpected: {second}");
         assert_eq!(engine.counter_value("cache.baseline_misses"), 1);
         assert_eq!(engine.counter_value("cache.baseline_hits"), 1);
         // Same flip again: identical bytes, another hit.
-        let third = engine.run_job(JobKind::Flip, &request, 1);
+        let third = run(&engine, JobKind::Flip, &request, 1);
         assert_eq!(second, third);
         assert_eq!(engine.counter_value("cache.baseline_hits"), 2);
         std::fs::remove_dir_all(&dir).ok();
@@ -865,17 +1218,18 @@ mod tests {
         let engine = Engine::new(0, None);
         let mut request = job(&file);
         request.fingerprint = Some(0xdead_beef);
-        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        let reply = run(&engine, JobKind::Analyze, &request, 1);
         assert!(reply.contains("stale fingerprint"), "unexpected: {reply}");
         let mut request = job(&file);
         request.tech = Some("90nm".to_string());
-        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        let reply = run(&engine, JobKind::Analyze, &request, 1);
         assert!(reply.contains("--tech must be"), "unexpected: {reply}");
         let mut request = job(&file);
         request.flips = Some("0:a".to_string());
-        let reply = engine.run_job(JobKind::Analyze, &request, 1);
+        let reply = run(&engine, JobKind::Analyze, &request, 1);
         assert!(reply.contains("does not take"), "unexpected: {reply}");
         assert_eq!(engine.counter_value("serve.errors"), 3);
+        assert_eq!(engine.counter_value("serve.errors.analyze"), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -883,16 +1237,162 @@ mod tests {
     fn metrics_and_trace_render() {
         let (dir, file) = temp_netlist("metrics");
         let engine = Engine::new(0, None);
-        engine.run_job(JobKind::Analyze, &job(&file), 3);
-        let metrics = engine.metrics_response(MetricsFormat::Json);
+        run(&engine, JobKind::Analyze, &job(&file), 3);
+        let metrics = engine.metrics_response(MetricsFormat::Json, 90);
         assert!(metrics.starts_with("{\"counters\":{"), "got: {metrics}");
         assert!(metrics.contains("serve.requests.analyze"));
-        let text = engine.metrics_response(MetricsFormat::Text);
+        assert!(metrics.contains("serve.handle_us.analyze"));
+        let text = engine.metrics_response(MetricsFormat::Text, 91);
         assert!(text.starts_with("{\"metrics\":\""), "got: {text}");
+        let prometheus = engine.metrics_response(MetricsFormat::Prometheus, 92);
+        assert!(
+            prometheus.starts_with("{\"metrics\":\""),
+            "got: {prometheus}"
+        );
+        assert!(
+            prometheus.contains("serve_requests_analyze 1"),
+            "got: {prometheus}"
+        );
         let trace = engine.chrome_trace(&[(3, "worker-3")]);
         assert!(trace.contains("\"tid\":3"), "got: {trace}");
         assert!(trace.contains("worker-3"), "got: {trace}");
-        assert!(engine.ping_response().contains("\"ok\":true"));
+        assert!(
+            trace.contains("\"args\":{\"request_id\":1}"),
+            "got: {trace}"
+        );
+        assert!(engine.ping_response(5).contains("\"ok\":true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_reports_counts_latency_and_cache() {
+        let (dir, file) = temp_netlist("status");
+        let engine = Engine::new(0, None);
+        run(&engine, JobKind::Analyze, &job(&file), 1);
+        let mut bad = job(&file);
+        bad.tech = Some("bogus".to_string());
+        run(&engine, JobKind::Analyze, &bad, 1);
+        engine.record_shed(engine.next_request_id(), "sweep");
+        let status = engine.status_response(engine.next_request_id(), 4, 2);
+        assert!(
+            status.starts_with("{\"counts\":{\"requests\":{"),
+            "got: {status}"
+        );
+        assert!(
+            status.contains("\"requests\":{\"analyze\":2,\"status\":1}"),
+            "got: {status}"
+        );
+        assert!(
+            status.contains("\"errors\":{\"analyze\":1}"),
+            "got: {status}"
+        );
+        assert!(status.contains("\"shed\":{\"sweep\":1}"), "got: {status}");
+        assert!(status.contains("\"queue_depth\":4"), "got: {status}");
+        assert!(status.contains("\"workers\":2"), "got: {status}");
+        assert!(status.contains("\"busy_workers\":0"), "got: {status}");
+        assert!(status.contains("\"cache\":{\"bytes\":"), "got: {status}");
+        // Latency carries per-window percentiles for the op that ran.
+        assert!(
+            status.contains("\"analyze\":{\"queue_wait_us\":{\"1m\":{\"count\":2,"),
+            "got: {status}"
+        );
+        assert!(status.contains("\"handle_us\":{\"1m\":{"), "got: {status}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shed_requests_never_reach_the_latency_histograms() {
+        let engine = Engine::new(0, None);
+        engine.record_shed(engine.next_request_id(), "analyze");
+        engine.record_shed(engine.next_request_id(), "reduce");
+        let metrics = engine.metrics_response(MetricsFormat::Json, 9);
+        assert!(metrics.contains("\"serve.shed\":2"), "got: {metrics}");
+        assert!(
+            metrics.contains("\"serve.shed.analyze\":1"),
+            "got: {metrics}"
+        );
+        assert!(
+            !metrics.contains("serve.queue_wait_us.analyze"),
+            "shed must not be sampled: {metrics}"
+        );
+        assert!(
+            !metrics.contains("serve.handle_us.analyze"),
+            "shed must not be sampled: {metrics}"
+        );
+        let status = engine.status_response(engine.next_request_id(), 0, 1);
+        assert!(
+            !status.contains("\"analyze\":{\"queue_wait_us\""),
+            "shed ops must not appear in status latency: {status}"
+        );
+    }
+
+    #[test]
+    fn the_access_log_gets_one_line_per_request() {
+        let (dir, file) = temp_netlist("accesslog");
+        let log_path = dir.join("access.jsonl");
+        let mut engine = Engine::new(0, None);
+        engine
+            .set_access_log(&log_path.to_string_lossy(), 1 << 20)
+            .unwrap();
+        run(&engine, JobKind::Analyze, &job(&file), 1);
+        engine.record_shed(engine.next_request_id(), "sweep");
+        engine.ping_response(engine.next_request_id());
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "got: {text}");
+        assert!(
+            lines[0].starts_with("{\"id\":1,\"op\":\"analyze\""),
+            "got: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"cache\":\"miss\""), "got: {}", lines[0]);
+        assert!(lines[0].contains("\"outcome\":\"ok\""), "got: {}", lines[0]);
+        assert!(lines[0].contains("\"fingerprint\":\""), "got: {}", lines[0]);
+        assert!(lines[1].contains("\"op\":\"sweep\""), "got: {}", lines[1]);
+        assert!(
+            lines[1].contains("\"outcome\":\"shed\""),
+            "got: {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"op\":\"ping\""), "got: {}", lines[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_reduce_is_byte_identical_to_the_plain_run() {
+        let mut n = Netlist::new("reducestream");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let x = n.xor2(a, b, "x");
+        let y = n.and2(x, c, "y");
+        let z = n.xor2(y, a, "z");
+        n.mark_output(z);
+        let dir = std::env::temp_dir().join(format!("glitch-engine-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.blif");
+        std::fs::write(&path, emit_blif(&n)).unwrap();
+        let file = path.to_string_lossy().into_owned();
+
+        let engine = Engine::new(0, None);
+        let mut request = job(&file);
+        request.cycles = Some(40);
+        request.max_iters = Some(1);
+        let plain = run(&engine, JobKind::Reduce, &request, 1);
+        request.progress = true;
+        let interim = Mutex::new(Vec::new());
+        let emit = |line: String| interim.lock().unwrap().push(line);
+        let ctx = RequestContext::inline(engine.next_request_id());
+        let streamed = engine.run_job(JobKind::Reduce, &request, 1, ctx, Some(&emit));
+        assert_eq!(plain, streamed, "the sink must be observe-only");
+        let interim = interim.into_inner().unwrap();
+        assert!(!interim.is_empty(), "at least one progress line");
+        for line in &interim {
+            assert!(
+                line.starts_with("{\"progress\":\"reduce\",\"id\":"),
+                "got: {line}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

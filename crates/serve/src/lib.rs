@@ -6,7 +6,8 @@
 //! TCP socket:
 //!
 //! - [`protocol`]: request parsing (`analyze`, `check`, `flip`, `sweep`,
-//!   `metrics`, `ping`, `shutdown`) with strict unknown-field rejection.
+//!   `reduce`, `metrics`, `status`, `ping`, `shutdown`) with strict
+//!   unknown-field rejection.
 //! - [`cache`]: the content-addressed warm cache — circuits keyed by
 //!   [`glitch_core::netlist::Netlist::fingerprint`], baselines by their
 //!   full parameter set, with single-flight coalescing, LRU byte-budget
@@ -33,6 +34,6 @@ pub mod report;
 pub mod server;
 
 pub use client::Client;
-pub use engine::Engine;
+pub use engine::{Engine, RequestContext};
 pub use protocol::{JobKind, JobRequest, MetricsFormat, Request};
 pub use server::{run_server, ServeConfig};

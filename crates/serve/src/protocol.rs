@@ -5,9 +5,15 @@
 //! (`analyze`, `check`, `flip`, `sweep`, `reduce`) carry the same knobs as the CLI
 //! flags they mirror, with identical defaults, so a job response is
 //! byte-identical to the matching one-shot `glitch-cli ... --json` run.
-//! Control ops are `metrics` (the merged registry), `ping` and
+//! Control ops are `metrics` (the merged registry, as JSON, text or
+//! Prometheus exposition), `status` (live serving telemetry), `ping` and
 //! `shutdown`. Unknown ops and unknown fields are rejected — a typo must
 //! fail loudly, not silently run with defaults.
+//!
+//! A `reduce` job with `"progress": true` streams interim lines — one
+//! JSON object per loop iteration, each starting with a `progress` key —
+//! before the single final response line. Every other request still gets
+//! exactly one response line.
 
 use std::collections::BTreeMap;
 
@@ -82,6 +88,9 @@ pub struct JobRequest {
     pub target: Option<f64>,
     /// `--max-iters` (reduce only).
     pub max_iters: Option<usize>,
+    /// Stream one interim progress line per reduction-loop iteration
+    /// before the final response (reduce only).
+    pub progress: bool,
     /// Expected [`glitch_core::netlist::Netlist::fingerprint`] as 16 hex
     /// digits; the daemon rejects the request if the file on disk parses
     /// to a different circuit (stale-client protection).
@@ -95,6 +104,8 @@ pub enum MetricsFormat {
     Json,
     /// The human-readable multi-line dump, wrapped in a JSON envelope.
     Text,
+    /// The Prometheus text exposition, wrapped in a JSON envelope.
+    Prometheus,
 }
 
 /// One parsed protocol request.
@@ -105,6 +116,9 @@ pub enum Request {
     Job(JobKind, Box<JobRequest>),
     /// Serve the merged metrics registry.
     Metrics(MetricsFormat),
+    /// Live serving telemetry: uptime, per-op counts, windowed latency
+    /// percentiles, queue depth, worker busyness, cache occupancy.
+    Status,
     /// Liveness probe.
     Ping,
     /// Drain in-flight jobs, flush the trace, exit 0.
@@ -175,6 +189,7 @@ const JOB_FIELDS: &[&str] = &[
     "moves",
     "target",
     "max_iters",
+    "progress",
     "fingerprint",
 ];
 
@@ -207,28 +222,29 @@ impl Request {
                 let format = match field_str(&map, "format")?.as_deref() {
                     None | Some("json") => MetricsFormat::Json,
                     Some("text") => MetricsFormat::Text,
+                    Some("prometheus") => MetricsFormat::Prometheus,
                     Some(other) => {
                         return Err(format!(
-                            "metrics format must be json or text, got `{other}`"
+                            "metrics format must be json, text or prometheus, got `{other}`"
                         ));
                     }
                 };
                 return Ok(Request::Metrics(format));
             }
-            "ping" | "shutdown" => {
+            "ping" | "shutdown" | "status" => {
                 if map.len() > 1 {
                     return Err(format!("op `{op}` takes no other fields"));
                 }
-                return Ok(if op == "ping" {
-                    Request::Ping
-                } else {
-                    Request::Shutdown
+                return Ok(match op.as_str() {
+                    "ping" => Request::Ping,
+                    "status" => Request::Status,
+                    _ => Request::Shutdown,
                 });
             }
             other => {
                 return Err(format!(
                     "unknown op `{other}` (expected analyze, check, flip, sweep, \
-                     reduce, metrics, ping or shutdown)"
+                     reduce, metrics, status, ping or shutdown)"
                 ));
             }
         };
@@ -263,6 +279,7 @@ impl Request {
             moves: field_str(&map, "moves")?,
             target: field_f64(&map, "target")?,
             max_iters: field_usize(&map, "max_iters")?,
+            progress: field_bool(&map, "progress")?,
             fingerprint,
         };
         if kind == JobKind::Flip && job.flips.is_none() {
@@ -326,6 +343,10 @@ mod tests {
             Request::Shutdown
         );
         assert_eq!(
+            Request::parse(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
             Request::parse(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics(MetricsFormat::Json)
         );
@@ -333,6 +354,26 @@ mod tests {
             Request::parse(r#"{"op":"metrics","format":"text"}"#).unwrap(),
             Request::Metrics(MetricsFormat::Text)
         );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics(MetricsFormat::Prometheus)
+        );
+    }
+
+    #[test]
+    fn progress_parses_as_a_job_field() {
+        let req = Request::parse(r#"{"op":"reduce","file":"a.blif","progress":true}"#).unwrap();
+        let Request::Job(kind, job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(kind, JobKind::Reduce);
+        assert!(job.progress);
+        let req = Request::parse(r#"{"op":"reduce","file":"a.blif"}"#).unwrap();
+        let Request::Job(_, job) = req else {
+            panic!("expected a job")
+        };
+        assert!(!job.progress);
+        assert!(Request::parse(r#"{"op":"reduce","file":"a.blif","progress":1}"#).is_err());
     }
 
     #[test]
@@ -362,6 +403,7 @@ mod tests {
             r#"{"op":"analyze","file":"a.blif","cycles":"many"}"#,
             r#"{"op":"flip","file":"a.blif"}"#,
             r#"{"op":"ping","file":"a.blif"}"#,
+            r#"{"op":"status","file":"a.blif"}"#,
             r#"{"op":"metrics","format":"xml"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");

@@ -379,6 +379,41 @@ pub fn equivalence_json(report: &EquivalenceReport) -> JsonObject {
         .raw("checks", &json_array(checks))
 }
 
+/// One interim progress row of a streamed `reduce`: one line per loop
+/// iteration, identified by its leading `progress` key (which is how
+/// clients tell interim lines from the final response). `id` tags the
+/// daemon's rows with the request id; the one-shot CLI passes `None` and
+/// prints otherwise-identical rows.
+pub fn reduce_progress_json(
+    file: &str,
+    event: &glitch_reduce::ProgressEvent<'_>,
+    id: Option<u64>,
+) -> String {
+    let out = JsonObject::new().str("progress", "reduce");
+    let out = match id {
+        Some(id) => out.u64("id", id),
+        None => out,
+    };
+    let out = out
+        .str("file", file)
+        .usize("iteration", event.iteration)
+        .usize("proposed", event.proposed)
+        .usize("screened", event.screened)
+        .bool("accepted", event.accepted.is_some());
+    let out = match event.accepted {
+        Some(m) => out
+            .str("kind", m.kind.as_str())
+            .str("description", &m.description)
+            .f64("glitch_power_before_w", m.glitch_power_before)
+            .f64("glitch_power_after_w", m.glitch_power_after)
+            .usize("latency_added", m.latency_added),
+        None => out,
+    };
+    out.f64("glitch_power_w", event.glitch_power)
+        .f64("baseline_glitch_power_w", event.baseline_glitch_power)
+        .render()
+}
+
 /// The `reduce` report line: headline, descent accounting, accepted
 /// moves, the glitch-power history, and the equivalence verdict.
 pub fn reduce_json(

@@ -3,12 +3,16 @@
 //! admitted job before the process exits.
 //!
 //! One thread per connection reads JSON-lines requests; control ops
-//! (`ping`, `metrics`, `shutdown`) are answered inline, jobs are queued
-//! for the workers. Admission control sheds jobs once the queue is full —
-//! a shed request gets an immediate error line rather than unbounded
-//! latency. Shutdown (protocol request or Ctrl-C on Unix) stops
-//! admission, drains the queue, flushes the Chrome trace and removes the
-//! baseline spill directory.
+//! (`ping`, `status`, `metrics`, `shutdown`) are answered inline, jobs
+//! are queued for the workers. Admission control sheds jobs once the
+//! queue is full — a shed request gets an immediate error line rather
+//! than unbounded latency. Every request gets a daemon-wide monotonic id
+//! (assigned at the connection, before admission) that threads through
+//! the trace spans and the `--access-log` line. A `reduce` job with
+//! `"progress": true` streams interim progress lines back on the same
+//! connection before its final response. Shutdown (protocol request or
+//! Ctrl-C on Unix) stops admission, drains the queue, flushes the Chrome
+//! trace and removes the baseline spill directory.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -18,8 +22,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use crate::engine::Engine;
-use crate::protocol::{error_response, ok_response, JobKind, JobRequest, Request};
+use crate::engine::{Engine, RequestContext};
+use crate::protocol::{error_response, JobKind, JobRequest, Request};
 
 /// How the daemon binds, sizes its pool and budgets its cache.
 #[derive(Debug, Clone)]
@@ -35,6 +39,11 @@ pub struct ServeConfig {
     pub max_queue: usize,
     /// Chrome-trace output path, flushed at shutdown.
     pub trace_out: Option<String>,
+    /// Access-log path: one JSON line per request, rotated past
+    /// `access_log_max_bytes`.
+    pub access_log: Option<String>,
+    /// Rotation threshold for the access log.
+    pub access_log_max_bytes: u64,
 }
 
 impl ServeConfig {
@@ -48,15 +57,27 @@ impl ServeConfig {
             cache_bytes,
             max_queue: workers * 8,
             trace_out: None,
+            access_log: None,
+            access_log_max_bytes: glitch_obs::DEFAULT_EVENT_LOG_MAX_BYTES,
         }
     }
 }
 
-/// A queued job: what to run and where to send the response line.
+/// What a worker sends back for one job: zero or more interim lines
+/// (reduce progress), then exactly one final response line.
+enum Reply {
+    Interim(String),
+    Final(String),
+}
+
+/// A queued job: what to run, its request id, when it was admitted, and
+/// where to send the response lines.
 struct Job {
     kind: JobKind,
     request: JobRequest,
-    reply: mpsc::Sender<String>,
+    id: u64,
+    enqueued_micros: u64,
+    reply: mpsc::Sender<Reply>,
 }
 
 struct QueueState {
@@ -73,7 +94,7 @@ struct Queue {
 }
 
 enum Admission {
-    Queued(mpsc::Receiver<String>),
+    Queued(mpsc::Receiver<Reply>),
     Shed(&'static str),
 }
 
@@ -88,7 +109,14 @@ impl Queue {
         }
     }
 
-    fn enqueue(&self, kind: JobKind, request: JobRequest, max_queue: usize) -> (Admission, usize) {
+    fn enqueue(
+        &self,
+        kind: JobKind,
+        request: JobRequest,
+        id: u64,
+        enqueued_micros: u64,
+        max_queue: usize,
+    ) -> (Admission, usize) {
         let mut state = self.state.lock().expect("queue lock");
         if state.shutdown {
             return (Admission::Shed("daemon is shutting down"), state.jobs.len());
@@ -103,11 +131,18 @@ impl Queue {
         state.jobs.push_back(Job {
             kind,
             request,
+            id,
+            enqueued_micros,
             reply,
         });
         let depth = state.jobs.len();
         self.available.notify_one();
         (Admission::Queued(receiver), depth)
+    }
+
+    /// The current number of queued (not yet dequeued) jobs.
+    fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
     }
 
     /// Blocks for the next job; `None` once shutdown is requested and the
@@ -201,7 +236,11 @@ pub fn run_server(config: &ServeConfig) -> Result<(), String> {
         .port();
     let spill_dir =
         std::env::temp_dir().join(format!("glitch-serve-{}-{port}", std::process::id()));
-    let engine = Arc::new(Engine::new(config.cache_bytes, Some(spill_dir.clone())));
+    let mut engine = Engine::new(config.cache_bytes, Some(spill_dir.clone()));
+    if let Some(path) = &config.access_log {
+        engine.set_access_log(path, config.access_log_max_bytes)?;
+    }
+    let engine = Arc::new(engine);
     let queue = Arc::new(Queue::new());
     let shutdown = Arc::new(Shutdown {
         flag: AtomicBool::new(false),
@@ -214,9 +253,26 @@ pub fn run_server(config: &ServeConfig) -> Result<(), String> {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || {
                 while let Some(job) = queue.next_job() {
-                    let line = engine.run_job(job.kind, &job.request, track as u64);
+                    let ctx = RequestContext {
+                        id: job.id,
+                        queue_wait_us: engine
+                            .clock()
+                            .now_micros()
+                            .saturating_sub(job.enqueued_micros),
+                    };
+                    let reply = job.reply.clone();
+                    let emit = move |line: String| {
+                        // The client may already be gone; keep reducing.
+                        let _ = reply.send(Reply::Interim(line));
+                    };
+                    let interim: Option<&(dyn Fn(String) + Sync)> = if job.request.progress {
+                        Some(&emit)
+                    } else {
+                        None
+                    };
+                    let line = engine.run_job(job.kind, &job.request, track as u64, ctx, interim);
                     // The client may already be gone; the job still ran.
-                    let _ = job.reply.send(line);
+                    let _ = job.reply.send(Reply::Final(line));
                 }
             })
         })
@@ -252,8 +308,9 @@ pub fn run_server(config: &ServeConfig) -> Result<(), String> {
         let queue = Arc::clone(&queue);
         let shutdown = Arc::clone(&shutdown);
         let max_queue = config.max_queue;
+        let workers = config.workers;
         connections.push(std::thread::spawn(move || {
-            serve_connection(&stream, &engine, &queue, &shutdown, max_queue);
+            serve_connection(&stream, &engine, &queue, &shutdown, max_queue, workers);
         }));
     }
     for connection in connections {
@@ -276,13 +333,15 @@ pub fn run_server(config: &ServeConfig) -> Result<(), String> {
 }
 
 /// Reads request lines from one client until EOF or shutdown, answering
-/// each with exactly one response line.
+/// each with exactly one final response line (preceded by interim
+/// progress lines for streaming jobs).
 fn serve_connection(
     stream: &TcpStream,
     engine: &Engine,
     queue: &Queue,
     shutdown: &Shutdown,
     max_queue: usize,
+    workers: usize,
 ) {
     // The timeout bounds how long a drained connection outlives shutdown.
     stream
@@ -315,9 +374,27 @@ fn serve_connection(
         if request.is_empty() {
             continue;
         }
-        let (mut response, is_shutdown) = handle_request(&request, engine, queue, max_queue);
-        response.push('\n');
-        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+        let (response, is_shutdown) = handle_request(&request, engine, queue, max_queue, workers);
+        let done = match response {
+            Response::One(line) => write_line(&mut writer, &line),
+            Response::Stream(receiver) => loop {
+                match receiver.recv() {
+                    Ok(Reply::Interim(line)) => {
+                        if !write_line(&mut writer, &line) {
+                            break false;
+                        }
+                    }
+                    Ok(Reply::Final(line)) => break write_line(&mut writer, &line),
+                    Err(_) => {
+                        break write_line(
+                            &mut writer,
+                            &error_response("worker pool dropped the job"),
+                        )
+                    }
+                }
+            },
+        };
+        if !done {
             return;
         }
         if is_shutdown {
@@ -327,6 +404,19 @@ fn serve_connection(
     }
 }
 
+fn write_line(writer: &mut &TcpStream, line: &str) -> bool {
+    let mut framed = line.to_string();
+    framed.push('\n');
+    writer.write_all(framed.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
+/// One request's answer: a single line, or a worker-fed stream of interim
+/// lines ending in the final one.
+enum Response {
+    One(String),
+    Stream(mpsc::Receiver<Reply>),
+}
+
 /// Dispatches one request line; returns the response and whether it was a
 /// shutdown request (acknowledged before the daemon starts draining).
 fn handle_request(
@@ -334,24 +424,31 @@ fn handle_request(
     engine: &Engine,
     queue: &Queue,
     max_queue: usize,
-) -> (String, bool) {
+    workers: usize,
+) -> (Response, bool) {
+    let id = engine.next_request_id();
     match Request::parse(request) {
-        Err(message) => (error_response(&message), false),
-        Ok(Request::Ping) => (engine.ping_response(), false),
-        Ok(Request::Metrics(format)) => (engine.metrics_response(format), false),
-        Ok(Request::Shutdown) => (ok_response(), true),
+        Err(message) => {
+            engine.record_invalid(id);
+            (Response::One(error_response(&message)), false)
+        }
+        Ok(Request::Ping) => (Response::One(engine.ping_response(id)), false),
+        Ok(Request::Status) => (
+            Response::One(engine.status_response(id, queue.depth(), workers)),
+            false,
+        ),
+        Ok(Request::Metrics(format)) => (Response::One(engine.metrics_response(format, id)), false),
+        Ok(Request::Shutdown) => (Response::One(engine.shutdown_response(id)), true),
         Ok(Request::Job(kind, job)) => {
-            let (admission, depth) = queue.enqueue(kind, *job, max_queue);
+            let now = engine.clock().now_micros();
+            let (admission, depth) = queue.enqueue(kind, *job, id, now, max_queue);
             engine.observe_queue_depth(depth);
             match admission {
                 Admission::Shed(reason) => {
-                    engine.record_shed();
-                    (error_response(reason), false)
+                    engine.record_shed(id, kind.op());
+                    (Response::One(error_response(reason)), false)
                 }
-                Admission::Queued(receiver) => match receiver.recv() {
-                    Ok(response) => (response, false),
-                    Err(_) => (error_response("worker pool dropped the job"), false),
-                },
+                Admission::Queued(receiver) => (Response::Stream(receiver), false),
             }
         }
     }
